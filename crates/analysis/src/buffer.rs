@@ -1,0 +1,556 @@
+//! Self-timed buffer occupancy bounds.
+//!
+//! SDF channels are conceptually unbounded FIFOs; for implementation one
+//! needs bounds on how many tokens actually accumulate. Under self-timed
+//! execution the occupancy of every channel is eventually periodic, so the
+//! peak over a sufficient number of iterations is the exact self-timed
+//! buffer requirement. (Exact minimal buffer sizing under throughput
+//! constraints is the subject of Stuijk et al., TC'08; here we provide the
+//! self-timed bound used for dimensioning.)
+
+use sdfr_graph::execution::simulate_iterations;
+use sdfr_graph::{SdfError, SdfGraph};
+
+/// Per-channel peak token counts over `iterations` self-timed iterations
+/// (including the initial tokens), indexed by channel index.
+///
+/// # Errors
+///
+/// See [`simulate_iterations`].
+///
+/// # Example
+///
+/// ```
+/// use sdfr_analysis::buffer::self_timed_buffer_bounds;
+/// use sdfr_graph::SdfGraph;
+///
+/// let mut b = SdfGraph::builder("g");
+/// let x = b.actor("x", 1);
+/// let y = b.actor("y", 5);
+/// b.channel(x, y, 2, 4, 0)?;
+/// b.channel(y, x, 4, 2, 4)?;
+/// let bounds = self_timed_buffer_bounds(&b.build()?, 8)?;
+/// assert_eq!(bounds.len(), 2);
+/// assert!(bounds[0] >= 4); // y consumes 4 at once
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn self_timed_buffer_bounds(g: &SdfGraph, iterations: u64) -> Result<Vec<u64>, SdfError> {
+    let trace = simulate_iterations(g, iterations)?;
+    Ok(trace.channel_peak_tokens)
+}
+
+/// The total peak memory over all channels (sum of per-channel peaks).
+///
+/// # Errors
+///
+/// See [`self_timed_buffer_bounds`].
+pub fn total_buffer_bound(g: &SdfGraph, iterations: u64) -> Result<u64, SdfError> {
+    Ok(self_timed_buffer_bounds(g, iterations)?.iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_respect_initial_tokens() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 1, 3).unwrap();
+        let g = b.build().unwrap();
+        let bounds = self_timed_buffer_bounds(&g, 4).unwrap();
+        assert_eq!(bounds, vec![3]);
+        assert_eq!(total_buffer_bound(&g, 4).unwrap(), 3);
+    }
+
+    #[test]
+    fn fast_producer_accumulates() {
+        // Producer (time 1) feeds consumer (time 10) with a feedback loop
+        // limiting the producer to 5 outstanding firings.
+        let mut b = SdfGraph::builder("g");
+        let p = b.actor("p", 1);
+        let c = b.actor("c", 10);
+        b.channel(p, c, 1, 1, 0).unwrap();
+        b.channel(c, p, 1, 1, 5).unwrap();
+        let g = b.build().unwrap();
+        let bounds = self_timed_buffer_bounds(&g, 10).unwrap();
+        // At most 5 tokens can accumulate on the forward channel.
+        assert!(bounds[0] <= 5);
+        assert!(bounds[0] >= 4);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut b = SdfGraph::builder("dead");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert!(total_buffer_bound(&g, 1).is_err());
+    }
+}
+
+/// Builds the *capacity-constrained* version of `g`: every channel `i`
+/// gains a reverse channel with swapped rates and `capacities[i] − d`
+/// initial tokens, the classical SDF model of a bounded FIFO of
+/// `capacities[i]` slots (Stuijk et al., TC'08). Self-loop channels are
+/// left unmodified (their occupancy is fixed by construction).
+///
+/// # Panics
+///
+/// Panics if `capacities.len() != g.num_channels()` or any capacity is
+/// below the channel's initial token count.
+pub fn with_capacities(g: &SdfGraph, capacities: &[u64]) -> SdfGraph {
+    assert_eq!(
+        capacities.len(),
+        g.num_channels(),
+        "one capacity per channel required"
+    );
+    let mut b = SdfGraph::builder(format!("{}^bounded", g.name()));
+    let ids: Vec<_> = g
+        .actors()
+        .map(|(_, a)| b.actor(a.name().to_string(), a.execution_time()))
+        .collect();
+    for (cid, ch) in g.channels() {
+        let cap = capacities[cid.index()];
+        assert!(
+            cap >= ch.initial_tokens(),
+            "capacity below initial occupancy of channel {cid}"
+        );
+        b.channel(
+            ids[ch.source().index()],
+            ids[ch.target().index()],
+            ch.production(),
+            ch.consumption(),
+            ch.initial_tokens(),
+        )
+        .expect("copying a valid channel");
+        if !ch.is_self_loop() {
+            // Free slots flow backwards: consuming a token frees space.
+            b.channel(
+                ids[ch.target().index()],
+                ids[ch.source().index()],
+                ch.consumption(),
+                ch.production(),
+                cap - ch.initial_tokens(),
+            )
+            .expect("reverse channel of a valid channel");
+        }
+    }
+    b.build().expect("bounded version of a valid graph")
+}
+
+/// The iteration period of `g` when every channel is bounded by the given
+/// capacity, or `None` if unbounded (no recurrent constraint even with the
+/// bounds).
+///
+/// # Errors
+///
+/// - [`SdfError::Inconsistent`] / [`SdfError::Deadlock`] from the bounded
+///   graph's analysis — a deadlock means the capacities are infeasible.
+pub fn period_with_capacities(
+    g: &SdfGraph,
+    capacities: &[u64],
+) -> Result<Option<sdfr_maxplus::Rational>, SdfError> {
+    let bounded = with_capacities(g, capacities);
+    Ok(crate::throughput::throughput(&bounded)?.period())
+}
+
+/// Finds a capacity allocation that achieves the unconstrained
+/// (self-timed) period, from the *reserved-occupancy* peaks of a
+/// self-timed run ([`sdfr_graph::execution::Trace::channel_peak_reserved`]):
+/// stored tokens plus slots held by in-flight firings, which is exactly
+/// what a bounded FIFO must provide for the self-timed schedule to proceed
+/// unchanged.
+///
+/// # Errors
+///
+/// Propagates analysis errors; returns [`SdfError::Overflow`] when the
+/// unconstrained throughput is unbounded (no finite allocation reproduces
+/// it) or when verification fails within the search budget.
+pub fn sufficient_capacities(g: &SdfGraph, iterations: u64) -> Result<Vec<u64>, SdfError> {
+    let target = crate::throughput::throughput(g)?.period();
+    if target.is_none() {
+        // Unbounded throughput: every finite allocation yields a finite
+        // period, so no capacity assignment reproduces it.
+        return Err(SdfError::Overflow {
+            what: "buffer sizing for an unbounded-throughput graph",
+        });
+    }
+    // The reserved-occupancy peak of a self-timed run is sufficient by
+    // construction: with these capacities the bounded graph can execute the
+    // same schedule (provided `iterations` covers the periodic regime).
+    let trace = simulate_iterations(g, iterations)?;
+    let mut caps = trace.channel_peak_reserved;
+    for (i, (_, ch)) in g.channels().enumerate() {
+        if ch.is_self_loop() {
+            // Self-loops are not capacity-modelled; report their fixed
+            // occupancy.
+            caps[i] = ch.initial_tokens();
+            continue;
+        }
+        let g_pc = gcd(ch.production(), ch.consumption());
+        let floor = (ch.production() + ch.consumption() - g_pc).max(ch.initial_tokens());
+        caps[i] = caps[i].max(floor);
+    }
+    // Guard against an under-sized simulation window (long transients):
+    // verify, and widen geometrically a few times before giving up. The
+    // token guard keeps the spectral analysis of the bounded graph cheap.
+    for _ in 0..6 {
+        if period_with_capacities(g, &caps)? == target {
+            return Ok(caps);
+        }
+        let total: u64 = caps.iter().sum();
+        if total > 20_000 {
+            break;
+        }
+        for (i, (_, ch)) in g.channels().enumerate() {
+            if !ch.is_self_loop() {
+                caps[i] = caps[i].checked_mul(2).ok_or(SdfError::Overflow {
+                    what: "sufficient buffer capacity search",
+                })?;
+            }
+        }
+    }
+    Err(SdfError::Overflow {
+        what: "sufficient buffer capacity search",
+    })
+}
+
+/// Heuristically minimizes channel capacities while preserving the
+/// unconstrained (self-timed) throughput, in the spirit of the
+/// buffer-sizing heuristics the paper cites (Wiggers et al., DAC'07).
+///
+/// Starts from a [`sufficient_capacities`] allocation and then shrinks each
+/// channel in turn by binary search, keeping the iteration period equal to
+/// the unconstrained optimum. The result is per-channel locally minimal, not a
+/// global optimum — exact minimization is the subject of Stuijk et al.'s
+/// exact exploration and is exponential in general.
+///
+/// # Errors
+///
+/// Propagates analysis errors from the unconstrained graph.
+pub fn minimize_capacities(g: &SdfGraph, iterations: u64) -> Result<Vec<u64>, SdfError> {
+    let target = crate::throughput::throughput(g)?.period();
+    let mut caps = sufficient_capacities(g, iterations)?;
+    // The starting allocation achieves the target period; shrink greedily.
+    for i in 0..caps.len() {
+        let ch = g
+            .channels()
+            .nth(i)
+            .map(|(_, c)| *c)
+            .expect("index within channel count");
+        if ch.is_self_loop() {
+            continue;
+        }
+        // The classical single-channel liveness floor.
+        let g_pc = gcd(ch.production(), ch.consumption());
+        let floor = (ch.production() + ch.consumption() - g_pc).max(ch.initial_tokens());
+        let (mut lo, mut hi) = (floor, caps[i]);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mut probe = caps.clone();
+            probe[i] = mid;
+            let ok = matches!(period_with_capacities(g, &probe), Ok(p) if p == target);
+            if ok {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        caps[i] = hi;
+    }
+    Ok(caps)
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+    use crate::throughput::throughput;
+    use sdfr_maxplus::Rational;
+
+    fn pipeline() -> SdfGraph {
+        let mut b = SdfGraph::builder("pipe");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 5);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(x, x, 1, 1, 1).unwrap();
+        b.channel(y, y, 1, 1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn capacity_one_serializes_the_pipeline() {
+        let g = pipeline();
+        // Unconstrained: the bottleneck is y alone (period 5).
+        assert_eq!(
+            throughput(&g).unwrap().period(),
+            Some(Rational::from(5))
+        );
+        // Capacity 1 on the x->y channel creates the cycle
+        // x -> y -> (free slot) -> x with weight 2 + 5 over one slot token:
+        // the period degrades to 7.
+        let period = period_with_capacities(&g, &[1, 1, 1]).unwrap();
+        assert_eq!(period, Some(Rational::from(7)));
+        // Capacity 2 restores the full rate.
+        let period = period_with_capacities(&g, &[2, 1, 1]).unwrap();
+        assert_eq!(period, Some(Rational::from(5)));
+    }
+
+    #[test]
+    fn minimize_finds_the_knee() {
+        let g = pipeline();
+        let caps = minimize_capacities(&g, 16).unwrap();
+        // The forward channel needs exactly 2 slots; self-loops keep their
+        // single token.
+        assert_eq!(caps, vec![2, 1, 1]);
+        assert_eq!(
+            period_with_capacities(&g, &caps).unwrap(),
+            throughput(&g).unwrap().period()
+        );
+    }
+
+    #[test]
+    fn multirate_capacities() {
+        let mut b = SdfGraph::builder("mr");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 4);
+        b.channel(x, y, 2, 3, 0).unwrap();
+        b.channel(x, x, 1, 1, 1).unwrap();
+        b.channel(y, y, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let caps = minimize_capacities(&g, 16).unwrap();
+        // Feasible and throughput-preserving.
+        assert_eq!(
+            period_with_capacities(&g, &caps).unwrap(),
+            throughput(&g).unwrap().period()
+        );
+        // At least the single-channel floor p + c - gcd = 4.
+        assert!(caps[0] >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity below initial occupancy")]
+    fn capacity_below_tokens_rejected() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 3).unwrap();
+        let g = b.build().unwrap();
+        let _ = with_capacities(&g, &[1]);
+    }
+
+    #[test]
+    fn bounded_graph_structure() {
+        let g = pipeline();
+        let bounded = with_capacities(&g, &[3, 1, 1]);
+        // One reverse channel for the non-self-loop channel, inserted
+        // right after its forward copy.
+        assert_eq!(bounded.num_channels(), g.num_channels() + 1);
+        let x = bounded.actor_by_name("x").unwrap();
+        let y = bounded.actor_by_name("y").unwrap();
+        let (_, rev) = bounded
+            .channels()
+            .find(|(_, c)| c.source() == y && c.target() == x)
+            .expect("reverse channel present");
+        assert_eq!(rev.initial_tokens(), 3);
+    }
+}
+
+/// One point of the throughput/buffer trade-off curve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// Per-channel capacities at this point.
+    pub capacities: Vec<u64>,
+    /// Total capacity (sum over channels).
+    pub total: u64,
+    /// The iteration period achieved, `None` when this allocation
+    /// deadlocks (zero throughput).
+    pub period: Option<sdfr_maxplus::Rational>,
+}
+
+/// Explores the throughput/buffer trade-off (Stuijk et al., TC'08): starting
+/// from the per-channel liveness floors, greedily grows the single buffer
+/// whose increment improves the period most, recording every Pareto point
+/// until the unconstrained (self-timed) period is reached.
+///
+/// The returned curve starts at the smallest explored allocation and ends
+/// at an allocation achieving the unconstrained period; each recorded point
+/// strictly improves on its predecessor. This greedy exploration yields the
+/// exact curve on chains and close approximations in general (global
+/// minimization is exponential).
+///
+/// # Errors
+///
+/// Propagates analysis errors of the unconstrained graph.
+///
+/// # Panics
+///
+/// Panics if the unconstrained graph has unbounded throughput on some
+/// actor and *no* capacity allocation can bound the exploration — not
+/// possible for graphs whose every channel gets a capacity (the reverse
+/// edges bound every actor pair); kept as an internal safety bound.
+pub fn throughput_buffer_tradeoff(
+    g: &SdfGraph,
+    iterations: u64,
+) -> Result<Vec<ParetoPoint>, SdfError> {
+    let target = crate::throughput::throughput(g)?.period();
+    let peaks = sufficient_capacities(g, iterations)?;
+
+    let channels: Vec<_> = g.channels().map(|(_, c)| *c).collect();
+    let floors: Vec<u64> = channels
+        .iter()
+        .map(|c| {
+            if c.is_self_loop() {
+                c.initial_tokens()
+            } else {
+                let g_pc = gcd(c.production(), c.consumption());
+                (c.production() + c.consumption() - g_pc).max(c.initial_tokens())
+            }
+        })
+        .collect();
+
+    // Deadlocked allocations count as zero throughput.
+    let period_at = |caps: &[u64]| -> Option<sdfr_maxplus::Rational> {
+        period_with_capacities(g, caps).unwrap_or_default()
+    };
+    // Order periods with deadlock (None) as the worst.
+    let better = |a: Option<sdfr_maxplus::Rational>, b: Option<sdfr_maxplus::Rational>| -> bool {
+        match (a, b) {
+            (Some(x), Some(y)) => x < y,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    };
+
+    let mut caps = floors;
+    let mut curve = vec![ParetoPoint {
+        capacities: caps.clone(),
+        total: caps.iter().sum(),
+        period: period_at(&caps),
+    }];
+
+    let budget: u64 = peaks
+        .iter()
+        .zip(&caps)
+        .map(|(&p, &c)| p.saturating_sub(c))
+        .sum();
+    let mut current = curve[0].period;
+    for _ in 0..budget {
+        if current == target && current.is_some() {
+            break;
+        }
+        // Try +1 on each non-self-loop channel; keep the best improvement.
+        let mut best: Option<(usize, Option<sdfr_maxplus::Rational>)> = None;
+        for i in 0..caps.len() {
+            if channels[i].is_self_loop() || caps[i] >= peaks[i] {
+                continue;
+            }
+            caps[i] += 1;
+            let p = period_at(&caps);
+            caps[i] -= 1;
+            if better(p, best.as_ref().map_or(current, |(_, bp)| *bp)) {
+                best = Some((i, p));
+            }
+        }
+        match best {
+            Some((i, p)) => {
+                caps[i] += 1;
+                current = p;
+                curve.push(ParetoPoint {
+                    capacities: caps.clone(),
+                    total: caps.iter().sum(),
+                    period: p,
+                });
+            }
+            None => {
+                // No single increment improves: grow the tightest channel
+                // anyway to escape plateaus.
+                let Some(i) = (0..caps.len())
+                    .find(|&i| !channels[i].is_self_loop() && caps[i] < peaks[i])
+                else {
+                    break;
+                };
+                caps[i] += 1;
+            }
+        }
+    }
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod pareto_tests {
+    use super::*;
+    use sdfr_maxplus::Rational;
+
+    #[test]
+    fn chain_tradeoff_curve() {
+        let mut b = SdfGraph::builder("pipe");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 5);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(x, x, 1, 1, 1).unwrap();
+        b.channel(y, y, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let curve = throughput_buffer_tradeoff(&g, 16).unwrap();
+        // Two points: capacity 1 (period 7) and capacity 2 (period 5).
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].period, Some(Rational::from(7)));
+        assert_eq!(curve[0].capacities[0], 1);
+        assert_eq!(curve[1].period, Some(Rational::from(5)));
+        assert_eq!(curve[1].capacities[0], 2);
+        // Strictly improving, strictly growing.
+        assert!(curve[1].total > curve[0].total);
+    }
+
+    #[test]
+    fn curve_ends_at_unconstrained_period() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 3);
+        let z = b.actor("z", 2);
+        b.channel(x, y, 2, 1, 0).unwrap();
+        b.channel(y, z, 1, 2, 0).unwrap();
+        for a in [x, y, z] {
+            b.channel(a, a, 1, 1, 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        let target = crate::throughput::throughput(&g).unwrap().period();
+        let curve = throughput_buffer_tradeoff(&g, 16).unwrap();
+        assert_eq!(curve.last().unwrap().period, target);
+        // Monotone: later points never have larger periods.
+        for w in curve.windows(2) {
+            match (w[0].period, w[1].period) {
+                (Some(a), Some(b)) => assert!(b <= a),
+                (None, _) => {}
+                (Some(_), None) => panic!("curve worsened"),
+            }
+        }
+    }
+
+    #[test]
+    fn floors_that_deadlock_are_reported_as_none() {
+        // A feedback pair whose floor allocation deadlocks until buffers
+        // grow: the curve starts with None and ends feasible.
+        let mut b = SdfGraph::builder("fb");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 3, 2, 0).unwrap();
+        b.channel(y, x, 2, 3, 6).unwrap();
+        let g = b.build().unwrap();
+        let curve = throughput_buffer_tradeoff(&g, 8).unwrap();
+        let last = curve.last().unwrap();
+        assert_eq!(
+            last.period,
+            crate::throughput::throughput(&g).unwrap().period()
+        );
+    }
+}

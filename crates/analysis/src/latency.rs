@@ -1,0 +1,232 @@
+//! Latency measures for timed SDF graphs.
+
+use sdfr_graph::execution::{simulate, SimulationOptions};
+use sdfr_graph::{ActorId, SdfError, SdfGraph, Time};
+
+
+/// The makespan of the first iteration in self-timed execution: the time at
+/// which every actor `a` has completed its first `γ(a)` firings.
+///
+/// For the paper's Sec. 4.1 example this is the "single execution of the
+/// graph" time (23 time units for the 6-stage instance).
+///
+/// # Errors
+///
+/// See [`simulate`].
+///
+/// # Example
+///
+/// ```
+/// use sdfr_analysis::latency::iteration_makespan;
+/// use sdfr_graph::SdfGraph;
+///
+/// let mut b = SdfGraph::builder("chain");
+/// let x = b.actor("x", 2);
+/// let y = b.actor("y", 3);
+/// b.channel(x, y, 1, 1, 0)?;
+/// b.channel(y, x, 1, 1, 1)?;
+/// assert_eq!(iteration_makespan(&b.build()?)?, 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn iteration_makespan(g: &SdfGraph) -> Result<Time, SdfError> {
+    let trace = simulate(g, &SimulationOptions::iterations(1))?;
+    Ok(trace.makespan)
+}
+
+/// The input–output latency from the first firing of `source` to the first
+/// completion of `sink` in self-timed execution of one iteration.
+///
+/// # Errors
+///
+/// See [`simulate`]. Additionally reports a deadlock-style error if either
+/// actor never fires in the first iteration (impossible for consistent live
+/// graphs, where every actor fires at least once).
+///
+/// # Panics
+///
+/// Panics if the ids do not belong to `g`.
+pub fn input_output_latency(
+    g: &SdfGraph,
+    source: ActorId,
+    sink: ActorId,
+) -> Result<Time, SdfError> {
+    let trace = simulate(g, &SimulationOptions::iterations(1).with_firings())?;
+    let firings = trace.firings.expect("recording was requested");
+    let src_start = firings[source.index()]
+        .first()
+        .map(|&(s, _)| s)
+        .expect("every actor fires in an iteration");
+    let sink_end = firings[sink.index()]
+        .first()
+        .map(|&(_, e)| e)
+        .expect("every actor fires in an iteration");
+    Ok(sink_end - src_start)
+}
+
+/// The steady-state maximum source-to-sink latency when `source` fires
+/// strictly periodically with period `mu` (its `n`-th firing is released at
+/// `n·mu`), in the style of the latency analysis of Ghamarian et al.
+/// (DSD'07), measured operationally.
+///
+/// The latency of firing `n` is `end(sink, n·γ(sink)/γ(source) …)` — here
+/// specialised to the common case `γ(source) = γ(sink)`, where firing `n`
+/// of the sink answers firing `n` of the source: the result is
+/// `max_n (end_sink(n) − n·mu)` over the measured window after `warmup`
+/// source firings.
+///
+/// `mu` must sustain the graph: if `mu` is below the iteration period the
+/// backlog grows without bound and so does the latency — callers should
+/// check [`crate::throughput::throughput`] first.
+///
+/// # Errors
+///
+/// Propagates consistency and simulation errors.
+///
+/// # Panics
+///
+/// Panics if `γ(source) ≠ γ(sink)`, if `mu <= 0`, or if `measure == 0` —
+/// these are caller contract violations rather than graph properties.
+pub fn periodic_source_latency(
+    g: &SdfGraph,
+    source: ActorId,
+    sink: ActorId,
+    mu: Time,
+    warmup: u64,
+    measure: u64,
+) -> Result<Time, SdfError> {
+    assert!(mu > 0, "the source period must be positive");
+    assert!(measure > 0, "measurement window must be non-empty");
+    let gamma = sdfr_graph::repetition::repetition_vector(g)?;
+    assert_eq!(
+        gamma.get(source),
+        gamma.get(sink),
+        "source and sink must have equal repetition entries"
+    );
+    let per_iter = gamma.get(source);
+    // Enough iterations to cover warmup + measure source firings.
+    let iterations = (warmup + measure).div_ceil(per_iter).max(1);
+    let opts = SimulationOptions::iterations(iterations)
+        .with_firings()
+        .with_periodic_release(source, mu);
+    let trace = simulate(g, &opts)?;
+    let firings = trace.firings.expect("recording was requested");
+    let sink_firings = &firings[sink.index()];
+    let total = (iterations * per_iter) as usize;
+    let lo = (warmup as usize).min(total.saturating_sub(1));
+    let hi = ((warmup + measure) as usize).min(total);
+    Ok((lo..hi)
+        .map(|n| sink_firings[n].1 - n as Time * mu)
+        .max()
+        .expect("window is non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_of_pipeline() {
+        let mut b = SdfGraph::builder("pipe");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        let z = b.actor("z", 4);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, z, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(iteration_makespan(&g).unwrap(), 9);
+    }
+
+    #[test]
+    fn io_latency_matches_critical_path() {
+        let mut b = SdfGraph::builder("pipe");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        let z = b.actor("z", 4);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, z, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(input_output_latency(&g, x, z).unwrap(), 9);
+        assert_eq!(input_output_latency(&g, y, z).unwrap(), 7);
+        assert_eq!(input_output_latency(&g, x, x).unwrap(), 2);
+    }
+
+    #[test]
+    fn makespan_with_parallelism() {
+        // Two independent branches joined at the sink: makespan is the
+        // slower branch plus the sink.
+        let mut b = SdfGraph::builder("fork");
+        let s = b.actor("s", 1);
+        let fast = b.actor("fast", 1);
+        let slow = b.actor("slow", 10);
+        let t = b.actor("t", 1);
+        b.channel(s, fast, 1, 1, 0).unwrap();
+        b.channel(s, slow, 1, 1, 0).unwrap();
+        b.channel(fast, t, 1, 1, 0).unwrap();
+        b.channel(slow, t, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(iteration_makespan(&g).unwrap(), 12);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut b = SdfGraph::builder("dead");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert!(iteration_makespan(&g).is_err());
+    }
+
+    /// A serialized two-stage pipeline driven by a periodic source.
+    fn periodic_pipeline() -> (SdfGraph, ActorId, ActorId) {
+        let mut b = SdfGraph::builder("pp");
+        let src = b.actor("src", 1);
+        let work = b.actor("work", 4);
+        let snk = b.actor("snk", 2);
+        b.channel(src, work, 1, 1, 0).unwrap();
+        b.channel(work, snk, 1, 1, 0).unwrap();
+        for a in [src, work, snk] {
+            b.channel(a, a, 1, 1, 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        (g, src, snk)
+    }
+
+    #[test]
+    fn slow_source_latency_is_pipeline_delay() {
+        // With a source slower than the bottleneck (period 10 > 4), the
+        // pipeline is always empty when a sample arrives: the latency is
+        // the pure processing delay 1 + 4 + 2 = 7.
+        let (g, src, snk) = periodic_pipeline();
+        let l = periodic_source_latency(&g, src, snk, 10, 4, 8).unwrap();
+        assert_eq!(l, 7);
+    }
+
+    #[test]
+    fn source_at_bottleneck_rate_still_bounded() {
+        // At exactly the bottleneck period (4), the latency settles at a
+        // finite steady-state value >= the pure delay.
+        let (g, src, snk) = periodic_pipeline();
+        let l = periodic_source_latency(&g, src, snk, 4, 8, 8).unwrap();
+        assert!(l >= 7);
+        // It must not keep growing: two windows agree.
+        let l2 = periodic_source_latency(&g, src, snk, 4, 16, 8).unwrap();
+        assert_eq!(l, l2);
+    }
+
+    #[test]
+    fn overloaded_source_latency_grows() {
+        // Below the bottleneck period the backlog builds up: a later
+        // window shows strictly larger latency.
+        let (g, src, snk) = periodic_pipeline();
+        let early = periodic_source_latency(&g, src, snk, 2, 4, 4).unwrap();
+        let late = periodic_source_latency(&g, src, snk, 2, 24, 4).unwrap();
+        assert!(late > early);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_period_rejected() {
+        let (g, src, snk) = periodic_pipeline();
+        let _ = periodic_source_latency(&g, src, snk, 0, 1, 1);
+    }
+}

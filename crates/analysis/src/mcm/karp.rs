@@ -1,0 +1,80 @@
+//! Karp's maximum cycle mean for unit-token graphs.
+//!
+//! Karp's algorithm computes the maximum cycle *mean* — weight per edge —
+//! in O(V·E). It applies directly to cycle-ratio instances in which every
+//! edge carries exactly one token, which is precisely the shape of the
+//! precedence graph of a max-plus matrix (every matrix entry spans one
+//! iteration). The general case is handled by [`super::howard`] and
+//! [`super::parametric`].
+
+use sdfr_maxplus::precedence::PrecedenceGraph;
+use sdfr_maxplus::Rational;
+
+use super::{CycleRatio, CycleRatioGraph};
+
+/// Computes the maximum cycle mean of a unit-token instance with Karp's
+/// algorithm, or `None` to signal that some edge has a token count other
+/// than 1 (use a general MCR algorithm instead).
+pub fn maximum_cycle_mean(g: &CycleRatioGraph) -> Option<CycleRatio> {
+    if g.edges().iter().any(|e| e.tokens != 1) {
+        return None;
+    }
+    let pg = PrecedenceGraph::from_edges(
+        g.num_nodes(),
+        g.edges().iter().map(|e| (e.from, e.to, e.weight)),
+    );
+    Some(match sdfr_maxplus::eigen::maximum_cycle_mean(&pg) {
+        None => CycleRatio::Acyclic,
+        Some(r) => CycleRatio::Finite(r),
+    })
+}
+
+/// Karp's maximum cycle mean of an arbitrary weighted digraph given as
+/// `(from, to, weight)` edges — a thin convenience over the max-plus crate.
+pub fn cycle_mean_of_edges(
+    n: usize,
+    edges: impl IntoIterator<Item = (usize, usize, i64)>,
+) -> Option<Rational> {
+    let pg = PrecedenceGraph::from_edges(n, edges);
+    sdfr_maxplus::eigen::maximum_cycle_mean(&pg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_unit_tokens() {
+        let mut g = CycleRatioGraph::new(2);
+        g.add_edge(0, 1, 1, 2);
+        g.add_edge(1, 0, 1, 1);
+        assert_eq!(maximum_cycle_mean(&g), None);
+    }
+
+    #[test]
+    fn unit_token_cycle() {
+        let mut g = CycleRatioGraph::new(2);
+        g.add_edge(0, 1, 3, 1);
+        g.add_edge(1, 0, 5, 1);
+        assert_eq!(
+            maximum_cycle_mean(&g),
+            Some(CycleRatio::Finite(Rational::new(4, 1)))
+        );
+    }
+
+    #[test]
+    fn acyclic_unit_graph() {
+        let mut g = CycleRatioGraph::new(2);
+        g.add_edge(0, 1, 3, 1);
+        assert_eq!(maximum_cycle_mean(&g), Some(CycleRatio::Acyclic));
+    }
+
+    #[test]
+    fn edge_list_helper() {
+        assert_eq!(
+            cycle_mean_of_edges(2, [(0, 1, 3), (1, 0, 5)]),
+            Some(Rational::new(4, 1))
+        );
+        assert_eq!(cycle_mean_of_edges(2, [(0, 1, 3)]), None);
+    }
+}

@@ -1,0 +1,341 @@
+//! Rate-optimal static periodic schedule synthesis for HSDF graphs.
+//!
+//! A *static periodic schedule* assigns every actor `a` a start time
+//! `s(a)`; firing `k` of `a` then starts at `s(a) + k·μ` for a common
+//! period `μ`. The schedule is admissible iff for every channel
+//! `(a, b, d)`:
+//!
+//! ```text
+//! s(b) + k·μ ≥ s(a) + (k − d)·μ + T(a)   ⟺   s(b) − s(a) ≥ T(a) − μ·d
+//! ```
+//!
+//! A feasible schedule exists iff `μ` is at least the maximum cycle ratio —
+//! so the minimal (rate-optimal) period equals the iteration period λ
+//! (Govindarajan & Gao, the paper's ref. 10). The start times are
+//! longest-path potentials of the constraint graph, computed with the
+//! max-plus Kleene star at an integer scale that clears λ's denominator.
+
+use sdfr_graph::{ActorId, SdfError, SdfGraph, Time};
+use sdfr_maxplus::{closure, Mp, MpMatrix, MpVector, Rational};
+
+use crate::throughput::hsdf_period;
+use crate::CycleRatio;
+
+/// A static periodic schedule of an HSDF graph.
+///
+/// Times are expressed on a timeline scaled by [`scale`](Self::scale) so
+/// that the (possibly fractional) period becomes the integer
+/// [`scaled_period`](Self::scaled_period): firing `k` of actor `a` starts
+/// at `(scaled_start(a) + k·scaled_period) / scale` real time units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticSchedule {
+    scale: i64,
+    scaled_period: i64,
+    starts: Vec<i64>,
+}
+
+impl StaticSchedule {
+    /// The integer scale applied to the timeline.
+    pub fn scale(&self) -> i64 {
+        self.scale
+    }
+
+    /// The period on the scaled timeline (`period() · scale()`).
+    pub fn scaled_period(&self) -> i64 {
+        self.scaled_period
+    }
+
+    /// The period in real time units.
+    pub fn period(&self) -> Rational {
+        Rational::new(self.scaled_period, self.scale)
+    }
+
+    /// The start offset of actor `a` on the scaled timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not an actor of the scheduled graph.
+    pub fn scaled_start(&self, a: ActorId) -> i64 {
+        self.starts[a.index()]
+    }
+
+    /// The start time of firing `k` of actor `a`, in real time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn start_time(&self, a: ActorId, k: u64) -> Rational {
+        Rational::new(
+            self.starts[a.index()] + k as i64 * self.scaled_period,
+            self.scale,
+        )
+    }
+
+    /// Checks admissibility against the graph: every channel constraint
+    /// `s(b) − s(a) ≥ scale·T(a) − scaled_period·d` holds.
+    pub fn is_admissible(&self, g: &SdfGraph) -> bool {
+        g.channels().all(|(_, c)| {
+            let lhs = self.starts[c.target().index()] - self.starts[c.source().index()];
+            let rhs = self.scale * g.actor(c.source()).execution_time()
+                - self.scaled_period * c.initial_tokens() as i64;
+            lhs >= rhs
+        })
+    }
+}
+
+/// Synthesizes the rate-optimal static periodic schedule of a homogeneous
+/// graph: the period is exactly the iteration period λ.
+///
+/// Returns `None` when the graph has no recurrent constraint (any period
+/// works; there is no finite rate-optimal one).
+///
+/// # Errors
+///
+/// - [`SdfError::NotHomogeneous`] for multirate graphs (convert first),
+/// - [`SdfError::Deadlock`] if the graph has a zero-token cycle.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_analysis::static_schedule::rate_optimal_schedule;
+/// use sdfr_graph::SdfGraph;
+/// use sdfr_maxplus::Rational;
+///
+/// let mut b = SdfGraph::builder("g");
+/// let x = b.actor("x", 2);
+/// let y = b.actor("y", 3);
+/// b.channel(x, y, 1, 1, 0)?;
+/// b.channel(y, x, 1, 1, 1)?;
+/// let g = b.build()?;
+/// let s = rate_optimal_schedule(&g)?.expect("cyclic");
+/// assert_eq!(s.period(), Rational::new(5, 1));
+/// assert!(s.is_admissible(&g));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn rate_optimal_schedule(g: &SdfGraph) -> Result<Option<StaticSchedule>, SdfError> {
+    match hsdf_period(g)? {
+        CycleRatio::Finite(lambda) => Ok(Some(schedule_for(g, lambda)?)),
+        CycleRatio::Acyclic => Ok(None),
+        CycleRatio::ZeroTokenCycle => Err(SdfError::Deadlock {
+            fired: 0,
+            needed: g.num_actors() as u64,
+        }),
+    }
+}
+
+/// Synthesizes a static periodic schedule with a caller-chosen period
+/// `mu ≥ λ` (slack periods leave room for jitter or slower resources).
+///
+/// # Errors
+///
+/// - [`SdfError::NotHomogeneous`] for multirate graphs,
+/// - [`SdfError::Deadlock`] if `mu` is below the iteration period (no
+///   admissible schedule exists) or the graph has a zero-token cycle.
+pub fn schedule_with_period(g: &SdfGraph, mu: Rational) -> Result<StaticSchedule, SdfError> {
+    match hsdf_period(g)? {
+        CycleRatio::Finite(lambda) if mu >= lambda => schedule_for(g, mu),
+        CycleRatio::Acyclic => schedule_for(g, mu),
+        _ => Err(SdfError::Deadlock {
+            fired: 0,
+            needed: g.num_actors() as u64,
+        }),
+    }
+}
+
+/// Longest-path potentials of the constraint graph at period `mu`.
+fn schedule_for(g: &SdfGraph, mu: Rational) -> Result<StaticSchedule, SdfError> {
+    let n = g.num_actors();
+    let scale = mu.denom();
+    let scaled_period = mu.numer();
+    // Constraint matrix M[b][a] = scale·T(a) − scaled_period·d, maximised
+    // over parallel channels.
+    let mut m = MpMatrix::neg_inf(n, n);
+    for (_, c) in g.channels() {
+        let w = scale * g.actor(c.source()).execution_time()
+            - scaled_period * c.initial_tokens() as i64;
+        let (i, j) = (c.target().index(), c.source().index());
+        if Mp::fin(w) > m.get(i, j) {
+            m.set(i, j, Mp::fin(w));
+        }
+    }
+    let star = closure::star(&m)
+        .expect("square by construction")
+        .closure()
+        .ok_or(SdfError::Deadlock {
+            fired: 0,
+            needed: n as u64,
+        })?;
+    // s = M* ⊗ 0: the least non-negative potentials satisfying all
+    // constraints.
+    let starts_vec = star
+        .apply(&MpVector::zeros(n))
+        .expect("dimensions agree");
+    let starts = starts_vec
+        .iter()
+        .map(|e| e.finite().expect("star of a finite seed is finite"))
+        .collect();
+    Ok(StaticSchedule {
+        scale,
+        scaled_period,
+        starts,
+    })
+}
+
+/// Convenience: the makespan-per-period utilization of a schedule — the
+/// fraction of the period each actor computes, summed (a load measure for
+/// single-resource feasibility checks).
+pub fn utilization(g: &SdfGraph, schedule: &StaticSchedule) -> Rational {
+    let total: Time = g.actors().map(|(_, a)| a.execution_time()).sum();
+    Rational::from(total) / schedule.period()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cycle() -> SdfGraph {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rate_optimal_matches_lambda() {
+        let g = two_cycle();
+        let s = rate_optimal_schedule(&g).unwrap().unwrap();
+        assert_eq!(s.period(), Rational::from(5));
+        assert!(s.is_admissible(&g));
+        // x starts at 0, y after x completes.
+        let x = g.actor_by_name("x").unwrap();
+        let y = g.actor_by_name("y").unwrap();
+        assert_eq!(s.start_time(x, 0), Rational::ZERO);
+        assert_eq!(s.start_time(y, 0), Rational::from(2));
+        assert_eq!(s.start_time(y, 2), Rational::from(12));
+        assert_eq!(s.scaled_start(y), 2 * s.scale());
+    }
+
+    #[test]
+    fn fractional_period_schedules() {
+        // Two tokens on the cycle: λ = 5/2; start times live on a ×2 grid.
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        b.channel(x, y, 1, 1, 1).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let s = rate_optimal_schedule(&g).unwrap().unwrap();
+        assert_eq!(s.period(), Rational::new(5, 2));
+        assert_eq!(s.scale(), 2);
+        assert!(s.is_admissible(&g));
+    }
+
+    #[test]
+    fn slack_period_accepted_tight_rejected() {
+        let g = two_cycle();
+        let s = schedule_with_period(&g, Rational::from(8)).unwrap();
+        assert_eq!(s.period(), Rational::from(8));
+        assert!(s.is_admissible(&g));
+        assert!(schedule_with_period(&g, Rational::from(4)).is_err());
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_rate_optimal_schedule_but_any_period_works() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 4);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(rate_optimal_schedule(&g).unwrap(), None);
+        let s = schedule_with_period(&g, Rational::ONE).unwrap();
+        assert!(s.is_admissible(&g));
+        // y still starts after x's execution time within the pattern.
+        let x = g.actor_by_name("x").unwrap();
+        let y = g.actor_by_name("y").unwrap();
+        assert!(s.scaled_start(y) - s.scaled_start(x) >= 4 * s.scale());
+    }
+
+    #[test]
+    fn multirate_rejected() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            rate_optimal_schedule(&g),
+            Err(SdfError::NotHomogeneous { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_token_cycle_is_deadlock() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            rate_optimal_schedule(&g),
+            Err(SdfError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_respects_converted_benchmarks() {
+        // The novel conversion of a multirate graph is HSDF: its
+        // rate-optimal schedule has the original period.
+        let mut b = SdfGraph::builder("updown");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 2);
+        b.channel(x, y, 2, 3, 0).unwrap();
+        b.channel(y, x, 3, 2, 6).unwrap();
+        let g = b.build().unwrap();
+        let conv = sdfr_core_convert(&g);
+        let s = rate_optimal_schedule(&conv).unwrap().unwrap();
+        assert!(s.is_admissible(&conv));
+        assert_eq!(
+            Some(s.period()),
+            crate::throughput::throughput(&g).unwrap().period()
+        );
+    }
+
+    /// Local re-implementation of the novel conversion path to avoid a
+    /// dev-dependency cycle (`sdfr-core` depends on this crate): the
+    /// matrix-to-HSDF structure for this small instance is exercised via
+    /// the symbolic matrix directly.
+    fn sdfr_core_convert(g: &SdfGraph) -> SdfGraph {
+        let sym = crate::symbolic::symbolic_iteration(g).unwrap();
+        let n = sym.num_tokens();
+        let mut b = SdfGraph::builder("hsdf");
+        // One actor per token pair with finite entry; mux/demux-free dense
+        // realization: actor m_{j,k} with a ring through every token.
+        let demux: Vec<_> = (0..n).map(|j| b.actor(format!("d{j}"), 0)).collect();
+        let mux: Vec<_> = (0..n).map(|k| b.actor(format!("u{k}"), 0)).collect();
+        for (k, &u) in mux.iter().enumerate() {
+            for (j, &d) in demux.iter().enumerate() {
+                if let sdfr_maxplus::Mp::Fin(t) = sym.matrix.get(k, j) {
+                    let m = b.actor(format!("m{j}_{k}"), t);
+                    b.channel(d, m, 1, 1, 0).unwrap();
+                    b.channel(m, u, 1, 1, 0).unwrap();
+                }
+            }
+        }
+        for (&u, &d) in mux.iter().zip(&demux) {
+            b.channel(u, d, 1, 1, 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn utilization_measure() {
+        let g = two_cycle();
+        let s = rate_optimal_schedule(&g).unwrap().unwrap();
+        assert_eq!(utilization(&g, &s), Rational::ONE); // 5 work / 5 period
+        let slack = schedule_with_period(&g, Rational::from(10)).unwrap();
+        assert_eq!(utilization(&g, &slack), Rational::new(1, 2));
+    }
+}

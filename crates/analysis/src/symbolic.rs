@@ -1,0 +1,396 @@
+//! Symbolic max-plus execution of one SDF graph iteration.
+//!
+//! This is Algorithm 1 (lines 1–11) of the paper: execute an arbitrary
+//! sequential schedule of one iteration, labelling every token with a
+//! *symbolic time stamp* — a max-plus vector `ḡ` over the `N` initial tokens
+//! meaning `t = max_i (t_i + g_i)`. When the iteration completes, the tokens
+//! are back in their initial positions and their stamps form the `N×N`
+//! max-plus matrix `A` of the graph: `x' = A ⊗ x`.
+//!
+//! Because SDF execution is determinate, the resulting matrix does not
+//! depend on the particular sequential schedule.
+
+use std::collections::VecDeque;
+
+use sdfr_graph::repetition::{repetition_vector, RepetitionVector};
+use sdfr_graph::schedule::sequential_schedule;
+use sdfr_graph::{ActorId, ChannelId, SdfError, SdfGraph};
+use sdfr_maxplus::{MpMatrix, MpVector};
+
+/// Identifies one initial token: the `position`-th token (FIFO order, 0 is
+/// the head) on `channel`.
+///
+/// The global token index used by [`SymbolicIteration`] enumerates channels
+/// in id order and positions within each channel in FIFO order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TokenRef {
+    /// The channel holding the token.
+    pub channel: ChannelId,
+    /// FIFO position among the channel's initial tokens (0 = oldest).
+    pub position: u64,
+}
+
+/// The result of symbolically executing one iteration of an SDF graph.
+#[derive(Debug, Clone)]
+pub struct SymbolicIteration {
+    /// The `N×N` max-plus matrix: row `k` holds the symbolic time stamp of
+    /// final token `k` in terms of the initial tokens.
+    pub matrix: MpMatrix,
+    /// Location of token `k` (identical before and after the iteration).
+    pub tokens: Vec<TokenRef>,
+    /// The repetition vector used for the iteration.
+    pub gamma: RepetitionVector,
+    /// Per-actor symbolic `(start, end)` stamps of every firing in the
+    /// iteration, indexed `[actor][firing]`; recorded when requested via
+    /// [`symbolic_iteration_with_stamps`].
+    pub firing_stamps: Option<Vec<Vec<(MpVector, MpVector)>>>,
+}
+
+impl SymbolicIteration {
+    /// The number of initial tokens `N` (the matrix dimension).
+    pub fn num_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// The global index of the token at `reference`, if it exists.
+    pub fn token_index(&self, reference: TokenRef) -> Option<usize> {
+        self.tokens.iter().position(|t| *t == reference)
+    }
+}
+
+/// Symbolically executes one iteration of `g` and returns its max-plus
+/// matrix (Algorithm 1, lines 1–11).
+///
+/// # Errors
+///
+/// - [`SdfError::Inconsistent`] if `g` has no repetition vector,
+/// - [`SdfError::Deadlock`] if no sequential schedule exists.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_analysis::symbolic::symbolic_iteration;
+/// use sdfr_graph::SdfGraph;
+/// use sdfr_maxplus::Rational;
+///
+/// // The example of the paper's Fig. 3: left actor fires twice (3 time
+/// // units each), right actor once (1 time unit), 4 initial tokens.
+/// let mut b = SdfGraph::builder("fig3");
+/// let l = b.actor("left", 3);
+/// let r = b.actor("right", 1);
+/// b.channel(l, r, 1, 2, 0)?;   // forward, no tokens
+/// b.channel(r, l, 2, 1, 2)?;   // tokens t1, t3
+/// b.channel(l, l, 1, 1, 1)?;   // self token t2-like
+/// b.channel(r, r, 1, 1, 1)?;   // self token t4-like
+/// let g = b.build()?;
+///
+/// let sym = symbolic_iteration(&g)?;
+/// assert_eq!(sym.num_tokens(), 4);
+/// assert!(sym.matrix.eigenvalue().is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn symbolic_iteration(g: &SdfGraph) -> Result<SymbolicIteration, SdfError> {
+    run(g, false)
+}
+
+/// Like [`symbolic_iteration`], additionally recording the symbolic
+/// `(start, end)` stamp of every firing.
+///
+/// The extra stamps cost `O(Σγ(a) · N)` memory; use only when the firing
+/// stamps are needed (e.g. to wire an observed output actor into the novel
+/// HSDF conversion).
+///
+/// # Errors
+///
+/// See [`symbolic_iteration`].
+pub fn symbolic_iteration_with_stamps(g: &SdfGraph) -> Result<SymbolicIteration, SdfError> {
+    run(g, true)
+}
+
+fn run(g: &SdfGraph, record_stamps: bool) -> Result<SymbolicIteration, SdfError> {
+    let gamma = repetition_vector(g)?;
+    let schedule = sequential_schedule(g, &gamma)?;
+
+    // Assign global indices to initial tokens: channels in id order, FIFO
+    // position within a channel (head first).
+    let mut tokens = Vec::new();
+    for (cid, ch) in g.channels() {
+        for position in 0..ch.initial_tokens() {
+            tokens.push(TokenRef {
+                channel: cid,
+                position,
+            });
+        }
+    }
+    let n = tokens.len();
+
+    // FIFO queues of symbolic stamps per channel, run-length encoded: a
+    // producer firing pushes `p` identical stamps, which one (stamp, count)
+    // run represents. This keeps the iteration cost proportional to the
+    // number of firings rather than the number of tokens moved (mp3-class
+    // graphs move millions of tokens per iteration).
+    let mut queues: Vec<VecDeque<(MpVector, u64)>> = g
+        .channels()
+        .map(|_| VecDeque::new())
+        .collect();
+    for (idx, t) in tokens.iter().enumerate() {
+        queues[t.channel.index()].push_back((MpVector::unit(n, idx), 1));
+    }
+
+    let mut stamps: Option<Vec<Vec<(MpVector, MpVector)>>> =
+        record_stamps.then(|| vec![Vec::new(); g.num_actors()]);
+
+    for &actor in schedule.firings() {
+        fire_symbolically(g, actor, n, &mut queues, stamps.as_mut());
+    }
+
+    // The iteration returns every queue to its initial length; read the
+    // final stamps in global token order by walking the runs.
+    let mut rows: Vec<MpVector> = Vec::with_capacity(n);
+    for t in &tokens {
+        let q = &queues[t.channel.index()];
+        debug_assert_eq!(
+            q.iter().map(|(_, c)| c).sum::<u64>(),
+            g.channel(t.channel).initial_tokens(),
+            "iteration must restore the token distribution"
+        );
+        let mut pos = t.position;
+        let mut found = None;
+        for (stamp, count) in q {
+            if pos < *count {
+                found = Some(stamp.clone());
+                break;
+            }
+            pos -= count;
+        }
+        rows.push(found.expect("token position within restored queue"));
+    }
+    let matrix = MpMatrix::from_row_vectors(rows).expect("rows share length N");
+
+    Ok(SymbolicIteration {
+        matrix,
+        tokens,
+        gamma,
+        firing_stamps: stamps,
+    })
+}
+
+/// Fires `actor` once, symbolically: pops `c` stamps from every input FIFO,
+/// joins them into the start stamp, shifts by the execution time, and pushes
+/// the end stamp `p` times onto every output FIFO.
+fn fire_symbolically(
+    g: &SdfGraph,
+    actor: ActorId,
+    n: usize,
+    queues: &mut [VecDeque<(MpVector, u64)>],
+    stamps: Option<&mut Vec<Vec<(MpVector, MpVector)>>>,
+) {
+    let mut start = MpVector::neg_inf(n);
+    for &cid in g.incoming(actor) {
+        let ch = g.channel(cid);
+        let mut need = ch.consumption();
+        while need > 0 {
+            let (stamp, count) = queues[cid.index()]
+                .front_mut()
+                .expect("sequential schedule guarantees token availability");
+            start = start.join(stamp).expect("stamps share length N");
+            if *count > need {
+                *count -= need;
+                need = 0;
+            } else {
+                need -= *count;
+                queues[cid.index()].pop_front();
+            }
+        }
+    }
+    let end = start.shift(g.actor(actor).execution_time());
+    for &cid in g.outgoing(actor) {
+        let ch = g.channel(cid);
+        queues[cid.index()].push_back((end.clone(), ch.production()));
+    }
+    if let Some(stamps) = stamps {
+        stamps[actor.index()].push((start, end));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfr_maxplus::{Mp, Rational};
+
+    /// The running example of the paper's Fig. 3: two actors, the left one
+    /// (execution time 3) fires twice, the right one (time 1) fires once.
+    fn fig3() -> SdfGraph {
+        let mut b = SdfGraph::builder("fig3");
+        let l = b.actor("left", 3);
+        let r = b.actor("right", 1);
+        b.channel(l, r, 1, 2, 0).unwrap();
+        b.channel(r, l, 2, 1, 2).unwrap();
+        b.channel(l, l, 1, 1, 1).unwrap();
+        b.channel(r, r, 1, 1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn token_enumeration_is_stable() {
+        let g = fig3();
+        let sym = symbolic_iteration(&g).unwrap();
+        assert_eq!(sym.num_tokens(), 4);
+        // Channel 1 holds tokens 0 and 1; channels 2 and 3 one each.
+        assert_eq!(sym.tokens[0].channel.index(), 1);
+        assert_eq!(sym.tokens[0].position, 0);
+        assert_eq!(sym.tokens[1].position, 1);
+        assert_eq!(sym.tokens[2].channel.index(), 2);
+        assert_eq!(sym.tokens[3].channel.index(), 3);
+        assert_eq!(
+            sym.token_index(TokenRef {
+                channel: sym.tokens[1].channel,
+                position: 1
+            }),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn matrix_is_square_of_token_count() {
+        let g = fig3();
+        let sym = symbolic_iteration(&g).unwrap();
+        assert_eq!(sym.matrix.num_rows(), 4);
+        assert_eq!(sym.matrix.num_cols(), 4);
+    }
+
+    #[test]
+    fn eigenvalue_matches_simulated_period() {
+        let g = fig3();
+        let sym = symbolic_iteration(&g).unwrap();
+        let lambda = sym.matrix.eigenvalue().unwrap();
+        // Simulate many iterations; the long-run completion-time slope must
+        // equal the eigenvalue.
+        let trace = sdfr_graph::execution::simulate_iterations(&g, 40).unwrap();
+        let t0 = trace.iteration_completions[19];
+        let t1 = trace.iteration_completions[39];
+        assert_eq!(Rational::new(t1 - t0, 20), lambda);
+    }
+
+    #[test]
+    fn simple_cycle_matrix_entries() {
+        // x -> y -> x with one token on y->x: after one iteration the token's
+        // stamp is t + T(x) + T(y).
+        let mut b = SdfGraph::builder("c");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let sym = symbolic_iteration(&g).unwrap();
+        assert_eq!(sym.matrix.get(0, 0), Mp::fin(5));
+    }
+
+    #[test]
+    fn source_chain_token_gets_neg_inf_row() {
+        // A source actor feeds a cycle-free token position: its stamp does
+        // not depend on any initial token of the cycle.
+        let mut b = SdfGraph::builder("src");
+        let s = b.actor("s", 7);
+        let t = b.actor("t", 1);
+        b.channel(s, t, 1, 1, 0).unwrap();
+        b.channel(t, t, 1, 1, 1).unwrap(); // self-loop token 0
+        let g = b.build().unwrap();
+        let sym = symbolic_iteration(&g).unwrap();
+        assert_eq!(sym.num_tokens(), 1);
+        // Token 0 is consumed by t together with the source token; the
+        // source contributes no dependency, so the row is [T(t) + 0] from
+        // the self-loop only.
+        assert_eq!(sym.matrix.get(0, 0), Mp::fin(1));
+    }
+
+    #[test]
+    fn tokenless_graph_yields_empty_matrix() {
+        let mut b = SdfGraph::builder("acyclic");
+        let s = b.actor("s", 1);
+        let t = b.actor("t", 1);
+        b.channel(s, t, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        let sym = symbolic_iteration(&g).unwrap();
+        assert_eq!(sym.num_tokens(), 0);
+        assert_eq!(sym.matrix.num_rows(), 0);
+        assert_eq!(sym.matrix.eigenvalue(), None);
+    }
+
+    #[test]
+    fn firing_stamps_recorded_on_request() {
+        let g = fig3();
+        let sym = symbolic_iteration(&g).unwrap();
+        assert!(sym.firing_stamps.is_none());
+        let sym = symbolic_iteration_with_stamps(&g).unwrap();
+        let stamps = sym.firing_stamps.as_ref().unwrap();
+        let l = g.actor_by_name("left").unwrap();
+        let r = g.actor_by_name("right").unwrap();
+        assert_eq!(stamps[l.index()].len(), 2);
+        assert_eq!(stamps[r.index()].len(), 1);
+        // Every end stamp is the start stamp shifted by the execution time.
+        for (aid, per_actor) in stamps.iter().enumerate() {
+            let t = g
+                .actor(sdfr_graph::ActorId::from_index(aid))
+                .execution_time();
+            for (start, end) in per_actor {
+                assert_eq!(&start.shift(t), end);
+            }
+        }
+    }
+
+    #[test]
+    fn multirate_fifo_order_respected() {
+        // Producer emits 2 tokens per firing consumed one at a time; the
+        // stamps seen by consecutive consumer firings must be FIFO-ordered.
+        let mut b = SdfGraph::builder("fifo");
+        let p = b.actor("p", 1);
+        let c = b.actor("c", 1);
+        b.channel(p, c, 2, 1, 0).unwrap();
+        b.channel(c, p, 1, 2, 4).unwrap();
+        let g = b.build().unwrap();
+        let sym = symbolic_iteration(&g).unwrap();
+        assert_eq!(sym.num_tokens(), 4);
+        let lambda = sym.matrix.eigenvalue().unwrap();
+        // One iteration: p fires once, c twice; cross-check via simulation.
+        let trace = sdfr_graph::execution::simulate_iterations(&g, 30).unwrap();
+        let t0 = trace.iteration_completions[9];
+        let t1 = trace.iteration_completions[29];
+        assert_eq!(Rational::new(t1 - t0, 20), lambda);
+    }
+
+    #[test]
+    fn deadlocked_graph_errors() {
+        let mut b = SdfGraph::builder("dead");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            symbolic_iteration(&g),
+            Err(SdfError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn matrix_independent_of_schedule_determinacy() {
+        // Build a diamond where several schedules exist; the matrix from our
+        // greedy schedule must equal the matrix from simulating the graph's
+        // recurrence (checked via eigenvalue and one application).
+        let mut b = SdfGraph::builder("diamond");
+        let s = b.actor("s", 1);
+        let u = b.actor("u", 2);
+        let v = b.actor("v", 3);
+        let t = b.actor("t", 1);
+        b.channel(s, u, 1, 1, 0).unwrap();
+        b.channel(s, v, 1, 1, 0).unwrap();
+        b.channel(u, t, 1, 1, 0).unwrap();
+        b.channel(v, t, 1, 1, 0).unwrap();
+        b.channel(t, s, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let sym = symbolic_iteration(&g).unwrap();
+        // Critical path s -> v -> t: 1 + 3 + 1 = 5.
+        assert_eq!(sym.matrix.get(0, 0), Mp::fin(5));
+    }
+}

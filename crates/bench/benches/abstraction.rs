@@ -1,0 +1,58 @@
+//! The abstraction pay-off: analysing the abstract graph instead of the
+//! full regular graph (the paper's motivation for the technique), plus the
+//! redundant-edge pruning ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdfr_analysis::throughput::throughput;
+use sdfr_benchmarks::regular::Figure1;
+use sdfr_core::auto::auto_abstraction;
+use sdfr_core::{abstract_graph, abstraction::abstract_graph_unpruned};
+use std::hint::black_box;
+
+fn abstraction_payoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abstraction");
+    for &n in &[32u64, 128, 512] {
+        let f = Figure1::new(n);
+        let abs = auto_abstraction(&f.graph).expect("regular family");
+        let small = abstract_graph(&f.graph, &abs).expect("valid abstraction");
+
+        group.bench_with_input(
+            BenchmarkId::new("analyse-original", n),
+            &f.graph,
+            |b, g| b.iter(|| throughput(black_box(g)).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("analyse-abstract", n), &small, |b, g| {
+            b.iter(|| throughput(black_box(g)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("derive-abstraction", n),
+            &f.graph,
+            |b, g| {
+                b.iter(|| {
+                    let abs = auto_abstraction(black_box(g)).unwrap();
+                    abstract_graph(g, &abs).unwrap()
+                })
+            },
+        );
+        // Pruning ablation: Def. 4 produces one abstract edge per original
+        // edge; pruning collapses them to at most one per actor pair.
+        group.bench_with_input(
+            BenchmarkId::new("analyse-abstract-unpruned", n),
+            &(&f.graph, &abs),
+            |b, (g, abs)| {
+                let unpruned = abstract_graph_unpruned(g, abs).unwrap();
+                b.iter(|| throughput(black_box(&unpruned)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = abstraction_payoff);
+criterion_main!(benches);

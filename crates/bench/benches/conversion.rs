@@ -1,0 +1,41 @@
+//! Conversion run-times over the Table-1 benchmark suite.
+//!
+//! Regenerates the paper's Sec. 7 run-time claim ("the run-time of the
+//! algorithms is a few milliseconds") for both the traditional and the
+//! novel conversion, and the elision ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn conversions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conversion");
+    for case in sdfr_benchmarks::table1::all() {
+        group.bench_with_input(
+            BenchmarkId::new("traditional", case.name),
+            &case.graph,
+            |b, g| b.iter(|| sdfr_core::traditional::convert(black_box(g)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("novel", case.name),
+            &case.graph,
+            |b, g| b.iter(|| sdfr_core::novel::convert(black_box(g)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("novel-no-elision", case.name),
+            &case.graph,
+            |b, g| {
+                b.iter(|| sdfr_core::novel::convert_without_elision(black_box(g)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = conversions);
+criterion_main!(benches);

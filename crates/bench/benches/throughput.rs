@@ -1,0 +1,49 @@
+//! Throughput-analysis routes compared: spectral (eigenvalue), state-space
+//! (max-plus recurrence periodicity), and event-driven simulation, over the
+//! benchmark graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdfr_analysis::throughput;
+use std::hint::black_box;
+
+fn throughput_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    // The two largest and two mid-size benchmark graphs.
+    for case in sdfr_benchmarks::table1::all() {
+        if !matches!(
+            case.name,
+            "sample rate conv." | "satellite" | "modem" | "mp3 playback"
+        ) {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("spectral", case.name),
+            &case.graph,
+            |b, g| b.iter(|| throughput::throughput(black_box(g)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("state-space", case.name),
+            &case.graph,
+            |b, g| {
+                b.iter(|| throughput::throughput_state_space(black_box(g), 100_000).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simulated-20-iters", case.name),
+            &case.graph,
+            |b, g| {
+                b.iter(|| throughput::estimate_period_simulated(black_box(g), 10, 10).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = throughput_routes);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Reproduces the Sec. 4.1 analysis: the Fig. 1(a) regular-graph family,
+//! comparing the exact iteration period `5n − 7` against the conservative
+//! abstraction estimate `5n`, with the relative error vanishing in `n`.
+//!
+//! Usage: `cargo run --release -p sdfr-bench --bin abstraction_sweep`
+
+fn main() {
+    let ns = [5u64, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512];
+    let rows = sdfr_bench::abstraction_sweep(&ns);
+
+    let header = [
+        "n",
+        "actors",
+        "abstract",
+        "period",
+        "paper 5n-7",
+        "bound",
+        "paper 5n",
+        "rel. error",
+        "Prop.1 check",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.original_actors.to_string(),
+                r.abstract_actors.to_string(),
+                r.exact_period.to_string(),
+                r.paper_exact.to_string(),
+                r.bound.to_string(),
+                r.paper_bound.to_string(),
+                format!("{:.4}", r.relative_error),
+                if r.verified { "ok" } else { "FAILED" }.to_string(),
+            ]
+        })
+        .collect();
+    println!("Sec. 4.1: conservative abstraction of the Fig. 1(a) family\n");
+    print!("{}", sdfr_bench::render_table(&header, &body));
+    println!(
+        "\nThe bound is conservative everywhere (period <= bound) and the\n\
+         relative error decreases towards 0 as n grows, as derived in the paper."
+    );
+}

@@ -1,0 +1,43 @@
+//! Reproduces Figure 6 of the paper: the Table-1 data as a log-scale bar
+//! chart (rendered in ASCII) plus a CSV suitable for external plotting.
+//!
+//! Usage: `cargo run --release -p sdfr-bench --bin fig6 [-- --csv]`
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let rows = sdfr_bench::table1_rows(false);
+
+    if csv {
+        println!("test case,traditional,new,paper traditional,paper new");
+        for r in &rows {
+            println!(
+                "{},{},{},{},{}",
+                r.name, r.traditional, r.new, r.paper_traditional, r.paper_new
+            );
+        }
+        return;
+    }
+
+    println!("Figure 6: number of actors per conversion (log scale)\n");
+    let max = rows
+        .iter()
+        .map(|r| r.traditional.max(r.new))
+        .max()
+        .unwrap_or(1) as f64;
+    let cols = 52.0;
+    let bar = |v: usize| -> String {
+        // Log-scale bar: 1 actor = 0 columns, `max` = full width.
+        let len = if v <= 1 {
+            0
+        } else {
+            ((v as f64).ln() / max.ln() * cols).round() as usize
+        };
+        "#".repeat(len.max(1))
+    };
+    for r in &rows {
+        println!("{:<24} traditional {:>6} {}", r.name, r.traditional, bar(r.traditional));
+        println!("{:<24} new         {:>6} {}", "", r.new, bar(r.new));
+        println!();
+    }
+    println!("(run with --csv for machine-readable output)");
+}

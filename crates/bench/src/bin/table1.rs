@@ -1,0 +1,56 @@
+//! Reproduces Table 1 of the paper: traditional vs. novel HSDF conversion
+//! sizes over the benchmark suite.
+//!
+//! Usage: `cargo run --release -p sdfr-bench --bin table1 [-- --verify]`
+//!
+//! With `--verify`, additionally checks that both conversions preserve the
+//! iteration period of the original graph (slow for the largest cases, but
+//! still seconds).
+
+fn main() {
+    let verify = std::env::args().any(|a| a == "--verify");
+    let rows = sdfr_bench::table1_rows(verify);
+
+    let mut header = vec![
+        "test case",
+        "traditional",
+        "(paper)",
+        "new",
+        "(paper)",
+        "ratio",
+        "(paper)",
+        "N",
+    ];
+    if verify {
+        header.push("periods equal");
+    }
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![
+                r.name.to_string(),
+                r.traditional.to_string(),
+                r.paper_traditional.to_string(),
+                r.new.to_string(),
+                r.paper_new.to_string(),
+                format!("{:.2}", r.ratio),
+                format!("{:.2}", r.paper_ratio),
+                r.tokens.to_string(),
+            ];
+            if verify {
+                row.push(match r.periods_equal {
+                    Some(true) => "yes".to_string(),
+                    Some(false) => "NO".to_string(),
+                    None => "-".to_string(),
+                });
+            }
+            row
+        })
+        .collect();
+    println!("Table 1: HSDF transformations compared (ours vs. paper)\n");
+    print!("{}", sdfr_bench::render_table(&header, &body));
+    if verify && rows.iter().any(|r| r.periods_equal == Some(false)) {
+        eprintln!("\nERROR: a conversion changed the iteration period");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,216 @@
+//! The paper's parametric regular graphs: the Fig. 1(a) family and the
+//! Fig. 5 NoC prefetch model.
+
+use sdfr_graph::{SdfError, SdfGraph};
+use sdfr_maxplus::Rational;
+
+/// The regular HSDF graph of the paper's Fig. 1(a), generalized to `n`
+/// copies of the `A` actor (and `n − 2` copies of `B`), together with the
+/// closed-form performance numbers of Sec. 4.1.
+///
+/// Structure (all rates 1):
+///
+/// - chain `A1 → A2 → … → An` with a wrap-around edge `An → A1` carrying
+///   one token,
+/// - chain `B1 → … → B(n−2)` (no wrap-around),
+/// - cross edges `Ai → Bi`,
+/// - feedback `Bi → A(i+2)`.
+///
+/// Execution times: `A1, A2 = 2`, `A(n−1), An = 3`, the middle `A`s 5, all
+/// `B`s 4 — matching the paper's instance at `n = 6`, where one execution
+/// takes 23 time units.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The graph.
+    pub graph: SdfGraph,
+    /// The number of `A` copies.
+    pub n: u64,
+}
+
+impl Figure1 {
+    /// Builds the family member with `n` copies of `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 5` (the closed forms of Sec. 4.1 need the full
+    /// 2/5/3 time pattern).
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 5, "the Fig. 1 family is defined for n >= 5");
+        let mut b = SdfGraph::builder(format!("figure1(n={n})"));
+        let time_a = |i: u64| -> i64 {
+            if i <= 1 {
+                2
+            } else if i >= n - 2 {
+                3
+            } else {
+                5
+            }
+        };
+        let aa: Vec<_> = (0..n)
+            .map(|i| b.actor(format!("A{}", i + 1), time_a(i)))
+            .collect();
+        let bb: Vec<_> = (0..n - 2)
+            .map(|i| b.actor(format!("B{}", i + 1), 4))
+            .collect();
+        for i in 0..(n - 1) as usize {
+            b.channel(aa[i], aa[i + 1], 1, 1, 0).expect("valid");
+        }
+        b.channel(aa[(n - 1) as usize], aa[0], 1, 1, 1)
+            .expect("valid");
+        for i in 0..(n - 3) as usize {
+            b.channel(bb[i], bb[i + 1], 1, 1, 0).expect("valid");
+        }
+        for i in 0..(n - 2) as usize {
+            b.channel(aa[i], bb[i], 1, 1, 0).expect("valid");
+            b.channel(bb[i], aa[i + 2], 1, 1, 0).expect("valid");
+        }
+        Figure1 {
+            graph: b.build().expect("construction is valid"),
+            n,
+        }
+    }
+
+    /// The exact iteration period, `5n − 7` (Sec. 4.1: one execution of the
+    /// `n = 6` instance takes 23 time units).
+    pub fn exact_period(&self) -> Rational {
+        Rational::from(5 * self.n as i64 - 7)
+    }
+
+    /// The conservative period estimate from the abstract graph, `5n`
+    /// (Sec. 4.1: the abstraction estimates the throughput as `1/(5n)`).
+    pub fn abstract_period_estimate(&self) -> Rational {
+        Rational::from(5 * self.n as i64)
+    }
+
+    /// The relative error of the conservative estimate,
+    /// `(5n − (5n−7)) / (5n−7)` — vanishing as `n` grows.
+    pub fn relative_error(&self) -> Rational {
+        (self.abstract_period_estimate() - self.exact_period()) / self.exact_period()
+    }
+}
+
+/// The remote-memory-access model of the paper's Fig. 5 (Sec. 7): a
+/// block-based computation pipeline whose data is prefetched over a
+/// network-on-chip, with `blocks` computations per video frame (1584 in the
+/// paper's case study).
+///
+/// Five per-block stages, each a group of `blocks` homogeneous actors:
+/// request generation `req_i` (2), communication assists `ca_in_i` and
+/// `ca_out_i` (1 each) on either side of the NoC, the remote memory `mem_i` (4), and
+/// the computation `cmp_i` (10). Chains inside each group order the blocks;
+/// the computation chain wraps with one token (frame-by-frame operation)
+/// and requests run two blocks ahead (`cmp_i → req_{i+2}`, wrap with two
+/// tokens).
+///
+/// The critical cycle is the computation chain, so the iteration period is
+/// exactly `10 · blocks` — and the abstraction (group per stage) yields the
+/// *same* throughput, the headline of the paper's case study.
+pub fn prefetch_model(blocks: u64) -> SdfGraph {
+    assert!(blocks >= 3, "the prefetch model needs at least 3 blocks");
+    let n = blocks as usize;
+    let mut b = SdfGraph::builder(format!("prefetch(blocks={blocks})"));
+    let stage_names = ["req", "ca_in", "mem", "ca_out", "cmp"];
+    let stage_times = [2, 1, 4, 1, 10];
+    let mut stage_ids = Vec::new();
+    for (name, time) in stage_names.iter().zip(stage_times) {
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.actor(format!("{name}{}", i + 1), time))
+            .collect();
+        stage_ids.push(ids);
+    }
+    // Pipelines block-wise through the five stages.
+    for stages in stage_ids.windows(2) {
+        for (&src, &dst) in stages[0].iter().zip(&stages[1]) {
+            b.channel(src, dst, 1, 1, 0).expect("valid");
+        }
+    }
+    // In-group chains: computations strictly ordered with a frame wrap;
+    // requests run two blocks ahead of the computations.
+    let (req, cmp) = (&stage_ids[0], &stage_ids[4]);
+    for i in 0..n - 1 {
+        b.channel(cmp[i], cmp[i + 1], 1, 1, 0).expect("valid");
+    }
+    b.channel(cmp[n - 1], cmp[0], 1, 1, 1).expect("valid");
+    for i in 0..n - 2 {
+        b.channel(cmp[i], req[i + 2], 1, 1, 0).expect("valid");
+    }
+    b.channel(cmp[n - 2], req[0], 1, 1, 2).expect("valid");
+    b.channel(cmp[n - 1], req[1], 1, 1, 2).expect("valid");
+    b.build().expect("construction is valid")
+}
+
+/// The exact iteration period of [`prefetch_model`]: `10 · blocks`.
+pub fn prefetch_exact_period(blocks: u64) -> Rational {
+    Rational::from(10 * blocks as i64)
+}
+
+/// Convenience: checks consistency and liveness of a regular instance.
+///
+/// # Errors
+///
+/// Propagates graph analysis errors.
+pub fn validate(g: &SdfGraph) -> Result<(), SdfError> {
+    sdfr_graph::liveness::check_live(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfr_analysis::throughput::throughput;
+
+    #[test]
+    fn figure1_n6_matches_paper_numbers() {
+        let f = Figure1::new(6);
+        assert_eq!(f.graph.num_actors(), 10); // 6 A's + 4 B's
+        let t = throughput(&f.graph).unwrap();
+        assert_eq!(t.period(), Some(Rational::from(23)));
+        assert_eq!(f.exact_period(), Rational::from(23));
+        assert_eq!(f.abstract_period_estimate(), Rational::from(30));
+    }
+
+    #[test]
+    fn figure1_period_formula_holds_for_family() {
+        for n in [5u64, 6, 7, 10, 16, 33] {
+            let f = Figure1::new(n);
+            let t = throughput(&f.graph).unwrap();
+            assert_eq!(t.period(), Some(f.exact_period()), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn figure1_relative_error_decreases() {
+        let e6 = Figure1::new(6).relative_error();
+        let e60 = Figure1::new(60).relative_error();
+        assert!(e60 < e6);
+        assert_eq!(e6, Rational::new(7, 23));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 5")]
+    fn figure1_small_n_rejected()
+    {
+        let _ = Figure1::new(4);
+    }
+
+    #[test]
+    fn prefetch_period_is_exact() {
+        for blocks in [3u64, 8, 24] {
+            let g = prefetch_model(blocks);
+            validate(&g).unwrap();
+            let t = throughput(&g).unwrap();
+            assert_eq!(
+                t.period(),
+                Some(prefetch_exact_period(blocks)),
+                "blocks = {blocks}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_structure() {
+        let g = prefetch_model(5);
+        assert_eq!(g.num_actors(), 25);
+        assert_eq!(g.total_initial_tokens(), 1 + 2 + 2);
+        assert!(g.is_homogeneous());
+    }
+}

@@ -1,0 +1,668 @@
+//! The `sdfr` command-line tool.
+//!
+//! Exposes the analysis and reduction stack over files in either the
+//! SDF3-compatible XML subset or the compact text format (auto-detected):
+//!
+//! ```text
+//! sdfr info      <file>                  structure, γ, liveness
+//! sdfr analyze   <file>                  throughput, latency, bottleneck
+//! sdfr convert   <file> [--traditional | --novel | --auto] [-o <out.xml>]
+//! sdfr abstract  <file> [-o <out.xml>]   auto abstraction + verification
+//! sdfr simulate  <file> [--iterations K] self-timed execution summary
+//! sdfr buffers   <file> [--iterations K] minimal throughput-preserving capacities
+//! sdfr pareto    <file> [--iterations K] throughput/buffer trade-off curve
+//! sdfr latency   <file> --source A --sink B --period MU
+//! sdfr schedule  <file>                  rate-optimal static periodic schedule
+//! sdfr csdf      <file> [-o <out.xml>]   cyclo-static analysis + HSDF reduction
+//! sdfr dot       <file>                  Graphviz export
+//! ```
+//!
+//! The command logic lives in this library (see [`run`]) so it can be
+//! tested without spawning processes; `main.rs` is a thin wrapper.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Write as _;
+
+use sdfr_analysis::bottleneck::bottleneck;
+use sdfr_analysis::buffer::{
+    minimize_capacities, self_timed_buffer_bounds, throughput_buffer_tradeoff,
+};
+use sdfr_analysis::latency::{iteration_makespan, periodic_source_latency};
+use sdfr_analysis::static_schedule::rate_optimal_schedule;
+use sdfr_analysis::throughput::throughput;
+use sdfr_core::auto::auto_abstraction;
+use sdfr_core::conservativity::{conservative_period_bound, verify_abstraction};
+use sdfr_core::recommend::{predict_sizes, ConversionChoice};
+use sdfr_core::{abstract_graph, novel, traditional};
+use sdfr_graph::execution::simulate_iterations;
+use sdfr_graph::liveness::is_live;
+use sdfr_graph::repetition::repetition_vector;
+use sdfr_graph::{dot, SdfGraph};
+
+/// Errors surfaced to the user with exit code 1.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<sdfr_graph::SdfError> for CliError {
+    fn from(e: sdfr_graph::SdfError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<sdfr_core::CoreError> for CliError {
+    fn from(e: sdfr_core::CoreError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<sdfr_io::IoError> for CliError {
+    fn from(e: sdfr_io::IoError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Usage text printed for `--help` or argument errors.
+pub const USAGE: &str = "\
+sdfr — synchronous dataflow graph analysis and reduction
+
+USAGE:
+  sdfr <command> <file> [options]
+
+COMMANDS:
+  info      structure, repetition vector, liveness
+  analyze   throughput, latency and bottleneck analysis
+  convert   SDF -> HSDF (--traditional | --novel | --auto (default))
+  abstract  derive + verify a conservative abstraction
+  simulate  self-timed execution (--iterations K, default 8)
+  buffers   minimal throughput-preserving channel capacities
+  pareto    throughput/buffer trade-off curve
+  latency   steady-state latency under a periodic source
+            (--source A --sink B --period MU)
+  schedule  rate-optimal static periodic schedule (HSDF input)
+  csdf      cyclo-static file: consistency, throughput, HSDF reduction
+  dot       Graphviz export
+
+OPTIONS:
+  -o <file>        write the resulting graph as SDF3-style XML
+  --iterations K   simulation horizon
+  --traditional / --novel / --auto   conversion selection
+
+FILES: `.xml` files are parsed as the SDF3 subset, anything else as the
+text format (a leading '<' also selects XML).
+";
+
+/// Parses a graph from a file, auto-detecting the format.
+///
+/// # Errors
+///
+/// I/O and parse errors, stringified for the user.
+pub fn load_graph(path: &str) -> Result<SdfGraph, CliError> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let looks_xml = path.ends_with(".xml") || content.trim_start().starts_with('<');
+    let g = if looks_xml {
+        sdfr_io::xml::from_xml(&content)?
+    } else {
+        sdfr_io::text::from_text(&content)?
+    };
+    Ok(g)
+}
+
+/// Runs one CLI invocation; `args` excludes the program name. Writes the
+/// report into `out` and returns the process exit code.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unusable arguments, unreadable files and
+/// analysis failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut out = String::new();
+    let Some(command) = args.first() else {
+        return Err(CliError(USAGE.to_string()));
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        return Ok(USAGE.to_string());
+    }
+    let Some(path) = args.get(1) else {
+        return Err(CliError(format!("{command}: missing <file>\n\n{USAGE}")));
+    };
+    let opts = &args[2..];
+    if command == "csdf" {
+        return cmd_csdf(path, opts);
+    }
+    let g = load_graph(path)?;
+
+    match command.as_str() {
+        "info" => cmd_info(&g, &mut out)?,
+        "analyze" => cmd_analyze(&g, &mut out)?,
+        "convert" => cmd_convert(&g, opts, &mut out)?,
+        "abstract" => cmd_abstract(&g, opts, &mut out)?,
+        "simulate" => cmd_simulate(&g, opts, &mut out)?,
+        "buffers" => cmd_buffers(&g, opts, &mut out)?,
+        "pareto" => cmd_pareto(&g, opts, &mut out)?,
+        "latency" => cmd_latency(&g, opts, &mut out)?,
+        "schedule" => cmd_schedule(&g, &mut out)?,
+        "dot" => {
+            out.push_str(&dot::to_dot(&g));
+        }
+        other => return Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+    Ok(out)
+}
+
+fn cmd_info(g: &SdfGraph, out: &mut String) -> Result<(), CliError> {
+    let _ = writeln!(out, "{g}");
+    match repetition_vector(g) {
+        Ok(gamma) => {
+            let _ = writeln!(out, "consistent: yes");
+            let _ = writeln!(out, "iteration length (Σγ): {}", gamma.iteration_length());
+            for (a, count) in gamma.iter() {
+                let _ = writeln!(out, "  γ({}) = {}", g.actor(a).name(), count);
+            }
+            let _ = writeln!(out, "homogeneous: {}", g.is_homogeneous());
+            let _ = writeln!(out, "live: {}", is_live(g));
+        }
+        Err(e) => {
+            let _ = writeln!(out, "consistent: no ({e})");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_analyze(g: &SdfGraph, out: &mut String) -> Result<(), CliError> {
+    let thr = throughput(g)?;
+    match thr.period() {
+        Some(p) => {
+            let _ = writeln!(out, "iteration period: {p}");
+            for (a, actor) in g.actors() {
+                let _ = writeln!(
+                    out,
+                    "  throughput({}) = {}",
+                    actor.name(),
+                    thr.actor_throughput(a)
+                        .map_or("unbounded".to_string(), |t| t.to_string())
+                );
+            }
+        }
+        None => {
+            let _ = writeln!(out, "iteration period: none (unbounded throughput)");
+        }
+    }
+    let _ = writeln!(out, "first-iteration makespan: {}", iteration_makespan(g)?);
+    if let Some(b) = bottleneck(g)? {
+        let names: Vec<&str> = b.actors.iter().map(|&a| g.actor(a).name()).collect();
+        let _ = writeln!(out, "bottleneck actors: {}", names.join(", "));
+        let _ = writeln!(out, "critical tokens: {}", b.tokens.len());
+    }
+    Ok(())
+}
+
+fn cmd_convert(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = predict_sizes(g)?;
+    let _ = writeln!(
+        out,
+        "prediction: traditional = {} actors, novel <= {} actors (N = {})",
+        p.traditional_actors, p.novel_actor_bound, p.tokens
+    );
+    let mode = if opts.iter().any(|o| o == "--traditional") {
+        ConversionChoice::Traditional
+    } else if opts.iter().any(|o| o == "--novel") {
+        ConversionChoice::Novel
+    } else {
+        p.choice()
+    };
+    let converted = match mode {
+        ConversionChoice::Traditional => {
+            let c = traditional::convert(g)?;
+            let _ = writeln!(out, "traditional conversion selected");
+            c.graph
+        }
+        ConversionChoice::Novel => {
+            let c = novel::convert(g)?;
+            let _ = writeln!(out, "novel conversion selected");
+            c.graph
+        }
+    };
+    let _ = writeln!(
+        out,
+        "result: {} actors, {} channels, {} tokens",
+        converted.num_actors(),
+        converted.num_channels(),
+        converted.total_initial_tokens()
+    );
+    write_output(&converted, opts, out)?;
+    Ok(())
+}
+
+fn cmd_abstract(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
+    let abs = auto_abstraction(g)?;
+    let _ = writeln!(
+        out,
+        "abstraction: {} groups, cycle length N = {}",
+        abs.num_groups(),
+        abs.cycle_length()
+    );
+    let small = abstract_graph(g, &abs)?;
+    let _ = writeln!(
+        out,
+        "abstract graph: {} actors, {} channels",
+        small.num_actors(),
+        small.num_channels()
+    );
+    match verify_abstraction(g, &abs)? {
+        Ok(()) => {
+            let _ = writeln!(out, "conservativity: verified (Prop. 1 premises hold)");
+        }
+        Err(v) => {
+            let _ = writeln!(out, "conservativity: VIOLATED ({v})");
+        }
+    }
+    let actual = throughput(g)?.period();
+    let bound = conservative_period_bound(g, &abs)?;
+    let _ = writeln!(
+        out,
+        "original period: {}",
+        actual.map_or("none".to_string(), |p| p.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "conservative bound (N·λ'): {}",
+        bound.map_or("none".to_string(), |p| p.to_string())
+    );
+    write_output(&small, opts, out)?;
+    Ok(())
+}
+
+fn cmd_simulate(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
+    let iterations = flag_value(opts, "--iterations")?.unwrap_or(8);
+    let trace = simulate_iterations(g, iterations)?;
+    let _ = writeln!(out, "simulated {iterations} iteration(s)");
+    let _ = writeln!(out, "makespan: {}", trace.makespan);
+    let _ = writeln!(
+        out,
+        "iteration completion times: {:?}",
+        trace.iteration_completions
+    );
+    for (cid, c) in g.channels() {
+        let _ = writeln!(
+            out,
+            "  peak tokens on {} -> {}: {}",
+            g.actor(c.source()).name(),
+            g.actor(c.target()).name(),
+            trace.channel_peak_tokens[cid.index()]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_buffers(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
+    let iterations = flag_value(opts, "--iterations")?.unwrap_or(16);
+    let peaks = self_timed_buffer_bounds(g, iterations)?;
+    let minimal = minimize_capacities(g, iterations)?;
+    let _ = writeln!(out, "channel                      self-timed peak  minimal capacity");
+    for (cid, c) in g.channels() {
+        let label = format!(
+            "{} -> {}",
+            g.actor(c.source()).name(),
+            g.actor(c.target()).name()
+        );
+        let _ = writeln!(
+            out,
+            "{label:<28} {:>15}  {:>16}",
+            peaks[cid.index()],
+            minimal[cid.index()]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total: peak {} vs minimal {}",
+        peaks.iter().sum::<u64>(),
+        minimal.iter().sum::<u64>()
+    );
+    Ok(())
+}
+
+fn cmd_latency(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
+    let source = named_actor(g, opts, "--source")?;
+    let sink = named_actor(g, opts, "--sink")?;
+    let mu = flag_value(opts, "--period")?
+        .ok_or_else(|| CliError("latency requires --period <MU>".to_string()))?;
+    let l = periodic_source_latency(g, source, sink, mu as i64, 16, 16)?;
+    let _ = writeln!(
+        out,
+        "steady-state latency {} -> {} at source period {}: {}",
+        g.actor(source).name(),
+        g.actor(sink).name(),
+        mu,
+        l
+    );
+    Ok(())
+}
+
+fn cmd_schedule(g: &SdfGraph, out: &mut String) -> Result<(), CliError> {
+    match rate_optimal_schedule(g)? {
+        None => {
+            let _ = writeln!(
+                out,
+                "no recurrent constraint: any period admits a schedule"
+            );
+        }
+        Some(s) => {
+            let _ = writeln!(out, "rate-optimal period: {}", s.period());
+            for (a, actor) in g.actors() {
+                let _ = writeln!(
+                    out,
+                    "  start({}) = {}",
+                    actor.name(),
+                    s.start_time(a, 0)
+                );
+            }
+            debug_assert!(s.is_admissible(g));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_pareto(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
+    let iterations = flag_value(opts, "--iterations")?.unwrap_or(16);
+    let curve = throughput_buffer_tradeoff(g, iterations)?;
+    let _ = writeln!(out, "total capacity  period");
+    for point in curve {
+        let _ = writeln!(
+            out,
+            "{:>14}  {}",
+            point.total,
+            point
+                .period
+                .map_or("deadlock".to_string(), |p| p.to_string())
+        );
+    }
+    Ok(())
+}
+
+/// Analyses a cyclo-static file: consistency, throughput, HSDF reduction.
+fn cmd_csdf(path: &str, opts: &[String]) -> Result<String, CliError> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let looks_xml = path.ends_with(".xml") || content.trim_start().starts_with('<');
+    let g = if looks_xml {
+        sdfr_io::csdf::from_xml(&content)?
+    } else {
+        sdfr_io::csdf::from_text(&content)?
+    };
+    let mut out = String::new();
+    let _ = write!(out, "{g}");
+    let rep = sdfr_csdf::repetition_vector(&g)?;
+    let _ = writeln!(
+        out,
+        "phase firings per iteration: {}",
+        rep.iteration_length(&g)
+    );
+    let thr = sdfr_csdf::throughput(&g)?;
+    let _ = writeln!(
+        out,
+        "iteration period: {}",
+        thr.period.map_or("none (unbounded)".to_string(), |p| p.to_string())
+    );
+    let hsdf = sdfr_csdf::to_hsdf(&g)?;
+    let _ = writeln!(
+        out,
+        "compact HSDF: {} actors, {} channels, {} tokens",
+        hsdf.num_actors(),
+        hsdf.num_channels(),
+        hsdf.total_initial_tokens()
+    );
+    write_output(&hsdf, opts, &mut out)?;
+    Ok(out)
+}
+
+/// Resolves `--flag <actor-name>` against the graph.
+fn named_actor(
+    g: &SdfGraph,
+    opts: &[String],
+    flag: &str,
+) -> Result<sdfr_graph::ActorId, CliError> {
+    let Some(pos) = opts.iter().position(|o| o == flag) else {
+        return Err(CliError(format!("latency requires {flag} <actor>")));
+    };
+    let name = opts
+        .get(pos + 1)
+        .ok_or_else(|| CliError(format!("{flag} requires an actor name")))?;
+    g.actor_by_name(name)
+        .ok_or_else(|| CliError(format!("no actor named '{name}'")))
+}
+
+/// Writes `g` as XML if `-o <path>` appears in the options.
+fn write_output(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
+    if let Some(pos) = opts.iter().position(|o| o == "-o") {
+        let path = opts
+            .get(pos + 1)
+            .ok_or_else(|| CliError("-o requires a file path".to_string()))?;
+        std::fs::write(path, sdfr_io::xml::to_xml(g))
+            .map_err(|e| CliError(format!("{path}: {e}")))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(())
+}
+
+/// Extracts `--flag <u64>` from the options.
+fn flag_value(opts: &[String], flag: &str) -> Result<Option<u64>, CliError> {
+    let Some(pos) = opts.iter().position(|o| o == flag) else {
+        return Ok(None);
+    };
+    let raw = opts
+        .get(pos + 1)
+        .ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+    raw.parse()
+        .map(Some)
+        .map_err(|_| CliError(format!("{flag}: '{raw}' is not a number")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(content: &str, ext: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sdfr-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "g-{}-{}.{ext}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    fn sample_text() -> &'static str {
+        "graph demo\nactor a 2\nactor b 3\nchannel a b 1 1 0\nchannel b a 1 1 1\n"
+    }
+
+    fn run_on(cmd: &str, file: &std::path::Path, extra: &[&str]) -> Result<String, CliError> {
+        let mut args = vec![cmd.to_string(), file.to_string_lossy().into_owned()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        run(&args)
+    }
+
+    #[test]
+    fn info_reports_structure() {
+        let f = write_temp(sample_text(), "sdf");
+        let out = run_on("info", &f, &[]).unwrap();
+        assert!(out.contains("consistent: yes"));
+        assert!(out.contains("γ(a) = 1"));
+        assert!(out.contains("live: true"));
+    }
+
+    #[test]
+    fn analyze_reports_period_and_bottleneck() {
+        let f = write_temp(sample_text(), "sdf");
+        let out = run_on("analyze", &f, &[]).unwrap();
+        assert!(out.contains("iteration period: 5"));
+        assert!(out.contains("throughput(a) = 1/5"));
+        assert!(out.contains("bottleneck actors: a, b"));
+    }
+
+    #[test]
+    fn convert_auto_and_forced() {
+        // The tiny sample has Σγ = 2 < N(N+2) = 3: auto picks traditional.
+        let f = write_temp(sample_text(), "sdf");
+        let out = run_on("convert", &f, &[]).unwrap();
+        assert!(out.contains("prediction:"));
+        assert!(out.contains("traditional conversion selected"));
+        assert!(out.contains("result: 2 actors"));
+        let out = run_on("convert", &f, &["--novel"]).unwrap();
+        assert!(out.contains("novel conversion selected"));
+        assert!(out.contains("result: 1 actors"));
+        // A multirate chain flips the recommendation to novel.
+        let f = write_temp(
+            "graph big\nactor a 1\nactor b 1\nchannel a b 9 1 0\nchannel a a 1 1 1\n",
+            "sdf",
+        );
+        let out = run_on("convert", &f, &[]).unwrap();
+        assert!(out.contains("novel conversion selected"));
+    }
+
+    #[test]
+    fn convert_writes_xml_output() {
+        let f = write_temp(sample_text(), "sdf");
+        let outfile = f.with_extension("out.xml");
+        let out = run_on(
+            "convert",
+            &f,
+            &["--novel", "-o", outfile.to_str().unwrap()],
+        )
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let written = std::fs::read_to_string(&outfile).unwrap();
+        assert!(written.contains("<sdf3"));
+        // The written file parses back.
+        assert!(sdfr_io::xml::from_xml(&written).is_ok());
+    }
+
+    #[test]
+    fn abstract_verifies() {
+        let text = "graph regular\nactor A1 2\nactor A2 5\nactor A3 3\n\
+                    channel A1 A2 1 1 0\nchannel A2 A3 1 1 0\nchannel A3 A1 1 1 1\n";
+        let f = write_temp(text, "sdf");
+        let out = run_on("abstract", &f, &[]).unwrap();
+        assert!(out.contains("abstraction: 1 groups, cycle length N = 3"));
+        assert!(out.contains("conservativity: verified"));
+        assert!(out.contains("original period: 10"));
+        assert!(out.contains("conservative bound (N·λ'): 15"));
+    }
+
+    #[test]
+    fn simulate_and_buffers() {
+        let f = write_temp(sample_text(), "sdf");
+        let out = run_on("simulate", &f, &["--iterations", "3"]).unwrap();
+        assert!(out.contains("simulated 3 iteration(s)"));
+        assert!(out.contains("[5, 10, 15]"));
+        let out = run_on("buffers", &f, &[]).unwrap();
+        assert!(out.contains("total: peak"));
+    }
+
+    #[test]
+    fn latency_and_schedule_commands() {
+        let text = "graph pp\nactor src 1\nactor work 4\nactor snk 2\n\
+                    channel src work 1 1 0\nchannel work snk 1 1 0\n\
+                    channel src src 1 1 1\nchannel work work 1 1 1\n\
+                    channel snk snk 1 1 1\n";
+        let f = write_temp(text, "sdf");
+        let out = run_on(
+            "latency",
+            &f,
+            &["--source", "src", "--sink", "snk", "--period", "10"],
+        )
+        .unwrap();
+        assert!(out.contains("latency src -> snk at source period 10: 7"));
+        assert!(run_on("latency", &f, &["--source", "src"]).is_err());
+        assert!(run_on(
+            "latency",
+            &f,
+            &["--source", "ghost", "--sink", "snk", "--period", "10"]
+        )
+        .is_err());
+
+        let out = run_on("schedule", &f, &[]).unwrap();
+        assert!(out.contains("rate-optimal period: 4"));
+        assert!(out.contains("start(src) = 0"));
+    }
+
+    #[test]
+    fn pareto_command() {
+        let text = "graph pipe\nactor x 2\nactor y 5\nchannel x y 1 1 0\n\
+                    channel x x 1 1 1\nchannel y y 1 1 1\n";
+        let f = write_temp(text, "sdf");
+        let out = run_on("pareto", &f, &[]).unwrap();
+        assert!(out.contains("total capacity  period"));
+        assert!(out.lines().count() >= 3);
+        assert!(out.trim_end().ends_with('5'), "curve ends at the target: {out}");
+    }
+
+    #[test]
+    fn csdf_command() {
+        let text = "csdf w\nactor w 1,3\nchannel w w 1,1 1,1 1\n";
+        let f = write_temp(text, "csdf");
+        let out = run_on("csdf", &f, &[]).unwrap();
+        assert!(out.contains("iteration period: 4"));
+        assert!(out.contains("compact HSDF: 1 actors"));
+        let outfile = f.with_extension("hsdf.xml");
+        let out = run_on("csdf", &f, &["-o", outfile.to_str().unwrap()]).unwrap();
+        assert!(out.contains("wrote"));
+        assert!(sdfr_io::xml::from_xml(&std::fs::read_to_string(outfile).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn dot_outputs_graphviz() {
+        let f = write_temp(sample_text(), "sdf");
+        let out = run_on("dot", &f, &[]).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn xml_files_detected() {
+        let mut b = SdfGraph::builder("x");
+        let a = b.actor("a", 1);
+        b.channel(a, a, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let f = write_temp(&sdfr_io::xml::to_xml(&g), "xml");
+        let out = run_on("info", &f, &[]).unwrap();
+        assert!(out.contains("consistent: yes"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["info".to_string()]).is_err());
+        assert!(run(&["info".to_string(), "/nonexistent/file".to_string()]).is_err());
+        let f = write_temp(sample_text(), "sdf");
+        assert!(run_on("frobnicate", &f, &[]).is_err());
+        assert!(run_on("simulate", &f, &["--iterations"]).is_err());
+        assert!(run_on("simulate", &f, &["--iterations", "many"]).is_err());
+        let help = run(&["--help".to_string()]).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn info_on_inconsistent_graph() {
+        let f = write_temp(
+            "graph bad\nactor a 1\nchannel a a 1 2 1\n",
+            "sdf",
+        );
+        let out = run_on("info", &f, &[]).unwrap();
+        assert!(out.contains("consistent: no"));
+    }
+}

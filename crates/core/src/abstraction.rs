@@ -1,0 +1,470 @@
+//! The abstraction transformation (paper, Sec. 4.2, Defs. 3–4).
+//!
+//! An *abstraction* `(α, I)` maps every actor `a` to an abstract actor
+//! `α(a)` and an index `I(a)` such that
+//!
+//! - actors of the same group have distinct indices and equal
+//!   repetition-vector entries, and
+//! - every token-free edge respects the index order (`I(a) ≤ I(b)` or
+//!   `d > 0`).
+//!
+//! The *abstract graph* (Def. 4) has one actor per group, whose execution
+//! time is the maximum over the group, and one edge per original edge with
+//! delay `I(b) − I(a) + N·d` (indices here are 0-based; only differences
+//! enter the formula, so this matches the paper's 1-based presentation).
+//! Firing `n·N + i` of abstract actor `α(a)` models firing `n` of the
+//! original actor with index `i` — or a harmless *dummy firing* if the group
+//! has no actor with index `i`.
+
+use std::collections::HashMap;
+
+use sdfr_graph::repetition::repetition_vector;
+use sdfr_graph::{ActorId, SdfGraph};
+
+use crate::prune;
+use crate::CoreError;
+
+/// A validated abstraction `(α, I)` of a homogeneous SDF graph (Def. 3).
+///
+/// Create one with [`Abstraction::builder`] (explicit assignment) or
+/// [`crate::auto::auto_abstraction`] (derived from actor-name patterns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Abstraction {
+    /// Per original actor: the group id (dense, by first occurrence).
+    group: Vec<usize>,
+    /// Per original actor: the index `I(a)` (0-based).
+    index: Vec<u64>,
+    /// Group names, by group id.
+    group_names: Vec<String>,
+    /// `N = max I(a) + 1`: the firing cycle length of the abstract actors.
+    n: u64,
+}
+
+impl Abstraction {
+    /// Starts building an abstraction for `g`.
+    pub fn builder(g: &SdfGraph) -> AbstractionBuilder<'_> {
+        AbstractionBuilder {
+            g,
+            assignment: vec![None; g.num_actors()],
+        }
+    }
+
+    /// The abstract actor (group) name of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` does not belong to the underlying graph.
+    pub fn group_of(&self, a: ActorId) -> &str {
+        &self.group_names[self.group[a.index()]]
+    }
+
+    /// The index `I(a)` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` does not belong to the underlying graph.
+    pub fn index_of(&self, a: ActorId) -> u64 {
+        self.index[a.index()]
+    }
+
+    /// `N`, the abstract firing-cycle length (`max I(a) + 1`).
+    pub fn cycle_length(&self) -> u64 {
+        self.n
+    }
+
+    /// The number of abstract actors (groups).
+    pub fn num_groups(&self) -> usize {
+        self.group_names.len()
+    }
+
+    /// The group names in group-id order.
+    pub fn group_names(&self) -> &[String] {
+        &self.group_names
+    }
+
+    pub(crate) fn group_id(&self, a: ActorId) -> usize {
+        self.group[a.index()]
+    }
+}
+
+/// Incremental construction of an [`Abstraction`]; validates Def. 3 at
+/// [`build`](AbstractionBuilder::build) time.
+#[derive(Debug)]
+pub struct AbstractionBuilder<'g> {
+    g: &'g SdfGraph,
+    assignment: Vec<Option<(String, u64)>>,
+}
+
+impl AbstractionBuilder<'_> {
+    /// Assigns actor `a` to abstract actor `group` with index `index`
+    /// (0-based).
+    ///
+    /// Later assignments overwrite earlier ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` does not belong to the graph.
+    pub fn assign(&mut self, a: ActorId, group: impl Into<String>, index: u64) -> &mut Self {
+        self.assignment[a.index()] = Some((group.into(), index));
+        self
+    }
+
+    /// Validates Def. 3 and produces the abstraction.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::RequiresHomogeneous`] if the graph is multirate,
+    /// - [`CoreError::UnassignedActor`] if an actor has no assignment,
+    /// - [`CoreError::DuplicateIndexInGroup`] on index clashes in a group,
+    /// - [`CoreError::UnequalRepetitionInGroup`] on γ mismatches in a group,
+    /// - [`CoreError::IndexOrderViolated`] if a token-free edge runs against
+    ///   the index order,
+    /// - [`CoreError::Graph`] if the graph is inconsistent.
+    pub fn build(&self) -> Result<Abstraction, CoreError> {
+        let g = self.g;
+        if !g.is_homogeneous() {
+            return Err(CoreError::RequiresHomogeneous);
+        }
+        let gamma = repetition_vector(g)?;
+
+        let mut group_ids: HashMap<&str, usize> = HashMap::new();
+        let mut group_names: Vec<String> = Vec::new();
+        let mut group = Vec::with_capacity(g.num_actors());
+        let mut index = Vec::with_capacity(g.num_actors());
+        for a in g.actor_ids() {
+            let (name, idx) = self.assignment[a.index()]
+                .as_ref()
+                .ok_or(CoreError::UnassignedActor { actor: a })?;
+            let gid = *group_ids.entry(name.as_str()).or_insert_with(|| {
+                group_names.push(name.clone());
+                group_names.len() - 1
+            });
+            group.push(gid);
+            index.push(*idx);
+        }
+
+        // Distinct indices and equal γ within each group.
+        let mut seen: HashMap<(usize, u64), ()> = HashMap::new();
+        let mut group_gamma: HashMap<usize, u64> = HashMap::new();
+        for a in g.actor_ids() {
+            let gid = group[a.index()];
+            let idx = index[a.index()];
+            if seen.insert((gid, idx), ()).is_some() {
+                return Err(CoreError::DuplicateIndexInGroup {
+                    group: group_names[gid].clone(),
+                    index: idx,
+                });
+            }
+            let ga = gamma.get(a);
+            match group_gamma.insert(gid, ga) {
+                Some(prev) if prev != ga => {
+                    return Err(CoreError::UnequalRepetitionInGroup {
+                        group: group_names[gid].clone(),
+                    })
+                }
+                _ => {}
+            }
+        }
+
+        // Token-free edges must respect the index order.
+        for (_, ch) in g.channels() {
+            if ch.initial_tokens() == 0 && index[ch.source().index()] > index[ch.target().index()]
+            {
+                return Err(CoreError::IndexOrderViolated {
+                    source: ch.source(),
+                    target: ch.target(),
+                });
+            }
+        }
+
+        let n = index.iter().copied().max().map_or(1, |m| m + 1);
+        Ok(Abstraction {
+            group,
+            index,
+            group_names,
+            n,
+        })
+    }
+}
+
+/// Constructs the abstract graph `(A, D, T)^{α,I}` of Def. 4 and prunes
+/// redundant parallel edges (keeping, per actor pair, only the edge with the
+/// fewest initial tokens — the paper notes the others are redundant).
+///
+/// The resulting graph is homogeneous; its actor order follows the group-id
+/// order of `abs` (use [`SdfGraph::actor_by_name`] with the group names to
+/// locate actors).
+///
+/// # Errors
+///
+/// Currently infallible for a validated [`Abstraction`], but returns
+/// `Result` to keep the signature stable while Def. 4 extensions (multirate
+/// abstraction) land.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_core::{abstract_graph, Abstraction};
+/// use sdfr_graph::SdfGraph;
+///
+/// // A three-stage pipeline with feedback, grouped into one abstract actor.
+/// let mut b = SdfGraph::builder("pipe");
+/// let a1 = b.actor("a1", 2);
+/// let a2 = b.actor("a2", 5);
+/// let a3 = b.actor("a3", 3);
+/// b.channel(a1, a2, 1, 1, 0)?;
+/// b.channel(a2, a3, 1, 1, 0)?;
+/// b.channel(a3, a1, 1, 1, 1)?;
+/// let g = b.build()?;
+///
+/// let mut builder = Abstraction::builder(&g);
+/// builder.assign(a1, "A", 0).assign(a2, "A", 1).assign(a3, "A", 2);
+/// let abs = builder.build()?;
+/// let small = abstract_graph(&g, &abs)?;
+/// assert_eq!(small.num_actors(), 1);
+/// // The abstract actor takes the slowest original time.
+/// let a = small.actor_by_name("A").unwrap();
+/// assert_eq!(small.actor(a).execution_time(), 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn abstract_graph(g: &SdfGraph, abs: &Abstraction) -> Result<SdfGraph, CoreError> {
+    Ok(prune::prune_redundant_edges(&abstract_graph_unpruned(
+        g, abs,
+    )?))
+}
+
+/// [`abstract_graph`] without the final pruning step — the literal Def. 4,
+/// with one abstract edge per original edge (useful for testing and for the
+/// pruning ablation).
+///
+/// # Errors
+///
+/// See [`abstract_graph`].
+pub fn abstract_graph_unpruned(g: &SdfGraph, abs: &Abstraction) -> Result<SdfGraph, CoreError> {
+    let n = abs.cycle_length();
+    let mut b = SdfGraph::builder(format!("{}^abs", g.name()));
+
+    // One abstract actor per group; T'(b) = max execution time in group.
+    let mut times = vec![0; abs.num_groups()];
+    for (aid, a) in g.actors() {
+        let gid = abs.group_id(aid);
+        times[gid] = times[gid].max(a.execution_time());
+    }
+    let abstract_ids: Vec<_> = abs
+        .group_names()
+        .iter()
+        .zip(&times)
+        .map(|(name, &t)| b.actor(name.clone(), t))
+        .collect();
+
+    // D' = { (α(a1), α(a2), p, c, I(a2) − I(a1) + N·d) }.
+    for (_, ch) in g.channels() {
+        let src = abstract_ids[abs.group_id(ch.source())];
+        let dst = abstract_ids[abs.group_id(ch.target())];
+        let delay = abs.index_of(ch.target()) as i64 - abs.index_of(ch.source()) as i64
+            + (n * ch.initial_tokens()) as i64;
+        debug_assert!(delay >= 0, "Def. 3 validity implies non-negative delays");
+        b.channel(src, dst, ch.production(), ch.consumption(), delay as u64)
+            .expect("endpoints were created above");
+    }
+    b.build().map_err(CoreError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 2(a): three A actors in a cycle (one token back),
+    /// two B actors, cross edges, plus tokens as drawn.
+    fn fig2a() -> (SdfGraph, Vec<ActorId>, Vec<ActorId>) {
+        let mut b = SdfGraph::builder("fig2a");
+        let a1 = b.actor("A1", 1);
+        let a2 = b.actor("A2", 1);
+        let a3 = b.actor("A3", 1);
+        let b1 = b.actor("B1", 1);
+        let b2 = b.actor("B2", 1);
+        b.channel(a1, a2, 1, 1, 0).unwrap();
+        b.channel(a2, a3, 1, 1, 0).unwrap();
+        b.channel(a3, a1, 1, 1, 1).unwrap();
+        b.channel(a1, b1, 1, 1, 0).unwrap();
+        b.channel(a2, b2, 1, 1, 0).unwrap();
+        b.channel(b1, b2, 1, 1, 0).unwrap();
+        b.channel(b2, b1, 1, 1, 1).unwrap();
+        b.channel(b1, a2, 1, 1, 1).unwrap();
+        (b.build().unwrap(), vec![a1, a2, a3], vec![b1, b2])
+    }
+
+    fn fig2_abstraction(g: &SdfGraph, aa: &[ActorId], bb: &[ActorId]) -> Abstraction {
+        let mut builder = Abstraction::builder(g);
+        for (i, &a) in aa.iter().enumerate() {
+            builder.assign(a, "A", i as u64);
+        }
+        for (i, &b) in bb.iter().enumerate() {
+            builder.assign(b, "B", i as u64);
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn fig2_abstraction_validates() {
+        let (g, aa, bb) = fig2a();
+        let abs = fig2_abstraction(&g, &aa, &bb);
+        assert_eq!(abs.cycle_length(), 3);
+        assert_eq!(abs.num_groups(), 2);
+        assert_eq!(abs.group_of(aa[0]), "A");
+        assert_eq!(abs.index_of(aa[2]), 2);
+        assert_eq!(abs.group_names(), &["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn fig2_abstract_graph_edges() {
+        let (g, aa, bb) = fig2a();
+        let abs = fig2_abstraction(&g, &aa, &bb);
+        let unpruned = abstract_graph_unpruned(&g, &abs).unwrap();
+        assert_eq!(unpruned.num_actors(), 2);
+        // One abstract edge per original edge.
+        assert_eq!(unpruned.num_channels(), g.num_channels());
+        // Delays per Def. 4 (N = 3): A1->A2 gives 1; A3->A1 gives
+        // 0-2+3 = 1; B1->A2 gives I(A2)-I(B1)+3 = 1-0+3 = 4.
+        let a = unpruned.actor_by_name("A").unwrap();
+        let self_edges: Vec<u64> = unpruned
+            .channels()
+            .filter(|(_, c)| c.source() == a && c.target() == a)
+            .map(|(_, c)| c.initial_tokens())
+            .collect();
+        // A1->A2 (1), A2->A3 (1), A3->A1 (1).
+        assert_eq!(self_edges, vec![1, 1, 1]);
+
+        let pruned = abstract_graph(&g, &abs).unwrap();
+        // After pruning, at most one edge per ordered actor pair.
+        let mut pairs = std::collections::HashSet::new();
+        for (_, c) in pruned.channels() {
+            assert!(pairs.insert((c.source(), c.target())));
+        }
+        // The A self-edge keeps the minimum delay 1.
+        let a = pruned.actor_by_name("A").unwrap();
+        let self_edge = pruned
+            .channels()
+            .find(|(_, c)| c.source() == a && c.target() == a)
+            .unwrap()
+            .1;
+        assert_eq!(self_edge.initial_tokens(), 1);
+    }
+
+    #[test]
+    fn execution_time_is_group_max() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 7);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let mut builder = Abstraction::builder(&g);
+        builder.assign(x, "G", 0).assign(y, "G", 1);
+        let abs = builder.build().unwrap();
+        let ag = abstract_graph(&g, &abs).unwrap();
+        let ga = ag.actor_by_name("G").unwrap();
+        assert_eq!(ag.actor(ga).execution_time(), 7);
+    }
+
+    #[test]
+    fn rejects_multirate_graph() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        let mut builder = Abstraction::builder(&g);
+        builder.assign(x, "G", 0).assign(y, "G", 1);
+        assert!(matches!(
+            builder.build(),
+            Err(CoreError::RequiresHomogeneous)
+        ));
+    }
+
+    #[test]
+    fn rejects_unassigned_actor() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        let mut builder = Abstraction::builder(&g);
+        builder.assign(x, "G", 0);
+        assert!(matches!(
+            builder.build(),
+            Err(CoreError::UnassignedActor { actor }) if actor == y
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_index() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let mut builder = Abstraction::builder(&g);
+        builder.assign(x, "G", 0).assign(y, "G", 0);
+        assert!(matches!(
+            builder.build(),
+            Err(CoreError::DuplicateIndexInGroup { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_index_order_violation() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap(); // token-free, so I(x) <= I(y)
+        let g = b.build().unwrap();
+        let mut builder = Abstraction::builder(&g);
+        builder.assign(x, "G", 1).assign(y, "H", 0);
+        assert!(matches!(
+            builder.build(),
+            Err(CoreError::IndexOrderViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn token_carrying_back_edge_may_violate_order() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap(); // d > 0 exempts the order rule
+        let g = b.build().unwrap();
+        let mut builder = Abstraction::builder(&g);
+        builder.assign(x, "G", 0).assign(y, "G", 1);
+        let abs = builder.build().unwrap();
+        // Back edge delay: I(x) − I(y) + N·1 = 0 − 1 + 2 = 1.
+        let ag = abstract_graph(&g, &abs).unwrap();
+        let ga = ag.actor_by_name("G").unwrap();
+        let delays: Vec<u64> = ag
+            .channels()
+            .filter(|(_, c)| c.source() == ga)
+            .map(|(_, c)| c.initial_tokens())
+            .collect();
+        assert_eq!(delays, vec![1]);
+    }
+
+    #[test]
+    fn identity_abstraction_preserves_graph_shape() {
+        // Grouping every actor alone with index 0 reproduces the original
+        // graph with delays scaled by N = 1.
+        let (g, aa, bb) = fig2a();
+        let mut builder = Abstraction::builder(&g);
+        for &a in aa.iter().chain(&bb) {
+            builder.assign(a, g.actor(a).name().to_string(), 0);
+        }
+        let abs = builder.build().unwrap();
+        assert_eq!(abs.cycle_length(), 1);
+        let ag = abstract_graph_unpruned(&g, &abs).unwrap();
+        assert_eq!(ag.num_actors(), g.num_actors());
+        assert_eq!(ag.num_channels(), g.num_channels());
+        for ((_, c1), (_, c2)) in g.channels().zip(ag.channels()) {
+            assert_eq!(c1.initial_tokens(), c2.initial_tokens());
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Automatic derivation of abstractions for regular graphs.
+//!
+//! The paper's examples (Figs. 1 and 5) group actors `A1 … A6` into an
+//! abstract actor `A` by hand. This module automates the two choices an
+//! abstraction requires:
+//!
+//! - **grouping**: by default, actors whose names differ only in a trailing
+//!   number form one group (`A1`, `A2`, … → `A`) — exactly the naming
+//!   convention of the regular graphs the technique targets; a custom
+//!   grouping function can be supplied instead;
+//! - **indexing**: indices are assigned by longest-path layering over the
+//!   token-free edges, which guarantees the Def. 3 order condition
+//!   (`I(a) ≤ I(b)` for every token-free edge `a → b`) while keeping
+//!   indices within each group distinct and as small as possible.
+
+use std::collections::BTreeSet;
+
+use sdfr_graph::{ActorId, SdfGraph};
+
+use crate::abstraction::Abstraction;
+use crate::CoreError;
+
+/// Derives an abstraction by grouping actors whose names share a prefix
+/// before a trailing number.
+///
+/// # Errors
+///
+/// - [`CoreError::AutoAbstractionFailed`] if the token-free subgraph has a
+///   cycle (such a graph deadlocks anyway),
+/// - validation errors from [`Abstraction::builder`] (e.g.
+///   [`CoreError::RequiresHomogeneous`]).
+///
+/// # Example
+///
+/// ```
+/// use sdfr_core::auto::auto_abstraction;
+/// use sdfr_graph::SdfGraph;
+///
+/// let mut b = SdfGraph::builder("g");
+/// let a1 = b.actor("A1", 2);
+/// let a2 = b.actor("A2", 5);
+/// b.channel(a1, a2, 1, 1, 0)?;
+/// b.channel(a2, a1, 1, 1, 1)?;
+/// let g = b.build()?;
+/// let abs = auto_abstraction(&g)?;
+/// assert_eq!(abs.num_groups(), 1);
+/// assert_eq!(abs.group_of(a1), "A");
+/// assert_eq!(abs.index_of(a2), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn auto_abstraction(g: &SdfGraph) -> Result<Abstraction, CoreError> {
+    auto_abstraction_with(g, |name| name_prefix(name).to_string())
+}
+
+/// Derives an abstraction with a custom grouping function mapping an actor
+/// name to its group name.
+///
+/// # Errors
+///
+/// See [`auto_abstraction`].
+pub fn auto_abstraction_with(
+    g: &SdfGraph,
+    group_fn: impl Fn(&str) -> String,
+) -> Result<Abstraction, CoreError> {
+    let groups: Vec<String> = g.actors().map(|(_, a)| group_fn(a.name())).collect();
+    let order = token_free_topological_order(g)?;
+
+    // Longest-path layering with per-group index deduplication.
+    let mut index: Vec<u64> = vec![0; g.num_actors()];
+    let mut used: std::collections::HashMap<&str, BTreeSet<u64>> = Default::default();
+    for &a in &order {
+        let mut lower = 0;
+        for &cid in g.incoming(a) {
+            let ch = g.channel(cid);
+            if ch.initial_tokens() == 0 && !ch.is_self_loop() {
+                lower = lower.max(index[ch.source().index()]);
+            }
+        }
+        let group_used = used.entry(groups[a.index()].as_str()).or_default();
+        let mut candidate = lower;
+        while group_used.contains(&candidate) {
+            candidate += 1;
+        }
+        group_used.insert(candidate);
+        index[a.index()] = candidate;
+    }
+
+    let mut builder = Abstraction::builder(g);
+    for a in g.actor_ids() {
+        builder.assign(a, groups[a.index()].clone(), index[a.index()]);
+    }
+    builder.build()
+}
+
+/// The group prefix of an actor name: the name with one trailing run of
+/// ASCII digits removed (`"A12" → "A"`); names without a trailing number —
+/// or consisting only of digits — group by themselves.
+pub fn name_prefix(name: &str) -> &str {
+    let trimmed = name.trim_end_matches(|c: char| c.is_ascii_digit());
+    if trimmed.is_empty() {
+        name
+    } else {
+        trimmed
+    }
+}
+
+/// Deterministic Kahn topological order over token-free, non-self-loop
+/// edges (BTreeSet frontier, so the derived indices are independent of edge
+/// insertion order).
+fn token_free_topological_order(g: &SdfGraph) -> Result<Vec<ActorId>, CoreError> {
+    let n = g.num_actors();
+    let mut in_deg = vec![0usize; n];
+    for (_, ch) in g.channels() {
+        if ch.initial_tokens() == 0 && !ch.is_self_loop() {
+            in_deg[ch.target().index()] += 1;
+        }
+    }
+    let mut frontier: BTreeSet<usize> = (0..n).filter(|&i| in_deg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&i) = frontier.iter().next() {
+        frontier.remove(&i);
+        let a = ActorId::from_index(i);
+        order.push(a);
+        for &cid in g.outgoing(a) {
+            let ch = g.channel(cid);
+            if ch.initial_tokens() == 0 && !ch.is_self_loop() {
+                let t = ch.target().index();
+                in_deg[t] -= 1;
+                if in_deg[t] == 0 {
+                    frontier.insert(t);
+                }
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(CoreError::AutoAbstractionFailed {
+            reason: "the token-free subgraph has a cycle (the graph deadlocks)".into(),
+        });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conservativity::{conservative_period_bound, verify_abstraction};
+    use sdfr_analysis::throughput::throughput;
+
+    #[test]
+    fn name_prefix_rules() {
+        assert_eq!(name_prefix("A12"), "A");
+        assert_eq!(name_prefix("CA1"), "CA");
+        assert_eq!(name_prefix("mem"), "mem");
+        assert_eq!(name_prefix("42"), "42");
+        assert_eq!(name_prefix("B2b2"), "B2b");
+    }
+
+    /// A 2×k regular ladder like the paper's Fig. 1(a): a chain of A's, a
+    /// chain of B's, cross edges A_i → B_i and feedback B_i → A_{i+2}.
+    fn ladder(k: usize) -> SdfGraph {
+        let mut b = SdfGraph::builder("ladder");
+        let aa: Vec<_> = (0..k).map(|i| b.actor(format!("A{}", i + 1), 2)).collect();
+        let bb: Vec<_> = (0..k).map(|i| b.actor(format!("B{}", i + 1), 4)).collect();
+        for i in 0..k - 1 {
+            b.channel(aa[i], aa[i + 1], 1, 1, 0).unwrap();
+            b.channel(bb[i], bb[i + 1], 1, 1, 0).unwrap();
+        }
+        b.channel(aa[k - 1], aa[0], 1, 1, 1).unwrap();
+        for i in 0..k {
+            b.channel(aa[i], bb[i], 1, 1, 0).unwrap();
+        }
+        for i in 0..k - 2 {
+            b.channel(bb[i], aa[i + 2], 1, 1, 2).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ladder_groups_and_indices() {
+        let g = ladder(5);
+        let abs = auto_abstraction(&g).unwrap();
+        assert_eq!(abs.num_groups(), 2);
+        assert_eq!(abs.cycle_length(), 5);
+        for i in 0..5u64 {
+            let a = g.actor_by_name(&format!("A{}", i + 1)).unwrap();
+            assert_eq!(abs.group_of(a), "A");
+            assert_eq!(abs.index_of(a), i);
+            let bb = g.actor_by_name(&format!("B{}", i + 1)).unwrap();
+            assert_eq!(abs.group_of(bb), "B");
+            assert_eq!(abs.index_of(bb), i);
+        }
+    }
+
+    #[test]
+    fn ladder_abstraction_is_conservative() {
+        let g = ladder(6);
+        let abs = auto_abstraction(&g).unwrap();
+        assert_eq!(verify_abstraction(&g, &abs).unwrap(), Ok(()));
+        let bound = conservative_period_bound(&g, &abs).unwrap().unwrap();
+        let actual = throughput(&g).unwrap().period().unwrap();
+        assert!(actual <= bound, "{actual} <= {bound}");
+    }
+
+    #[test]
+    fn zero_delay_cycle_fails_cleanly() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x1", 1);
+        let y = b.actor("x2", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            auto_abstraction(&g),
+            Err(CoreError::AutoAbstractionFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_grouping_function() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("left", 1);
+        let y = b.actor("right", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        // Group everything together regardless of names.
+        let abs = auto_abstraction_with(&g, |_| "ALL".to_string()).unwrap();
+        assert_eq!(abs.num_groups(), 1);
+        assert_eq!(abs.cycle_length(), 2);
+    }
+
+    #[test]
+    fn index_gaps_allowed_for_unequal_groups() {
+        // 3 A's, 1 B attached to A3: B must get index >= I(A3) = 2.
+        let mut b = SdfGraph::builder("g");
+        let a1 = b.actor("A1", 1);
+        let a2 = b.actor("A2", 1);
+        let a3 = b.actor("A3", 1);
+        let b1 = b.actor("B1", 1);
+        b.channel(a1, a2, 1, 1, 0).unwrap();
+        b.channel(a2, a3, 1, 1, 0).unwrap();
+        b.channel(a3, b1, 1, 1, 0).unwrap();
+        b.channel(b1, a1, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let abs = auto_abstraction(&g).unwrap();
+        assert_eq!(abs.index_of(b1), 2);
+        assert_eq!(verify_abstraction(&g, &abs).unwrap(), Ok(()));
+    }
+}

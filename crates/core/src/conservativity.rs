@@ -1,0 +1,321 @@
+//! Mechanical verification of the conservativity argument (paper, Sec. 5).
+//!
+//! Proposition 1 of the paper gives a refinement principle: if graph
+//! `(A, D, T)` embeds into `(B, E, U)` via an injective actor mapping σ such
+//! that execution times only grow (`T(a) ≤ U(σ(a))`, Prop. 3) and every
+//! dependency edge has a counterpart with at most as many initial tokens
+//! (Prop. 4), then the throughput of `(A, D, T)` is at least that of
+//! `(B, E, U)`.
+//!
+//! [`verify_abstraction`] instantiates this for an abstraction: it unfolds
+//! the abstract graph `N` times (Def. 5), builds the mapping
+//! `σ(a) = α(a)_{I(a)}`, and checks the premises edge by edge. Together with
+//! the proofs in the paper this certifies that the abstract graph's
+//! throughput (divided by `N`) conservatively bounds the original's
+//! (Theorem 1) — and [`conservative_period_bound`] computes that bound.
+
+use sdfr_analysis::throughput::throughput;
+use sdfr_graph::{ActorId, ChannelId, SdfGraph};
+use sdfr_maxplus::Rational;
+
+use crate::abstraction::{abstract_graph, abstract_graph_unpruned, Abstraction};
+use crate::unfold::{unfold, unfolded_actor_name};
+use crate::CoreError;
+
+/// A violated premise of Prop. 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RefinementViolation {
+    /// σ maps two actors of the refined graph to the same actor.
+    NotInjective {
+        /// The shared image actor (in the bigger graph).
+        image: ActorId,
+    },
+    /// An actor is faster in the bigger graph (`T(a) > U(σ(a))`).
+    ExecutionTime {
+        /// Actor in the refined (smaller/faster) graph.
+        fast: ActorId,
+        /// Its image in the bigger graph.
+        slow: ActorId,
+    },
+    /// An edge of the refined graph has no counterpart
+    /// `(σ(a), σ(b), p, c, d' ≤ d)` in the bigger graph.
+    MissingEdge {
+        /// The unmatched channel of the refined graph.
+        channel: ChannelId,
+    },
+}
+
+impl std::fmt::Display for RefinementViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefinementViolation::NotInjective { image } => {
+                write!(f, "mapping is not injective at image actor {image}")
+            }
+            RefinementViolation::ExecutionTime { fast, slow } => write!(
+                f,
+                "execution time of {fast} exceeds that of its image {slow}"
+            ),
+            RefinementViolation::MissingEdge { channel } => write!(
+                f,
+                "channel {channel} has no conservative counterpart in the refining graph"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RefinementViolation {}
+
+/// Checks the premises of Prop. 1 for `fast` embedded in `slow` via
+/// `sigma` (indexed by the actor index of `fast`).
+///
+/// On success, the throughput of `fast` is at least that of `slow` — i.e.
+/// `slow` is a *conservative* model of `fast`.
+///
+/// # Errors
+///
+/// Returns the first discovered [`RefinementViolation`].
+///
+/// # Panics
+///
+/// Panics if `sigma` is shorter than the number of actors of `fast` or
+/// contains ids not in `slow`.
+pub fn check_refinement(
+    fast: &SdfGraph,
+    slow: &SdfGraph,
+    sigma: &[ActorId],
+) -> Result<(), RefinementViolation> {
+    assert!(
+        sigma.len() >= fast.num_actors(),
+        "sigma must cover every actor of the refined graph"
+    );
+    // Injectivity.
+    let mut hit = vec![false; slow.num_actors()];
+    for a in fast.actor_ids() {
+        let img = sigma[a.index()];
+        if hit[img.index()] {
+            return Err(RefinementViolation::NotInjective { image: img });
+        }
+        hit[img.index()] = true;
+    }
+    // Execution times only grow (Prop. 3).
+    for (a, actor) in fast.actors() {
+        let img = sigma[a.index()];
+        if actor.execution_time() > slow.actor(img).execution_time() {
+            return Err(RefinementViolation::ExecutionTime { fast: a, slow: img });
+        }
+    }
+    // Every edge has a counterpart with at most as many tokens (Prop. 4).
+    for (cid, ch) in fast.channels() {
+        let src = sigma[ch.source().index()];
+        let dst = sigma[ch.target().index()];
+        let matched = slow.outgoing(src).iter().any(|&other| {
+            let o = slow.channel(other);
+            o.target() == dst
+                && o.production() == ch.production()
+                && o.consumption() == ch.consumption()
+                && o.initial_tokens() <= ch.initial_tokens()
+        });
+        if !matched {
+            return Err(RefinementViolation::MissingEdge { channel: cid });
+        }
+    }
+    Ok(())
+}
+
+/// Mechanically verifies that `abs` is conservative for `g`: builds the
+/// abstract graph (unpruned Def. 4), unfolds it `N` times, constructs
+/// `σ(a) = α(a)_{I(a)}`, and checks Prop. 1's premises.
+///
+/// # Errors
+///
+/// - [`CoreError`] if the abstract graph cannot be built,
+/// - the [`RefinementViolation`] (boxed in
+///   [`CoreError::AutoAbstractionFailed`]-style reporting is avoided; the
+///   violation is returned in the `Ok(Err(..))` layer) if a premise fails —
+///   which the paper proves cannot happen for a valid abstraction, so
+///   hitting it indicates a bug and is surfaced for property testing.
+pub fn verify_abstraction(
+    g: &SdfGraph,
+    abs: &Abstraction,
+) -> Result<Result<(), RefinementViolation>, CoreError> {
+    let ag = abstract_graph_unpruned(g, abs)?;
+    let n = abs.cycle_length();
+    let unfolded = unfold(&ag, n);
+    let sigma: Vec<ActorId> = g
+        .actor_ids()
+        .map(|a| {
+            let name = unfolded_actor_name(abs.group_of(a), abs.index_of(a));
+            unfolded
+                .actor_by_name(&name)
+                .expect("unfolding contains every (group, index) copy")
+        })
+        .collect();
+    Ok(check_refinement(g, &unfolded, &sigma))
+}
+
+/// The conservative iteration-period bound from Theorem 1: `N · λ'`, where
+/// λ' is the iteration period of the (pruned) abstract graph.
+///
+/// The original graph's period is guaranteed to be at most this bound; the
+/// original throughput of any actor `a` is at least `1 / (N·λ')` (for
+/// homogeneous graphs, where `γ(a) = 1`).
+///
+/// Returns `None` if the abstract graph has no recurrent constraint.
+///
+/// # Errors
+///
+/// Propagates graph-construction and analysis errors.
+pub fn conservative_period_bound(
+    g: &SdfGraph,
+    abs: &Abstraction,
+) -> Result<Option<Rational>, CoreError> {
+    let ag = abstract_graph(g, abs)?;
+    let t = throughput(&ag).map_err(CoreError::from)?;
+    Ok(t.period()
+        .map(|l| l * Rational::from(abs.cycle_length() as i64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::Abstraction;
+
+    /// A ring of `k` actors with one token, grouped into a single abstract
+    /// actor.
+    fn ring(k: usize, times: &[i64]) -> (SdfGraph, Vec<ActorId>) {
+        let mut b = SdfGraph::builder("ring");
+        let ids: Vec<_> = (0..k)
+            .map(|i| b.actor(format!("r{i}"), times[i % times.len()]))
+            .collect();
+        for i in 0..k {
+            let d = u64::from(i + 1 == k);
+            b.channel(ids[i], ids[(i + 1) % k], 1, 1, d).unwrap();
+        }
+        (b.build().unwrap(), ids)
+    }
+
+    fn ring_abstraction(g: &SdfGraph, ids: &[ActorId]) -> Abstraction {
+        let mut builder = Abstraction::builder(g);
+        for (i, &a) in ids.iter().enumerate() {
+            builder.assign(a, "R", i as u64);
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn ring_abstraction_verifies() {
+        let (g, ids) = ring(4, &[2, 5, 3, 1]);
+        let abs = ring_abstraction(&g, &ids);
+        assert_eq!(verify_abstraction(&g, &abs).unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn ring_period_bound_is_conservative() {
+        let (g, ids) = ring(4, &[2, 5, 3, 1]);
+        let abs = ring_abstraction(&g, &ids);
+        let bound = conservative_period_bound(&g, &abs).unwrap().unwrap();
+        let actual = throughput(&g).unwrap().period().unwrap();
+        // Original: cycle of 11 time units; abstract: max time 5 × N 4 = 20.
+        assert_eq!(actual, Rational::new(11, 1));
+        assert_eq!(bound, Rational::new(20, 1));
+        assert!(actual <= bound);
+    }
+
+    #[test]
+    fn refinement_catches_execution_time_violation() {
+        let mut b = SdfGraph::builder("fast");
+        let x = b.actor("x", 5);
+        b.channel(x, x, 1, 1, 1).unwrap();
+        let fast = b.build().unwrap();
+        let mut b = SdfGraph::builder("slow");
+        let y = b.actor("y", 3); // slower graph actor is FASTER: violation
+        b.channel(y, y, 1, 1, 1).unwrap();
+        let slow = b.build().unwrap();
+        assert_eq!(
+            check_refinement(&fast, &slow, &[y]),
+            Err(RefinementViolation::ExecutionTime { fast: x, slow: y })
+        );
+    }
+
+    #[test]
+    fn refinement_catches_missing_edge() {
+        let mut b = SdfGraph::builder("fast");
+        let x = b.actor("x", 1);
+        let ch = b.channel(x, x, 1, 1, 2).unwrap();
+        let fast = b.build().unwrap();
+        // Image graph has the edge but with MORE tokens: not conservative.
+        let mut b = SdfGraph::builder("slow");
+        let y = b.actor("y", 1);
+        b.channel(y, y, 1, 1, 3).unwrap();
+        let slow = b.build().unwrap();
+        assert_eq!(
+            check_refinement(&fast, &slow, &[y]),
+            Err(RefinementViolation::MissingEdge { channel: ch })
+        );
+    }
+
+    #[test]
+    fn refinement_catches_non_injective_sigma() {
+        let mut b = SdfGraph::builder("fast");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 1).unwrap();
+        let fast = b.build().unwrap();
+        let mut b = SdfGraph::builder("slow");
+        let z = b.actor("z", 1);
+        b.channel(z, z, 1, 1, 1).unwrap();
+        let slow = b.build().unwrap();
+        assert_eq!(
+            check_refinement(&fast, &slow, &[z, z]),
+            Err(RefinementViolation::NotInjective { image: z })
+        );
+    }
+
+    #[test]
+    fn refinement_accepts_fewer_tokens_and_slower_actors() {
+        let mut b = SdfGraph::builder("fast");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 1, 2).unwrap();
+        let fast = b.build().unwrap();
+        let mut b = SdfGraph::builder("slow");
+        let y = b.actor("y", 4);
+        b.channel(y, y, 1, 1, 1).unwrap();
+        let slow = b.build().unwrap();
+        assert_eq!(check_refinement(&fast, &slow, &[y]), Ok(()));
+        // And the throughput relation indeed holds.
+        let tf = throughput(&fast).unwrap().period().unwrap();
+        let ts = throughput(&slow).unwrap().period().unwrap();
+        assert!(tf <= ts);
+    }
+
+    #[test]
+    fn two_group_abstraction_verifies_and_bounds() {
+        // Two interleaved rings sharing tokens, grouped A/B, mirroring the
+        // paper's Fig. 2 example shape.
+        let mut b = SdfGraph::builder("g");
+        let a1 = b.actor("A1", 2);
+        let a2 = b.actor("A2", 4);
+        let b1 = b.actor("B1", 3);
+        let b2 = b.actor("B2", 1);
+        b.channel(a1, a2, 1, 1, 0).unwrap();
+        b.channel(a2, a1, 1, 1, 1).unwrap();
+        b.channel(a1, b1, 1, 1, 0).unwrap();
+        b.channel(a2, b2, 1, 1, 0).unwrap();
+        b.channel(b1, b2, 1, 1, 0).unwrap();
+        b.channel(b2, b1, 1, 1, 1).unwrap();
+        b.channel(b2, a1, 1, 1, 2).unwrap();
+        let g = b.build().unwrap();
+        let mut builder = Abstraction::builder(&g);
+        builder
+            .assign(a1, "A", 0)
+            .assign(a2, "A", 1)
+            .assign(b1, "B", 0)
+            .assign(b2, "B", 1);
+        let abs = builder.build().unwrap();
+        assert_eq!(verify_abstraction(&g, &abs).unwrap(), Ok(()));
+        let bound = conservative_period_bound(&g, &abs).unwrap().unwrap();
+        let actual = throughput(&g).unwrap().period().unwrap();
+        assert!(actual <= bound, "{actual} <= {bound}");
+    }
+}

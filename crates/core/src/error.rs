@@ -1,0 +1,119 @@
+//! Errors for the reduction transformations.
+
+use std::error::Error;
+use std::fmt;
+
+use sdfr_graph::{ActorId, SdfError};
+
+/// Errors raised by the abstraction and conversion transformations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A graph-level error (inconsistency, deadlock, …).
+    Graph(SdfError),
+    /// An actor was not assigned to any abstract actor.
+    UnassignedActor {
+        /// The unassigned actor.
+        actor: ActorId,
+    },
+    /// Two actors of the same abstraction group share an index, violating
+    /// Def. 3 (`α(a1) = α(a2) ⇒ I(a1) ≠ I(a2)`).
+    DuplicateIndexInGroup {
+        /// Name of the abstract actor (group).
+        group: String,
+        /// The duplicated index.
+        index: u64,
+    },
+    /// Two actors of the same group have different repetition-vector
+    /// entries, violating Def. 3 (`γ(a1) = γ(a2)`).
+    UnequalRepetitionInGroup {
+        /// Name of the abstract actor (group).
+        group: String,
+    },
+    /// An edge `(a, b, p, c, 0)` runs against the index order, violating
+    /// Def. 3 (`I(a) ≤ I(b)` or `d > 0`).
+    IndexOrderViolated {
+        /// Source actor of the offending edge.
+        source: ActorId,
+        /// Target actor of the offending edge.
+        target: ActorId,
+    },
+    /// The abstraction machinery requires a homogeneous input graph (the
+    /// form in which Def. 4 and the conservativity proof are stated);
+    /// convert multirate graphs to HSDF first.
+    RequiresHomogeneous,
+    /// Automatic abstraction could not derive a grouping (e.g. a zero-delay
+    /// cycle, which only occurs in deadlocked graphs).
+    AutoAbstractionFailed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "{e}"),
+            CoreError::UnassignedActor { actor } => {
+                write!(f, "actor {actor} is not assigned to an abstract actor")
+            }
+            CoreError::DuplicateIndexInGroup { group, index } => write!(
+                f,
+                "two actors of group '{group}' share index {index} (Def. 3 requires distinct indices)"
+            ),
+            CoreError::UnequalRepetitionInGroup { group } => write!(
+                f,
+                "actors of group '{group}' have different repetition-vector entries"
+            ),
+            CoreError::IndexOrderViolated { source, target } => write!(
+                f,
+                "token-free edge {source} -> {target} runs against the index order (Def. 3)"
+            ),
+            CoreError::RequiresHomogeneous => {
+                write!(f, "abstraction requires a homogeneous SDF graph")
+            }
+            CoreError::AutoAbstractionFailed { reason } => {
+                write!(f, "automatic abstraction failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdfError> for CoreError {
+    fn from(e: SdfError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::Graph(SdfError::EmptyActorName);
+        assert!(e.to_string().contains("non-empty"));
+        assert!(e.source().is_some());
+        let e = CoreError::DuplicateIndexInGroup {
+            group: "A".into(),
+            index: 3,
+        };
+        assert!(e.to_string().contains("'A'"));
+        assert!(e.source().is_none());
+        let e = CoreError::RequiresHomogeneous;
+        assert!(e.to_string().contains("homogeneous"));
+        let e = CoreError::UnassignedActor {
+            actor: ActorId::from_index(2),
+        };
+        assert!(e.to_string().contains("a2"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Redundant parallel-edge pruning.
+//!
+//! The abstraction of Def. 4 maps every original edge to an abstract edge,
+//! which frequently yields several parallel edges between the same pair of
+//! abstract actors. When such edges agree on rates, only the one with the
+//! fewest initial tokens constrains the execution — the others are redundant
+//! and can be removed without changing any timing behaviour (paper,
+//! Sec. 4.2: "such a set of edges can always be pruned to only the one with
+//! the smallest number of initial tokens").
+
+use std::collections::HashMap;
+
+use sdfr_graph::{ActorId, SdfGraph};
+
+/// Removes redundant parallel edges: among channels that share source,
+/// target, production and consumption rates, only the one with the fewest
+/// initial tokens is kept.
+///
+/// Channels between the same actors with *different* rates are never merged
+/// — they impose incomparable constraints.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_core::prune::prune_redundant_edges;
+/// use sdfr_graph::SdfGraph;
+///
+/// let mut b = SdfGraph::builder("g");
+/// let x = b.actor("x", 1);
+/// b.channel(x, x, 1, 1, 1)?;
+/// b.channel(x, x, 1, 1, 3)?; // redundant: more tokens, same rates
+/// let g = prune_redundant_edges(&b.build()?);
+/// assert_eq!(g.num_channels(), 1);
+/// assert_eq!(g.channels().next().unwrap().1.initial_tokens(), 1);
+/// # Ok::<(), sdfr_graph::SdfError>(())
+/// ```
+pub fn prune_redundant_edges(g: &SdfGraph) -> SdfGraph {
+    let mut best: HashMap<(ActorId, ActorId, u64, u64), u64> = HashMap::new();
+    let mut order: Vec<(ActorId, ActorId, u64, u64)> = Vec::new();
+    for (_, ch) in g.channels() {
+        let key = (ch.source(), ch.target(), ch.production(), ch.consumption());
+        match best.get_mut(&key) {
+            None => {
+                best.insert(key, ch.initial_tokens());
+                order.push(key);
+            }
+            Some(d) => *d = (*d).min(ch.initial_tokens()),
+        }
+    }
+
+    let mut b = SdfGraph::builder(g.name().to_string());
+    let ids: Vec<_> = g
+        .actors()
+        .map(|(_, a)| b.actor(a.name().to_string(), a.execution_time()))
+        .collect();
+    for key @ (src, dst, p, c) in order {
+        b.channel(ids[src.index()], ids[dst.index()], p, c, best[&key])
+            .expect("endpoints rebuilt above");
+    }
+    b.build().expect("pruning preserves validity")
+}
+
+/// The number of channels [`prune_redundant_edges`] would remove.
+pub fn redundant_edge_count(g: &SdfGraph) -> usize {
+    let mut seen: HashMap<(ActorId, ActorId, u64, u64), ()> = HashMap::new();
+    let mut redundant = 0;
+    for (_, ch) in g.channels() {
+        let key = (ch.source(), ch.target(), ch.production(), ch.consumption());
+        if seen.insert(key, ()).is_some() {
+            redundant += 1;
+        }
+    }
+    redundant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_min_token_edge() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 5).unwrap();
+        b.channel(x, y, 1, 1, 2).unwrap();
+        b.channel(x, y, 1, 1, 9).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(redundant_edge_count(&g), 2);
+        let p = prune_redundant_edges(&g);
+        assert_eq!(p.num_channels(), 1);
+        assert_eq!(p.channels().next().unwrap().1.initial_tokens(), 2);
+    }
+
+    #[test]
+    fn different_rates_not_merged() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 1, 5).unwrap();
+        b.channel(x, y, 1, 1, 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(redundant_edge_count(&g), 0);
+        assert_eq!(prune_redundant_edges(&g).num_channels(), 2);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 1).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(prune_redundant_edges(&g).num_channels(), 2);
+    }
+
+    #[test]
+    fn preserves_actors_and_times() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 4);
+        b.channel(x, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let p = prune_redundant_edges(&g);
+        assert_eq!(p.num_actors(), 1);
+        let xa = p.actor_by_name("x").unwrap();
+        assert_eq!(p.actor(xa).execution_time(), 4);
+        assert_eq!(p.name(), "g");
+    }
+
+    #[test]
+    fn pruning_preserves_throughput() {
+        use sdfr_analysis::throughput::throughput;
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 3);
+        let y = b.actor("y", 2);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(x, y, 1, 1, 4).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        b.channel(y, x, 1, 1, 2).unwrap();
+        let g = b.build().unwrap();
+        let p = prune_redundant_edges(&g);
+        assert_eq!(
+            throughput(&g).unwrap().period(),
+            throughput(&p).unwrap().period()
+        );
+    }
+}

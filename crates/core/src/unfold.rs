@@ -1,0 +1,192 @@
+//! The `N`-fold unfolding of a timed SDF graph (paper, Def. 5).
+//!
+//! The unfolding splits every actor `a` into `N` copies `a_0 … a_{N−1}`;
+//! firing `k` of the original corresponds to firing `k div N` of copy
+//! `a_{k mod N}`. Every edge `(a, b, p, c, d)` becomes `N` edges: for each
+//! `0 ≤ i < N`, with `j = (i + d) mod N`, an edge `(a_i, b_j, p, c, d')`
+//! where `d' = d div N + t` and `t = 1` if `j < i`, else `0`.
+//!
+//! The unfolding mimics the original exactly (Prop. 2: the throughput per
+//! copy is `τ(a)/N`). Its role in the paper is proof machinery: unfolding
+//! the *abstract* graph by `N` makes it directly comparable to the original
+//! via Prop. 1, which is how Theorem 1 (conservativity) is established —
+//! and how [`crate::conservativity`] checks instances mechanically.
+
+use sdfr_graph::{ActorId, SdfGraph};
+
+/// Computes the `N`-fold unfolding of `g`.
+///
+/// Copy `i` of actor `a` is named `"{a}${i}"`; use
+/// [`unfolded_actor_name`] to construct the name of a specific copy.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_core::unfold::{unfold, unfolded_actor_name};
+/// use sdfr_graph::SdfGraph;
+///
+/// let mut b = SdfGraph::builder("g");
+/// let x = b.actor("x", 2);
+/// b.channel(x, x, 1, 1, 1)?;
+/// let g = b.build()?;
+///
+/// let u = unfold(&g, 3);
+/// assert_eq!(u.num_actors(), 3);
+/// // The single token distributes: x_0 -> x_1 -> x_2 -> x_0 with one
+/// // token on the wrap-around edge.
+/// assert_eq!(u.total_initial_tokens(), 1);
+/// assert!(u.actor_by_name(&unfolded_actor_name("x", 2)).is_some());
+/// # Ok::<(), sdfr_graph::SdfError>(())
+/// ```
+pub fn unfold(g: &SdfGraph, n: u64) -> SdfGraph {
+    assert!(n >= 1, "unfolding degree must be at least 1");
+    let mut b = SdfGraph::builder(format!("{}^unf{}", g.name(), n));
+    // ids[a][i] = copy i of actor a.
+    let ids: Vec<Vec<ActorId>> = g
+        .actors()
+        .map(|(_, a)| {
+            (0..n)
+                .map(|i| b.actor(unfolded_actor_name(a.name(), i), a.execution_time()))
+                .collect()
+        })
+        .collect();
+    for (_, ch) in g.channels() {
+        let d = ch.initial_tokens();
+        for i in 0..n {
+            let j = (i + d) % n;
+            let t = u64::from(j < i);
+            let d_prime = d / n + t;
+            b.channel(
+                ids[ch.source().index()][i as usize],
+                ids[ch.target().index()][j as usize],
+                ch.production(),
+                ch.consumption(),
+                d_prime,
+            )
+            .expect("endpoints created above");
+        }
+    }
+    b.build().expect("unfolding preserves validity")
+}
+
+/// The name of copy `i` of actor `name` in an unfolded graph.
+pub fn unfolded_actor_name(name: &str, i: u64) -> String {
+    format!("{name}${i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfr_analysis::throughput::throughput;
+    use sdfr_maxplus::Rational;
+
+    fn cycle(tx: i64, ty: i64, tokens: u64) -> SdfGraph {
+        let mut b = SdfGraph::builder("cycle");
+        let x = b.actor("x", tx);
+        let y = b.actor("y", ty);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, tokens).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn structure_counts() {
+        let g = cycle(1, 2, 1);
+        let u = unfold(&g, 4);
+        assert_eq!(u.num_actors(), 8);
+        assert_eq!(u.num_channels(), 8);
+        // Total tokens preserved: Σ over unfolded edges of d' == d for each
+        // original edge (d < n case distributes d tokens as t-flags).
+        assert_eq!(u.total_initial_tokens(), g.total_initial_tokens());
+    }
+
+    #[test]
+    fn token_distribution_for_large_d() {
+        // d = 5, n = 3: copies get d' = 1 + wrap flags; total stays 5.
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 1, 5).unwrap();
+        let g = b.build().unwrap();
+        let u = unfold(&g, 3);
+        assert_eq!(u.total_initial_tokens(), 5);
+        assert_eq!(u.num_channels(), 3);
+    }
+
+    #[test]
+    fn self_edge_unfolds_to_ring() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 2);
+        b.channel(x, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let u = unfold(&g, 3);
+        // Ring x0 -> x1 -> x2 -> x0 with exactly one token.
+        let mut with_token = 0;
+        for (_, c) in u.channels() {
+            assert_ne!(c.source(), c.target(), "no self-loops in the ring");
+            with_token += u64::from(c.initial_tokens() > 0);
+        }
+        assert_eq!(with_token, 1);
+    }
+
+    #[test]
+    fn throughput_scales_by_n_prop2() {
+        // Prop. 2: per-copy throughput is τ(a)/N. One iteration of
+        // unf(g, N) fires every copy once, covering N original iterations,
+        // so its iteration period is N · λ(g).
+        for n in [1u64, 2, 3, 5] {
+            let g = cycle(2, 3, 1);
+            let u = unfold(&g, n);
+            let l_g = throughput(&g).unwrap().period().unwrap();
+            let l_u = throughput(&u).unwrap().period().unwrap();
+            assert_eq!(l_u, l_g * Rational::from(n as i64), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn throughput_scaling_with_pipelining_tokens() {
+        // With 3 tokens on the cycle, λ = 5/3; unfolding must scale exactly.
+        let g = cycle(2, 3, 3);
+        let l_g = throughput(&g).unwrap().period().unwrap();
+        assert_eq!(l_g, Rational::new(5, 3));
+        let u = unfold(&g, 3);
+        let l_u = throughput(&u).unwrap().period().unwrap();
+        assert_eq!(l_u, Rational::new(5, 1));
+    }
+
+    #[test]
+    fn unfold_by_one_is_isomorphic() {
+        let g = cycle(2, 3, 2);
+        let u = unfold(&g, 1);
+        assert_eq!(u.num_actors(), g.num_actors());
+        assert_eq!(u.num_channels(), g.num_channels());
+        assert_eq!(
+            throughput(&u).unwrap().period(),
+            throughput(&g).unwrap().period()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_unfold_panics() {
+        let g = cycle(1, 1, 1);
+        let _ = unfold(&g, 0);
+    }
+
+    #[test]
+    fn multirate_edges_carried_through() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 3, 6).unwrap();
+        let g = b.build().unwrap();
+        let u = unfold(&g, 2);
+        for (_, c) in u.channels() {
+            assert_eq!((c.production(), c.consumption()), (2, 3));
+        }
+        assert_eq!(u.total_initial_tokens(), 6);
+    }
+}

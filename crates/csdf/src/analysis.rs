@@ -1,0 +1,420 @@
+//! Analysis of CSDF graphs through the max-plus machinery.
+
+use std::collections::VecDeque;
+
+use sdfr_graph::{SdfError, SdfGraph};
+use sdfr_maxplus::{MpMatrix, MpVector, Rational};
+
+use crate::graph::{CsdfActorId, CsdfChannelId, CsdfGraph};
+
+/// The cycle-level repetition vector of a CSDF graph: `cycles[a]` complete
+/// phase cycles of each actor per iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsdfRepetition {
+    cycles: Vec<u64>,
+}
+
+impl CsdfRepetition {
+    /// Complete phase cycles of actor `a` per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` does not belong to the analysed graph.
+    pub fn cycles(&self, a: CsdfActorId) -> u64 {
+        self.cycles[a.index()]
+    }
+
+    /// Phase-level firings of actor `a` per iteration
+    /// (`cycles(a) · phases(a)`), given its phase count.
+    pub fn firings(&self, a: CsdfActorId, phases: usize) -> u64 {
+        self.cycles[a.index()] * phases as u64
+    }
+
+    /// Total phase firings per iteration over all actors.
+    pub fn iteration_length(&self, g: &CsdfGraph) -> u64 {
+        g.actors()
+            .map(|(id, a)| self.firings(id, a.num_phases()))
+            .sum()
+    }
+}
+
+/// Computes the cycle-level repetition vector: the smallest positive
+/// integers with `cycles(a)·Σprod = cycles(b)·Σcons` per channel.
+///
+/// # Errors
+///
+/// Returns [`SdfError::Inconsistent`] when the balance equations have no
+/// solution.
+pub fn repetition_vector(g: &CsdfGraph) -> Result<CsdfRepetition, SdfError> {
+    // Reuse the SDF solver on the cycle-level rate abstraction.
+    let mut b = SdfGraph::builder(g.name().to_string());
+    let ids: Vec<_> = g
+        .actors()
+        .map(|(_, a)| b.actor(a.name().to_string(), 0.max(a.phase_time(0))))
+        .collect();
+    for (_, c) in g.channels() {
+        b.channel(
+            ids[c.source().index()],
+            ids[c.target().index()],
+            c.production_per_cycle(),
+            c.consumption_per_cycle(),
+            c.initial_tokens(),
+        )
+        .expect("validated patterns");
+    }
+    let sdf = b.build().expect("names validated by the CSDF builder");
+    let gamma = sdfr_graph::repetition::repetition_vector(&sdf)?;
+    Ok(CsdfRepetition {
+        cycles: gamma.as_slice().to_vec(),
+    })
+}
+
+/// One phase-accurate sequential schedule for an iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsdfSchedule {
+    /// Firings in order: `(actor, phase)`.
+    pub firings: Vec<(CsdfActorId, usize)>,
+}
+
+/// Constructs a phase-accurate PASS: fires enabled phases greedily until
+/// every actor completed `cycles(a)` full phase cycles.
+///
+/// # Errors
+///
+/// - [`SdfError::Inconsistent`] without a repetition vector,
+/// - [`SdfError::Deadlock`] if the iteration cannot complete.
+pub fn sequential_schedule(
+    g: &CsdfGraph,
+    rep: &CsdfRepetition,
+) -> Result<CsdfSchedule, SdfError> {
+    let n = g.num_actors();
+    let mut tokens: Vec<u64> = g.channels().map(|(_, c)| c.initial_tokens()).collect();
+    let mut phase = vec![0usize; n];
+    let mut remaining: Vec<u64> = g
+        .actors()
+        .map(|(id, a)| rep.firings(id, a.num_phases()))
+        .collect();
+    let needed: u64 = remaining.iter().sum();
+    let mut fired = 0u64;
+    let mut firings = Vec::with_capacity(needed as usize);
+
+    loop {
+        let mut progress = false;
+        for a in g.actor_ids() {
+            // Fire as many consecutive phases of `a` as are enabled.
+            while remaining[a.index()] > 0 && phase_enabled(g, a, phase[a.index()], &tokens) {
+                fire_phase(g, a, phase[a.index()], &mut tokens);
+                firings.push((a, phase[a.index()]));
+                phase[a.index()] = (phase[a.index()] + 1) % g.actor(a).num_phases();
+                remaining[a.index()] -= 1;
+                fired += 1;
+                progress = true;
+            }
+        }
+        if remaining.iter().all(|&r| r == 0) {
+            debug_assert!(phase.iter().all(|&p| p == 0), "cycles complete");
+            return Ok(CsdfSchedule { firings });
+        }
+        if !progress {
+            return Err(SdfError::Deadlock { fired, needed });
+        }
+    }
+}
+
+fn phase_enabled(g: &CsdfGraph, a: CsdfActorId, phase: usize, tokens: &[u64]) -> bool {
+    g.incoming(a).iter().all(|&cid| {
+        tokens[cid.index()] >= g.channel(cid).consumption(phase)
+    })
+}
+
+fn fire_phase(g: &CsdfGraph, a: CsdfActorId, phase: usize, tokens: &mut [u64]) {
+    for &cid in g.incoming(a) {
+        tokens[cid.index()] -= g.channel(cid).consumption(phase);
+    }
+    for &cid in g.outgoing(a) {
+        tokens[cid.index()] += g.channel(cid).production(phase);
+    }
+}
+
+/// The symbolic max-plus iteration of a CSDF graph.
+#[derive(Debug, Clone)]
+pub struct CsdfSymbolic {
+    /// The `N×N` matrix over the initial tokens.
+    pub matrix: MpMatrix,
+    /// `(channel, FIFO position)` of each token index.
+    pub tokens: Vec<(CsdfChannelId, u64)>,
+    /// The repetition vector used.
+    pub repetition: CsdfRepetition,
+}
+
+/// Executes one iteration symbolically (the paper's Algorithm 1, at phase
+/// granularity) and returns the max-plus matrix over the initial tokens.
+///
+/// # Errors
+///
+/// See [`sequential_schedule`].
+pub fn symbolic_iteration(g: &CsdfGraph) -> Result<CsdfSymbolic, SdfError> {
+    let rep = repetition_vector(g)?;
+    let schedule = sequential_schedule(g, &rep)?;
+
+    let mut tokens = Vec::new();
+    for (cid, ch) in g.channels() {
+        for position in 0..ch.initial_tokens() {
+            tokens.push((cid, position));
+        }
+    }
+    let n = tokens.len();
+    let mut queues: Vec<VecDeque<(MpVector, u64)>> =
+        g.channels().map(|_| VecDeque::new()).collect();
+    for (idx, &(cid, _)) in tokens.iter().enumerate() {
+        queues[cid.index()].push_back((MpVector::unit(n, idx), 1));
+    }
+
+    for &(a, phase) in &schedule.firings {
+        let mut start = MpVector::neg_inf(n);
+        for &cid in g.incoming(a) {
+            let mut need = g.channel(cid).consumption(phase);
+            while need > 0 {
+                let (stamp, count) = queues[cid.index()]
+                    .front_mut()
+                    .expect("schedule guarantees availability");
+                start = start.join(stamp).expect("stamps share length");
+                if *count > need {
+                    *count -= need;
+                    need = 0;
+                } else {
+                    need -= *count;
+                    queues[cid.index()].pop_front();
+                }
+            }
+        }
+        let end = start.shift(g.actor(a).phase_time(phase));
+        for &cid in g.outgoing(a) {
+            let produced = g.channel(cid).production(phase);
+            if produced > 0 {
+                queues[cid.index()].push_back((end.clone(), produced));
+            }
+        }
+    }
+
+    let mut rows = Vec::with_capacity(n);
+    for &(cid, position) in &tokens {
+        let mut pos = position;
+        let mut found = None;
+        for (stamp, count) in &queues[cid.index()] {
+            if pos < *count {
+                found = Some(stamp.clone());
+                break;
+            }
+            pos -= count;
+        }
+        rows.push(found.expect("iteration restores the token distribution"));
+    }
+    Ok(CsdfSymbolic {
+        matrix: MpMatrix::from_row_vectors(rows).expect("rows share length"),
+        tokens,
+        repetition: rep,
+    })
+}
+
+/// The throughput of a CSDF graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsdfThroughput {
+    /// The iteration period λ, or `None` when unbounded.
+    pub period: Option<Rational>,
+    /// The repetition vector (cycle level).
+    pub repetition: CsdfRepetition,
+}
+
+impl CsdfThroughput {
+    /// Firings of actor `a` per time unit (needs the actor's phase count),
+    /// or `None` when unbounded.
+    pub fn actor_throughput(&self, a: CsdfActorId, phases: usize) -> Option<Rational> {
+        let period = self.period?;
+        if period == Rational::ZERO {
+            return None;
+        }
+        Some(Rational::from(self.repetition.firings(a, phases) as i64) / period)
+    }
+}
+
+/// Computes the exact iteration period of a CSDF graph spectrally.
+///
+/// # Errors
+///
+/// See [`symbolic_iteration`].
+pub fn throughput(g: &CsdfGraph) -> Result<CsdfThroughput, SdfError> {
+    let sym = symbolic_iteration(g)?;
+    Ok(CsdfThroughput {
+        period: sym.matrix.eigenvalue(),
+        repetition: sym.repetition,
+    })
+}
+
+/// Converts a CSDF graph into a compact throughput-equivalent HSDF graph —
+/// the paper's novel conversion applied beyond plain SDF.
+///
+/// # Errors
+///
+/// See [`symbolic_iteration`].
+pub fn to_hsdf(g: &CsdfGraph) -> Result<SdfGraph, SdfError> {
+    let sym = symbolic_iteration(g)?;
+    Ok(sdfr_core::novel::hsdf_from_matrix(
+        &sym.matrix,
+        &format!("{}^mp-hsdf", g.name()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfr_analysis::throughput::hsdf_period;
+
+    /// The canonical CSDF example: the producer emits only in its first
+    /// phase and reads back-pressure credits only in its second; a
+    /// one-token self-loop serializes its phases (standard CSDF modeling).
+    fn two_phase() -> CsdfGraph {
+        let mut b = CsdfGraph::builder("tp");
+        let p = b.actor("p", [1, 3]);
+        let c = b.actor("c", [2]);
+        b.channel(p, c, [2, 0], [1], 0).unwrap();
+        b.channel(c, p, [1], [0, 2], 4).unwrap();
+        b.channel(p, p, [1, 1], [1, 1], 1).unwrap();
+        b.channel(c, c, [1], [1], 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn repetition_cycle_level() {
+        let g = two_phase();
+        // (self-loops do not change the balance equations)
+        let rep = repetition_vector(&g).unwrap();
+        // Σprod = 2 per p-cycle, Σcons = 1 per c firing: c cycles twice.
+        let p = g.actor_by_name("p").unwrap();
+        let c = g.actor_by_name("c").unwrap();
+        assert_eq!(rep.cycles(p), 1);
+        assert_eq!(rep.cycles(c), 2);
+        assert_eq!(rep.firings(p, 2), 2);
+        assert_eq!(rep.iteration_length(&g), 4);
+    }
+
+    #[test]
+    fn schedule_is_phase_accurate() {
+        let g = two_phase();
+        let rep = repetition_vector(&g).unwrap();
+        let s = sequential_schedule(&g, &rep).unwrap();
+        assert_eq!(s.firings.len(), 4);
+        // Phases of each actor appear in cyclic order.
+        let p = g.actor_by_name("p").unwrap();
+        let phases: Vec<usize> = s
+            .firings
+            .iter()
+            .filter(|(a, _)| *a == p)
+            .map(|&(_, ph)| ph)
+            .collect();
+        assert_eq!(phases, vec![0, 1]);
+    }
+
+    #[test]
+    fn throughput_and_hsdf_agree() {
+        let g = two_phase();
+        let thr = throughput(&g).unwrap();
+        let hsdf = to_hsdf(&g).unwrap();
+        assert_eq!(hsdf_period(&hsdf).unwrap().finite(), thr.period);
+        assert!(thr.period.is_some());
+    }
+
+    #[test]
+    fn constant_patterns_match_plain_sdf() {
+        // A CSDF whose patterns are constant must analyse exactly like the
+        // corresponding SDF graph.
+        let mut b = CsdfGraph::builder("c");
+        let x = b.actor("x", [2]);
+        let y = b.actor("y", [3]);
+        b.channel(x, y, [1], [1], 0).unwrap();
+        b.channel(y, x, [1], [1], 1).unwrap();
+        let g = b.build().unwrap();
+        let thr = throughput(&g).unwrap();
+        assert_eq!(thr.period, Some(Rational::from(5)));
+        let x_id = g.actor_by_name("x").unwrap();
+        assert_eq!(
+            thr.actor_throughput(x_id, 1),
+            Some(Rational::new(1, 5))
+        );
+    }
+
+    #[test]
+    fn csdf_lives_where_sdf_deadlocks() {
+        // Classic: a token-free loop where each actor's first phase needs
+        // nothing. As SDF (aggregated rates) this deadlocks; as CSDF the
+        // phase order makes an iteration executable.
+        let mut b = CsdfGraph::builder("live");
+        let x = b.actor("x", [1, 1]);
+        let y = b.actor("y", [1, 1]);
+        // x produces in phase 0, consumes from y in phase 1.
+        b.channel(x, y, [1, 0], [1, 0], 0).unwrap();
+        b.channel(y, x, [0, 1], [0, 1], 0).unwrap();
+        let g = b.build().unwrap();
+        let rep = repetition_vector(&g).unwrap();
+        assert!(sequential_schedule(&g, &rep).is_ok());
+        assert!(symbolic_iteration(&g).is_ok());
+
+        // The aggregate SDF (rates 1:1 both ways, zero tokens) deadlocks.
+        let mut b = SdfGraph::builder("agg");
+        let xs = b.actor("x", 1);
+        let ys = b.actor("y", 1);
+        b.channel(xs, ys, 1, 1, 0).unwrap();
+        b.channel(ys, xs, 1, 1, 0).unwrap();
+        let agg = b.build().unwrap();
+        assert!(sdfr_analysis::throughput::throughput(&agg).is_err());
+    }
+
+    #[test]
+    fn deadlocked_csdf_detected() {
+        let mut b = CsdfGraph::builder("dead");
+        let x = b.actor("x", [1]);
+        let y = b.actor("y", [1]);
+        b.channel(x, y, [1], [1], 0).unwrap();
+        b.channel(y, x, [1], [1], 0).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(throughput(&g), Err(SdfError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn inconsistent_csdf_detected() {
+        let mut b = CsdfGraph::builder("bad");
+        let x = b.actor("x", [1]);
+        let y = b.actor("y", [1]);
+        b.channel(x, y, [2], [1], 0).unwrap();
+        b.channel(y, x, [1], [1], 4).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            repetition_vector(&g),
+            Err(SdfError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_rate_phases_move_no_stamps() {
+        // A phase producing zero tokens must not enqueue empty runs.
+        let g = two_phase();
+        let sym = symbolic_iteration(&g).unwrap();
+        // 4 credits + 2 serialization tokens.
+        assert_eq!(sym.matrix.num_rows(), 6);
+        assert_eq!(sym.tokens.len(), 6);
+        assert!(sym.matrix.eigenvalue().is_some());
+    }
+
+    #[test]
+    fn period_matches_hand_computation() {
+        // Serialized two-phase worker: phases 1 and 3 alternate on a
+        // one-token self-loop: period per cycle = 4, one cycle per
+        // iteration.
+        let mut b = CsdfGraph::builder("w");
+        let w = b.actor("w", [1, 3]);
+        b.channel(w, w, [1, 1], [1, 1], 1).unwrap();
+        let g = b.build().unwrap();
+        let thr = throughput(&g).unwrap();
+        assert_eq!(thr.period, Some(Rational::from(4)));
+    }
+}

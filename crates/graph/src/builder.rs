@@ -1,0 +1,251 @@
+//! Validated construction of SDF graphs.
+
+use std::collections::HashSet;
+
+use crate::graph::{Actor, ActorId, Channel, ChannelId, SdfGraph};
+use crate::{SdfError, Time};
+
+/// A builder for [`SdfGraph`] values.
+///
+/// Channel endpoint validity and rate positivity are checked as channels are
+/// added; execution-time sign and actor-name uniqueness are checked by
+/// [`build`](SdfGraphBuilder::build).
+///
+/// # Example
+///
+/// ```
+/// use sdfr_graph::SdfGraph;
+///
+/// let mut b = SdfGraph::builder("g");
+/// let x = b.actor("x", 5);
+/// let y = b.actor("y", 1);
+/// b.channel(x, y, 3, 2, 0)?;
+/// b.homogeneous_channel(y, x, 4)?; // shorthand for rates (1, 1)
+/// let g = b.build()?;
+/// assert_eq!(g.num_channels(), 2);
+/// # Ok::<(), sdfr_graph::SdfError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SdfGraphBuilder {
+    name: String,
+    actors: Vec<Actor>,
+    channels: Vec<Channel>,
+}
+
+impl SdfGraphBuilder {
+    /// Creates a new builder for a graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SdfGraphBuilder {
+            name: name.into(),
+            actors: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// Adds an actor with the given name and execution time and returns its
+    /// id.
+    ///
+    /// Name emptiness / uniqueness and the sign of the execution time are
+    /// validated by [`build`](SdfGraphBuilder::build), so this method is
+    /// infallible and chains conveniently.
+    pub fn actor(&mut self, name: impl Into<String>, execution_time: Time) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(Actor {
+            name: name.into(),
+            execution_time,
+        });
+        id
+    }
+
+    /// Adds a channel `(source, target, production, consumption, tokens)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::UnknownActor`] for an endpoint not created by this
+    /// builder and [`SdfError::ZeroRate`] if either rate is 0.
+    pub fn channel(
+        &mut self,
+        source: ActorId,
+        target: ActorId,
+        production: u64,
+        consumption: u64,
+        initial_tokens: u64,
+    ) -> Result<ChannelId, SdfError> {
+        for endpoint in [source, target] {
+            if endpoint.0 >= self.actors.len() {
+                return Err(SdfError::UnknownActor {
+                    actor: endpoint,
+                    num_actors: self.actors.len(),
+                });
+            }
+        }
+        if production == 0 || consumption == 0 {
+            return Err(SdfError::ZeroRate {
+                channel: self.channels.len(),
+            });
+        }
+        let id = ChannelId(self.channels.len());
+        self.channels.push(Channel {
+            source,
+            target,
+            production,
+            consumption,
+            initial_tokens,
+        });
+        Ok(id)
+    }
+
+    /// Adds a homogeneous channel (rates 1, 1) with the given initial tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::UnknownActor`] for an endpoint not created by this
+    /// builder.
+    pub fn homogeneous_channel(
+        &mut self,
+        source: ActorId,
+        target: ActorId,
+        initial_tokens: u64,
+    ) -> Result<ChannelId, SdfError> {
+        self.channel(source, target, 1, 1, initial_tokens)
+    }
+
+    /// The number of actors added so far.
+    pub fn num_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// The number of channels added so far.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// - [`SdfError::EmptyActorName`] if an actor has an empty name,
+    /// - [`SdfError::DuplicateActorName`] if two actors share a name,
+    /// - [`SdfError::NegativeExecutionTime`] if an execution time is `< 0`.
+    pub fn build(self) -> Result<SdfGraph, SdfError> {
+        let mut names = HashSet::with_capacity(self.actors.len());
+        for a in &self.actors {
+            if a.name.is_empty() {
+                return Err(SdfError::EmptyActorName);
+            }
+            if !names.insert(a.name.as_str()) {
+                return Err(SdfError::DuplicateActorName {
+                    name: a.name.clone(),
+                });
+            }
+            if a.execution_time < 0 {
+                return Err(SdfError::NegativeExecutionTime {
+                    actor: a.name.clone(),
+                });
+            }
+        }
+        let mut outgoing = vec![Vec::new(); self.actors.len()];
+        let mut incoming = vec![Vec::new(); self.actors.len()];
+        for (i, c) in self.channels.iter().enumerate() {
+            outgoing[c.source.0].push(ChannelId(i));
+            incoming[c.target.0].push(ChannelId(i));
+        }
+        Ok(SdfGraph {
+            name: self.name,
+            actors: self.actors,
+            channels: self.channels,
+            outgoing,
+            incoming,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_graph() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 2);
+        assert_eq!(b.num_actors(), 2);
+        b.channel(x, y, 2, 1, 3).unwrap();
+        assert_eq!(b.num_channels(), 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_actors(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_endpoint() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let ghost = ActorId(7);
+        assert!(matches!(
+            b.channel(x, ghost, 1, 1, 0),
+            Err(SdfError::UnknownActor { .. })
+        ));
+        assert!(matches!(
+            b.channel(ghost, x, 1, 1, 0),
+            Err(SdfError::UnknownActor { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_rates() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        assert!(matches!(
+            b.channel(x, x, 0, 1, 0),
+            Err(SdfError::ZeroRate { .. })
+        ));
+        assert!(matches!(
+            b.channel(x, x, 1, 0, 0),
+            Err(SdfError::ZeroRate { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        let mut b = SdfGraphBuilder::new("g");
+        b.actor("", 1);
+        assert!(matches!(b.build(), Err(SdfError::EmptyActorName)));
+
+        let mut b = SdfGraphBuilder::new("g");
+        b.actor("x", 1);
+        b.actor("x", 2);
+        assert!(matches!(
+            b.build(),
+            Err(SdfError::DuplicateActorName { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_execution_time() {
+        let mut b = SdfGraphBuilder::new("g");
+        b.actor("x", -1);
+        assert!(matches!(
+            b.build(),
+            Err(SdfError::NegativeExecutionTime { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_execution_time_is_allowed() {
+        // The paper's mux/demux actors have execution time 0 (Sec. 6).
+        let mut b = SdfGraphBuilder::new("g");
+        b.actor("mux", 0);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn homogeneous_channel_shorthand() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let id = b.homogeneous_channel(x, x, 2).unwrap();
+        let g = b.build().unwrap();
+        let c = g.channel(id);
+        assert_eq!((c.production(), c.consumption()), (1, 1));
+        assert_eq!(c.initial_tokens(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Graphviz DOT export for SDF graphs.
+
+use std::fmt::Write as _;
+
+use crate::SdfGraph;
+
+/// Renders `g` in Graphviz DOT syntax.
+///
+/// Actors become nodes labelled `name [t]`; channels become edges labelled
+/// with `p:c` rates and decorated with the initial-token count (`d=…`) when
+/// non-zero, mirroring the dot notation used by SDF3.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_graph::{dot, SdfGraph};
+///
+/// let mut b = SdfGraph::builder("g");
+/// let x = b.actor("x", 2);
+/// let y = b.actor("y", 1);
+/// b.channel(x, y, 3, 2, 1)?;
+/// let s = dot::to_dot(&b.build()?);
+/// assert!(s.contains("digraph"));
+/// assert!(s.contains("3:2"));
+/// # Ok::<(), sdfr_graph::SdfError>(())
+/// ```
+pub fn to_dot(g: &SdfGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(g.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for (id, a) in g.actors() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n[{}]\"];",
+            id.index(),
+            escape(a.name()),
+            a.execution_time()
+        );
+    }
+    for (_, c) in g.channels() {
+        let tokens = if c.initial_tokens() > 0 {
+            format!(" d={}", c.initial_tokens())
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}:{}{}\"];",
+            c.source().index(),
+            c.target().index(),
+            c.production(),
+            c.consumption(),
+            tokens
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_contains_structure() {
+        let mut b = SdfGraph::builder("my \"graph\"");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 3, 2, 4).unwrap();
+        b.channel(y, x, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        let s = to_dot(&g);
+        assert!(s.starts_with("digraph"));
+        assert!(s.contains("\\\"graph\\\""));
+        assert!(s.contains("n0 -> n1"));
+        assert!(s.contains("3:2 d=4"));
+        assert!(s.contains("1:1\"")); // no token decoration when d=0
+        assert!(s.ends_with("}\n"));
+    }
+}

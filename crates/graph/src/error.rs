@@ -1,0 +1,159 @@
+//! Errors for SDF graph construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ActorId, ChannelId};
+
+/// Errors raised by graph construction and the analyses in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SdfError {
+    /// An actor id does not belong to the graph under construction.
+    UnknownActor {
+        /// The offending id.
+        actor: ActorId,
+        /// Number of actors currently in the graph.
+        num_actors: usize,
+    },
+    /// A channel rate was zero (rates must be at least 1, Def. 1).
+    ZeroRate {
+        /// Index of the offending channel (in insertion order).
+        channel: usize,
+    },
+    /// An actor was given a negative execution time (`T : A → ℕ`, Def. 2).
+    NegativeExecutionTime {
+        /// Name of the offending actor.
+        actor: String,
+    },
+    /// Two actors share a name.
+    DuplicateActorName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An actor name is empty.
+    EmptyActorName,
+    /// The graph is inconsistent: the balance equations have no non-trivial
+    /// solution, so no repetition vector exists (Sec. 3).
+    Inconsistent {
+        /// A channel witnessing the inconsistency.
+        channel: ChannelId,
+    },
+    /// The graph deadlocks: no complete iteration can be executed.
+    Deadlock {
+        /// Firings completed before the deadlock.
+        fired: u64,
+        /// Firings required for a full iteration.
+        needed: u64,
+    },
+    /// An operation required a homogeneous graph (all rates 1).
+    NotHomogeneous {
+        /// A channel with a rate different from 1.
+        channel: ChannelId,
+    },
+    /// A numeric quantity (repetition vector entry, token count, …)
+    /// overflowed its integer type.
+    Overflow {
+        /// Short description of the computation that overflowed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::UnknownActor { actor, num_actors } => write!(
+                f,
+                "actor id {actor} does not belong to this graph ({num_actors} actors)"
+            ),
+            SdfError::ZeroRate { channel } => {
+                write!(f, "channel {channel} has a zero rate; rates must be >= 1")
+            }
+            SdfError::NegativeExecutionTime { actor } => {
+                write!(f, "actor '{actor}' has a negative execution time")
+            }
+            SdfError::DuplicateActorName { name } => {
+                write!(f, "duplicate actor name '{name}'")
+            }
+            SdfError::EmptyActorName => write!(f, "actor names must be non-empty"),
+            SdfError::Inconsistent { channel } => write!(
+                f,
+                "graph is inconsistent: balance equation of channel {channel} has no solution"
+            ),
+            SdfError::Deadlock { fired, needed } => write!(
+                f,
+                "graph deadlocks after {fired} of {needed} firings of an iteration"
+            ),
+            SdfError::NotHomogeneous { channel } => write!(
+                f,
+                "operation requires a homogeneous graph, but channel {channel} has a rate != 1"
+            ),
+            SdfError::Overflow { what } => write!(f, "integer overflow while computing {what}"),
+        }
+    }
+}
+
+impl Error for SdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(SdfError, &str)> = vec![
+            (
+                SdfError::UnknownActor {
+                    actor: ActorId(7),
+                    num_actors: 3,
+                },
+                "a7",
+            ),
+            (SdfError::ZeroRate { channel: 2 }, "zero rate"),
+            (
+                SdfError::NegativeExecutionTime {
+                    actor: "x".into(),
+                },
+                "'x'",
+            ),
+            (
+                SdfError::DuplicateActorName { name: "a".into() },
+                "duplicate",
+            ),
+            (SdfError::EmptyActorName, "non-empty"),
+            (
+                SdfError::Inconsistent {
+                    channel: ChannelId(0),
+                },
+                "inconsistent",
+            ),
+            (
+                SdfError::Deadlock {
+                    fired: 3,
+                    needed: 10,
+                },
+                "3 of 10",
+            ),
+            (
+                SdfError::NotHomogeneous {
+                    channel: ChannelId(1),
+                },
+                "homogeneous",
+            ),
+            (
+                SdfError::Overflow {
+                    what: "repetition vector",
+                },
+                "overflow",
+            ),
+        ];
+        for (e, frag) in cases {
+            assert!(
+                e.to_string().contains(frag),
+                "message {:?} should contain {:?}",
+                e.to_string(),
+                frag
+            );
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Event-driven self-timed execution of timed SDF graphs.
+//!
+//! Under *self-timed execution* (paper, Sec. 3) every actor fires as soon as
+//! all its input tokens are available; firings of the same actor may overlap
+//! (auto-concurrency) unless the graph restricts them, e.g. with a self-loop
+//! carrying one token. Tokens are consumed when a firing starts and produced
+//! when it ends, `T(a)` time units later.
+//!
+//! The simulator executes a bounded number of graph iterations. Bounding by
+//! iterations keeps the simulation finite even for graphs with source actors
+//! (which self-timed semantics otherwise lets fire unboundedly often at time
+//! 0): a firing beyond `iterations · γ(a)` can never influence the completion
+//! of the requested iterations, because token consumption in SDF is monotone.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::repetition::repetition_vector;
+use crate::{ActorId, SdfError, SdfGraph, Time};
+
+/// Options controlling a self-timed simulation.
+#[derive(Debug, Clone)]
+pub struct SimulationOptions {
+    /// The number of complete graph iterations to execute (must be ≥ 1).
+    pub iterations: u64,
+    /// Record the `(start, end)` times of every firing of every actor.
+    ///
+    /// Off by default since traces of long simulations are large.
+    pub record_firings: bool,
+    /// Periodic release constraints: `(actor, period)` forces the `n`-th
+    /// firing of the actor to start no earlier than `n · period`. Used to
+    /// model periodic sources (e.g. a camera or a network interface) whose
+    /// arrival rate, not data dependencies, paces the graph.
+    pub releases: Vec<(ActorId, Time)>,
+}
+
+impl SimulationOptions {
+    /// Simulates the given number of iterations without recording firings.
+    pub fn iterations(iterations: u64) -> Self {
+        SimulationOptions {
+            iterations,
+            record_firings: false,
+            releases: Vec::new(),
+        }
+    }
+
+    /// Enables recording of individual firing times.
+    pub fn with_firings(mut self) -> Self {
+        self.record_firings = true;
+        self
+    }
+
+    /// Adds a periodic release constraint (see
+    /// [`releases`](SimulationOptions::releases)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 0`.
+    pub fn with_periodic_release(mut self, actor: ActorId, period: Time) -> Self {
+        assert!(period >= 0, "release periods must be non-negative");
+        self.releases.push((actor, period));
+        self
+    }
+}
+
+/// The result of a self-timed simulation.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Completed firings per actor (indexed by [`ActorId::index`]).
+    pub fire_counts: Vec<u64>,
+    /// Time at which the last requested firing completed.
+    pub makespan: Time,
+    /// `iteration_completions[k]` is the earliest time by which every actor
+    /// `a` has completed `(k+1) · γ(a)` firings.
+    pub iteration_completions: Vec<Time>,
+    /// Maximum simultaneous token count observed per channel (including the
+    /// initial tokens), a self-timed buffer-occupancy bound.
+    pub channel_peak_tokens: Vec<u64>,
+    /// Maximum *reserved* occupancy per channel: stored tokens plus the
+    /// production of in-flight source firings plus the consumption claims of
+    /// in-flight target firings. This is exactly the FIFO capacity at which
+    /// a bounded implementation (slots reserved for the whole firing, freed
+    /// at the consumer's completion) can follow this self-timed schedule.
+    pub channel_peak_reserved: Vec<u64>,
+    /// Per-actor `(start, end)` firing times, present when
+    /// [`SimulationOptions::record_firings`] was set.
+    pub firings: Option<Vec<Vec<(Time, Time)>>>,
+}
+
+impl Trace {
+    /// The completion time of the `k`-th iteration (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `k + 1` iterations were simulated.
+    pub fn iteration_completion(&self, k: usize) -> Time {
+        self.iteration_completions[k]
+    }
+}
+
+/// Runs a self-timed simulation of `opts.iterations` complete iterations.
+///
+/// # Errors
+///
+/// - [`SdfError::Inconsistent`] if `g` has no repetition vector,
+/// - [`SdfError::Deadlock`] if execution stalls before completing,
+/// - [`SdfError::Overflow`] on token-count overflow.
+///
+/// # Panics
+///
+/// Panics if `opts.iterations == 0`.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_graph::execution::{simulate, SimulationOptions};
+/// use sdfr_graph::SdfGraph;
+///
+/// let mut b = SdfGraph::builder("cycle");
+/// let x = b.actor("x", 2);
+/// let y = b.actor("y", 3);
+/// b.channel(x, y, 1, 1, 0)?;
+/// b.channel(y, x, 1, 1, 1)?;
+/// let g = b.build()?;
+///
+/// let trace = simulate(&g, &SimulationOptions::iterations(4))?;
+/// // One iteration takes T(x) + T(y) = 5 time units on the critical cycle.
+/// assert_eq!(trace.iteration_completions, vec![5, 10, 15, 20]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate(g: &SdfGraph, opts: &SimulationOptions) -> Result<Trace, SdfError> {
+    assert!(opts.iterations >= 1, "at least one iteration is required");
+    let gamma = repetition_vector(g)?;
+    let n = g.num_actors();
+    let caps: Vec<u64> = (0..n)
+        .map(|i| {
+            gamma
+                .get(ActorId::from_index(i))
+                .checked_mul(opts.iterations)
+                .ok_or(SdfError::Overflow {
+                    what: "firing cap (iterations * repetition vector)",
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let needed: u64 = caps.iter().sum();
+
+    let mut tokens: Vec<u64> = g.channels().map(|(_, c)| c.initial_tokens()).collect();
+    let mut peak = tokens.clone();
+    let mut peak_reserved = tokens.clone();
+    let mut started = vec![0u64; n];
+    let mut completed = vec![0u64; n];
+    let mut inflight = vec![0u64; n];
+    let mut firings: Option<Vec<Vec<(Time, Time)>>> =
+        opts.record_firings.then(|| vec![Vec::new(); n]);
+
+    // Pending completions: (end_time, actor, count).
+    let mut heap: BinaryHeap<Reverse<(Time, usize, u64)>> = BinaryHeap::new();
+    let mut time: Time = 0;
+    let mut iteration_completions = Vec::with_capacity(opts.iterations as usize);
+    let mut next_iteration: u64 = 0;
+    let mut done: u64 = 0;
+
+    loop {
+        // Start every enabled firing at the current time. Repeat until a
+        // fixpoint: zero-duration firings can enable further starts, but
+        // those complete via the heap in the same time step below.
+        let mut any_start = true;
+        while any_start {
+            any_start = false;
+            for a in g.actor_ids() {
+                let i = a.index();
+                let rem = caps[i] - started[i];
+                if rem == 0 {
+                    continue;
+                }
+                // Concurrent starts consume tokens immediately, so even a
+                // self-loop bounds the batch by available tokens.
+                let mut batch = rem;
+                for &(ra, period) in &opts.releases {
+                    if ra == a && period > 0 {
+                        // Releases at 0, period, 2·period, …: at `time`,
+                        // firings 0 ..= time/period are released.
+                        let released = (time / period) as u64 + 1;
+                        batch = batch.min(released.saturating_sub(started[i]));
+                    }
+                }
+                if batch == 0 {
+                    continue;
+                }
+                for &cid in g.incoming(a) {
+                    let ch = g.channel(cid);
+                    batch = batch.min(tokens[cid.index()] / ch.consumption());
+                    if batch == 0 {
+                        break;
+                    }
+                }
+                if batch == 0 {
+                    continue;
+                }
+                for &cid in g.incoming(a) {
+                    let ch = g.channel(cid);
+                    tokens[cid.index()] -= batch * ch.consumption();
+                }
+                started[i] += batch;
+                inflight[i] += batch;
+                let end = time
+                    .checked_add(g.actor(a).execution_time())
+                    .ok_or(SdfError::Overflow {
+                        what: "simulation time",
+                    })?;
+                heap.push(Reverse((end, i, batch)));
+                if let Some(f) = firings.as_mut() {
+                    for _ in 0..batch {
+                        f[i].push((time, end));
+                    }
+                }
+                any_start = true;
+            }
+        }
+
+        // Reserved occupancy is maximal right after a burst of starts.
+        for (cid, c) in g.channels() {
+            let reserved = tokens[cid.index()]
+                + c.production() * inflight[c.source().index()]
+                + c.consumption() * inflight[c.target().index()];
+            let slot = &mut peak_reserved[cid.index()];
+            *slot = (*slot).max(reserved);
+        }
+
+        // Advance to the next completion or the next release instant that
+        // could unblock a release-capped actor.
+        let mut t_next: Option<Time> = heap.peek().map(|&Reverse((t, _, _))| t);
+        for &(ra, period) in &opts.releases {
+            let i = ra.index();
+            if period > 0 && started[i] < caps[i] {
+                let next_release = started[i] as Time * period;
+                if next_release > time {
+                    t_next = Some(match t_next {
+                        Some(t) => t.min(next_release),
+                        None => next_release,
+                    });
+                }
+            }
+        }
+        let Some(t_next) = t_next else {
+            // Nothing in flight, nothing startable, no pending release.
+            return Err(SdfError::Deadlock {
+                fired: done,
+                needed,
+            });
+        };
+        time = t_next;
+        while let Some(&Reverse((t, i, count))) = heap.peek() {
+            if t != time {
+                break;
+            }
+            heap.pop();
+            completed[i] += count;
+            inflight[i] -= count;
+            done += count;
+            let a = ActorId::from_index(i);
+            for &cid in g.outgoing(a) {
+                let ch = g.channel(cid);
+                let idx = cid.index();
+                tokens[idx] = tokens[idx]
+                    .checked_add(count * ch.production())
+                    .ok_or(SdfError::Overflow {
+                        what: "token count during simulation",
+                    })?;
+                peak[idx] = peak[idx].max(tokens[idx]);
+            }
+        }
+
+        // Record any iterations that completed by now.
+        while next_iteration < opts.iterations
+            && (0..n).all(|i| {
+                completed[i] >= (next_iteration + 1) * gamma.get(ActorId::from_index(i))
+            })
+        {
+            iteration_completions.push(time);
+            next_iteration += 1;
+        }
+
+        if next_iteration == opts.iterations && (0..n).all(|i| completed[i] == caps[i]) {
+            return Ok(Trace {
+                fire_counts: completed,
+                makespan: time,
+                iteration_completions,
+                channel_peak_tokens: peak,
+                channel_peak_reserved: peak_reserved,
+                firings,
+            });
+        }
+    }
+}
+
+/// Convenience wrapper for [`simulate`] without firing recording.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_iterations(g: &SdfGraph, iterations: u64) -> Result<Trace, SdfError> {
+    simulate(g, &SimulationOptions::iterations(iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(tx: Time, ty: Time, tokens: u64) -> SdfGraph {
+        let mut b = SdfGraph::builder("cycle");
+        let x = b.actor("x", tx);
+        let y = b.actor("y", ty);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, tokens).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_token_cycle_period() {
+        let g = cycle(2, 3, 1);
+        let t = simulate_iterations(&g, 5).unwrap();
+        assert_eq!(t.iteration_completions, vec![5, 10, 15, 20, 25]);
+        assert_eq!(t.fire_counts, vec![5, 5]);
+        assert_eq!(t.makespan, 25);
+    }
+
+    #[test]
+    fn two_token_cycle_pipelines() {
+        // With 2 tokens the cycle mean is (2+3)/2; over k iterations the
+        // completion times grow by 5 every 2 iterations.
+        let g = cycle(2, 3, 2);
+        let t = simulate_iterations(&g, 6).unwrap();
+        let d1 = t.iteration_completions[5] - t.iteration_completions[3];
+        let d2 = t.iteration_completions[3] - t.iteration_completions[1];
+        assert_eq!(d1, 5);
+        assert_eq!(d2, 5);
+    }
+
+    #[test]
+    fn deadlock_reported() {
+        let g = cycle(1, 1, 0);
+        assert!(matches!(
+            simulate_iterations(&g, 1),
+            Err(SdfError::Deadlock { fired: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn auto_concurrency_without_self_loop() {
+        // Source -> sink with no feedback: both firings of the source can
+        // run concurrently, so 1 iteration completes after max(T) not sum.
+        let mut b = SdfGraph::builder("par");
+        let s = b.actor("s", 4);
+        let t = b.actor("t", 1);
+        b.channel(s, t, 1, 2, 0).unwrap();
+        let g = b.build().unwrap();
+        let trace = simulate_iterations(&g, 1).unwrap();
+        // Two concurrent firings of s end at 4; t ends at 5.
+        assert_eq!(trace.makespan, 5);
+        assert_eq!(trace.fire_counts, vec![2, 1]);
+    }
+
+    #[test]
+    fn self_loop_serializes_firings() {
+        let mut b = SdfGraph::builder("ser");
+        let s = b.actor("s", 4);
+        let t = b.actor("t", 1);
+        b.channel(s, t, 1, 2, 0).unwrap();
+        b.channel(s, s, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let trace = simulate_iterations(&g, 1).unwrap();
+        // Firings of s at [0,4] and [4,8]; t at [8,9].
+        assert_eq!(trace.makespan, 9);
+    }
+
+    #[test]
+    fn recorded_firings_match_times() {
+        let mut b = SdfGraph::builder("rec");
+        let s = b.actor("s", 4);
+        let t = b.actor("t", 1);
+        b.channel(s, t, 1, 2, 0).unwrap();
+        b.channel(s, s, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let trace = simulate(&g, &SimulationOptions::iterations(1).with_firings()).unwrap();
+        let f = trace.firings.unwrap();
+        assert_eq!(f[0], vec![(0, 4), (4, 8)]);
+        assert_eq!(f[1], vec![(8, 9)]);
+    }
+
+    #[test]
+    fn peak_tokens_accounts_for_bursts() {
+        // Source fires twice concurrently producing 3 tokens each; the sink
+        // consumes 6 at once: peak on the channel is 6.
+        let mut b = SdfGraph::builder("burst");
+        let s = b.actor("s", 1);
+        let t = b.actor("t", 1);
+        b.channel(s, t, 3, 6, 0).unwrap();
+        let g = b.build().unwrap();
+        let trace = simulate_iterations(&g, 1).unwrap();
+        assert_eq!(trace.channel_peak_tokens, vec![6]);
+    }
+
+    #[test]
+    fn zero_time_actors_complete_instantly() {
+        let mut b = SdfGraph::builder("zero");
+        let x = b.actor("x", 0);
+        let y = b.actor("y", 0);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let trace = simulate_iterations(&g, 3).unwrap();
+        assert_eq!(trace.makespan, 0);
+        assert_eq!(trace.iteration_completions, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn multirate_iteration_counting() {
+        // γ = (3, 2) over rates (2, 3); check fire counts scale with
+        // iterations.
+        let mut b = SdfGraph::builder("mr");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 3, 0).unwrap();
+        b.channel(y, x, 3, 2, 6).unwrap();
+        let g = b.build().unwrap();
+        let trace = simulate_iterations(&g, 4).unwrap();
+        assert_eq!(trace.fire_counts, vec![12, 8]);
+        assert_eq!(trace.iteration_completions.len(), 4);
+    }
+
+    #[test]
+    fn inconsistent_graph_errors() {
+        let mut b = SdfGraph::builder("bad");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 2, 3).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            simulate_iterations(&g, 1),
+            Err(SdfError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let g = cycle(1, 1, 1);
+        let _ = simulate_iterations(&g, 0);
+    }
+
+    #[test]
+    fn trace_accessor() {
+        let g = cycle(2, 3, 1);
+        let t = simulate_iterations(&g, 2).unwrap();
+        assert_eq!(t.iteration_completion(0), 5);
+        assert_eq!(t.iteration_completion(1), 10);
+    }
+}

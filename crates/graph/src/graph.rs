@@ -1,0 +1,391 @@
+//! The core timed SDF graph data structure.
+
+use std::fmt;
+
+use crate::Time;
+
+/// Identifies an actor within one [`SdfGraph`].
+///
+/// Actor ids are dense indices handed out by [`SdfGraphBuilder::actor`] in
+/// insertion order; they are only meaningful for the graph that created them.
+///
+/// [`SdfGraphBuilder::actor`]: crate::SdfGraphBuilder::actor
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub(crate) usize);
+
+impl ActorId {
+    /// The dense index of this actor (insertion order, starting at 0).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates an id from a raw index.
+    ///
+    /// Prefer the ids returned by the builder; this exists for tooling that
+    /// reconstructs ids (e.g. deserialization) and does not validate bounds.
+    #[inline]
+    pub const fn from_index(i: usize) -> Self {
+        ActorId(i)
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Identifies a channel within one [`SdfGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub(crate) usize);
+
+impl ChannelId {
+    /// The dense index of this channel (insertion order, starting at 0).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates an id from a raw index (unvalidated; see [`ActorId::from_index`]).
+    #[inline]
+    pub const fn from_index(i: usize) -> Self {
+        ChannelId(i)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// An actor of a timed SDF graph: a named computation with a fixed execution
+/// time (paper, Def. 2: `T : A → ℕ`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Actor {
+    pub(crate) name: String,
+    pub(crate) execution_time: Time,
+}
+
+impl Actor {
+    /// The actor's name (unique within its graph).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The actor's execution time: the time elapsing between consumption of
+    /// input tokens and production of output tokens in one firing.
+    pub fn execution_time(&self) -> Time {
+        self.execution_time
+    }
+}
+
+/// A dependency edge `(a, b, p, c, d)` of an SDF graph (paper, Def. 1): actor
+/// `b` depends on actor `a`, with production rate `p`, consumption rate `c`,
+/// and `d` initial tokens. Channels behave as unbounded FIFOs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Channel {
+    pub(crate) source: ActorId,
+    pub(crate) target: ActorId,
+    pub(crate) production: u64,
+    pub(crate) consumption: u64,
+    pub(crate) initial_tokens: u64,
+}
+
+impl Channel {
+    /// The producing actor `a`.
+    pub fn source(&self) -> ActorId {
+        self.source
+    }
+
+    /// The consuming actor `b`.
+    pub fn target(&self) -> ActorId {
+        self.target
+    }
+
+    /// Tokens produced per firing of the source (`p ≥ 1`).
+    pub fn production(&self) -> u64 {
+        self.production
+    }
+
+    /// Tokens consumed per firing of the target (`c ≥ 1`).
+    pub fn consumption(&self) -> u64 {
+        self.consumption
+    }
+
+    /// The number of initial tokens (`d ≥ 0`).
+    pub fn initial_tokens(&self) -> u64 {
+        self.initial_tokens
+    }
+
+    /// Returns `true` if both rates are 1 (a homogeneous edge).
+    pub fn is_homogeneous(&self) -> bool {
+        self.production == 1 && self.consumption == 1
+    }
+
+    /// Returns `true` if source and target are the same actor.
+    pub fn is_self_loop(&self) -> bool {
+        self.source == self.target
+    }
+}
+
+/// A timed synchronous dataflow graph (paper, Defs. 1–2).
+///
+/// Graphs are immutable once built; construct them with [`SdfGraph::builder`]
+/// and transform them by building new graphs. All structural invariants
+/// (valid endpoints, positive rates, non-negative execution times, unique
+/// actor names) are enforced at build time, so analyses never need to
+/// re-validate.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_graph::SdfGraph;
+///
+/// let mut b = SdfGraph::builder("pipeline");
+/// let src = b.actor("src", 1);
+/// let dst = b.actor("dst", 4);
+/// let ch = b.channel(src, dst, 1, 1, 0)?;
+/// let g = b.build()?;
+///
+/// assert_eq!(g.num_actors(), 2);
+/// assert_eq!(g.channel(ch).target(), dst);
+/// assert!(g.is_homogeneous());
+/// # Ok::<(), sdfr_graph::SdfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdfGraph {
+    pub(crate) name: String,
+    pub(crate) actors: Vec<Actor>,
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) outgoing: Vec<Vec<ChannelId>>,
+    pub(crate) incoming: Vec<Vec<ChannelId>>,
+}
+
+impl SdfGraph {
+    /// Starts building a graph with the given name.
+    pub fn builder(name: impl Into<String>) -> crate::SdfGraphBuilder {
+        crate::SdfGraphBuilder::new(name)
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of actors.
+    pub fn num_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// The number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The actor with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn actor(&self, id: ActorId) -> &Actor {
+        &self.actors[id.0]
+    }
+
+    /// The channel with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.0]
+    }
+
+    /// Iterates over `(id, actor)` pairs in insertion order.
+    pub fn actors(&self) -> impl Iterator<Item = (ActorId, &Actor)> {
+        self.actors.iter().enumerate().map(|(i, a)| (ActorId(i), a))
+    }
+
+    /// Iterates over all actor ids.
+    pub fn actor_ids(&self) -> impl Iterator<Item = ActorId> {
+        (0..self.actors.len()).map(ActorId)
+    }
+
+    /// Iterates over `(id, channel)` pairs in insertion order.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId(i), c))
+    }
+
+    /// Iterates over all channel ids.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> {
+        (0..self.channels.len()).map(ChannelId)
+    }
+
+    /// The channels leaving `a` (including self-loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn outgoing(&self, a: ActorId) -> &[ChannelId] {
+        &self.outgoing[a.0]
+    }
+
+    /// The channels entering `a` (including self-loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn incoming(&self, a: ActorId) -> &[ChannelId] {
+        &self.incoming[a.0]
+    }
+
+    /// Finds an actor by name.
+    pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
+        self.actors
+            .iter()
+            .position(|a| a.name == name)
+            .map(ActorId)
+    }
+
+    /// The total number of initial tokens over all channels.
+    ///
+    /// This is the dimension `N` of the max-plus matrix of the graph and
+    /// bounds the size of the paper's novel HSDF conversion (Sec. 6).
+    pub fn total_initial_tokens(&self) -> u64 {
+        self.channels.iter().map(|c| c.initial_tokens).sum()
+    }
+
+    /// Returns `true` if every channel has production and consumption rate 1
+    /// (the graph is a homogeneous SDF graph, HSDFG).
+    pub fn is_homogeneous(&self) -> bool {
+        self.channels.iter().all(Channel::is_homogeneous)
+    }
+
+    /// The maximum execution time over all actors (0 for an empty graph).
+    pub fn max_execution_time(&self) -> Time {
+        self.actors
+            .iter()
+            .map(|a| a.execution_time)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for SdfGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sdf graph '{}': {} actors, {} channels, {} initial tokens",
+            self.name,
+            self.num_actors(),
+            self.num_channels(),
+            self.total_initial_tokens()
+        )?;
+        for (id, a) in self.actors() {
+            writeln!(f, "  {} {} [t={}]", id, a.name, a.execution_time)?;
+        }
+        for (_, c) in self.channels() {
+            writeln!(
+                f,
+                "  {} -({},{},{})-> {}",
+                self.actor(c.source).name,
+                c.production,
+                c.initial_tokens,
+                c.consumption,
+                self.actor(c.target).name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_actor_graph() -> SdfGraph {
+        let mut b = SdfGraph::builder("g");
+        let a = b.actor("a", 2);
+        let c = b.actor("b", 3);
+        b.channel(a, c, 2, 3, 1).unwrap();
+        b.channel(c, a, 1, 1, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let g = two_actor_graph();
+        assert_eq!(g.name(), "g");
+        assert_eq!(g.num_actors(), 2);
+        assert_eq!(g.num_channels(), 2);
+        let a = g.actor_by_name("a").unwrap();
+        assert_eq!(g.actor(a).name(), "a");
+        assert_eq!(g.actor(a).execution_time(), 2);
+        assert_eq!(g.total_initial_tokens(), 5);
+        assert!(!g.is_homogeneous());
+        assert_eq!(g.max_execution_time(), 3);
+        assert!(g.actor_by_name("zzz").is_none());
+    }
+
+    #[test]
+    fn adjacency() {
+        let g = two_actor_graph();
+        let a = g.actor_by_name("a").unwrap();
+        let b = g.actor_by_name("b").unwrap();
+        assert_eq!(g.outgoing(a).len(), 1);
+        assert_eq!(g.incoming(a).len(), 1);
+        let ch = g.channel(g.outgoing(a)[0]);
+        assert_eq!(ch.source(), a);
+        assert_eq!(ch.target(), b);
+        assert_eq!(ch.production(), 2);
+        assert_eq!(ch.consumption(), 3);
+        assert_eq!(ch.initial_tokens(), 1);
+        assert!(!ch.is_homogeneous());
+        assert!(!ch.is_self_loop());
+    }
+
+    #[test]
+    fn self_loop_channel() {
+        let mut b = SdfGraph::builder("sl");
+        let a = b.actor("a", 1);
+        b.channel(a, a, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let (_, ch) = g.channels().next().unwrap();
+        assert!(ch.is_self_loop());
+        assert!(ch.is_homogeneous());
+        assert_eq!(g.outgoing(a).len(), 1);
+        assert_eq!(g.incoming(a).len(), 1);
+    }
+
+    #[test]
+    fn ids_display_and_roundtrip() {
+        let g = two_actor_graph();
+        let a = g.actor_ids().next().unwrap();
+        assert_eq!(a.to_string(), "a0");
+        assert_eq!(ActorId::from_index(a.index()), a);
+        let c = g.channel_ids().next().unwrap();
+        assert_eq!(c.to_string(), "c0");
+        assert_eq!(ChannelId::from_index(c.index()), c);
+    }
+
+    #[test]
+    fn display_lists_structure() {
+        let g = two_actor_graph();
+        let s = g.to_string();
+        assert!(s.contains("2 actors"));
+        assert!(s.contains("a -(2,1,3)-> b"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SdfGraph::builder("empty").build().unwrap();
+        assert_eq!(g.num_actors(), 0);
+        assert_eq!(g.max_execution_time(), 0);
+        assert!(g.is_homogeneous());
+        assert_eq!(g.total_initial_tokens(), 0);
+    }
+}

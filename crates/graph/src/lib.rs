@@ -1,0 +1,54 @@
+//! Timed synchronous dataflow (SDF) graph model.
+//!
+//! An SDF graph (Lee & Messerschmitt, 1987) consists of *actors* that fire
+//! repeatedly, consuming and producing fixed numbers of *tokens* on FIFO
+//! *channels*. A timed SDF graph additionally assigns every actor an integer
+//! execution time (paper, Defs. 1–2). This crate provides:
+//!
+//! - [`SdfGraph`] and [`SdfGraphBuilder`] — the graph model and its validated
+//!   construction,
+//! - [`repetition`] — consistency checking and repetition vectors,
+//! - [`schedule`] — periodic admissible sequential schedules (PASS),
+//! - [`liveness`] — deadlock detection,
+//! - [`execution`] — an event-driven self-timed execution simulator,
+//! - [`dot`] — Graphviz export.
+//!
+//! # Example
+//!
+//! ```
+//! use sdfr_graph::SdfGraph;
+//! use sdfr_graph::repetition::repetition_vector;
+//!
+//! // The classic up/down-sampler pair: a produces 2, b consumes 3.
+//! let mut b = SdfGraph::builder("example");
+//! let a = b.actor("a", 1);
+//! let c = b.actor("b", 2);
+//! b.channel(a, c, 2, 3, 0)?;
+//! let g = b.build()?;
+//!
+//! let gamma = repetition_vector(&g)?;
+//! assert_eq!(gamma[a], 3);
+//! assert_eq!(gamma[c], 2);
+//! # Ok::<(), sdfr_graph::SdfError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod error;
+mod graph;
+mod transform;
+
+pub mod dot;
+pub mod execution;
+pub mod liveness;
+pub mod repetition;
+pub mod schedule;
+
+pub use builder::SdfGraphBuilder;
+pub use error::SdfError;
+pub use graph::{Actor, ActorId, Channel, ChannelId, SdfGraph};
+
+/// Integer time, re-exported from [`sdfr_maxplus`].
+pub use sdfr_maxplus::Time;

@@ -1,0 +1,76 @@
+//! Deadlock detection.
+//!
+//! A consistent SDF graph is *live* (deadlock-free) iff one complete
+//! iteration can be executed from the initial token distribution; executing
+//! any number of further iterations is then possible because the token
+//! distribution is restored (Lee & Messerschmitt, 1987).
+
+use crate::repetition::repetition_vector;
+use crate::schedule::sequential_schedule;
+use crate::{SdfError, SdfGraph};
+
+/// Checks that `g` is consistent and deadlock-free.
+///
+/// # Errors
+///
+/// - [`SdfError::Inconsistent`] if the graph has no repetition vector,
+/// - [`SdfError::Deadlock`] if an iteration cannot complete.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_graph::{liveness, SdfGraph};
+///
+/// let mut b = SdfGraph::builder("live");
+/// let x = b.actor("x", 1);
+/// let y = b.actor("y", 1);
+/// b.channel(x, y, 1, 1, 0)?;
+/// b.channel(y, x, 1, 1, 1)?;
+/// let g = b.build()?;
+/// assert!(liveness::check_live(&g).is_ok());
+/// assert!(liveness::is_live(&g));
+/// # Ok::<(), sdfr_graph::SdfError>(())
+/// ```
+pub fn check_live(g: &SdfGraph) -> Result<(), SdfError> {
+    let gamma = repetition_vector(g)?;
+    sequential_schedule(g, &gamma).map(|_| ())
+}
+
+/// Returns `true` if `g` is consistent and deadlock-free.
+pub fn is_live(g: &SdfGraph) -> bool {
+    check_live(g).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_graph() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(is_live(&g));
+    }
+
+    #[test]
+    fn deadlocked_graph() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        assert!(!is_live(&g));
+        assert!(matches!(check_live(&g), Err(SdfError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn inconsistent_graph_reported() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 2, 5).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(check_live(&g), Err(SdfError::Inconsistent { .. })));
+        assert!(!is_live(&g));
+    }
+}

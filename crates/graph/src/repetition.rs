@@ -1,0 +1,377 @@
+//! Consistency and repetition vectors (paper, Sec. 3).
+//!
+//! A graph is *consistent* if the balance equations
+//! `γ(a) · p = γ(b) · c` (one per channel `(a, b, p, c, d)`) have a
+//! non-trivial solution; the smallest positive integer solution is the
+//! *repetition vector* γ. Executing every actor `a` exactly `γ(a)` times
+//! (one *iteration*) returns the token distribution to its initial state.
+
+use std::ops::Index;
+
+use sdfr_maxplus::Rational;
+
+use crate::{ActorId, ChannelId, SdfError, SdfGraph};
+
+/// The repetition vector of a consistent SDF graph: the smallest positive
+/// numbers of firings per actor that return the graph to its initial token
+/// distribution.
+///
+/// For a weakly disconnected graph each component is scaled independently to
+/// its smallest solution (the customary convention).
+///
+/// # Example
+///
+/// ```
+/// use sdfr_graph::SdfGraph;
+/// use sdfr_graph::repetition::repetition_vector;
+///
+/// let mut b = SdfGraph::builder("updown");
+/// let a = b.actor("a", 1);
+/// let c = b.actor("b", 1);
+/// b.channel(a, c, 3, 5, 0)?;
+/// let g = b.build()?;
+/// let gamma = repetition_vector(&g)?;
+/// assert_eq!(gamma[a], 5);
+/// assert_eq!(gamma[c], 3);
+/// assert_eq!(gamma.iteration_length(), 8);
+/// # Ok::<(), sdfr_graph::SdfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepetitionVector {
+    entries: Vec<u64>,
+}
+
+impl RepetitionVector {
+    /// The entry for actor `a` (the number of firings per iteration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to the graph the vector was computed
+    /// for.
+    pub fn get(&self, a: ActorId) -> u64 {
+        self.entries[a.index()]
+    }
+
+    /// The number of actors covered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the vector is empty (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The total number of firings in one iteration, `Σ_a γ(a)`.
+    ///
+    /// This is exactly the number of actors the *traditional* SDF→HSDF
+    /// conversion produces (Table 1, "traditional conversion" column).
+    pub fn iteration_length(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+
+    /// Returns `true` if every entry is 1 (e.g. for a homogeneous graph).
+    pub fn is_trivial(&self) -> bool {
+        self.entries.iter().all(|&e| e == 1)
+    }
+
+    /// Iterates over `(actor, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ActorId, u64)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (ActorId::from_index(i), e))
+    }
+
+    /// The entries as a slice indexed by actor index.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.entries
+    }
+}
+
+impl Index<ActorId> for RepetitionVector {
+    type Output = u64;
+
+    fn index(&self, a: ActorId) -> &u64 {
+        &self.entries[a.index()]
+    }
+}
+
+/// Computes the repetition vector of `g`.
+///
+/// # Errors
+///
+/// - [`SdfError::Inconsistent`] if the balance equations have no solution
+///   (with a witnessing channel),
+/// - [`SdfError::Overflow`] if an entry exceeds `i64`/`u64` range.
+pub fn repetition_vector(g: &SdfGraph) -> Result<RepetitionVector, SdfError> {
+    let n = g.num_actors();
+    let mut ratio: Vec<Option<Rational>> = vec![None; n];
+
+    // Propagate firing-rate ratios over each weakly connected component.
+    for seed in 0..n {
+        if ratio[seed].is_some() {
+            continue;
+        }
+        ratio[seed] = Some(Rational::ONE);
+        let mut stack = vec![ActorId::from_index(seed)];
+        let mut component = vec![seed];
+        while let Some(a) = stack.pop() {
+            let ra = ratio[a.index()].expect("visited actors have ratios");
+            let neighbors = g
+                .outgoing(a)
+                .iter()
+                .chain(g.incoming(a).iter())
+                .copied()
+                .collect::<Vec<ChannelId>>();
+            for cid in neighbors {
+                let ch = g.channel(cid);
+                // Balance: γ(src) * p = γ(dst) * c.
+                let (other, implied) = if ch.source() == a {
+                    (
+                        ch.target(),
+                        ra * Rational::new(ch.production() as i64, ch.consumption() as i64),
+                    )
+                } else {
+                    (
+                        ch.source(),
+                        ra * Rational::new(ch.consumption() as i64, ch.production() as i64),
+                    )
+                };
+                match ratio[other.index()] {
+                    None => {
+                        ratio[other.index()] = Some(implied);
+                        component.push(other.index());
+                        stack.push(other);
+                    }
+                    Some(existing) => {
+                        // Self-loops check p == c via the same equation.
+                        if existing != implied {
+                            return Err(SdfError::Inconsistent { channel: cid });
+                        }
+                    }
+                }
+            }
+        }
+        scale_component(&mut ratio, &component)?;
+    }
+
+    let mut entries = Vec::with_capacity(n);
+    for r in ratio {
+        let r = r.expect("all actors visited");
+        debug_assert!(r.is_integer() && r.numer() > 0);
+        entries.push(u64::try_from(r.numer()).map_err(|_| SdfError::Overflow {
+            what: "repetition vector entry",
+        })?);
+    }
+    Ok(RepetitionVector { entries })
+}
+
+/// Rescales the rational ratios of one component to the smallest positive
+/// integer solution.
+fn scale_component(ratio: &mut [Option<Rational>], component: &[usize]) -> Result<(), SdfError> {
+    fn gcd(mut a: i64, mut b: i64) -> i64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a.abs()
+    }
+    fn lcm(a: i64, b: i64) -> Option<i64> {
+        (a / gcd(a, b)).checked_mul(b)
+    }
+
+    let mut l: i64 = 1;
+    for &i in component {
+        let den = ratio[i].expect("component visited").denom();
+        l = lcm(l, den).ok_or(SdfError::Overflow {
+            what: "repetition vector scaling",
+        })?;
+    }
+    let mut g: i64 = 0;
+    let mut scaled = Vec::with_capacity(component.len());
+    for &i in component {
+        let r = ratio[i].expect("component visited");
+        let v = r
+            .numer()
+            .checked_mul(l / r.denom())
+            .ok_or(SdfError::Overflow {
+                what: "repetition vector scaling",
+            })?;
+        scaled.push(v);
+        g = gcd(g, v);
+    }
+    let g = g.max(1);
+    for (&i, v) in component.iter().zip(scaled) {
+        ratio[i] = Some(Rational::from(v / g));
+    }
+    Ok(())
+}
+
+/// Checks consistency without materializing the vector.
+///
+/// # Errors
+///
+/// Propagates the same errors as [`repetition_vector`].
+pub fn check_consistent(g: &SdfGraph) -> Result<(), SdfError> {
+    repetition_vector(g).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_graph_is_all_ones() {
+        let mut b = SdfGraph::builder("h");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let gamma = repetition_vector(&g).unwrap();
+        assert!(gamma.is_trivial());
+        assert_eq!(gamma.iteration_length(), 2);
+    }
+
+    #[test]
+    fn paper_fig3_style_rates() {
+        // Left actor produces 1, right consumes 2: left fires twice.
+        let mut b = SdfGraph::builder("f3");
+        let l = b.actor("l", 3);
+        let r = b.actor("r", 1);
+        b.channel(l, r, 1, 2, 0).unwrap();
+        b.channel(r, l, 2, 1, 2).unwrap();
+        let g = b.build().unwrap();
+        let gamma = repetition_vector(&g).unwrap();
+        assert_eq!(gamma[l], 2);
+        assert_eq!(gamma[r], 1);
+        assert_eq!(gamma.iteration_length(), 3);
+    }
+
+    #[test]
+    fn cd2dat_chain() {
+        // Classic CD-to-DAT sample-rate converter: rates chosen so the
+        // repetition vector is (147, 147, 98, 28, 32, 160), sum 612.
+        let mut b = SdfGraph::builder("cd2dat");
+        let a = b.actor("a", 1);
+        let b2 = b.actor("b", 1);
+        let c = b.actor("c", 1);
+        let d = b.actor("d", 1);
+        let e = b.actor("e", 1);
+        let f = b.actor("f", 1);
+        b.channel(a, b2, 1, 1, 0).unwrap();
+        b.channel(b2, c, 2, 3, 0).unwrap();
+        b.channel(c, d, 2, 7, 0).unwrap();
+        b.channel(d, e, 8, 7, 0).unwrap();
+        b.channel(e, f, 5, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        let gamma = repetition_vector(&g).unwrap();
+        assert_eq!(gamma.as_slice(), &[147, 147, 98, 28, 32, 160]);
+        assert_eq!(gamma.iteration_length(), 612);
+    }
+
+    #[test]
+    fn inconsistent_cycle_detected() {
+        // a -(2:1)-> b -(1:1)-> a demands γa*2 = γb and γb = γa.
+        let mut b = SdfGraph::builder("bad");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 1, 0).unwrap();
+        let bad = b.channel(y, x, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        match repetition_vector(&g) {
+            Err(SdfError::Inconsistent { channel }) => assert_eq!(channel, bad),
+            other => panic!("expected inconsistency, got {other:?}"),
+        }
+        assert!(check_consistent(&g).is_err());
+    }
+
+    #[test]
+    fn inconsistent_self_loop_detected() {
+        let mut b = SdfGraph::builder("bad");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 2, 3, 5).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            repetition_vector(&g),
+            Err(SdfError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn consistent_self_loop_ok() {
+        let mut b = SdfGraph::builder("ok");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 3, 3, 3).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(repetition_vector(&g).unwrap()[x], 1);
+    }
+
+    #[test]
+    fn disconnected_components_scaled_independently() {
+        let mut b = SdfGraph::builder("two");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        let u = b.actor("u", 1);
+        let v = b.actor("v", 1);
+        b.channel(x, y, 2, 4, 0).unwrap(); // γx=2, γy=1
+        b.channel(u, v, 1, 1, 0).unwrap(); // γu=γv=1
+        let g = b.build().unwrap();
+        let gamma = repetition_vector(&g).unwrap();
+        assert_eq!(gamma.as_slice(), &[2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SdfGraph::builder("e").build().unwrap();
+        let gamma = repetition_vector(&g).unwrap();
+        assert!(gamma.is_empty());
+        assert_eq!(gamma.iteration_length(), 0);
+        assert_eq!(gamma.len(), 0);
+    }
+
+    #[test]
+    fn smallest_solution_is_chosen() {
+        // Rates (4, 2): ratio is 1:2 but smallest integers are 1 and 2, not
+        // 2 and 4.
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 4, 2, 0).unwrap();
+        let g = b.build().unwrap();
+        let gamma = repetition_vector(&g).unwrap();
+        assert_eq!(gamma.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn iterator_yields_pairs() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let gamma = repetition_vector(&g).unwrap();
+        let pairs: Vec<_> = gamma.iter().collect();
+        assert_eq!(pairs, vec![(x, 1)]);
+    }
+
+    #[test]
+    fn multi_edge_between_same_actors_must_agree() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 3, 0).unwrap();
+        b.channel(x, y, 4, 6, 0).unwrap(); // same ratio, fine
+        let g = b.build().unwrap();
+        assert_eq!(repetition_vector(&g).unwrap().as_slice(), &[3, 2]);
+
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 3, 0).unwrap();
+        b.channel(x, y, 1, 1, 0).unwrap(); // conflicting ratio
+        let g = b.build().unwrap();
+        assert!(repetition_vector(&g).is_err());
+    }
+}

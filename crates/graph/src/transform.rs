@@ -1,0 +1,145 @@
+//! Small structural transformation helpers shared by the higher layers.
+
+use crate::{ActorId, SdfGraph, SdfGraphBuilder, Time};
+
+impl SdfGraph {
+    /// Reopens the graph as a builder containing all its actors and
+    /// channels, for transformations that extend a graph (ids are
+    /// preserved: actor `i` of the graph is actor `i` of the builder).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdfr_graph::SdfGraph;
+    ///
+    /// let mut b = SdfGraph::builder("g");
+    /// let x = b.actor("x", 1);
+    /// b.channel(x, x, 1, 1, 1)?;
+    /// let g = b.build()?;
+    ///
+    /// let mut b = g.to_builder();
+    /// let y = b.actor("y", 2);
+    /// b.channel(x, y, 1, 1, 0)?;
+    /// let extended = b.build()?;
+    /// assert_eq!(extended.num_actors(), 2);
+    /// assert_eq!(extended.actor(x).name(), "x");
+    /// # Ok::<(), sdfr_graph::SdfError>(())
+    /// ```
+    pub fn to_builder(&self) -> SdfGraphBuilder {
+        let mut b = SdfGraph::builder(self.name.clone());
+        for a in &self.actors {
+            b.actor(a.name.clone(), a.execution_time);
+        }
+        for c in &self.channels {
+            b.channel(
+                c.source,
+                c.target,
+                c.production,
+                c.consumption,
+                c.initial_tokens,
+            )
+            .expect("copying a valid channel");
+        }
+        b
+    }
+
+    /// A copy of the graph with per-actor execution times replaced by
+    /// `time(actor, current)`; structure is unchanged.
+    ///
+    /// The new times must be non-negative (checked by the builder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a produced time is negative.
+    pub fn with_execution_times(&self, mut time: impl FnMut(ActorId, Time) -> Time) -> SdfGraph {
+        let mut b = SdfGraph::builder(self.name.clone());
+        for (id, a) in self.actors() {
+            b.actor(a.name().to_string(), time(id, a.execution_time()));
+        }
+        for c in &self.channels {
+            b.channel(
+                c.source,
+                c.target,
+                c.production,
+                c.consumption,
+                c.initial_tokens,
+            )
+            .expect("copying a valid channel");
+        }
+        b.build().expect("structure unchanged, times validated")
+    }
+
+    /// A copy of the graph with every actor gaining a self-loop of
+    /// `bound` tokens (rates 1), limiting its auto-concurrency to `bound`
+    /// simultaneous firings — the standard modelling of bounded actor
+    /// re-entrance. Actors that already have a self-loop keep it (the
+    /// tighter constraint wins naturally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` (that would deadlock every actor).
+    pub fn with_auto_concurrency(&self, bound: u64) -> SdfGraph {
+        assert!(bound >= 1, "an auto-concurrency bound of 0 deadlocks");
+        let mut b = self.to_builder();
+        for a in self.actor_ids() {
+            b.channel(a, a, 1, 1, bound)
+                .expect("self-loop on an existing actor");
+        }
+        b.build().expect("structure extension is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SdfGraph {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        b.channel(x, y, 2, 3, 1).unwrap();
+        b.channel(y, x, 3, 2, 6).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let g = sample();
+        assert_eq!(g.to_builder().build().unwrap(), g);
+    }
+
+    #[test]
+    fn with_execution_times_scales() {
+        let g = sample();
+        let doubled = g.with_execution_times(|_, t| t * 2);
+        let x = doubled.actor_by_name("x").unwrap();
+        assert_eq!(doubled.actor(x).execution_time(), 4);
+        assert_eq!(doubled.num_channels(), g.num_channels());
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_negative_time_panics() {
+        let g = sample();
+        let _ = g.with_execution_times(|_, _| -1);
+    }
+
+    #[test]
+    fn auto_concurrency_adds_self_loops() {
+        let g = sample();
+        let bounded = g.with_auto_concurrency(2);
+        assert_eq!(bounded.num_channels(), g.num_channels() + g.num_actors());
+        let x = bounded.actor_by_name("x").unwrap();
+        assert!(bounded
+            .outgoing(x)
+            .iter()
+            .any(|&c| bounded.channel(c).is_self_loop()
+                && bounded.channel(c).initial_tokens() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocks")]
+    fn zero_bound_rejected() {
+        let _ = sample().with_auto_concurrency(0);
+    }
+}

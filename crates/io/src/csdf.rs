@@ -1,0 +1,475 @@
+//! Reading and writing cyclo-static dataflow graphs.
+//!
+//! The text format mirrors the SDF one with comma-separated phase lists:
+//!
+//! ```text
+//! csdf <name>
+//! actor <name> <t0,t1,...>
+//! channel <src> <dst> <p0,p1,...> <c0,c1,...> <initial-tokens>
+//! ```
+//!
+//! The XML form follows SDF3's `csdf` type: rates and execution times are
+//! comma-separated phase lists in the same element positions as for plain
+//! SDF.
+
+use std::collections::HashMap;
+
+use sdfr_csdf::{CsdfActorId, CsdfGraph};
+
+use crate::IoError;
+
+/// Serializes a CSDF graph to the text format.
+pub fn to_text(g: &CsdfGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("csdf {}\n", g.name()));
+    for (_, a) in g.actors() {
+        let times: Vec<String> = (0..a.num_phases())
+            .map(|p| a.phase_time(p).to_string())
+            .collect();
+        out.push_str(&format!("actor {} {}\n", a.name(), times.join(",")));
+    }
+    for (_, c) in g.channels() {
+        let prod: Vec<String> = (0..g.actor(c.source()).num_phases())
+            .map(|p| c.production(p).to_string())
+            .collect();
+        let cons: Vec<String> = (0..g.actor(c.target()).num_phases())
+            .map(|p| c.consumption(p).to_string())
+            .collect();
+        out.push_str(&format!(
+            "channel {} {} {} {} {}\n",
+            g.actor(c.source()).name(),
+            g.actor(c.target()).name(),
+            prod.join(","),
+            cons.join(","),
+            c.initial_tokens()
+        ));
+    }
+    out
+}
+
+/// Parses a CSDF graph from the text format.
+///
+/// # Errors
+///
+/// - [`IoError::Syntax`] on malformed lines,
+/// - [`IoError::UnknownActorName`] for dangling references,
+/// - [`IoError::Graph`] for SDF-level constraint violations.
+pub fn from_text(input: &str) -> Result<CsdfGraph, IoError> {
+    let mut name: Option<String> = None;
+    let mut actor_decls: Vec<(String, Vec<i64>)> = Vec::new();
+    // (line, src, dst, production pattern, consumption pattern, tokens)
+    type RawChannel = (usize, String, String, Vec<u64>, Vec<u64>, u64);
+    let mut channels: Vec<RawChannel> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match keyword {
+            "csdf" => {
+                if rest.is_empty() {
+                    return Err(syntax(lineno, "csdf requires a name"));
+                }
+                if name.is_some() {
+                    return Err(syntax(lineno, "duplicate csdf statement"));
+                }
+                name = Some(rest.to_string());
+            }
+            "actor" => {
+                let mut parts = rest.split_whitespace();
+                let aname = parts
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "actor requires a name"))?;
+                let times = parse_list::<i64>(
+                    parts
+                        .next()
+                        .ok_or_else(|| syntax(lineno, "actor requires phase times"))?,
+                    lineno,
+                )?;
+                if parts.next().is_some() {
+                    return Err(syntax(lineno, "trailing tokens after actor"));
+                }
+                actor_decls.push((aname.to_string(), times));
+            }
+            "channel" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 5 {
+                    return Err(syntax(
+                        lineno,
+                        "channel requires: src dst prod-list cons-list tokens",
+                    ));
+                }
+                let prod = parse_list::<u64>(parts[2], lineno)?;
+                let cons = parse_list::<u64>(parts[3], lineno)?;
+                let tokens: u64 = parts[4]
+                    .parse()
+                    .map_err(|_| syntax(lineno, "tokens must be an integer"))?;
+                channels.push((
+                    lineno,
+                    parts[0].to_string(),
+                    parts[1].to_string(),
+                    prod,
+                    cons,
+                    tokens,
+                ));
+            }
+            other => return Err(syntax(lineno, &format!("unknown keyword '{other}'"))),
+        }
+    }
+
+    let mut b =
+        CsdfGraph::builder(name.ok_or_else(|| syntax(1, "missing csdf statement"))?);
+    let mut ids: HashMap<String, CsdfActorId> = HashMap::new();
+    let mut phases: HashMap<String, usize> = HashMap::new();
+    for (aname, times) in actor_decls {
+        phases.insert(aname.clone(), times.len());
+        let id = b.actor(aname.clone(), times);
+        ids.insert(aname, id);
+    }
+    for (lineno, src, dst, prod, cons, tokens) in channels {
+        let s = *ids
+            .get(&src)
+            .ok_or_else(|| IoError::UnknownActorName { name: src.clone() })?;
+        let t = *ids
+            .get(&dst)
+            .ok_or_else(|| IoError::UnknownActorName { name: dst.clone() })?;
+        // Pattern length mismatches are builder panics; report them as
+        // syntax errors instead.
+        let (expect_s, expect_t) = (phases[&src], phases[&dst]);
+        if prod.len() != expect_s || cons.len() != expect_t {
+            return Err(syntax(
+                lineno,
+                &format!(
+                    "pattern lengths ({}, {}) do not match phase counts ({expect_s}, {expect_t})",
+                    prod.len(),
+                    cons.len()
+                ),
+            ));
+        }
+        b.channel(s, t, prod, cons, tokens)?;
+    }
+    Ok(b.build()?)
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str, lineno: usize) -> Result<Vec<T>, IoError> {
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<T>()
+                .map_err(|_| syntax(lineno, &format!("'{p}' is not a number")))
+        })
+        .collect()
+}
+
+fn syntax(line: usize, message: &str) -> IoError {
+    IoError::Syntax {
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Serializes a CSDF graph to the SDF3 `csdf` XML form (comma-separated
+/// phase lists in rate and time attributes).
+pub fn to_xml(g: &CsdfGraph) -> String {
+    use std::fmt::Write as _;
+    let esc = crate::xml::escape;
+    let mut out = String::new();
+    let _ = writeln!(out, r#"<?xml version="1.0" encoding="UTF-8"?>"#);
+    let _ = writeln!(out, r#"<sdf3 type="csdf" version="1.0">"#);
+    let _ = writeln!(out, r#"  <applicationGraph name="{}">"#, esc(g.name()));
+    let _ = writeln!(out, r#"    <csdf name="{}" type="G">"#, esc(g.name()));
+    for (aid, a) in g.actors() {
+        let _ = writeln!(
+            out,
+            r#"      <actor name="{}" type="{}">"#,
+            esc(a.name()),
+            esc(a.name())
+        );
+        for (i, &cid) in g.outgoing(aid).iter().enumerate() {
+            let rates: Vec<String> = (0..a.num_phases())
+                .map(|p| g.channel(cid).production(p).to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                r#"        <port name="out{}" type="out" rate="{}"/>"#,
+                i,
+                rates.join(",")
+            );
+        }
+        for (i, &cid) in g.incoming(aid).iter().enumerate() {
+            let rates: Vec<String> = (0..a.num_phases())
+                .map(|p| g.channel(cid).consumption(p).to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                r#"        <port name="in{}" type="in" rate="{}"/>"#,
+                i,
+                rates.join(",")
+            );
+        }
+        let _ = writeln!(out, "      </actor>");
+    }
+    for (cid, c) in g.channels() {
+        let src_port = g
+            .outgoing(c.source())
+            .iter()
+            .position(|&x| x == cid)
+            .expect("channel is in its source's outgoing list");
+        let dst_port = g
+            .incoming(c.target())
+            .iter()
+            .position(|&x| x == cid)
+            .expect("channel is in its target's incoming list");
+        let tokens = if c.initial_tokens() > 0 {
+            format!(r#" initialTokens="{}""#, c.initial_tokens())
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            r#"      <channel name="ch{}" srcActor="{}" srcPort="out{}" dstActor="{}" dstPort="in{}"{}/>"#,
+            cid.index(),
+            esc(g.actor(c.source()).name()),
+            src_port,
+            esc(g.actor(c.target()).name()),
+            dst_port,
+            tokens
+        );
+    }
+    let _ = writeln!(out, "    </csdf>");
+    let _ = writeln!(out, "    <csdfProperties>");
+    for (_, a) in g.actors() {
+        let times: Vec<String> = (0..a.num_phases())
+            .map(|p| a.phase_time(p).to_string())
+            .collect();
+        let _ = writeln!(out, r#"      <actorProperties actor="{}">"#, esc(a.name()));
+        let _ = writeln!(out, r#"        <processor type="p0" default="true">"#);
+        let _ = writeln!(out, r#"          <executionTime time="{}"/>"#, times.join(","));
+        let _ = writeln!(out, "        </processor>");
+        let _ = writeln!(out, "      </actorProperties>");
+    }
+    let _ = writeln!(out, "    </csdfProperties>");
+    let _ = writeln!(out, "  </applicationGraph>");
+    let _ = writeln!(out, "</sdf3>");
+    out
+}
+
+/// Parses a CSDF graph from the SDF3 `csdf` XML form.
+///
+/// # Errors
+///
+/// As [`from_text`], plus XML syntax errors.
+pub fn from_xml(input: &str) -> Result<CsdfGraph, IoError> {
+    use crate::xml::{require, tokenize, Event};
+    let events = tokenize(input)?;
+
+    let mut graph_name: Option<String> = None;
+    let mut actors: Vec<String> = Vec::new();
+    let mut actor_index: HashMap<String, usize> = HashMap::new();
+    let mut ports: Vec<HashMap<String, Vec<u64>>> = Vec::new();
+    let mut times: HashMap<String, Vec<i64>> = HashMap::new();
+    struct Raw {
+        line: usize,
+        src: String,
+        src_port: String,
+        dst: String,
+        dst_port: String,
+        tokens: u64,
+    }
+    let mut channels: Vec<Raw> = Vec::new();
+    let mut current_actor: Option<usize> = None;
+    let mut props_actor: Option<String> = None;
+
+    for ev in &events {
+        match ev {
+            Event::Open { name, attrs, line } | Event::Empty { name, attrs, line } => {
+                let is_empty = matches!(ev, Event::Empty { .. });
+                match name.as_str() {
+                    "applicationGraph" | "csdf"
+                        if graph_name.is_none() => {
+                            graph_name = attrs.get("name").cloned();
+                        }
+                    "actor" => {
+                        let aname = require(attrs, "name", *line)?;
+                        let idx = actors.len();
+                        actor_index.insert(aname.clone(), idx);
+                        actors.push(aname);
+                        ports.push(HashMap::new());
+                        if !is_empty {
+                            current_actor = Some(idx);
+                        }
+                    }
+                    "port" => {
+                        let idx = current_actor
+                            .ok_or_else(|| syntax(*line, "<port> outside of an <actor>"))?;
+                        let pname = require(attrs, "name", *line)?;
+                        let rates = parse_list::<u64>(&require(attrs, "rate", *line)?, *line)?;
+                        ports[idx].insert(pname, rates);
+                    }
+                    "channel" => channels.push(Raw {
+                        line: *line,
+                        src: require(attrs, "srcActor", *line)?,
+                        src_port: require(attrs, "srcPort", *line)?,
+                        dst: require(attrs, "dstActor", *line)?,
+                        dst_port: require(attrs, "dstPort", *line)?,
+                        tokens: attrs
+                            .get("initialTokens")
+                            .map(|t| {
+                                t.parse()
+                                    .map_err(|_| syntax(*line, "initialTokens must be an integer"))
+                            })
+                            .transpose()?
+                            .unwrap_or(0),
+                    }),
+                    "actorProperties" => props_actor = Some(require(attrs, "actor", *line)?),
+                    "executionTime" => {
+                        let who = props_actor.clone().ok_or_else(|| {
+                            syntax(*line, "<executionTime> outside of <actorProperties>")
+                        })?;
+                        times.insert(
+                            who,
+                            parse_list::<i64>(&require(attrs, "time", *line)?, *line)?,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            Event::Close { name, .. } => match name.as_str() {
+                "actor" => current_actor = None,
+                "actorProperties" => props_actor = None,
+                _ => {}
+            },
+        }
+    }
+
+    let mut b = CsdfGraph::builder(graph_name.unwrap_or_else(|| "csdf".to_string()));
+    let mut ids: HashMap<String, CsdfActorId> = HashMap::new();
+    let mut phase_counts: HashMap<String, usize> = HashMap::new();
+    for name in &actors {
+        // Phase count: from execution times, else from any port pattern,
+        // else a single untimed phase.
+        let t = times.get(name).cloned().unwrap_or_else(|| {
+            let phases = ports[actor_index[name]]
+                .values()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(1);
+            vec![0; phases]
+        });
+        phase_counts.insert(name.clone(), t.len());
+        ids.insert(name.clone(), b.actor(name.clone(), t));
+    }
+    for ch in channels {
+        let s = *ids
+            .get(&ch.src)
+            .ok_or_else(|| IoError::UnknownActorName { name: ch.src.clone() })?;
+        let t = *ids
+            .get(&ch.dst)
+            .ok_or_else(|| IoError::UnknownActorName { name: ch.dst.clone() })?;
+        let prod = ports[actor_index[&ch.src]]
+            .get(&ch.src_port)
+            .cloned()
+            .ok_or_else(|| syntax(ch.line, &format!("unknown port '{}'", ch.src_port)))?;
+        let cons = ports[actor_index[&ch.dst]]
+            .get(&ch.dst_port)
+            .cloned()
+            .ok_or_else(|| syntax(ch.line, &format!("unknown port '{}'", ch.dst_port)))?;
+        if prod.len() != phase_counts[&ch.src] || cons.len() != phase_counts[&ch.dst] {
+            return Err(syntax(
+                ch.line,
+                "port pattern length does not match the actor's phase count",
+            ));
+        }
+        b.channel(s, t, prod, cons, ch.tokens)?;
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsdfGraph {
+        let mut b = CsdfGraph::builder("rx");
+        let p = b.actor("p", [1, 3]);
+        let c = b.actor("c", [2]);
+        b.channel(p, c, [2, 0], [1], 0).unwrap();
+        b.channel(c, p, [1], [0, 2], 4).unwrap();
+        b.channel(p, p, [1, 1], [1, 1], 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = sample();
+        let t = to_text(&g);
+        assert_eq!(from_text(&t).unwrap(), g);
+        assert!(t.contains("actor p 1,3"));
+        assert!(t.contains("channel p c 2,0 1 0"));
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let g = sample();
+        let x = to_xml(&g);
+        assert!(x.contains(r#"type="csdf""#));
+        assert!(x.contains(r#"rate="2,0""#));
+        assert!(x.contains(r#"time="1,3""#));
+        assert_eq!(from_xml(&x).unwrap(), g);
+    }
+
+    #[test]
+    fn text_errors() {
+        assert!(matches!(
+            from_text("actor a 1\n"),
+            Err(IoError::Syntax { .. })
+        ));
+        assert!(matches!(
+            from_text("csdf g\nactor a 1,x\n"),
+            Err(IoError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_text("csdf g\nactor a 1\nchannel a ghost 1 1 0\n"),
+            Err(IoError::UnknownActorName { .. })
+        ));
+        // Pattern length mismatch is a syntax error, not a panic.
+        assert!(matches!(
+            from_text("csdf g\nactor a 1,2\nactor b 1\nchannel a b 1 1 0\n"),
+            Err(IoError::Syntax { line: 4, .. })
+        ));
+        // Zero-rate pattern propagates as a graph error.
+        assert!(matches!(
+            from_text("csdf g\nactor a 1\nactor b 1\nchannel a b 0 1 0\n"),
+            Err(IoError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn xml_errors() {
+        assert!(from_xml("<csdf").is_err());
+        let missing_port = r#"<csdf name='g'>
+            <actor name='a'><port name='p' type='out' rate='1'/></actor>
+            <actor name='b'><port name='q' type='in' rate='1'/></actor>
+            <channel srcActor='a' srcPort='wrong' dstActor='b' dstPort='q'/>
+        </csdf>"#;
+        assert!(matches!(from_xml(missing_port), Err(IoError::Syntax { .. })));
+    }
+
+    #[test]
+    fn analysis_after_round_trip() {
+        use sdfr_csdf::throughput;
+        let mut b = CsdfGraph::builder("w");
+        let w = b.actor("w", [1, 3]);
+        b.channel(w, w, [1, 1], [1, 1], 1).unwrap();
+        let g = b.build().unwrap();
+        let back = from_xml(&to_xml(&g)).unwrap();
+        assert_eq!(
+            throughput(&back).unwrap().period,
+            throughput(&g).unwrap().period
+        );
+    }
+}

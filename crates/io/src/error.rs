@@ -1,0 +1,72 @@
+//! Error type for graph (de)serialization.
+
+use std::error::Error;
+use std::fmt;
+
+use sdfr_graph::SdfError;
+
+/// Errors raised while parsing a graph description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IoError {
+    /// The input is not syntactically valid at the given line (1-based).
+    Syntax {
+        /// 1-based line number of the offending construct.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The input references an undefined actor name.
+    UnknownActorName {
+        /// The unresolved name.
+        name: String,
+    },
+    /// The parsed description does not form a valid SDF graph.
+    Graph(SdfError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            IoError::UnknownActorName { name } => {
+                write!(f, "reference to undefined actor '{name}'")
+            }
+            IoError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for IoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IoError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdfError> for IoError {
+    fn from(e: SdfError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = IoError::Syntax {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "line 3: bad token");
+        assert!(e.source().is_none());
+        let e = IoError::UnknownActorName { name: "q".into() };
+        assert!(e.to_string().contains("'q'"));
+        let e = IoError::Graph(SdfError::EmptyActorName);
+        assert!(e.source().is_some());
+    }
+}

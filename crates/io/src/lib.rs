@@ -1,0 +1,42 @@
+//! Reading and writing SDF graphs.
+//!
+//! Two formats are supported:
+//!
+//! - [`text`] — a compact line-oriented format (`graph` / `actor` /
+//!   `channel` statements) convenient for hand-written test inputs,
+//! - [`xml`] — a subset of the SDF3 XML schema (Stuijk et al., *SDF For
+//!   Free*), interoperable with graphs exported from the SDF3 tool set:
+//!   `<applicationGraph>` with `<actor>`/`<port>`/`<channel>` topology and
+//!   `<actorProperties>` execution times,
+//! - [`csdf`] — the same two formats for cyclo-static graphs, with
+//!   comma-separated phase lists.
+//!
+//! Both formats round-trip exactly:
+//!
+//! ```
+//! use sdfr_graph::SdfGraph;
+//!
+//! let mut b = SdfGraph::builder("g");
+//! let x = b.actor("x", 2);
+//! let y = b.actor("y", 3);
+//! b.channel(x, y, 2, 3, 1)?;
+//! let g = b.build()?;
+//!
+//! let text = sdfr_io::text::to_text(&g);
+//! assert_eq!(sdfr_io::text::from_text(&text)?, g);
+//!
+//! let xml = sdfr_io::xml::to_xml(&g);
+//! assert_eq!(sdfr_io::xml::from_xml(&xml)?, g);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+
+pub mod csdf;
+pub mod text;
+pub mod xml;
+
+pub use error::IoError;

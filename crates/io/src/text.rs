@@ -1,0 +1,223 @@
+//! The compact line-oriented text format.
+//!
+//! ```text
+//! # comment
+//! graph <name with spaces allowed>
+//! actor <name> <execution-time>
+//! channel <src> <dst> <production> <consumption> <initial-tokens>
+//! ```
+//!
+//! Actor names are whitespace-free tokens; the graph name extends to the
+//! end of its line. Blank lines and `#` comments are ignored.
+
+use std::collections::HashMap;
+
+use sdfr_graph::{ActorId, SdfGraph};
+
+use crate::IoError;
+
+/// Serializes `g` to the text format.
+pub fn to_text(g: &SdfGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("graph {}\n", g.name()));
+    for (_, a) in g.actors() {
+        out.push_str(&format!("actor {} {}\n", a.name(), a.execution_time()));
+    }
+    for (_, c) in g.channels() {
+        out.push_str(&format!(
+            "channel {} {} {} {} {}\n",
+            g.actor(c.source()).name(),
+            g.actor(c.target()).name(),
+            c.production(),
+            c.consumption(),
+            c.initial_tokens()
+        ));
+    }
+    out
+}
+
+/// Parses a graph from the text format.
+///
+/// # Errors
+///
+/// - [`IoError::Syntax`] on malformed lines,
+/// - [`IoError::UnknownActorName`] for channels referencing undefined
+///   actors,
+/// - [`IoError::Graph`] if the description violates SDF constraints.
+pub fn from_text(input: &str) -> Result<SdfGraph, IoError> {
+    let mut name: Option<String> = None;
+    let mut actors: HashMap<String, ActorId> = HashMap::new();
+    // Channels are deferred so actors may be declared in any order.
+    let mut channels: Vec<(usize, String, String, u64, u64, u64)> = Vec::new();
+    let mut actor_decls: Vec<(String, i64)> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match keyword {
+            "graph" => {
+                if rest.is_empty() {
+                    return Err(syntax(lineno, "graph requires a name"));
+                }
+                if name.is_some() {
+                    return Err(syntax(lineno, "duplicate graph statement"));
+                }
+                name = Some(rest.to_string());
+            }
+            "actor" => {
+                let mut parts = rest.split_whitespace();
+                let aname = parts
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "actor requires a name"))?;
+                let time: i64 = parts
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "actor requires an execution time"))?
+                    .parse()
+                    .map_err(|_| syntax(lineno, "execution time must be an integer"))?;
+                if parts.next().is_some() {
+                    return Err(syntax(lineno, "trailing tokens after actor"));
+                }
+                actor_decls.push((aname.to_string(), time));
+            }
+            "channel" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 5 {
+                    return Err(syntax(
+                        lineno,
+                        "channel requires: src dst production consumption tokens",
+                    ));
+                }
+                let nums: Result<Vec<u64>, _> = parts[2..].iter().map(|s| s.parse()).collect();
+                let nums =
+                    nums.map_err(|_| syntax(lineno, "channel rates must be integers"))?;
+                channels.push((
+                    lineno,
+                    parts[0].to_string(),
+                    parts[1].to_string(),
+                    nums[0],
+                    nums[1],
+                    nums[2],
+                ));
+            }
+            other => {
+                return Err(syntax(lineno, &format!("unknown keyword '{other}'")));
+            }
+        }
+    }
+
+    let mut b = SdfGraph::builder(name.ok_or_else(|| syntax(1, "missing graph statement"))?);
+    for (aname, time) in actor_decls {
+        let id = b.actor(aname.clone(), time);
+        actors.insert(aname, id);
+    }
+    for (_, src, dst, p, c, d) in channels {
+        let s = *actors
+            .get(&src)
+            .ok_or(IoError::UnknownActorName { name: src })?;
+        let t = *actors
+            .get(&dst)
+            .ok_or(IoError::UnknownActorName { name: dst })?;
+        b.channel(s, t, p, c, d)?;
+    }
+    Ok(b.build()?)
+}
+
+fn syntax(line: usize, message: &str) -> IoError {
+    IoError::Syntax {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SdfGraph {
+        let mut b = SdfGraph::builder("my graph");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 0);
+        b.channel(x, y, 2, 3, 1).unwrap();
+        b.channel(y, x, 3, 2, 6).unwrap();
+        b.channel(x, x, 1, 1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = sample();
+        let text = to_text(&g);
+        assert_eq!(from_text(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn parses_comments_blank_lines_and_order() {
+        let input = "\n# header\ngraph g\nchannel b a 1 1 2\nactor a 5\n\nactor b 7\n";
+        let g = from_text(input).unwrap();
+        assert_eq!(g.num_actors(), 2);
+        let (_, c) = g.channels().next().unwrap();
+        assert_eq!(g.actor(c.source()).name(), "b");
+        assert_eq!(c.initial_tokens(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_report_lines() {
+        assert!(matches!(
+            from_text("graph g\nactor a\n"),
+            Err(IoError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_text("actor a 1\n"),
+            Err(IoError::Syntax { .. })
+        ));
+        assert!(matches!(
+            from_text("graph g\nblah\n"),
+            Err(IoError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_text("graph g\ngraph h\n"),
+            Err(IoError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_text("graph g\nchannel a b 1 1\n"),
+            Err(IoError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_text("graph g\nactor a one\n"),
+            Err(IoError::Syntax { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_actor_reported() {
+        assert!(matches!(
+            from_text("graph g\nactor a 1\nchannel a ghost 1 1 0\n"),
+            Err(IoError::UnknownActorName { .. })
+        ));
+    }
+
+    #[test]
+    fn graph_errors_propagate() {
+        // Zero rate.
+        assert!(matches!(
+            from_text("graph g\nactor a 1\nchannel a a 0 1 0\n"),
+            Err(IoError::Graph(_))
+        ));
+        // Negative execution time.
+        assert!(matches!(
+            from_text("graph g\nactor a -2\n"),
+            Err(IoError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn graph_name_keeps_spaces() {
+        let g = from_text("graph a graph with spaces\n").unwrap();
+        assert_eq!(g.name(), "a graph with spaces");
+    }
+}

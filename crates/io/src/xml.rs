@@ -1,0 +1,510 @@
+//! An SDF3-compatible XML subset.
+//!
+//! Writes and reads the topology/property schema used by the SDF3 tool set
+//! for plain SDF application graphs:
+//!
+//! ```xml
+//! <?xml version="1.0"?>
+//! <sdf3 type="sdf" version="1.0">
+//!   <applicationGraph name="g">
+//!     <sdf name="g" type="G">
+//!       <actor name="a" type="a">
+//!         <port name="out0" type="out" rate="2"/>
+//!       </actor>
+//!       <channel name="ch0" srcActor="a" srcPort="out0"
+//!                dstActor="b" dstPort="in0" initialTokens="1"/>
+//!     </sdf>
+//!     <sdfProperties>
+//!       <actorProperties actor="a">
+//!         <processor type="p0" default="true">
+//!           <executionTime time="5"/>
+//!         </processor>
+//!       </actorProperties>
+//!     </sdfProperties>
+//!   </applicationGraph>
+//! </sdf3>
+//! ```
+//!
+//! The parser is a small hand-rolled tokenizer for exactly this element
+//! set; XML features outside the subset (namespaces, CDATA, entities
+//! beyond `&amp; &lt; &gt; &quot; &apos;`) are rejected or ignored.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use sdfr_graph::{ActorId, SdfGraph};
+
+use crate::IoError;
+
+/// Serializes `g` to the SDF3 XML subset.
+pub fn to_xml(g: &SdfGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, r#"<?xml version="1.0" encoding="UTF-8"?>"#);
+    let _ = writeln!(out, r#"<sdf3 type="sdf" version="1.0">"#);
+    let _ = writeln!(
+        out,
+        r#"  <applicationGraph name="{}">"#,
+        escape(g.name())
+    );
+    let _ = writeln!(
+        out,
+        r#"    <sdf name="{}" type="G">"#,
+        escape(g.name())
+    );
+    for (aid, a) in g.actors() {
+        let _ = writeln!(
+            out,
+            r#"      <actor name="{}" type="{}">"#,
+            escape(a.name()),
+            escape(a.name())
+        );
+        for (i, &cid) in g.outgoing(aid).iter().enumerate() {
+            let _ = writeln!(
+                out,
+                r#"        <port name="out{}" type="out" rate="{}"/>"#,
+                i,
+                g.channel(cid).production()
+            );
+        }
+        for (i, &cid) in g.incoming(aid).iter().enumerate() {
+            let _ = writeln!(
+                out,
+                r#"        <port name="in{}" type="in" rate="{}"/>"#,
+                i,
+                g.channel(cid).consumption()
+            );
+        }
+        let _ = writeln!(out, "      </actor>");
+    }
+    for (cid, c) in g.channels() {
+        let src_port = g
+            .outgoing(c.source())
+            .iter()
+            .position(|&x| x == cid)
+            .expect("channel is in its source's outgoing list");
+        let dst_port = g
+            .incoming(c.target())
+            .iter()
+            .position(|&x| x == cid)
+            .expect("channel is in its target's incoming list");
+        let tokens = if c.initial_tokens() > 0 {
+            format!(r#" initialTokens="{}""#, c.initial_tokens())
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            r#"      <channel name="ch{}" srcActor="{}" srcPort="out{}" dstActor="{}" dstPort="in{}"{}/>"#,
+            cid.index(),
+            escape(g.actor(c.source()).name()),
+            src_port,
+            escape(g.actor(c.target()).name()),
+            dst_port,
+            tokens
+        );
+    }
+    let _ = writeln!(out, "    </sdf>");
+    let _ = writeln!(out, "    <sdfProperties>");
+    for (_, a) in g.actors() {
+        let _ = writeln!(
+            out,
+            r#"      <actorProperties actor="{}">"#,
+            escape(a.name())
+        );
+        let _ = writeln!(out, r#"        <processor type="p0" default="true">"#);
+        let _ = writeln!(
+            out,
+            r#"          <executionTime time="{}"/>"#,
+            a.execution_time()
+        );
+        let _ = writeln!(out, "        </processor>");
+        let _ = writeln!(out, "      </actorProperties>");
+    }
+    let _ = writeln!(out, "    </sdfProperties>");
+    let _ = writeln!(out, "  </applicationGraph>");
+    let _ = writeln!(out, "</sdf3>");
+    out
+}
+
+/// Parses a graph from the SDF3 XML subset.
+///
+/// Port rates are taken from the ports referenced by each channel;
+/// execution times from `<actorProperties>` (defaulting to 0 when absent,
+/// as SDF3 does for untimed graphs).
+///
+/// # Errors
+///
+/// - [`IoError::Syntax`] on malformed XML or missing required attributes,
+/// - [`IoError::UnknownActorName`] for dangling references,
+/// - [`IoError::Graph`] if the description violates SDF constraints.
+pub fn from_xml(input: &str) -> Result<SdfGraph, IoError> {
+    let events = tokenize(input)?;
+
+    let mut graph_name: Option<String> = None;
+    // actor name -> (ports: port name -> rate, execution time)
+    let mut actors: Vec<(String, i64)> = Vec::new();
+    let mut actor_index: HashMap<String, usize> = HashMap::new();
+    let mut ports: Vec<HashMap<String, u64>> = Vec::new();
+    struct RawChannel {
+        line: usize,
+        src: String,
+        src_port: String,
+        dst: String,
+        dst_port: String,
+        tokens: u64,
+    }
+    let mut channels: Vec<RawChannel> = Vec::new();
+    let mut current_actor: Option<usize> = None;
+    let mut props_actor: Option<String> = None;
+    let mut times: HashMap<String, i64> = HashMap::new();
+
+    for ev in &events {
+        match ev {
+            Event::Open { name, attrs, line } | Event::Empty { name, attrs, line } => {
+                let is_empty = matches!(ev, Event::Empty { .. });
+                match name.as_str() {
+                    "applicationGraph"
+                        if graph_name.is_none() => {
+                            graph_name = attrs.get("name").cloned();
+                        }
+                    "sdf"
+                        if graph_name.is_none() => {
+                            graph_name = attrs.get("name").cloned();
+                        }
+                    "actor" => {
+                        let aname = require(attrs, "name", *line)?;
+                        let idx = actors.len();
+                        actor_index.insert(aname.clone(), idx);
+                        actors.push((aname, 0));
+                        ports.push(HashMap::new());
+                        if !is_empty {
+                            current_actor = Some(idx);
+                        }
+                    }
+                    "port" => {
+                        let idx = current_actor.ok_or_else(|| {
+                            syntax(*line, "<port> outside of an <actor>")
+                        })?;
+                        let pname = require(attrs, "name", *line)?;
+                        let rate: u64 = require(attrs, "rate", *line)?
+                            .parse()
+                            .map_err(|_| syntax(*line, "rate must be an integer"))?;
+                        ports[idx].insert(pname, rate);
+                    }
+                    "channel" => {
+                        channels.push(RawChannel {
+                            line: *line,
+                            src: require(attrs, "srcActor", *line)?,
+                            src_port: require(attrs, "srcPort", *line)?,
+                            dst: require(attrs, "dstActor", *line)?,
+                            dst_port: require(attrs, "dstPort", *line)?,
+                            tokens: attrs
+                                .get("initialTokens")
+                                .map(|t| {
+                                    t.parse().map_err(|_| {
+                                        syntax(*line, "initialTokens must be an integer")
+                                    })
+                                })
+                                .transpose()?
+                                .unwrap_or(0),
+                        });
+                    }
+                    "actorProperties" => {
+                        props_actor = Some(require(attrs, "actor", *line)?);
+                    }
+                    "executionTime" => {
+                        let t: i64 = require(attrs, "time", *line)?
+                            .parse()
+                            .map_err(|_| syntax(*line, "time must be an integer"))?;
+                        let who = props_actor.clone().ok_or_else(|| {
+                            syntax(*line, "<executionTime> outside of <actorProperties>")
+                        })?;
+                        times.insert(who, t);
+                    }
+                    _ => {}
+                }
+            }
+            Event::Close { name, .. } => match name.as_str() {
+                "actor" => current_actor = None,
+                "actorProperties" => props_actor = None,
+                _ => {}
+            },
+        }
+    }
+
+    let mut b = SdfGraph::builder(graph_name.unwrap_or_else(|| "sdf3".to_string()));
+    let mut ids: Vec<ActorId> = Vec::new();
+    for (name, _) in &actors {
+        let t = times.get(name).copied().unwrap_or(0);
+        ids.push(b.actor(name.clone(), t));
+    }
+    for ch in channels {
+        let s = *actor_index
+            .get(&ch.src)
+            .ok_or(IoError::UnknownActorName { name: ch.src.clone() })?;
+        let t = *actor_index
+            .get(&ch.dst)
+            .ok_or(IoError::UnknownActorName { name: ch.dst.clone() })?;
+        let p = *ports[s]
+            .get(&ch.src_port)
+            .ok_or_else(|| syntax(ch.line, &format!("unknown port '{}'", ch.src_port)))?;
+        let c = *ports[t]
+            .get(&ch.dst_port)
+            .ok_or_else(|| syntax(ch.line, &format!("unknown port '{}'", ch.dst_port)))?;
+        b.channel(ids[s], ids[t], p, c, ch.tokens)?;
+    }
+    Ok(b.build()?)
+}
+
+/// A minimal XML event.
+pub(crate) enum Event {
+    Open {
+        name: String,
+        attrs: HashMap<String, String>,
+        line: usize,
+    },
+    Empty {
+        name: String,
+        attrs: HashMap<String, String>,
+        line: usize,
+    },
+    Close {
+        name: String,
+        #[allow(dead_code)]
+        line: usize,
+    },
+}
+
+pub(crate) fn tokenize(input: &str) -> Result<Vec<Event>, IoError> {
+    let mut events = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'<' => {
+                let end = input[i..]
+                    .find('>')
+                    .map(|e| i + e)
+                    .ok_or_else(|| syntax(line, "unterminated tag"))?;
+                let inner = &input[i + 1..end];
+                line += inner.matches('\n').count();
+                if inner.starts_with('?') || inner.starts_with('!') {
+                    // Declaration or comment; comments may contain '>', so
+                    // handle "-->" specially.
+                    if inner.starts_with("!--") && !inner.ends_with("--") {
+                        let cend = input[i..]
+                            .find("-->")
+                            .map(|e| i + e + 3)
+                            .ok_or_else(|| syntax(line, "unterminated comment"))?;
+                        line += input[i..cend].matches('\n').count();
+                        i = cend;
+                        continue;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+                if let Some(name) = inner.strip_prefix('/') {
+                    events.push(Event::Close {
+                        name: name.trim().to_string(),
+                        line,
+                    });
+                } else {
+                    let empty = inner.ends_with('/');
+                    let body = inner.strip_suffix('/').unwrap_or(inner);
+                    let (name, attrs) = parse_tag(body, line)?;
+                    if empty {
+                        events.push(Event::Empty { name, attrs, line });
+                    } else {
+                        events.push(Event::Open { name, attrs, line });
+                    }
+                }
+                i = end + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(events)
+}
+
+fn parse_tag(body: &str, line: usize) -> Result<(String, HashMap<String, String>), IoError> {
+    let body = body.trim();
+    let (name, rest) = body
+        .split_once(char::is_whitespace)
+        .unwrap_or((body, ""));
+    if name.is_empty() {
+        return Err(syntax(line, "empty tag name"));
+    }
+    let mut attrs = HashMap::new();
+    let mut rest = rest.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| syntax(line, "attribute without value"))?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        let quote = after
+            .chars()
+            .next()
+            .filter(|&q| q == '"' || q == '\'')
+            .ok_or_else(|| syntax(line, "attribute value must be quoted"))?;
+        let close = after[1..]
+            .find(quote)
+            .ok_or_else(|| syntax(line, "unterminated attribute value"))?;
+        let value = unescape(&after[1..1 + close]);
+        attrs.insert(key, value);
+        rest = after[close + 2..].trim_start();
+    }
+    Ok((name.to_string(), attrs))
+}
+
+pub(crate) fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
+}
+
+pub(crate) fn syntax(line: usize, message: &str) -> IoError {
+    IoError::Syntax {
+        line,
+        message: message.to_string(),
+    }
+}
+
+pub(crate) fn require(
+    attrs: &HashMap<String, String>,
+    key: &str,
+    line: usize,
+) -> Result<String, IoError> {
+    attrs
+        .get(key)
+        .cloned()
+        .ok_or_else(|| syntax(line, &format!("missing required attribute '{key}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SdfGraph {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        b.channel(x, y, 2, 3, 1).unwrap();
+        b.channel(y, x, 3, 2, 6).unwrap();
+        b.channel(x, x, 1, 1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = sample();
+        let xml = to_xml(&g);
+        assert_eq!(from_xml(&xml).unwrap(), g);
+    }
+
+    #[test]
+    fn parses_handwritten_sdf3_style_input() {
+        let xml = r#"<?xml version="1.0"?>
+<!-- an SDF3-style file -->
+<sdf3 type='sdf' version='1.0'>
+  <applicationGraph name='demo'>
+    <sdf name='demo' type='D'>
+      <actor name='a'><port name='p' type='out' rate='2'/></actor>
+      <actor name='b'><port name='q' type='in' rate='3'/></actor>
+      <channel name='c' srcActor='a' srcPort='p' dstActor='b' dstPort='q' initialTokens='4'/>
+    </sdf>
+    <sdfProperties>
+      <actorProperties actor='a'>
+        <processor type='arm' default='true'><executionTime time='7'/></processor>
+      </actorProperties>
+    </sdfProperties>
+  </applicationGraph>
+</sdf3>"#;
+        let g = from_xml(xml).unwrap();
+        assert_eq!(g.name(), "demo");
+        assert_eq!(g.num_actors(), 2);
+        let a = g.actor_by_name("a").unwrap();
+        assert_eq!(g.actor(a).execution_time(), 7);
+        let b = g.actor_by_name("b").unwrap();
+        assert_eq!(g.actor(b).execution_time(), 0); // no properties: untimed
+        let (_, c) = g.channels().next().unwrap();
+        assert_eq!((c.production(), c.consumption()), (2, 3));
+        assert_eq!(c.initial_tokens(), 4);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let mut b = SdfGraph::builder("a & \"b\" <c>");
+        b.actor("x", 1);
+        let g = b.build().unwrap();
+        let back = from_xml(&to_xml(&g)).unwrap();
+        assert_eq!(back.name(), "a & \"b\" <c>");
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(matches!(
+            from_xml("<sdf3"),
+            Err(IoError::Syntax { .. })
+        ));
+        assert!(matches!(
+            from_xml("<actor name='a'><port name='p'/></actor>"),
+            Err(IoError::Syntax { .. }) // port without rate
+        ));
+        assert!(matches!(
+            from_xml("<port name='p' rate='1'/>"),
+            Err(IoError::Syntax { .. }) // port outside actor
+        ));
+        assert!(matches!(
+            from_xml("<actor name='a' broken></actor>"),
+            Err(IoError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_references() {
+        let xml = r#"<sdf name='g'>
+            <actor name='a'><port name='p' type='out' rate='1'/></actor>
+            <channel srcActor='a' srcPort='p' dstActor='ghost' dstPort='q'/>
+        </sdf>"#;
+        assert!(matches!(
+            from_xml(xml),
+            Err(IoError::UnknownActorName { .. })
+        ));
+        let xml = r#"<sdf name='g'>
+            <actor name='a'><port name='p' type='out' rate='1'/></actor>
+            <channel srcActor='a' srcPort='wrong' dstActor='a' dstPort='p'/>
+        </sdf>"#;
+        assert!(matches!(from_xml(xml), Err(IoError::Syntax { .. })));
+    }
+
+    #[test]
+    fn comments_with_angle_brackets() {
+        let xml = "<!-- a > b --><sdf name='g'></sdf>";
+        let g = from_xml(xml).unwrap();
+        assert_eq!(g.name(), "g");
+    }
+
+    #[test]
+    fn round_trip_all_benchmarks() {
+        for case in sdfr_benchmarks::table1::all() {
+            let xml = to_xml(&case.graph);
+            let back = from_xml(&xml).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            assert_eq!(back, case.graph, "{}", case.name);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Robustness: the parsers must never panic, whatever bytes they are fed —
+//! malformed input is always a structured `IoError`.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn text_parser_never_panics(input in ".{0,200}") {
+        let _ = sdfr_io::text::from_text(&input);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,200}") {
+        let _ = sdfr_io::xml::from_xml(&input);
+    }
+
+    #[test]
+    fn csdf_text_parser_never_panics(input in ".{0,200}") {
+        let _ = sdfr_io::csdf::from_text(&input);
+    }
+
+    #[test]
+    fn csdf_xml_parser_never_panics(input in ".{0,200}") {
+        let _ = sdfr_io::csdf::from_xml(&input);
+    }
+
+    /// Mutations of a valid file never panic either (they may parse or
+    /// error, but must return).
+    #[test]
+    fn mutated_valid_files_never_panic(pos in 0usize..120, byte in any::<u8>()) {
+        let base = "graph g\nactor a 1\nactor b 2\nchannel a b 2 3 1\nchannel b a 3 2 4\n";
+        let mut bytes = base.as_bytes().to_vec();
+        if pos < bytes.len() {
+            bytes[pos] = byte;
+        }
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = sdfr_io::text::from_text(&s);
+        }
+    }
+
+    #[test]
+    fn mutated_valid_xml_never_panics(pos in 0usize..400, byte in any::<u8>()) {
+        let mut b = sdfr_graph::SdfGraph::builder("g");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        b.channel(x, y, 2, 3, 1).unwrap();
+        let base = sdfr_io::xml::to_xml(&b.build().unwrap());
+        let mut bytes = base.into_bytes();
+        if pos < bytes.len() {
+            bytes[pos] = byte;
+        }
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = sdfr_io::xml::from_xml(&s);
+        }
+    }
+}

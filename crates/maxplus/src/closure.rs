@@ -1,0 +1,324 @@
+//! Kleene star (transitive closure) of max-plus matrices.
+//!
+//! `A* = I ⊕ A ⊕ A² ⊕ …` collects the heaviest path weights between all
+//! node pairs of the precedence graph. It exists iff no cycle has positive
+//! weight; with the normalized matrix `A_λ = A − λ` (λ the eigenvalue) the
+//! star always exists and yields max-plus *potentials*, the basis of
+//! eigenvector computation and latency analysis.
+
+use crate::{Mp, MpError, MpMatrix, MpVector, Rational};
+
+/// The result of a Kleene-star computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Star {
+    /// The closure `A* = I ⊕ A ⊕ A² ⊕ … ⊕ A^{n−1}`.
+    Closure(MpMatrix),
+    /// The graph has a positive-weight cycle, so powers grow unboundedly
+    /// and the star diverges; the witness is a node on such a cycle.
+    Diverges {
+        /// A node on a positive cycle.
+        node: usize,
+    },
+}
+
+impl Star {
+    /// The closure matrix, if it exists.
+    pub fn closure(self) -> Option<MpMatrix> {
+        match self {
+            Star::Closure(m) => Some(m),
+            Star::Diverges { .. } => None,
+        }
+    }
+}
+
+/// Computes the Kleene star of a square matrix by Floyd–Warshall-style
+/// relaxation in the max-plus semiring.
+///
+/// # Errors
+///
+/// Returns [`MpError::NotSquare`] for rectangular input.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_maxplus::{closure, Mp, MpMatrix};
+///
+/// // A path graph 0 -> 1 -> 2 with weights 2 and 3.
+/// let mut a = MpMatrix::neg_inf(3, 3);
+/// a.set(1, 0, Mp::fin(2));
+/// a.set(2, 1, Mp::fin(3));
+/// let star = closure::star(&a)?.closure().expect("acyclic");
+/// assert_eq!(star.get(2, 0), Mp::fin(5)); // heaviest path 0 -> 2
+/// assert_eq!(star.get(0, 0), Mp::ZERO);   // identity on the diagonal
+/// # Ok::<(), sdfr_maxplus::MpError>(())
+/// ```
+pub fn star(a: &MpMatrix) -> Result<Star, MpError> {
+    if !a.is_square() {
+        return Err(MpError::NotSquare {
+            rows: a.num_rows(),
+            cols: a.num_cols(),
+        });
+    }
+    let n = a.num_rows();
+    let mut d = a.clone();
+    // Seed the diagonal with the identity (empty paths).
+    for i in 0..n {
+        if d.get(i, i) < Mp::ZERO {
+            d.set(i, i, Mp::ZERO);
+        }
+    }
+    for k in 0..n {
+        // A positive diagonal entry is a positive cycle through k.
+        if d.get(k, k) > Mp::ZERO {
+            return Ok(Star::Diverges { node: k });
+        }
+        for i in 0..n {
+            let dik = d.get(i, k);
+            if dik.is_neg_inf() {
+                continue;
+            }
+            for j in 0..n {
+                let cand = dik + d.get(k, j);
+                if cand > d.get(i, j) {
+                    d.set(i, j, cand);
+                }
+            }
+        }
+    }
+    // Re-check diagonals: relaxation may have exposed a positive cycle.
+    for i in 0..n {
+        if d.get(i, i) > Mp::ZERO {
+            return Ok(Star::Diverges { node: i });
+        }
+    }
+    Ok(Star::Closure(d))
+}
+
+/// A max-plus eigenvector certificate: `A ⊗ v = λ·s ⊗ v` in the scaled
+/// sense described at [`eigenmode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eigenmode {
+    /// The eigenvalue λ as a rational (cycle mean).
+    pub lambda: Rational,
+    /// Scaling used to make λ integral: the analysis runs on `s·A` whose
+    /// eigenvalue is the integer `λ·s`.
+    pub scale: i64,
+    /// The eigenvector of `s·A` (entries `−∞` for nodes that cannot reach
+    /// the critical graph).
+    pub vector: MpVector,
+}
+
+/// Computes the eigenvalue and an eigenvector of an irreducible-or-better
+/// matrix: nodes on (or reaching) the *critical graph* — the cycles whose
+/// mean equals λ — receive finite potentials.
+///
+/// Because λ may be fractional while entries are integers, the computation
+/// scales the matrix by the denominator `s` of λ: the returned vector `v`
+/// satisfies `(s·A) ⊗ v = s·λ + v` on every coordinate reachable from the
+/// critical graph, which is the standard integral form of the eigenproblem.
+///
+/// Returns `None` if the matrix has no cycle (no eigenvalue).
+///
+/// # Errors
+///
+/// Returns [`MpError::NotSquare`] for rectangular input.
+pub fn eigenmode(a: &MpMatrix) -> Result<Option<Eigenmode>, MpError> {
+    if !a.is_square() {
+        return Err(MpError::NotSquare {
+            rows: a.num_rows(),
+            cols: a.num_cols(),
+        });
+    }
+    let Some(lambda) = a.eigenvalue() else {
+        return Ok(None);
+    };
+    let n = a.num_rows();
+    let scale = lambda.denom();
+    let shift = lambda.numer(); // s·λ with s = denom
+    // B = s·A − s·λ entrywise: every cycle of B has weight <= 0 and the
+    // critical cycles have weight exactly 0, so B* exists.
+    let mut b = MpMatrix::neg_inf(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if let Mp::Fin(w) = a.get(i, j) {
+                b.set(i, j, Mp::fin(w * scale - shift));
+            }
+        }
+    }
+    let bstar = match star(&b)? {
+        Star::Closure(m) => m,
+        Star::Diverges { .. } => {
+            unreachable!("B has no positive cycles by construction of λ")
+        }
+    };
+    // Critical nodes: on a zero-weight cycle of B, i.e. B⁺(i,i) = 0 where
+    // B⁺ = B ⊗ B*. Columns of B* at critical nodes are eigenvectors; their
+    // max-plus sum is one too.
+    let bplus = b.matmul(&bstar)?;
+    let mut v = MpVector::neg_inf(n);
+    for c in 0..n {
+        if bplus.get(c, c) == Mp::ZERO {
+            v = v.join(&bstar.column(c))?;
+        }
+    }
+    Ok(Some(Eigenmode {
+        lambda,
+        scale,
+        vector: v,
+    }))
+}
+
+/// The *critical nodes* of a square matrix: nodes lying on a cycle whose
+/// mean equals the eigenvalue (the bottleneck of the system).
+///
+/// Returns an empty vector for acyclic matrices.
+///
+/// # Errors
+///
+/// Returns [`MpError::NotSquare`] for rectangular input.
+pub fn critical_nodes(a: &MpMatrix) -> Result<Vec<usize>, MpError> {
+    let Some(mode) = eigenmode(a)? else {
+        return Ok(Vec::new());
+    };
+    let n = a.num_rows();
+    let scale = mode.scale;
+    let shift = mode.lambda.numer();
+    let mut b = MpMatrix::neg_inf(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if let Mp::Fin(w) = a.get(i, j) {
+                b.set(i, j, Mp::fin(w * scale - shift));
+            }
+        }
+    }
+    let bstar = star(&b)?.closure().expect("no positive cycles");
+    let bplus = b.matmul(&bstar)?;
+    Ok((0..n).filter(|&i| bplus.get(i, i) == Mp::ZERO).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(entries: &[&[Option<i64>]]) -> MpMatrix {
+        MpMatrix::from_rows(
+            entries
+                .iter()
+                .map(|r| r.iter().map(|e| e.map_or(Mp::NegInf, Mp::fin)).collect())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn star_of_acyclic_path() {
+        let a = mat(&[&[None, None, None], &[Some(2), None, None], &[None, Some(3), None]]);
+        let s = star(&a).unwrap().closure().unwrap();
+        assert_eq!(s.get(1, 0), Mp::fin(2));
+        assert_eq!(s.get(2, 0), Mp::fin(5));
+        assert_eq!(s.get(0, 2), Mp::NegInf);
+        for i in 0..3 {
+            assert_eq!(s.get(i, i), Mp::ZERO);
+        }
+    }
+
+    #[test]
+    fn star_prefers_heaviest_path() {
+        // Two routes 0 -> 2: direct weight 1, via 1 weight 2+3.
+        let a = mat(&[
+            &[None, None, None],
+            &[Some(2), None, None],
+            &[Some(1), Some(3), None],
+        ]);
+        let s = star(&a).unwrap().closure().unwrap();
+        assert_eq!(s.get(2, 0), Mp::fin(5));
+    }
+
+    #[test]
+    fn star_diverges_on_positive_cycle() {
+        let a = mat(&[&[None, Some(1)], &[Some(1), None]]);
+        assert!(matches!(star(&a).unwrap(), Star::Diverges { .. }));
+        let a = mat(&[&[Some(1)]]);
+        assert!(matches!(star(&a).unwrap(), Star::Diverges { node: 0 }));
+    }
+
+    #[test]
+    fn star_accepts_zero_and_negative_cycles() {
+        let a = mat(&[&[None, Some(-1)], &[Some(1), None]]);
+        let s = star(&a).unwrap().closure().unwrap();
+        assert_eq!(s.get(0, 0), Mp::ZERO);
+        assert_eq!(s.get(1, 0), Mp::fin(1));
+    }
+
+    #[test]
+    fn star_rejects_rectangular() {
+        assert!(star(&MpMatrix::neg_inf(2, 3)).is_err());
+        assert!(eigenmode(&MpMatrix::neg_inf(2, 3)).is_err());
+        assert!(critical_nodes(&MpMatrix::neg_inf(2, 3)).is_err());
+    }
+
+    #[test]
+    fn eigenmode_of_two_cycle() {
+        // Cycle 0 <-> 1 with weights 3 and 5: λ = 4.
+        let a = mat(&[&[None, Some(3)], &[Some(5), None]]);
+        let m = eigenmode(&a).unwrap().unwrap();
+        assert_eq!(m.lambda, Rational::new(4, 1));
+        assert_eq!(m.scale, 1);
+        // Verify A ⊗ v = λ + v.
+        let av = a.apply(&m.vector).unwrap();
+        for i in 0..2 {
+            assert_eq!(av[i], m.vector[i] + 4);
+        }
+    }
+
+    #[test]
+    fn eigenmode_with_fractional_lambda() {
+        // 3-cycle of total weight 7: λ = 7/3, scale 3.
+        let a = mat(&[
+            &[None, None, Some(2)],
+            &[Some(3), None, None],
+            &[None, Some(2), None],
+        ]);
+        let m = eigenmode(&a).unwrap().unwrap();
+        assert_eq!(m.lambda, Rational::new(7, 3));
+        assert_eq!(m.scale, 3);
+        // v is an eigenvector of 3·A with eigenvalue 7.
+        let mut a3 = MpMatrix::neg_inf(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                if let Mp::Fin(w) = a.get(i, j) {
+                    a3.set(i, j, Mp::fin(3 * w));
+                }
+            }
+        }
+        let av = a3.apply(&m.vector).unwrap();
+        for i in 0..3 {
+            assert_eq!(av[i], m.vector[i] + 7);
+        }
+    }
+
+    #[test]
+    fn eigenmode_none_for_acyclic() {
+        let a = mat(&[&[None, None], &[Some(1), None]]);
+        assert_eq!(eigenmode(&a).unwrap(), None);
+        assert!(critical_nodes(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn critical_nodes_identify_bottleneck_cycle() {
+        // Self-loop of weight 5 at node 0 (critical) and a slower 2-cycle
+        // of mean 2 on nodes 1, 2.
+        let a = mat(&[
+            &[Some(5), None, None],
+            &[None, None, Some(2)],
+            &[Some(1), Some(2), None],
+        ]);
+        assert_eq!(critical_nodes(&a).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn all_nodes_critical_in_uniform_cycle() {
+        let a = mat(&[&[None, Some(4)], &[Some(4), None]]);
+        assert_eq!(critical_nodes(&a).unwrap(), vec![0, 1]);
+    }
+}

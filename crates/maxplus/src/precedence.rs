@@ -1,0 +1,228 @@
+//! The weighted precedence digraph of a max-plus matrix.
+
+use crate::{Mp, MpError, MpMatrix, Time};
+
+/// The precedence graph of a square max-plus matrix `A`: one node per
+/// row/column, and an edge `j → k` with weight `A[k][j]` for every finite
+/// entry.
+///
+/// Cycles of this graph correspond to recurrent timing dependencies; the
+/// maximum cycle mean equals the max-plus eigenvalue of `A` and hence the
+/// iteration period of the SDF graph the matrix was extracted from.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_maxplus::{Mp, MpMatrix};
+///
+/// let a = MpMatrix::from_rows(vec![
+///     vec![Mp::NEG_INF, Mp::fin(3)],
+///     vec![Mp::fin(5), Mp::NEG_INF],
+/// ])?;
+/// let g = a.precedence_graph()?;
+/// assert_eq!(g.num_nodes(), 2);
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), sdfr_maxplus::MpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecedenceGraph {
+    n: usize,
+    // Outgoing adjacency: succs[u] = [(v, w), ...] for edges u → v.
+    succs: Vec<Vec<(usize, Time)>>,
+    num_edges: usize,
+}
+
+impl PrecedenceGraph {
+    /// Builds the precedence graph of a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpError::NotSquare`] if the matrix is not square.
+    pub fn of_matrix(a: &MpMatrix) -> Result<Self, MpError> {
+        if !a.is_square() {
+            return Err(MpError::NotSquare {
+                rows: a.num_rows(),
+                cols: a.num_cols(),
+            });
+        }
+        let n = a.num_rows();
+        let mut succs = vec![Vec::new(); n];
+        let mut num_edges = 0;
+        for k in 0..n {
+            for (j, succ) in succs.iter_mut().enumerate() {
+                if let Mp::Fin(w) = a.get(k, j) {
+                    succ.push((k, w));
+                    num_edges += 1;
+                }
+            }
+        }
+        Ok(PrecedenceGraph {
+            n,
+            succs,
+            num_edges,
+        })
+    }
+
+    /// Builds a precedence graph directly from edges `(from, to, weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize, Time)>) -> Self {
+        let mut succs = vec![Vec::new(); n];
+        let mut num_edges = 0;
+        for (u, v, w) in edges {
+            assert!(u < n && v < n, "edge endpoint out of bounds");
+            succs[u].push((v, w));
+            num_edges += 1;
+        }
+        PrecedenceGraph {
+            n,
+            succs,
+            num_edges,
+        }
+    }
+
+    /// The number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The outgoing edges of node `u` as `(target, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= num_nodes()`.
+    pub fn successors(&self, u: usize) -> &[(usize, Time)] {
+        &self.succs[u]
+    }
+
+    /// The strongly connected components, each as a sorted list of node ids.
+    ///
+    /// Components are returned in reverse topological order (Tarjan's
+    /// algorithm, iterative formulation to avoid stack overflow on long
+    /// chains).
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        // Iterative Tarjan.
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; self.n];
+        let mut low = vec![0usize; self.n];
+        let mut on_stack = vec![false; self.n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs = Vec::new();
+        // Explicit DFS stack of (node, next child position).
+        let mut call: Vec<(usize, usize)> = Vec::new();
+
+        for start in 0..self.n {
+            if index[start] != UNVISITED {
+                continue;
+            }
+            call.push((start, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+                if *ci < self.succs[v].len() {
+                    let (w, _) = self.succs[v][*ci];
+                    *ci += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_matrix_edge_orientation() {
+        // A[k][j] finite => edge j -> k with weight A[k][j].
+        let mut a = MpMatrix::neg_inf(2, 2);
+        a.set(1, 0, Mp::fin(7)); // token 1 depends on token 0
+        let g = a.precedence_graph().unwrap();
+        assert_eq!(g.successors(0), &[(1, 7)]);
+        assert!(g.successors(1).is_empty());
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = MpMatrix::neg_inf(2, 3);
+        assert!(PrecedenceGraph::of_matrix(&a).is_err());
+    }
+
+    #[test]
+    fn sccs_of_two_cycles_and_bridge() {
+        // 0 <-> 1, 2 <-> 3, bridge 1 -> 2, isolated 4.
+        let g = PrecedenceGraph::from_edges(
+            5,
+            [(0, 1, 1), (1, 0, 1), (2, 3, 1), (3, 2, 1), (1, 2, 1)],
+        );
+        let mut sccs = g.sccs();
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn sccs_reverse_topological_order() {
+        // 0 -> 1 -> 2 (all singletons); Tarjan emits sinks first.
+        let g = PrecedenceGraph::from_edges(3, [(0, 1, 0), (1, 2, 0)]);
+        let sccs = g.sccs();
+        assert_eq!(sccs, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn sccs_survive_deep_chains() {
+        // A 100_000-node chain must not overflow the call stack.
+        let n = 100_000;
+        let g = PrecedenceGraph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1)));
+        assert_eq!(g.sccs().len(), n);
+    }
+
+    #[test]
+    fn single_scc_for_full_cycle() {
+        let n = 50;
+        let g = PrecedenceGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n, 1)));
+        assert_eq!(g.sccs().len(), 1);
+        assert_eq!(g.sccs()[0].len(), n);
+    }
+}

@@ -1,0 +1,274 @@
+//! The max-plus semiring element: `−∞` or a finite integer time.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Integer time stamps used throughout the library.
+///
+/// Execution times of SDF actors are natural numbers (paper, Sec. 3), so all
+/// derived quantities (token time stamps, matrix entries) are integers and
+/// can be compared exactly.
+pub type Time = i64;
+
+/// An element of the max-plus semiring `(ℤ ∪ {−∞}, max, +)`.
+///
+/// `−∞` is the neutral element of `max` (the semiring "zero") and absorbing
+/// for `+` (the semiring "one" is the integer 0). It denotes the *absence of
+/// a dependency* in symbolic time stamps (paper, Sec. 6).
+///
+/// `Mp` implements [`Add`] as the semiring `⊗` (ordinary addition with `−∞`
+/// absorbing) and provides [`Mp::max`] via the derived [`Ord`] for `⊕`.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_maxplus::Mp;
+///
+/// let a = Mp::fin(3);
+/// assert_eq!(a + Mp::fin(4), Mp::fin(7));
+/// assert_eq!(a + Mp::NEG_INF, Mp::NEG_INF);
+/// assert_eq!(a.max(Mp::fin(5)), Mp::fin(5));
+/// assert!(Mp::NEG_INF < Mp::fin(i64::MIN));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mp {
+    /// `−∞`, the neutral element of `max`; absence of a dependency.
+    NegInf,
+    /// A finite integer time stamp.
+    Fin(Time),
+}
+
+impl Mp {
+    /// The semiring zero, `−∞`.
+    pub const NEG_INF: Mp = Mp::NegInf;
+
+    /// The semiring one, the integer `0`.
+    pub const ZERO: Mp = Mp::Fin(0);
+
+    /// Creates a finite value.
+    ///
+    /// ```
+    /// use sdfr_maxplus::Mp;
+    /// assert!(Mp::fin(7).is_finite());
+    /// ```
+    #[inline]
+    pub const fn fin(t: Time) -> Self {
+        Mp::Fin(t)
+    }
+
+    /// Returns `true` if this value is finite.
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        matches!(self, Mp::Fin(_))
+    }
+
+    /// Returns `true` if this value is `−∞`.
+    #[inline]
+    pub const fn is_neg_inf(self) -> bool {
+        matches!(self, Mp::NegInf)
+    }
+
+    /// Returns the finite value, if any.
+    ///
+    /// ```
+    /// use sdfr_maxplus::Mp;
+    /// assert_eq!(Mp::fin(2).finite(), Some(2));
+    /// assert_eq!(Mp::NEG_INF.finite(), None);
+    /// ```
+    #[inline]
+    pub const fn finite(self) -> Option<Time> {
+        match self {
+            Mp::NegInf => None,
+            Mp::Fin(t) => Some(t),
+        }
+    }
+
+    /// Returns the finite value or panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is `−∞`.
+    #[inline]
+    #[track_caller]
+    pub fn unwrap_finite(self) -> Time {
+        match self {
+            Mp::NegInf => panic!("called `Mp::unwrap_finite` on −∞"),
+            Mp::Fin(t) => t,
+        }
+    }
+
+    /// The semiring addition `⊕`, i.e. the maximum of the two values.
+    ///
+    /// ```
+    /// use sdfr_maxplus::Mp;
+    /// assert_eq!(Mp::fin(2).max(Mp::fin(9)), Mp::fin(9));
+    /// assert_eq!(Mp::NEG_INF.max(Mp::fin(-4)), Mp::fin(-4));
+    /// ```
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Ord::max(self, other)
+    }
+}
+
+impl Default for Mp {
+    /// The default is the semiring zero, `−∞`.
+    fn default() -> Self {
+        Mp::NegInf
+    }
+}
+
+impl PartialOrd for Mp {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Mp {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Mp::NegInf, Mp::NegInf) => Ordering::Equal,
+            (Mp::NegInf, Mp::Fin(_)) => Ordering::Less,
+            (Mp::Fin(_), Mp::NegInf) => Ordering::Greater,
+            (Mp::Fin(a), Mp::Fin(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl Add for Mp {
+    type Output = Mp;
+
+    /// The semiring multiplication `⊗`: ordinary addition, absorbing `−∞`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on finite integer overflow (debug and release), since silent
+    /// wrap-around would corrupt timing analysis results.
+    #[inline]
+    fn add(self, rhs: Mp) -> Mp {
+        match (self, rhs) {
+            (Mp::Fin(a), Mp::Fin(b)) => {
+                Mp::Fin(a.checked_add(b).expect("max-plus time stamp overflow"))
+            }
+            _ => Mp::NegInf,
+        }
+    }
+}
+
+impl Add<Time> for Mp {
+    type Output = Mp;
+
+    #[inline]
+    fn add(self, rhs: Time) -> Mp {
+        self + Mp::Fin(rhs)
+    }
+}
+
+impl AddAssign for Mp {
+    #[inline]
+    fn add_assign(&mut self, rhs: Mp) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Mp {
+    /// Sums in the `⊗` sense: the sum of an empty iterator is the semiring
+    /// one (`0`), and any `−∞` term absorbs the result.
+    fn sum<I: Iterator<Item = Mp>>(iter: I) -> Mp {
+        iter.fold(Mp::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl From<Time> for Mp {
+    #[inline]
+    fn from(t: Time) -> Self {
+        Mp::Fin(t)
+    }
+}
+
+impl fmt::Display for Mp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Respect width/alignment flags by padding the rendered value.
+        match self {
+            Mp::NegInf => f.pad("-inf"),
+            Mp::Fin(t) => f.pad(&t.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neg_inf_is_neutral_for_max() {
+        for t in [-5, 0, 7, i64::MAX] {
+            assert_eq!(Mp::NEG_INF.max(Mp::fin(t)), Mp::fin(t));
+            assert_eq!(Mp::fin(t).max(Mp::NEG_INF), Mp::fin(t));
+        }
+        assert_eq!(Mp::NEG_INF.max(Mp::NEG_INF), Mp::NEG_INF);
+    }
+
+    #[test]
+    fn neg_inf_absorbs_add() {
+        assert_eq!(Mp::NEG_INF + Mp::fin(3), Mp::NEG_INF);
+        assert_eq!(Mp::fin(3) + Mp::NEG_INF, Mp::NEG_INF);
+        assert_eq!(Mp::NEG_INF + Mp::NEG_INF, Mp::NEG_INF);
+    }
+
+    #[test]
+    fn zero_is_neutral_for_add() {
+        assert_eq!(Mp::ZERO + Mp::fin(9), Mp::fin(9));
+        assert_eq!(Mp::fin(-2) + Mp::ZERO, Mp::fin(-2));
+    }
+
+    #[test]
+    fn finite_arithmetic() {
+        assert_eq!(Mp::fin(3) + Mp::fin(4), Mp::fin(7));
+        assert_eq!(Mp::fin(3) + 4, Mp::fin(7));
+        let mut v = Mp::fin(1);
+        v += Mp::fin(2);
+        assert_eq!(v, Mp::fin(3));
+    }
+
+    #[test]
+    fn ordering_is_total_with_neg_inf_bottom() {
+        assert!(Mp::NEG_INF < Mp::fin(i64::MIN));
+        assert!(Mp::fin(1) < Mp::fin(2));
+        assert_eq!(Mp::fin(2).cmp(&Mp::fin(2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn sum_is_tropical_product() {
+        let xs = [Mp::fin(1), Mp::fin(2), Mp::fin(3)];
+        assert_eq!(xs.into_iter().sum::<Mp>(), Mp::fin(6));
+        let empty: [Mp; 0] = [];
+        assert_eq!(empty.into_iter().sum::<Mp>(), Mp::ZERO);
+        let with_inf = [Mp::fin(1), Mp::NEG_INF];
+        assert_eq!(with_inf.into_iter().sum::<Mp>(), Mp::NEG_INF);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn add_overflow_panics() {
+        let _ = Mp::fin(i64::MAX) + Mp::fin(1);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Mp::fin(5).finite(), Some(5));
+        assert!(Mp::NEG_INF.finite().is_none());
+        assert_eq!(Mp::fin(5).unwrap_finite(), 5);
+        assert!(Mp::default().is_neg_inf());
+        assert_eq!(Mp::from(4), Mp::fin(4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Mp::fin(42).to_string(), "42");
+        assert_eq!(Mp::NEG_INF.to_string(), "-inf");
+    }
+}

@@ -1,0 +1,315 @@
+//! Max-plus vectors: symbolic time stamps over a set of initial tokens.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::{Mp, MpError, Time};
+
+/// A vector over the max-plus semiring.
+///
+/// In the symbolic execution of an SDF graph (paper, Sec. 6), the production
+/// time of every token is an expression `t = max_i (t_i + g_i)` over the
+/// initial-token times `t_i`; such a *symbolic time stamp* is exactly an
+/// `MpVector` holding the coefficients `g_i` (with `−∞` marking "no
+/// dependency on token *i*").
+///
+/// # Example
+///
+/// ```
+/// use sdfr_maxplus::{Mp, MpVector};
+///
+/// // t = max(t_0 + 3, t_2 + 1)
+/// let g = MpVector::from_entries([Mp::fin(3), Mp::NEG_INF, Mp::fin(1)]);
+/// assert_eq!(g.max_entry(), Mp::fin(3));
+/// let shifted = g.shift(2); // firing of an actor with execution time 2
+/// assert_eq!(shifted[0], Mp::fin(5));
+/// assert_eq!(shifted[1], Mp::NEG_INF);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct MpVector {
+    entries: Vec<Mp>,
+}
+
+impl MpVector {
+    /// Creates a vector of the given length filled with `−∞` (the semiring
+    /// zero vector).
+    pub fn neg_inf(len: usize) -> Self {
+        MpVector {
+            entries: vec![Mp::NegInf; len],
+        }
+    }
+
+    /// Creates a vector of the given length filled with the integer `0`.
+    pub fn zeros(len: usize) -> Self {
+        MpVector {
+            entries: vec![Mp::ZERO; len],
+        }
+    }
+
+    /// Creates the `i`-th max-plus unit vector of the given length: `0` at
+    /// position `i` and `−∞` elsewhere.
+    ///
+    /// This is the initial symbolic time stamp of the `i`-th initial token in
+    /// Algorithm 1 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn unit(len: usize, i: usize) -> Self {
+        assert!(i < len, "unit index {i} out of bounds for length {len}");
+        let mut v = Self::neg_inf(len);
+        v.entries[i] = Mp::ZERO;
+        v
+    }
+
+    /// Creates a vector from its entries.
+    pub fn from_entries<I: IntoIterator<Item = Mp>>(entries: I) -> Self {
+        MpVector {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// The number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = Mp> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Returns the entry at `i`, or `None` if out of bounds.
+    pub fn get(&self, i: usize) -> Option<Mp> {
+        self.entries.get(i).copied()
+    }
+
+    /// The entrywise maximum (`⊕`) of two vectors.
+    ///
+    /// This is the symbolic form of an actor firing synchronising on several
+    /// input tokens: the start time is the maximum of their time stamps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpError::DimensionMismatch`] if the lengths differ.
+    pub fn join(&self, other: &MpVector) -> Result<MpVector, MpError> {
+        if self.len() != other.len() {
+            return Err(MpError::DimensionMismatch {
+                expected: self.len(),
+                found: other.len(),
+                op: "MpVector::join",
+            });
+        }
+        Ok(MpVector::from_entries(
+            self.iter().zip(other.iter()).map(|(a, b)| a.max(b)),
+        ))
+    }
+
+    /// Adds the scalar `delta` to every entry (`⊗` by a scalar).
+    ///
+    /// This is the symbolic form of a firing of duration `delta`: all
+    /// dependencies are delayed by the execution time.
+    pub fn shift(&self, delta: Time) -> MpVector {
+        MpVector::from_entries(self.iter().map(|e| e + delta))
+    }
+
+    /// The maximum entry (`−∞` for an all-`−∞` or empty vector).
+    pub fn max_entry(&self) -> Mp {
+        self.iter().max().unwrap_or(Mp::NegInf)
+    }
+
+    /// The minimum *finite* entry, if any entry is finite.
+    pub fn min_finite(&self) -> Option<Time> {
+        self.iter().filter_map(Mp::finite).min()
+    }
+
+    /// The number of finite entries.
+    pub fn finite_count(&self) -> usize {
+        self.iter().filter(|e| e.is_finite()).count()
+    }
+
+    /// Normalizes by subtracting the maximum entry from all finite entries,
+    /// returning the normalized vector and the subtracted maximum.
+    ///
+    /// Two time-stamp vectors that differ only by a global time shift
+    /// normalize to the same vector; this drives exact periodicity detection
+    /// in [`crate::recurrence`]. Returns `None` if no entry is finite (the
+    /// vector carries no timing information).
+    pub fn normalize(&self) -> Option<(MpVector, Time)> {
+        let max = self.max_entry().finite()?;
+        Some((
+            MpVector::from_entries(self.iter().map(|e| match e {
+                Mp::NegInf => Mp::NegInf,
+                Mp::Fin(t) => Mp::Fin(t - max),
+            })),
+            max,
+        ))
+    }
+
+    /// The inner product in the max-plus sense: `max_i (self_i + other_i)`.
+    ///
+    /// Evaluating a symbolic time stamp at concrete initial-token times is
+    /// `stamp.dot(times)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpError::DimensionMismatch`] if the lengths differ.
+    pub fn dot(&self, other: &MpVector) -> Result<Mp, MpError> {
+        if self.len() != other.len() {
+            return Err(MpError::DimensionMismatch {
+                expected: self.len(),
+                found: other.len(),
+                op: "MpVector::dot",
+            });
+        }
+        Ok(self
+            .iter()
+            .zip(other.iter())
+            .map(|(a, b)| a + b)
+            .max()
+            .unwrap_or(Mp::NegInf))
+    }
+
+    /// Consumes the vector and returns its entries.
+    pub fn into_entries(self) -> Vec<Mp> {
+        self.entries
+    }
+
+    /// The entries as a slice.
+    pub fn as_slice(&self) -> &[Mp] {
+        &self.entries
+    }
+}
+
+impl Index<usize> for MpVector {
+    type Output = Mp;
+
+    fn index(&self, i: usize) -> &Mp {
+        &self.entries[i]
+    }
+}
+
+impl FromIterator<Mp> for MpVector {
+    fn from_iter<I: IntoIterator<Item = Mp>>(iter: I) -> Self {
+        MpVector::from_entries(iter)
+    }
+}
+
+impl Extend<Mp> for MpVector {
+    fn extend<I: IntoIterator<Item = Mp>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+impl fmt::Display for MpVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let v = MpVector::neg_inf(3);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|e| e.is_neg_inf()));
+        let z = MpVector::zeros(2);
+        assert!(z.iter().all(|e| e == Mp::ZERO));
+        let u = MpVector::unit(3, 1);
+        assert_eq!(u.as_slice(), &[Mp::NegInf, Mp::ZERO, Mp::NegInf]);
+        assert!(MpVector::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unit_out_of_bounds_panics() {
+        let _ = MpVector::unit(2, 2);
+    }
+
+    #[test]
+    fn join_takes_entrywise_max() {
+        let a = MpVector::from_entries([Mp::fin(1), Mp::NegInf, Mp::fin(5)]);
+        let b = MpVector::from_entries([Mp::fin(3), Mp::fin(0), Mp::fin(2)]);
+        let j = a.join(&b).unwrap();
+        assert_eq!(j.as_slice(), &[Mp::fin(3), Mp::fin(0), Mp::fin(5)]);
+    }
+
+    #[test]
+    fn join_dimension_mismatch() {
+        let a = MpVector::zeros(2);
+        let b = MpVector::zeros(3);
+        assert!(matches!(
+            a.join(&b),
+            Err(MpError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shift_preserves_neg_inf() {
+        let a = MpVector::from_entries([Mp::fin(1), Mp::NegInf]);
+        let s = a.shift(4);
+        assert_eq!(s.as_slice(), &[Mp::fin(5), Mp::NegInf]);
+    }
+
+    #[test]
+    fn max_and_min() {
+        let a = MpVector::from_entries([Mp::fin(1), Mp::NegInf, Mp::fin(5)]);
+        assert_eq!(a.max_entry(), Mp::fin(5));
+        assert_eq!(a.min_finite(), Some(1));
+        assert_eq!(a.finite_count(), 2);
+        assert_eq!(MpVector::neg_inf(2).max_entry(), Mp::NegInf);
+        assert_eq!(MpVector::neg_inf(2).min_finite(), None);
+    }
+
+    #[test]
+    fn normalize_removes_global_shift() {
+        let a = MpVector::from_entries([Mp::fin(3), Mp::fin(7), Mp::NegInf]);
+        let b = a.shift(11);
+        let (na, ma) = a.normalize().unwrap();
+        let (nb, mb) = b.normalize().unwrap();
+        assert_eq!(na, nb);
+        assert_eq!(mb - ma, 11);
+        assert_eq!(na.max_entry(), Mp::ZERO);
+        assert!(MpVector::neg_inf(3).normalize().is_none());
+    }
+
+    #[test]
+    fn dot_evaluates_symbolic_stamp() {
+        // t = max(t0 + 3, t2 + 1) with t = (0, 100, 4) => max(3, 5) = 5
+        let g = MpVector::from_entries([Mp::fin(3), Mp::NegInf, Mp::fin(1)]);
+        let t = MpVector::from_entries([Mp::fin(0), Mp::fin(100), Mp::fin(4)]);
+        assert_eq!(g.dot(&t).unwrap(), Mp::fin(5));
+        assert!(g.dot(&MpVector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut v: MpVector = [Mp::fin(1)].into_iter().collect();
+        v.extend([Mp::fin(2)]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1], Mp::fin(2));
+        assert_eq!(v.get(5), None);
+        assert_eq!(v.clone().into_entries(), vec![Mp::fin(1), Mp::fin(2)]);
+    }
+
+    #[test]
+    fn display() {
+        let v = MpVector::from_entries([Mp::fin(1), Mp::NegInf]);
+        assert_eq!(v.to_string(), "[1, -inf]");
+    }
+}

@@ -1,0 +1,29 @@
+//! MPSoC platform modelling for SDF timing analysis.
+//!
+//! The paper's reduction techniques were motivated by worst-case timing
+//! analysis of multiprocessor systems-on-chip, where the application *and*
+//! the platform are modelled as one SDF graph (Stuijk et al., DSD'05;
+//! Poplavko et al., DSD'07; Bekooij et al., SCOPES'04). This crate provides
+//! the standard platform-to-SDF transformations:
+//!
+//! - [`mapping`] — bind actors to processors with a static execution order
+//!   (serialization rings),
+//! - [`tdm`] — conservative TDM (time-division multiplexing) arbitration
+//!   abstraction via worst-case response-time inflation,
+//! - [`noc`] — network-on-chip connection insertion (the communication
+//!   assists and transport delay of the paper's Fig. 5 model).
+//!
+//! All three transformations only *add* constraints or *increase* execution
+//! times, so by the paper's Prop. 1 the analysed throughput of the mapped
+//! model is a conservative bound for any refinement of the platform.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod mapping;
+pub mod noc;
+pub mod tdm;
+
+pub use mapping::{apply_mapping, Mapping};
+pub use noc::insert_connection;
+pub use tdm::{apply_tdm, tdm_response_time, TdmSlot};

@@ -1,0 +1,300 @@
+//! Processor binding with static execution orders.
+//!
+//! Mapping several actors onto one processor removes their concurrency: on
+//! the processor they execute in a fixed round-robin *static order*. In SDF
+//! this is modelled by a *serialization ring*: homogeneous channels chain
+//! the actors in order, and a single "processor token" returns from the
+//! last to the first (Sriram & Bhattacharyya). The transformation only adds
+//! dependency edges, so it is conservative in the sense of the paper's
+//! Prop. 1 — and the mapped model can afterwards be reduced with the
+//! abstraction of Sec. 4 when the orders are regular.
+
+use std::collections::HashSet;
+
+use sdfr_graph::repetition::repetition_vector;
+use sdfr_graph::{ActorId, SdfError, SdfGraph};
+
+/// A processor binding: one static order of actors per processor.
+///
+/// Actors absent from every order remain unconstrained (e.g. hardware
+/// accelerators with dedicated resources).
+#[derive(Debug, Clone, Default)]
+pub struct Mapping {
+    orders: Vec<Vec<ActorId>>,
+}
+
+impl Mapping {
+    /// Creates an empty mapping.
+    pub fn new() -> Self {
+        Mapping::default()
+    }
+
+    /// Binds the given actors, in static execution order, to a new
+    /// processor. Orders with fewer than 2 actors impose no constraint but
+    /// are accepted (a dedicated processor).
+    pub fn processor(&mut self, order: impl IntoIterator<Item = ActorId>) -> &mut Self {
+        self.orders.push(order.into_iter().collect());
+        self
+    }
+
+    /// The static orders, one per processor.
+    pub fn orders(&self) -> &[Vec<ActorId>] {
+        &self.orders
+    }
+}
+
+/// Applies a mapping to `g`: every processor's actors are serialized by a
+/// ring of homogeneous channels carrying one processor token.
+///
+/// The per-processor round-robin executes each bound actor once per ring
+/// rotation, which is only consistent if the bound actors share their
+/// repetition-vector entry — convert multirate graphs to HSDF first (e.g.
+/// with the paper's novel conversion) for firing-level orders.
+///
+/// # Errors
+///
+/// - [`SdfError::Inconsistent`] if `g` has no repetition vector or bound
+///   actors have unequal repetition entries (reported via the ring channel
+///   that would break consistency),
+/// - [`SdfError::UnknownActor`] for ids not in `g`.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_graph::SdfGraph;
+/// use sdfr_platform::{apply_mapping, Mapping};
+///
+/// let mut b = SdfGraph::builder("app");
+/// let x = b.actor("x", 2);
+/// let y = b.actor("y", 3);
+/// b.channel(x, y, 1, 1, 0)?;
+/// b.channel(y, x, 1, 1, 2)?;
+/// let g = b.build()?;
+///
+/// let mut m = Mapping::new();
+/// m.processor([x, y]); // share one CPU, x before y
+/// let mapped = apply_mapping(&g, &m)?;
+/// assert_eq!(mapped.num_channels(), g.num_channels() + 2); // the ring
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn apply_mapping(g: &SdfGraph, mapping: &Mapping) -> Result<SdfGraph, SdfError> {
+    let gamma = repetition_vector(g)?;
+    // Validate ids and repetition equality upfront for a clean error.
+    let mut seen = HashSet::new();
+    for order in mapping.orders() {
+        for &a in order {
+            if a.index() >= g.num_actors() {
+                return Err(SdfError::UnknownActor {
+                    actor: a,
+                    num_actors: g.num_actors(),
+                });
+            }
+            assert!(
+                seen.insert(a),
+                "actor {a} bound to more than one processor"
+            );
+        }
+        if let Some((&first, rest)) = order.split_first() {
+            for &a in rest {
+                if gamma.get(a) != gamma.get(first) {
+                    // The ring would violate the balance equations.
+                    return Err(SdfError::Inconsistent {
+                        channel: sdfr_graph::ChannelId::from_index(g.num_channels()),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut b = SdfGraph::builder(format!("{}^mapped", g.name()));
+    let ids: Vec<ActorId> = g
+        .actors()
+        .map(|(_, a)| b.actor(a.name().to_string(), a.execution_time()))
+        .collect();
+    for (_, c) in g.channels() {
+        b.channel(
+            ids[c.source().index()],
+            ids[c.target().index()],
+            c.production(),
+            c.consumption(),
+            c.initial_tokens(),
+        )
+        .expect("copying a valid channel");
+    }
+    for order in mapping.orders() {
+        if order.len() < 2 {
+            continue;
+        }
+        for pair in order.windows(2) {
+            b.channel(ids[pair[0].index()], ids[pair[1].index()], 1, 1, 0)
+                .expect("validated ids");
+        }
+        b.channel(
+            ids[order[order.len() - 1].index()],
+            ids[order[0].index()],
+            1,
+            1,
+            1,
+        )
+        .expect("validated ids");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfr_analysis::throughput::throughput;
+    use sdfr_maxplus::Rational;
+
+    /// Two independent self-looped stages.
+    fn two_stage() -> (SdfGraph, ActorId, ActorId) {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        b.channel(x, x, 1, 1, 1).unwrap();
+        b.channel(y, y, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        (g, x, y)
+    }
+
+    #[test]
+    fn sharing_a_processor_serializes() {
+        let (g, x, y) = two_stage();
+        // Unmapped: both loops run in parallel; period max(2, 3) = 3.
+        assert_eq!(throughput(&g).unwrap().period(), Some(Rational::from(3)));
+        let mut m = Mapping::new();
+        m.processor([x, y]);
+        let mapped = apply_mapping(&g, &m).unwrap();
+        // Shared CPU: x then y per rotation; period 2 + 3 = 5.
+        assert_eq!(
+            throughput(&mapped).unwrap().period(),
+            Some(Rational::from(5))
+        );
+    }
+
+    #[test]
+    fn dedicated_processors_change_nothing() {
+        let (g, x, y) = two_stage();
+        let mut m = Mapping::new();
+        m.processor([x]).processor([y]);
+        let mapped = apply_mapping(&g, &m).unwrap();
+        assert_eq!(mapped.num_channels(), g.num_channels());
+        assert_eq!(
+            throughput(&mapped).unwrap().period(),
+            throughput(&g).unwrap().period()
+        );
+    }
+
+    #[test]
+    fn mapping_is_conservative() {
+        // Mapping never speeds a graph up.
+        let mut b = SdfGraph::builder("chain");
+        let s = b.actor("s", 1);
+        let t = b.actor("t", 4);
+        let u = b.actor("u", 2);
+        b.channel(s, t, 1, 1, 0).unwrap();
+        b.channel(t, u, 1, 1, 0).unwrap();
+        b.channel(u, s, 1, 1, 2).unwrap();
+        let g = b.build().unwrap();
+        let unmapped = throughput(&g).unwrap().period().unwrap();
+        let mut m = Mapping::new();
+        m.processor([s, u]);
+        let mapped = apply_mapping(&g, &m).unwrap();
+        let mapped_period = throughput(&mapped).unwrap().period().unwrap();
+        assert!(mapped_period >= unmapped);
+    }
+
+    #[test]
+    fn order_matters() {
+        // Scheduling the consumer before the producer needs a pipelining
+        // token on the data channel; without one the backward order
+        // deadlocks, with one it runs at the same rate but higher latency.
+        let build = |tokens: u64| {
+            let mut b = SdfGraph::builder("pc");
+            let p = b.actor("p", 2);
+            let c = b.actor("c", 3);
+            b.channel(p, c, 1, 1, tokens).unwrap();
+            (b.build().unwrap(), p, c)
+        };
+        let (g0, p0, c0) = build(0);
+        let mut backward = Mapping::new();
+        backward.processor([c0, p0]);
+        let dead = apply_mapping(&g0, &backward).unwrap();
+        assert!(matches!(
+            throughput(&dead),
+            Err(SdfError::Deadlock { .. })
+        ));
+
+        let (g1, p1, c1) = build(1);
+        let mut forward = Mapping::new();
+        forward.processor([p1, c1]);
+        let mut backward = Mapping::new();
+        backward.processor([c1, p1]);
+        let f = apply_mapping(&g1, &forward).unwrap();
+        let bwd = apply_mapping(&g1, &backward).unwrap();
+        let pf = throughput(&f).unwrap().period().unwrap();
+        let pb = throughput(&bwd).unwrap().period().unwrap();
+        // Both serialize to 2 + 3 = 5 per rotation.
+        assert_eq!(pf, pb);
+        // The backward order delays the iteration's completion.
+        use sdfr_analysis::latency::iteration_makespan;
+        assert!(iteration_makespan(&bwd).unwrap() >= iteration_makespan(&f).unwrap());
+    }
+
+    #[test]
+    fn rejects_unknown_and_duplicate_actors() {
+        let (g, x, _) = two_stage();
+        let mut m = Mapping::new();
+        m.processor([ActorId::from_index(99)]);
+        assert!(matches!(
+            apply_mapping(&g, &m),
+            Err(SdfError::UnknownActor { .. })
+        ));
+        let mut m = Mapping::new();
+        m.processor([x]).processor([x]);
+        let result = std::panic::catch_unwind(|| apply_mapping(&g, &m));
+        assert!(result.is_err(), "duplicate binding must panic");
+    }
+
+    #[test]
+    fn rejects_unequal_repetition_entries() {
+        let mut b = SdfGraph::builder("mr");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 1, 0).unwrap(); // γ = (1, 2)
+        let g = b.build().unwrap();
+        let mut m = Mapping::new();
+        m.processor([x, y]);
+        assert!(matches!(
+            apply_mapping(&g, &m),
+            Err(SdfError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn mapped_graph_can_be_abstracted() {
+        // The motivating pipeline: map a regular graph, then reduce it.
+        let mut b = SdfGraph::builder("reg");
+        let a1 = b.actor("A1", 2);
+        let a2 = b.actor("A2", 2);
+        let a3 = b.actor("A3", 2);
+        b.channel(a1, a2, 1, 1, 0).unwrap();
+        b.channel(a2, a3, 1, 1, 0).unwrap();
+        b.channel(a3, a1, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let mut m = Mapping::new();
+        m.processor([a1, a2, a3]);
+        let mapped = apply_mapping(&g, &m).unwrap();
+        let abs = sdfr_core::auto::auto_abstraction(&mapped).unwrap();
+        assert_eq!(
+            sdfr_core::conservativity::verify_abstraction(&mapped, &abs).unwrap(),
+            Ok(())
+        );
+        let bound = sdfr_core::conservativity::conservative_period_bound(&mapped, &abs)
+            .unwrap()
+            .unwrap();
+        let actual = throughput(&mapped).unwrap().period().unwrap();
+        assert!(actual <= bound);
+    }
+}

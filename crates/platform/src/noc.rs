@@ -1,0 +1,219 @@
+//! Network-on-chip connection insertion.
+//!
+//! When producer and consumer live on different tiles, their channel runs
+//! over the NoC through communication assists (CAs) — the structure of the
+//! paper's Fig. 5 model. This transformation replaces a channel by a
+//! `send CA → transport → receive CA` pipeline with configurable
+//! per-token latencies, each stage serialized by a self-loop (one token in
+//! flight per stage, the conservative single-buffer assumption).
+
+use sdfr_graph::{ChannelId, SdfError, SdfGraph, Time};
+
+/// Per-stage latencies of an inserted connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionLatency {
+    /// Send-side communication assist time per token batch.
+    pub send: Time,
+    /// Transport (router/link) time per token batch.
+    pub transport: Time,
+    /// Receive-side communication assist time per token batch.
+    pub receive: Time,
+}
+
+/// Replaces channel `target` of `g` by a three-stage NoC connection.
+///
+/// The producing actor's tokens pass through `snd_<i>`, `lnk_<i>` and
+/// `rcv_<i>` actors (where `<i>` is the channel index), each moving one
+/// production batch (`p` tokens) per firing and serialized by a one-token
+/// self-loop. The original initial tokens are placed on the final segment,
+/// so they are available to the consumer immediately, exactly like before
+/// the split.
+///
+/// # Errors
+///
+/// Returns [`SdfError::UnknownActor`]-free variants only; an out-of-range
+/// `target` is a panic (caller contract), graph rebuild errors propagate.
+///
+/// # Panics
+///
+/// Panics if `target` is not a channel of `g` or latencies are negative.
+pub fn insert_connection(
+    g: &SdfGraph,
+    target: ChannelId,
+    latency: ConnectionLatency,
+) -> Result<SdfGraph, SdfError> {
+    assert!(
+        target.index() < g.num_channels(),
+        "channel {target} not in graph"
+    );
+    assert!(
+        latency.send >= 0 && latency.transport >= 0 && latency.receive >= 0,
+        "latencies must be non-negative"
+    );
+    let mut b = SdfGraph::builder(format!("{}^noc", g.name()));
+    let ids: Vec<_> = g
+        .actors()
+        .map(|(_, a)| b.actor(a.name().to_string(), a.execution_time()))
+        .collect();
+    for (cid, c) in g.channels() {
+        if cid != target {
+            b.channel(
+                ids[c.source().index()],
+                ids[c.target().index()],
+                c.production(),
+                c.consumption(),
+                c.initial_tokens(),
+            )
+            .expect("copying a valid channel");
+            continue;
+        }
+        let p = c.production();
+        let i = cid.index();
+        let snd = b.actor(format!("snd_{i}"), latency.send);
+        let lnk = b.actor(format!("lnk_{i}"), latency.transport);
+        let rcv = b.actor(format!("rcv_{i}"), latency.receive);
+        // Producer batch -> CA -> link -> CA -> consumer; every stage
+        // forwards one batch of p tokens per firing.
+        b.channel(ids[c.source().index()], snd, p, p, 0)
+            .expect("valid");
+        b.channel(snd, lnk, p, p, 0).expect("valid");
+        b.channel(lnk, rcv, p, p, 0).expect("valid");
+        b.channel(rcv, ids[c.target().index()], p, c.consumption(), c.initial_tokens())
+            .expect("valid");
+        for stage in [snd, lnk, rcv] {
+            b.channel(stage, stage, 1, 1, 1).expect("valid");
+        }
+    }
+    b.build()
+}
+
+impl ConnectionLatency {
+    /// A symmetric connection: both CAs take `ca`, the transport `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a latency is negative.
+    pub fn symmetric(ca: Time, link: Time) -> Self {
+        assert!(ca >= 0 && link >= 0, "latencies must be non-negative");
+        ConnectionLatency {
+            send: ca,
+            transport: link,
+            receive: ca,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfr_analysis::throughput::throughput;
+    use sdfr_graph::ChannelId;
+    use sdfr_maxplus::Rational;
+
+    fn producer_consumer() -> SdfGraph {
+        let mut b = SdfGraph::builder("pc");
+        let p = b.actor("p", 2);
+        let c = b.actor("c", 3);
+        b.channel(p, c, 1, 1, 0).unwrap();
+        b.channel(c, p, 1, 1, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn structure_of_inserted_connection() {
+        let g = producer_consumer();
+        let noc = insert_connection(
+            &g,
+            ChannelId::from_index(0),
+            ConnectionLatency::symmetric(1, 4),
+        )
+        .unwrap();
+        assert_eq!(noc.num_actors(), g.num_actors() + 3);
+        // Original 2 channels − 1 replaced + 4 segments + 3 self-loops.
+        assert_eq!(noc.num_channels(), g.num_channels() - 1 + 4 + 3);
+        assert!(noc.actor_by_name("snd_0").is_some());
+        assert!(noc.actor_by_name("lnk_0").is_some());
+        assert!(noc.actor_by_name("rcv_0").is_some());
+    }
+
+    #[test]
+    fn zero_latency_connection_preserves_period() {
+        let g = producer_consumer();
+        let base = throughput(&g).unwrap().period().unwrap();
+        let noc = insert_connection(
+            &g,
+            ChannelId::from_index(0),
+            ConnectionLatency::symmetric(0, 0),
+        )
+        .unwrap();
+        assert_eq!(throughput(&noc).unwrap().period().unwrap(), base);
+    }
+
+    #[test]
+    fn connection_latency_is_conservative() {
+        let g = producer_consumer();
+        let base = throughput(&g).unwrap().period().unwrap();
+        let noc = insert_connection(
+            &g,
+            ChannelId::from_index(0),
+            ConnectionLatency::symmetric(1, 5),
+        )
+        .unwrap();
+        let slowed = throughput(&noc).unwrap().period().unwrap();
+        assert!(slowed >= base);
+        // Cycle p -> snd -> lnk -> rcv -> c -> p: (2+1+5+1+3)/2 tokens = 6.
+        assert_eq!(slowed, Rational::from(6));
+    }
+
+    #[test]
+    fn initial_tokens_stay_available() {
+        // Tokens on the replaced channel must remain consumable at t = 0.
+        let mut b = SdfGraph::builder("g");
+        let p = b.actor("p", 5);
+        let c = b.actor("c", 1);
+        let ch = b.channel(p, c, 1, 1, 3).unwrap();
+        b.channel(c, c, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let noc =
+            insert_connection(&g, ch, ConnectionLatency::symmetric(2, 2)).unwrap();
+        // c can fire immediately using the relocated tokens.
+        let trace = sdfr_graph::execution::simulate(
+            &noc,
+            &sdfr_graph::execution::SimulationOptions::iterations(1).with_firings(),
+        )
+        .unwrap();
+        let c_id = noc.actor_by_name("c").unwrap();
+        let firings = trace.firings.unwrap();
+        assert_eq!(firings[c_id.index()][0].0, 0);
+    }
+
+    #[test]
+    fn multirate_batches_preserved() {
+        let mut b = SdfGraph::builder("g");
+        let p = b.actor("p", 1);
+        let c = b.actor("c", 1);
+        let ch = b.channel(p, c, 3, 2, 0).unwrap();
+        b.channel(c, p, 2, 3, 6).unwrap();
+        let g = b.build().unwrap();
+        let gamma0 = sdfr_graph::repetition::repetition_vector(&g).unwrap();
+        let noc =
+            insert_connection(&g, ch, ConnectionLatency::symmetric(1, 1)).unwrap();
+        let gamma = sdfr_graph::repetition::repetition_vector(&noc).unwrap();
+        // Stage actors fire once per producer firing.
+        let p_id = noc.actor_by_name("p").unwrap();
+        let snd = noc.actor_by_name("snd_0").unwrap();
+        assert_eq!(gamma[snd], gamma[p_id]);
+        assert_eq!(gamma[p_id], gamma0[g.actor_by_name("p").unwrap()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn bad_channel_rejected() {
+        let g = producer_consumer();
+        let _ = insert_connection(
+            &g,
+            ChannelId::from_index(9),
+            ConnectionLatency::symmetric(0, 0),
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Conservative TDM arbitration abstraction.
+//!
+//! On a processor shared by time-division multiplexing, an actor owns a
+//! *slot* of `slot` time units out of a *wheel* of `wheel` units. The
+//! worst-case response time of a firing with execution time `T` is reached
+//! when the firing becomes ready just after its slot ends: every full slot
+//! of work then pays one full wheel rotation. Replacing execution times by
+//! these response times yields a conservative SDF model of the shared
+//! platform (Bekooij et al., SCOPES'04) — conservative exactly in the sense
+//! of the paper's Prop. 1, since times only increase.
+
+use sdfr_graph::{ActorId, SdfError, SdfGraph, Time};
+
+/// A TDM allocation: `slot` time units out of every `wheel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TdmSlot {
+    /// Slot length owned by the actor (`1 ≤ slot ≤ wheel`).
+    pub slot: Time,
+    /// Wheel (frame) length of the arbiter.
+    pub wheel: Time,
+}
+
+impl TdmSlot {
+    /// Creates an allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ slot ≤ wheel`.
+    pub fn new(slot: Time, wheel: Time) -> Self {
+        assert!(slot >= 1 && slot <= wheel, "require 1 <= slot <= wheel");
+        TdmSlot { slot, wheel }
+    }
+}
+
+/// The worst-case response time of a firing of `execution_time` under the
+/// allocation: the work is served in `slot`-sized chunks, each chunk
+/// possibly preceded by a full foreign share `wheel − slot`.
+///
+/// `R = T + ceil(T / slot) · (wheel − slot)`; a full wheel (dedicated
+/// resource) gives `R = T`, and `R(0) = 0`.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_platform::{tdm_response_time, TdmSlot};
+///
+/// // 2 of every 10 time units: 5 time units of work need 3 visits.
+/// assert_eq!(tdm_response_time(5, TdmSlot::new(2, 10)), 5 + 3 * 8);
+/// // A dedicated resource adds nothing.
+/// assert_eq!(tdm_response_time(5, TdmSlot::new(10, 10)), 5);
+/// ```
+pub fn tdm_response_time(execution_time: Time, slot: TdmSlot) -> Time {
+    debug_assert!(execution_time >= 0);
+    let chunks = execution_time.div_euclid(slot.slot)
+        + Time::from(execution_time.rem_euclid(slot.slot) != 0);
+    execution_time + chunks * (slot.wheel - slot.slot)
+}
+
+/// Replaces the execution time of every listed actor by its worst-case TDM
+/// response time; other actors are untouched.
+///
+/// # Errors
+///
+/// Returns [`SdfError::UnknownActor`] for ids not in `g`.
+///
+/// # Example
+///
+/// ```
+/// use sdfr_graph::SdfGraph;
+/// use sdfr_platform::{apply_tdm, TdmSlot};
+///
+/// let mut b = SdfGraph::builder("g");
+/// let x = b.actor("x", 6);
+/// b.channel(x, x, 1, 1, 1)?;
+/// let g = b.build()?;
+/// let shared = apply_tdm(&g, &[(x, TdmSlot::new(3, 12))])?;
+/// let xs = shared.actor_by_name("x").unwrap();
+/// assert_eq!(shared.actor(xs).execution_time(), 6 + 2 * 9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn apply_tdm(g: &SdfGraph, slots: &[(ActorId, TdmSlot)]) -> Result<SdfGraph, SdfError> {
+    for &(a, _) in slots {
+        if a.index() >= g.num_actors() {
+            return Err(SdfError::UnknownActor {
+                actor: a,
+                num_actors: g.num_actors(),
+            });
+        }
+    }
+    let mut b = SdfGraph::builder(format!("{}^tdm", g.name()));
+    let ids: Vec<ActorId> = g
+        .actors()
+        .map(|(aid, a)| {
+            let time = slots
+                .iter()
+                .find(|(who, _)| *who == aid)
+                .map_or(a.execution_time(), |(_, s)| {
+                    tdm_response_time(a.execution_time(), *s)
+                });
+            b.actor(a.name().to_string(), time)
+        })
+        .collect();
+    for (_, c) in g.channels() {
+        b.channel(
+            ids[c.source().index()],
+            ids[c.target().index()],
+            c.production(),
+            c.consumption(),
+            c.initial_tokens(),
+        )
+        .expect("copying a valid channel");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfr_analysis::throughput::throughput;
+
+    #[test]
+    fn response_time_formula() {
+        let s = TdmSlot::new(2, 10);
+        assert_eq!(tdm_response_time(0, s), 0);
+        assert_eq!(tdm_response_time(1, s), 1 + 8);
+        assert_eq!(tdm_response_time(2, s), 2 + 8);
+        assert_eq!(tdm_response_time(3, s), 3 + 16);
+        assert_eq!(tdm_response_time(4, s), 4 + 16);
+        assert_eq!(tdm_response_time(5, s), 5 + 24);
+    }
+
+    #[test]
+    fn response_is_monotone_in_slot() {
+        for t in [1, 5, 17] {
+            let mut prev = Time::MAX;
+            for slot in 1..=10 {
+                let r = tdm_response_time(t, TdmSlot::new(slot, 10));
+                assert!(r <= prev, "bigger slots never hurt");
+                prev = r;
+            }
+            assert_eq!(tdm_response_time(t, TdmSlot::new(10, 10)), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= slot <= wheel")]
+    fn invalid_slot_rejected() {
+        let _ = TdmSlot::new(11, 10);
+    }
+
+    #[test]
+    fn tdm_slows_the_graph_conservatively() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 4);
+        let y = b.actor("y", 4);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let base = throughput(&g).unwrap().period().unwrap();
+        let shared = apply_tdm(
+            &g,
+            &[
+                (x, TdmSlot::new(2, 6)),
+                (y, TdmSlot::new(3, 6)),
+            ],
+        )
+        .unwrap();
+        let slowed = throughput(&shared).unwrap().period().unwrap();
+        assert!(slowed >= base);
+        // x: 4 + 2·4 = 12; y: 4 + 2·3 = 10; cycle 22.
+        assert_eq!(slowed, sdfr_maxplus::Rational::from(22));
+    }
+
+    #[test]
+    fn unknown_actor_rejected() {
+        let mut b = SdfGraph::builder("g");
+        b.actor("x", 1);
+        let g = b.build().unwrap();
+        assert!(apply_tdm(&g, &[(ActorId::from_index(3), TdmSlot::new(1, 2))]).is_err());
+    }
+
+    #[test]
+    fn unlisted_actors_unchanged() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 4);
+        let y = b.actor("y", 7);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        let shared = apply_tdm(&g, &[(x, TdmSlot::new(1, 3))]).unwrap();
+        let ys = shared.actor_by_name("y").unwrap();
+        assert_eq!(shared.actor(ys).execution_time(), 7);
+    }
+}

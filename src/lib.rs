@@ -1,0 +1,56 @@
+//! # sdf-reductions
+//!
+//! A Rust implementation of **"Reduction Techniques for Synchronous Dataflow
+//! Graphs"** (M. Geilen, DAC 2009), together with the full SDF analysis stack
+//! the paper builds on.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! - [`maxplus`] — exact max-plus algebra (values, vectors, matrices,
+//!   eigenvalues, recurrences),
+//! - [`graph`] — the timed SDF graph model: construction, consistency,
+//!   repetition vectors, sequential schedules, self-timed execution,
+//! - [`analysis`] — throughput (spectral and state-space), maximum cycle
+//!   mean/ratio algorithms, latency, buffer occupancy, and the symbolic
+//!   max-plus matrix extraction (paper, Alg. 1 lines 1–11),
+//! - [`core`] — the paper's contributions: conservative **abstraction**
+//!   (Sec. 4), **unfolding** (Def. 5), redundant-edge pruning, the
+//!   **traditional** SDF→HSDF expansion and the **novel compact** SDF→HSDF
+//!   conversion (Sec. 6, Fig. 4),
+//! - [`benchmarks`] — reconstructions of the paper's benchmark graphs
+//!   (Table 1) plus parametric regular graphs (Figs. 1 and 5) and random
+//!   graph generators,
+//! - [`io`] — reading/writing graphs in an SDF3-compatible XML subset and a
+//!   compact text format,
+//! - [`platform`] — MPSoC platform modelling: processor binding with static
+//!   orders, TDM arbitration abstraction, NoC connection insertion,
+//! - [`csdf`] — cyclo-static dataflow analysed through the same max-plus
+//!   machinery, including the compact HSDF conversion.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sdf_reductions::graph::SdfGraph;
+//! use sdf_reductions::analysis::throughput;
+//!
+//! // Two actors exchanging tokens: a produces 2 per firing, b consumes 3.
+//! let mut b = SdfGraph::builder("producer-consumer");
+//! let a = b.actor("a", 2);
+//! let c = b.actor("b", 3);
+//! b.channel(a, c, 2, 3, 0)?;
+//! b.channel(c, a, 3, 2, 6)?; // feedback with 6 initial tokens
+//! let g = b.build()?;
+//!
+//! let thr = throughput(&g)?;
+//! println!("iteration period: {:?}", thr.period());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use sdfr_analysis as analysis;
+pub use sdfr_benchmarks as benchmarks;
+pub use sdfr_csdf as csdf;
+pub use sdfr_core as core;
+pub use sdfr_graph as graph;
+pub use sdfr_io as io;
+pub use sdfr_maxplus as maxplus;
+pub use sdfr_platform as platform;

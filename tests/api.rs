@@ -1,0 +1,57 @@
+//! Smoke test of the public facade: a complete user workflow touching
+//! every crate through `sdf_reductions::*` paths.
+
+use sdf_reductions::analysis::buffer::self_timed_buffer_bounds;
+use sdf_reductions::analysis::latency::iteration_makespan;
+use sdf_reductions::analysis::throughput::throughput;
+use sdf_reductions::core::auto::auto_abstraction;
+use sdf_reductions::core::conservativity::conservative_period_bound;
+use sdf_reductions::core::{abstract_graph, novel, traditional};
+use sdf_reductions::graph::repetition::repetition_vector;
+use sdf_reductions::graph::{dot, SdfGraph};
+use sdf_reductions::io::text;
+use sdf_reductions::maxplus::Rational;
+
+#[test]
+fn full_workflow() {
+    // 1. Model: a two-stage pipeline with feedback, defined in text form.
+    let g: SdfGraph = text::from_text(
+        "graph demo\n\
+         actor produce1 2\n\
+         actor produce2 2\n\
+         actor consume1 3\n\
+         channel produce1 produce2 1 1 0\n\
+         channel produce2 consume1 2 1 0\n\
+         channel consume1 produce1 1 2 4\n",
+    )
+    .unwrap();
+
+    // 2. Basic analyses.
+    let gamma = repetition_vector(&g).unwrap();
+    assert_eq!(gamma.iteration_length(), 4); // (1, 1, 2)
+    let thr = throughput(&g).unwrap();
+    let period = thr.period().unwrap();
+    assert!(period > Rational::ZERO);
+    assert!(iteration_makespan(&g).unwrap() >= 5);
+    let buffers = self_timed_buffer_bounds(&g, 8).unwrap();
+    assert_eq!(buffers.len(), g.num_channels());
+
+    // 3. Conversions.
+    let trad = traditional::convert(&g).unwrap();
+    assert_eq!(trad.graph.num_actors(), 4);
+    let new = novel::convert(&g).unwrap();
+    assert!(new.graph.num_actors() <= new.actor_bound());
+
+    // 4. Abstraction of the traditional HSDF expansion (the multirate
+    //    pipeline of the paper: convert to HSDF first, then abstract).
+    let abs = auto_abstraction(&trad.graph).unwrap();
+    let small = abstract_graph(&trad.graph, &abs).unwrap();
+    assert!(small.num_actors() <= trad.graph.num_actors());
+    let bound = conservative_period_bound(&trad.graph, &abs)
+        .unwrap()
+        .unwrap();
+    assert!(period <= bound);
+
+    // 5. Export.
+    assert!(dot::to_dot(&small).starts_with("digraph"));
+}
