@@ -8,7 +8,8 @@
 //! constraints is the subject of Stuijk et al., TC'08; here we provide the
 //! self-timed bound used for dimensioning.)
 
-use sdfr_graph::execution::simulate_iterations;
+use sdfr_graph::budget::Budget;
+use sdfr_graph::execution::{simulate, simulate_iterations, SimulationOptions};
 use sdfr_graph::{SdfError, SdfGraph};
 
 /// Per-channel peak token counts over `iterations` self-timed iterations
@@ -37,6 +38,23 @@ use sdfr_graph::{SdfError, SdfGraph};
 pub fn self_timed_buffer_bounds(g: &SdfGraph, iterations: u64) -> Result<Vec<u64>, SdfError> {
     let trace = simulate_iterations(g, iterations)?;
     Ok(trace.channel_peak_tokens)
+}
+
+/// [`self_timed_buffer_bounds`] under a resource [`Budget`]: the underlying
+/// simulation executes `iterations · Σγ(a)` firings, all charged to the
+/// budget.
+///
+/// # Errors
+///
+/// As [`self_timed_buffer_bounds`], plus [`SdfError::Exhausted`] when the
+/// budget runs out.
+pub fn self_timed_buffer_bounds_with_budget(
+    g: &SdfGraph,
+    iterations: u64,
+    budget: &Budget,
+) -> Result<Vec<u64>, SdfError> {
+    let opts = SimulationOptions::iterations(iterations).with_budget(budget.clone());
+    Ok(simulate(g, &opts)?.channel_peak_tokens)
 }
 
 /// The total peak memory over all channels (sum of per-channel peaks).
@@ -95,16 +113,19 @@ mod tests {
 /// `capacities[i]` slots (Stuijk et al., TC'08). Self-loop channels are
 /// left unmodified (their occupancy is fixed by construction).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `capacities.len() != g.num_channels()` or any capacity is
-/// below the channel's initial token count.
-pub fn with_capacities(g: &SdfGraph, capacities: &[u64]) -> SdfGraph {
-    assert_eq!(
-        capacities.len(),
-        g.num_channels(),
-        "one capacity per channel required"
-    );
+/// - [`SdfError::CapacityArityMismatch`] if `capacities.len()` differs from
+///   the channel count,
+/// - [`SdfError::CapacityBelowTokens`] if any capacity is below the
+///   channel's initial token count.
+pub fn with_capacities(g: &SdfGraph, capacities: &[u64]) -> Result<SdfGraph, SdfError> {
+    if capacities.len() != g.num_channels() {
+        return Err(SdfError::CapacityArityMismatch {
+            expected: g.num_channels(),
+            found: capacities.len(),
+        });
+    }
     let mut b = SdfGraph::builder(format!("{}^bounded", g.name()));
     let ids: Vec<_> = g
         .actors()
@@ -112,10 +133,15 @@ pub fn with_capacities(g: &SdfGraph, capacities: &[u64]) -> SdfGraph {
         .collect();
     for (cid, ch) in g.channels() {
         let cap = capacities[cid.index()];
-        assert!(
-            cap >= ch.initial_tokens(),
-            "capacity below initial occupancy of channel {cid}"
-        );
+        if cap < ch.initial_tokens() {
+            return Err(SdfError::CapacityBelowTokens {
+                channel: cid,
+                capacity: cap,
+                tokens: ch.initial_tokens(),
+            });
+        }
+        // Invariant: source graph channels have positive rates, so copies
+        // cannot fail validation.
         b.channel(
             ids[ch.source().index()],
             ids[ch.target().index()],
@@ -136,7 +162,9 @@ pub fn with_capacities(g: &SdfGraph, capacities: &[u64]) -> SdfGraph {
             .expect("reverse channel of a valid channel");
         }
     }
-    b.build().expect("bounded version of a valid graph")
+    // Invariant: actor names and execution times were copied from a graph
+    // that already passed the same validation.
+    Ok(b.build().expect("bounded version of a valid graph"))
 }
 
 /// The iteration period of `g` when every channel is bounded by the given
@@ -146,13 +174,24 @@ pub fn with_capacities(g: &SdfGraph, capacities: &[u64]) -> SdfGraph {
 /// # Errors
 ///
 /// - [`SdfError::Inconsistent`] / [`SdfError::Deadlock`] from the bounded
-///   graph's analysis — a deadlock means the capacities are infeasible.
+///   graph's analysis — a deadlock means the capacities are infeasible,
+/// - the capacity-validation errors of [`with_capacities`].
 pub fn period_with_capacities(
     g: &SdfGraph,
     capacities: &[u64],
 ) -> Result<Option<sdfr_maxplus::Rational>, SdfError> {
-    let bounded = with_capacities(g, capacities);
-    Ok(crate::throughput::throughput(&bounded)?.period())
+    period_with_capacities_budgeted(g, capacities, &Budget::unlimited())
+}
+
+/// [`period_with_capacities`] with the bounded graph's analysis charged to
+/// `budget`.
+fn period_with_capacities_budgeted(
+    g: &SdfGraph,
+    capacities: &[u64],
+    budget: &Budget,
+) -> Result<Option<sdfr_maxplus::Rational>, SdfError> {
+    let bounded = with_capacities(g, capacities)?;
+    Ok(crate::throughput::throughput_with_budget(&bounded, budget)?.period())
 }
 
 /// Finds a capacity allocation that achieves the unconstrained
@@ -168,7 +207,27 @@ pub fn period_with_capacities(
 /// unconstrained throughput is unbounded (no finite allocation reproduces
 /// it) or when verification fails within the search budget.
 pub fn sufficient_capacities(g: &SdfGraph, iterations: u64) -> Result<Vec<u64>, SdfError> {
-    let target = crate::throughput::throughput(g)?.period();
+    sufficient_capacities_with_budget(g, iterations, &Budget::unlimited())
+}
+
+/// [`sufficient_capacities`] under a resource [`Budget`].
+///
+/// Every probe (the unconstrained analysis, the self-timed simulation, and
+/// each verification of a candidate allocation) is charged against the same
+/// budget: a deadline or cancellation flag bounds the whole search, while a
+/// firing cap applies to each probe individually (each probe creates its own
+/// meter).
+///
+/// # Errors
+///
+/// As [`sufficient_capacities`], plus [`SdfError::Exhausted`] when the
+/// budget runs out mid-search.
+pub fn sufficient_capacities_with_budget(
+    g: &SdfGraph,
+    iterations: u64,
+    budget: &Budget,
+) -> Result<Vec<u64>, SdfError> {
+    let target = crate::throughput::throughput_with_budget(g, budget)?.period();
     if target.is_none() {
         // Unbounded throughput: every finite allocation yields a finite
         // period, so no capacity assignment reproduces it.
@@ -179,7 +238,10 @@ pub fn sufficient_capacities(g: &SdfGraph, iterations: u64) -> Result<Vec<u64>, 
     // The reserved-occupancy peak of a self-timed run is sufficient by
     // construction: with these capacities the bounded graph can execute the
     // same schedule (provided `iterations` covers the periodic regime).
-    let trace = simulate_iterations(g, iterations)?;
+    let trace = simulate(
+        g,
+        &SimulationOptions::iterations(iterations).with_budget(budget.clone()),
+    )?;
     let mut caps = trace.channel_peak_reserved;
     for (i, (_, ch)) in g.channels().enumerate() {
         if ch.is_self_loop() {
@@ -196,7 +258,7 @@ pub fn sufficient_capacities(g: &SdfGraph, iterations: u64) -> Result<Vec<u64>, 
     // verify, and widen geometrically a few times before giving up. The
     // token guard keeps the spectral analysis of the bounded graph cheap.
     for _ in 0..6 {
-        if period_with_capacities(g, &caps)? == target {
+        if period_with_capacities_budgeted(g, &caps, budget)? == target {
             return Ok(caps);
         }
         let total: u64 = caps.iter().sum();
@@ -230,10 +292,27 @@ pub fn sufficient_capacities(g: &SdfGraph, iterations: u64) -> Result<Vec<u64>, 
 ///
 /// Propagates analysis errors from the unconstrained graph.
 pub fn minimize_capacities(g: &SdfGraph, iterations: u64) -> Result<Vec<u64>, SdfError> {
-    let target = crate::throughput::throughput(g)?.period();
-    let mut caps = sufficient_capacities(g, iterations)?;
+    minimize_capacities_with_budget(g, iterations, &Budget::unlimited())
+}
+
+/// [`minimize_capacities`] under a resource [`Budget`]; see
+/// [`sufficient_capacities_with_budget`] for how the budget applies to the
+/// many probes of the search.
+///
+/// # Errors
+///
+/// As [`minimize_capacities`], plus [`SdfError::Exhausted`] when the budget
+/// runs out mid-search.
+pub fn minimize_capacities_with_budget(
+    g: &SdfGraph,
+    iterations: u64,
+    budget: &Budget,
+) -> Result<Vec<u64>, SdfError> {
+    let target = crate::throughput::throughput_with_budget(g, budget)?.period();
+    let mut caps = sufficient_capacities_with_budget(g, iterations, budget)?;
     // The starting allocation achieves the target period; shrink greedily.
     for i in 0..caps.len() {
+        // Invariant: caps has one entry per channel, so i indexes a channel.
         let ch = g
             .channels()
             .nth(i)
@@ -250,7 +329,13 @@ pub fn minimize_capacities(g: &SdfGraph, iterations: u64) -> Result<Vec<u64>, Sd
             let mid = lo + (hi - lo) / 2;
             let mut probe = caps.clone();
             probe[i] = mid;
-            let ok = matches!(period_with_capacities(g, &probe), Ok(p) if p == target);
+            // A deadlocking probe is simply infeasible, but a budget
+            // exhaustion must abort the whole search.
+            let ok = match period_with_capacities_budgeted(g, &probe, budget) {
+                Ok(p) => p == target,
+                Err(e @ SdfError::Exhausted { .. }) => return Err(e),
+                Err(_) => false,
+            };
             if ok {
                 hi = mid;
             } else {
@@ -338,20 +423,56 @@ mod capacity_tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity below initial occupancy")]
     fn capacity_below_tokens_rejected() {
         let mut b = SdfGraph::builder("g");
         let x = b.actor("x", 1);
         let y = b.actor("y", 1);
         b.channel(x, y, 1, 1, 3).unwrap();
         let g = b.build().unwrap();
-        let _ = with_capacities(&g, &[1]);
+        assert!(matches!(
+            with_capacities(&g, &[1]),
+            Err(SdfError::CapacityBelowTokens {
+                capacity: 1,
+                tokens: 3,
+                ..
+            })
+        ));
+        assert!(matches!(
+            with_capacities(&g, &[3, 4]),
+            Err(SdfError::CapacityArityMismatch {
+                expected: 1,
+                found: 2,
+            })
+        ));
+    }
+
+    #[test]
+    fn budgeted_capacity_search() {
+        use sdfr_graph::budget::BudgetResource;
+        let g = pipeline();
+        let tight = Budget::unlimited().with_max_firings(1);
+        assert!(matches!(
+            minimize_capacities_with_budget(&g, 16, &tight),
+            Err(SdfError::Exhausted {
+                resource: BudgetResource::Firings,
+                ..
+            })
+        ));
+        let ample = Budget::unlimited().with_max_firings(1_000_000);
+        assert_eq!(
+            minimize_capacities_with_budget(&g, 16, &ample).unwrap(),
+            minimize_capacities(&g, 16).unwrap()
+        );
+        assert_eq!(
+            self_timed_buffer_bounds_with_budget(&g, 10, &ample).unwrap(),
+            self_timed_buffer_bounds(&g, 10).unwrap()
+        );
     }
 
     #[test]
     fn bounded_graph_structure() {
         let g = pipeline();
-        let bounded = with_capacities(&g, &[3, 1, 1]);
+        let bounded = with_capacities(&g, &[3, 1, 1]).unwrap();
         // One reverse channel for the non-self-loop channel, inserted
         // right after its forward copy.
         assert_eq!(bounded.num_channels(), g.num_channels() + 1);

@@ -15,6 +15,7 @@
 //! longest-path potentials of the constraint graph, computed with the
 //! max-plus Kleene star at an integer scale that clears λ's denominator.
 
+use sdfr_graph::budget::Budget;
 use sdfr_graph::{ActorId, SdfError, SdfGraph, Time};
 use sdfr_maxplus::{closure, Mp, MpMatrix, MpVector, Rational};
 
@@ -113,8 +114,34 @@ impl StaticSchedule {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn rate_optimal_schedule(g: &SdfGraph) -> Result<Option<StaticSchedule>, SdfError> {
+    rate_optimal_schedule_with_budget(g, &Budget::unlimited())
+}
+
+/// [`rate_optimal_schedule`] under a resource [`Budget`].
+///
+/// HSDF graphs produced by the traditional conversion have `Σγ(a)` actors —
+/// potentially exponential in the original description — and schedule
+/// synthesis runs an `O(n³)` Kleene star over them. The budget's size cap
+/// rejects oversized inputs before the `n×n` constraint matrix is
+/// allocated; its deadline and cancellation flag are polled before and
+/// after the closure.
+///
+/// # Errors
+///
+/// As [`rate_optimal_schedule`], plus [`SdfError::Exhausted`] when the
+/// budget refuses the input or runs out.
+pub fn rate_optimal_schedule_with_budget(
+    g: &SdfGraph,
+    budget: &Budget,
+) -> Result<Option<StaticSchedule>, SdfError> {
+    let mut meter = budget.meter();
+    meter.check_size(g.num_actors() as u64)?;
+    meter.poll()?;
     match hsdf_period(g)? {
-        CycleRatio::Finite(lambda) => Ok(Some(schedule_for(g, lambda)?)),
+        CycleRatio::Finite(lambda) => {
+            meter.poll()?;
+            Ok(Some(schedule_for(g, lambda)?))
+        }
         CycleRatio::Acyclic => Ok(None),
         CycleRatio::ZeroTokenCycle => Err(SdfError::Deadlock {
             fired: 0,
@@ -328,6 +355,20 @@ mod tests {
             b.channel(u, d, 1, 1, 1).unwrap();
         }
         b.build().unwrap()
+    }
+
+    #[test]
+    fn size_cap_guards_schedule_synthesis() {
+        let g = two_cycle(); // 2 actors
+        let tight = Budget::unlimited().with_max_size(1);
+        assert!(matches!(
+            rate_optimal_schedule_with_budget(&g, &tight),
+            Err(SdfError::Exhausted { .. })
+        ));
+        let ok = rate_optimal_schedule_with_budget(&g, &Budget::unlimited().with_max_size(2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(ok.period(), Rational::from(5));
     }
 
     #[test]

@@ -12,8 +12,9 @@
 
 use std::collections::VecDeque;
 
+use sdfr_graph::budget::{Budget, BudgetMeter};
 use sdfr_graph::repetition::{repetition_vector, RepetitionVector};
-use sdfr_graph::schedule::sequential_schedule;
+use sdfr_graph::schedule::sequential_schedule_metered;
 use sdfr_graph::{ActorId, ChannelId, SdfError, SdfGraph};
 use sdfr_maxplus::{MpMatrix, MpVector};
 
@@ -90,7 +91,42 @@ impl SymbolicIteration {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn symbolic_iteration(g: &SdfGraph) -> Result<SymbolicIteration, SdfError> {
-    run(g, false)
+    let budget = Budget::unlimited();
+    let mut meter = budget.meter();
+    run(g, false, &mut meter)
+}
+
+/// [`symbolic_iteration`] under a resource [`Budget`].
+///
+/// The symbolic execution fires `Σγ(a)` actors — potentially exponential in
+/// the graph description (paper, Sec. 2) — and builds an `N×N` matrix over
+/// the `N` initial tokens. The budget's firing cap bounds the former, its
+/// size cap the latter, and the deadline both.
+///
+/// # Errors
+///
+/// As [`symbolic_iteration`], plus [`SdfError::Exhausted`] when the budget
+/// runs out and [`SdfError::Overflow`] if time stamps exceed the integer
+/// range.
+pub fn symbolic_iteration_with_budget(
+    g: &SdfGraph,
+    budget: &Budget,
+) -> Result<SymbolicIteration, SdfError> {
+    let mut meter = budget.meter();
+    run(g, false, &mut meter)
+}
+
+/// [`symbolic_iteration`] charging an existing [`BudgetMeter`], for
+/// composite analyses that account several phases against one budget.
+///
+/// # Errors
+///
+/// See [`symbolic_iteration_with_budget`].
+pub fn symbolic_iteration_metered(
+    g: &SdfGraph,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<SymbolicIteration, SdfError> {
+    run(g, false, meter)
 }
 
 /// Like [`symbolic_iteration`], additionally recording the symbolic
@@ -104,12 +140,42 @@ pub fn symbolic_iteration(g: &SdfGraph) -> Result<SymbolicIteration, SdfError> {
 ///
 /// See [`symbolic_iteration`].
 pub fn symbolic_iteration_with_stamps(g: &SdfGraph) -> Result<SymbolicIteration, SdfError> {
-    run(g, true)
+    let budget = Budget::unlimited();
+    let mut meter = budget.meter();
+    run(g, true, &mut meter)
 }
 
-fn run(g: &SdfGraph, record_stamps: bool) -> Result<SymbolicIteration, SdfError> {
+/// [`symbolic_iteration_with_stamps`] charging an existing [`BudgetMeter`].
+///
+/// # Errors
+///
+/// See [`symbolic_iteration_with_budget`].
+pub fn symbolic_iteration_with_stamps_metered(
+    g: &SdfGraph,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<SymbolicIteration, SdfError> {
+    run(g, true, meter)
+}
+
+fn run(
+    g: &SdfGraph,
+    record_stamps: bool,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<SymbolicIteration, SdfError> {
     let gamma = repetition_vector(g)?;
-    let schedule = sequential_schedule(g, &gamma)?;
+
+    // The matrix is N×N over the N initial tokens and every stamp vector has
+    // N entries: refuse to build the state before allocating it when the
+    // size cap says it cannot be afforded.
+    let token_total = g
+        .channels()
+        .try_fold(0u64, |s, (_, ch)| s.checked_add(ch.initial_tokens()))
+        .ok_or(SdfError::Overflow {
+            what: "initial token count",
+        })?;
+    meter.check_size(token_total)?;
+
+    let schedule = sequential_schedule_metered(g, &gamma, meter)?;
 
     // Assign global indices to initial tokens: channels in id order, FIFO
     // position within a channel (head first).
@@ -141,7 +207,10 @@ fn run(g: &SdfGraph, record_stamps: bool) -> Result<SymbolicIteration, SdfError>
         record_stamps.then(|| vec![Vec::new(); g.num_actors()]);
 
     for &actor in schedule.firings() {
-        fire_symbolically(g, actor, n, &mut queues, stamps.as_mut());
+        // Each symbolic firing does O(N) stamp work; charge it so firing
+        // caps and deadlines also bound the matrix-construction phase.
+        meter.spend(1)?;
+        fire_symbolically(g, actor, n, &mut queues, stamps.as_mut())?;
     }
 
     // The iteration returns every queue to its initial length; read the
@@ -178,13 +247,19 @@ fn run(g: &SdfGraph, record_stamps: bool) -> Result<SymbolicIteration, SdfError>
 /// Fires `actor` once, symbolically: pops `c` stamps from every input FIFO,
 /// joins them into the start stamp, shifts by the execution time, and pushes
 /// the end stamp `p` times onto every output FIFO.
+///
+/// # Errors
+///
+/// [`SdfError::Overflow`] if shifting by the execution time overflows a
+/// stamp entry — reachable with user-supplied execution times near
+/// `i64::MAX` accumulated over many firings.
 fn fire_symbolically(
     g: &SdfGraph,
     actor: ActorId,
     n: usize,
     queues: &mut [VecDeque<(MpVector, u64)>],
     stamps: Option<&mut Vec<Vec<(MpVector, MpVector)>>>,
-) {
+) -> Result<(), SdfError> {
     let mut start = MpVector::neg_inf(n);
     for &cid in g.incoming(actor) {
         let ch = g.channel(cid);
@@ -193,6 +268,7 @@ fn fire_symbolically(
             let (stamp, count) = queues[cid.index()]
                 .front_mut()
                 .expect("sequential schedule guarantees token availability");
+            // Invariant: every stamp in every queue has length N.
             start = start.join(stamp).expect("stamps share length N");
             if *count > need {
                 *count -= need;
@@ -203,7 +279,11 @@ fn fire_symbolically(
             }
         }
     }
-    let end = start.shift(g.actor(actor).execution_time());
+    let end = start
+        .checked_shift(g.actor(actor).execution_time())
+        .ok_or(SdfError::Overflow {
+            what: "symbolic time stamp (accumulated execution times)",
+        })?;
     for &cid in g.outgoing(actor) {
         let ch = g.channel(cid);
         queues[cid.index()].push_back((end.clone(), ch.production()));
@@ -211,6 +291,7 @@ fn fire_symbolically(
     if let Some(stamps) = stamps {
         stamps[actor.index()].push((start, end));
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -357,6 +438,47 @@ mod tests {
         let t0 = trace.iteration_completions[9];
         let t1 = trace.iteration_completions[29];
         assert_eq!(Rational::new(t1 - t0, 20), lambda);
+    }
+
+    #[test]
+    fn budget_caps_symbolic_firings() {
+        let g = fig3(); // 3 firings per iteration
+        let b = Budget::unlimited().with_max_firings(2);
+        match symbolic_iteration_with_budget(&g, &b) {
+            // The schedule precheck rejects the 3-firing iteration before
+            // any work is done, so nothing has been spent yet.
+            Err(SdfError::Exhausted { limit: 2, .. }) => {}
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        let b = Budget::unlimited().with_max_firings(100);
+        assert!(symbolic_iteration_with_budget(&g, &b).is_ok());
+    }
+
+    #[test]
+    fn size_cap_bounds_matrix_dimension() {
+        let g = fig3(); // 4 initial tokens => 4x4 matrix
+        let b = Budget::unlimited().with_max_size(3);
+        assert!(matches!(
+            symbolic_iteration_with_budget(&g, &b),
+            Err(SdfError::Exhausted { .. })
+        ));
+        let b = Budget::unlimited().with_max_size(4);
+        assert!(symbolic_iteration_with_budget(&g, &b).is_ok());
+    }
+
+    #[test]
+    fn huge_execution_times_overflow_cleanly() {
+        // x -> y -> x cycle: the second firing shifts an already-huge stamp.
+        let mut b = SdfGraph::builder("big");
+        let x = b.actor("x", i64::MAX / 2 + 1);
+        let y = b.actor("y", i64::MAX / 2 + 1);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            symbolic_iteration(&g),
+            Err(SdfError::Overflow { .. })
+        ));
     }
 
     #[test]

@@ -16,13 +16,14 @@
 //! 3. [`estimate_period_simulated`] — empirical: slope of iteration
 //!    completion times in an event-driven simulation.
 
+use sdfr_graph::budget::{Budget, BudgetMeter, BudgetResource};
 use sdfr_graph::execution::simulate_iterations;
 use sdfr_graph::repetition::RepetitionVector;
 use sdfr_graph::{ActorId, SdfError, SdfGraph};
 use sdfr_maxplus::{recurrence, Rational};
 
 use crate::mcm::{self, CycleRatio, CycleRatioGraph};
-use crate::symbolic::symbolic_iteration;
+use crate::symbolic::{symbolic_iteration, symbolic_iteration_metered};
 
 /// The throughput of a consistent, deadlock-free SDF graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +105,42 @@ pub fn throughput(g: &SdfGraph) -> Result<ThroughputAnalysis, SdfError> {
     })
 }
 
+/// [`throughput`] under a resource [`Budget`].
+///
+/// The dominant cost — the symbolic iteration with its `Σγ(a)` firings — is
+/// charged to the budget; the eigenvalue computation on the resulting `N×N`
+/// matrix is polynomial in `N` and runs after the size cap has admitted `N`.
+///
+/// # Errors
+///
+/// As [`throughput`], plus [`SdfError::Exhausted`] when the budget runs out
+/// before the analysis completes.
+pub fn throughput_with_budget(
+    g: &SdfGraph,
+    budget: &Budget,
+) -> Result<ThroughputAnalysis, SdfError> {
+    let mut meter = budget.meter();
+    throughput_metered(g, &mut meter)
+}
+
+/// [`throughput`] charging an existing [`BudgetMeter`], for composite
+/// analyses that account several phases against one budget.
+///
+/// # Errors
+///
+/// See [`throughput_with_budget`].
+pub fn throughput_metered(
+    g: &SdfGraph,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<ThroughputAnalysis, SdfError> {
+    let sym = symbolic_iteration_metered(g, meter)?;
+    meter.poll()?;
+    Ok(ThroughputAnalysis {
+        period: sym.matrix.eigenvalue(),
+        gamma: sym.gamma,
+    })
+}
+
 /// Computes the throughput of `g` operationally: iterate the max-plus
 /// recurrence until an exact periodic regime is found.
 ///
@@ -113,8 +150,9 @@ pub fn throughput(g: &SdfGraph) -> Result<ThroughputAnalysis, SdfError> {
 ///
 /// # Errors
 ///
-/// Same as [`throughput`], plus [`SdfError::Overflow`] if no periodicity is
-/// found within `max_steps` (reported as an overflow of the step budget).
+/// Same as [`throughput`], plus [`SdfError::Exhausted`] (resource
+/// [`BudgetResource::Firings`]) if no periodicity is found within
+/// `max_steps` — the computation was abandoned, not wrong.
 pub fn throughput_state_space(
     g: &SdfGraph,
     max_steps: usize,
@@ -159,8 +197,10 @@ pub fn throughput_state_space(
             }
             recurrence::Behavior::DiesOut { .. } => {}
             recurrence::Behavior::NotDetected { .. } => {
-                return Err(SdfError::Overflow {
-                    what: "state-space exploration step budget",
+                return Err(SdfError::Exhausted {
+                    resource: BudgetResource::Firings,
+                    spent: max_steps as u64,
+                    limit: max_steps as u64,
                 })
             }
         }
@@ -313,6 +353,22 @@ mod tests {
         b.channel(x, x, 1, 1, 0).unwrap();
         let g = b.build().unwrap();
         assert!(matches!(throughput(&g), Err(SdfError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn budget_bounds_throughput_analysis() {
+        let g = multirate_graph(); // iteration length 5
+        let tight = Budget::unlimited().with_max_firings(3);
+        assert!(matches!(
+            throughput_with_budget(&g, &tight),
+            Err(SdfError::Exhausted {
+                resource: BudgetResource::Firings,
+                ..
+            })
+        ));
+        let ample = Budget::unlimited().with_max_firings(1_000);
+        let t = throughput_with_budget(&g, &ample).unwrap();
+        assert_eq!(t.period(), throughput(&g).unwrap().period());
     }
 
     #[test]

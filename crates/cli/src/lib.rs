@@ -24,30 +24,102 @@
 #![warn(missing_debug_implementations)]
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use sdfr_analysis::bottleneck::bottleneck;
 use sdfr_analysis::buffer::{
-    minimize_capacities, self_timed_buffer_bounds, throughput_buffer_tradeoff,
+    minimize_capacities_with_budget, self_timed_buffer_bounds_with_budget,
+    throughput_buffer_tradeoff,
 };
 use sdfr_analysis::latency::{iteration_makespan, periodic_source_latency};
-use sdfr_analysis::static_schedule::rate_optimal_schedule;
-use sdfr_analysis::throughput::throughput;
+use sdfr_analysis::static_schedule::rate_optimal_schedule_with_budget;
+use sdfr_analysis::throughput::{throughput, throughput_with_budget};
 use sdfr_core::auto::auto_abstraction;
 use sdfr_core::conservativity::{conservative_period_bound, verify_abstraction};
+use sdfr_core::degrade::conservative_period_fallback;
 use sdfr_core::recommend::{predict_sizes, ConversionChoice};
 use sdfr_core::{abstract_graph, novel, traditional};
-use sdfr_graph::execution::simulate_iterations;
+use sdfr_graph::budget::Budget;
+use sdfr_graph::execution::{simulate, SimulationOptions};
 use sdfr_graph::liveness::is_live;
 use sdfr_graph::repetition::repetition_vector;
-use sdfr_graph::{dot, SdfGraph};
+use sdfr_graph::{dot, SdfError, SdfGraph};
 
-/// Errors surfaced to the user with exit code 1.
+/// Exit code: success (including a degraded-but-safe `analyze` answer).
+pub const EXIT_OK: i32 = 0;
+/// Exit code: the input graph or analysis request is invalid.
+pub const EXIT_INVALID: i32 = 1;
+/// Exit code: the command line itself is unusable.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: a file could not be read or written.
+pub const EXIT_IO: i32 = 3;
+/// Exit code: a resource budget (`--deadline`, `--max-firings`,
+/// `--max-size`) was exhausted and no safe fallback answer exists for the
+/// command.
+pub const EXIT_EXHAUSTED: i32 = 4;
+/// Exit code: an internal panic was caught (a bug, not a user error).
+pub const EXIT_PANIC: i32 = 70;
+
+/// What went wrong, at the granularity scripts care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliErrorKind {
+    /// Unusable command line (unknown command, missing flag value, …).
+    Usage,
+    /// Reading or writing a file failed.
+    Io,
+    /// The graph or the request is invalid (inconsistent, deadlocked, …).
+    Invalid,
+    /// A resource budget ran out before the analysis finished.
+    Exhausted,
+}
+
+/// Errors surfaced to the user, with a [`CliErrorKind`] selecting the
+/// process exit code.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Classification, mapped to an exit code by [`CliError::exit_code`].
+    pub kind: CliErrorKind,
+    /// Human-readable message, printed to stderr.
+    pub message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            kind: CliErrorKind::Usage,
+            message: message.into(),
+        }
+    }
+
+    fn io(message: impl Into<String>) -> Self {
+        CliError {
+            kind: CliErrorKind::Io,
+            message: message.into(),
+        }
+    }
+
+    fn invalid(message: impl Into<String>) -> Self {
+        CliError {
+            kind: CliErrorKind::Invalid,
+            message: message.into(),
+        }
+    }
+
+    /// The process exit code for this error:
+    /// [`EXIT_INVALID`]/[`EXIT_USAGE`]/[`EXIT_IO`]/[`EXIT_EXHAUSTED`].
+    pub fn exit_code(&self) -> i32 {
+        match self.kind {
+            CliErrorKind::Usage => EXIT_USAGE,
+            CliErrorKind::Io => EXIT_IO,
+            CliErrorKind::Invalid => EXIT_INVALID,
+            CliErrorKind::Exhausted => EXIT_EXHAUSTED,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -55,19 +127,33 @@ impl std::error::Error for CliError {}
 
 impl From<sdfr_graph::SdfError> for CliError {
     fn from(e: sdfr_graph::SdfError) -> Self {
-        CliError(e.to_string())
+        let kind = match e {
+            SdfError::Exhausted { .. } => CliErrorKind::Exhausted,
+            _ => CliErrorKind::Invalid,
+        };
+        CliError {
+            kind,
+            message: e.to_string(),
+        }
     }
 }
 
 impl From<sdfr_core::CoreError> for CliError {
     fn from(e: sdfr_core::CoreError) -> Self {
-        CliError(e.to_string())
+        let kind = match e {
+            sdfr_core::CoreError::Graph(SdfError::Exhausted { .. }) => CliErrorKind::Exhausted,
+            _ => CliErrorKind::Invalid,
+        };
+        CliError {
+            kind,
+            message: e.to_string(),
+        }
     }
 }
 
 impl From<sdfr_io::IoError> for CliError {
     fn from(e: sdfr_io::IoError) -> Self {
-        CliError(e.to_string())
+        CliError::invalid(e.to_string())
     }
 }
 
@@ -96,6 +182,21 @@ OPTIONS:
   -o <file>        write the resulting graph as SDF3-style XML
   --iterations K   simulation horizon
   --traditional / --novel / --auto   conversion selection
+  --deadline D     wall-clock budget (e.g. 500ms, 1s, 2m; bare number = s)
+  --max-firings N  abandon analyses after N actor firings / search steps
+  --max-size N     refuse intermediate structures larger than N
+
+Under a budget, `analyze` degrades gracefully: if the exact analysis is
+cut short, a conservative (safe) upper bound on the iteration period is
+reported instead. Other commands fail with exit code 4.
+
+EXIT CODES:
+  0  success (including a degraded-but-safe analyze answer)
+  1  invalid graph or analysis request
+  2  unusable command line
+  3  file could not be read or written
+  4  resource budget exhausted, no safe fallback for this command
+  70 internal panic (a bug)
 
 FILES: `.xml` files are parsed as the SDF3 subset, anything else as the
 text format (a leading '<' also selects XML).
@@ -108,7 +209,7 @@ text format (a leading '<' also selects XML).
 /// I/O and parse errors, stringified for the user.
 pub fn load_graph(path: &str) -> Result<SdfGraph, CliError> {
     let content =
-        std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+        std::fs::read_to_string(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
     let looks_xml = path.ends_with(".xml") || content.trim_start().starts_with('<');
     let g = if looks_xml {
         sdfr_io::xml::from_xml(&content)?
@@ -128,15 +229,16 @@ pub fn load_graph(path: &str) -> Result<SdfGraph, CliError> {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     let Some(command) = args.first() else {
-        return Err(CliError(USAGE.to_string()));
+        return Err(CliError::usage(USAGE.to_string()));
     };
     if command == "--help" || command == "-h" || command == "help" {
         return Ok(USAGE.to_string());
     }
     let Some(path) = args.get(1) else {
-        return Err(CliError(format!("{command}: missing <file>\n\n{USAGE}")));
+        return Err(CliError::usage(format!("{command}: missing <file>\n\n{USAGE}")));
     };
     let opts = &args[2..];
+    let budget = budget_from_opts(opts)?;
     if command == "csdf" {
         return cmd_csdf(path, opts);
     }
@@ -144,20 +246,60 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 
     match command.as_str() {
         "info" => cmd_info(&g, &mut out)?,
-        "analyze" => cmd_analyze(&g, &mut out)?,
-        "convert" => cmd_convert(&g, opts, &mut out)?,
+        "analyze" => cmd_analyze(&g, &budget, &mut out)?,
+        "convert" => cmd_convert(&g, &budget, opts, &mut out)?,
         "abstract" => cmd_abstract(&g, opts, &mut out)?,
-        "simulate" => cmd_simulate(&g, opts, &mut out)?,
-        "buffers" => cmd_buffers(&g, opts, &mut out)?,
+        "simulate" => cmd_simulate(&g, &budget, opts, &mut out)?,
+        "buffers" => cmd_buffers(&g, &budget, opts, &mut out)?,
         "pareto" => cmd_pareto(&g, opts, &mut out)?,
         "latency" => cmd_latency(&g, opts, &mut out)?,
-        "schedule" => cmd_schedule(&g, &mut out)?,
+        "schedule" => cmd_schedule(&g, &budget, &mut out)?,
         "dot" => {
             out.push_str(&dot::to_dot(&g));
         }
-        other => return Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown command '{other}'\n\n{USAGE}"
+            )))
+        }
     }
     Ok(out)
+}
+
+/// Builds the resource [`Budget`] from the global `--deadline`,
+/// `--max-firings` and `--max-size` options (unlimited when absent).
+fn budget_from_opts(opts: &[String]) -> Result<Budget, CliError> {
+    let mut budget = Budget::unlimited();
+    if let Some(raw) = flag_raw(opts, "--deadline")? {
+        budget = budget.with_deadline(parse_duration(&raw)?);
+    }
+    if let Some(n) = flag_value(opts, "--max-firings")? {
+        budget = budget.with_max_firings(n);
+    }
+    if let Some(n) = flag_value(opts, "--max-size")? {
+        budget = budget.with_max_size(n);
+    }
+    Ok(budget)
+}
+
+/// Parses a human-friendly duration: `500ms`, `1s`, `2m`, `1h`, or a bare
+/// number of seconds.
+fn parse_duration(raw: &str) -> Result<Duration, CliError> {
+    let err = || CliError::usage(format!("--deadline: '{raw}' is not a duration (try 1s, 500ms, 2m)"));
+    let (digits, scale_ms) = if let Some(d) = raw.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = raw.strip_suffix('s') {
+        (d, 1_000)
+    } else if let Some(d) = raw.strip_suffix('m') {
+        (d, 60_000)
+    } else if let Some(d) = raw.strip_suffix('h') {
+        (d, 3_600_000)
+    } else {
+        (raw, 1_000)
+    };
+    let n: u64 = digits.parse().map_err(|_| err())?;
+    let ms = n.checked_mul(scale_ms).ok_or_else(err)?;
+    Ok(Duration::from_millis(ms))
 }
 
 fn cmd_info(g: &SdfGraph, out: &mut String) -> Result<(), CliError> {
@@ -179,8 +321,29 @@ fn cmd_info(g: &SdfGraph, out: &mut String) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_analyze(g: &SdfGraph, out: &mut String) -> Result<(), CliError> {
-    let thr = throughput(g)?;
+fn cmd_analyze(g: &SdfGraph, budget: &Budget, out: &mut String) -> Result<(), CliError> {
+    let thr = match throughput_with_budget(g, budget) {
+        Ok(thr) => thr,
+        Err(e @ SdfError::Exhausted { .. }) => {
+            // Graceful degradation: the exact analysis was cut short, so
+            // report a safe upper bound on the period instead of nothing.
+            let fallback = conservative_period_fallback(g)?;
+            let _ = writeln!(out, "budget exhausted: {e}");
+            let _ = writeln!(
+                out,
+                "conservative period bound ({}): {}",
+                fallback.method, fallback.bound
+            );
+            let _ = writeln!(
+                out,
+                "SAFE BOUND: the true iteration period does not exceed this \
+                 value (provided the graph is live); rerun with a larger \
+                 budget for the exact period"
+            );
+            return Ok(());
+        }
+        Err(e) => return Err(e.into()),
+    };
     match thr.period() {
         Some(p) => {
             let _ = writeln!(out, "iteration period: {p}");
@@ -207,7 +370,12 @@ fn cmd_analyze(g: &SdfGraph, out: &mut String) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_convert(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
+fn cmd_convert(
+    g: &SdfGraph,
+    budget: &Budget,
+    opts: &[String],
+    out: &mut String,
+) -> Result<(), CliError> {
     let p = predict_sizes(g)?;
     let _ = writeln!(
         out,
@@ -223,12 +391,12 @@ fn cmd_convert(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), Cl
     };
     let converted = match mode {
         ConversionChoice::Traditional => {
-            let c = traditional::convert(g)?;
+            let c = traditional::convert_with_budget(g, budget)?;
             let _ = writeln!(out, "traditional conversion selected");
             c.graph
         }
         ConversionChoice::Novel => {
-            let c = novel::convert(g)?;
+            let c = novel::convert_with_budget(g, budget)?;
             let _ = writeln!(out, "novel conversion selected");
             c.graph
         }
@@ -283,9 +451,17 @@ fn cmd_abstract(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), C
     Ok(())
 }
 
-fn cmd_simulate(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
+fn cmd_simulate(
+    g: &SdfGraph,
+    budget: &Budget,
+    opts: &[String],
+    out: &mut String,
+) -> Result<(), CliError> {
     let iterations = flag_value(opts, "--iterations")?.unwrap_or(8);
-    let trace = simulate_iterations(g, iterations)?;
+    let trace = simulate(
+        g,
+        &SimulationOptions::iterations(iterations).with_budget(budget.clone()),
+    )?;
     let _ = writeln!(out, "simulated {iterations} iteration(s)");
     let _ = writeln!(out, "makespan: {}", trace.makespan);
     let _ = writeln!(
@@ -305,10 +481,15 @@ fn cmd_simulate(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), C
     Ok(())
 }
 
-fn cmd_buffers(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
+fn cmd_buffers(
+    g: &SdfGraph,
+    budget: &Budget,
+    opts: &[String],
+    out: &mut String,
+) -> Result<(), CliError> {
     let iterations = flag_value(opts, "--iterations")?.unwrap_or(16);
-    let peaks = self_timed_buffer_bounds(g, iterations)?;
-    let minimal = minimize_capacities(g, iterations)?;
+    let peaks = self_timed_buffer_bounds_with_budget(g, iterations, budget)?;
+    let minimal = minimize_capacities_with_budget(g, iterations, budget)?;
     let _ = writeln!(out, "channel                      self-timed peak  minimal capacity");
     for (cid, c) in g.channels() {
         let label = format!(
@@ -336,7 +517,7 @@ fn cmd_latency(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), Cl
     let source = named_actor(g, opts, "--source")?;
     let sink = named_actor(g, opts, "--sink")?;
     let mu = flag_value(opts, "--period")?
-        .ok_or_else(|| CliError("latency requires --period <MU>".to_string()))?;
+        .ok_or_else(|| CliError::usage("latency requires --period <MU>"))?;
     let l = periodic_source_latency(g, source, sink, mu as i64, 16, 16)?;
     let _ = writeln!(
         out,
@@ -349,8 +530,8 @@ fn cmd_latency(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), Cl
     Ok(())
 }
 
-fn cmd_schedule(g: &SdfGraph, out: &mut String) -> Result<(), CliError> {
-    match rate_optimal_schedule(g)? {
+fn cmd_schedule(g: &SdfGraph, budget: &Budget, out: &mut String) -> Result<(), CliError> {
+    match rate_optimal_schedule_with_budget(g, budget)? {
         None => {
             let _ = writeln!(
                 out,
@@ -393,7 +574,7 @@ fn cmd_pareto(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), Cli
 /// Analyses a cyclo-static file: consistency, throughput, HSDF reduction.
 fn cmd_csdf(path: &str, opts: &[String]) -> Result<String, CliError> {
     let content =
-        std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+        std::fs::read_to_string(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
     let looks_xml = path.ends_with(".xml") || content.trim_start().starts_with('<');
     let g = if looks_xml {
         sdfr_io::csdf::from_xml(&content)?
@@ -433,13 +614,13 @@ fn named_actor(
     flag: &str,
 ) -> Result<sdfr_graph::ActorId, CliError> {
     let Some(pos) = opts.iter().position(|o| o == flag) else {
-        return Err(CliError(format!("latency requires {flag} <actor>")));
+        return Err(CliError::usage(format!("latency requires {flag} <actor>")));
     };
     let name = opts
         .get(pos + 1)
-        .ok_or_else(|| CliError(format!("{flag} requires an actor name")))?;
+        .ok_or_else(|| CliError::usage(format!("{flag} requires an actor name")))?;
     g.actor_by_name(name)
-        .ok_or_else(|| CliError(format!("no actor named '{name}'")))
+        .ok_or_else(|| CliError::invalid(format!("no actor named '{name}'")))
 }
 
 /// Writes `g` as XML if `-o <path>` appears in the options.
@@ -447,25 +628,33 @@ fn write_output(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), C
     if let Some(pos) = opts.iter().position(|o| o == "-o") {
         let path = opts
             .get(pos + 1)
-            .ok_or_else(|| CliError("-o requires a file path".to_string()))?;
+            .ok_or_else(|| CliError::usage("-o requires a file path"))?;
         std::fs::write(path, sdfr_io::xml::to_xml(g))
-            .map_err(|e| CliError(format!("{path}: {e}")))?;
+            .map_err(|e| CliError::io(format!("{path}: {e}")))?;
         let _ = writeln!(out, "wrote {path}");
     }
     Ok(())
 }
 
-/// Extracts `--flag <u64>` from the options.
-fn flag_value(opts: &[String], flag: &str) -> Result<Option<u64>, CliError> {
+/// Extracts the raw string value of `--flag <value>` from the options.
+fn flag_raw(opts: &[String], flag: &str) -> Result<Option<String>, CliError> {
     let Some(pos) = opts.iter().position(|o| o == flag) else {
         return Ok(None);
     };
-    let raw = opts
-        .get(pos + 1)
-        .ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+    opts.get(pos + 1)
+        .cloned()
+        .map(Some)
+        .ok_or_else(|| CliError::usage(format!("{flag} requires a value")))
+}
+
+/// Extracts `--flag <u64>` from the options.
+fn flag_value(opts: &[String], flag: &str) -> Result<Option<u64>, CliError> {
+    let Some(raw) = flag_raw(opts, flag)? else {
+        return Ok(None);
+    };
     raw.parse()
         .map(Some)
-        .map_err(|_| CliError(format!("{flag}: '{raw}' is not a number")))
+        .map_err(|_| CliError::usage(format!("{flag}: '{raw}' is not a number")))
 }
 
 #[cfg(test)]
@@ -654,6 +843,97 @@ mod tests {
         assert!(run_on("simulate", &f, &["--iterations", "many"]).is_err());
         let help = run(&["--help".to_string()]).unwrap();
         assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn analyze_degrades_under_budget() {
+        // Σγ = 1e9 + 1: exact analysis is hopeless, the bound is instant.
+        let f = write_temp(
+            "graph huge\nactor x 1\nactor y 1\nchannel x y 1000000000 1 0\n",
+            "sdf",
+        );
+        let t0 = std::time::Instant::now();
+        let out = run_on("analyze", &f, &["--deadline", "1s", "--max-firings", "100000"]).unwrap();
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1), "{out}");
+        assert!(out.contains("budget exhausted"), "{out}");
+        assert!(
+            out.contains("conservative period bound (serialization): 1000000001"),
+            "{out}"
+        );
+        assert!(out.contains("SAFE BOUND"), "{out}");
+        // An ample budget yields the exact answer with no degradation.
+        let f = write_temp(sample_text(), "sdf");
+        let out = run_on("analyze", &f, &["--deadline", "1h"]).unwrap();
+        assert!(out.contains("iteration period: 5"), "{out}");
+        assert!(!out.contains("budget exhausted"), "{out}");
+    }
+
+    #[test]
+    fn convert_fails_distinctly_when_exhausted() {
+        let f = write_temp(
+            "graph huge\nactor x 1\nactor y 1\nchannel x y 1000000000 1 0\n",
+            "sdf",
+        );
+        let t0 = std::time::Instant::now();
+        let err = run_on(
+            "convert",
+            &f,
+            &["--traditional", "--max-size", "1000000"],
+        )
+        .unwrap_err();
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
+        assert_eq!(err.kind, CliErrorKind::Exhausted);
+        assert_eq!(err.exit_code(), EXIT_EXHAUSTED);
+    }
+
+    #[test]
+    fn budgeted_commands_still_work_with_room_to_spare() {
+        let f = write_temp(sample_text(), "sdf");
+        for cmd in ["simulate", "buffers", "schedule", "convert"] {
+            run_on(cmd, &f, &["--max-firings", "100000", "--deadline", "1h"])
+                .unwrap_or_else(|e| panic!("{cmd}: {e}"));
+        }
+    }
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        let f = write_temp(sample_text(), "sdf");
+        // usage
+        assert_eq!(run(&[]).unwrap_err().exit_code(), EXIT_USAGE);
+        assert_eq!(
+            run_on("frobnicate", &f, &[]).unwrap_err().exit_code(),
+            EXIT_USAGE
+        );
+        assert_eq!(
+            run_on("analyze", &f, &["--deadline", "soon"])
+                .unwrap_err()
+                .exit_code(),
+            EXIT_USAGE
+        );
+        // io
+        assert_eq!(
+            run(&["info".to_string(), "/nonexistent/file".to_string()])
+                .unwrap_err()
+                .exit_code(),
+            EXIT_IO
+        );
+        // invalid
+        let bad = write_temp("graph bad\nactor a 1\nchannel a a 1 2 1\n", "sdf");
+        assert_eq!(
+            run_on("analyze", &bad, &[]).unwrap_err().exit_code(),
+            EXIT_INVALID
+        );
+    }
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("1s").unwrap(), Duration::from_secs(1));
+        assert_eq!(parse_duration("2m").unwrap(), Duration::from_secs(120));
+        assert_eq!(parse_duration("1h").unwrap(), Duration::from_secs(3600));
+        assert_eq!(parse_duration("3").unwrap(), Duration::from_secs(3));
+        assert!(parse_duration("soon").is_err());
+        assert!(parse_duration("").is_err());
     }
 
     #[test]

@@ -1,12 +1,32 @@
 //! Thin binary wrapper over [`sdfr_cli::run`].
+//!
+//! Maps [`sdfr_cli::CliError`] kinds to distinct exit codes (see the
+//! `EXIT_*` constants in the library) and converts any internal panic into
+//! a clean [`sdfr_cli::EXIT_PANIC`] exit instead of an abort, so callers
+//! embedding `sdfr` in pipelines always see a well-defined status.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match sdfr_cli::run(&args) {
-        Ok(report) => print!("{report}"),
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
+    let code = match catch_unwind(AssertUnwindSafe(|| sdfr_cli::run(&args))) {
+        Ok(Ok(report)) => {
+            print!("{report}");
+            sdfr_cli::EXIT_OK
         }
-    }
+        Ok(Err(e)) => {
+            eprintln!("{e}");
+            e.exit_code()
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            eprintln!("sdfr: internal error (this is a bug): {msg}");
+            sdfr_cli::EXIT_PANIC
+        }
+    };
+    std::process::exit(code);
 }

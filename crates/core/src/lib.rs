@@ -48,6 +48,7 @@ mod error;
 pub mod abstraction;
 pub mod auto;
 pub mod conservativity;
+pub mod degrade;
 pub mod equivalence;
 pub mod novel;
 pub mod prune;
@@ -56,6 +57,7 @@ pub mod traditional;
 pub mod unfold;
 
 pub use abstraction::{abstract_graph, Abstraction, AbstractionBuilder};
+pub use degrade::{analyze_with_budget, AnalysisOutcome, ConservativeBound, FallbackMethod};
 pub use error::CoreError;
 pub use novel::NovelConversion;
 pub use traditional::TraditionalConversion;

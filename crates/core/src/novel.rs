@@ -22,7 +22,12 @@
 //! (e.g. an output actor) can be re-attached with
 //! [`convert_with_observers`].
 
-use sdfr_analysis::symbolic::{symbolic_iteration, symbolic_iteration_with_stamps, SymbolicIteration};
+use sdfr_analysis::symbolic::{
+    symbolic_iteration, symbolic_iteration_metered, symbolic_iteration_with_stamps,
+    SymbolicIteration,
+};
+use sdfr_graph::budget::{Budget, BudgetMeter};
+use sdfr_graph::repetition::repetition_vector;
 use sdfr_graph::{ActorId, SdfError, SdfGraph};
 use sdfr_maxplus::{Mp, MpMatrix};
 
@@ -103,6 +108,36 @@ pub fn convert(g: &SdfGraph) -> Result<NovelConversion, SdfError> {
     Ok(build(g, sym, &[], true))
 }
 
+/// [`convert`] under a resource [`Budget`].
+///
+/// The symbolic iteration performs `Σγ(a)` firings (charged against the
+/// firing cap and deadline); the token count `N` — which determines the
+/// `O(N²)` output structure — is validated against the size cap before the
+/// matrix is built.
+///
+/// # Errors
+///
+/// As [`convert`], plus [`SdfError::Exhausted`] when the budget runs out.
+pub fn convert_with_budget(g: &SdfGraph, budget: &Budget) -> Result<NovelConversion, SdfError> {
+    let mut meter = budget.meter();
+    convert_metered(g, &mut meter)
+}
+
+/// [`convert`] charging an existing [`BudgetMeter`], for pipelines that
+/// account several phases against one budget.
+///
+/// # Errors
+///
+/// See [`convert_with_budget`].
+pub fn convert_metered(
+    g: &SdfGraph,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<NovelConversion, SdfError> {
+    let sym = symbolic_iteration_metered(g, meter)?;
+    meter.poll()?;
+    Ok(build(g, sym, &[], true))
+}
+
 /// [`convert`] without the mux/demux elision optimization: every token gets
 /// both its multiplexor and demultiplexor, as in the unoptimized Fig. 4
 /// structure (exactly `2N` (de)mux actors plus one coefficient actor per
@@ -125,12 +160,30 @@ pub fn convert_without_elision(g: &SdfGraph) -> Result<NovelConversion, SdfError
 ///
 /// # Errors
 ///
-/// See [`convert`]; additionally each firing index must be `< γ(actor)`,
-/// which is asserted.
+/// See [`convert`]; additionally returns [`SdfError::UnknownActor`] for an
+/// observer actor outside the graph and [`SdfError::FiringOutOfRange`] for
+/// a firing index `≥ γ(actor)`.
 pub fn convert_with_observers(
     g: &SdfGraph,
     observers: &[(ActorId, u64)],
 ) -> Result<NovelConversion, SdfError> {
+    let gamma = repetition_vector(g)?;
+    for &(actor, firing) in observers {
+        if actor.index() >= g.num_actors() {
+            return Err(SdfError::UnknownActor {
+                actor,
+                num_actors: g.num_actors(),
+            });
+        }
+        let limit = gamma.get(actor);
+        if firing >= limit {
+            return Err(SdfError::FiringOutOfRange {
+                actor,
+                firing,
+                gamma: limit,
+            });
+        }
+    }
     let sym = symbolic_iteration_with_stamps(g)?;
     Ok(build(g, sym, observers, true))
 }
@@ -151,6 +204,8 @@ fn build(
     let mut consumers: Vec<usize> = (0..n).map(|j| a.column(j).finite_count()).collect();
     let producers: Vec<usize> = (0..n).map(|k| a.row(k).finite_count()).collect();
     for &(actor, firing) in observers {
+        // Invariant: callers passing observers use the stamp-recording
+        // symbolic iteration (convert_with_observers validates indices).
         let stamps = sym
             .firing_stamps
             .as_ref()
@@ -243,6 +298,7 @@ fn build(
     // stamp depends on, with the firing's execution time.
     let mut observer_ids = Vec::with_capacity(observers.len());
     for &(actor, firing) in observers {
+        // Invariant: same as above — stamps exist whenever observers do.
         let stamps = sym
             .firing_stamps
             .as_ref()
@@ -482,6 +538,43 @@ mod tests {
                 g.name()
             );
         }
+    }
+
+    #[test]
+    fn observer_indices_validated() {
+        let g = updown();
+        let y = g.actor_by_name("y").unwrap(); // γ(y) = 2
+        assert!(matches!(
+            convert_with_observers(&g, &[(y, 2)]),
+            Err(SdfError::FiringOutOfRange {
+                firing: 2,
+                gamma: 2,
+                ..
+            })
+        ));
+        let ghost = ActorId::from_index(99);
+        assert!(matches!(
+            convert_with_observers(&g, &[(ghost, 0)]),
+            Err(SdfError::UnknownActor { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_bounds_novel_conversion() {
+        let g = updown(); // Σγ = 3 + 2 = 5, N = 6
+        let tight = Budget::unlimited().with_max_firings(2);
+        assert!(matches!(
+            convert_with_budget(&g, &tight),
+            Err(SdfError::Exhausted { .. })
+        ));
+        let sized = Budget::unlimited().with_max_size(5); // N = 6 > 5
+        assert!(matches!(
+            convert_with_budget(&g, &sized),
+            Err(SdfError::Exhausted { .. })
+        ));
+        let ample = Budget::unlimited().with_max_firings(100).with_max_size(6);
+        let conv = convert_with_budget(&g, &ample).unwrap();
+        assert_eq!(conv.graph.num_actors(), convert(&g).unwrap().graph.num_actors());
     }
 
     #[test]

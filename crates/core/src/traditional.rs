@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use sdfr_graph::budget::{Budget, BudgetMeter};
 use sdfr_graph::repetition::repetition_vector;
 use sdfr_graph::{ActorId, SdfError, SdfGraph};
 
@@ -67,7 +68,51 @@ impl TraditionalConversion {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn convert(g: &SdfGraph) -> Result<TraditionalConversion, SdfError> {
+    let budget = Budget::unlimited();
+    let mut meter = budget.meter();
+    convert_metered(g, &mut meter)
+}
+
+/// [`convert`] under a resource [`Budget`].
+///
+/// The conversion materialises `Σγ(a)` actors — potentially exponential in
+/// the graph description — so the repetition-vector sum is validated against
+/// both the firing cap and the size cap *before* any copy is allocated;
+/// the derived-edge enumeration then charges one step per target firing.
+///
+/// # Errors
+///
+/// As [`convert`], plus [`SdfError::Exhausted`] when the budget refuses the
+/// expansion or runs out mid-way.
+pub fn convert_with_budget(
+    g: &SdfGraph,
+    budget: &Budget,
+) -> Result<TraditionalConversion, SdfError> {
+    let mut meter = budget.meter();
+    convert_metered(g, &mut meter)
+}
+
+/// [`convert`] charging an existing [`BudgetMeter`], for pipelines that
+/// account several phases against one budget.
+///
+/// # Errors
+///
+/// See [`convert_with_budget`].
+pub fn convert_metered(
+    g: &SdfGraph,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<TraditionalConversion, SdfError> {
     let gamma = repetition_vector(g)?;
+    let total = g
+        .actor_ids()
+        .try_fold(0u64, |s, a| s.checked_add(gamma.get(a)))
+        .ok_or(SdfError::Overflow {
+            what: "HSDF actor count (sum of repetition vector)",
+        })?;
+    // The expanded graph holds one actor per firing: the repetition sum is
+    // both the work and the state size of this conversion.
+    meter.check_size(total)?;
+    meter.precheck(total)?;
     let mut b = SdfGraph::builder(format!("{}^hsdf", g.name()));
 
     let copies: Vec<Vec<ActorId>> = g
@@ -91,6 +136,8 @@ pub fn convert(g: &SdfGraph) -> Result<TraditionalConversion, SdfError> {
         let gamma_src = gamma.get(ch.source()) as i64;
         let gamma_dst = gamma.get(ch.target());
         for l in 0..gamma_dst as i64 {
+            // One derived-edge computation per target firing per channel.
+            meter.spend(1)?;
             // Firing `l` of the target consumes the contiguous token range
             // [l·c − d, l·c + c − 1 − d]; the producing firings of the
             // source form the contiguous range below (negative = initial
@@ -248,6 +295,33 @@ mod tests {
             hsdf_period(&conv.graph).unwrap().finite(),
             throughput(&g).unwrap().period()
         );
+    }
+
+    #[test]
+    fn budget_refuses_exponential_expansion_before_allocating() {
+        use std::time::Instant;
+        // Σγ = 1e9 + 1: unbudgeted expansion would OOM; the budgeted one
+        // must refuse instantly, before building any copies.
+        let mut b = SdfGraph::builder("huge");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1_000_000_000, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        let budget = Budget::unlimited().with_max_size(1_000_000);
+        let t0 = Instant::now();
+        assert!(matches!(
+            convert_with_budget(&g, &budget),
+            Err(SdfError::Exhausted { .. })
+        ));
+        assert!(t0.elapsed().as_millis() < 1000, "must fail fast");
+        // An adequate budget converts normally.
+        let mut b = SdfGraph::builder("small");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 2, 1, 0).unwrap();
+        let g = b.build().unwrap();
+        let conv = convert_with_budget(&g, &Budget::unlimited().with_max_size(16)).unwrap();
+        assert_eq!(conv.graph.num_actors(), 3);
     }
 
     #[test]

@@ -57,6 +57,46 @@ pub enum SdfError {
         /// Short description of the computation that overflowed.
         what: &'static str,
     },
+    /// A firing index referenced a firing beyond an actor's repetition
+    /// count (firings within one iteration are numbered `0..γ(a)`).
+    FiringOutOfRange {
+        /// The actor whose firing was referenced.
+        actor: ActorId,
+        /// The requested firing index.
+        firing: u64,
+        /// The actor's repetition-vector entry `γ(a)`.
+        gamma: u64,
+    },
+    /// A per-channel capacity vector has the wrong number of entries.
+    CapacityArityMismatch {
+        /// The graph's channel count.
+        expected: usize,
+        /// The number of capacities supplied.
+        found: usize,
+    },
+    /// A channel capacity is below the channel's initial token count, so
+    /// the initial state already violates the bound.
+    CapacityBelowTokens {
+        /// The offending channel.
+        channel: ChannelId,
+        /// The supplied capacity.
+        capacity: u64,
+        /// The channel's initial token count.
+        tokens: u64,
+    },
+    /// A resource budget ([`crate::budget::Budget`]) was exhausted before
+    /// the computation finished. The computation is abandoned, not wrong:
+    /// callers can retry with a larger budget or degrade to a conservative
+    /// abstraction bound (see `sdfr-core`).
+    Exhausted {
+        /// Which limit ran out.
+        resource: crate::budget::BudgetResource,
+        /// Amount consumed when the computation gave up (same unit as
+        /// `limit`; see [`crate::budget::BudgetResource`] for units).
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for SdfError {
@@ -89,6 +129,34 @@ impl fmt::Display for SdfError {
                 "operation requires a homogeneous graph, but channel {channel} has a rate != 1"
             ),
             SdfError::Overflow { what } => write!(f, "integer overflow while computing {what}"),
+            SdfError::FiringOutOfRange {
+                actor,
+                firing,
+                gamma,
+            } => write!(
+                f,
+                "firing {firing} of actor {actor} is out of range (gamma = {gamma})"
+            ),
+            SdfError::CapacityArityMismatch { expected, found } => write!(
+                f,
+                "expected one capacity per channel ({expected}), got {found}"
+            ),
+            SdfError::CapacityBelowTokens {
+                channel,
+                capacity,
+                tokens,
+            } => write!(
+                f,
+                "capacity {capacity} of channel {channel} is below its {tokens} initial tokens"
+            ),
+            SdfError::Exhausted {
+                resource,
+                spent,
+                limit,
+            } => write!(
+                f,
+                "resource budget exhausted: {resource} used {spent} of limit {limit}"
+            ),
         }
     }
 }
@@ -145,6 +213,37 @@ mod tests {
                     what: "repetition vector",
                 },
                 "overflow",
+            ),
+            (
+                SdfError::FiringOutOfRange {
+                    actor: ActorId(1),
+                    firing: 5,
+                    gamma: 3,
+                },
+                "out of range",
+            ),
+            (
+                SdfError::CapacityArityMismatch {
+                    expected: 3,
+                    found: 2,
+                },
+                "one capacity per channel",
+            ),
+            (
+                SdfError::CapacityBelowTokens {
+                    channel: ChannelId(4),
+                    capacity: 1,
+                    tokens: 3,
+                },
+                "initial tokens",
+            ),
+            (
+                SdfError::Exhausted {
+                    resource: crate::budget::BudgetResource::Firings,
+                    spent: 1_000_001,
+                    limit: 1_000_000,
+                },
+                "exhausted",
             ),
         ];
         for (e, frag) in cases {

@@ -15,6 +15,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::budget::Budget;
 use crate::repetition::repetition_vector;
 use crate::{ActorId, SdfError, SdfGraph, Time};
 
@@ -32,6 +33,10 @@ pub struct SimulationOptions {
     /// model periodic sources (e.g. a camera or a network interface) whose
     /// arrival rate, not data dependencies, paces the graph.
     pub releases: Vec<(ActorId, Time)>,
+    /// Resource budget; unlimited by default. The simulation charges one
+    /// unit per started firing and fails with [`SdfError::Exhausted`] when
+    /// the budget runs out.
+    pub budget: Budget,
 }
 
 impl SimulationOptions {
@@ -41,7 +46,14 @@ impl SimulationOptions {
             iterations,
             record_firings: false,
             releases: Vec::new(),
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Bounds the simulation by the given resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Enables recording of individual firing times.
@@ -104,7 +116,8 @@ impl Trace {
 ///
 /// - [`SdfError::Inconsistent`] if `g` has no repetition vector,
 /// - [`SdfError::Deadlock`] if execution stalls before completing,
-/// - [`SdfError::Overflow`] on token-count overflow.
+/// - [`SdfError::Overflow`] on token-count overflow,
+/// - [`SdfError::Exhausted`] if [`SimulationOptions::budget`] runs out.
 ///
 /// # Panics
 ///
@@ -142,7 +155,14 @@ pub fn simulate(g: &SdfGraph, opts: &SimulationOptions) -> Result<Trace, SdfErro
                 })
         })
         .collect::<Result<_, _>>()?;
-    let needed: u64 = caps.iter().sum();
+    let needed = caps
+        .iter()
+        .try_fold(0u64, |s, &c| s.checked_add(c))
+        .ok_or(SdfError::Overflow {
+            what: "total firing count (iterations * iteration length)",
+        })?;
+    let mut meter = opts.budget.meter();
+    meter.precheck(needed)?;
 
     let mut tokens: Vec<u64> = g.channels().map(|(_, c)| c.initial_tokens()).collect();
     let mut peak = tokens.clone();
@@ -161,6 +181,7 @@ pub fn simulate(g: &SdfGraph, opts: &SimulationOptions) -> Result<Trace, SdfErro
     let mut done: u64 = 0;
 
     loop {
+        meter.poll()?;
         // Start every enabled firing at the current time. Repeat until a
         // fixpoint: zero-duration firings can enable further starts, but
         // those complete via the heap in the same time step below.
@@ -201,6 +222,7 @@ pub fn simulate(g: &SdfGraph, opts: &SimulationOptions) -> Result<Trace, SdfErro
                     let ch = g.channel(cid);
                     tokens[cid.index()] -= batch * ch.consumption();
                 }
+                meter.spend(batch)?;
                 started[i] += batch;
                 inflight[i] += batch;
                 let end = time

@@ -11,6 +11,8 @@
 //! - [`schedule`] — periodic admissible sequential schedules (PASS),
 //! - [`liveness`] — deadlock detection,
 //! - [`execution`] — an event-driven self-timed execution simulator,
+//! - [`budget`] — resource budgets (firings, size, deadline, cancellation)
+//!   that bound every iteration-executing loop,
 //! - [`dot`] — Graphviz export.
 //!
 //! # Example
@@ -40,6 +42,7 @@ mod error;
 mod graph;
 mod transform;
 
+pub mod budget;
 pub mod dot;
 pub mod execution;
 pub mod liveness;

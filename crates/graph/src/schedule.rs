@@ -7,6 +7,7 @@
 //! valid sequential schedule yields the same max-plus matrix because SDF
 //! execution is determinate.
 
+use crate::budget::{Budget, BudgetMeter};
 use crate::repetition::RepetitionVector;
 use crate::{ActorId, SdfError, SdfGraph};
 
@@ -75,12 +76,59 @@ pub fn sequential_schedule(
     g: &SdfGraph,
     gamma: &RepetitionVector,
 ) -> Result<Schedule, SdfError> {
+    sequential_schedule_with_budget(g, gamma, &Budget::unlimited())
+}
+
+/// [`sequential_schedule`] under a resource [`Budget`].
+///
+/// The iteration length `Σγ(a)` can be exponential in the graph description
+/// (paper, Sec. 2); the budget's firing cap is checked *before* the schedule
+/// buffer is allocated, so a pathological graph fails fast instead of
+/// exhausting memory.
+///
+/// # Errors
+///
+/// As [`sequential_schedule`], plus [`SdfError::Exhausted`] when the budget
+/// runs out.
+pub fn sequential_schedule_with_budget(
+    g: &SdfGraph,
+    gamma: &RepetitionVector,
+    budget: &Budget,
+) -> Result<Schedule, SdfError> {
+    let mut meter = budget.meter();
+    sequential_schedule_metered(g, gamma, &mut meter)
+}
+
+/// Upper bound on firings scheduled between budget checks. Splitting large
+/// batches keeps deadline polling responsive and bounds the memory committed
+/// past an expired budget; it does not change the resulting schedule beyond
+/// batch granularity (any interleaving of maximal batches is admissible).
+const BATCH_CHUNK: u64 = 1 << 16;
+
+/// [`sequential_schedule`] charging an existing [`BudgetMeter`]; composite
+/// analyses use this to account schedule construction and later phases
+/// against one cumulative budget.
+///
+/// # Errors
+///
+/// See [`sequential_schedule_with_budget`].
+pub fn sequential_schedule_metered(
+    g: &SdfGraph,
+    gamma: &RepetitionVector,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<Schedule, SdfError> {
     let n = g.num_actors();
     let mut tokens: Vec<u64> = g.channels().map(|(_, c)| c.initial_tokens()).collect();
     let mut remaining: Vec<u64> = (0..n).map(|i| gamma.get(ActorId::from_index(i))).collect();
-    let needed: u64 = remaining.iter().sum();
+    let needed = remaining
+        .iter()
+        .try_fold(0u64, |s, &r| s.checked_add(r))
+        .ok_or(SdfError::Overflow {
+            what: "iteration length (sum of repetition vector)",
+        })?;
+    meter.precheck(needed)?;
     let mut fired: u64 = 0;
-    let mut firings = Vec::with_capacity(needed as usize);
+    let mut firings = Vec::with_capacity(needed.min(BATCH_CHUNK) as usize);
 
     loop {
         let mut progress = false;
@@ -94,7 +142,7 @@ pub fn sequential_schedule(
             // the next starts, so a consistent self-loop (p == c) only needs
             // tokens >= c once, while an ordinary input needs k*c tokens for
             // k firings.
-            let mut batch = rem;
+            let mut batch = rem.min(BATCH_CHUNK);
             for &cid in g.incoming(a) {
                 let ch = g.channel(cid);
                 let avail = tokens[cid.index()];
@@ -132,6 +180,7 @@ pub fn sequential_schedule(
             }
             remaining[a.index()] -= batch;
             fired += batch;
+            meter.spend(batch)?;
             firings.extend(std::iter::repeat_n(a, batch as usize));
             progress = true;
         }

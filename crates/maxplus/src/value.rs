@@ -110,6 +110,47 @@ impl Mp {
     pub fn max(self, other: Self) -> Self {
         Ord::max(self, other)
     }
+
+    /// The semiring multiplication `⊗` with overflow detection: `None` when
+    /// the finite addition would overflow [`Time`].
+    ///
+    /// Use this instead of `+` wherever the operands derive from user input
+    /// (execution times, initial-token stamps), so overflow surfaces as an
+    /// error instead of a panic.
+    ///
+    /// ```
+    /// use sdfr_maxplus::Mp;
+    /// assert_eq!(Mp::fin(3).checked_add(Mp::fin(4)), Some(Mp::fin(7)));
+    /// assert_eq!(Mp::fin(i64::MAX).checked_add(Mp::fin(1)), None);
+    /// assert_eq!(Mp::NEG_INF.checked_add(Mp::fin(1)), Some(Mp::NEG_INF));
+    /// ```
+    #[inline]
+    pub fn checked_add(self, rhs: Mp) -> Option<Mp> {
+        match (self, rhs) {
+            (Mp::Fin(a), Mp::Fin(b)) => a.checked_add(b).map(Mp::Fin),
+            _ => Some(Mp::NegInf),
+        }
+    }
+
+    /// The semiring multiplication `⊗`, clamping finite overflow to the
+    /// nearest representable [`Time`].
+    ///
+    /// For internal hot paths where the operands provably cannot overflow
+    /// (or where a clamped extreme is an acceptable conservative stand-in);
+    /// user-facing computations should prefer [`Mp::checked_add`].
+    ///
+    /// ```
+    /// use sdfr_maxplus::Mp;
+    /// assert_eq!(Mp::fin(i64::MAX).saturating_add(Mp::fin(5)), Mp::fin(i64::MAX));
+    /// assert_eq!(Mp::fin(1).saturating_add(Mp::fin(2)), Mp::fin(3));
+    /// ```
+    #[inline]
+    pub fn saturating_add(self, rhs: Mp) -> Mp {
+        match (self, rhs) {
+            (Mp::Fin(a), Mp::Fin(b)) => Mp::Fin(a.saturating_add(b)),
+            _ => Mp::NegInf,
+        }
+    }
 }
 
 impl Default for Mp {
@@ -255,6 +296,21 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn add_overflow_panics() {
         let _ = Mp::fin(i64::MAX) + Mp::fin(1);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Mp::fin(1).checked_add(Mp::fin(2)), Some(Mp::fin(3)));
+        assert_eq!(Mp::fin(i64::MAX).checked_add(Mp::fin(1)), None);
+        assert_eq!(Mp::fin(i64::MIN).checked_add(Mp::fin(-1)), None);
+        assert_eq!(Mp::NEG_INF.checked_add(Mp::fin(i64::MAX)), Some(Mp::NEG_INF));
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(Mp::fin(i64::MAX).saturating_add(Mp::fin(7)), Mp::fin(i64::MAX));
+        assert_eq!(Mp::fin(i64::MIN).saturating_add(Mp::fin(-7)), Mp::fin(i64::MIN));
+        assert_eq!(Mp::fin(2).saturating_add(Mp::NEG_INF), Mp::NEG_INF);
     }
 
     #[test]

@@ -118,6 +118,20 @@ impl MpVector {
         MpVector::from_entries(self.iter().map(|e| e + delta))
     }
 
+    /// [`shift`](Self::shift) with overflow detection: `None` when any
+    /// finite entry would overflow [`Time`].
+    ///
+    /// The symbolic execution of an iteration accumulates execution times
+    /// into stamps over arbitrarily many firings, so user-supplied inputs
+    /// can drive the sums past `i64`; analyses use this checked form and
+    /// surface the overflow as an error.
+    pub fn checked_shift(&self, delta: Time) -> Option<MpVector> {
+        self.iter()
+            .map(|e| e.checked_add(Mp::Fin(delta)))
+            .collect::<Option<Vec<Mp>>>()
+            .map(MpVector::from_entries)
+    }
+
     /// The maximum entry (`−∞` for an all-`−∞` or empty vector).
     pub fn max_entry(&self) -> Mp {
         self.iter().max().unwrap_or(Mp::NegInf)
@@ -264,6 +278,17 @@ mod tests {
         let a = MpVector::from_entries([Mp::fin(1), Mp::NegInf]);
         let s = a.shift(4);
         assert_eq!(s.as_slice(), &[Mp::fin(5), Mp::NegInf]);
+    }
+
+    #[test]
+    fn checked_shift_detects_overflow() {
+        let a = MpVector::from_entries([Mp::fin(1), Mp::NegInf]);
+        let s = a.checked_shift(4).unwrap();
+        assert_eq!(s.as_slice(), &[Mp::fin(5), Mp::NegInf]);
+        let b = MpVector::from_entries([Mp::fin(i64::MAX), Mp::NegInf]);
+        assert!(b.checked_shift(1).is_none());
+        // −∞ entries absorb: no overflow however large the shift.
+        assert!(MpVector::neg_inf(3).checked_shift(i64::MAX).is_some());
     }
 
     #[test]

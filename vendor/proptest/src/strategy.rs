@@ -1,0 +1,259 @@
+//! Value-generation strategies (no shrinking).
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng as _;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy is simply a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values. `Debug` so failing cases can report
+    /// their inputs.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then generates from the strategy `f`
+    /// returns for it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy, produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Weighted union of strategies over a common value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Union({} arms)", self.arms.len())
+    }
+}
+
+impl<V> Union<V> {
+    /// Creates a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positively weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            let w = *w as u64;
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick exceeded total weight")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($S,)+) = self;
+                ($($S.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String generation from a `&'static str` pattern.
+///
+/// Upstream proptest treats the pattern as a full regex; this stub supports
+/// the forms used in-tree — `.{m,n}`, `.*`, `.+` — generating strings whose
+/// char count lies in the given bounds, drawn from a pool mixing printable
+/// ASCII, whitespace/control characters, and arbitrary Unicode scalars.
+/// Any other pattern generates its literal text.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = match parse_dot_repeat(self) {
+            Some(bounds) => bounds,
+            None => return (*self).to_string(),
+        };
+        let len = rng.gen_range(min..=max);
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    match pattern {
+        ".*" => return Some((0, 64)),
+        ".+" => return Some((1, 64)),
+        _ => {}
+    }
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    match rng.gen_range(0u32..10) {
+        // Mostly printable ASCII: keeps parser fuzz inputs interesting.
+        0..=6 => char::from(rng.gen_range(0x20u8..0x7f)),
+        7 => *['\n', '\t', '\r', '\0', '"', '<', '>', '&']
+            .get(rng.gen_range(0usize..8))
+            .unwrap_or(&'\n'),
+        _ => loop {
+            if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+                return c;
+            }
+        },
+    }
+}

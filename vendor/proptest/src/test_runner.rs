@@ -1,0 +1,111 @@
+//! Deterministic case runner: config, RNG derivation, and case errors.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration. Only `cases` is honoured by this stub.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+/// Upstream proptest re-exports `test_runner::Config` under this name in its
+/// prelude; in-tree code uses the alias exclusively.
+pub type ProptestConfig = Config;
+
+impl Config {
+    /// A default config overriding only the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Config { cases }
+    }
+}
+
+/// A failed (not panicked) property case, produced by the `prop_assert*`
+/// macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl<E: Error> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        TestCaseError(e.to_string())
+    }
+}
+
+/// The RNG handed to strategies. Deterministic per (test name, case index).
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Drives the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    seed_base: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: Config, name: &str) -> Self {
+        let env_seed: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        TestRunner {
+            config,
+            seed_base: fnv1a(name.as_bytes()) ^ env_seed,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for case `case`; equal inputs yield equal streams.
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        TestRng(StdRng::seed_from_u64(
+            self.seed_base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)),
+        ))
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
