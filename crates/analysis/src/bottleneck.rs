@@ -10,7 +10,7 @@
 use sdfr_graph::{ActorId, ChannelId, SdfError, SdfGraph};
 use sdfr_maxplus::{closure, Rational};
 
-use crate::symbolic::{symbolic_iteration, TokenRef};
+use crate::symbolic::{symbolic_iteration, SymbolicIteration, TokenRef};
 
 /// The bottleneck report for a consistent, live SDF graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,12 +54,18 @@ pub struct Bottleneck {
 /// ```
 pub fn bottleneck(g: &SdfGraph) -> Result<Option<Bottleneck>, SdfError> {
     let sym = symbolic_iteration(g)?;
+    Ok(bottleneck_from_symbolic(g, &sym))
+}
+
+/// Identifies the bottleneck from an already-computed symbolic iteration of
+/// `g` (e.g. the one cached in an
+/// [`AnalysisSession`](crate::session::AnalysisSession)), so callers that
+/// need both the throughput and the bottleneck pay for one iteration only.
+pub fn bottleneck_from_symbolic(g: &SdfGraph, sym: &SymbolicIteration) -> Option<Bottleneck> {
     if sym.num_tokens() == 0 {
-        return Ok(None);
+        return None;
     }
-    let Some(period) = sym.matrix.eigenvalue() else {
-        return Ok(None);
-    };
+    let period = sym.matrix.eigenvalue()?;
     let critical = closure::critical_nodes(&sym.matrix).expect("iteration matrix is square");
     let tokens: Vec<TokenRef> = critical.iter().map(|&i| sym.tokens[i]).collect();
 
@@ -77,12 +83,12 @@ pub fn bottleneck(g: &SdfGraph) -> Result<Option<Bottleneck>, SdfError> {
     actors.sort_unstable();
     actors.dedup();
 
-    Ok(Some(Bottleneck {
+    Some(Bottleneck {
         period,
         tokens,
         channels,
         actors,
-    }))
+    })
 }
 
 #[cfg(test)]

@@ -228,6 +228,18 @@ pub fn sufficient_capacities_with_budget(
     budget: &Budget,
 ) -> Result<Vec<u64>, SdfError> {
     let target = crate::throughput::throughput_with_budget(g, budget)?.period();
+    sufficient_capacities_with_target(g, iterations, budget, target)
+}
+
+/// [`sufficient_capacities_with_budget`] against an already-known
+/// unconstrained period (the [`AnalysisSession`](crate::session::AnalysisSession)
+/// cache), skipping the redundant throughput analysis.
+pub(crate) fn sufficient_capacities_with_target(
+    g: &SdfGraph,
+    iterations: u64,
+    budget: &Budget,
+    target: Option<sdfr_maxplus::Rational>,
+) -> Result<Vec<u64>, SdfError> {
     if target.is_none() {
         // Unbounded throughput: every finite allocation yields a finite
         // period, so no capacity assignment reproduces it.
@@ -244,15 +256,13 @@ pub fn sufficient_capacities_with_budget(
     )?;
     let mut caps = trace.channel_peak_reserved;
     for (i, (_, ch)) in g.channels().enumerate() {
-        if ch.is_self_loop() {
+        caps[i] = if ch.is_self_loop() {
             // Self-loops are not capacity-modelled; report their fixed
             // occupancy.
-            caps[i] = ch.initial_tokens();
-            continue;
-        }
-        let g_pc = gcd(ch.production(), ch.consumption());
-        let floor = (ch.production() + ch.consumption() - g_pc).max(ch.initial_tokens());
-        caps[i] = caps[i].max(floor);
+            ch.initial_tokens()
+        } else {
+            caps[i].max(channel_floor(ch))
+        };
     }
     // Guard against an under-sized simulation window (long transients):
     // verify, and widen geometrically a few times before giving up. The
@@ -309,34 +319,103 @@ pub fn minimize_capacities_with_budget(
     budget: &Budget,
 ) -> Result<Vec<u64>, SdfError> {
     let target = crate::throughput::throughput_with_budget(g, budget)?.period();
-    let mut caps = sufficient_capacities_with_budget(g, iterations, budget)?;
-    // The starting allocation achieves the target period; shrink greedily.
-    for i in 0..caps.len() {
-        // Invariant: caps has one entry per channel, so i indexes a channel.
-        let ch = g
-            .channels()
-            .nth(i)
-            .map(|(_, c)| *c)
-            .expect("index within channel count");
+    minimize_capacities_with_target(g, iterations, budget, target)
+}
+
+/// Whether capacities `probe` reproduce the target period. A deadlocking
+/// probe is simply infeasible, but a budget exhaustion must abort the whole
+/// search.
+fn probe_feasible(
+    g: &SdfGraph,
+    probe: &[u64],
+    budget: &Budget,
+    target: Option<sdfr_maxplus::Rational>,
+) -> Result<bool, SdfError> {
+    match period_with_capacities_budgeted(g, probe, budget) {
+        Ok(p) => Ok(p == target),
+        Err(e @ SdfError::Exhausted { .. }) => Err(e),
+        Err(_) => Ok(false),
+    }
+}
+
+/// The shrink search behind [`minimize_capacities_with_budget`], against an
+/// already-known target period.
+///
+/// Feasibility is monotone in every single capacity (extra slots only add
+/// tokens to the reverse channel, which can only shorten cycles), which the
+/// search exploits in two phases:
+///
+/// 1. **Parallel scouting** ([`std::thread::scope`], one worker per core):
+///    each channel's minimal feasible capacity against the *un-shrunk*
+///    starting allocation is found by an independent binary search. Because
+///    neighbours only ever shrink afterwards, these minima are valid lower
+///    bounds for phase 2.
+/// 2. **Sequential confirmation**: the original greedy left-to-right shrink,
+///    searching `[max(floor, scout_i), start_i]` instead of
+///    `[floor, start_i]`. Binary search over any subrange containing the
+///    threshold of a monotone predicate returns the same threshold, so the
+///    result is exactly the sequential algorithm's — usually confirmed with
+///    a single probe per channel (the scout bound is already tight).
+pub(crate) fn minimize_capacities_with_target(
+    g: &SdfGraph,
+    iterations: u64,
+    budget: &Budget,
+    target: Option<sdfr_maxplus::Rational>,
+) -> Result<Vec<u64>, SdfError> {
+    let mut caps = sufficient_capacities_with_target(g, iterations, budget, target)?;
+    let channels: Vec<_> = g.channels().map(|(_, c)| *c).collect();
+    let start = caps.clone();
+
+    // Phase 1: per-channel minima against the starting allocation, in
+    // parallel. Each worker probes under its own meter of the shared budget
+    // (per-probe firing caps, shared deadline/cancellation), exactly like
+    // the sequential probes.
+    let scouted = parallel_indexed(start.len(), |i| -> Result<u64, SdfError> {
+        let ch = &channels[i];
         if ch.is_self_loop() {
+            return Ok(start[i]);
+        }
+        let (mut lo, mut hi) = (channel_floor(ch), start[i]);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mut probe = start.clone();
+            probe[i] = mid;
+            if probe_feasible(g, &probe, budget, target)? {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Ok(hi)
+    });
+    // Deterministic error propagation: the lowest-index failure wins.
+    let mut lower = Vec::with_capacity(scouted.len());
+    for s in scouted {
+        lower.push(s?);
+    }
+
+    // Phase 2: the sequential greedy shrink, tightened by the scout bounds.
+    for i in 0..caps.len() {
+        if channels[i].is_self_loop() {
             continue;
         }
-        // The classical single-channel liveness floor.
-        let g_pc = gcd(ch.production(), ch.consumption());
-        let floor = (ch.production() + ch.consumption() - g_pc).max(ch.initial_tokens());
-        let (mut lo, mut hi) = (floor, caps[i]);
+        let (mut lo, mut hi) = (channel_floor(&channels[i]).max(lower[i]), caps[i]);
+        if lo < hi {
+            // The scout bound is usually exact: confirm it with one probe
+            // before falling back to the binary search.
+            let mut probe = caps.clone();
+            probe[i] = lo;
+            if probe_feasible(g, &probe, budget, target)? {
+                hi = lo;
+            } else {
+                lo += 1;
+            }
+        }
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             let mut probe = caps.clone();
             probe[i] = mid;
-            // A deadlocking probe is simply infeasible, but a budget
-            // exhaustion must abort the whole search.
-            let ok = match period_with_capacities_budgeted(g, &probe, budget) {
-                Ok(p) => p == target,
-                Err(e @ SdfError::Exhausted { .. }) => return Err(e),
-                Err(_) => false,
-            };
-            if ok {
+            if probe_feasible(g, &probe, budget, target)? {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -354,6 +433,51 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
         b = t;
     }
     a
+}
+
+/// The classical single-channel liveness floor: `p + c − gcd(p, c)` slots
+/// (at least the initial tokens); self-loops keep their fixed occupancy.
+fn channel_floor(ch: &sdfr_graph::Channel) -> u64 {
+    if ch.is_self_loop() {
+        ch.initial_tokens()
+    } else {
+        let g_pc = gcd(ch.production(), ch.consumption());
+        (ch.production() + ch.consumption() - g_pc).max(ch.initial_tokens())
+    }
+}
+
+/// Evaluates `f(0..n)` on scoped worker threads (one per available core, at
+/// most `n`) and returns the results in index order — the capacity probes of
+/// the design-space searches are independent, so fan-out changes wall-clock
+/// time but not results. Falls back to a sequential loop when only one
+/// worker is warranted.
+fn parallel_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                s.spawn(move || -> Vec<(usize, R)> {
+                    (w..n).step_by(workers).map(|i| (i, f(i))).collect()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("capacity-search worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index was dealt to exactly one worker"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -376,10 +500,7 @@ mod capacity_tests {
     fn capacity_one_serializes_the_pipeline() {
         let g = pipeline();
         // Unconstrained: the bottleneck is y alone (period 5).
-        assert_eq!(
-            throughput(&g).unwrap().period(),
-            Some(Rational::from(5))
-        );
+        assert_eq!(throughput(&g).unwrap().period(), Some(Rational::from(5)));
         // Capacity 1 on the x->y channel creates the cycle
         // x -> y -> (free slot) -> x with weight 2 + 5 over one slot token:
         // the period degrades to 7.
@@ -524,25 +645,51 @@ pub fn throughput_buffer_tradeoff(
     iterations: u64,
 ) -> Result<Vec<ParetoPoint>, SdfError> {
     let target = crate::throughput::throughput(g)?.period();
-    let peaks = sufficient_capacities(g, iterations)?;
+    throughput_buffer_tradeoff_with_target(g, iterations, target, true)
+}
+
+/// The sequential reference implementation of
+/// [`throughput_buffer_tradeoff`].
+///
+/// The parallel sweep evaluates all candidate increments of a step
+/// concurrently and then folds them in channel order with the same
+/// tie-breaking, so both paths return byte-identical curves; this entry
+/// point exists to cross-check that claim in tests and to measure the
+/// fan-out speedup in benches.
+///
+/// # Errors
+///
+/// See [`throughput_buffer_tradeoff`].
+pub fn throughput_buffer_tradeoff_serial(
+    g: &SdfGraph,
+    iterations: u64,
+) -> Result<Vec<ParetoPoint>, SdfError> {
+    let target = crate::throughput::throughput(g)?.period();
+    throughput_buffer_tradeoff_with_target(g, iterations, target, false)
+}
+
+/// Deadlocked allocations count as zero throughput.
+fn period_at(g: &SdfGraph, caps: &[u64]) -> Option<sdfr_maxplus::Rational> {
+    period_with_capacities(g, caps).unwrap_or_default()
+}
+
+/// The greedy sweep behind [`throughput_buffer_tradeoff`], against an
+/// already-known target period. Each step's candidate probes (+1 on every
+/// growable channel) are independent full analyses of a capacity-variant
+/// graph; `parallel` fans them out over scoped threads, and the subsequent
+/// fold picks the winner in ascending channel order with a strict
+/// comparison — the same candidate the sequential loop picks.
+pub(crate) fn throughput_buffer_tradeoff_with_target(
+    g: &SdfGraph,
+    iterations: u64,
+    target: Option<sdfr_maxplus::Rational>,
+    parallel: bool,
+) -> Result<Vec<ParetoPoint>, SdfError> {
+    let peaks = sufficient_capacities_with_target(g, iterations, &Budget::unlimited(), target)?;
 
     let channels: Vec<_> = g.channels().map(|(_, c)| *c).collect();
-    let floors: Vec<u64> = channels
-        .iter()
-        .map(|c| {
-            if c.is_self_loop() {
-                c.initial_tokens()
-            } else {
-                let g_pc = gcd(c.production(), c.consumption());
-                (c.production() + c.consumption() - g_pc).max(c.initial_tokens())
-            }
-        })
-        .collect();
+    let floors: Vec<u64> = channels.iter().map(channel_floor).collect();
 
-    // Deadlocked allocations count as zero throughput.
-    let period_at = |caps: &[u64]| -> Option<sdfr_maxplus::Rational> {
-        period_with_capacities(g, caps).unwrap_or_default()
-    };
     // Order periods with deadlock (None) as the worst.
     let better = |a: Option<sdfr_maxplus::Rational>, b: Option<sdfr_maxplus::Rational>| -> bool {
         match (a, b) {
@@ -556,7 +703,7 @@ pub fn throughput_buffer_tradeoff(
     let mut curve = vec![ParetoPoint {
         capacities: caps.clone(),
         total: caps.iter().sum(),
-        period: period_at(&caps),
+        period: period_at(g, &caps),
     }];
 
     let budget: u64 = peaks
@@ -569,15 +716,23 @@ pub fn throughput_buffer_tradeoff(
         if current == target && current.is_some() {
             break;
         }
-        // Try +1 on each non-self-loop channel; keep the best improvement.
+        // Try +1 on each non-self-loop channel; keep the best improvement,
+        // lowest channel index first on ties.
+        let candidates: Vec<usize> = (0..caps.len())
+            .filter(|&i| !channels[i].is_self_loop() && caps[i] < peaks[i])
+            .collect();
+        let probe_period = |i: usize| -> Option<sdfr_maxplus::Rational> {
+            let mut probe = caps.clone();
+            probe[i] += 1;
+            period_at(g, &probe)
+        };
+        let periods: Vec<Option<sdfr_maxplus::Rational>> = if parallel {
+            parallel_indexed(candidates.len(), |k| probe_period(candidates[k]))
+        } else {
+            candidates.iter().map(|&i| probe_period(i)).collect()
+        };
         let mut best: Option<(usize, Option<sdfr_maxplus::Rational>)> = None;
-        for i in 0..caps.len() {
-            if channels[i].is_self_loop() || caps[i] >= peaks[i] {
-                continue;
-            }
-            caps[i] += 1;
-            let p = period_at(&caps);
-            caps[i] -= 1;
+        for (&i, &p) in candidates.iter().zip(&periods) {
             if better(p, best.as_ref().map_or(current, |(_, bp)| *bp)) {
                 best = Some((i, p));
             }
@@ -595,9 +750,7 @@ pub fn throughput_buffer_tradeoff(
             None => {
                 // No single increment improves: grow the tightest channel
                 // anyway to escape plateaus.
-                let Some(i) = (0..caps.len())
-                    .find(|&i| !channels[i].is_self_loop() && caps[i] < peaks[i])
-                else {
+                let Some(&i) = candidates.first() else {
                     break;
                 };
                 caps[i] += 1;
@@ -655,6 +808,24 @@ mod pareto_tests {
                 (Some(_), None) => panic!("curve worsened"),
             }
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 3);
+        let z = b.actor("z", 2);
+        b.channel(x, y, 2, 1, 0).unwrap();
+        b.channel(y, z, 1, 2, 0).unwrap();
+        b.channel(z, x, 1, 1, 2).unwrap();
+        for a in [x, y, z] {
+            b.channel(a, a, 1, 1, 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        let parallel = throughput_buffer_tradeoff(&g, 16).unwrap();
+        let serial = throughput_buffer_tradeoff_serial(&g, 16).unwrap();
+        assert_eq!(parallel, serial);
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use sdfr_graph::execution::{simulate, SimulationOptions};
 use sdfr_graph::{ActorId, SdfError, SdfGraph, Time};
 
-
 /// The makespan of the first iteration in self-timed execution: the time at
 /// which every actor `a` has completed its first `γ(a)` firings.
 ///

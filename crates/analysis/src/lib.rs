@@ -19,7 +19,10 @@
 //! - [`buffer`] — self-timed buffer occupancy bounds and minimal capacity
 //!   search,
 //! - [`static_schedule`] — rate-optimal static periodic schedule synthesis
-//!   for HSDF graphs.
+//!   for HSDF graphs,
+//! - [`session`] — [`AnalysisSession`], a memoizing, budget-aware per-graph
+//!   context that computes each of the artifacts above at most once and
+//!   shares them across analyses and threads.
 //!
 //! # Example
 //!
@@ -48,10 +51,12 @@ pub mod bottleneck;
 pub mod buffer;
 pub mod latency;
 pub mod mcm;
+pub mod session;
 pub mod static_schedule;
 pub mod symbolic;
 pub mod throughput;
 
 pub use mcm::{CycleRatio, CycleRatioGraph};
+pub use session::AnalysisSession;
 pub use symbolic::{SymbolicIteration, TokenRef};
 pub use throughput::{throughput, ThroughputAnalysis};

@@ -208,8 +208,7 @@ impl CyclicCore {
             let u = cycle[i];
             let e = self.edges[policy[u]];
             lambda[u] = r;
-            value[u] =
-                Rational::from(e.weight) - r * Rational::from(e.tokens as i64) + value[e.to];
+            value[u] = Rational::from(e.weight) - r * Rational::from(e.tokens as i64) + value[e.to];
         }
     }
 }

@@ -298,8 +298,7 @@ pub fn critical_cycle(g: &CycleRatioGraph) -> Option<Vec<usize>> {
     };
     let n = g.num_nodes();
     let (s, num) = (lambda.denom(), lambda.numer());
-    let reduced =
-        |e: &Edge| -> i64 { s * e.weight - num * e.tokens as i64 };
+    let reduced = |e: &Edge| -> i64 { s * e.weight - num * e.tokens as i64 };
 
     // Longest-path relaxation from a virtual source; converges because no
     // cycle has positive reduced weight.

@@ -1,0 +1,566 @@
+//! A memoizing, budget-aware per-graph analysis context.
+//!
+//! The paper's central observation is that the `N×N` max-plus matrix of one
+//! iteration is the *reusable* compressed artifact of an SDF graph: every
+//! exact analysis — throughput, bottleneck, buffer sizing, the novel HSDF
+//! conversion — starts from it. Historically each free function recomputed
+//! the repetition vector, the schedule and the symbolic iteration from
+//! scratch; an [`AnalysisSession`] computes each artifact at most once and
+//! shares it across analyses (and across threads — every accessor takes
+//! `&self`).
+//!
+//! # Budget accounting
+//!
+//! A session owns one [`Budget`] and keeps a cumulative firing count: each
+//! lazy computation runs under a meter resumed from the running total
+//! ([`Budget::meter_resuming`]), so a firing cap applies to the *sum* of all
+//! work the session ever did — strictly stronger than the one-meter-per-call
+//! accounting of the free functions, and with the same graceful degradation:
+//! an exhausted computation yields [`SdfError::Exhausted`], which is cached
+//! like any other result (asking again does not retry, because the budget
+//! could only be more depleted).
+//!
+//! # Thread safety
+//!
+//! All artifacts live in [`OnceLock`]s, so a `&AnalysisSession` can be
+//! shared across [`std::thread::scope`] workers; concurrent first accesses
+//! block until the single in-flight computation finishes. Concurrent
+//! computations of *different* artifacts may each resume metering from the
+//! same running total (the update is applied after the phase completes), so
+//! parallel phases are charged like parallel probes of the free-function
+//! searches: per worker, against the shared deadline and cancellation flag.
+//!
+//! # Invalidation
+//!
+//! There is none, by construction: [`SdfGraph`]s are immutable once built,
+//! so a session is valid for exactly the graph it holds. Use
+//! [`AnalysisSession::fingerprint`] (a content hash) to key external caches
+//! of session-derived results; any graph edit builds a *new* graph — and
+//! warrants a new session.
+//!
+//! # Example
+//!
+//! ```
+//! use sdfr_analysis::AnalysisSession;
+//! use sdfr_graph::SdfGraph;
+//!
+//! let mut b = SdfGraph::builder("g");
+//! let x = b.actor("x", 2);
+//! let y = b.actor("y", 3);
+//! b.channel(x, y, 1, 1, 0)?;
+//! b.channel(y, x, 1, 1, 1)?;
+//! let session = AnalysisSession::new(b.build()?);
+//!
+//! let throughput = session.throughput()?;          // one symbolic iteration…
+//! let bottleneck = session.bottleneck()?.unwrap(); // …reused here
+//! assert_eq!(Some(bottleneck.period), throughput.period());
+//! assert_eq!(session.symbolic_iterations_computed(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use sdfr_graph::budget::{Budget, BudgetMeter};
+use sdfr_graph::repetition::{repetition_vector, RepetitionVector};
+use sdfr_graph::schedule::{sequential_schedule_metered, Schedule};
+use sdfr_graph::{SdfError, SdfGraph, Time};
+use sdfr_maxplus::Rational;
+
+use crate::bottleneck::{bottleneck_from_symbolic, Bottleneck};
+use crate::buffer::{
+    minimize_capacities_with_target, sufficient_capacities_with_target,
+    throughput_buffer_tradeoff_with_target, ParetoPoint,
+};
+use crate::static_schedule::{rate_optimal_schedule_with_budget, StaticSchedule};
+use crate::symbolic::{symbolic_iteration_scheduled, SymbolicIteration};
+use crate::throughput::ThroughputAnalysis;
+
+/// A lazily-memoized result slot. Errors are cached too: the budget can only
+/// be more depleted on a retry, and all other failures (inconsistency,
+/// deadlock, overflow) are properties of the immutable graph.
+type Slot<T> = OnceLock<Result<T, SdfError>>;
+
+/// A per-graph analysis context: owns the graph, memoizes every derived
+/// artifact, and charges all work to one cumulative budget.
+///
+/// See the [module documentation](self) for the caching, budgeting and
+/// thread-safety contracts.
+#[derive(Debug)]
+pub struct AnalysisSession {
+    graph: Arc<SdfGraph>,
+    budget: Budget,
+    fingerprint: u64,
+    /// Cumulative firings charged across all completed phases.
+    spent: AtomicU64,
+    /// Number of lazy artifact computations performed (cache misses).
+    computations: AtomicU64,
+    /// Number of symbolic iterations actually executed (≤ 2: at most one
+    /// without and one with firing stamps).
+    symbolic_runs: AtomicU64,
+    gamma: Slot<RepetitionVector>,
+    schedule: Slot<Schedule>,
+    symbolic: Slot<SymbolicIteration>,
+    symbolic_stamps: Slot<SymbolicIteration>,
+    eigenvalue: Slot<Option<Rational>>,
+    sccs: Slot<Vec<Vec<usize>>>,
+    bottleneck: Slot<Option<Bottleneck>>,
+    makespan: Slot<Time>,
+}
+
+impl AnalysisSession {
+    /// Creates a session over `graph` with an unlimited budget.
+    ///
+    /// Accepts anything convertible into an `Arc<SdfGraph>` — pass an owned
+    /// graph, or an `Arc` to share the graph with other sessions or threads
+    /// without copying it.
+    pub fn new(graph: impl Into<Arc<SdfGraph>>) -> Self {
+        Self::with_budget(graph, Budget::unlimited())
+    }
+
+    /// Creates a session over `graph`; all analyses are charged cumulatively
+    /// against `budget` (see the [module documentation](self)).
+    pub fn with_budget(graph: impl Into<Arc<SdfGraph>>, budget: Budget) -> Self {
+        let graph = graph.into();
+        let fingerprint = graph.fingerprint();
+        AnalysisSession {
+            graph,
+            budget,
+            fingerprint,
+            spent: AtomicU64::new(0),
+            computations: AtomicU64::new(0),
+            symbolic_runs: AtomicU64::new(0),
+            gamma: OnceLock::new(),
+            schedule: OnceLock::new(),
+            symbolic: OnceLock::new(),
+            symbolic_stamps: OnceLock::new(),
+            eigenvalue: OnceLock::new(),
+            sccs: OnceLock::new(),
+            bottleneck: OnceLock::new(),
+            makespan: OnceLock::new(),
+        }
+    }
+
+    /// The graph under analysis.
+    pub fn graph(&self) -> &Arc<SdfGraph> {
+        &self.graph
+    }
+
+    /// The budget all session work is charged against.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The graph's content [fingerprint](SdfGraph::fingerprint), captured at
+    /// construction — the key to use for external caches of session results.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Cumulative firings (and equivalent algorithm steps) charged by all
+    /// completed phases of this session.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Acquire)
+    }
+
+    /// Number of artifact computations performed so far (cache misses). A
+    /// repeated query does not increase this.
+    pub fn computations(&self) -> u64 {
+        self.computations.load(Ordering::Relaxed)
+    }
+
+    /// Number of symbolic iterations actually executed. The whole `analyze`
+    /// pipeline — throughput, eigenvalue, bottleneck, SCCs — needs exactly
+    /// one.
+    pub fn symbolic_iterations_computed(&self) -> u64 {
+        self.symbolic_runs.load(Ordering::Relaxed)
+    }
+
+    /// Runs `op` under a meter resumed from the session's cumulative firing
+    /// count, then folds the phase's charge back into the total. This is how
+    /// every session phase preserves the budget's degradation semantics; it
+    /// is public so composite analyses built *on top of* a session (e.g. the
+    /// HSDF conversions in `sdfr-core`) can charge their own phases to the
+    /// same budget.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `op` returns; the charge is recorded either way.
+    pub fn with_meter<T>(
+        &self,
+        op: impl FnOnce(&mut BudgetMeter<'_>) -> Result<T, SdfError>,
+    ) -> Result<T, SdfError> {
+        let before = self.spent.load(Ordering::Acquire);
+        let mut meter = self.budget.meter_resuming(before);
+        let result = op(&mut meter);
+        let delta = meter.spent().saturating_sub(before);
+        if delta > 0 {
+            self.spent.fetch_add(delta, Ordering::AcqRel);
+        }
+        result
+    }
+
+    /// Marks one artifact computation (cache miss).
+    fn miss(&self) {
+        self.computations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The repetition vector γ, computed once.
+    ///
+    /// # Errors
+    ///
+    /// [`SdfError::Inconsistent`] if the graph has no repetition vector.
+    pub fn repetition_vector(&self) -> Result<&RepetitionVector, SdfError> {
+        self.gamma
+            .get_or_init(|| {
+                self.miss();
+                repetition_vector(&self.graph)
+            })
+            .as_ref()
+            .map_err(SdfError::clone)
+    }
+
+    /// A sequential single-iteration schedule, computed once and charged to
+    /// the session budget (`Σγ(a)` firings).
+    ///
+    /// # Errors
+    ///
+    /// [`SdfError::Inconsistent`], [`SdfError::Deadlock`], or
+    /// [`SdfError::Exhausted`] under the session budget.
+    pub fn sequential_schedule(&self) -> Result<&Schedule, SdfError> {
+        self.schedule
+            .get_or_init(|| {
+                let gamma = match self.repetition_vector() {
+                    Ok(gamma) => gamma,
+                    Err(e) => return Err(e),
+                };
+                self.miss();
+                self.with_meter(|m| sequential_schedule_metered(&self.graph, gamma, m))
+            })
+            .as_ref()
+            .map_err(SdfError::clone)
+    }
+
+    /// The symbolic iteration (paper Alg. 1): the `N×N` max-plus matrix over
+    /// the initial tokens, computed once from the cached γ and schedule.
+    ///
+    /// If the stamped variant ([`Self::symbolic_with_stamps`]) was already
+    /// computed, it is returned instead of running a second iteration — it
+    /// carries strictly more information.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::symbolic::symbolic_iteration_with_budget`].
+    pub fn symbolic(&self) -> Result<&SymbolicIteration, SdfError> {
+        if let Some(Ok(sym)) = self.symbolic_stamps.get() {
+            return Ok(sym);
+        }
+        self.symbolic
+            .get_or_init(|| self.compute_symbolic(false))
+            .as_ref()
+            .map_err(SdfError::clone)
+    }
+
+    /// The symbolic iteration with per-firing `(start, end)` stamps (needed
+    /// to wire observed actors into the novel conversion), computed once.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::symbolic`].
+    pub fn symbolic_with_stamps(&self) -> Result<&SymbolicIteration, SdfError> {
+        self.symbolic_stamps
+            .get_or_init(|| self.compute_symbolic(true))
+            .as_ref()
+            .map_err(SdfError::clone)
+    }
+
+    fn compute_symbolic(&self, record_stamps: bool) -> Result<SymbolicIteration, SdfError> {
+        // Fail on the size cap before investing in the schedule, mirroring
+        // the free function's check-before-allocate ordering.
+        let token_total = self
+            .graph
+            .channels()
+            .try_fold(0u64, |s, (_, ch)| s.checked_add(ch.initial_tokens()))
+            .ok_or(SdfError::Overflow {
+                what: "initial token count",
+            })?;
+        self.budget.meter().check_size(token_total)?;
+
+        let schedule = self.sequential_schedule()?;
+        let gamma = self.repetition_vector()?;
+        self.miss();
+        self.symbolic_runs.fetch_add(1, Ordering::Relaxed);
+        self.with_meter(|m| {
+            symbolic_iteration_scheduled(&self.graph, gamma, schedule, record_stamps, m)
+        })
+    }
+
+    /// The max-plus eigenvalue λ of the iteration matrix — the iteration
+    /// period, `None` when no recurrent constraint exists — computed once.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::symbolic`].
+    pub fn eigenvalue(&self) -> Result<Option<Rational>, SdfError> {
+        self.eigenvalue
+            .get_or_init(|| {
+                let sym = self.symbolic()?;
+                self.miss();
+                Ok(sym.matrix.eigenvalue())
+            })
+            .clone()
+    }
+
+    /// The throughput analysis (period + per-actor throughput), assembled
+    /// from the cached eigenvalue and repetition vector.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::symbolic`].
+    pub fn throughput(&self) -> Result<ThroughputAnalysis, SdfError> {
+        let period = self.eigenvalue()?;
+        let gamma = self.repetition_vector()?.clone();
+        Ok(ThroughputAnalysis::from_parts(period, gamma))
+    }
+
+    /// The bottleneck report (critical tokens, channels, actors), computed
+    /// once from the cached symbolic iteration; `None` when throughput is
+    /// unbounded.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::symbolic`].
+    pub fn bottleneck(&self) -> Result<Option<Bottleneck>, SdfError> {
+        self.bottleneck
+            .get_or_init(|| {
+                let sym = self.symbolic()?;
+                self.miss();
+                Ok(bottleneck_from_symbolic(&self.graph, sym))
+            })
+            .clone()
+    }
+
+    /// The strongly connected components of the iteration matrix's
+    /// precedence graph (token indices, each component sorted ascending),
+    /// computed once.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::symbolic`].
+    pub fn precedence_sccs(&self) -> Result<&[Vec<usize>], SdfError> {
+        self.sccs
+            .get_or_init(|| {
+                let sym = self.symbolic()?;
+                self.miss();
+                let pg = sym
+                    .matrix
+                    .precedence_graph()
+                    .expect("iteration matrix is square");
+                Ok(pg.sccs())
+            })
+            .as_ref()
+            .map(Vec::as_slice)
+            .map_err(SdfError::clone)
+    }
+
+    /// The completion time of the first self-timed iteration, computed once
+    /// by simulation (see [`crate::latency::iteration_makespan`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::latency::iteration_makespan`].
+    pub fn iteration_makespan(&self) -> Result<Time, SdfError> {
+        self.makespan
+            .get_or_init(|| {
+                self.miss();
+                crate::latency::iteration_makespan(&self.graph)
+            })
+            .clone()
+    }
+
+    /// A rate-optimal static periodic schedule under the session budget (see
+    /// [`crate::static_schedule::rate_optimal_schedule_with_budget`]).
+    ///
+    /// Not memoized: the result is large and typically requested once.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::static_schedule::rate_optimal_schedule_with_budget`].
+    pub fn rate_optimal_schedule(&self) -> Result<Option<StaticSchedule>, SdfError> {
+        rate_optimal_schedule_with_budget(&self.graph, &self.budget)
+    }
+
+    /// Throughput-preserving channel capacities (see
+    /// [`crate::buffer::sufficient_capacities_with_budget`]), reusing the
+    /// session's cached unconstrained period as the target.
+    ///
+    /// Not memoized: the result depends on `iterations`.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::buffer::sufficient_capacities_with_budget`].
+    pub fn sufficient_capacities(&self, iterations: u64) -> Result<Vec<u64>, SdfError> {
+        let target = self.eigenvalue()?;
+        sufficient_capacities_with_target(&self.graph, iterations, &self.budget, target)
+    }
+
+    /// Locally-minimal throughput-preserving capacities (see
+    /// [`crate::buffer::minimize_capacities_with_budget`]), reusing the
+    /// session's cached unconstrained period as the target. The shrink
+    /// search fans out over scoped threads.
+    ///
+    /// Not memoized: the result depends on `iterations`.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::buffer::minimize_capacities_with_budget`].
+    pub fn minimize_capacities(&self, iterations: u64) -> Result<Vec<u64>, SdfError> {
+        let target = self.eigenvalue()?;
+        minimize_capacities_with_target(&self.graph, iterations, &self.budget, target)
+    }
+
+    /// The throughput/buffer trade-off curve (see
+    /// [`crate::buffer::throughput_buffer_tradeoff`]), reusing the session's
+    /// cached unconstrained period as the target. Candidate probes of each
+    /// step fan out over scoped threads.
+    ///
+    /// Not memoized: the result depends on `iterations`.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::buffer::throughput_buffer_tradeoff`].
+    pub fn throughput_buffer_tradeoff(
+        &self,
+        iterations: u64,
+    ) -> Result<Vec<ParetoPoint>, SdfError> {
+        let target = self.eigenvalue()?;
+        throughput_buffer_tradeoff_with_target(&self.graph, iterations, target, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottleneck::bottleneck;
+    use crate::throughput::throughput;
+
+    fn fig3() -> SdfGraph {
+        let mut b = SdfGraph::builder("fig3");
+        let l = b.actor("left", 3);
+        let r = b.actor("right", 1);
+        b.channel(l, r, 1, 2, 0).unwrap();
+        b.channel(r, l, 2, 1, 2).unwrap();
+        b.channel(l, l, 1, 1, 1).unwrap();
+        b.channel(r, r, 1, 1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn one_symbolic_iteration_feeds_every_analysis() {
+        let g = fig3();
+        let s = AnalysisSession::new(g.clone());
+        let thr = s.throughput().unwrap();
+        let bn = s.bottleneck().unwrap().unwrap();
+        let sccs = s.precedence_sccs().unwrap().to_vec();
+        let _ = s.iteration_makespan().unwrap();
+        assert_eq!(s.symbolic_iterations_computed(), 1);
+
+        // Identical to the free functions.
+        assert_eq!(thr.period(), throughput(&g).unwrap().period());
+        assert_eq!(Some(bn), bottleneck(&g).unwrap());
+        assert!(!sccs.is_empty());
+    }
+
+    #[test]
+    fn repeated_queries_do_not_recompute() {
+        let s = AnalysisSession::new(fig3());
+        let _ = s.throughput().unwrap();
+        let misses = s.computations();
+        for _ in 0..5 {
+            let _ = s.throughput().unwrap();
+            let _ = s.eigenvalue().unwrap();
+            let _ = s.symbolic().unwrap();
+        }
+        assert_eq!(s.computations(), misses);
+    }
+
+    #[test]
+    fn stamps_variant_subsumes_the_plain_one() {
+        let s = AnalysisSession::new(fig3());
+        let stamped = s.symbolic_with_stamps().unwrap();
+        assert!(stamped.firing_stamps.is_some());
+        // The plain accessor reuses the stamped result: still one run.
+        let plain = s.symbolic().unwrap();
+        assert!(plain.firing_stamps.is_some());
+        assert_eq!(s.symbolic_iterations_computed(), 1);
+    }
+
+    #[test]
+    fn budget_is_charged_cumulatively_across_phases() {
+        use sdfr_graph::budget::BudgetResource;
+        // fig3: 3 firings per iteration; schedule + symbolic charge ~6.
+        // A cap of 4 lets the schedule through but not the symbolic phase.
+        let g = fig3();
+        let s = AnalysisSession::with_budget(g, Budget::unlimited().with_max_firings(4));
+        assert!(s.sequential_schedule().is_ok());
+        assert!(s.spent() >= 3);
+        match s.throughput() {
+            Err(SdfError::Exhausted {
+                resource: BudgetResource::Firings,
+                limit: 4,
+                ..
+            }) => {}
+            other => panic!("expected cumulative exhaustion, got {other:?}"),
+        }
+        // The error is cached, not retried.
+        assert!(matches!(s.throughput(), Err(SdfError::Exhausted { .. })));
+    }
+
+    #[test]
+    fn sessions_are_shareable_across_threads() {
+        let s = AnalysisSession::new(fig3());
+        let period = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| s.throughput().unwrap().period()))
+                .collect();
+            let mut periods: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            periods.dedup();
+            assert_eq!(periods.len(), 1);
+            periods.pop().unwrap()
+        });
+        assert_eq!(period, s.eigenvalue().unwrap());
+        assert_eq!(s.symbolic_iterations_computed(), 1);
+    }
+
+    #[test]
+    fn buffer_searches_reuse_the_cached_target() {
+        let mut b = SdfGraph::builder("pipe");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 5);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(x, x, 1, 1, 1).unwrap();
+        b.channel(y, y, 1, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let s = AnalysisSession::new(g.clone());
+        assert_eq!(
+            s.minimize_capacities(16).unwrap(),
+            crate::buffer::minimize_capacities(&g, 16).unwrap()
+        );
+        assert_eq!(
+            s.throughput_buffer_tradeoff(16).unwrap(),
+            crate::buffer::throughput_buffer_tradeoff(&g, 16).unwrap()
+        );
+        // The session ran exactly one symbolic iteration of the *original*
+        // graph; all probes analyse capacity-variant copies.
+        assert_eq!(s.symbolic_iterations_computed(), 1);
+    }
+
+    #[test]
+    fn fingerprint_matches_the_graph() {
+        let g = fig3();
+        let fp = g.fingerprint();
+        let s = AnalysisSession::new(g);
+        assert_eq!(s.fingerprint(), fp);
+        assert_eq!(s.graph().fingerprint(), fp);
+    }
+}

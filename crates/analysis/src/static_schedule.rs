@@ -194,9 +194,7 @@ fn schedule_for(g: &SdfGraph, mu: Rational) -> Result<StaticSchedule, SdfError> 
         })?;
     // s = M* ⊗ 0: the least non-negative potentials satisfying all
     // constraints.
-    let starts_vec = star
-        .apply(&MpVector::zeros(n))
-        .expect("dimensions agree");
+    let starts_vec = star.apply(&MpVector::zeros(n)).expect("dimensions agree");
     let starts = starts_vec
         .iter()
         .map(|e| e.finite().expect("star of a finite seed is finite"))

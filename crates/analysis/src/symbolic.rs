@@ -10,11 +10,11 @@
 //! Because SDF execution is determinate, the resulting matrix does not
 //! depend on the particular sequential schedule.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use sdfr_graph::budget::{Budget, BudgetMeter};
 use sdfr_graph::repetition::{repetition_vector, RepetitionVector};
-use sdfr_graph::schedule::sequential_schedule_metered;
+use sdfr_graph::schedule::{sequential_schedule_metered, Schedule};
 use sdfr_graph::{ActorId, ChannelId, SdfError, SdfGraph};
 use sdfr_maxplus::{MpMatrix, MpVector};
 
@@ -45,6 +45,10 @@ pub struct SymbolicIteration {
     /// iteration, indexed `[actor][firing]`; recorded when requested via
     /// [`symbolic_iteration_with_stamps`].
     pub firing_stamps: Option<Vec<Vec<(MpVector, MpVector)>>>,
+    /// Reverse map of `tokens`, built once at construction so that
+    /// [`token_index`](Self::token_index) is O(1) — the bottleneck and
+    /// observer paths look up many tokens against large matrices.
+    token_lookup: HashMap<TokenRef, usize>,
 }
 
 impl SymbolicIteration {
@@ -53,9 +57,9 @@ impl SymbolicIteration {
         self.tokens.len()
     }
 
-    /// The global index of the token at `reference`, if it exists.
+    /// The global index of the token at `reference`, if it exists. O(1).
     pub fn token_index(&self, reference: TokenRef) -> Option<usize> {
-        self.tokens.iter().position(|t| *t == reference)
+        self.token_lookup.get(&reference).copied()
     }
 }
 
@@ -176,6 +180,36 @@ fn run(
     meter.check_size(token_total)?;
 
     let schedule = sequential_schedule_metered(g, &gamma, meter)?;
+    symbolic_iteration_scheduled(g, &gamma, &schedule, record_stamps, meter)
+}
+
+/// Symbolically executes one iteration of `g` against a precomputed
+/// repetition vector and sequential schedule, charging only the firing loop
+/// to `meter`.
+///
+/// This is the primitive behind [`symbolic_iteration`] used by
+/// [`AnalysisSession`](crate::session::AnalysisSession) to reuse its cached
+/// γ and schedule instead of recomputing them. `schedule` must be a valid
+/// single-iteration schedule of `g` for `gamma`; the stamp bookkeeping
+/// panics on token underflow otherwise.
+///
+/// # Errors
+///
+/// See [`symbolic_iteration_with_budget`].
+pub fn symbolic_iteration_scheduled(
+    g: &SdfGraph,
+    gamma: &RepetitionVector,
+    schedule: &Schedule,
+    record_stamps: bool,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<SymbolicIteration, SdfError> {
+    let token_total = g
+        .channels()
+        .try_fold(0u64, |s, (_, ch)| s.checked_add(ch.initial_tokens()))
+        .ok_or(SdfError::Overflow {
+            what: "initial token count",
+        })?;
+    meter.check_size(token_total)?;
 
     // Assign global indices to initial tokens: channels in id order, FIFO
     // position within a channel (head first).
@@ -195,10 +229,8 @@ fn run(
     // run represents. This keeps the iteration cost proportional to the
     // number of firings rather than the number of tokens moved (mp3-class
     // graphs move millions of tokens per iteration).
-    let mut queues: Vec<VecDeque<(MpVector, u64)>> = g
-        .channels()
-        .map(|_| VecDeque::new())
-        .collect();
+    let mut queues: Vec<VecDeque<(MpVector, u64)>> =
+        g.channels().map(|_| VecDeque::new()).collect();
     for (idx, t) in tokens.iter().enumerate() {
         queues[t.channel.index()].push_back((MpVector::unit(n, idx), 1));
     }
@@ -236,11 +268,18 @@ fn run(
     }
     let matrix = MpMatrix::from_row_vectors(rows).expect("rows share length N");
 
+    let token_lookup = tokens
+        .iter()
+        .enumerate()
+        .map(|(idx, t)| (*t, idx))
+        .collect();
+
     Ok(SymbolicIteration {
         matrix,
         tokens,
-        gamma,
+        gamma: gamma.clone(),
         firing_stamps: stamps,
+        token_lookup,
     })
 }
 

@@ -69,6 +69,13 @@ impl ThroughputAnalysis {
     pub fn repetition_vector(&self) -> &RepetitionVector {
         &self.gamma
     }
+
+    /// Assembles an analysis from an already-computed period and repetition
+    /// vector (used by [`AnalysisSession`](crate::session::AnalysisSession)
+    /// to answer from its cache without re-running the symbolic iteration).
+    pub(crate) fn from_parts(period: Option<Rational>, gamma: RepetitionVector) -> Self {
+        ThroughputAnalysis { period, gamma }
+    }
 }
 
 /// Computes the throughput of `g` spectrally: symbolic iteration → max-plus
@@ -98,11 +105,7 @@ impl ThroughputAnalysis {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn throughput(g: &SdfGraph) -> Result<ThroughputAnalysis, SdfError> {
-    let sym = symbolic_iteration(g)?;
-    Ok(ThroughputAnalysis {
-        period: sym.matrix.eigenvalue(),
-        gamma: sym.gamma,
-    })
+    crate::session::AnalysisSession::new(g.clone()).throughput()
 }
 
 /// [`throughput`] under a resource [`Budget`].
@@ -119,8 +122,7 @@ pub fn throughput_with_budget(
     g: &SdfGraph,
     budget: &Budget,
 ) -> Result<ThroughputAnalysis, SdfError> {
-    let mut meter = budget.meter();
-    throughput_metered(g, &mut meter)
+    crate::session::AnalysisSession::with_budget(g.clone(), budget.clone()).throughput()
 }
 
 /// [`throughput`] charging an existing [`BudgetMeter`], for composite
@@ -184,11 +186,7 @@ pub fn throughput_state_space(
             }
         }
         let sub = submatrix(&sym.matrix, &scc);
-        match recurrence::analyze(
-            &sub,
-            &sdfr_maxplus::MpVector::zeros(scc.len()),
-            max_steps,
-        ) {
+        match recurrence::analyze(&sub, &sdfr_maxplus::MpVector::zeros(scc.len()), max_steps) {
             recurrence::Behavior::Periodic(p) => {
                 period = Some(match period {
                     Some(best) if best >= p.growth => best,
@@ -292,7 +290,12 @@ mod tests {
         for g in cases {
             let spectral = throughput(&g).unwrap();
             let state_space = throughput_state_space(&g, 10_000).unwrap();
-            assert_eq!(spectral.period(), state_space.period(), "graph {}", g.name());
+            assert_eq!(
+                spectral.period(),
+                state_space.period(),
+                "graph {}",
+                g.name()
+            );
             if let Some(period) = spectral.period() {
                 let simulated = estimate_period_simulated(&g, 30, 30).unwrap();
                 assert_eq!(simulated, period, "graph {}", g.name());

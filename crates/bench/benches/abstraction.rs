@@ -16,11 +16,9 @@ fn abstraction_payoff(c: &mut Criterion) {
         let abs = auto_abstraction(&f.graph).expect("regular family");
         let small = abstract_graph(&f.graph, &abs).expect("valid abstraction");
 
-        group.bench_with_input(
-            BenchmarkId::new("analyse-original", n),
-            &f.graph,
-            |b, g| b.iter(|| throughput(black_box(g)).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("analyse-original", n), &f.graph, |b, g| {
+            b.iter(|| throughput(black_box(g)).unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("analyse-abstract", n), &small, |b, g| {
             b.iter(|| throughput(black_box(g)).unwrap())
         });

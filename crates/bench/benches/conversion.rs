@@ -15,17 +15,13 @@ fn conversions(c: &mut Criterion) {
             &case.graph,
             |b, g| b.iter(|| sdfr_core::traditional::convert(black_box(g)).unwrap()),
         );
-        group.bench_with_input(
-            BenchmarkId::new("novel", case.name),
-            &case.graph,
-            |b, g| b.iter(|| sdfr_core::novel::convert(black_box(g)).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("novel", case.name), &case.graph, |b, g| {
+            b.iter(|| sdfr_core::novel::convert(black_box(g)).unwrap())
+        });
         group.bench_with_input(
             BenchmarkId::new("novel-no-elision", case.name),
             &case.graph,
-            |b, g| {
-                b.iter(|| sdfr_core::novel::convert_without_elision(black_box(g)).unwrap())
-            },
+            |b, g| b.iter(|| sdfr_core::novel::convert_without_elision(black_box(g)).unwrap()),
         );
     }
     group.finish();

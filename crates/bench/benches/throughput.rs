@@ -24,16 +24,12 @@ fn throughput_routes(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("state-space", case.name),
             &case.graph,
-            |b, g| {
-                b.iter(|| throughput::throughput_state_space(black_box(g), 100_000).unwrap())
-            },
+            |b, g| b.iter(|| throughput::throughput_state_space(black_box(g), 100_000).unwrap()),
         );
         group.bench_with_input(
             BenchmarkId::new("simulated-20-iters", case.name),
             &case.graph,
-            |b, g| {
-                b.iter(|| throughput::estimate_period_simulated(black_box(g), 10, 10).unwrap())
-            },
+            |b, g| b.iter(|| throughput::estimate_period_simulated(black_box(g), 10, 10).unwrap()),
         );
     }
     group.finish();

@@ -5,7 +5,9 @@
 //! Usage: `cargo run --release -p sdfr-bench --bin abstraction_sweep`
 
 fn main() {
-    let ns = [5u64, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512];
+    let ns = [
+        5u64, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512,
+    ];
     let rows = sdfr_bench::abstraction_sweep(&ns);
 
     let header = [

@@ -35,7 +35,12 @@ fn main() {
         "#".repeat(len.max(1))
     };
     for r in &rows {
-        println!("{:<24} traditional {:>6} {}", r.name, r.traditional, bar(r.traditional));
+        println!(
+            "{:<24} traditional {:>6} {}",
+            r.name,
+            r.traditional,
+            bar(r.traditional)
+        );
         println!("{:<24} new         {:>6} {}", "", r.new, bar(r.new));
         println!();
     }

@@ -21,7 +21,11 @@ fn main() {
     println!("conservative bound     : {}", r.bound);
     println!(
         "abstraction exact      : {}",
-        if r.exact_match { "yes (paper's claim)" } else { "NO" }
+        if r.exact_match {
+            "yes (paper's claim)"
+        } else {
+            "NO"
+        }
     );
     println!(
         "Prop. 1 premise check  : {}",

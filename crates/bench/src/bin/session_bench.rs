@@ -1,0 +1,181 @@
+//! Measures what [`sdfr_analysis::AnalysisSession`] buys on the Table-1
+//! benchmark suite:
+//!
+//! - **cold vs. warm analyze**: a cold run constructs a session and asks
+//!   for the full `sdfr analyze` artifact set (throughput, bottleneck,
+//!   makespan, SCCs); a warm run repeats the queries on the same session
+//!   and must be served entirely from the cache;
+//! - **serial vs. parallel Pareto**: the throughput/buffer trade-off sweep
+//!   with candidate probes evaluated sequentially vs. fanned out over
+//!   scoped threads (byte-identical curves, checked here on every case).
+//!
+//! Usage: `cargo run --release -p sdfr-bench --bin session_bench`
+//!
+//! Writes `BENCH_session.json` into the current directory (run from the
+//! repository root) and prints a human-readable table.
+//!
+//! The Pareto sweep simulates one capacity-variant graph per probe, so it
+//! is restricted to the cases whose repetition-vector sum keeps a probe
+//! cheap; skipped cases are reported as `null`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use sdfr_analysis::buffer::{throughput_buffer_tradeoff, throughput_buffer_tradeoff_serial};
+use sdfr_analysis::AnalysisSession;
+use sdfr_graph::repetition::repetition_vector;
+use sdfr_graph::SdfGraph;
+
+/// Repetition-sum ceiling above which the Pareto sweep is skipped (each
+/// probe simulates `iterations` full iterations of the variant graph).
+const PARETO_GAMMA_LIMIT: u64 = 700;
+/// Simulation horizon for capacity probes.
+const PARETO_ITERATIONS: u64 = 4;
+/// Timing repetitions; the minimum is reported.
+const REPS: u32 = 5;
+
+struct Row {
+    name: String,
+    cold: Duration,
+    warm: Duration,
+    speedup: f64,
+    pareto_serial: Option<Duration>,
+    pareto_parallel: Option<Duration>,
+}
+
+/// One full `analyze`-equivalent artifact set on a fresh session.
+fn analyze_cold(g: &SdfGraph) -> Duration {
+    let t0 = Instant::now();
+    let s = AnalysisSession::new(g.clone());
+    let _ = s.throughput().expect("benchmark cases are analysable");
+    let _ = s.bottleneck().expect("benchmark cases are analysable");
+    let _ = s.precedence_sccs().expect("benchmark cases are analysable");
+    let _ = s
+        .iteration_makespan()
+        .expect("benchmark cases are analysable");
+    t0.elapsed()
+}
+
+/// The same artifact set, re-queried on an already-warm session.
+fn analyze_warm(s: &AnalysisSession) -> Duration {
+    let t0 = Instant::now();
+    let _ = s.throughput().expect("cached");
+    let _ = s.bottleneck().expect("cached");
+    let _ = s.precedence_sccs().expect("cached");
+    let _ = s.iteration_makespan().expect("cached");
+    t0.elapsed()
+}
+
+fn min_of<T>(reps: u32, mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
+    let (mut best, mut value) = f();
+    for _ in 1..reps {
+        let (d, v) = f();
+        if d < best {
+            best = d;
+            value = v;
+        }
+    }
+    (best, value)
+}
+
+fn json_duration(d: Option<Duration>) -> String {
+    d.map_or("null".to_string(), |d| {
+        format!("{:.1}", d.as_secs_f64() * 1e6)
+    })
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for case in sdfr_benchmarks::table1::all() {
+        let g = &case.graph;
+        let (cold, ()) = min_of(REPS, || (analyze_cold(g), ()));
+        let warm_session = AnalysisSession::new(g.clone());
+        let _ = warm_session.throughput().expect("analysable");
+        let _ = warm_session.bottleneck().expect("analysable");
+        let _ = warm_session.precedence_sccs().expect("analysable");
+        let _ = warm_session.iteration_makespan().expect("analysable");
+        let (warm, ()) = min_of(REPS, || (analyze_warm(&warm_session), ()));
+
+        let gamma_sum = repetition_vector(g)
+            .expect("benchmark cases are consistent")
+            .iteration_length();
+        let (pareto_serial, pareto_parallel) = if gamma_sum <= PARETO_GAMMA_LIMIT {
+            let (serial, serial_curve) = min_of(1, || {
+                let t0 = Instant::now();
+                let c = throughput_buffer_tradeoff_serial(g, PARETO_ITERATIONS)
+                    .expect("benchmark cases admit a sweep");
+                (t0.elapsed(), c)
+            });
+            let (parallel, parallel_curve) = min_of(1, || {
+                let t0 = Instant::now();
+                let c = throughput_buffer_tradeoff(g, PARETO_ITERATIONS)
+                    .expect("benchmark cases admit a sweep");
+                (t0.elapsed(), c)
+            });
+            assert_eq!(
+                serial_curve, parallel_curve,
+                "{}: parallel sweep must be byte-identical to serial",
+                case.name
+            );
+            (Some(serial), Some(parallel))
+        } else {
+            (None, None)
+        };
+
+        rows.push(Row {
+            name: case.name.to_string(),
+            cold,
+            warm,
+            speedup: cold.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+            pareto_serial,
+            pareto_parallel,
+        });
+    }
+
+    // Human-readable report.
+    println!("AnalysisSession benchmark (times in µs, min of {REPS} reps)\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>9} {:>13} {:>15}",
+        "case", "cold", "warm", "speedup", "pareto serial", "pareto parallel"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>10.1} {:>10.1} {:>8.0}x {:>13} {:>15}",
+            r.name,
+            r.cold.as_secs_f64() * 1e6,
+            r.warm.as_secs_f64() * 1e6,
+            r.speedup,
+            r.pareto_serial
+                .map_or("-".to_string(), |d| format!("{:.0}", d.as_secs_f64() * 1e6)),
+            r.pareto_parallel
+                .map_or("-".to_string(), |d| format!("{:.0}", d.as_secs_f64() * 1e6)),
+        );
+    }
+
+    // Machine-readable record (times in microseconds).
+    let mut json =
+        String::from("{\n  \"benchmark\": \"session\",\n  \"unit\": \"us\",\n  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"cold_analyze\": {:.1}, \"warm_analyze\": {:.1}, \
+             \"warm_speedup\": {:.1}, \"pareto_serial\": {}, \"pareto_parallel\": {}}}",
+            r.name,
+            r.cold.as_secs_f64() * 1e6,
+            r.warm.as_secs_f64() * 1e6,
+            r.speedup,
+            json_duration(r.pareto_serial),
+            json_duration(r.pareto_parallel),
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_session.json", &json).expect("write BENCH_session.json");
+    println!("\nwrote BENCH_session.json");
+
+    let min_speedup = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    if min_speedup < 2.0 {
+        eprintln!("WARNING: warm speedup below 2x ({min_speedup:.1}x)");
+        std::process::exit(1);
+    }
+}

@@ -62,26 +62,23 @@ pub fn random_live_sdf<R: Rng>(rng: &mut R, cfg: &RandomSdfConfig) -> SdfGraph {
         .map(|i| b.actor(format!("r{i}"), rng.gen_range(0..=cfg.max_time)))
         .collect();
 
-    let add_edge = |b: &mut sdfr_graph::SdfGraphBuilder,
-                        rng: &mut R,
-                        u: usize,
-                        v: usize,
-                        live: bool| {
-        let g = gcd(gamma[u], gamma[v]);
-        let m = rng.gen_range(1..=cfg.max_rate_multiplier);
-        let (p, c) = (gamma[v] / g * m, gamma[u] / g * m);
-        let d = if live {
-            c * gamma[v] // a full iteration of buffering: never blocks
-        } else {
-            // Forward edges may carry a little extra pipelining.
-            if rng.gen_bool(0.3) {
-                rng.gen_range(0..=2) * c
+    let add_edge =
+        |b: &mut sdfr_graph::SdfGraphBuilder, rng: &mut R, u: usize, v: usize, live: bool| {
+            let g = gcd(gamma[u], gamma[v]);
+            let m = rng.gen_range(1..=cfg.max_rate_multiplier);
+            let (p, c) = (gamma[v] / g * m, gamma[u] / g * m);
+            let d = if live {
+                c * gamma[v] // a full iteration of buffering: never blocks
             } else {
-                0
-            }
+                // Forward edges may carry a little extra pipelining.
+                if rng.gen_bool(0.3) {
+                    rng.gen_range(0..=2) * c
+                } else {
+                    0
+                }
+            };
+            b.channel(ids[u], ids[v], p, c, d).expect("valid endpoints");
         };
-        b.channel(ids[u], ids[v], p, c, d).expect("valid endpoints");
-    };
 
     // Spanning chain (guarantees weak connectivity).
     for i in 0..n - 1 {
@@ -210,11 +207,7 @@ pub fn random_live_csdf<R: Rng>(rng: &mut R, cfg: &RandomSdfConfig) -> sdfr_csdf
         out
     }
 
-    let add_edge = |b: &mut sdfr_csdf::CsdfBuilder,
-                        rng: &mut R,
-                        u: usize,
-                        v: usize,
-                        live: bool| {
+    let add_edge = |b: &mut sdfr_csdf::CsdfBuilder, rng: &mut R, u: usize, v: usize, live: bool| {
         let g = gcd(gamma[u], gamma[v]);
         // Per-cycle totals balancing γ(u)·P = γ(v)·C, kept at least 1.
         let (p_total, c_total) = (gamma[v] / g, gamma[u] / g);

@@ -187,8 +187,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "n >= 5")]
-    fn figure1_small_n_rejected()
-    {
+    fn figure1_small_n_rejected() {
         let _ = Figure1::new(4);
     }
 

@@ -148,7 +148,7 @@ pub fn h263_encoder() -> SdfGraph {
 /// (`N = 13` → about `N(N+2)` actors), while Σγ is only 48.
 pub fn modem() -> SdfGraph {
     let mut b = SdfGraph::builder("modem");
-    let hub = b.actor("hub", 16, );
+    let hub = b.actor("hub", 16);
     let spokes: Vec<_> = (0..13)
         .map(|i| b.actor(format!("flt{i}"), 2 + (i % 5)))
         .collect();

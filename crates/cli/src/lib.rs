@@ -26,18 +26,15 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use sdfr_analysis::bottleneck::bottleneck;
-use sdfr_analysis::buffer::{
-    minimize_capacities_with_budget, self_timed_buffer_bounds_with_budget,
-    throughput_buffer_tradeoff,
-};
-use sdfr_analysis::latency::{iteration_makespan, periodic_source_latency};
+use sdfr_analysis::buffer::self_timed_buffer_bounds_with_budget;
+use sdfr_analysis::latency::periodic_source_latency;
 use sdfr_analysis::static_schedule::rate_optimal_schedule_with_budget;
-use sdfr_analysis::throughput::{throughput, throughput_with_budget};
+use sdfr_analysis::throughput::throughput;
+use sdfr_analysis::AnalysisSession;
 use sdfr_core::auto::auto_abstraction;
 use sdfr_core::conservativity::{conservative_period_bound, verify_abstraction};
 use sdfr_core::degrade::conservative_period_fallback;
-use sdfr_core::recommend::{predict_sizes, ConversionChoice};
+use sdfr_core::recommend::{predict_sizes_with_session, ConversionChoice};
 use sdfr_core::{abstract_graph, novel, traditional};
 use sdfr_graph::budget::Budget;
 use sdfr_graph::execution::{simulate, SimulationOptions};
@@ -235,7 +232,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return Ok(USAGE.to_string());
     }
     let Some(path) = args.get(1) else {
-        return Err(CliError::usage(format!("{command}: missing <file>\n\n{USAGE}")));
+        return Err(CliError::usage(format!(
+            "{command}: missing <file>\n\n{USAGE}"
+        )));
     };
     let opts = &args[2..];
     let budget = budget_from_opts(opts)?;
@@ -285,7 +284,11 @@ fn budget_from_opts(opts: &[String]) -> Result<Budget, CliError> {
 /// Parses a human-friendly duration: `500ms`, `1s`, `2m`, `1h`, or a bare
 /// number of seconds.
 fn parse_duration(raw: &str) -> Result<Duration, CliError> {
-    let err = || CliError::usage(format!("--deadline: '{raw}' is not a duration (try 1s, 500ms, 2m)"));
+    let err = || {
+        CliError::usage(format!(
+            "--deadline: '{raw}' is not a duration (try 1s, 500ms, 2m)"
+        ))
+    };
     let (digits, scale_ms) = if let Some(d) = raw.strip_suffix("ms") {
         (d, 1u64)
     } else if let Some(d) = raw.strip_suffix('s') {
@@ -322,7 +325,16 @@ fn cmd_info(g: &SdfGraph, out: &mut String) -> Result<(), CliError> {
 }
 
 fn cmd_analyze(g: &SdfGraph, budget: &Budget, out: &mut String) -> Result<(), CliError> {
-    let thr = match throughput_with_budget(g, budget) {
+    let session = AnalysisSession::with_budget(g.clone(), budget.clone());
+    cmd_analyze_session(&session, out)
+}
+
+/// The body of `sdfr analyze` over an [`AnalysisSession`]: the throughput,
+/// bottleneck and SCC reports all read the session's single cached symbolic
+/// iteration (the tests assert exactly one is executed).
+fn cmd_analyze_session(session: &AnalysisSession, out: &mut String) -> Result<(), CliError> {
+    let g = session.graph();
+    let thr = match session.throughput() {
         Ok(thr) => thr,
         Err(e @ SdfError::Exhausted { .. }) => {
             // Graceful degradation: the exact analysis was cut short, so
@@ -361,8 +373,12 @@ fn cmd_analyze(g: &SdfGraph, budget: &Budget, out: &mut String) -> Result<(), Cl
             let _ = writeln!(out, "iteration period: none (unbounded throughput)");
         }
     }
-    let _ = writeln!(out, "first-iteration makespan: {}", iteration_makespan(g)?);
-    if let Some(b) = bottleneck(g)? {
+    let _ = writeln!(
+        out,
+        "first-iteration makespan: {}",
+        session.iteration_makespan()?
+    );
+    if let Some(b) = session.bottleneck()? {
         let names: Vec<&str> = b.actors.iter().map(|&a| g.actor(a).name()).collect();
         let _ = writeln!(out, "bottleneck actors: {}", names.join(", "));
         let _ = writeln!(out, "critical tokens: {}", b.tokens.len());
@@ -376,7 +392,8 @@ fn cmd_convert(
     opts: &[String],
     out: &mut String,
 ) -> Result<(), CliError> {
-    let p = predict_sizes(g)?;
+    let session = AnalysisSession::with_budget(g.clone(), budget.clone());
+    let p = predict_sizes_with_session(&session)?;
     let _ = writeln!(
         out,
         "prediction: traditional = {} actors, novel <= {} actors (N = {})",
@@ -391,12 +408,12 @@ fn cmd_convert(
     };
     let converted = match mode {
         ConversionChoice::Traditional => {
-            let c = traditional::convert_with_budget(g, budget)?;
+            let c = traditional::convert_with_session(&session)?;
             let _ = writeln!(out, "traditional conversion selected");
             c.graph
         }
         ConversionChoice::Novel => {
-            let c = novel::convert_with_budget(g, budget)?;
+            let c = novel::convert_with_session(&session)?;
             let _ = writeln!(out, "novel conversion selected");
             c.graph
         }
@@ -489,8 +506,12 @@ fn cmd_buffers(
 ) -> Result<(), CliError> {
     let iterations = flag_value(opts, "--iterations")?.unwrap_or(16);
     let peaks = self_timed_buffer_bounds_with_budget(g, iterations, budget)?;
-    let minimal = minimize_capacities_with_budget(g, iterations, budget)?;
-    let _ = writeln!(out, "channel                      self-timed peak  minimal capacity");
+    let session = AnalysisSession::with_budget(g.clone(), budget.clone());
+    let minimal = session.minimize_capacities(iterations)?;
+    let _ = writeln!(
+        out,
+        "channel                      self-timed peak  minimal capacity"
+    );
     for (cid, c) in g.channels() {
         let label = format!(
             "{} -> {}",
@@ -533,20 +554,12 @@ fn cmd_latency(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), Cl
 fn cmd_schedule(g: &SdfGraph, budget: &Budget, out: &mut String) -> Result<(), CliError> {
     match rate_optimal_schedule_with_budget(g, budget)? {
         None => {
-            let _ = writeln!(
-                out,
-                "no recurrent constraint: any period admits a schedule"
-            );
+            let _ = writeln!(out, "no recurrent constraint: any period admits a schedule");
         }
         Some(s) => {
             let _ = writeln!(out, "rate-optimal period: {}", s.period());
             for (a, actor) in g.actors() {
-                let _ = writeln!(
-                    out,
-                    "  start({}) = {}",
-                    actor.name(),
-                    s.start_time(a, 0)
-                );
+                let _ = writeln!(out, "  start({}) = {}", actor.name(), s.start_time(a, 0));
             }
             debug_assert!(s.is_admissible(g));
         }
@@ -556,7 +569,7 @@ fn cmd_schedule(g: &SdfGraph, budget: &Budget, out: &mut String) -> Result<(), C
 
 fn cmd_pareto(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), CliError> {
     let iterations = flag_value(opts, "--iterations")?.unwrap_or(16);
-    let curve = throughput_buffer_tradeoff(g, iterations)?;
+    let curve = AnalysisSession::new(g.clone()).throughput_buffer_tradeoff(iterations)?;
     let _ = writeln!(out, "total capacity  period");
     for point in curve {
         let _ = writeln!(
@@ -583,19 +596,22 @@ fn cmd_csdf(path: &str, opts: &[String]) -> Result<String, CliError> {
     };
     let mut out = String::new();
     let _ = write!(out, "{g}");
-    let rep = sdfr_csdf::repetition_vector(&g)?;
+    // One symbolic iteration feeds the repetition report, the throughput
+    // and the HSDF reduction alike.
+    let sym = sdfr_csdf::symbolic_iteration(&g)?;
     let _ = writeln!(
         out,
         "phase firings per iteration: {}",
-        rep.iteration_length(&g)
+        sym.repetition.iteration_length(&g)
     );
-    let thr = sdfr_csdf::throughput(&g)?;
+    let thr = sdfr_csdf::throughput_from_symbolic(&sym);
     let _ = writeln!(
         out,
         "iteration period: {}",
-        thr.period.map_or("none (unbounded)".to_string(), |p| p.to_string())
+        thr.period
+            .map_or("none (unbounded)".to_string(), |p| p.to_string())
     );
-    let hsdf = sdfr_csdf::to_hsdf(&g)?;
+    let hsdf = sdfr_csdf::hsdf_from_symbolic(&sym, g.name());
     let _ = writeln!(
         out,
         "compact HSDF: {} actors, {} channels, {} tokens",
@@ -608,11 +624,7 @@ fn cmd_csdf(path: &str, opts: &[String]) -> Result<String, CliError> {
 }
 
 /// Resolves `--flag <actor-name>` against the graph.
-fn named_actor(
-    g: &SdfGraph,
-    opts: &[String],
-    flag: &str,
-) -> Result<sdfr_graph::ActorId, CliError> {
+fn named_actor(g: &SdfGraph, opts: &[String], flag: &str) -> Result<sdfr_graph::ActorId, CliError> {
     let Some(pos) = opts.iter().position(|o| o == flag) else {
         return Err(CliError::usage(format!("latency requires {flag} <actor>")));
     };
@@ -705,6 +717,19 @@ mod tests {
     }
 
     #[test]
+    fn analyze_runs_exactly_one_symbolic_iteration() {
+        // The whole analyze report — period, per-actor throughput, makespan,
+        // bottleneck — must come out of a single symbolic iteration.
+        let g = sdfr_io::text::from_text(sample_text()).unwrap();
+        let session = AnalysisSession::new(g);
+        let mut out = String::new();
+        cmd_analyze_session(&session, &mut out).unwrap();
+        assert!(out.contains("iteration period: 5"), "{out}");
+        assert!(out.contains("bottleneck actors: a, b"), "{out}");
+        assert_eq!(session.symbolic_iterations_computed(), 1);
+    }
+
+    #[test]
     fn convert_auto_and_forced() {
         // The tiny sample has Σγ = 2 < N(N+2) = 3: auto picks traditional.
         let f = write_temp(sample_text(), "sdf");
@@ -728,12 +753,7 @@ mod tests {
     fn convert_writes_xml_output() {
         let f = write_temp(sample_text(), "sdf");
         let outfile = f.with_extension("out.xml");
-        let out = run_on(
-            "convert",
-            &f,
-            &["--novel", "-o", outfile.to_str().unwrap()],
-        )
-        .unwrap();
+        let out = run_on("convert", &f, &["--novel", "-o", outfile.to_str().unwrap()]).unwrap();
         assert!(out.contains("wrote"));
         let written = std::fs::read_to_string(&outfile).unwrap();
         assert!(written.contains("<sdf3"));
@@ -798,7 +818,10 @@ mod tests {
         let out = run_on("pareto", &f, &[]).unwrap();
         assert!(out.contains("total capacity  period"));
         assert!(out.lines().count() >= 3);
-        assert!(out.trim_end().ends_with('5'), "curve ends at the target: {out}");
+        assert!(
+            out.trim_end().ends_with('5'),
+            "curve ends at the target: {out}"
+        );
     }
 
     #[test]
@@ -853,7 +876,12 @@ mod tests {
             "sdf",
         );
         let t0 = std::time::Instant::now();
-        let out = run_on("analyze", &f, &["--deadline", "1s", "--max-firings", "100000"]).unwrap();
+        let out = run_on(
+            "analyze",
+            &f,
+            &["--deadline", "1s", "--max-firings", "100000"],
+        )
+        .unwrap();
         assert!(t0.elapsed() < std::time::Duration::from_secs(1), "{out}");
         assert!(out.contains("budget exhausted"), "{out}");
         assert!(
@@ -875,12 +903,7 @@ mod tests {
             "sdf",
         );
         let t0 = std::time::Instant::now();
-        let err = run_on(
-            "convert",
-            &f,
-            &["--traditional", "--max-size", "1000000"],
-        )
-        .unwrap_err();
+        let err = run_on("convert", &f, &["--traditional", "--max-size", "1000000"]).unwrap_err();
         assert!(t0.elapsed() < std::time::Duration::from_secs(1));
         assert_eq!(err.kind, CliErrorKind::Exhausted);
         assert_eq!(err.exit_code(), EXIT_EXHAUSTED);
@@ -938,10 +961,7 @@ mod tests {
 
     #[test]
     fn info_on_inconsistent_graph() {
-        let f = write_temp(
-            "graph bad\nactor a 1\nchannel a a 1 2 1\n",
-            "sdf",
-        );
+        let f = write_temp("graph bad\nactor a 1\nchannel a a 1 2 1\n", "sdf");
         let out = run_on("info", &f, &[]).unwrap();
         assert!(out.contains("consistent: no"));
     }

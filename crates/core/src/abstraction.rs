@@ -168,8 +168,7 @@ impl AbstractionBuilder<'_> {
 
         // Token-free edges must respect the index order.
         for (_, ch) in g.channels() {
-            if ch.initial_tokens() == 0 && index[ch.source().index()] > index[ch.target().index()]
-            {
+            if ch.initial_tokens() == 0 && index[ch.source().index()] > index[ch.target().index()] {
                 return Err(CoreError::IndexOrderViolated {
                     source: ch.source(),
                     target: ch.target(),

@@ -192,10 +192,28 @@ fn serialization_bound(g: &SdfGraph) -> Result<Rational, CoreError> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn analyze_with_budget(g: &SdfGraph, budget: &Budget) -> Result<AnalysisOutcome, CoreError> {
-    match sdfr_analysis::throughput::throughput_with_budget(g, budget) {
+    analyze_with_session(&sdfr_analysis::AnalysisSession::with_budget(
+        g.clone(),
+        budget.clone(),
+    ))
+}
+
+/// [`analyze_with_budget`] on an [`AnalysisSession`](sdfr_analysis::AnalysisSession):
+/// the exact analysis reuses (or populates) the session's cached symbolic
+/// iteration under the session budget, and degradation works as in
+/// [`analyze_with_budget`]. The fallback bound is iteration-free, so it
+/// remains available even when the session budget is already exhausted.
+///
+/// # Errors
+///
+/// See [`analyze_with_budget`].
+pub fn analyze_with_session(
+    session: &sdfr_analysis::AnalysisSession,
+) -> Result<AnalysisOutcome, CoreError> {
+    match session.throughput() {
         Ok(t) => Ok(AnalysisOutcome::Exact(t.period())),
         Err(exhausted @ SdfError::Exhausted { .. }) => {
-            let bound = conservative_period_fallback(g)?;
+            let bound = conservative_period_fallback(session.graph())?;
             Ok(AnalysisOutcome::Degraded { exhausted, bound })
         }
         Err(e) => Err(CoreError::Graph(e)),
@@ -326,8 +344,7 @@ mod tests {
         let x = b.actor("x", 1);
         b.channel(x, x, 1, 1, 1).unwrap();
         let g = b.build().unwrap();
-        let outcome =
-            analyze_with_budget(&g, &Budget::unlimited().with_cancel_flag(flag)).unwrap();
+        let outcome = analyze_with_budget(&g, &Budget::unlimited().with_cancel_flag(flag)).unwrap();
         assert!(outcome.is_exact());
     }
 }

@@ -76,9 +76,7 @@ pub fn validate_conversions(
     let c1 = compare_periods(g, &trad.graph)?;
     let c2 = compare_periods(g, &novel.graph)?;
     match (c1, c2) {
-        (PeriodComparison::Equal(p1), PeriodComparison::Equal(p2)) if p1 == p2 => {
-            Ok(Ok(p1))
-        }
+        (PeriodComparison::Equal(p1), PeriodComparison::Equal(p2)) if p1 == p2 => Ok(Ok(p1)),
         (PeriodComparison::Equal(_), d @ PeriodComparison::Different { .. }) => Ok(Err(d)),
         (d, _) => Ok(Err(d)),
     }

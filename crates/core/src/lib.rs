@@ -57,7 +57,10 @@ pub mod traditional;
 pub mod unfold;
 
 pub use abstraction::{abstract_graph, Abstraction, AbstractionBuilder};
-pub use degrade::{analyze_with_budget, AnalysisOutcome, ConservativeBound, FallbackMethod};
+pub use degrade::{
+    analyze_with_budget, analyze_with_session, AnalysisOutcome, ConservativeBound, FallbackMethod,
+};
 pub use error::CoreError;
 pub use novel::NovelConversion;
+pub use sdfr_analysis::AnalysisSession;
 pub use traditional::TraditionalConversion;

@@ -22,12 +22,9 @@
 //! (e.g. an output actor) can be re-attached with
 //! [`convert_with_observers`].
 
-use sdfr_analysis::symbolic::{
-    symbolic_iteration, symbolic_iteration_metered, symbolic_iteration_with_stamps,
-    SymbolicIteration,
-};
+use sdfr_analysis::symbolic::{symbolic_iteration, symbolic_iteration_metered, SymbolicIteration};
+use sdfr_analysis::AnalysisSession;
 use sdfr_graph::budget::{Budget, BudgetMeter};
-use sdfr_graph::repetition::repetition_vector;
 use sdfr_graph::{ActorId, SdfError, SdfGraph};
 use sdfr_maxplus::{Mp, MpMatrix};
 
@@ -104,8 +101,19 @@ impl NovelConversion {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn convert(g: &SdfGraph) -> Result<NovelConversion, SdfError> {
-    let sym = symbolic_iteration(g)?;
-    Ok(build(g, sym, &[], true))
+    convert_with_session(&AnalysisSession::new(g.clone()))
+}
+
+/// [`convert`] on an [`AnalysisSession`], reusing its cached symbolic
+/// iteration (and caching it for later analyses if absent) instead of
+/// re-executing the graph. Any budget attached to the session applies.
+///
+/// # Errors
+///
+/// See [`convert`] and the session's budget semantics.
+pub fn convert_with_session(session: &AnalysisSession) -> Result<NovelConversion, SdfError> {
+    let sym = session.symbolic()?.clone();
+    Ok(build(session.graph(), sym, &[], true))
 }
 
 /// [`convert`] under a resource [`Budget`].
@@ -167,7 +175,21 @@ pub fn convert_with_observers(
     g: &SdfGraph,
     observers: &[(ActorId, u64)],
 ) -> Result<NovelConversion, SdfError> {
-    let gamma = repetition_vector(g)?;
+    convert_with_observers_session(&AnalysisSession::new(g.clone()), observers)
+}
+
+/// [`convert_with_observers`] on an [`AnalysisSession`], reusing (or
+/// caching) its stamp-recording symbolic iteration.
+///
+/// # Errors
+///
+/// See [`convert_with_observers`].
+pub fn convert_with_observers_session(
+    session: &AnalysisSession,
+    observers: &[(ActorId, u64)],
+) -> Result<NovelConversion, SdfError> {
+    let g = session.graph();
+    let gamma = session.repetition_vector()?;
     for &(actor, firing) in observers {
         if actor.index() >= g.num_actors() {
             return Err(SdfError::UnknownActor {
@@ -184,7 +206,7 @@ pub fn convert_with_observers(
             });
         }
     }
-    let sym = symbolic_iteration_with_stamps(g)?;
+    let sym = session.symbolic_with_stamps()?.clone();
     Ok(build(g, sym, observers, true))
 }
 
@@ -243,9 +265,7 @@ fn build(
     // their next value has no dependency, modelled by a free-running
     // zero-time source.
     let sources: Vec<Option<ActorId>> = (0..n)
-        .map(|k| {
-            (producers[k] == 0 && consumers[k] > 0).then(|| b.actor(format!("s{k}"), 0))
-        })
+        .map(|k| (producers[k] == 0 && consumers[k] > 0).then(|| b.actor(format!("s{k}"), 0)))
         .collect();
 
     // Wiring: d_j → m_{j,k} → u_k, with elision of single-purpose (de)muxes.
@@ -314,7 +334,10 @@ fn build(
                 let feeder = if t == 0 {
                     None
                 } else {
-                    Some(b.actor(format!("obs_{}_{}_in{}", g.actor(actor).name(), firing, j), t))
+                    Some(b.actor(
+                        format!("obs_{}_{}_in{}", g.actor(actor).name(), firing, j),
+                        t,
+                    ))
                 };
                 let d = demux[j].expect("observer consumers force a demux");
                 match feeder {
@@ -451,19 +474,13 @@ mod tests {
         b.channel(t, t, 1, 1, 1).unwrap(); // token 1: serializes t
         let g = b.build().unwrap();
         let conv = convert(&g).unwrap();
-        assert!(conv
-            .graph
-            .actors()
-            .any(|(_, a)| a.name() == "s0"));
+        assert!(conv.graph.actors().any(|(_, a)| a.name() == "s0"));
         // The only recurrent constraint is t's self-loop: period T(t) = 1.
         assert_eq!(
             hsdf_period(&conv.graph).unwrap().finite(),
             throughput(&g).unwrap().period()
         );
-        assert_eq!(
-            throughput(&g).unwrap().period(),
-            Some(Rational::new(1, 1))
-        );
+        assert_eq!(throughput(&g).unwrap().period(), Some(Rational::new(1, 1)));
     }
 
     #[test]
@@ -574,7 +591,10 @@ mod tests {
         ));
         let ample = Budget::unlimited().with_max_firings(100).with_max_size(6);
         let conv = convert_with_budget(&g, &ample).unwrap();
-        assert_eq!(conv.graph.num_actors(), convert(&g).unwrap().graph.num_actors());
+        assert_eq!(
+            conv.graph.num_actors(),
+            convert(&g).unwrap().graph.num_actors()
+        );
     }
 
     #[test]
@@ -747,9 +767,6 @@ mod matrix_entry_tests {
         ])
         .unwrap();
         let g = hsdf_from_matrix(&m, "m");
-        assert_eq!(
-            hsdf_period(&g).unwrap().finite(),
-            Some(Rational::new(7, 3))
-        );
+        assert_eq!(hsdf_period(&g).unwrap().finite(), Some(Rational::new(7, 3)));
     }
 }

@@ -7,6 +7,7 @@
 //! conversion has exactly `Σγ` actors, and the novel conversion at most
 //! `N(N+2)`, both computable without running either conversion.
 
+use sdfr_analysis::AnalysisSession;
 use sdfr_graph::repetition::repetition_vector;
 use sdfr_graph::{SdfError, SdfGraph};
 
@@ -81,6 +82,22 @@ pub fn predict_sizes(g: &SdfGraph) -> Result<SizePrediction, SdfError> {
     })
 }
 
+/// [`predict_sizes`] on an [`AnalysisSession`], reusing its cached
+/// repetition vector.
+///
+/// # Errors
+///
+/// See [`predict_sizes`].
+pub fn predict_sizes_with_session(session: &AnalysisSession) -> Result<SizePrediction, SdfError> {
+    let gamma = session.repetition_vector()?;
+    let tokens = session.graph().total_initial_tokens();
+    Ok(SizePrediction {
+        traditional_actors: gamma.iteration_length(),
+        novel_actor_bound: tokens * (tokens + 2),
+        tokens,
+    })
+}
+
 /// Runs the conversion recommended by [`predict_sizes`] and returns the
 /// choice together with the resulting HSDF graph.
 ///
@@ -89,10 +106,23 @@ pub fn predict_sizes(g: &SdfGraph) -> Result<SizePrediction, SdfError> {
 /// Propagates conversion errors ([`SdfError::Inconsistent`],
 /// [`SdfError::Deadlock`]).
 pub fn best_conversion(g: &SdfGraph) -> Result<(ConversionChoice, SdfGraph), SdfError> {
-    let choice = predict_sizes(g)?.choice();
+    best_conversion_with_session(&AnalysisSession::new(g.clone()))
+}
+
+/// [`best_conversion`] on an [`AnalysisSession`]: the prediction reuses the
+/// session's repetition vector, and a novel conversion reuses its symbolic
+/// iteration.
+///
+/// # Errors
+///
+/// See [`best_conversion`].
+pub fn best_conversion_with_session(
+    session: &AnalysisSession,
+) -> Result<(ConversionChoice, SdfGraph), SdfError> {
+    let choice = predict_sizes_with_session(session)?.choice();
     let graph = match choice {
-        ConversionChoice::Traditional => crate::traditional::convert(g)?.graph,
-        ConversionChoice::Novel => crate::novel::convert(g)?.graph,
+        ConversionChoice::Traditional => crate::traditional::convert_with_session(session)?.graph,
+        ConversionChoice::Novel => crate::novel::convert_with_session(session)?.graph,
     };
     Ok((choice, graph))
 }

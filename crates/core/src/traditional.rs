@@ -13,8 +13,9 @@
 
 use std::collections::HashMap;
 
+use sdfr_analysis::AnalysisSession;
 use sdfr_graph::budget::{Budget, BudgetMeter};
-use sdfr_graph::repetition::repetition_vector;
+use sdfr_graph::repetition::{repetition_vector, RepetitionVector};
 use sdfr_graph::{ActorId, SdfError, SdfGraph};
 
 /// The result of the classical conversion.
@@ -103,6 +104,27 @@ pub fn convert_metered(
     meter: &mut BudgetMeter<'_>,
 ) -> Result<TraditionalConversion, SdfError> {
     let gamma = repetition_vector(g)?;
+    convert_with_gamma(g, &gamma, meter)
+}
+
+/// [`convert`] on an [`AnalysisSession`]: reuses the session's cached
+/// repetition vector and charges the expansion to the session budget.
+///
+/// # Errors
+///
+/// See [`convert_with_budget`].
+pub fn convert_with_session(session: &AnalysisSession) -> Result<TraditionalConversion, SdfError> {
+    let gamma = session.repetition_vector()?;
+    session.with_meter(|m| convert_with_gamma(session.graph(), gamma, m))
+}
+
+/// [`convert_metered`] with a precomputed repetition vector, the shared
+/// backend of the free-function and session entry points.
+fn convert_with_gamma(
+    g: &SdfGraph,
+    gamma: &RepetitionVector,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<TraditionalConversion, SdfError> {
     let total = g
         .actor_ids()
         .try_fold(0u64, |s, a| s.checked_add(gamma.get(a)))

@@ -83,10 +83,7 @@ pub struct CsdfSchedule {
 ///
 /// - [`SdfError::Inconsistent`] without a repetition vector,
 /// - [`SdfError::Deadlock`] if the iteration cannot complete.
-pub fn sequential_schedule(
-    g: &CsdfGraph,
-    rep: &CsdfRepetition,
-) -> Result<CsdfSchedule, SdfError> {
+pub fn sequential_schedule(g: &CsdfGraph, rep: &CsdfRepetition) -> Result<CsdfSchedule, SdfError> {
     let n = g.num_actors();
     let mut tokens: Vec<u64> = g.channels().map(|(_, c)| c.initial_tokens()).collect();
     let mut phase = vec![0usize; n];
@@ -122,9 +119,9 @@ pub fn sequential_schedule(
 }
 
 fn phase_enabled(g: &CsdfGraph, a: CsdfActorId, phase: usize, tokens: &[u64]) -> bool {
-    g.incoming(a).iter().all(|&cid| {
-        tokens[cid.index()] >= g.channel(cid).consumption(phase)
-    })
+    g.incoming(a)
+        .iter()
+        .all(|&cid| tokens[cid.index()] >= g.channel(cid).consumption(phase))
 }
 
 fn fire_phase(g: &CsdfGraph, a: CsdfActorId, phase: usize, tokens: &mut [u64]) {
@@ -244,11 +241,17 @@ impl CsdfThroughput {
 ///
 /// See [`symbolic_iteration`].
 pub fn throughput(g: &CsdfGraph) -> Result<CsdfThroughput, SdfError> {
-    let sym = symbolic_iteration(g)?;
-    Ok(CsdfThroughput {
+    Ok(throughput_from_symbolic(&symbolic_iteration(g)?))
+}
+
+/// The throughput analysis from an already-computed symbolic iteration —
+/// lets one [`symbolic_iteration`] feed both the throughput and the HSDF
+/// conversion ([`hsdf_from_symbolic`]).
+pub fn throughput_from_symbolic(sym: &CsdfSymbolic) -> CsdfThroughput {
+    CsdfThroughput {
         period: sym.matrix.eigenvalue(),
-        repetition: sym.repetition,
-    })
+        repetition: sym.repetition.clone(),
+    }
 }
 
 /// Converts a CSDF graph into a compact throughput-equivalent HSDF graph —
@@ -258,11 +261,13 @@ pub fn throughput(g: &CsdfGraph) -> Result<CsdfThroughput, SdfError> {
 ///
 /// See [`symbolic_iteration`].
 pub fn to_hsdf(g: &CsdfGraph) -> Result<SdfGraph, SdfError> {
-    let sym = symbolic_iteration(g)?;
-    Ok(sdfr_core::novel::hsdf_from_matrix(
-        &sym.matrix,
-        &format!("{}^mp-hsdf", g.name()),
-    ))
+    Ok(hsdf_from_symbolic(&symbolic_iteration(g)?, g.name()))
+}
+
+/// [`to_hsdf`] from an already-computed symbolic iteration; `name` is the
+/// source graph's name (the result is named `{name}^mp-hsdf`).
+pub fn hsdf_from_symbolic(sym: &CsdfSymbolic, name: &str) -> SdfGraph {
+    sdfr_core::novel::hsdf_from_matrix(&sym.matrix, &format!("{name}^mp-hsdf"))
 }
 
 #[cfg(test)]
@@ -337,10 +342,7 @@ mod tests {
         let thr = throughput(&g).unwrap();
         assert_eq!(thr.period, Some(Rational::from(5)));
         let x_id = g.actor_by_name("x").unwrap();
-        assert_eq!(
-            thr.actor_throughput(x_id, 1),
-            Some(Rational::new(1, 5))
-        );
+        assert_eq!(thr.actor_throughput(x_id, 1), Some(Rational::new(1, 5)));
     }
 
     #[test]

@@ -44,11 +44,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod graph;
 mod analysis;
+mod graph;
 
 pub use analysis::{
-    repetition_vector, sequential_schedule, symbolic_iteration, throughput, to_hsdf,
-    CsdfRepetition, CsdfSchedule, CsdfSymbolic, CsdfThroughput,
+    hsdf_from_symbolic, repetition_vector, sequential_schedule, symbolic_iteration, throughput,
+    throughput_from_symbolic, to_hsdf, CsdfRepetition, CsdfSchedule, CsdfSymbolic, CsdfThroughput,
 };
 pub use graph::{CsdfActorId, CsdfBuilder, CsdfChannelId, CsdfGraph};

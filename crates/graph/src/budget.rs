@@ -149,6 +149,20 @@ impl Budget {
             until_poll: 0,
         }
     }
+
+    /// Starts metering with `already_spent` firings pre-charged, so a
+    /// multi-phase computation (e.g. an analysis session whose artifacts are
+    /// computed lazily, one at a time) can account all phases against one
+    /// cumulative firing cap even though each phase runs under its own
+    /// short-lived meter. The first check polls the deadline and cancellation
+    /// flag immediately.
+    pub fn meter_resuming(&self, already_spent: u64) -> BudgetMeter<'_> {
+        BudgetMeter {
+            budget: self,
+            spent: already_spent,
+            until_poll: 0,
+        }
+    }
 }
 
 /// How many [`BudgetMeter::spend`] calls may elapse between wall-clock /
@@ -296,6 +310,25 @@ mod tests {
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn resuming_meter_continues_the_cumulative_charge() {
+        let b = Budget::unlimited().with_max_firings(100);
+        let mut m = b.meter();
+        m.spend(60).unwrap();
+        let carried = m.spent();
+        let mut m2 = b.meter_resuming(carried);
+        assert_eq!(m2.spent(), 60);
+        m2.spend(40).unwrap();
+        assert!(matches!(
+            m2.spend(1),
+            Err(SdfError::Exhausted {
+                resource: BudgetResource::Firings,
+                limit: 100,
+                ..
+            })
+        ));
     }
 
     #[test]

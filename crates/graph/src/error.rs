@@ -178,12 +178,7 @@ mod tests {
                 "a7",
             ),
             (SdfError::ZeroRate { channel: 2 }, "zero rate"),
-            (
-                SdfError::NegativeExecutionTime {
-                    actor: "x".into(),
-                },
-                "'x'",
-            ),
+            (SdfError::NegativeExecutionTime { actor: "x".into() }, "'x'"),
             (
                 SdfError::DuplicateActorName { name: "a".into() },
                 "duplicate",

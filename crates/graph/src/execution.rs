@@ -155,12 +155,12 @@ pub fn simulate(g: &SdfGraph, opts: &SimulationOptions) -> Result<Trace, SdfErro
                 })
         })
         .collect::<Result<_, _>>()?;
-    let needed = caps
-        .iter()
-        .try_fold(0u64, |s, &c| s.checked_add(c))
-        .ok_or(SdfError::Overflow {
-            what: "total firing count (iterations * iteration length)",
-        })?;
+    let needed =
+        caps.iter()
+            .try_fold(0u64, |s, &c| s.checked_add(c))
+            .ok_or(SdfError::Overflow {
+                what: "total firing count (iterations * iteration length)",
+            })?;
     let mut meter = opts.budget.meter();
     meter.precheck(needed)?;
 
@@ -225,11 +225,11 @@ pub fn simulate(g: &SdfGraph, opts: &SimulationOptions) -> Result<Trace, SdfErro
                 meter.spend(batch)?;
                 started[i] += batch;
                 inflight[i] += batch;
-                let end = time
-                    .checked_add(g.actor(a).execution_time())
-                    .ok_or(SdfError::Overflow {
-                        what: "simulation time",
-                    })?;
+                let end =
+                    time.checked_add(g.actor(a).execution_time())
+                        .ok_or(SdfError::Overflow {
+                            what: "simulation time",
+                        })?;
                 heap.push(Reverse((end, i, batch)));
                 if let Some(f) = firings.as_mut() {
                     for _ in 0..batch {
@@ -284,20 +284,20 @@ pub fn simulate(g: &SdfGraph, opts: &SimulationOptions) -> Result<Trace, SdfErro
             for &cid in g.outgoing(a) {
                 let ch = g.channel(cid);
                 let idx = cid.index();
-                tokens[idx] = tokens[idx]
-                    .checked_add(count * ch.production())
-                    .ok_or(SdfError::Overflow {
-                        what: "token count during simulation",
-                    })?;
+                tokens[idx] =
+                    tokens[idx]
+                        .checked_add(count * ch.production())
+                        .ok_or(SdfError::Overflow {
+                            what: "token count during simulation",
+                        })?;
                 peak[idx] = peak[idx].max(tokens[idx]);
             }
         }
 
         // Record any iterations that completed by now.
         while next_iteration < opts.iterations
-            && (0..n).all(|i| {
-                completed[i] >= (next_iteration + 1) * gamma.get(ActorId::from_index(i))
-            })
+            && (0..n)
+                .all(|i| completed[i] >= (next_iteration + 1) * gamma.get(ActorId::from_index(i)))
         {
             iteration_completions.push(time);
             next_iteration += 1;

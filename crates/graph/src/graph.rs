@@ -245,10 +245,7 @@ impl SdfGraph {
 
     /// Finds an actor by name.
     pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
-        self.actors
-            .iter()
-            .position(|a| a.name == name)
-            .map(ActorId)
+        self.actors.iter().position(|a| a.name == name).map(ActorId)
     }
 
     /// The total number of initial tokens over all channels.
@@ -272,6 +269,52 @@ impl SdfGraph {
             .map(|a| a.execution_time)
             .max()
             .unwrap_or(0)
+    }
+
+    /// A deterministic 64-bit content fingerprint (FNV-1a over the name,
+    /// actors and channels, in insertion order).
+    ///
+    /// Graphs are immutable once built, so the fingerprint is a stable
+    /// generation id for caches keyed on graph content: two graphs with equal
+    /// structure hash equal, and any edit (made by building a new graph)
+    /// changes the fingerprint with overwhelming probability. It is *not*
+    /// cryptographic — do not use it to authenticate untrusted inputs.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+                }
+            }
+            fn u64(&mut self, v: u64) {
+                self.bytes(&v.to_le_bytes());
+            }
+            fn str(&mut self, s: &str) {
+                self.u64(s.len() as u64);
+                self.bytes(s.as_bytes());
+            }
+        }
+
+        let mut h = Fnv(FNV_OFFSET);
+        h.str(&self.name);
+        h.u64(self.actors.len() as u64);
+        for a in &self.actors {
+            h.str(&a.name);
+            h.u64(a.execution_time as u64);
+        }
+        h.u64(self.channels.len() as u64);
+        for c in &self.channels {
+            h.u64(c.source.0 as u64);
+            h.u64(c.target.0 as u64);
+            h.u64(c.production);
+            h.u64(c.consumption);
+            h.u64(c.initial_tokens);
+        }
+        h.0
     }
 }
 
@@ -378,6 +421,31 @@ mod tests {
         let s = g.to_string();
         assert!(s.contains("2 actors"));
         assert!(s.contains("a -(2,1,3)-> b"));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let g1 = two_actor_graph();
+        let g2 = two_actor_graph();
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        assert_eq!(g1.fingerprint(), g1.clone().fingerprint());
+
+        // Any content difference — a token, a rate, a name — changes it.
+        let mut b = SdfGraph::builder("g");
+        let a = b.actor("a", 2);
+        let c = b.actor("b", 3);
+        b.channel(a, c, 2, 3, 2).unwrap(); // one extra initial token
+        b.channel(c, a, 1, 1, 4).unwrap();
+        let g3 = b.build().unwrap();
+        assert_ne!(g1.fingerprint(), g3.fingerprint());
+
+        let mut b = SdfGraph::builder("renamed");
+        let a = b.actor("a", 2);
+        let c = b.actor("b", 3);
+        b.channel(a, c, 2, 3, 1).unwrap();
+        b.channel(c, a, 1, 1, 4).unwrap();
+        let g4 = b.build().unwrap();
+        assert_ne!(g1.fingerprint(), g4.fingerprint());
     }
 
     #[test]

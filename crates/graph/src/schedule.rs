@@ -72,10 +72,7 @@ impl Schedule {
 /// assert_eq!(s.len(), 3); // x, x, y
 /// # Ok::<(), sdfr_graph::SdfError>(())
 /// ```
-pub fn sequential_schedule(
-    g: &SdfGraph,
-    gamma: &RepetitionVector,
-) -> Result<Schedule, SdfError> {
+pub fn sequential_schedule(g: &SdfGraph, gamma: &RepetitionVector) -> Result<Schedule, SdfError> {
     sequential_schedule_with_budget(g, gamma, &Budget::unlimited())
 }
 
@@ -261,7 +258,10 @@ mod tests {
         b.channel(y, x, 1, 1, 0).unwrap();
         let g = b.build().unwrap();
         match schedule_of(&g) {
-            Err(SdfError::Deadlock { fired: 0, needed: 2 }) => {}
+            Err(SdfError::Deadlock {
+                fired: 0,
+                needed: 2,
+            }) => {}
             other => panic!("expected deadlock, got {other:?}"),
         }
     }

@@ -130,11 +130,9 @@ mod tests {
         let bounded = g.with_auto_concurrency(2);
         assert_eq!(bounded.num_channels(), g.num_channels() + g.num_actors());
         let x = bounded.actor_by_name("x").unwrap();
-        assert!(bounded
-            .outgoing(x)
-            .iter()
-            .any(|&c| bounded.channel(c).is_self_loop()
-                && bounded.channel(c).initial_tokens() == 2));
+        assert!(bounded.outgoing(x).iter().any(
+            |&c| bounded.channel(c).is_self_loop() && bounded.channel(c).initial_tokens() == 2
+        ));
     }
 
     #[test]

@@ -121,8 +121,7 @@ pub fn from_text(input: &str) -> Result<CsdfGraph, IoError> {
         }
     }
 
-    let mut b =
-        CsdfGraph::builder(name.ok_or_else(|| syntax(1, "missing csdf statement"))?);
+    let mut b = CsdfGraph::builder(name.ok_or_else(|| syntax(1, "missing csdf statement"))?);
     let mut ids: HashMap<String, CsdfActorId> = HashMap::new();
     let mut phases: HashMap<String, usize> = HashMap::new();
     for (aname, times) in actor_decls {
@@ -248,7 +247,11 @@ pub fn to_xml(g: &CsdfGraph) -> String {
             .collect();
         let _ = writeln!(out, r#"      <actorProperties actor="{}">"#, esc(a.name()));
         let _ = writeln!(out, r#"        <processor type="p0" default="true">"#);
-        let _ = writeln!(out, r#"          <executionTime time="{}"/>"#, times.join(","));
+        let _ = writeln!(
+            out,
+            r#"          <executionTime time="{}"/>"#,
+            times.join(",")
+        );
         let _ = writeln!(out, "        </processor>");
         let _ = writeln!(out, "      </actorProperties>");
     }
@@ -289,10 +292,9 @@ pub fn from_xml(input: &str) -> Result<CsdfGraph, IoError> {
             Event::Open { name, attrs, line } | Event::Empty { name, attrs, line } => {
                 let is_empty = matches!(ev, Event::Empty { .. });
                 match name.as_str() {
-                    "applicationGraph" | "csdf"
-                        if graph_name.is_none() => {
-                            graph_name = attrs.get("name").cloned();
-                        }
+                    "applicationGraph" | "csdf" if graph_name.is_none() => {
+                        graph_name = attrs.get("name").cloned();
+                    }
                     "actor" => {
                         let aname = require(attrs, "name", *line)?;
                         let idx = actors.len();
@@ -364,12 +366,12 @@ pub fn from_xml(input: &str) -> Result<CsdfGraph, IoError> {
         ids.insert(name.clone(), b.actor(name.clone(), t));
     }
     for ch in channels {
-        let s = *ids
-            .get(&ch.src)
-            .ok_or_else(|| IoError::UnknownActorName { name: ch.src.clone() })?;
-        let t = *ids
-            .get(&ch.dst)
-            .ok_or_else(|| IoError::UnknownActorName { name: ch.dst.clone() })?;
+        let s = *ids.get(&ch.src).ok_or_else(|| IoError::UnknownActorName {
+            name: ch.src.clone(),
+        })?;
+        let t = *ids.get(&ch.dst).ok_or_else(|| IoError::UnknownActorName {
+            name: ch.dst.clone(),
+        })?;
         let prod = ports[actor_index[&ch.src]]
             .get(&ch.src_port)
             .cloned()
@@ -456,7 +458,10 @@ mod tests {
             <actor name='b'><port name='q' type='in' rate='1'/></actor>
             <channel srcActor='a' srcPort='wrong' dstActor='b' dstPort='q'/>
         </csdf>"#;
-        assert!(matches!(from_xml(missing_port), Err(IoError::Syntax { .. })));
+        assert!(matches!(
+            from_xml(missing_port),
+            Err(IoError::Syntax { .. })
+        ));
     }
 
     #[test]

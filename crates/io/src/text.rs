@@ -93,8 +93,7 @@ pub fn from_text(input: &str) -> Result<SdfGraph, IoError> {
                     ));
                 }
                 let nums: Result<Vec<u64>, _> = parts[2..].iter().map(|s| s.parse()).collect();
-                let nums =
-                    nums.map_err(|_| syntax(lineno, "channel rates must be integers"))?;
+                let nums = nums.map_err(|_| syntax(lineno, "channel rates must be integers"))?;
                 channels.push((
                     lineno,
                     parts[0].to_string(),

@@ -41,16 +41,8 @@ pub fn to_xml(g: &SdfGraph) -> String {
     let mut out = String::new();
     let _ = writeln!(out, r#"<?xml version="1.0" encoding="UTF-8"?>"#);
     let _ = writeln!(out, r#"<sdf3 type="sdf" version="1.0">"#);
-    let _ = writeln!(
-        out,
-        r#"  <applicationGraph name="{}">"#,
-        escape(g.name())
-    );
-    let _ = writeln!(
-        out,
-        r#"    <sdf name="{}" type="G">"#,
-        escape(g.name())
-    );
+    let _ = writeln!(out, r#"  <applicationGraph name="{}">"#, escape(g.name()));
+    let _ = writeln!(out, r#"    <sdf name="{}" type="G">"#, escape(g.name()));
     for (aid, a) in g.actors() {
         let _ = writeln!(
             out,
@@ -163,14 +155,12 @@ pub fn from_xml(input: &str) -> Result<SdfGraph, IoError> {
             Event::Open { name, attrs, line } | Event::Empty { name, attrs, line } => {
                 let is_empty = matches!(ev, Event::Empty { .. });
                 match name.as_str() {
-                    "applicationGraph"
-                        if graph_name.is_none() => {
-                            graph_name = attrs.get("name").cloned();
-                        }
-                    "sdf"
-                        if graph_name.is_none() => {
-                            graph_name = attrs.get("name").cloned();
-                        }
+                    "applicationGraph" if graph_name.is_none() => {
+                        graph_name = attrs.get("name").cloned();
+                    }
+                    "sdf" if graph_name.is_none() => {
+                        graph_name = attrs.get("name").cloned();
+                    }
                     "actor" => {
                         let aname = require(attrs, "name", *line)?;
                         let idx = actors.len();
@@ -182,9 +172,8 @@ pub fn from_xml(input: &str) -> Result<SdfGraph, IoError> {
                         }
                     }
                     "port" => {
-                        let idx = current_actor.ok_or_else(|| {
-                            syntax(*line, "<port> outside of an <actor>")
-                        })?;
+                        let idx = current_actor
+                            .ok_or_else(|| syntax(*line, "<port> outside of an <actor>"))?;
                         let pname = require(attrs, "name", *line)?;
                         let rate: u64 = require(attrs, "rate", *line)?
                             .parse()
@@ -239,12 +228,12 @@ pub fn from_xml(input: &str) -> Result<SdfGraph, IoError> {
         ids.push(b.actor(name.clone(), t));
     }
     for ch in channels {
-        let s = *actor_index
-            .get(&ch.src)
-            .ok_or(IoError::UnknownActorName { name: ch.src.clone() })?;
-        let t = *actor_index
-            .get(&ch.dst)
-            .ok_or(IoError::UnknownActorName { name: ch.dst.clone() })?;
+        let s = *actor_index.get(&ch.src).ok_or(IoError::UnknownActorName {
+            name: ch.src.clone(),
+        })?;
+        let t = *actor_index.get(&ch.dst).ok_or(IoError::UnknownActorName {
+            name: ch.dst.clone(),
+        })?;
         let p = *ports[s]
             .get(&ch.src_port)
             .ok_or_else(|| syntax(ch.line, &format!("unknown port '{}'", ch.src_port)))?;
@@ -333,9 +322,7 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<Event>, IoError> {
 
 fn parse_tag(body: &str, line: usize) -> Result<(String, HashMap<String, String>), IoError> {
     let body = body.trim();
-    let (name, rest) = body
-        .split_once(char::is_whitespace)
-        .unwrap_or((body, ""));
+    let (name, rest) = body.split_once(char::is_whitespace).unwrap_or((body, ""));
     if name.is_empty() {
         return Err(syntax(line, "empty tag name"));
     }
@@ -457,10 +444,7 @@ mod tests {
 
     #[test]
     fn syntax_errors() {
-        assert!(matches!(
-            from_xml("<sdf3"),
-            Err(IoError::Syntax { .. })
-        ));
+        assert!(matches!(from_xml("<sdf3"), Err(IoError::Syntax { .. })));
         assert!(matches!(
             from_xml("<actor name='a'><port name='p'/></actor>"),
             Err(IoError::Syntax { .. }) // port without rate

@@ -135,8 +135,8 @@ pub fn eigenmode(a: &MpMatrix) -> Result<Option<Eigenmode>, MpError> {
     let n = a.num_rows();
     let scale = lambda.denom();
     let shift = lambda.numer(); // s·λ with s = denom
-    // B = s·A − s·λ entrywise: every cycle of B has weight <= 0 and the
-    // critical cycles have weight exactly 0, so B* exists.
+                                // B = s·A − s·λ entrywise: every cycle of B has weight <= 0 and the
+                                // critical cycles have weight exactly 0, so B* exists.
     let mut b = MpMatrix::neg_inf(n, n);
     for i in 0..n {
         for j in 0..n {
@@ -212,7 +212,11 @@ mod tests {
 
     #[test]
     fn star_of_acyclic_path() {
-        let a = mat(&[&[None, None, None], &[Some(2), None, None], &[None, Some(3), None]]);
+        let a = mat(&[
+            &[None, None, None],
+            &[Some(2), None, None],
+            &[None, Some(3), None],
+        ]);
         let s = star(&a).unwrap().closure().unwrap();
         assert_eq!(s.get(1, 0), Mp::fin(2));
         assert_eq!(s.get(2, 0), Mp::fin(5));

@@ -49,7 +49,10 @@ impl fmt::Display for MpError {
                 expected,
                 found,
                 op,
-            } => write!(f, "{op}: dimension mismatch, expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "{op}: dimension mismatch, expected {expected}, found {found}"
+            ),
             MpError::NotSquare { rows, cols } => {
                 write!(f, "operation requires a square matrix, got {rows}x{cols}")
             }

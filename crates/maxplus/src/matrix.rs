@@ -140,7 +140,11 @@ impl MpMatrix {
     /// Panics if `i` is out of bounds.
     pub fn row(&self, i: usize) -> MpVector {
         assert!(i < self.rows, "row index out of bounds");
-        MpVector::from_entries(self.data[i * self.cols..(i + 1) * self.cols].iter().copied())
+        MpVector::from_entries(
+            self.data[i * self.cols..(i + 1) * self.cols]
+                .iter()
+                .copied(),
+        )
     }
 
     /// Column `j` as a new vector.
@@ -509,10 +513,7 @@ mod ops_tests {
         let a = m(vec![vec![2, 8], vec![1, 3]]);
         let l = a.eigenvalue().unwrap();
         let shifted = a.shift(5);
-        assert_eq!(
-            shifted.eigenvalue().unwrap(),
-            l + crate::Rational::from(5)
-        );
+        assert_eq!(shifted.eigenvalue().unwrap(), l + crate::Rational::from(5));
         // −∞ entries stay −∞.
         let mut b = MpMatrix::neg_inf(1, 1);
         b = b.shift(10);

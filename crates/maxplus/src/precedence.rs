@@ -193,10 +193,8 @@ mod tests {
     #[test]
     fn sccs_of_two_cycles_and_bridge() {
         // 0 <-> 1, 2 <-> 3, bridge 1 -> 2, isolated 4.
-        let g = PrecedenceGraph::from_edges(
-            5,
-            [(0, 1, 1), (1, 0, 1), (2, 3, 1), (3, 2, 1), (1, 2, 1)],
-        );
+        let g =
+            PrecedenceGraph::from_edges(5, [(0, 1, 1), (1, 0, 1), (2, 3, 1), (3, 2, 1), (1, 2, 1)]);
         let mut sccs = g.sccs();
         sccs.sort();
         assert_eq!(sccs, vec![vec![0, 1], vec![2, 3], vec![4]]);

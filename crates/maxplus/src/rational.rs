@@ -340,11 +340,7 @@ mod tests {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::ZERO);
         assert!(Rational::new(7, 2) > Rational::new(10, 3));
-        let mut v = vec![
-            Rational::new(3, 2),
-            Rational::new(-1, 4),
-            Rational::ONE,
-        ];
+        let mut v = vec![Rational::new(3, 2), Rational::new(-1, 4), Rational::ONE];
         v.sort();
         assert_eq!(
             v,

@@ -303,13 +303,22 @@ mod tests {
         assert_eq!(Mp::fin(1).checked_add(Mp::fin(2)), Some(Mp::fin(3)));
         assert_eq!(Mp::fin(i64::MAX).checked_add(Mp::fin(1)), None);
         assert_eq!(Mp::fin(i64::MIN).checked_add(Mp::fin(-1)), None);
-        assert_eq!(Mp::NEG_INF.checked_add(Mp::fin(i64::MAX)), Some(Mp::NEG_INF));
+        assert_eq!(
+            Mp::NEG_INF.checked_add(Mp::fin(i64::MAX)),
+            Some(Mp::NEG_INF)
+        );
     }
 
     #[test]
     fn saturating_add_clamps() {
-        assert_eq!(Mp::fin(i64::MAX).saturating_add(Mp::fin(7)), Mp::fin(i64::MAX));
-        assert_eq!(Mp::fin(i64::MIN).saturating_add(Mp::fin(-7)), Mp::fin(i64::MIN));
+        assert_eq!(
+            Mp::fin(i64::MAX).saturating_add(Mp::fin(7)),
+            Mp::fin(i64::MAX)
+        );
+        assert_eq!(
+            Mp::fin(i64::MIN).saturating_add(Mp::fin(-7)),
+            Mp::fin(i64::MIN)
+        );
         assert_eq!(Mp::fin(2).saturating_add(Mp::NEG_INF), Mp::NEG_INF);
     }
 

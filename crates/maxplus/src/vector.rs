@@ -267,10 +267,7 @@ mod tests {
     fn join_dimension_mismatch() {
         let a = MpVector::zeros(2);
         let b = MpVector::zeros(3);
-        assert!(matches!(
-            a.join(&b),
-            Err(MpError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(a.join(&b), Err(MpError::DimensionMismatch { .. })));
     }
 
     #[test]

@@ -17,9 +17,7 @@ fn mp() -> impl Strategy<Value = Mp> {
 /// Strategy for square matrices of dimension 1..=5.
 fn matrix() -> impl Strategy<Value = MpMatrix> {
     (1usize..=5)
-        .prop_flat_map(|n| {
-            proptest::collection::vec(proptest::collection::vec(mp(), n), n)
-        })
+        .prop_flat_map(|n| proptest::collection::vec(proptest::collection::vec(mp(), n), n))
         .prop_map(|rows| MpMatrix::from_rows(rows).expect("rows share length"))
 }
 

@@ -89,10 +89,7 @@ pub fn apply_mapping(g: &SdfGraph, mapping: &Mapping) -> Result<SdfGraph, SdfErr
                     num_actors: g.num_actors(),
                 });
             }
-            assert!(
-                seen.insert(a),
-                "actor {a} bound to more than one processor"
-            );
+            assert!(seen.insert(a), "actor {a} bound to more than one processor");
         }
         if let Some((&first, rest)) = order.split_first() {
             for &a in rest {
@@ -221,10 +218,7 @@ mod tests {
         let mut backward = Mapping::new();
         backward.processor([c0, p0]);
         let dead = apply_mapping(&g0, &backward).unwrap();
-        assert!(matches!(
-            throughput(&dead),
-            Err(SdfError::Deadlock { .. })
-        ));
+        assert!(matches!(throughput(&dead), Err(SdfError::Deadlock { .. })));
 
         let (g1, p1, c1) = build(1);
         let mut forward = Mapping::new();

@@ -78,8 +78,14 @@ pub fn insert_connection(
             .expect("valid");
         b.channel(snd, lnk, p, p, 0).expect("valid");
         b.channel(lnk, rcv, p, p, 0).expect("valid");
-        b.channel(rcv, ids[c.target().index()], p, c.consumption(), c.initial_tokens())
-            .expect("valid");
+        b.channel(
+            rcv,
+            ids[c.target().index()],
+            p,
+            c.consumption(),
+            c.initial_tokens(),
+        )
+        .expect("valid");
         for stage in [snd, lnk, rcv] {
             b.channel(stage, stage, 1, 1, 1).expect("valid");
         }
@@ -174,8 +180,7 @@ mod tests {
         let ch = b.channel(p, c, 1, 1, 3).unwrap();
         b.channel(c, c, 1, 1, 1).unwrap();
         let g = b.build().unwrap();
-        let noc =
-            insert_connection(&g, ch, ConnectionLatency::symmetric(2, 2)).unwrap();
+        let noc = insert_connection(&g, ch, ConnectionLatency::symmetric(2, 2)).unwrap();
         // c can fire immediately using the relocated tokens.
         let trace = sdfr_graph::execution::simulate(
             &noc,
@@ -196,8 +201,7 @@ mod tests {
         b.channel(c, p, 2, 3, 6).unwrap();
         let g = b.build().unwrap();
         let gamma0 = sdfr_graph::repetition::repetition_vector(&g).unwrap();
-        let noc =
-            insert_connection(&g, ch, ConnectionLatency::symmetric(1, 1)).unwrap();
+        let noc = insert_connection(&g, ch, ConnectionLatency::symmetric(1, 1)).unwrap();
         let gamma = sdfr_graph::repetition::repetition_vector(&noc).unwrap();
         // Stage actors fire once per producer firing.
         let p_id = noc.actor_by_name("p").unwrap();

@@ -157,14 +157,7 @@ mod tests {
         b.channel(y, x, 1, 1, 1).unwrap();
         let g = b.build().unwrap();
         let base = throughput(&g).unwrap().period().unwrap();
-        let shared = apply_tdm(
-            &g,
-            &[
-                (x, TdmSlot::new(2, 6)),
-                (y, TdmSlot::new(3, 6)),
-            ],
-        )
-        .unwrap();
+        let shared = apply_tdm(&g, &[(x, TdmSlot::new(2, 6)), (y, TdmSlot::new(3, 6))]).unwrap();
         let slowed = throughput(&shared).unwrap().period().unwrap();
         assert!(slowed >= base);
         // x: 4 + 2·4 = 12; y: 4 + 2·3 = 10; cycle 22.

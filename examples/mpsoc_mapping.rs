@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.channel(encode, output, 1, 1, 0)?;
     b.channel(output, capture, 1, 1, 3)?; // triple buffering
     let app = b.build()?;
-    let ideal = throughput(&app)?.period().expect("frame buffer bounds the rate");
+    let ideal = throughput(&app)?
+        .period()
+        .expect("frame buffer bounds the rate");
     println!("application period (ideal platform): {ideal}");
 
     // Platform step 1: filter and encode sit on different tiles; their

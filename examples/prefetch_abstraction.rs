@@ -7,9 +7,9 @@
 
 use sdf_reductions::analysis::throughput::throughput;
 use sdf_reductions::benchmarks::regular::prefetch_model;
+use sdf_reductions::core::abstract_graph;
 use sdf_reductions::core::auto::auto_abstraction;
 use sdf_reductions::core::conservativity::{conservative_period_bound, verify_abstraction};
-use sdf_reductions::core::abstract_graph;
 use sdf_reductions::graph::dot;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Compare exact throughput with the conservative estimate.
-    let exact = throughput(&g)?.period().expect("model has a critical cycle");
+    let exact = throughput(&g)?
+        .period()
+        .expect("model has a critical cycle");
     let bound = conservative_period_bound(&g, &abs)?.expect("abstract model too");
     println!("exact iteration period        : {exact}");
     println!("conservative estimate (N * l'): {bound}");

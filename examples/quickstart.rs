@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gamma = repetition_vector(&g)?;
     println!("repetition vector:");
     for (a, count) in gamma.iter() {
-        println!("  {} fires {} time(s) per iteration", g.actor(a).name(), count);
+        println!(
+            "  {} fires {} time(s) per iteration",
+            g.actor(a).name(),
+            count
+        );
     }
 
     // Exact throughput (spectral, via the max-plus matrix of one iteration).
@@ -62,6 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         new.graph.total_initial_tokens(),
         new.actor_bound()
     );
-    println!("\nmax-plus matrix of one iteration:\n{}", new.symbolic.matrix);
+    println!(
+        "\nmax-plus matrix of one iteration:\n{}",
+        new.symbolic.matrix
+    );
     Ok(())
 }

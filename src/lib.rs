@@ -48,8 +48,8 @@
 
 pub use sdfr_analysis as analysis;
 pub use sdfr_benchmarks as benchmarks;
-pub use sdfr_csdf as csdf;
 pub use sdfr_core as core;
+pub use sdfr_csdf as csdf;
 pub use sdfr_graph as graph;
 pub use sdfr_io as io;
 pub use sdfr_maxplus as maxplus;

@@ -79,7 +79,12 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Benchmarks `f` against a borrowed input.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -168,7 +173,10 @@ fn run_one(cfg: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
     b.samples.sort();
     let median = b.samples[b.samples.len() / 2];
     let best = b.samples[0];
-    println!("{label}: median {median:?} (best {best:?}, {} samples)", b.samples.len());
+    println!(
+        "{label}: median {median:?} (best {best:?}, {} samples)",
+        b.samples.len()
+    );
 }
 
 /// Defines a benchmark group function; supports both the positional and the

@@ -8,7 +8,7 @@ use rand::Rng as _;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length specification for [`vec`]: an exact `usize` or a range.
+/// A length specification for [`vec()`]: an exact `usize` or a range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
@@ -49,7 +49,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

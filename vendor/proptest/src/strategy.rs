@@ -150,7 +150,10 @@ impl<V> Union<V> {
     /// Panics if `arms` is empty or all weights are zero.
     pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
         let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
-        assert!(total > 0, "prop_oneof! needs at least one positively weighted arm");
+        assert!(
+            total > 0,
+            "prop_oneof! needs at least one positively weighted arm"
+        );
         Union { arms, total }
     }
 }

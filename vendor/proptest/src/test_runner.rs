@@ -95,9 +95,9 @@ impl TestRunner {
 
     /// The RNG for case `case`; equal inputs yield equal streams.
     pub fn rng_for_case(&self, case: u32) -> TestRng {
-        TestRng(StdRng::seed_from_u64(
-            self.seed_base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)),
-        ))
+        TestRng(StdRng::seed_from_u64(self.seed_base.wrapping_add(
+            0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1),
+        )))
     }
 }
 

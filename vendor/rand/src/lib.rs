@@ -99,7 +99,10 @@ pub trait Rng: RngCore {
 
     /// Returns `true` with probability `p`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} not in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
         // 53 random bits give a uniform float in [0, 1).
         let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         f < p
