@@ -22,7 +22,11 @@
 //!   for HSDF graphs,
 //! - [`session`] — [`AnalysisSession`], a memoizing, budget-aware per-graph
 //!   context that computes each of the artifacts above at most once and
-//!   shares them across analyses and threads.
+//!   shares them across analyses and threads,
+//! - [`registry`] — [`SessionRegistry`], a thread-safe, capacity-bounded
+//!   (LRU) cache mapping graph fingerprints to shared sessions, so sweeps
+//!   over recurring graph content reuse symbolic iterations *across*
+//!   sessions, not just within one.
 //!
 //! # Example
 //!
@@ -51,12 +55,14 @@ pub mod bottleneck;
 pub mod buffer;
 pub mod latency;
 pub mod mcm;
+pub mod registry;
 pub mod session;
 pub mod static_schedule;
 pub mod symbolic;
 pub mod throughput;
 
 pub use mcm::{CycleRatio, CycleRatioGraph};
+pub use registry::{RegistryConfig, RegistryStats, SessionRegistry};
 pub use session::AnalysisSession;
 pub use symbolic::{SymbolicIteration, TokenRef};
 pub use throughput::{throughput, ThroughputAnalysis};

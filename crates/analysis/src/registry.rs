@@ -1,0 +1,542 @@
+//! A cross-graph cache of [`AnalysisSession`]s keyed by graph content.
+//!
+//! One [`AnalysisSession`] already guarantees that a single graph pays for
+//! its symbolic iteration (paper, Alg. 1) at most once. Sweep workloads —
+//! capacity probes, abstraction ladders, Table-1-style benchmark batches,
+//! the scenario sweeps of parametric throughput analysis — construct *many*
+//! sessions over *recurring* graph content, and each fresh session pays the
+//! iteration again. A [`SessionRegistry`] closes that gap: it maps
+//! [`SdfGraph::fingerprint`] (plus the budget's content signature) to a
+//! shared `Arc<AnalysisSession>`, so concurrent and sequential analyses of
+//! equal graph content reuse one session and its memoized artifacts.
+//!
+//! # Cache coherence
+//!
+//! Three properties make sharing sound:
+//!
+//! 1. **Graphs are immutable**, so a session never goes stale; entries are
+//!    evicted for capacity, never for invalidation.
+//! 2. **Sessions are deterministic**: every artifact is a pure function of
+//!    the graph and the content-addressable budget caps, and errors are
+//!    cached exactly like successes. A cache hit therefore returns the same
+//!    value a fresh session would compute — byte for byte (the differential
+//!    test corpus in `crates/core/tests/registry_props.rs` pins this).
+//! 3. **Budgets are part of the key.** Two callers share a session only if
+//!    their budgets have equal firing/size caps and carry neither a
+//!    wall-clock deadline nor a cancellation flag
+//!    ([`Budget::is_content_addressable`]); budgets with a deadline or a
+//!    cancel flag *bypass* the cache entirely and get a private session, so
+//!    one caller's clock can never exhaust another caller's analysis.
+//!    Within one shared session the cumulative accounting of
+//!    [`AnalysisSession`] applies: the K-th requester of an artifact
+//!    observes exactly the state a single fresh session would have reached
+//!    after the same queries.
+//!
+//! Fingerprints are 64-bit and non-cryptographic, so a hit additionally
+//! deep-compares the stored graph against the requested one; a mismatch is
+//! counted as a collision and served from a private session rather than
+//! from the wrong entry.
+//!
+//! # Eviction
+//!
+//! Entries are evicted least-recently-used first, whenever the entry count
+//! exceeds [`RegistryConfig::max_entries`] or the summed
+//! [`AnalysisSession::bytes_estimate`] exceeds
+//! [`RegistryConfig::max_bytes`]. Eviction only drops the registry's `Arc`;
+//! callers holding the session keep a fully functional (and still warm)
+//! session — an in-flight analysis can never be corrupted by eviction.
+//! Symbolic-iteration counts of evicted sessions are folded into the
+//! registry-wide total so [`RegistryStats::symbolic_iterations`] stays
+//! meaningful across evictions.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sdfr_analysis::registry::SessionRegistry;
+//! use sdfr_graph::SdfGraph;
+//!
+//! let mut b = SdfGraph::builder("g");
+//! let x = b.actor("x", 2);
+//! let y = b.actor("y", 3);
+//! b.channel(x, y, 1, 1, 0)?;
+//! b.channel(y, x, 1, 1, 1)?;
+//! let g = Arc::new(b.build()?);
+//!
+//! let registry = SessionRegistry::new();
+//! let first = registry.session(&g);
+//! let _ = first.throughput()?;
+//! // Equal content — even via a different Arc — shares the warm session.
+//! let again = registry.session(&Arc::new(SdfGraph::clone(&g)));
+//! assert!(Arc::ptr_eq(&first, &again));
+//! assert_eq!(again.symbolic_iterations_computed(), 1);
+//! let stats = registry.stats();
+//! assert_eq!((stats.hits, stats.misses), (1, 1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use sdfr_graph::budget::Budget;
+use sdfr_graph::SdfGraph;
+
+use crate::session::AnalysisSession;
+
+/// Capacity limits for a [`SessionRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Maximum number of resident sessions; the least recently used entry
+    /// is evicted when exceeded. At least 1.
+    pub max_entries: usize,
+    /// Maximum summed [`AnalysisSession::bytes_estimate`] over resident
+    /// sessions. The most recently touched entry is always retained, so one
+    /// oversized session does not render the cache unusable.
+    pub max_bytes: u64,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            max_entries: 256,
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// How a [`SessionRegistry`] lookup was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lookup {
+    /// An existing session with equal graph content and budget caps.
+    Hit,
+    /// A new session was created and cached.
+    Miss,
+    /// A private, uncached session: the budget carries a deadline or a
+    /// cancellation flag (not content-addressable), or — vanishingly rare —
+    /// a fingerprint collision was detected.
+    Bypass,
+}
+
+impl std::fmt::Display for Lookup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Lookup::Hit => "hit",
+            Lookup::Miss => "miss",
+            Lookup::Bypass => "bypass",
+        })
+    }
+}
+
+/// A point-in-time snapshot of registry counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Lookups served from an existing session.
+    pub hits: u64,
+    /// Lookups that created and cached a new session.
+    pub misses: u64,
+    /// Lookups served from a private session because the budget was not
+    /// content-addressable.
+    pub bypasses: u64,
+    /// Hits whose deep graph comparison failed (64-bit fingerprint
+    /// collision); served as bypasses.
+    pub collisions: u64,
+    /// Sessions evicted to respect the capacity limits.
+    pub evictions: u64,
+    /// Currently resident sessions.
+    pub entries: usize,
+    /// Summed byte estimate of resident sessions, as of their last touch.
+    pub bytes_estimate: u64,
+    /// Symbolic iterations executed by resident *and evicted* cached
+    /// sessions (bypassed private sessions are not tracked).
+    pub symbolic_iterations: u64,
+}
+
+/// Cache key: graph content plus the budget's content signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    fingerprint: u64,
+    max_firings: Option<u64>,
+    max_size: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    session: Arc<AnalysisSession>,
+    /// Byte estimate as of the last touch (refreshed on every hit, since
+    /// sessions grow as they warm up).
+    bytes: u64,
+    /// Logical timestamp of the last touch (monotone per registry).
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Key, Entry>,
+    clock: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    bypasses: u64,
+    collisions: u64,
+    evictions: u64,
+    /// Symbolic iterations performed by sessions already evicted.
+    retired_symbolic: u64,
+}
+
+/// A thread-safe, capacity-bounded cache of [`AnalysisSession`]s keyed by
+/// graph fingerprint and budget caps. See the [module docs](self) for the
+/// coherence argument and eviction policy.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    config: RegistryConfig,
+    inner: Mutex<Inner>,
+}
+
+impl SessionRegistry {
+    /// Creates a registry with the default capacity limits
+    /// ([`RegistryConfig::default`]).
+    pub fn new() -> Self {
+        Self::with_config(RegistryConfig::default())
+    }
+
+    /// Creates a registry with explicit capacity limits. `max_entries` is
+    /// clamped to at least 1.
+    pub fn with_config(config: RegistryConfig) -> Self {
+        SessionRegistry {
+            config: RegistryConfig {
+                max_entries: config.max_entries.max(1),
+                ..config
+            },
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The capacity limits this registry enforces.
+    pub fn config(&self) -> RegistryConfig {
+        self.config
+    }
+
+    /// The shared unlimited-budget session for `graph`, creating and caching
+    /// it on first sight of this content.
+    pub fn session(&self, graph: &Arc<SdfGraph>) -> Arc<AnalysisSession> {
+        self.lookup(graph, &Budget::unlimited()).0
+    }
+
+    /// The shared session for `graph` under `budget`, creating and caching
+    /// it on first sight of this (content, caps) pair. Budgets that are not
+    /// [content-addressable](Budget::is_content_addressable) get a private,
+    /// uncached session.
+    pub fn session_with_budget(
+        &self,
+        graph: &Arc<SdfGraph>,
+        budget: &Budget,
+    ) -> Arc<AnalysisSession> {
+        self.lookup(graph, budget).0
+    }
+
+    /// [`Self::session_with_budget`], also reporting how the lookup was
+    /// served — the batch front-end surfaces this per graph.
+    pub fn lookup(&self, graph: &Arc<SdfGraph>, budget: &Budget) -> (Arc<AnalysisSession>, Lookup) {
+        if !budget.is_content_addressable() {
+            let mut inner = self.inner.lock().expect("registry mutex poisoned");
+            inner.bypasses += 1;
+            drop(inner);
+            let session = Arc::new(AnalysisSession::with_budget(
+                Arc::clone(graph),
+                budget.clone(),
+            ));
+            return (session, Lookup::Bypass);
+        }
+
+        let key = Key {
+            fingerprint: graph.fingerprint(),
+            max_firings: budget.max_firings(),
+            max_size: budget.max_size(),
+        };
+        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            // Guard against 64-bit fingerprint collisions: the cached graph
+            // must be *equal*, not merely equal-hashing.
+            if entry.session.graph().as_ref() == graph.as_ref() {
+                entry.last_used = now;
+                let session = Arc::clone(&entry.session);
+                let new_bytes = session.bytes_estimate();
+                let old_bytes = std::mem::replace(&mut entry.bytes, new_bytes);
+                inner.bytes = inner.bytes - old_bytes + new_bytes;
+                inner.hits += 1;
+                // A grown entry can push the registry over its byte limit.
+                self.evict_locked(&mut inner, Some(key));
+                return (session, Lookup::Hit);
+            }
+            inner.collisions += 1;
+            inner.bypasses += 1;
+            drop(inner);
+            let session = Arc::new(AnalysisSession::with_budget(
+                Arc::clone(graph),
+                budget.clone(),
+            ));
+            return (session, Lookup::Bypass);
+        }
+
+        // Miss: create and insert while holding the lock, so concurrent
+        // requesters of the same content block here and then *hit* — the
+        // symbolic iteration itself runs outside the lock, once, guarded by
+        // the session's own OnceLock slots.
+        let session = Arc::new(AnalysisSession::with_budget(
+            Arc::clone(graph),
+            budget.clone(),
+        ));
+        let bytes = session.bytes_estimate();
+        inner.map.insert(
+            key,
+            Entry {
+                session: Arc::clone(&session),
+                bytes,
+                last_used: now,
+            },
+        );
+        inner.bytes += bytes;
+        inner.misses += 1;
+        self.evict_locked(&mut inner, Some(key));
+        (session, Lookup::Miss)
+    }
+
+    /// Evicts least-recently-used entries until the capacity limits hold,
+    /// never evicting `keep` (the entry just touched).
+    fn evict_locked(&self, inner: &mut Inner, keep: Option<Key>) {
+        loop {
+            let over = inner.map.len() > self.config.max_entries
+                || (inner.bytes > self.config.max_bytes && inner.map.len() > 1);
+            if !over {
+                return;
+            }
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| Some(**k) != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { return };
+            if let Some(entry) = inner.map.remove(&victim) {
+                inner.bytes -= entry.bytes;
+                inner.retired_symbolic += entry.session.symbolic_iterations_computed();
+                inner.evictions += 1;
+            }
+        }
+    }
+
+    /// A consistent snapshot of the registry counters.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().expect("registry mutex poisoned");
+        let resident: u64 = inner
+            .map
+            .values()
+            .map(|e| e.session.symbolic_iterations_computed())
+            .sum();
+        RegistryStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            bypasses: inner.bypasses,
+            collisions: inner.collisions,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes_estimate: inner.bytes,
+            symbolic_iterations: resident + inner.retired_symbolic,
+        }
+    }
+
+    /// The number of resident sessions.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("registry mutex poisoned")
+            .map
+            .len()
+    }
+
+    /// Returns `true` if no session is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every resident session (counted as evictions). Outstanding
+    /// `Arc`s held by callers remain valid.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        let drained: Vec<Entry> = inner.map.drain().map(|(_, e)| e).collect();
+        for entry in drained {
+            inner.retired_symbolic += entry.session.symbolic_iterations_computed();
+            inner.evictions += 1;
+        }
+        inner.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(name: &str, t_x: i64, t_y: i64) -> Arc<SdfGraph> {
+        let mut b = SdfGraph::builder(name);
+        let x = b.actor("x", t_x);
+        let y = b.actor("y", t_y);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn equal_content_shares_one_session() {
+        let registry = SessionRegistry::new();
+        let g = cycle("g", 2, 3);
+        let (s1, l1) = registry.lookup(&g, &Budget::unlimited());
+        let _ = s1.throughput().unwrap();
+        // A structurally equal graph behind a different Arc hits.
+        let g2 = Arc::new(SdfGraph::clone(&g));
+        let (s2, l2) = registry.lookup(&g2, &Budget::unlimited());
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!((l1, l2), (Lookup::Miss, Lookup::Hit));
+        assert_eq!(s2.symbolic_iterations_computed(), 1);
+        let stats = registry.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.symbolic_iterations, 1);
+        assert!(stats.bytes_estimate > 0);
+    }
+
+    #[test]
+    fn different_content_and_different_caps_do_not_share() {
+        let registry = SessionRegistry::new();
+        let g1 = cycle("g", 2, 3);
+        let g2 = cycle("g", 2, 4);
+        let (a, _) = registry.lookup(&g1, &Budget::unlimited());
+        let (b, _) = registry.lookup(&g2, &Budget::unlimited());
+        assert!(!Arc::ptr_eq(&a, &b));
+        // Same graph, different firing caps: isolated sessions per tier.
+        let tier1 = Budget::unlimited().with_max_firings(2);
+        let tier2 = Budget::unlimited().with_max_firings(1000);
+        let (c, lc) = registry.lookup(&g1, &tier1);
+        let (d, ld) = registry.lookup(&g1, &tier2);
+        assert!(!Arc::ptr_eq(&c, &d));
+        assert_eq!((lc, ld), (Lookup::Miss, Lookup::Miss));
+        assert!(!Arc::ptr_eq(&a, &c));
+        // …but equal caps share.
+        let (e, le) = registry.lookup(&g1, &Budget::unlimited().with_max_firings(2));
+        assert!(Arc::ptr_eq(&c, &e));
+        assert_eq!(le, Lookup::Hit);
+        assert_eq!(registry.len(), 4);
+    }
+
+    #[test]
+    fn non_content_addressable_budgets_bypass() {
+        let registry = SessionRegistry::new();
+        let g = cycle("g", 2, 3);
+        let deadline = Budget::unlimited().with_deadline(std::time::Duration::from_secs(3600));
+        let (a, la) = registry.lookup(&g, &deadline);
+        let (b, lb) = registry.lookup(&g, &deadline);
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "deadline budgets get private sessions"
+        );
+        assert_eq!((la, lb), (Lookup::Bypass, Lookup::Bypass));
+        assert!(registry.is_empty());
+        let stats = registry.stats();
+        assert_eq!(stats.bypasses, 2);
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    #[test]
+    fn lru_eviction_respects_entry_cap_and_keeps_arcs_alive() {
+        let registry = SessionRegistry::with_config(RegistryConfig {
+            max_entries: 2,
+            max_bytes: u64::MAX,
+        });
+        let g1 = cycle("g1", 1, 1);
+        let g2 = cycle("g2", 2, 2);
+        let g3 = cycle("g3", 3, 3);
+        let (s1, _) = registry.lookup(&g1, &Budget::unlimited());
+        let _ = s1.throughput().unwrap();
+        let _ = registry.lookup(&g2, &Budget::unlimited());
+        // Touch g1 so g2 is the LRU victim when g3 arrives.
+        let _ = registry.lookup(&g1, &Budget::unlimited());
+        let _ = registry.lookup(&g3, &Budget::unlimited());
+        assert_eq!(registry.len(), 2);
+        let stats = registry.stats();
+        assert_eq!(stats.evictions, 1);
+        // g2 was evicted: re-requesting it is a miss (which in turn evicts
+        // g1, the new LRU); g3 stays resident and hits.
+        let (_, l) = registry.lookup(&g2, &Budget::unlimited());
+        assert_eq!(l, Lookup::Miss);
+        let (_, l3) = registry.lookup(&g3, &Budget::unlimited());
+        assert_eq!(l3, Lookup::Hit);
+        // The outstanding Arc to the now-evicted g1 session is untouched:
+        // still warm, still correct.
+        assert!(s1.throughput().is_ok());
+        assert_eq!(s1.symbolic_iterations_computed(), 1);
+        // The evicted session's symbolic run stays in the totals.
+        assert!(registry.stats().symbolic_iterations >= 1);
+    }
+
+    #[test]
+    fn byte_cap_evicts_but_keeps_the_newest_entry() {
+        // A cap below a single session's footprint: the registry keeps
+        // exactly the most recent entry rather than thrashing to zero.
+        let registry = SessionRegistry::with_config(RegistryConfig {
+            max_entries: 16,
+            max_bytes: 1,
+        });
+        let g1 = cycle("g1", 1, 1);
+        let g2 = cycle("g2", 2, 2);
+        let _ = registry.lookup(&g1, &Budget::unlimited());
+        assert_eq!(registry.len(), 1);
+        let _ = registry.lookup(&g2, &Budget::unlimited());
+        assert_eq!(registry.len(), 1, "older entry evicted on byte pressure");
+        assert_eq!(registry.stats().evictions, 1);
+        let (_, l) = registry.lookup(&g2, &Budget::unlimited());
+        assert_eq!(l, Lookup::Hit, "newest entry is retained");
+    }
+
+    #[test]
+    fn clear_counts_as_eviction_and_preserves_outstanding_sessions() {
+        let registry = SessionRegistry::new();
+        let g = cycle("g", 2, 3);
+        let (s, _) = registry.lookup(&g, &Budget::unlimited());
+        let _ = s.throughput().unwrap();
+        registry.clear();
+        assert!(registry.is_empty());
+        let stats = registry.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.symbolic_iterations, 1, "retired count survives");
+        // The outstanding Arc still answers from its warm cache.
+        assert!(s.throughput().is_ok());
+        assert_eq!(s.symbolic_iterations_computed(), 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_of_one_graph_compute_once() {
+        let registry = SessionRegistry::new();
+        let g = cycle("g", 2, 3);
+        let periods = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let registry = &registry;
+                    let g = &g;
+                    scope.spawn(move || {
+                        let s = registry.session(g);
+                        s.throughput().unwrap().period()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        assert!(periods.windows(2).all(|w| w[0] == w[1]));
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+        assert_eq!(stats.symbolic_iterations, 1);
+    }
+}

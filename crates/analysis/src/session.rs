@@ -176,6 +176,49 @@ impl AnalysisSession {
         self.symbolic_runs.load(Ordering::Relaxed)
     }
 
+    /// A heuristic estimate of the heap bytes retained by this session: the
+    /// graph plus every artifact cached so far. Grows as the session warms
+    /// up — the symbolic iteration alone retains `O(N²)` entries for `N`
+    /// initial tokens. Used by `registry::SessionRegistry` to bound its
+    /// total footprint; the estimate is deliberately coarse (element counts
+    /// times element sizes, ignoring allocator slack).
+    pub fn bytes_estimate(&self) -> u64 {
+        const ACTOR_BYTES: u64 = 56; // name ptr/len/cap + exec time + adjacency vecs
+        const CHANNEL_BYTES: u64 = 48; // five u64 fields plus adjacency entries
+        const MP_VALUE_BYTES: u64 = 16; // a max-plus value (tagged i64)
+
+        let g = &self.graph;
+        let n_actors = g.num_actors() as u64;
+        let n_channels = g.num_channels() as u64;
+        let mut bytes = std::mem::size_of::<Self>() as u64
+            + g.name().len() as u64
+            + g.actors().map(|(_, a)| a.name().len() as u64).sum::<u64>()
+            + n_actors * ACTOR_BYTES
+            + n_channels * CHANNEL_BYTES;
+        if self.gamma.get().is_some() {
+            bytes += n_actors * 8;
+        }
+        if let Some(Ok(s)) = self.schedule.get() {
+            bytes += s.firings().len() as u64 * 8;
+        }
+        for slot in [&self.symbolic, &self.symbolic_stamps] {
+            if let Some(Ok(sym)) = slot.get() {
+                let n = sym.num_tokens() as u64;
+                // Matrix, token refs + reverse lookup.
+                bytes += n * n * MP_VALUE_BYTES + n * 48;
+                if let Some(stamps) = &sym.firing_stamps {
+                    let firings: u64 = stamps.iter().map(|f| f.len() as u64).sum();
+                    bytes += firings * 2 * n * MP_VALUE_BYTES;
+                }
+            }
+        }
+        if let Some(Ok(sccs)) = self.sccs.get() {
+            bytes += sccs.iter().map(|c| c.len() as u64 * 8 + 24).sum::<u64>();
+        }
+        // Eigenvalue, bottleneck, makespan: small fixed-size artifacts.
+        bytes + 128
+    }
+
     /// Runs `op` under a meter resumed from the session's cumulative firing
     /// count, then folds the phase's charge back into the total. This is how
     /// every session phase preserves the budget's degradation semantics; it
@@ -553,6 +596,21 @@ mod tests {
         // The session ran exactly one symbolic iteration of the *original*
         // graph; all probes analyse capacity-variant copies.
         assert_eq!(s.symbolic_iterations_computed(), 1);
+    }
+
+    #[test]
+    fn bytes_estimate_grows_as_the_session_warms() {
+        let s = AnalysisSession::new(fig3());
+        let cold = s.bytes_estimate();
+        assert!(cold > 0);
+        let _ = s.throughput().unwrap();
+        let warm = s.bytes_estimate();
+        assert!(
+            warm > cold,
+            "cached artifacts must be accounted: {warm} <= {cold}"
+        );
+        let _ = s.symbolic_with_stamps().unwrap();
+        assert!(s.bytes_estimate() > warm, "stamps add retained bytes");
     }
 
     #[test]

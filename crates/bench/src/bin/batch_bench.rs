@@ -1,0 +1,133 @@
+//! Measures what [`sdfr_analysis::SessionRegistry`] buys a batch run on the
+//! Table-1 benchmark suite: a batch of `K` duplicates of each case is
+//! analysed **cold** (one fresh [`AnalysisSession`] per duplicate, the
+//! pre-registry behaviour) and **warm** (every duplicate served through one
+//! shared registry, so the symbolic iteration runs once and `K - 1`
+//! duplicates are cache hits).
+//!
+//! Usage: `cargo run --release -p sdfr-bench --bin batch_bench`
+//!
+//! Writes `BENCH_batch.json` into the current directory (run from the
+//! repository root) and prints a human-readable table. Exits non-zero when
+//! the warm path is less than 2x faster than cold on any case — the CI
+//! smoke bar for the batch front-end.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sdfr_analysis::{AnalysisSession, SessionRegistry};
+use sdfr_graph::SdfGraph;
+
+/// Duplicates per case: models a batch invocation that keeps meeting the
+/// same graph (config sweeps, per-commit re-analyses).
+const DUPLICATES: usize = 8;
+/// Timing repetitions; the minimum is reported.
+const REPS: u32 = 5;
+
+struct Row {
+    name: String,
+    cold: Duration,
+    warm: Duration,
+    speedup: f64,
+}
+
+/// The `sdfr analyze` artifact set, driven on one session.
+fn drive(s: &AnalysisSession) {
+    let _ = s.throughput().expect("benchmark cases are analysable");
+    let _ = s.bottleneck().expect("benchmark cases are analysable");
+    let _ = s.precedence_sccs().expect("benchmark cases are analysable");
+    let _ = s
+        .iteration_makespan()
+        .expect("benchmark cases are analysable");
+}
+
+/// A batch of `DUPLICATES` units without a registry: every unit pays for
+/// its own session and symbolic iteration.
+fn batch_cold(g: &Arc<SdfGraph>) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..DUPLICATES {
+        let s = AnalysisSession::new(SdfGraph::clone(g));
+        drive(&s);
+    }
+    t0.elapsed()
+}
+
+/// The same batch through one shared registry: one miss, `DUPLICATES - 1`
+/// hits, one symbolic iteration in total.
+fn batch_warm(g: &Arc<SdfGraph>) -> Duration {
+    let registry = SessionRegistry::new();
+    let t0 = Instant::now();
+    for _ in 0..DUPLICATES {
+        let s = registry.session(g);
+        drive(&s);
+    }
+    let elapsed = t0.elapsed();
+    let stats = registry.stats();
+    assert_eq!(
+        (stats.misses, stats.hits, stats.symbolic_iterations),
+        (1, DUPLICATES as u64 - 1, 1),
+        "registry must serve every duplicate from one session"
+    );
+    elapsed
+}
+
+fn min_of(reps: u32, mut f: impl FnMut() -> Duration) -> Duration {
+    (1..reps).fold(f(), |best, _| best.min(f()))
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for case in sdfr_benchmarks::table1::all() {
+        let g = Arc::new(case.graph.clone());
+        let cold = min_of(REPS, || batch_cold(&g));
+        let warm = min_of(REPS, || batch_warm(&g));
+        rows.push(Row {
+            name: case.name.to_string(),
+            cold,
+            warm,
+            speedup: cold.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+        });
+    }
+
+    println!("SessionRegistry batch benchmark ({DUPLICATES} duplicates per case, times in µs, min of {REPS} reps)\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>9}",
+        "case", "cold batch", "warm batch", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>12.1} {:>12.1} {:>8.1}x",
+            r.name,
+            r.cold.as_secs_f64() * 1e6,
+            r.warm.as_secs_f64() * 1e6,
+            r.speedup,
+        );
+    }
+
+    // Machine-readable record (times in microseconds).
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"batch\",\n  \"unit\": \"us\",\n  \"duplicates\": {DUPLICATES},\n  \"cases\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"cold_batch\": {:.1}, \"warm_batch\": {:.1}, \
+             \"warm_speedup\": {:.1}}}",
+            r.name,
+            r.cold.as_secs_f64() * 1e6,
+            r.warm.as_secs_f64() * 1e6,
+            r.speedup,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    println!("\nwrote BENCH_batch.json");
+
+    let min_speedup = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    if min_speedup < 2.0 {
+        eprintln!("WARNING: warm batch speedup below 2x ({min_speedup:.1}x)");
+        std::process::exit(1);
+    }
+}

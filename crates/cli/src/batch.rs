@@ -1,0 +1,453 @@
+//! The `sdfr batch` subcommand: many graphs (or one graph at many budget
+//! tiers) per invocation, analysed through a shared [`SessionRegistry`].
+//!
+//! Each unit of work — one `(file, tier)` pair — is analysed with the PR 1
+//! degradation semantics of `sdfr analyze` and reported as **one JSON line**
+//! (JSON-lines output, one object per unit, streamed as results land). A
+//! final summary object aggregates outcome counts
+//! ([`sdfr_core::OutcomeAggregate`]) and registry statistics.
+//!
+//! # Ordering
+//!
+//! By default, units fan out over a [`std::thread::scope`] worker pool and
+//! lines are emitted in *completion* order. `--stable` switches to
+//! sequential in-index-order processing, which makes the full output —
+//! including per-unit cache attribution (which duplicate is the miss and
+//! which are hits) — deterministic. Use it for scripting and golden tests;
+//! the parallel path produces the same analysis results (the registry
+//! serves every duplicate from one session either way), only line order and
+//! hit/miss attribution vary.
+//!
+//! # Exit-code discipline
+//!
+//! Per unit, the PR 1 rules apply: an exact answer *and* a
+//! degraded-but-safe answer both count as success (code 0); invalid graphs
+//! are 1, unreadable files are 3, exhaustion without a safe fallback is 4.
+//! The batch process exits with the numerically largest per-unit code, and
+//! every unit's code is surfaced in its own line (`"exit"`) as well as in
+//! the summary counts.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sdfr_analysis::registry::{RegistryConfig, SessionRegistry};
+use sdfr_core::degrade::{analyze_with_session, AnalysisOutcome, OutcomeAggregate};
+use sdfr_graph::budget::Budget;
+
+use crate::{CliError, CliErrorKind, EXIT_EXHAUSTED, EXIT_INVALID, EXIT_IO, EXIT_OK};
+
+/// Parsed options of one `sdfr batch` invocation.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Graph files, in command-line order.
+    pub files: Vec<String>,
+    /// `--max-firings` tiers; each file is analysed once per tier. Empty
+    /// means one unit per file under the base budget alone.
+    pub tiers: Vec<u64>,
+    /// Worker threads (defaults to available parallelism, capped by the
+    /// number of units). Ignored under `--stable`, which is sequential.
+    pub threads: usize,
+    /// Deterministic sequential mode (`--stable`).
+    pub stable: bool,
+    /// Registry capacity limits (`--cache-entries`, `--cache-bytes`).
+    pub registry: RegistryConfig,
+    /// Base budget from the global `--deadline`/`--max-firings`/`--max-size`
+    /// options; tiers override the firing cap per unit.
+    pub budget: Budget,
+}
+
+/// The complete result of one batch run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One JSON object per unit, in emission order (index order under
+    /// `--stable`, completion order otherwise).
+    pub lines: Vec<String>,
+    /// The trailing JSON summary object.
+    pub summary: String,
+    /// The batch exit code: the largest per-unit code.
+    pub exit_code: i32,
+}
+
+impl BatchReport {
+    /// The full JSON-lines report: every unit line, then the summary.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&self.summary);
+        out.push('\n');
+        out
+    }
+}
+
+/// One `(file, tier)` work unit.
+#[derive(Debug, Clone)]
+struct Unit {
+    index: usize,
+    file: String,
+    tier: Option<u64>,
+}
+
+#[derive(Debug)]
+struct UnitResult {
+    line: String,
+    exit: i32,
+    outcome: Option<AnalysisOutcome>,
+}
+
+/// Parses `sdfr batch` arguments (everything after the command word).
+///
+/// # Errors
+///
+/// [`CliErrorKind::Usage`] for unknown flags, malformed values, or an empty
+/// file list.
+pub fn parse_batch_args(args: &[String]) -> Result<BatchOptions, CliError> {
+    let mut files = Vec::new();
+    let mut tiers = Vec::new();
+    let mut threads = 0usize;
+    let mut stable = false;
+    let mut registry = RegistryConfig::default();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| CliError::usage(format!("{flag} requires a value")))
+    };
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--stable" => stable = true,
+            "--tiers" => {
+                let raw = value(args, i, "--tiers")?;
+                for part in raw.split(',') {
+                    let n: u64 = part.trim().parse().map_err(|_| {
+                        CliError::usage(format!("--tiers: '{part}' is not a number"))
+                    })?;
+                    tiers.push(n);
+                }
+                i += 1;
+            }
+            "--threads" => {
+                threads = value(args, i, "--threads")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--threads: expected a number"))?;
+                i += 1;
+            }
+            "--cache-entries" => {
+                registry.max_entries = value(args, i, "--cache-entries")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--cache-entries: expected a number"))?;
+                i += 1;
+            }
+            "--cache-bytes" => {
+                registry.max_bytes = value(args, i, "--cache-bytes")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--cache-bytes: expected a number"))?;
+                i += 1;
+            }
+            // Global budget flags are parsed by the caller; skip their value.
+            "--deadline" | "--max-firings" | "--max-size" => i += 1,
+            _ if arg.starts_with('-') => {
+                return Err(CliError::usage(format!("batch: unknown option '{arg}'")));
+            }
+            _ => files.push(arg.to_string()),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        return Err(CliError::usage(
+            "batch: at least one <file> is required\n\n\
+             usage: sdfr batch <file>... [--tiers N,N,...] [--threads T] [--stable]\n\
+             \x20      [--cache-entries N] [--cache-bytes N]\n\
+             \x20      [--deadline D] [--max-firings N] [--max-size N]",
+        ));
+    }
+    Ok(BatchOptions {
+        files,
+        tiers,
+        threads,
+        stable,
+        registry,
+        budget: crate::budget_from_opts(args)?,
+    })
+}
+
+/// Runs a batch: fans units out over the registry-backed worker pool (or
+/// sequentially under `--stable`) and calls `emit` with each JSON line as
+/// it lands. The returned report repeats all lines plus the summary.
+pub fn run_batch(opts: &BatchOptions, emit: &(dyn Fn(&str) + Sync)) -> BatchReport {
+    let units: Vec<Unit> = opts
+        .files
+        .iter()
+        .flat_map(|f| {
+            if opts.tiers.is_empty() {
+                vec![(f.clone(), None)]
+            } else {
+                opts.tiers.iter().map(|&t| (f.clone(), Some(t))).collect()
+            }
+        })
+        .enumerate()
+        .map(|(index, (file, tier))| Unit { index, file, tier })
+        .collect();
+
+    let registry = SessionRegistry::with_config(opts.registry);
+    let mut results: Vec<Option<UnitResult>> = Vec::with_capacity(units.len());
+    results.resize_with(units.len(), || None);
+
+    if opts.stable {
+        for unit in &units {
+            let r = analyze_unit(unit, &registry, &opts.budget);
+            emit(&r.line);
+            results[unit.index] = Some(r);
+        }
+    } else {
+        let threads = if opts.threads > 0 {
+            opts.threads
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        }
+        .clamp(1, units.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots = Mutex::new(&mut results);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = units.get(i) else { break };
+                    let r = analyze_unit(unit, &registry, &opts.budget);
+                    emit(&r.line);
+                    slots.lock().expect("batch results mutex poisoned")[i] = Some(r);
+                });
+            }
+        });
+    }
+
+    // Aggregate; merge() keeps this associative so a per-worker fold would
+    // give the same totals.
+    let mut agg = OutcomeAggregate::default();
+    let mut exit_code = EXIT_OK;
+    let mut lines = Vec::with_capacity(results.len());
+    for r in results.into_iter().flatten() {
+        match &r.outcome {
+            Some(outcome) => agg.record(outcome),
+            None => agg.record_error(),
+        }
+        exit_code = exit_code.max(r.exit);
+        lines.push(r.line);
+    }
+    let stats = registry.stats();
+    let mut summary = String::from("{\"summary\":true");
+    let _ = write!(
+        summary,
+        ",\"total\":{},\"exact\":{},\"degraded\":{},\"degraded_abstraction\":{},\
+         \"degraded_serialization\":{},\"errors\":{}",
+        agg.total(),
+        agg.exact,
+        agg.degraded(),
+        agg.degraded_abstraction,
+        agg.degraded_serialization,
+        agg.errors
+    );
+    let _ = write!(
+        summary,
+        ",\"cache\":{{\"hits\":{},\"misses\":{},\"bypasses\":{},\"collisions\":{},\
+         \"evictions\":{},\"entries\":{},\"bytes_estimate\":{},\"symbolic_iterations\":{}}}",
+        stats.hits,
+        stats.misses,
+        stats.bypasses,
+        stats.collisions,
+        stats.evictions,
+        stats.entries,
+        stats.bytes_estimate,
+        stats.symbolic_iterations
+    );
+    let _ = write!(summary, ",\"exit\":{exit_code}}}");
+    BatchReport {
+        lines,
+        summary,
+        exit_code,
+    }
+}
+
+/// Analyses one unit through the shared registry and renders its JSON line.
+fn analyze_unit(unit: &Unit, registry: &SessionRegistry, base: &Budget) -> UnitResult {
+    let mut line = String::with_capacity(160);
+    let _ = write!(
+        line,
+        "{{\"index\":{},\"file\":{}",
+        unit.index,
+        json_str(&unit.file)
+    );
+    match unit.tier {
+        Some(t) => {
+            let _ = write!(line, ",\"tier\":{t}");
+        }
+        None => line.push_str(",\"tier\":null"),
+    }
+
+    let budget = match unit.tier {
+        Some(t) => base.clone().with_max_firings(t),
+        None => base.clone(),
+    };
+    let graph = match crate::load_graph(&unit.file) {
+        Ok(g) => Arc::new(g),
+        Err(e) => {
+            let exit = e.exit_code();
+            let _ = write!(
+                line,
+                ",\"status\":\"error\",\"error\":{},\"exit\":{exit}}}",
+                json_str(&e.message)
+            );
+            return UnitResult {
+                line,
+                exit,
+                outcome: None,
+            };
+        }
+    };
+    let (session, lookup) = registry.lookup(&graph, &budget);
+    let _ = write!(
+        line,
+        ",\"fingerprint\":\"{:016x}\",\"cache\":\"{lookup}\"",
+        session.fingerprint()
+    );
+    match analyze_with_session(&session) {
+        Ok(AnalysisOutcome::Exact(period)) => {
+            let _ = write!(
+                line,
+                ",\"status\":\"exact\",\"period\":{},\"exit\":0}}",
+                period.map_or("null".to_string(), |p| json_str(&p.to_string()))
+            );
+            UnitResult {
+                line,
+                exit: EXIT_OK,
+                outcome: Some(AnalysisOutcome::Exact(period)),
+            }
+        }
+        Ok(outcome @ AnalysisOutcome::Degraded { .. }) => {
+            let AnalysisOutcome::Degraded { bound, .. } = &outcome else {
+                unreachable!("matched Degraded above");
+            };
+            let _ = write!(
+                line,
+                ",\"status\":\"degraded\",\"bound\":{},\"method\":{},\"exit\":0}}",
+                json_str(&bound.bound.to_string()),
+                json_str(&bound.method.to_string())
+            );
+            UnitResult {
+                line,
+                exit: EXIT_OK,
+                outcome: Some(outcome),
+            }
+        }
+        Err(e) => {
+            let cli: CliError = e.into();
+            let exit = cli.exit_code();
+            let _ = write!(
+                line,
+                ",\"status\":\"error\",\"error\":{},\"exit\":{exit}}}",
+                json_str(&cli.message)
+            );
+            UnitResult {
+                line,
+                exit,
+                outcome: None,
+            }
+        }
+    }
+}
+
+/// Maps a batch exit code back to the [`CliErrorKind`] carrying it.
+pub(crate) fn kind_for_exit(code: i32) -> CliErrorKind {
+    match code {
+        EXIT_IO => CliErrorKind::Io,
+        EXIT_EXHAUSTED => CliErrorKind::Exhausted,
+        _ => {
+            debug_assert_eq!(code, EXIT_INVALID);
+            CliErrorKind::Invalid
+        }
+    }
+}
+
+/// Renders a JSON string literal (quotes, backslashes and control
+/// characters escaped).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\n\t\u{1}"), "\"x\\n\\t\\u0001\"");
+    }
+
+    #[test]
+    fn parse_rejects_bad_args() {
+        let to_args = |s: &[&str]| s.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(parse_batch_args(&to_args(&[])).is_err());
+        assert!(parse_batch_args(&to_args(&["--bogus", "f"])).is_err());
+        assert!(parse_batch_args(&to_args(&["f", "--tiers", "1,x"])).is_err());
+        assert!(parse_batch_args(&to_args(&["f", "--tiers"])).is_err());
+        assert!(parse_batch_args(&to_args(&["f", "--threads", "q"])).is_err());
+        let opts = parse_batch_args(&to_args(&[
+            "a.sdf",
+            "b.sdf",
+            "--tiers",
+            "10,1000",
+            "--stable",
+            "--cache-entries",
+            "8",
+            "--max-firings",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(opts.files, vec!["a.sdf", "b.sdf"]);
+        assert_eq!(opts.tiers, vec![10, 1000]);
+        assert!(opts.stable);
+        assert_eq!(opts.registry.max_entries, 8);
+        assert_eq!(opts.budget.max_firings(), Some(500));
+    }
+
+    #[test]
+    fn missing_file_is_an_error_line_not_a_crash() {
+        let opts = BatchOptions {
+            files: vec!["/nonexistent/batch-file.sdf".to_string()],
+            tiers: vec![],
+            threads: 1,
+            stable: true,
+            registry: RegistryConfig::default(),
+            budget: Budget::unlimited(),
+        };
+        let report = run_batch(&opts, &|_| {});
+        assert_eq!(report.exit_code, EXIT_IO);
+        assert_eq!(report.lines.len(), 1);
+        assert!(report.lines[0].contains("\"status\":\"error\""));
+        assert!(report.lines[0].contains("\"exit\":3"));
+        assert!(report.summary.contains("\"errors\":1"));
+        assert!(report.summary.contains("\"exit\":3"));
+    }
+}

@@ -15,6 +15,8 @@
 //! sdfr schedule  <file>                  rate-optimal static periodic schedule
 //! sdfr csdf      <file> [-o <out.xml>]   cyclo-static analysis + HSDF reduction
 //! sdfr dot       <file>                  Graphviz export
+//! sdfr batch     <file>... [--tiers N,..] JSON-lines analysis through a
+//!                                         shared cross-graph session cache
 //! ```
 //!
 //! The command logic lives in this library (see [`run`]) so it can be
@@ -22,6 +24,8 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod batch;
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -81,7 +85,7 @@ pub struct CliError {
 }
 
 impl CliError {
-    fn usage(message: impl Into<String>) -> Self {
+    pub(crate) fn usage(message: impl Into<String>) -> Self {
         CliError {
             kind: CliErrorKind::Usage,
             message: message.into(),
@@ -174,6 +178,9 @@ COMMANDS:
   schedule  rate-optimal static periodic schedule (HSDF input)
   csdf      cyclo-static file: consistency, throughput, HSDF reduction
   dot       Graphviz export
+  batch     analyze many files (or one file at many --tiers budget tiers)
+            through a shared cross-graph session cache; one JSON line per
+            graph, streamed as results land, plus a JSON summary
 
 OPTIONS:
   -o <file>        write the resulting graph as SDF3-style XML
@@ -182,6 +189,13 @@ OPTIONS:
   --deadline D     wall-clock budget (e.g. 500ms, 1s, 2m; bare number = s)
   --max-firings N  abandon analyses after N actor firings / search steps
   --max-size N     refuse intermediate structures larger than N
+
+BATCH OPTIONS:
+  --tiers N,N,...    analyze each file once per --max-firings tier
+  --threads T        worker threads (default: available parallelism)
+  --stable           sequential, deterministic order (for scripts/tests)
+  --cache-entries N  session-cache entry cap (default 256)
+  --cache-bytes N    session-cache byte cap (default 64 MiB)
 
 Under a budget, `analyze` degrades gracefully: if the exact analysis is
 cut short, a conservative (safe) upper bound on the iteration period is
@@ -231,6 +245,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if command == "--help" || command == "-h" || command == "help" {
         return Ok(USAGE.to_string());
     }
+    if command == "batch" {
+        return cmd_batch(&args[1..]);
+    }
     let Some(path) = args.get(1) else {
         return Err(CliError::usage(format!(
             "{command}: missing <file>\n\n{USAGE}"
@@ -267,7 +284,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 
 /// Builds the resource [`Budget`] from the global `--deadline`,
 /// `--max-firings` and `--max-size` options (unlimited when absent).
-fn budget_from_opts(opts: &[String]) -> Result<Budget, CliError> {
+pub(crate) fn budget_from_opts(opts: &[String]) -> Result<Budget, CliError> {
     let mut budget = Budget::unlimited();
     if let Some(raw) = flag_raw(opts, "--deadline")? {
         budget = budget.with_deadline(parse_duration(&raw)?);
@@ -582,6 +599,40 @@ fn cmd_pareto(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), Cli
         );
     }
     Ok(())
+}
+
+/// Runs `sdfr batch` (see [`batch`]): streams one JSON line per unit to
+/// stdout as results land (unless `--stable`, where the whole deterministic
+/// report is returned instead), then reports the summary. A batch whose
+/// worst per-unit exit code is nonzero surfaces that code through the
+/// returned [`CliError`]; in streaming mode the per-unit lines have already
+/// been printed by then.
+fn cmd_batch(args: &[String]) -> Result<String, CliError> {
+    let opts = batch::parse_batch_args(args)?;
+    let report = if opts.stable {
+        batch::run_batch(&opts, &|_| {})
+    } else {
+        let report = batch::run_batch(&opts, &|line| println!("{line}"));
+        println!("{}", report.summary);
+        report
+    };
+    if report.exit_code != EXIT_OK {
+        // The numerically largest per-unit code is also the most severe
+        // (0 < 1 invalid < 3 io < 4 exhausted).
+        return Err(CliError {
+            kind: batch::kind_for_exit(report.exit_code),
+            message: if opts.stable {
+                report.text()
+            } else {
+                report.summary
+            },
+        });
+    }
+    Ok(if opts.stable {
+        report.text()
+    } else {
+        String::new()
+    })
 }
 
 /// Analyses a cyclo-static file: consistency, throughput, HSDF reduction.

@@ -1,0 +1,207 @@
+//! Integration tests for `sdfr batch`: golden JSON-lines output in
+//! `--stable` mode over the `examples/graphs/` corpus (including a
+//! budget-exhausting graph that degrades), cache behaviour visible in the
+//! summary, exit-code discipline, and parallel/stable result equivalence.
+
+use sdfr_cli::batch::{parse_batch_args, run_batch};
+use sdfr_cli::{load_graph, run, CliErrorKind};
+
+fn example(name: &str) -> String {
+    format!(
+        "{}/../../examples/graphs/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn fingerprint_of(path: &str) -> String {
+    format!(
+        "{:016x}",
+        load_graph(path).expect("example parses").fingerprint()
+    )
+}
+
+/// The full stable-mode report over the example corpus is golden: every
+/// line, field for field, including the degraded huge-multirate unit and
+/// the trailing summary.
+#[test]
+fn stable_batch_is_golden_over_the_example_corpus() {
+    let demo = example("demo.sdf");
+    let pipeline = example("pipeline.sdf");
+    let huge = example("huge_multirate.sdf");
+    let out = run(&args(&[
+        "batch",
+        &demo,
+        &demo,
+        &pipeline,
+        &huge,
+        "--max-firings",
+        "100000",
+        "--stable",
+    ]))
+    .expect("degraded-but-safe batches exit 0");
+
+    let fp_demo = fingerprint_of(&demo);
+    let fp_pipe = fingerprint_of(&pipeline);
+    let fp_huge = fingerprint_of(&huge);
+    let expected = format!(
+        concat!(
+            "{{\"index\":0,\"file\":\"{d}\",\"tier\":null,\"fingerprint\":\"{fd}\",",
+            "\"cache\":\"miss\",\"status\":\"exact\",\"period\":\"5\",\"exit\":0}}\n",
+            "{{\"index\":1,\"file\":\"{d}\",\"tier\":null,\"fingerprint\":\"{fd}\",",
+            "\"cache\":\"hit\",\"status\":\"exact\",\"period\":\"5\",\"exit\":0}}\n",
+            "{{\"index\":2,\"file\":\"{p}\",\"tier\":null,\"fingerprint\":\"{fp}\",",
+            "\"cache\":\"miss\",\"status\":\"exact\",\"period\":\"4\",\"exit\":0}}\n",
+            "{{\"index\":3,\"file\":\"{h}\",\"tier\":null,\"fingerprint\":\"{fh}\",",
+            "\"cache\":\"miss\",\"status\":\"degraded\",\"bound\":\"1000000001\",",
+            "\"method\":\"serialization\",\"exit\":0}}\n",
+            "{{\"summary\":true,\"total\":4,\"exact\":3,\"degraded\":1,",
+            "\"degraded_abstraction\":0,\"degraded_serialization\":1,\"errors\":0,",
+            "\"cache\":{{\"hits\":1,\"misses\":3,\"bypasses\":0,\"collisions\":0,",
+            "\"evictions\":0,\"entries\":3,\"bytes_estimate\":{bytes},",
+            "\"symbolic_iterations\":2}},\"exit\":0}}\n",
+        ),
+        d = demo,
+        p = pipeline,
+        h = huge,
+        fd = fp_demo,
+        fp = fp_pipe,
+        fh = fp_huge,
+        // The bytes estimate is a heuristic we don't pin down; splice the
+        // actual value into the golden text and assert it is sane below.
+        bytes = extract_u64(&out, "\"bytes_estimate\":"),
+    );
+    assert_eq!(out, expected);
+    assert!(extract_u64(&out, "\"bytes_estimate\":") > 0);
+}
+
+/// `--tiers` turns one file into one unit per budget tier: a starved tier
+/// degrades to the Thm. 1 abstraction bound, a generous one is exact, and
+/// each tier gets its own cache key (two misses, no sharing).
+#[test]
+fn tiers_are_distinct_cache_keys_with_distinct_outcomes() {
+    let demo = example("demo.sdf");
+    let out = run(&args(&["batch", &demo, "--tiers", "2,100000", "--stable"]))
+        .expect("both tiers succeed");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"tier\":2"), "line: {}", lines[0]);
+    assert!(
+        lines[0].contains(
+            "\"status\":\"degraded\",\"bound\":\"5\",\"method\":\"abstraction (Thm. 1)\""
+        ),
+        "line: {}",
+        lines[0]
+    );
+    assert!(lines[1].contains("\"tier\":100000"), "line: {}", lines[1]);
+    assert!(
+        lines[1].contains("\"status\":\"exact\",\"period\":\"5\""),
+        "line: {}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains("\"hits\":0,\"misses\":2"),
+        "summary: {}",
+        lines[2]
+    );
+}
+
+/// The headline acceptance criterion: K copies of one graph in a batch run
+/// exactly one symbolic iteration, asserted via the summary counter.
+#[test]
+fn k_copies_compute_one_symbolic_iteration() {
+    let demo = example("demo.sdf");
+    let k = 6;
+    let files: Vec<String> = std::iter::repeat_with(|| demo.clone()).take(k).collect();
+    let mut argv = vec!["batch".to_string()];
+    argv.extend(files);
+    argv.push("--stable".to_string());
+    let out = run(&argv).expect("duplicates all succeed");
+    let summary = out.lines().last().unwrap();
+    assert!(
+        summary.contains("\"symbolic_iterations\":1"),
+        "summary: {summary}"
+    );
+    assert!(
+        summary.contains(&format!("\"hits\":{},\"misses\":1", k - 1)),
+        "summary: {summary}"
+    );
+    assert_eq!(out.matches("\"cache\":\"hit\"").count(), k - 1);
+}
+
+/// An unreadable file yields an error *line* (exit 3) without sinking the
+/// healthy units, and the batch as a whole reports the worst code as an
+/// `Io` error.
+#[test]
+fn unreadable_file_is_one_error_line_and_the_batch_exit() {
+    let demo = example("demo.sdf");
+    let err = run(&args(&[
+        "batch",
+        &demo,
+        "/nonexistent/gone.sdf",
+        "--stable",
+    ]))
+    .expect_err("the missing file must surface");
+    assert_eq!(err.kind, CliErrorKind::Io);
+    assert_eq!(err.exit_code(), 3);
+    // The report still carries the healthy unit and the summary.
+    assert!(err.message.contains("\"index\":0"));
+    assert!(err
+        .message
+        .contains("\"status\":\"exact\",\"period\":\"5\""));
+    assert!(
+        err.message
+            .contains("\"status\":\"error\",\"error\":\"/nonexistent/gone.sdf"),
+        "message: {}",
+        err.message
+    );
+    assert!(err.message.contains("\"errors\":1"));
+    assert!(err.message.contains("\"exit\":3}"));
+}
+
+/// The parallel worker pool produces the same analysis results as stable
+/// mode; only line order and hit/miss attribution may differ.
+#[test]
+fn parallel_results_match_stable_results() {
+    let demo = example("demo.sdf");
+    let pipeline = example("pipeline.sdf");
+    let argv: Vec<String> = args(&[&demo, &demo, &pipeline, &demo, "--threads", "4"]);
+    let parallel = run_batch(&parse_batch_args(&argv).unwrap(), &|_| {});
+    let mut stable_argv = argv.clone();
+    stable_argv.push("--stable".to_string());
+    let stable = run_batch(&parse_batch_args(&stable_argv).unwrap(), &|_| {});
+
+    let normalize = |lines: &[String]| -> Vec<String> {
+        let mut v: Vec<String> = lines
+            .iter()
+            .map(|l| l.replace("\"cache\":\"hit\"", "\"cache\":\"miss\""))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(normalize(&parallel.lines), normalize(&stable.lines));
+    assert_eq!(parallel.exit_code, 0);
+    assert_eq!(stable.exit_code, 0);
+    // Both modes serve every duplicate from one session.
+    for report in [&parallel, &stable] {
+        assert!(
+            report.summary.contains("\"symbolic_iterations\":2"),
+            "summary: {}",
+            report.summary
+        );
+    }
+}
+
+/// Pulls the integer following `key` out of a JSON-ish line.
+fn extract_u64(text: &str, key: &str) -> u64 {
+    let start = text.find(key).expect("key present") + key.len();
+    text[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("digits follow the key")
+}

@@ -99,6 +99,71 @@ impl AnalysisOutcome {
     }
 }
 
+/// Batch-level aggregation of budgeted-analysis outcomes.
+///
+/// A batch (many graphs, or one graph at many budget tiers) produces one
+/// [`AnalysisOutcome`] — or an error — per unit of work; this accumulator
+/// folds them into the summary the batch front-end reports: how many units
+/// were exact, how many degraded (broken down by [`FallbackMethod`], so
+/// operators can see whether the cheap Thm. 1 bound or the loose
+/// serialization bound stood in), and how many failed outright.
+///
+/// Aggregates [`merge`](Self::merge) associatively, so per-worker partial
+/// sums can be folded in any order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeAggregate {
+    /// Units whose exact analysis finished within budget.
+    pub exact: u64,
+    /// Units that degraded to the Thm. 1 abstraction bound.
+    pub degraded_abstraction: u64,
+    /// Units that degraded to the serialization bound.
+    pub degraded_serialization: u64,
+    /// Units that produced no result at all (invalid graph, I/O failure,
+    /// exhaustion with no safe fallback).
+    pub errors: u64,
+}
+
+impl OutcomeAggregate {
+    /// Folds one analysis outcome into the aggregate.
+    pub fn record(&mut self, outcome: &AnalysisOutcome) {
+        match outcome {
+            AnalysisOutcome::Exact(_) => self.exact += 1,
+            AnalysisOutcome::Degraded { bound, .. } => match bound.method {
+                FallbackMethod::Abstraction => self.degraded_abstraction += 1,
+                FallbackMethod::Serialization => self.degraded_serialization += 1,
+            },
+        }
+    }
+
+    /// Folds one failed unit (no outcome) into the aggregate.
+    pub fn record_error(&mut self) {
+        self.errors += 1;
+    }
+
+    /// Combines another aggregate into this one (associative, commutative).
+    pub fn merge(&mut self, other: &OutcomeAggregate) {
+        self.exact += other.exact;
+        self.degraded_abstraction += other.degraded_abstraction;
+        self.degraded_serialization += other.degraded_serialization;
+        self.errors += other.errors;
+    }
+
+    /// Units that degraded to any conservative bound.
+    pub fn degraded(&self) -> u64 {
+        self.degraded_abstraction + self.degraded_serialization
+    }
+
+    /// Total units recorded.
+    pub fn total(&self) -> u64 {
+        self.exact + self.degraded() + self.errors
+    }
+
+    /// `true` if every recorded unit produced an exact answer.
+    pub fn all_exact(&self) -> bool {
+        self.degraded() == 0 && self.errors == 0
+    }
+}
+
 /// Computes a conservative upper bound on the iteration period *without*
 /// executing an iteration.
 ///
@@ -303,6 +368,54 @@ mod tests {
         assert_eq!(fallback.method, FallbackMethod::Abstraction);
         let exact = throughput(&g).unwrap().period().unwrap();
         assert!(exact <= fallback.bound, "{exact} <= {}", fallback.bound);
+    }
+
+    #[test]
+    fn outcome_aggregate_counts_and_merges() {
+        let exact = AnalysisOutcome::Exact(Some(Rational::from(5)));
+        let degraded = AnalysisOutcome::Degraded {
+            exhausted: SdfError::Exhausted {
+                resource: BudgetResource::Firings,
+                spent: 11,
+                limit: 10,
+            },
+            bound: ConservativeBound {
+                bound: Rational::from(42),
+                method: FallbackMethod::Serialization,
+            },
+        };
+        let mut a = OutcomeAggregate::default();
+        a.record(&exact);
+        a.record(&exact);
+        a.record(&degraded);
+        assert_eq!(a.exact, 2);
+        assert_eq!(a.degraded(), 1);
+        assert_eq!(a.degraded_serialization, 1);
+        assert!(!a.all_exact());
+
+        let mut b = OutcomeAggregate::default();
+        b.record(&AnalysisOutcome::Degraded {
+            exhausted: SdfError::Exhausted {
+                resource: BudgetResource::WallClock,
+                spent: 2,
+                limit: 1,
+            },
+            bound: ConservativeBound {
+                bound: Rational::from(7),
+                method: FallbackMethod::Abstraction,
+            },
+        });
+        b.record_error();
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.total(), 5);
+        assert_eq!(merged.degraded(), 2);
+        assert_eq!(merged.degraded_abstraction, 1);
+        assert_eq!(merged.errors, 1);
+
+        let mut only_exact = OutcomeAggregate::default();
+        only_exact.record(&exact);
+        assert!(only_exact.all_exact());
     }
 
     #[test]

@@ -59,8 +59,9 @@ pub mod unfold;
 pub use abstraction::{abstract_graph, Abstraction, AbstractionBuilder};
 pub use degrade::{
     analyze_with_budget, analyze_with_session, AnalysisOutcome, ConservativeBound, FallbackMethod,
+    OutcomeAggregate,
 };
 pub use error::CoreError;
 pub use novel::NovelConversion;
-pub use sdfr_analysis::AnalysisSession;
+pub use sdfr_analysis::{AnalysisSession, SessionRegistry};
 pub use traditional::TraditionalConversion;

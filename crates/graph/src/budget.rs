@@ -131,6 +131,27 @@ impl Budget {
         self.max_size
     }
 
+    /// Returns `true` if a wall-clock deadline is configured.
+    pub fn has_deadline(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Returns `true` if a cooperative cancellation flag is installed.
+    pub fn has_cancel_flag(&self) -> bool {
+        self.cancel.is_some()
+    }
+
+    /// Returns `true` if this budget is described entirely by its *content*
+    /// (the firing and size caps): two content-addressable budgets with equal
+    /// caps are interchangeable, so work done under one is valid under the
+    /// other. Deadlines are anchored to an absolute [`Instant`] and cancel
+    /// flags have pointer identity, so budgets carrying either are *not*
+    /// content-addressable — caches keyed on budget content (see
+    /// `sdfr_analysis::registry`) must bypass them.
+    pub fn is_content_addressable(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
     /// Returns `true` if no limit is configured at all.
     pub fn is_unlimited(&self) -> bool {
         self.max_firings.is_none()
@@ -374,6 +395,21 @@ mod tests {
             }) => assert!(spent >= 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn content_addressability_is_detected() {
+        assert!(Budget::unlimited().is_content_addressable());
+        let b = Budget::unlimited().with_max_firings(10).with_max_size(5);
+        assert!(b.is_content_addressable());
+        assert!(!b.has_deadline());
+        assert!(!b.has_cancel_flag());
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(1));
+        assert!(b.has_deadline());
+        assert!(!b.is_content_addressable());
+        let b = Budget::unlimited().with_cancel_flag(Arc::new(AtomicBool::new(false)));
+        assert!(b.has_cancel_flag());
+        assert!(!b.is_content_addressable());
     }
 
     #[test]

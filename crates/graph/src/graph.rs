@@ -278,10 +278,35 @@ impl SdfGraph {
     /// generation id for caches keyed on graph content: two graphs with equal
     /// structure hash equal, and any edit (made by building a new graph)
     /// changes the fingerprint with overwhelming probability. It is *not*
-    /// cryptographic — do not use it to authenticate untrusted inputs.
+    /// cryptographic — do not use it to authenticate untrusted inputs, and
+    /// caches keyed on it must still deep-compare graphs on a hit to rule
+    /// out the 2⁻⁶⁴ collision (see `sdfr_analysis::registry`).
+    ///
+    /// # Ordering is part of the content — deliberately
+    ///
+    /// Actors and channels are hashed in *insertion order*, and two graphs
+    /// that list the same channels in permuted order fingerprint
+    /// **differently**. This is intentional: insertion order determines the
+    /// dense [`ActorId`]/[`ChannelId`] indices, and those indices are
+    /// observable in analysis results (per-channel capacity vectors,
+    /// per-actor schedules, token numbering). A cache that treated permuted
+    /// graphs as identical would serve one graph's per-channel vectors in
+    /// another graph's channel order. Callers wanting order-insensitive
+    /// deduplication must canonicalize the build order first.
+    ///
+    /// Every field of every channel — endpoints, production/consumption
+    /// rates, and initial tokens — is hashed with its position, so reordering
+    /// rates *within* one channel (e.g. swapping `p` and `c`) or moving a
+    /// delay between adjacent channels also changes the fingerprint. Section
+    /// tags and length prefixes separate the name/actor/channel sections, so
+    /// field sequences cannot alias across section boundaries.
     pub fn fingerprint(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        /// Domain-separation tags, one per section.
+        const TAG_NAME: u64 = 0x6e61_6d65; // "name"
+        const TAG_ACTORS: u64 = 0x6163_7473; // "acts"
+        const TAG_CHANNELS: u64 = 0x6368_616e; // "chan"
 
         struct Fnv(u64);
         impl Fnv {
@@ -300,12 +325,15 @@ impl SdfGraph {
         }
 
         let mut h = Fnv(FNV_OFFSET);
+        h.u64(TAG_NAME);
         h.str(&self.name);
+        h.u64(TAG_ACTORS);
         h.u64(self.actors.len() as u64);
         for a in &self.actors {
             h.str(&a.name);
             h.u64(a.execution_time as u64);
         }
+        h.u64(TAG_CHANNELS);
         h.u64(self.channels.len() as u64);
         for c in &self.channels {
             h.u64(c.source.0 as u64);
@@ -446,6 +474,54 @@ mod tests {
         b.channel(c, a, 1, 1, 4).unwrap();
         let g4 = b.build().unwrap();
         assert_ne!(g1.fingerprint(), g4.fingerprint());
+    }
+
+    #[test]
+    fn permuted_channel_insertion_orders_fingerprint_differently() {
+        // Same actors, same channel multiset, opposite insertion order. The
+        // two graphs assign opposite ChannelId indices, and per-channel
+        // analysis results (capacity vectors, peak-token reports) are indexed
+        // by ChannelId — so these are distinct cache identities on purpose.
+        let build = |swap: bool| {
+            let mut b = SdfGraph::builder("perm");
+            let a = b.actor("a", 2);
+            let c = b.actor("b", 3);
+            if swap {
+                b.channel(c, a, 1, 1, 4).unwrap();
+                b.channel(a, c, 2, 3, 1).unwrap();
+            } else {
+                b.channel(a, c, 2, 3, 1).unwrap();
+                b.channel(c, a, 1, 1, 4).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let g1 = build(false);
+        let g2 = build(true);
+        assert_ne!(g1, g2, "channel order is part of graph identity");
+        assert_ne!(
+            g1.fingerprint(),
+            g2.fingerprint(),
+            "permuted channel insertion order must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_adjacent_channel_fields() {
+        // Swapping a channel's production/consumption rates, or moving a
+        // delay from one channel to its neighbour, must change the hash even
+        // though the flat field sequence is similar.
+        let build = |p: u64, c: u64, d0: u64, d1: u64| {
+            let mut b = SdfGraph::builder("fields");
+            let a = b.actor("a", 1);
+            let z = b.actor("z", 1);
+            b.channel(a, z, p, c, d0).unwrap();
+            b.channel(z, a, 1, 1, d1).unwrap();
+            b.build().unwrap()
+        };
+        let base = build(2, 3, 1, 4);
+        assert_ne!(base.fingerprint(), build(3, 2, 1, 4).fingerprint());
+        assert_ne!(base.fingerprint(), build(2, 3, 4, 1).fingerprint());
+        assert_ne!(base.fingerprint(), build(2, 3, 0, 5).fingerprint());
     }
 
     #[test]
