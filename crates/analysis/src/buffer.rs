@@ -345,7 +345,8 @@ fn probe_feasible(
 /// tokens to the reverse channel, which can only shorten cycles), which the
 /// search exploits in two phases:
 ///
-/// 1. **Parallel scouting** ([`std::thread::scope`], one worker per core):
+/// 1. **Parallel scouting** (one task per channel on the shared
+///    [work-stealing pool](sdfr_pool::current)):
 ///    each channel's minimal feasible capacity against the *un-shrunk*
 ///    starting allocation is found by an independent binary search. Because
 ///    neighbours only ever shrink afterwards, these minima are valid lower
@@ -446,38 +447,14 @@ fn channel_floor(ch: &sdfr_graph::Channel) -> u64 {
     }
 }
 
-/// Evaluates `f(0..n)` on scoped worker threads (one per available core, at
-/// most `n`) and returns the results in index order — the capacity probes of
-/// the design-space searches are independent, so fan-out changes wall-clock
-/// time but not results. Falls back to a sequential loop when only one
-/// worker is warranted.
+/// Evaluates `f(0..n)` on the [current](sdfr_pool::current) work-stealing
+/// pool and returns the results in index order — the capacity probes of the
+/// design-space searches are independent, so fan-out changes wall-clock
+/// time but not results. On pool worker threads this schedules onto the
+/// *same* pool (nested fan-outs cooperate rather than oversubscribe), and a
+/// 1-thread pool degenerates to a sequential loop on the calling thread.
 fn parallel_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .min(n);
-    if workers <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let f = &f;
-                s.spawn(move || -> Vec<(usize, R)> {
-                    (w..n).step_by(workers).map(|i| (i, f(i))).collect()
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("capacity-search worker panicked") {
-                slots[i] = Some(r);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|r| r.expect("every index was dealt to exactly one worker"))
-        .collect()
+    sdfr_pool::current().map_indexed(n, f)
 }
 
 #[cfg(test)]
@@ -676,9 +653,9 @@ fn period_at(g: &SdfGraph, caps: &[u64]) -> Option<sdfr_maxplus::Rational> {
 /// The greedy sweep behind [`throughput_buffer_tradeoff`], against an
 /// already-known target period. Each step's candidate probes (+1 on every
 /// growable channel) are independent full analyses of a capacity-variant
-/// graph; `parallel` fans them out over scoped threads, and the subsequent
-/// fold picks the winner in ascending channel order with a strict
-/// comparison — the same candidate the sequential loop picks.
+/// graph; `parallel` fans them out over the shared work-stealing pool, and
+/// the subsequent fold picks the winner in ascending channel order with a
+/// strict comparison — the same candidate the sequential loop picks.
 pub(crate) fn throughput_buffer_tradeoff_with_target(
     g: &SdfGraph,
     iterations: u64,

@@ -303,6 +303,30 @@ impl SessionRegistry {
         (session, Lookup::Miss)
     }
 
+    /// Fills the registry for a batch of graphs concurrently on the
+    /// [current](sdfr_pool::current) work-stealing pool, warming each
+    /// session's headline throughput artifact, and returns the sessions in
+    /// input order together with how each lookup was served.
+    ///
+    /// Duplicated content resolves to one shared session: exactly one
+    /// worker pays the symbolic iteration (the session's `OnceLock` slots
+    /// serialize the fill), the rest hit. Results are written to
+    /// index-addressed slots, so the returned order — and therefore any
+    /// fold over it — is independent of the steal schedule. Throughput
+    /// errors are cached in the session like any other artifact and
+    /// surface again when the caller queries it.
+    pub fn prefetch(
+        &self,
+        graphs: &[Arc<SdfGraph>],
+        budget: &Budget,
+    ) -> Vec<(Arc<AnalysisSession>, Lookup)> {
+        sdfr_pool::current().map_indexed(graphs.len(), |i| {
+            let (session, lookup) = self.lookup(&graphs[i], budget);
+            let _ = session.throughput();
+            (session, lookup)
+        })
+    }
+
     /// Evicts least-recently-used entries until the capacity limits hold,
     /// never evicting `keep` (the entry just touched).
     fn evict_locked(&self, inner: &mut Inner, keep: Option<Key>) {
@@ -511,6 +535,35 @@ mod tests {
         // The outstanding Arc still answers from its warm cache.
         assert!(s.throughput().is_ok());
         assert_eq!(s.symbolic_iterations_computed(), 1);
+    }
+
+    #[test]
+    fn prefetch_fills_concurrently_and_matches_sequential_lookups() {
+        let pool = sdfr_pool::Pool::new(4);
+        let registry = SessionRegistry::new();
+        // 12 graphs over 3 distinct contents, interleaved.
+        let graphs: Vec<Arc<SdfGraph>> = (0..12i64).map(|i| cycle("g", 2, 3 + (i % 3))).collect();
+        let results = pool.install(|| registry.prefetch(&graphs, &Budget::unlimited()));
+        assert_eq!(results.len(), graphs.len());
+        // Every distinct content paid its symbolic iteration exactly once,
+        // and equal content shares one session object.
+        for (i, (session, _)) in results.iter().enumerate() {
+            assert_eq!(session.symbolic_iterations_computed(), 1);
+            assert!(Arc::ptr_eq(session, &results[i % 3].0));
+        }
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 9);
+        assert_eq!(stats.symbolic_iterations, 3);
+        // The warmed artifacts are byte-identical to a fresh sequential
+        // registry's answers.
+        let serial = SessionRegistry::new();
+        for (i, g) in graphs.iter().enumerate() {
+            assert_eq!(
+                results[i].0.throughput().unwrap().period(),
+                serial.session(g).throughput().unwrap().period()
+            );
+        }
     }
 
     #[test]

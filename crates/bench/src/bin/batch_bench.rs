@@ -7,16 +7,18 @@
 //!
 //! Usage: `cargo run --release -p sdfr-bench --bin batch_bench`
 //!
-//! Writes `BENCH_batch.json` into the current directory (run from the
+//! Writes `BENCH_batch.json` (shared `sdfr-bench/1` schema, see
+//! [`sdfr_bench::report`]) into the current directory (run from the
 //! repository root) and prints a human-readable table. Exits non-zero when
-//! the warm path is less than 2x faster than cold on any case — the CI
-//! smoke bar for the batch front-end.
+//! the warm path is less than `SDFR_BENCH_MIN_SPEEDUP` (default 2.0) times
+//! faster than cold on any case — the gating CI bar for the batch
+//! front-end.
 
-use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sdfr_analysis::{AnalysisSession, SessionRegistry};
+use sdfr_bench::report::{threshold_from_env, BenchCase, BenchReport};
 use sdfr_graph::SdfGraph;
 
 /// Duplicates per case: models a batch invocation that keeps meeting the
@@ -105,29 +107,30 @@ fn main() {
         );
     }
 
-    // Machine-readable record (times in microseconds).
-    let mut json = format!(
-        "{{\n  \"benchmark\": \"batch\",\n  \"unit\": \"us\",\n  \"duplicates\": {DUPLICATES},\n  \"cases\": [\n"
-    );
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"name\": \"{}\", \"cold_batch\": {:.1}, \"warm_batch\": {:.1}, \
-             \"warm_speedup\": {:.1}}}",
-            r.name,
-            r.cold.as_secs_f64() * 1e6,
-            r.warm.as_secs_f64() * 1e6,
-            r.speedup,
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
-    println!("\nwrote BENCH_batch.json");
+    // Machine-readable record in the shared schema: cold = fresh sessions,
+    // warm = shared registry, both single-threaded (the axis here is
+    // caching, not parallelism).
+    let report = BenchReport {
+        benchmark: "batch",
+        suite: "table1",
+        cases: rows
+            .iter()
+            .map(|r| BenchCase {
+                name: r.name.clone(),
+                threads: 1,
+                cold: r.cold,
+                warm: r.warm,
+                extra: vec![("duplicates".to_string(), DUPLICATES.to_string())],
+            })
+            .collect(),
+    };
+    let path = report.write().expect("write BENCH_batch.json");
+    println!("\nwrote {path}");
 
-    let min_speedup = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
-    if min_speedup < 2.0 {
-        eprintln!("WARNING: warm batch speedup below 2x ({min_speedup:.1}x)");
+    let bar = threshold_from_env("SDFR_BENCH_MIN_SPEEDUP", 2.0);
+    let min_speedup = report.min_speedup();
+    if min_speedup < bar {
+        eprintln!("FAIL: warm batch speedup {min_speedup:.1}x below the {bar:.1}x bar");
         std::process::exit(1);
     }
 }

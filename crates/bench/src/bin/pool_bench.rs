@@ -1,0 +1,199 @@
+//! Measures how the work-stealing pool scales the workspace's parallel
+//! fan-outs at 1/2/4/8 worker threads:
+//!
+//! - **pareto**: the throughput/buffer trade-off sweep over the Table-1
+//!   cases whose repetition-vector sum keeps a capacity probe cheap — the
+//!   probe fan-out in `sdfr_analysis::buffer` routed through a pool of
+//!   each width via [`sdfr_pool::Pool::install`];
+//! - **batch-pareto**: a nested workload — one outer task per (case,
+//!   duplicate) unit on the same pool, each warming a shared
+//!   [`sdfr_analysis::SessionRegistry`] session and then running its own
+//!   Pareto sweep, so inner probe tasks interleave with outer units
+//!   exactly as `sdfr batch` drives them.
+//!
+//! Every width's curves are asserted byte-identical to the serial
+//! reference (`throughput_buffer_tradeoff_serial`) before its time is
+//! reported — the scaling numbers are meaningless if the answers drift.
+//!
+//! Usage: `cargo run --release -p sdfr-bench --bin pool_bench`
+//!
+//! Writes `BENCH_pool.json` (shared `sdfr-bench/1` schema, baseline =
+//! 1-thread pool) and prints a table. Exits non-zero when the 4-thread
+//! speedup of any workload falls below `SDFR_POOL_MIN_SPEEDUP` (default
+//! 2.0) — skipped with a notice when the host has fewer than 4 cores,
+//! where the bar is physically unreachable.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sdfr_analysis::buffer::{
+    throughput_buffer_tradeoff, throughput_buffer_tradeoff_serial, ParetoPoint,
+};
+use sdfr_analysis::SessionRegistry;
+use sdfr_bench::report::{threshold_from_env, BenchCase, BenchReport};
+use sdfr_graph::repetition::repetition_vector;
+use sdfr_graph::SdfGraph;
+use sdfr_pool::Pool;
+
+/// Repetition-sum ceiling above which a case is skipped (matches
+/// `session_bench`: each probe simulates the variant graph).
+const PARETO_GAMMA_LIMIT: u64 = 700;
+/// Simulation horizon for capacity probes.
+const PARETO_ITERATIONS: u64 = 4;
+/// Duplicates per case in the nested batch workload.
+const DUPLICATES: usize = 4;
+/// Timing repetitions; the minimum is reported.
+const REPS: u32 = 3;
+/// Pool widths measured; the first is the baseline.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn min_of(reps: u32, mut f: impl FnMut() -> Duration) -> Duration {
+    (1..reps).fold(f(), |best, _| best.min(f()))
+}
+
+/// The Table-1 cases cheap enough to sweep, with their serial reference
+/// curves (the correctness oracle for every pooled run).
+fn sweep_cases() -> Vec<(&'static str, Arc<SdfGraph>, Vec<ParetoPoint>)> {
+    sdfr_benchmarks::table1::all()
+        .iter()
+        .filter(|case| {
+            repetition_vector(&case.graph)
+                .expect("benchmark cases are consistent")
+                .iteration_length()
+                <= PARETO_GAMMA_LIMIT
+        })
+        .map(|case| {
+            let serial = throughput_buffer_tradeoff_serial(&case.graph, PARETO_ITERATIONS)
+                .expect("benchmark cases admit a sweep");
+            (case.name, Arc::new(case.graph.clone()), serial)
+        })
+        .collect()
+}
+
+/// One full suite of Pareto sweeps on a pool of the given width.
+fn pareto_suite(pool: &Pool, cases: &[(&str, Arc<SdfGraph>, Vec<ParetoPoint>)]) -> Duration {
+    let t0 = Instant::now();
+    for (name, graph, serial) in cases {
+        let curve = pool
+            .install(|| throughput_buffer_tradeoff(graph, PARETO_ITERATIONS))
+            .expect("benchmark cases admit a sweep");
+        assert_eq!(
+            &curve, serial,
+            "{name}: pooled sweep must be byte-identical to serial"
+        );
+    }
+    t0.elapsed()
+}
+
+/// The nested workload: `DUPLICATES` outer units per case fan out as pool
+/// tasks, each warming a shared registry session and running its own
+/// Pareto sweep on the *same* pool (inner probes interleave with outer
+/// units via work-stealing, as under `sdfr batch`).
+fn batch_pareto_suite(pool: &Pool, cases: &[(&str, Arc<SdfGraph>, Vec<ParetoPoint>)]) -> Duration {
+    let registry = SessionRegistry::new();
+    let units: Vec<&(&str, Arc<SdfGraph>, Vec<ParetoPoint>)> = cases
+        .iter()
+        .flat_map(|c| std::iter::repeat_n(c, DUPLICATES))
+        .collect();
+    let t0 = Instant::now();
+    pool.scope(|s| {
+        for &(name, graph, serial) in &units {
+            let registry = &registry;
+            s.spawn(move |_| {
+                let session = registry.session(graph);
+                let _ = session.throughput().expect("cases are analysable");
+                let curve =
+                    throughput_buffer_tradeoff(graph, PARETO_ITERATIONS).expect("cases sweep");
+                assert_eq!(
+                    &curve, serial,
+                    "{name}: nested pooled sweep must be byte-identical to serial"
+                );
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    let stats = registry.stats();
+    assert_eq!(
+        stats.symbolic_iterations,
+        cases.len() as u64,
+        "each distinct case pays one symbolic iteration"
+    );
+    elapsed
+}
+
+fn main() {
+    let cases = sweep_cases();
+    let skipped = sdfr_benchmarks::table1::all().len() - cases.len();
+    let workloads: [(
+        &str,
+        fn(&Pool, &[(&str, Arc<SdfGraph>, Vec<ParetoPoint>)]) -> Duration,
+    ); 2] = [
+        ("pareto", pareto_suite),
+        ("batch-pareto", batch_pareto_suite),
+    ];
+
+    let mut report = BenchReport {
+        benchmark: "pool",
+        suite: "table1",
+        cases: Vec::new(),
+    };
+    println!(
+        "Work-stealing pool scaling ({} Table-1 cases, {skipped} skipped; times in ms, min of {REPS} reps)\n",
+        cases.len()
+    );
+    println!(
+        "{:<14} {:>8} {:>12} {:>9}",
+        "workload", "threads", "time", "speedup"
+    );
+    for (name, suite) in workloads {
+        let mut baseline = Duration::ZERO;
+        for width in WIDTHS {
+            let pool = Pool::new(width);
+            let time = min_of(REPS, || suite(&pool, &cases));
+            if width == 1 {
+                baseline = time;
+            }
+            println!(
+                "{:<14} {:>8} {:>10.1}ms {:>8.2}x",
+                name,
+                width,
+                time.as_secs_f64() * 1e3,
+                baseline.as_secs_f64() / time.as_secs_f64().max(1e-9),
+            );
+            report.cases.push(BenchCase {
+                name: format!("{name}@{width}t"),
+                threads: width,
+                cold: baseline,
+                warm: time,
+                extra: vec![("skipped_cases".into(), skipped.to_string())],
+            });
+        }
+    }
+
+    let path = report.write().expect("write BENCH_pool.json");
+    println!("\nwrote {path}");
+
+    let min_speedup = threshold_from_env("SDFR_POOL_MIN_SPEEDUP", 2.0);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if host_threads < 4 {
+        println!(
+            "scaling gate skipped: host has {host_threads} core(s), \
+             a 4-thread speedup of {min_speedup:.1}x is unreachable"
+        );
+        return;
+    }
+    let worst_at_4 = report
+        .cases
+        .iter()
+        .filter(|c| c.threads == 4)
+        .map(BenchCase::speedup)
+        .fold(f64::INFINITY, f64::min);
+    if worst_at_4 < min_speedup {
+        eprintln!(
+            "FAIL: 4-thread speedup {worst_at_4:.2}x below the \
+             SDFR_POOL_MIN_SPEEDUP bar of {min_speedup:.1}x"
+        );
+        std::process::exit(1);
+    }
+    println!("scaling gate passed: 4-thread speedup {worst_at_4:.2}x >= {min_speedup:.1}x");
+}

@@ -11,18 +11,21 @@
 //!
 //! Usage: `cargo run --release -p sdfr-bench --bin session_bench`
 //!
-//! Writes `BENCH_session.json` into the current directory (run from the
-//! repository root) and prints a human-readable table.
+//! Writes `BENCH_session.json` (shared `sdfr-bench/1` schema, see
+//! [`sdfr_bench::report`]) into the current directory (run from the
+//! repository root) and prints a human-readable table. Exits non-zero when
+//! the warm speedup falls below `SDFR_BENCH_MIN_SPEEDUP` (default 2.0) on
+//! any case.
 //!
 //! The Pareto sweep simulates one capacity-variant graph per probe, so it
 //! is restricted to the cases whose repetition-vector sum keeps a probe
 //! cheap; skipped cases are reported as `null`.
 
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use sdfr_analysis::buffer::{throughput_buffer_tradeoff, throughput_buffer_tradeoff_serial};
 use sdfr_analysis::AnalysisSession;
+use sdfr_bench::report::{threshold_from_env, BenchCase, BenchReport};
 use sdfr_graph::repetition::repetition_vector;
 use sdfr_graph::SdfGraph;
 
@@ -79,9 +82,7 @@ fn min_of<T>(reps: u32, mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
 }
 
 fn json_duration(d: Option<Duration>) -> String {
-    d.map_or("null".to_string(), |d| {
-        format!("{:.1}", d.as_secs_f64() * 1e6)
-    })
+    d.map_or("null".to_string(), |d| d.as_nanos().to_string())
 }
 
 fn main() {
@@ -152,30 +153,39 @@ fn main() {
         );
     }
 
-    // Machine-readable record (times in microseconds).
-    let mut json =
-        String::from("{\n  \"benchmark\": \"session\",\n  \"unit\": \"us\",\n  \"cases\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"name\": \"{}\", \"cold_analyze\": {:.1}, \"warm_analyze\": {:.1}, \
-             \"warm_speedup\": {:.1}, \"pareto_serial\": {}, \"pareto_parallel\": {}}}",
-            r.name,
-            r.cold.as_secs_f64() * 1e6,
-            r.warm.as_secs_f64() * 1e6,
-            r.speedup,
-            json_duration(r.pareto_serial),
-            json_duration(r.pareto_parallel),
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_session.json", &json).expect("write BENCH_session.json");
-    println!("\nwrote BENCH_session.json");
+    // Machine-readable record in the shared schema: cold = fresh session,
+    // warm = cached re-query; the Pareto reference timings ride along as
+    // extra keys (nullable for skipped cases).
+    let report = BenchReport {
+        benchmark: "session",
+        suite: "table1",
+        cases: rows
+            .iter()
+            .map(|r| BenchCase {
+                name: r.name.clone(),
+                threads: 1,
+                cold: r.cold,
+                warm: r.warm,
+                extra: vec![
+                    (
+                        "pareto_serial_ns".to_string(),
+                        json_duration(r.pareto_serial),
+                    ),
+                    (
+                        "pareto_parallel_ns".to_string(),
+                        json_duration(r.pareto_parallel),
+                    ),
+                ],
+            })
+            .collect(),
+    };
+    let path = report.write().expect("write BENCH_session.json");
+    println!("\nwrote {path}");
 
-    let min_speedup = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
-    if min_speedup < 2.0 {
-        eprintln!("WARNING: warm speedup below 2x ({min_speedup:.1}x)");
+    let bar = threshold_from_env("SDFR_BENCH_MIN_SPEEDUP", 2.0);
+    let min_speedup = report.min_speedup();
+    if min_speedup < bar {
+        eprintln!("FAIL: warm speedup {min_speedup:.1}x below the {bar:.1}x bar");
         std::process::exit(1);
     }
 }

@@ -11,8 +11,14 @@
 //! - `experiments` — everything above, as the markdown used in
 //!   `EXPERIMENTS.md`.
 //!
+//! The gating performance benches — `session_bench`, `batch_bench` and
+//! `pool_bench` — write `BENCH_*.json` artifacts in the shared
+//! [`report`] schema and exit non-zero below their speedup bars.
+//!
 //! The Criterion benches in `benches/` measure conversion and analysis
 //! run-times and the ablations called out in `DESIGN.md`.
+
+pub mod report;
 
 use sdfr_analysis::throughput::throughput;
 use sdfr_benchmarks::regular::{prefetch_exact_period, prefetch_model, Figure1};

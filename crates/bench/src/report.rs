@@ -1,0 +1,176 @@
+//! The shared machine-readable schema for every `BENCH_*.json` artifact.
+//!
+//! All benchmark binaries (`session_bench`, `batch_bench`, `pool_bench`)
+//! emit the same shape, so CI and ad-hoc tooling parse one format:
+//!
+//! ```json
+//! {
+//!   "schema": "sdfr-bench/1",
+//!   "benchmark": "pool",
+//!   "suite": "table1",
+//!   "unit": "ns",
+//!   "cases": [
+//!     {"name": "wireless@4t", "threads": 4, "cold_ns": 812345,
+//!      "warm_ns": 231234, "speedup": 3.5}
+//!   ]
+//! }
+//! ```
+//!
+//! Per case, `cold_ns` is the baseline configuration (fresh sessions,
+//! one thread, …) and `warm_ns` the optimized one (shared registry, `N`
+//! threads, …); `speedup` is always `cold_ns / warm_ns`. `threads` is the
+//! worker count the *warm* configuration ran with — 1 for benchmarks whose
+//! axis is caching rather than parallelism. Benchmark-specific extras
+//! (skipped sweeps, duplicate counts) ride along as additional keys
+//! without breaking `schema`-aware consumers.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "sdfr-bench/1";
+
+/// One measured configuration of one case.
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Case name, unique within the report.
+    pub name: String,
+    /// Worker threads of the warm (optimized) configuration.
+    pub threads: usize,
+    /// Baseline wall time.
+    pub cold: Duration,
+    /// Optimized wall time.
+    pub warm: Duration,
+    /// Extra keys as `(key, raw JSON value)` pairs, appended verbatim.
+    pub extra: Vec<(String, String)>,
+}
+
+impl BenchCase {
+    /// `cold / warm`, the figure the gating thresholds compare against.
+    pub fn speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.warm.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A full `BENCH_*.json` report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark name (`session`, `batch`, `pool`).
+    pub benchmark: &'static str,
+    /// Input suite the cases come from.
+    pub suite: &'static str,
+    /// Measured cases.
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchReport {
+    /// Renders the report in the shared schema.
+    pub fn to_json(&self) -> String {
+        let mut json = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"benchmark\": \"{}\",\n  \
+             \"suite\": \"{}\",\n  \"unit\": \"ns\",\n  \"cases\": [\n",
+            self.benchmark, self.suite
+        );
+        for (i, c) in self.cases.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"threads\": {}, \"cold_ns\": {}, \
+                 \"warm_ns\": {}, \"speedup\": {:.2}",
+                c.name,
+                c.threads,
+                c.cold.as_nanos(),
+                c.warm.as_nanos(),
+                c.speedup(),
+            );
+            for (key, value) in &c.extra {
+                let _ = write!(json, ", \"{key}\": {value}");
+            }
+            json.push('}');
+            json.push_str(if i + 1 < self.cases.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Writes `BENCH_<benchmark>.json` into the current directory (run the
+    /// bench binaries from the repository root).
+    pub fn write(&self) -> std::io::Result<String> {
+        let path = format!("BENCH_{}.json", self.benchmark);
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// The smallest per-case speedup, or `+inf` for an empty report.
+    pub fn min_speedup(&self) -> f64 {
+        self.cases
+            .iter()
+            .map(BenchCase::speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Reads a gating threshold from the environment, falling back to
+/// `default` when unset or empty. Malformed values abort the benchmark
+/// (exit 2) rather than silently gating at the wrong bar.
+pub fn threshold_from_env(var: &str, default: f64) -> f64 {
+    match std::env::var(var) {
+        Ok(raw) if !raw.trim().is_empty() => raw.trim().parse().unwrap_or_else(|_| {
+            eprintln!("{var} must be a number, got '{raw}'");
+            std::process::exit(2);
+        }),
+        _ => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_the_shared_schema() {
+        let report = BenchReport {
+            benchmark: "pool",
+            suite: "table1",
+            cases: vec![
+                BenchCase {
+                    name: "pareto@4t".into(),
+                    threads: 4,
+                    cold: Duration::from_nanos(4000),
+                    warm: Duration::from_nanos(1000),
+                    extra: vec![("skipped".into(), "2".into())],
+                },
+                BenchCase {
+                    name: "pareto@8t".into(),
+                    threads: 8,
+                    cold: Duration::from_nanos(4000),
+                    warm: Duration::from_nanos(2000),
+                    extra: vec![],
+                },
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"sdfr-bench/1\""));
+        assert!(json.contains("\"benchmark\": \"pool\""));
+        assert!(json.contains("\"suite\": \"table1\""));
+        assert!(json.contains("\"unit\": \"ns\""));
+        assert!(json.contains(
+            "{\"name\": \"pareto@4t\", \"threads\": 4, \"cold_ns\": 4000, \
+             \"warm_ns\": 1000, \"speedup\": 4.00, \"skipped\": 2}"
+        ));
+        assert!((report.min_speedup() - 2.0).abs() < 1e-9);
+        // Exactly one trailing comma between the two cases.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn threshold_env_fallback() {
+        assert_eq!(
+            threshold_from_env("SDFR_TEST_THRESHOLD_UNSET_VAR", 2.5),
+            2.5
+        );
+    }
+}

@@ -9,14 +9,24 @@
 //!
 //! # Ordering
 //!
-//! By default, units fan out over a [`std::thread::scope`] worker pool and
-//! lines are emitted in *completion* order. `--stable` switches to
+//! By default, units fan out as one task each over a dedicated
+//! [work-stealing pool](sdfr_pool::Pool) and lines are emitted in
+//! *completion* order. The pool is shared with the per-unit analyses (each
+//! task body sees it via [`sdfr_pool::current`]), so any nested fan-out —
+//! capacity probes, Pareto sweeps — cooperates with the batch workers
+//! instead of oversubscribing the machine. `--stable` switches to
 //! sequential in-index-order processing, which makes the full output —
 //! including per-unit cache attribution (which duplicate is the miss and
 //! which are hits) — deterministic. Use it for scripting and golden tests;
 //! the parallel path produces the same analysis results (the registry
 //! serves every duplicate from one session either way), only line order and
-//! hit/miss attribution vary.
+//! hit/miss attribution vary. A one-thread pool (`--threads 1` or
+//! `SDFR_THREADS=1`) executes tasks caller-driven in submission order, so
+//! its streamed output is byte-identical to `--stable` — CI diffs the two.
+//!
+//! Worker-count precedence: `--threads T` beats the `SDFR_THREADS`
+//! environment variable, which beats available parallelism. Zero or
+//! non-numeric values of either are usage errors (exit 2).
 //!
 //! # Exit-code discipline
 //!
@@ -28,7 +38,6 @@
 //! the summary counts.
 
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sdfr_analysis::registry::{RegistryConfig, SessionRegistry};
@@ -45,8 +54,11 @@ pub struct BatchOptions {
     /// `--max-firings` tiers; each file is analysed once per tier. Empty
     /// means one unit per file under the base budget alone.
     pub tiers: Vec<u64>,
-    /// Worker threads (defaults to available parallelism, capped by the
-    /// number of units). Ignored under `--stable`, which is sequential.
+    /// Worker threads. `0` means "resolve at run time" (the validated
+    /// `SDFR_THREADS` value if set, else available parallelism); the
+    /// parser never produces 0 from an explicit `--threads` flag, which
+    /// must be a positive integer. Capped by the number of units. Ignored
+    /// under `--stable`, which is sequential.
     pub threads: usize,
     /// Deterministic sequential mode (`--stable`).
     pub stable: bool,
@@ -131,9 +143,15 @@ pub fn parse_batch_args(args: &[String]) -> Result<BatchOptions, CliError> {
                 i += 1;
             }
             "--threads" => {
-                threads = value(args, i, "--threads")?
-                    .parse()
-                    .map_err(|_| CliError::usage("--threads: expected a number"))?;
+                let raw = value(args, i, "--threads")?;
+                threads = raw.parse().map_err(|_| {
+                    CliError::usage(format!("--threads must be a positive integer, got '{raw}'"))
+                })?;
+                if threads == 0 {
+                    return Err(CliError::usage(format!(
+                        "--threads must be a positive integer, got '{raw}'"
+                    )));
+                }
                 i += 1;
             }
             "--cache-entries" => {
@@ -164,6 +182,14 @@ pub fn parse_batch_args(args: &[String]) -> Result<BatchOptions, CliError> {
              \x20      [--cache-entries N] [--cache-bytes N]\n\
              \x20      [--deadline D] [--max-firings N] [--max-size N]",
         ));
+    }
+    if threads == 0 {
+        // No --threads flag: fall back to SDFR_THREADS, rejecting garbage
+        // (a silently ignored typo would change parallelism, and with it
+        // the determinism guarantees CI relies on).
+        threads = sdfr_pool::env_threads()
+            .map_err(|e| CliError::usage(e.to_string()))?
+            .map_or(0, |n| n.get());
     }
     Ok(BatchOptions {
         files,
@@ -207,19 +233,27 @@ pub fn run_batch(opts: &BatchOptions, emit: &(dyn Fn(&str) + Sync)) -> BatchRepo
         let threads = if opts.threads > 0 {
             opts.threads
         } else {
-            std::thread::available_parallelism().map_or(4, |n| n.get())
+            sdfr_pool::default_threads()
         }
         .clamp(1, units.len().max(1));
-        let next = AtomicUsize::new(0);
+        // A dedicated pool honors the requested width exactly. Each unit is
+        // one task; the task wrapper installs the pool as the thread's
+        // current one, so nested per-unit fan-outs (capacity probes, Pareto
+        // sweeps) are stolen by idle batch workers instead of spawning a
+        // second layer of threads. With one thread the scope caller drains
+        // the queue in submission order, making the streamed lines — and
+        // the hit/miss attribution — identical to `--stable`.
+        let pool = sdfr_pool::Pool::new(threads);
         let slots = Mutex::new(&mut results);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(unit) = units.get(i) else { break };
-                    let r = analyze_unit(unit, &registry, &opts.budget);
+        pool.scope(|s| {
+            for unit in &units {
+                let registry = &registry;
+                let budget = &opts.budget;
+                let slots = &slots;
+                s.spawn(move |_| {
+                    let r = analyze_unit(unit, registry, budget);
                     emit(&r.line);
-                    slots.lock().expect("batch results mutex poisoned")[i] = Some(r);
+                    slots.lock().expect("batch results mutex poisoned")[unit.index] = Some(r);
                 });
             }
         });
@@ -413,6 +447,15 @@ mod tests {
         assert!(parse_batch_args(&to_args(&["f", "--tiers", "1,x"])).is_err());
         assert!(parse_batch_args(&to_args(&["f", "--tiers"])).is_err());
         assert!(parse_batch_args(&to_args(&["f", "--threads", "q"])).is_err());
+        let zero = parse_batch_args(&to_args(&["f", "--threads", "0"])).unwrap_err();
+        assert_eq!(zero.kind, CliErrorKind::Usage);
+        assert!(
+            zero.message.contains("positive integer"),
+            "{}",
+            zero.message
+        );
+        let neg = parse_batch_args(&to_args(&["f", "--threads", "-2"])).unwrap_err();
+        assert_eq!(neg.kind, CliErrorKind::Usage);
         let opts = parse_batch_args(&to_args(&[
             "a.sdf",
             "b.sdf",

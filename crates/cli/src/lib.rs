@@ -192,7 +192,8 @@ OPTIONS:
 
 BATCH OPTIONS:
   --tiers N,N,...    analyze each file once per --max-firings tier
-  --threads T        worker threads (default: available parallelism)
+  --threads T        worker threads, T >= 1 (default: SDFR_THREADS if set,
+                     else available parallelism)
   --stable           sequential, deterministic order (for scripts/tests)
   --cache-entries N  session-cache entry cap (default 256)
   --cache-bytes N    session-cache byte cap (default 64 MiB)

@@ -195,6 +195,67 @@ fn parallel_results_match_stable_results() {
     }
 }
 
+/// The determinism anchor CI diffs: a one-thread pool (`SDFR_THREADS=1`)
+/// drains its queue caller-driven in submission order, so the *streamed*
+/// batch output — line order, cache attribution, summary — is
+/// byte-identical to `--stable`.
+#[test]
+fn sdfr_threads_1_stream_is_byte_identical_to_stable() {
+    let demo = example("demo.sdf");
+    let pipeline = example("pipeline.sdf");
+    let bin = env!("CARGO_BIN_EXE_sdfr");
+    let streamed = std::process::Command::new(bin)
+        .args(["batch", &demo, &demo, &pipeline, &demo])
+        .env("SDFR_THREADS", "1")
+        .output()
+        .expect("sdfr runs");
+    let stable = std::process::Command::new(bin)
+        .args(["batch", &demo, &demo, &pipeline, &demo, "--stable"])
+        .output()
+        .expect("sdfr runs");
+    assert!(streamed.status.success(), "streamed run failed");
+    assert!(stable.status.success(), "stable run failed");
+    assert_eq!(
+        String::from_utf8_lossy(&streamed.stdout),
+        String::from_utf8_lossy(&stable.stdout)
+    );
+}
+
+/// `--threads 0` and malformed/zero `SDFR_THREADS` are usage errors
+/// (exit 2) with a message naming the offender — never a hang or a
+/// silently ignored typo.
+#[test]
+fn invalid_thread_counts_are_usage_errors() {
+    let demo = example("demo.sdf");
+    let bin = env!("CARGO_BIN_EXE_sdfr");
+    for (env_threads, flag_threads) in [
+        (None, Some("0")),
+        (Some("0"), None),
+        (Some("abc"), None),
+        (Some("-3"), None),
+    ] {
+        let mut cmd = std::process::Command::new(bin);
+        cmd.arg("batch").arg(&demo);
+        if let Some(t) = flag_threads {
+            cmd.args(["--threads", t]);
+        }
+        if let Some(v) = env_threads {
+            cmd.env("SDFR_THREADS", v);
+        }
+        let out = cmd.output().expect("sdfr runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "env={env_threads:?} flag={flag_threads:?}"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("must be a positive integer"),
+            "stderr: {stderr}"
+        );
+    }
+}
+
 /// Pulls the integer following `key` out of a JSON-ish line.
 fn extract_u64(text: &str, key: &str) -> u64 {
     let start = text.find(key).expect("key present") + key.len();
