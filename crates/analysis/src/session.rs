@@ -176,6 +176,18 @@ impl AnalysisSession {
         self.symbolic_runs.load(Ordering::Relaxed)
     }
 
+    /// `true` once the artifacts [`Self::throughput`] assembles — the
+    /// eigenvalue and the repetition vector — are resident, i.e. the next
+    /// throughput query answers from cache without running (or waiting on)
+    /// the symbolic iteration. A fill in progress on another thread still
+    /// reads as cold: `OnceLock::get` never blocks. Deadline-bounded
+    /// front-ends (the `sdfr serve` response-deadline path) use this probe
+    /// to decide between answering immediately and warming in the
+    /// background.
+    pub fn throughput_is_warm(&self) -> bool {
+        self.eigenvalue.get().is_some() && self.gamma.get().is_some()
+    }
+
     /// A heuristic estimate of the heap bytes retained by this session: the
     /// graph plus every artifact cached so far. Grows as the session warms
     /// up — the symbolic iteration alone retains `O(N²)` entries for `N`

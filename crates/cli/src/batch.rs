@@ -3,9 +3,12 @@
 //!
 //! Each unit of work — one `(file, tier)` pair — is analysed with the PR 1
 //! degradation semantics of `sdfr analyze` and reported as **one JSON line**
-//! (JSON-lines output, one object per unit, streamed as results land). A
-//! final summary object aggregates outcome counts
-//! ([`sdfr_core::OutcomeAggregate`]) and registry statistics.
+//! (JSON-lines output, one object per unit, streamed as results land). The
+//! records are the [`sdfr_api::UnitRecord`]s of the `sdfr-api/1` wire
+//! schema — the same type `sdfr analyze --json` prints and `sdfr serve`
+//! returns over HTTP — and the trailing summary is an
+//! [`sdfr_api::BatchSummary`] folding outcome counts, per-exit-code counts
+//! and registry statistics.
 //!
 //! # Ordering
 //!
@@ -33,18 +36,21 @@
 //! Per unit, the PR 1 rules apply: an exact answer *and* a
 //! degraded-but-safe answer both count as success (code 0); invalid graphs
 //! are 1, unreadable files are 3, exhaustion without a safe fallback is 4.
-//! The batch process exits with the numerically largest per-unit code, and
-//! every unit's code is surfaced in its own line (`"exit"`) as well as in
-//! the summary counts.
+//! The batch process exits with the numerically largest per-unit code;
+//! every unit's code is surfaced in its own record (`"exit"`, so consumers
+//! never re-derive it from `"status"`), and the summary's `"exits"` object
+//! counts units per code.
 
-use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use sdfr_analysis::registry::{RegistryConfig, SessionRegistry};
-use sdfr_core::degrade::{analyze_with_session, AnalysisOutcome, OutcomeAggregate};
-use sdfr_graph::budget::Budget;
+use sdfr_analysis::registry::{Lookup, RegistryConfig, SessionRegistry};
+use sdfr_api::{BatchSummary, UnitRecord, UnitStatus};
+use sdfr_core::degrade::{analyze_with_session, conservative_period_fallback, AnalysisOutcome};
+use sdfr_graph::budget::{Budget, BudgetResource};
+use sdfr_graph::{SdfError, SdfGraph};
 
-use crate::{CliError, CliErrorKind, EXIT_EXHAUSTED, EXIT_INVALID, EXIT_IO, EXIT_OK};
+use crate::{CliError, CliErrorKind, EXIT_EXHAUSTED, EXIT_INVALID, EXIT_IO, EXIT_OK, EXIT_USAGE};
 
 /// Parsed options of one `sdfr batch` invocation.
 #[derive(Debug, Clone)]
@@ -103,11 +109,14 @@ struct Unit {
     tier: Option<u64>,
 }
 
+/// One analysed unit: the `sdfr-api/1` record plus the library-level
+/// outcome (None for error units), for aggregation.
 #[derive(Debug)]
-struct UnitResult {
-    line: String,
-    exit: i32,
-    outcome: Option<AnalysisOutcome>,
+pub(crate) struct AnalyzedUnit {
+    /// The wire record; `record.exit` carries the unit's exit code.
+    pub record: UnitRecord,
+    /// The outcome behind the record, when the analysis produced one.
+    pub outcome: Option<AnalysisOutcome>,
 }
 
 /// Parses `sdfr batch` arguments (everything after the command word).
@@ -220,13 +229,25 @@ pub fn run_batch(opts: &BatchOptions, emit: &(dyn Fn(&str) + Sync)) -> BatchRepo
         .collect();
 
     let registry = SessionRegistry::with_config(opts.registry);
-    let mut results: Vec<Option<UnitResult>> = Vec::with_capacity(units.len());
+    let mut results: Vec<Option<(String, AnalyzedUnit)>> = Vec::with_capacity(units.len());
     results.resize_with(units.len(), || None);
+
+    let analyze_one = |unit: &Unit| -> (String, AnalyzedUnit) {
+        let analyzed = analyze_source(
+            Some((unit.index, unit.tier)),
+            &unit.file,
+            crate::load_graph(&unit.file).map(Arc::new),
+            &registry,
+            &opts.budget,
+            None,
+        );
+        (analyzed.record.to_json_line(), analyzed)
+    };
 
     if opts.stable {
         for unit in &units {
-            let r = analyze_unit(unit, &registry, &opts.budget);
-            emit(&r.line);
+            let r = analyze_one(unit);
+            emit(&r.0);
             results[unit.index] = Some(r);
         }
     } else {
@@ -247,197 +268,188 @@ pub fn run_batch(opts: &BatchOptions, emit: &(dyn Fn(&str) + Sync)) -> BatchRepo
         let slots = Mutex::new(&mut results);
         pool.scope(|s| {
             for unit in &units {
-                let registry = &registry;
-                let budget = &opts.budget;
+                let analyze_one = &analyze_one;
                 let slots = &slots;
                 s.spawn(move |_| {
-                    let r = analyze_unit(unit, registry, budget);
-                    emit(&r.line);
+                    let r = analyze_one(unit);
+                    emit(&r.0);
                     slots.lock().expect("batch results mutex poisoned")[unit.index] = Some(r);
                 });
             }
         });
     }
 
-    // Aggregate; merge() keeps this associative so a per-worker fold would
-    // give the same totals.
-    let mut agg = OutcomeAggregate::default();
-    let mut exit_code = EXIT_OK;
-    let mut lines = Vec::with_capacity(results.len());
-    for r in results.into_iter().flatten() {
-        match &r.outcome {
-            Some(outcome) => agg.record(outcome),
-            None => agg.record_error(),
-        }
-        exit_code = exit_code.max(r.exit);
-        lines.push(r.line);
-    }
-    let stats = registry.stats();
-    let mut summary = String::from("{\"summary\":true");
-    let _ = write!(
-        summary,
-        ",\"total\":{},\"exact\":{},\"degraded\":{},\"degraded_abstraction\":{},\
-         \"degraded_serialization\":{},\"errors\":{}",
-        agg.total(),
-        agg.exact,
-        agg.degraded(),
-        agg.degraded_abstraction,
-        agg.degraded_serialization,
-        agg.errors
+    let (summary, exit_code) = summarize(
+        results.iter().flatten().map(|(_, analyzed)| analyzed),
+        registry.stats(),
     );
-    let _ = write!(
-        summary,
-        ",\"cache\":{{\"hits\":{},\"misses\":{},\"bypasses\":{},\"collisions\":{},\
-         \"evictions\":{},\"entries\":{},\"bytes_estimate\":{},\"symbolic_iterations\":{}}}",
-        stats.hits,
-        stats.misses,
-        stats.bypasses,
-        stats.collisions,
-        stats.evictions,
-        stats.entries,
-        stats.bytes_estimate,
-        stats.symbolic_iterations
-    );
-    let _ = write!(summary, ",\"exit\":{exit_code}}}");
+    let lines = results
+        .into_iter()
+        .flatten()
+        .map(|(line, _)| line)
+        .collect();
     BatchReport {
         lines,
-        summary,
+        summary: summary.to_json_line(),
         exit_code,
     }
 }
 
-/// Analyses one unit through the shared registry and renders its JSON line.
-fn analyze_unit(unit: &Unit, registry: &SessionRegistry, base: &Budget) -> UnitResult {
-    let mut line = String::with_capacity(160);
-    let _ = write!(
-        line,
-        "{{\"index\":{},\"file\":{}",
-        unit.index,
-        json_str(&unit.file)
-    );
-    match unit.tier {
-        Some(t) => {
-            let _ = write!(line, ",\"tier\":{t}");
+/// Folds analysed units into the `sdfr-api/1` [`BatchSummary`] (outcome
+/// aggregate + per-exit-code counts + registry stats) and the batch exit
+/// code. Shared by `sdfr batch` and the server's `/v1/batch` endpoint —
+/// one place, one schema.
+pub(crate) fn summarize<'a>(
+    units: impl Iterator<Item = &'a AnalyzedUnit>,
+    stats: sdfr_analysis::registry::RegistryStats,
+) -> (BatchSummary, i32) {
+    let mut agg = sdfr_core::degrade::OutcomeAggregate::default();
+    let mut exits = Vec::new();
+    for u in units {
+        match &u.outcome {
+            Some(outcome) => agg.record(outcome),
+            None => agg.record_error(),
         }
-        None => line.push_str(",\"tier\":null"),
+        exits.push(u.record.exit);
     }
+    let summary = BatchSummary::new(agg, &exits, stats);
+    let exit = summary.exit;
+    (summary, exit)
+}
 
-    let budget = match unit.tier {
+/// Analyses one graph source through the shared registry and builds its
+/// `sdfr-api/1` [`UnitRecord`]. This is the single unit-analysis path
+/// behind all three front-ends: `sdfr batch` passes `batch_fields`
+/// (index + tier, which also enables cache attribution), `sdfr analyze
+/// --json` and the server's single-graph `/v1/analyze` pass `None` for a
+/// standalone record, and `sdfr serve` additionally passes `wait` — the
+/// remaining response deadline.
+///
+/// With a `wait` and a cold session, the exact analysis is computed on a
+/// detached warmer thread: if it lands within the deadline the exact
+/// record is returned, otherwise the iteration-free conservative bound
+/// stands in (`"pending":true`) while the warmer keeps filling the shared
+/// session for the next request. A warm session answers immediately either
+/// way.
+pub(crate) fn analyze_source(
+    batch_fields: Option<(usize, Option<u64>)>,
+    name: &str,
+    graph: Result<Arc<SdfGraph>, CliError>,
+    registry: &SessionRegistry,
+    base: &Budget,
+    wait: Option<Duration>,
+) -> AnalyzedUnit {
+    let (index, tier) = match batch_fields {
+        Some((i, t)) => (Some(i), Some(t)),
+        None => (None, None),
+    };
+    let mut record = UnitRecord {
+        index,
+        file: name.to_string(),
+        tier,
+        fingerprint: None,
+        cache: None,
+        pending: false,
+        status: UnitStatus::Error {
+            message: String::new(),
+        },
+        exit: EXIT_OK,
+    };
+
+    let budget = match tier.flatten() {
         Some(t) => base.clone().with_max_firings(t),
         None => base.clone(),
     };
-    let graph = match crate::load_graph(&unit.file) {
-        Ok(g) => Arc::new(g),
+    let graph = match graph {
+        Ok(g) => g,
         Err(e) => {
-            let exit = e.exit_code();
-            let _ = write!(
-                line,
-                ",\"status\":\"error\",\"error\":{},\"exit\":{exit}}}",
-                json_str(&e.message)
-            );
-            return UnitResult {
-                line,
-                exit,
+            record.exit = e.exit_code();
+            record.status = UnitStatus::Error { message: e.message };
+            return AnalyzedUnit {
+                record,
                 outcome: None,
             };
         }
     };
     let (session, lookup) = registry.lookup(&graph, &budget);
-    let _ = write!(
-        line,
-        ",\"fingerprint\":\"{:016x}\",\"cache\":\"{lookup}\"",
-        session.fingerprint()
-    );
-    match analyze_with_session(&session) {
-        Ok(AnalysisOutcome::Exact(period)) => {
-            let _ = write!(
-                line,
-                ",\"status\":\"exact\",\"period\":{},\"exit\":0}}",
-                period.map_or("null".to_string(), |p| json_str(&p.to_string()))
-            );
-            UnitResult {
-                line,
-                exit: EXIT_OK,
-                outcome: Some(AnalysisOutcome::Exact(period)),
+    record.fingerprint = Some(session.fingerprint());
+    if batch_fields.is_some() {
+        record.cache = Some(match lookup {
+            Lookup::Hit => "hit",
+            Lookup::Miss => "miss",
+            Lookup::Bypass => "bypass",
+        });
+    }
+
+    let result = match wait {
+        Some(remaining) if !session.throughput_is_warm() => {
+            // Cold session under a response deadline: warm it on a detached
+            // thread and wait at most `remaining`. The warmer holds its own
+            // Arc, so a timed-out fill still completes and benefits the
+            // next request for this content.
+            let (tx, rx) = std::sync::mpsc::channel();
+            let warmer = Arc::clone(&session);
+            std::thread::spawn(move || {
+                let _ = tx.send(analyze_with_session(&warmer));
+            });
+            match rx.recv_timeout(remaining) {
+                Ok(result) => result,
+                Err(_) => {
+                    record.pending = true;
+                    let limit = u64::try_from(remaining.as_millis()).unwrap_or(u64::MAX);
+                    conservative_period_fallback(session.graph()).map(|bound| {
+                        AnalysisOutcome::Degraded {
+                            exhausted: SdfError::Exhausted {
+                                resource: BudgetResource::WallClock,
+                                spent: limit,
+                                limit,
+                            },
+                            bound,
+                        }
+                    })
+                }
             }
         }
-        Ok(outcome @ AnalysisOutcome::Degraded { .. }) => {
-            let AnalysisOutcome::Degraded { bound, .. } = &outcome else {
-                unreachable!("matched Degraded above");
-            };
-            let _ = write!(
-                line,
-                ",\"status\":\"degraded\",\"bound\":{},\"method\":{},\"exit\":0}}",
-                json_str(&bound.bound.to_string()),
-                json_str(&bound.method.to_string())
-            );
-            UnitResult {
-                line,
-                exit: EXIT_OK,
+        _ => analyze_with_session(&session),
+    };
+
+    match result {
+        Ok(outcome) => {
+            record.status = UnitStatus::from_outcome(&outcome);
+            AnalyzedUnit {
+                record,
                 outcome: Some(outcome),
             }
         }
         Err(e) => {
             let cli: CliError = e.into();
-            let exit = cli.exit_code();
-            let _ = write!(
-                line,
-                ",\"status\":\"error\",\"error\":{},\"exit\":{exit}}}",
-                json_str(&cli.message)
-            );
-            UnitResult {
-                line,
-                exit,
+            record.exit = cli.exit_code();
+            record.status = UnitStatus::Error {
+                message: cli.message,
+            };
+            AnalyzedUnit {
+                record,
                 outcome: None,
             }
         }
     }
 }
 
-/// Maps a batch exit code back to the [`CliErrorKind`] carrying it.
+/// Maps a per-unit (or server-reported) exit code back to the
+/// [`CliErrorKind`] carrying it.
 pub(crate) fn kind_for_exit(code: i32) -> CliErrorKind {
     match code {
+        EXIT_USAGE => CliErrorKind::Usage,
         EXIT_IO => CliErrorKind::Io,
         EXIT_EXHAUSTED => CliErrorKind::Exhausted,
-        _ => {
-            debug_assert_eq!(code, EXIT_INVALID);
-            CliErrorKind::Invalid
-        }
+        EXIT_INVALID => CliErrorKind::Invalid,
+        _ => CliErrorKind::Internal,
     }
-}
-
-/// Renders a JSON string literal (quotes, backslashes and control
-/// characters escaped).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn json_str_escapes() {
-        assert_eq!(json_str("plain"), "\"plain\"");
-        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(json_str("x\n\t\u{1}"), "\"x\\n\\t\\u0001\"");
-    }
 
     #[test]
     fn parse_rejects_bad_args() {
@@ -486,11 +498,75 @@ mod tests {
             budget: Budget::unlimited(),
         };
         let report = run_batch(&opts, &|_| {});
-        assert_eq!(report.exit_code, EXIT_IO);
+        assert_eq!(report.exit_code, crate::EXIT_IO);
         assert_eq!(report.lines.len(), 1);
+        assert!(report.lines[0].starts_with("{\"schema\":\"sdfr-api/1\""));
         assert!(report.lines[0].contains("\"status\":\"error\""));
         assert!(report.lines[0].contains("\"exit\":3"));
         assert!(report.summary.contains("\"errors\":1"));
+        assert!(report.summary.contains("\"exits\":{\"3\":1}"));
         assert!(report.summary.contains("\"exit\":3"));
+    }
+
+    #[test]
+    fn kind_mapping_covers_every_exit() {
+        assert_eq!(kind_for_exit(1), CliErrorKind::Invalid);
+        assert_eq!(kind_for_exit(2), CliErrorKind::Usage);
+        assert_eq!(kind_for_exit(3), CliErrorKind::Io);
+        assert_eq!(kind_for_exit(4), CliErrorKind::Exhausted);
+        assert_eq!(kind_for_exit(70), CliErrorKind::Internal);
+        assert_eq!(kind_for_exit(99), CliErrorKind::Internal);
+    }
+
+    #[test]
+    fn cold_session_under_a_tiny_deadline_answers_pending() {
+        // Large enough that the symbolic iteration cannot land inside a
+        // zero deadline, small enough that the detached warmer finishes
+        // promptly after the test.
+        let mut b = SdfGraph::builder("huge");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel(x, y, 1_000_000, 1, 0).unwrap();
+        let g = Arc::new(b.build().unwrap());
+        let registry = SessionRegistry::new();
+        let analyzed = analyze_source(
+            None,
+            "huge.sdf",
+            Ok(g),
+            &registry,
+            &Budget::unlimited(),
+            Some(Duration::ZERO),
+        );
+        assert!(analyzed.record.pending, "{:?}", analyzed.record);
+        assert_eq!(analyzed.record.exit, 0);
+        assert!(matches!(
+            analyzed.record.status,
+            UnitStatus::Degraded { .. }
+        ));
+        // A warm session answers exactly even under a zero-ish deadline.
+        let mut b = SdfGraph::builder("c");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        b.channel(x, y, 1, 1, 0).unwrap();
+        b.channel(y, x, 1, 1, 1).unwrap();
+        let g = Arc::new(b.build().unwrap());
+        let (s, _) = registry.lookup(&g, &Budget::unlimited());
+        let _ = s.throughput().unwrap();
+        assert!(s.throughput_is_warm());
+        let analyzed = analyze_source(
+            None,
+            "c.sdf",
+            Ok(g),
+            &registry,
+            &Budget::unlimited(),
+            Some(Duration::from_millis(0)),
+        );
+        assert!(!analyzed.record.pending);
+        assert_eq!(
+            analyzed.record.status,
+            UnitStatus::Exact {
+                period: Some("5".into())
+            }
+        );
     }
 }

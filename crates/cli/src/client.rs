@@ -1,0 +1,248 @@
+//! The `--server` client: routes `analyze`, `batch` and `csdf` to a
+//! running `sdfr serve`, plus the `stats`/`shutdown` control commands.
+//!
+//! The client reads graph files locally and ships their *content* inline
+//! (the server never opens paths), prints the server's response body
+//! verbatim to stdout, and exits with the code the `sdfr-api/1` records
+//! carry in their `"exit"` fields — so scripting against `sdfr --server …`
+//! is indistinguishable from scripting against the in-process commands in
+//! `--json` mode.
+//!
+//! Only a failed *connect* falls back to in-process analysis (decided in
+//! [`crate::run`]); once a server answered, its verdict stands — a `429`
+//! load-shed or a `400` is surfaced, not silently retried locally, so two
+//! observers never see two different answers for one invocation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use sdfr_api::json::{self, Value};
+use sdfr_api::{AnalysisRequest, GraphSource};
+
+use crate::{batch, CliError, EXIT_OK, EXIT_PANIC};
+
+/// Ensures fallback output parity: the server always answers `sdfr-api/1`
+/// JSON, so when `analyze`/`csdf` degrade to in-process execution they
+/// must emit JSON too, whether or not the user typed `--json`.
+pub(crate) fn with_json_flag(mut args: Vec<String>) -> Vec<String> {
+    if matches!(args.first().map(String::as_str), Some("analyze" | "csdf"))
+        && !args.iter().any(|a| a == "--json")
+    {
+        args.push("--json".to_string());
+    }
+    args
+}
+
+/// `sdfr stats --server A` / `sdfr shutdown --server A`. No in-process
+/// fallback: an unreachable server is an I/O error (exit 3).
+pub(crate) fn cmd_control(addr: &str, command: &str) -> Result<String, CliError> {
+    let (method, path) = if command == "stats" {
+        ("GET", "/v1/stats")
+    } else {
+        ("POST", "/shutdown")
+    };
+    let stream =
+        TcpStream::connect(addr).map_err(|e| CliError::io(format!("{command}: {addr}: {e}")))?;
+    let (status, body) = exchange(stream, addr, method, path, "")
+        .map_err(|e| CliError::io(format!("{command}: {addr}: {e}")))?;
+    finish(status, body)
+}
+
+/// Runs `analyze`/`batch`/`csdf` against the server at `addr`.
+///
+/// # Errors
+///
+/// The outer `Err(String)` is a failed connect — the only condition the
+/// caller answers with in-process fallback. Everything after a successful
+/// connect (bad arguments, unreadable files, protocol errors, nonzero
+/// server verdicts) is the inner [`CliError`] and final.
+pub(crate) fn run_remote(addr: &str, args: &[String]) -> Result<Result<String, CliError>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    Ok(remote_command(stream, addr, args))
+}
+
+/// Builds the request for one command line and completes the exchange.
+fn remote_command(stream: TcpStream, addr: &str, args: &[String]) -> Result<String, CliError> {
+    let command = args[0].as_str();
+    let (path, request) = match command {
+        "batch" => {
+            let opts = batch::parse_batch_args(&args[1..])?;
+            let graphs = opts
+                .files
+                .iter()
+                .map(|f| read_source(f))
+                .collect::<Result<Vec<_>, _>>()?;
+            (
+                "/v1/batch",
+                AnalysisRequest {
+                    graphs,
+                    tiers: opts.tiers,
+                    deadline_ms: deadline_ms(&args[1..])?,
+                    max_firings: opts.budget.max_firings(),
+                    max_size: opts.budget.max_size(),
+                },
+            )
+        }
+        // analyze and csdf share the single-file request shape.
+        _ => {
+            let file = args
+                .get(1)
+                .filter(|a| !a.starts_with('-'))
+                .ok_or_else(|| CliError::usage(format!("{command}: missing <file>")))?;
+            let opts = &args[2..];
+            let budget = crate::budget_from_opts(opts)?;
+            (
+                if command == "csdf" {
+                    "/v1/csdf"
+                } else {
+                    "/v1/analyze"
+                },
+                AnalysisRequest {
+                    graphs: vec![read_source(file)?],
+                    tiers: Vec::new(),
+                    deadline_ms: deadline_ms(opts)?,
+                    max_firings: budget.max_firings(),
+                    max_size: budget.max_size(),
+                },
+            )
+        }
+    };
+    let (status, body) = exchange(stream, addr, "POST", path, &request.to_json())
+        .map_err(|e| CliError::io(format!("{command}: {addr}: {e}")))?;
+    finish(status, body)
+}
+
+/// Reads one graph file into an inline [`GraphSource`]. Unlike the
+/// in-process batch (which turns an unreadable file into an error record
+/// and keeps going), the remote client needs the content up front, so a
+/// read failure fails the invocation with exit 3 before anything is sent.
+fn read_source(path: &str) -> Result<GraphSource, CliError> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+    Ok(GraphSource {
+        name: path.to_string(),
+        content,
+    })
+}
+
+/// The `--deadline` flag as a response-deadline in milliseconds. Remotely
+/// this bounds the *answer* (the server degrades past it), where the
+/// in-process flag bounds the analysis itself — same knob, same spirit,
+/// documented in the README.
+fn deadline_ms(opts: &[String]) -> Result<Option<u64>, CliError> {
+    Ok(match crate::flag_raw(opts, "--deadline")? {
+        Some(raw) => {
+            Some(u64::try_from(crate::parse_duration(&raw)?.as_millis()).unwrap_or(u64::MAX))
+        }
+        None => None,
+    })
+}
+
+/// One full HTTP/1.1 exchange over an established connection: write the
+/// request, read to EOF (every server response is `Connection: close`),
+/// split status from body.
+fn exchange(
+    mut stream: TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("send failed: {e}"))?;
+    stream.flush().map_err(|e| format!("send failed: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("receive failed: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let head_end = text
+        .find("\r\n\r\n")
+        .ok_or_else(|| "truncated response".to_string())?;
+    let status: u16 = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "unreadable status line".to_string())?;
+    Ok((status, text[head_end + 4..].to_string()))
+}
+
+/// Turns a response into the CLI contract: body verbatim on stdout
+/// (`Ok`) when every record exits 0, otherwise the body travels in the
+/// error (stderr) and the process exits with the worst `"exit"` any line
+/// carries — exactly how a failing `--stable` batch reports.
+fn finish(status: u16, body: String) -> Result<String, CliError> {
+    let mut exit: Option<i32> = None;
+    for line in body.lines() {
+        if let Ok(v) = json::parse(line) {
+            if let Some(e) = v.get("exit").and_then(Value::as_u64) {
+                let e = i32::try_from(e).unwrap_or(EXIT_PANIC);
+                exit = Some(exit.map_or(e, |m| m.max(e)));
+            }
+        }
+    }
+    // A body without exit fields (or an unparsable one) falls back to the
+    // transport's verdict.
+    let exit = exit.unwrap_or(if (200..300).contains(&status) {
+        EXIT_OK
+    } else {
+        EXIT_PANIC
+    });
+    if exit == EXIT_OK {
+        Ok(body)
+    } else {
+        Err(CliError {
+            kind: batch::kind_for_exit(exit),
+            message: body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_flag_is_forced_only_where_it_matters() {
+        let to_args = |s: &[&str]| s.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            with_json_flag(to_args(&["analyze", "f.sdf"])),
+            to_args(&["analyze", "f.sdf", "--json"])
+        );
+        assert_eq!(
+            with_json_flag(to_args(&["analyze", "f.sdf", "--json"])),
+            to_args(&["analyze", "f.sdf", "--json"])
+        );
+        assert_eq!(
+            with_json_flag(to_args(&["batch", "f.sdf"])),
+            to_args(&["batch", "f.sdf"])
+        );
+    }
+
+    #[test]
+    fn finish_extracts_the_worst_exit() {
+        assert!(finish(200, "{\"exit\":0}\n{\"exit\":0}\n".into()).is_ok());
+        let err = finish(422, "{\"exit\":0}\n{\"exit\":4}\n".into()).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        let err = finish(500, "not json".into()).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_PANIC);
+        assert!(finish(200, "no records".into()).is_ok());
+    }
+
+    #[test]
+    fn deadline_flag_converts_to_millis() {
+        let to_args = |s: &[&str]| s.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            deadline_ms(&to_args(&["--deadline", "250ms"])).unwrap(),
+            Some(250)
+        );
+        assert_eq!(deadline_ms(&to_args(&[])).unwrap(), None);
+        assert!(deadline_ms(&to_args(&["--deadline", "soon"])).is_err());
+    }
+}

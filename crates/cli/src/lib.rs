@@ -17,7 +17,18 @@
 //! sdfr dot       <file>                  Graphviz export
 //! sdfr batch     <file>... [--tiers N,..] JSON-lines analysis through a
 //!                                         shared cross-graph session cache
+//! sdfr serve     [--addr A]              resident analysis server over one
+//!                                         process-wide session registry
+//! sdfr stats     --server A              the server's registry/pool counters
+//! sdfr shutdown  --server A              ask the server to drain and exit
 //! ```
+//!
+//! With the global `--server <addr>` flag, `analyze`, `batch` and `csdf`
+//! are executed by a running `sdfr serve` instead of in-process (falling
+//! back to in-process analysis — with `--json` output for parity — when no
+//! server answers). All JSON output follows the versioned `sdfr-api/1`
+//! wire schema (see the `sdfr-api` crate); `--api-version` asserts the
+//! schema major this build speaks and exits 2 on a mismatch.
 //!
 //! The command logic lives in this library (see [`run`]) so it can be
 //! tested without spawning processes; `main.rs` is a thin wrapper.
@@ -26,6 +37,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+mod client;
+pub mod serve;
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -72,6 +85,10 @@ pub enum CliErrorKind {
     Invalid,
     /// A resource budget ran out before the analysis finished.
     Exhausted,
+    /// An internal failure on the other side of a server connection (the
+    /// server reported a panic or an unclassifiable error). Maps to
+    /// [`EXIT_PANIC`].
+    Internal,
 }
 
 /// Errors surfaced to the user, with a [`CliErrorKind`] selecting the
@@ -92,7 +109,7 @@ impl CliError {
         }
     }
 
-    fn io(message: impl Into<String>) -> Self {
+    pub(crate) fn io(message: impl Into<String>) -> Self {
         CliError {
             kind: CliErrorKind::Io,
             message: message.into(),
@@ -114,6 +131,7 @@ impl CliError {
             CliErrorKind::Io => EXIT_IO,
             CliErrorKind::Invalid => EXIT_INVALID,
             CliErrorKind::Exhausted => EXIT_EXHAUSTED,
+            CliErrorKind::Internal => EXIT_PANIC,
         }
     }
 }
@@ -181,6 +199,19 @@ COMMANDS:
   batch     analyze many files (or one file at many --tiers budget tiers)
             through a shared cross-graph session cache; one JSON line per
             graph, streamed as results land, plus a JSON summary
+  serve     resident HTTP analysis server sharing one session registry
+            across requests (see SERVE OPTIONS)
+  stats     print a running server's registry/pool counters (needs --server)
+  shutdown  ask a running server to drain and exit (needs --server)
+
+GLOBAL OPTIONS:
+  --server ADDR    run analyze/batch/csdf on the sdfr serve at ADDR
+                   (host:port); falls back to in-process --json analysis
+                   if nothing is listening there
+  --api-version V  require wire-schema major V (1 or sdfr-api/1); any
+                   other value exits 2 before touching the network
+  --json           analyze/csdf: emit one sdfr-api/1 JSON line instead of
+                   the human report (batch and the server are always JSON)
 
 OPTIONS:
   -o <file>        write the resulting graph as SDF3-style XML
@@ -197,6 +228,16 @@ BATCH OPTIONS:
   --stable           sequential, deterministic order (for scripts/tests)
   --cache-entries N  session-cache entry cap (default 256)
   --cache-bytes N    session-cache byte cap (default 64 MiB)
+
+SERVE OPTIONS:
+  --addr A           listen address (default 127.0.0.1:7878; port 0 picks
+                     an ephemeral port, printed on startup)
+  --workers N        HTTP worker threads (default 4)
+  --queue N          accept-queue depth before load-shedding 429s (default 64)
+  --max-body N       request-body byte cap, larger bodies get 413 (default 8 MiB)
+  --io-timeout D     per-connection read/write timeout (default 10s)
+  --cache-entries N / --cache-bytes N   session-registry caps (as in batch)
+  <file>...          graphs to prefetch into the registry at startup
 
 Under a budget, `analyze` degrades gracefully: if the exact analysis is
 cut short, a conservative (safe) upper bound on the iteration period is
@@ -222,11 +263,20 @@ text format (a leading '<' also selects XML).
 pub fn load_graph(path: &str) -> Result<SdfGraph, CliError> {
     let content =
         std::fs::read_to_string(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
-    let looks_xml = path.ends_with(".xml") || content.trim_start().starts_with('<');
+    parse_graph_content(path, &content)
+}
+
+/// Parses a graph from in-memory content with the same format
+/// auto-detection as [`load_graph`]: a `.xml` name or a leading `<`
+/// selects the SDF3 subset, anything else the text format. The server
+/// analyses inline request content through this — names in requests are
+/// display labels, never opened as paths.
+pub(crate) fn parse_graph_content(name: &str, content: &str) -> Result<SdfGraph, CliError> {
+    let looks_xml = name.ends_with(".xml") || content.trim_start().starts_with('<');
     let g = if looks_xml {
-        sdfr_io::xml::from_xml(&content)?
+        sdfr_io::xml::from_xml(content)?
     } else {
-        sdfr_io::text::from_text(&content)?
+        sdfr_io::text::from_text(content)?
     };
     Ok(g)
 }
@@ -239,6 +289,7 @@ pub fn load_graph(path: &str) -> Result<SdfGraph, CliError> {
 /// Returns [`CliError`] for unusable arguments, unreadable files and
 /// analysis failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (args, server) = extract_globals(args)?;
     let mut out = String::new();
     let Some(command) = args.first() else {
         return Err(CliError::usage(USAGE.to_string()));
@@ -246,6 +297,36 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if command == "--help" || command == "-h" || command == "help" {
         return Ok(USAGE.to_string());
     }
+    if command == "serve" {
+        return serve::cmd_serve(&args[1..]);
+    }
+    if command == "stats" || command == "shutdown" {
+        // No in-process fallback for these: they are questions *about* a
+        // server, meaningless without one.
+        let addr =
+            server.ok_or_else(|| CliError::usage(format!("{command} requires --server <addr>")))?;
+        return client::cmd_control(&addr, command);
+    }
+    let args = match server {
+        Some(addr) if matches!(command.as_str(), "analyze" | "batch" | "csdf") => {
+            match client::run_remote(&addr, &args) {
+                Ok(result) => return result,
+                Err(connect_err) => {
+                    // Load-shedding and protocol errors surface above as
+                    // `Ok(Err(..))`; only a dead server degrades to local
+                    // analysis. Force --json so the output shape does not
+                    // depend on whether the server was up.
+                    eprintln!(
+                        "sdfr: server {addr} unreachable ({connect_err}); \
+                         analyzing in-process"
+                    );
+                    client::with_json_flag(args)
+                }
+            }
+        }
+        _ => args,
+    };
+    let command = &args[0];
     if command == "batch" {
         return cmd_batch(&args[1..]);
     }
@@ -258,6 +339,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let budget = budget_from_opts(opts)?;
     if command == "csdf" {
         return cmd_csdf(path, opts);
+    }
+    if command == "analyze" && opts.iter().any(|o| o == "--json") {
+        return cmd_analyze_json(path, &budget);
     }
     let g = load_graph(path)?;
 
@@ -283,6 +367,63 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Strips the global options that may appear anywhere on the command line:
+/// `--server <addr>` (returned) and `--api-version <v>` (validated against
+/// the `sdfr-api` major this build speaks, then dropped — a mismatch is a
+/// usage error before anything touches a file or the network).
+fn extract_globals(args: &[String]) -> Result<(Vec<String>, Option<String>), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut server = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--server" => {
+                server =
+                    Some(args.get(i + 1).cloned().ok_or_else(|| {
+                        CliError::usage("--server requires an address (host:port)")
+                    })?);
+                i += 1;
+            }
+            "--api-version" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::usage("--api-version requires a value"))?;
+                sdfr_api::check_requested_version(v).map_err(CliError::usage)?;
+                i += 1;
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok((rest, server))
+}
+
+/// `sdfr analyze --json`: one standalone `sdfr-api/1` [`sdfr_api::UnitRecord`]
+/// line — byte-identical to what a server's `/v1/analyze` returns for the
+/// same graph and caps. A record with a nonzero exit code travels in the
+/// error (stderr, like a failing `--stable` batch report) so the process
+/// exit matches the record's.
+fn cmd_analyze_json(path: &str, budget: &Budget) -> Result<String, CliError> {
+    let registry = sdfr_analysis::registry::SessionRegistry::new();
+    let analyzed = batch::analyze_source(
+        None,
+        path,
+        load_graph(path).map(std::sync::Arc::new),
+        &registry,
+        budget,
+        None,
+    );
+    let mut line = analyzed.record.to_json_line();
+    line.push('\n');
+    if analyzed.record.exit != EXIT_OK {
+        return Err(CliError {
+            kind: batch::kind_for_exit(analyzed.record.exit),
+            message: line,
+        });
+    }
+    Ok(line)
+}
+
 /// Builds the resource [`Budget`] from the global `--deadline`,
 /// `--max-firings` and `--max-size` options (unlimited when absent).
 pub(crate) fn budget_from_opts(opts: &[String]) -> Result<Budget, CliError> {
@@ -301,7 +442,7 @@ pub(crate) fn budget_from_opts(opts: &[String]) -> Result<Budget, CliError> {
 
 /// Parses a human-friendly duration: `500ms`, `1s`, `2m`, `1h`, or a bare
 /// number of seconds.
-fn parse_duration(raw: &str) -> Result<Duration, CliError> {
+pub(crate) fn parse_duration(raw: &str) -> Result<Duration, CliError> {
     let err = || {
         CliError::usage(format!(
             "--deadline: '{raw}' is not a duration (try 1s, 500ms, 2m)"
@@ -640,6 +781,18 @@ fn cmd_batch(args: &[String]) -> Result<String, CliError> {
 fn cmd_csdf(path: &str, opts: &[String]) -> Result<String, CliError> {
     let content =
         std::fs::read_to_string(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
+    if opts.iter().any(|o| o == "--json") {
+        let record = csdf_record(path, &content);
+        let mut line = record.to_json_line();
+        line.push('\n');
+        if record.exit != EXIT_OK {
+            return Err(CliError {
+                kind: batch::kind_for_exit(record.exit),
+                message: line,
+            });
+        }
+        return Ok(line);
+    }
     let looks_xml = path.ends_with(".xml") || content.trim_start().starts_with('<');
     let g = if looks_xml {
         sdfr_io::csdf::from_xml(&content)?
@@ -675,6 +828,53 @@ fn cmd_csdf(path: &str, opts: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Analyses cyclo-static graph content into one `sdfr-api/1`
+/// [`sdfr_api::CsdfRecord`]. Shared by `sdfr csdf --json` (file content)
+/// and the server's `/v1/csdf` (inline request content) so their lines are
+/// byte-identical.
+pub(crate) fn csdf_record(name: &str, content: &str) -> sdfr_api::CsdfRecord {
+    let looks_xml = name.ends_with(".xml") || content.trim_start().starts_with('<');
+    let result = (|| -> Result<_, CliError> {
+        let g = if looks_xml {
+            sdfr_io::csdf::from_xml(content)?
+        } else {
+            sdfr_io::csdf::from_text(content)?
+        };
+        let sym = sdfr_csdf::symbolic_iteration(&g)?;
+        let firings = sym.repetition.iteration_length(&g);
+        let thr = sdfr_csdf::throughput_from_symbolic(&sym);
+        let hsdf = sdfr_csdf::hsdf_from_symbolic(&sym, g.name());
+        Ok((
+            thr.period.map(|p| p.to_string()),
+            firings,
+            (
+                hsdf.num_actors(),
+                hsdf.num_channels(),
+                hsdf.total_initial_tokens(),
+            ),
+        ))
+    })();
+    match result {
+        Ok((period, firings, hsdf)) => sdfr_api::CsdfRecord {
+            file: name.to_string(),
+            status: sdfr_api::UnitStatus::Exact { period },
+            phase_firings: Some(firings),
+            hsdf: Some(hsdf),
+            exit: EXIT_OK,
+        },
+        Err(e) => {
+            let exit = e.exit_code();
+            sdfr_api::CsdfRecord {
+                file: name.to_string(),
+                status: sdfr_api::UnitStatus::Error { message: e.message },
+                phase_firings: None,
+                hsdf: None,
+                exit,
+            }
+        }
+    }
+}
+
 /// Resolves `--flag <actor-name>` against the graph.
 fn named_actor(g: &SdfGraph, opts: &[String], flag: &str) -> Result<sdfr_graph::ActorId, CliError> {
     let Some(pos) = opts.iter().position(|o| o == flag) else {
@@ -701,7 +901,7 @@ fn write_output(g: &SdfGraph, opts: &[String], out: &mut String) -> Result<(), C
 }
 
 /// Extracts the raw string value of `--flag <value>` from the options.
-fn flag_raw(opts: &[String], flag: &str) -> Result<Option<String>, CliError> {
+pub(crate) fn flag_raw(opts: &[String], flag: &str) -> Result<Option<String>, CliError> {
     let Some(pos) = opts.iter().position(|o| o == flag) else {
         return Ok(None);
     };
@@ -712,7 +912,7 @@ fn flag_raw(opts: &[String], flag: &str) -> Result<Option<String>, CliError> {
 }
 
 /// Extracts `--flag <u64>` from the options.
-fn flag_value(opts: &[String], flag: &str) -> Result<Option<u64>, CliError> {
+pub(crate) fn flag_value(opts: &[String], flag: &str) -> Result<Option<u64>, CliError> {
     let Some(raw) = flag_raw(opts, flag)? else {
         return Ok(None);
     };

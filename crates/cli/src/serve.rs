@@ -1,0 +1,807 @@
+//! `sdfr serve`: a resident analysis server over one process-wide
+//! [`SessionRegistry`].
+//!
+//! The one-shot CLI pays the symbolic iteration on every invocation; the
+//! server pays it once per distinct `(graph content, budget caps)` and
+//! answers every later request for the same content from the registry —
+//! the cross-invocation continuation of the `sdfr batch` cache. It is
+//! deliberately std-only: a hand-rolled HTTP/1.1 loop over
+//! [`TcpListener`], in the same spirit as the dependency-free `sdfr-pool`
+//! — no async runtime, no HTTP crate, every connection `Connection: close`.
+//!
+//! # Endpoints
+//!
+//! | Method | Path                       | Body                                   |
+//! |--------|----------------------------|----------------------------------------|
+//! | POST   | `/v1/analyze`              | one [`sdfr_api::AnalysisRequest`] with exactly one graph and no tiers → one standalone [`sdfr_api::UnitRecord`] line, byte-identical to `sdfr analyze --json` |
+//! | POST   | `/v1/batch`                | an [`sdfr_api::AnalysisRequest`] → indexed record lines + a [`sdfr_api::BatchSummary`] line, the shape of `sdfr batch` |
+//! | POST   | `/v1/csdf`                 | an [`sdfr_api::AnalysisRequest`] → one [`sdfr_api::CsdfRecord`] line per graph |
+//! | GET    | `/v1/stats` (or `/stats`)  | registry + pool counters, request count, drain flag |
+//! | POST   | `/shutdown` (or `/v1/shutdown`) | begin a graceful drain; the process exits 0 once in-flight work finishes |
+//!
+//! HTTP statuses follow the CLI exit-code discipline via
+//! [`sdfr_api::http_status_for_exit`]; request-level failures (malformed
+//! JSON, unsupported schema major, oversized body, socket timeout,
+//! load-shedding) are [`sdfr_api::ErrorBody`] documents.
+//!
+//! # Robustness
+//!
+//! - **Bounded accept queue.** Accepted connections enter a fixed-depth
+//!   queue (`--queue`); when it is full the accept thread answers
+//!   `429 Too Many Requests` with `Retry-After: 1` inline instead of
+//!   letting latency grow without bound.
+//! - **Per-connection timeouts.** Reads and writes carry `--io-timeout`; a
+//!   stalled or truncated request gets `408` and the connection is closed.
+//! - **Body cap.** Bodies over `--max-body` are refused with `413` before
+//!   they are read.
+//! - **Response deadlines.** A request's `deadline_ms` bounds the *answer*,
+//!   not the analysis: a cold graph that cannot finish in time is answered
+//!   with the iteration-free conservative bound (`"pending":true`) while
+//!   the exact analysis keeps warming the shared session in the background.
+//! - **Graceful drain.** `SIGTERM`, `SIGINT` or `/shutdown` stop the accept
+//!   loop, let workers finish the queue, and exit 0.
+//! - **Panic isolation.** A panicking request handler answers `500` with an
+//!   `ErrorBody` (`exit` 70) instead of taking the server down.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sdfr_analysis::registry::{RegistryConfig, SessionRegistry};
+use sdfr_api::{
+    http_status_for_exit, pool_stats_json, registry_stats_json, AnalysisRequest, ErrorBody,
+    RequestError, EXIT_IO, EXIT_PANIC, EXIT_USAGE, SCHEMA,
+};
+use sdfr_graph::budget::Budget;
+
+use crate::{batch, CliError};
+
+/// Parsed options of one `sdfr serve` invocation.
+#[derive(Debug, Clone)]
+struct ServeOptions {
+    /// Listen address (`--addr`); port 0 picks an ephemeral port.
+    addr: String,
+    /// HTTP worker threads (`--workers`).
+    workers: usize,
+    /// Accept-queue depth before load-shedding (`--queue`).
+    queue: usize,
+    /// Request-body byte cap (`--max-body`).
+    max_body: usize,
+    /// Per-connection read/write timeout (`--io-timeout`).
+    io_timeout: Duration,
+    /// Session-registry capacity limits.
+    registry: RegistryConfig,
+    /// Budget caps for `--preload` warm-up (and nothing else — request
+    /// budgets come from the requests).
+    budget: Budget,
+    /// Graph files to prefetch into the registry at startup.
+    preload: Vec<String>,
+}
+
+/// Everything a worker needs to answer requests.
+struct ServerState {
+    registry: SessionRegistry,
+    pool: sdfr_pool::Pool,
+    requests: AtomicU64,
+    max_body: usize,
+    io_timeout: Duration,
+}
+
+/// The process-wide drain flag: set by `SIGTERM`/`SIGINT` (via the
+/// handler below) or by `/shutdown`, polled by the accept loop and the
+/// workers. Process-wide state is the honest scope here — signals are.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn drain_on_signal(_sig: i32) {
+    // Only an atomic store: the one thing that is async-signal-safe.
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Installs `drain_on_signal` for SIGTERM (15) and SIGINT (2) via the
+/// C `signal` symbol libc already links — no new dependency, and the
+/// non-portable corners of `sigaction` are not needed for one flag.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = drain_on_signal as *const () as usize;
+    unsafe {
+        signal(15, handler);
+        signal(2, handler);
+    }
+}
+
+/// A bounded MPMC queue of accepted connections. `try_push` never blocks
+/// (the accept thread must stay responsive to shed load); `pop` blocks
+/// with a periodic drain check so workers notice a signal-initiated drain
+/// even when no notification is sent.
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::with_capacity(cap)),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues a connection, or hands it back when the queue is full.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().expect("accept queue poisoned");
+        if q.len() >= self.cap {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next connection; `None` once draining and empty.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.inner.lock().expect("accept queue poisoned");
+        loop {
+            if let Some(s) = q.pop_front() {
+                return Some(s);
+            }
+            if DRAIN.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .expect("accept queue poisoned");
+            q = guard;
+        }
+    }
+}
+
+/// Parses `sdfr serve` arguments (everything after the command word).
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
+    let mut opts = ServeOptions {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 4,
+        queue: 64,
+        max_body: 8 * 1024 * 1024,
+        io_timeout: Duration::from_secs(10),
+        registry: RegistryConfig::default(),
+        budget: crate::budget_from_opts(args)?,
+        preload: Vec::new(),
+    };
+    if let Some(addr) = crate::flag_raw(args, "--addr")? {
+        opts.addr = addr;
+    }
+    if let Some(n) = crate::flag_value(args, "--workers")? {
+        if n == 0 {
+            return Err(CliError::usage("--workers must be a positive integer"));
+        }
+        opts.workers = usize::try_from(n).unwrap_or(usize::MAX);
+    }
+    if let Some(n) = crate::flag_value(args, "--queue")? {
+        if n == 0 {
+            return Err(CliError::usage("--queue must be a positive integer"));
+        }
+        opts.queue = usize::try_from(n).unwrap_or(usize::MAX);
+    }
+    if let Some(n) = crate::flag_value(args, "--max-body")? {
+        opts.max_body = usize::try_from(n).unwrap_or(usize::MAX);
+    }
+    if let Some(raw) = crate::flag_raw(args, "--io-timeout")? {
+        let d = crate::parse_duration(&raw)
+            .map_err(|_| CliError::usage(format!("--io-timeout: '{raw}' is not a duration")))?;
+        if d.is_zero() {
+            return Err(CliError::usage("--io-timeout must be positive"));
+        }
+        opts.io_timeout = d;
+    }
+    if let Some(n) = crate::flag_value(args, "--cache-entries")? {
+        opts.registry.max_entries = usize::try_from(n).unwrap_or(usize::MAX);
+    }
+    if let Some(n) = crate::flag_value(args, "--cache-bytes")? {
+        opts.registry.max_bytes = n;
+    }
+    let value_flags = [
+        "--addr",
+        "--workers",
+        "--queue",
+        "--max-body",
+        "--io-timeout",
+        "--cache-entries",
+        "--cache-bytes",
+        "--deadline",
+        "--max-firings",
+        "--max-size",
+    ];
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if value_flags.contains(&arg) {
+            i += 2;
+            continue;
+        }
+        if arg.starts_with('-') {
+            return Err(CliError::usage(format!("serve: unknown option '{arg}'")));
+        }
+        opts.preload.push(arg.to_string());
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Runs the server until a drain completes; returns the final report line
+/// (the "listening on" line is printed — and flushed — immediately, so
+/// wrappers reading a pipe can learn the ephemeral port).
+pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_serve_args(args)?;
+    DRAIN.store(false, Ordering::SeqCst);
+    let listener = TcpListener::bind(&opts.addr)
+        .map_err(|e| CliError::io(format!("serve: cannot bind {}: {e}", opts.addr)))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::io(format!("serve: cannot poll the listener: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::io(format!("serve: no local address: {e}")))?;
+    println!("sdfr serve: listening on {local}");
+    let _ = std::io::stdout().flush();
+    install_signal_handlers();
+
+    let threads = sdfr_pool::default_threads();
+    let state = Arc::new(ServerState {
+        registry: SessionRegistry::with_config(opts.registry),
+        pool: sdfr_pool::Pool::new(threads),
+        requests: AtomicU64::new(0),
+        max_body: opts.max_body,
+        io_timeout: opts.io_timeout,
+    });
+
+    if !opts.preload.is_empty() {
+        let graphs: Vec<_> = opts
+            .preload
+            .iter()
+            .filter_map(|path| match crate::load_graph(path) {
+                Ok(g) => Some(Arc::new(g)),
+                Err(e) => {
+                    eprintln!("sdfr serve: skipping preload {path}: {e}");
+                    None
+                }
+            })
+            .collect();
+        let warmed = state
+            .pool
+            .install(|| state.registry.prefetch(&graphs, &opts.budget))
+            .len();
+        eprintln!("sdfr serve: prefetched {warmed} graph(s)");
+    }
+
+    let queue = Arc::new(ConnQueue::new(opts.queue));
+    let workers: Vec<_> = (0..opts.workers)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                while let Some(stream) = queue.pop() {
+                    handle_connection(stream, &state);
+                }
+            })
+        })
+        .collect();
+
+    while !DRAIN.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(stream) = queue.try_push(stream) {
+                    // Load shedding: answer inline from the accept thread —
+                    // the whole point is not to wait for a worker.
+                    shed(stream, &state);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    // Drain: stop accepting (drop closes the listening socket now, so the
+    // port frees before the last responses finish), let the workers empty
+    // the queue, then report.
+    drop(listener);
+    queue.ready.notify_all();
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(format!(
+        "sdfr serve: drained after {} request(s)\n",
+        state.requests.load(Ordering::Relaxed)
+    ))
+}
+
+/// Answers a shed connection with `429` + `Retry-After: 1` (or `503` with
+/// code `draining` once a drain began) without blocking the accept loop on
+/// a slow reader: a short write timeout and no request parsing.
+fn shed(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let draining = DRAIN.load(Ordering::SeqCst);
+    let body = if draining {
+        ErrorBody::new(
+            "draining",
+            "the server is draining; connect elsewhere",
+            EXIT_IO,
+        )
+    } else {
+        ErrorBody::new(
+            "overloaded",
+            format!(
+                "the accept queue is full ({} handled so far); retry shortly",
+                state.requests.load(Ordering::Relaxed)
+            ),
+            EXIT_IO,
+        )
+    };
+    let status = if draining { 503 } else { 429 };
+    respond(&mut stream, status, &(body.to_json() + "\n"));
+}
+
+/// Serves one connection: read, route (panic-isolated), respond, close.
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(state.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.io_timeout));
+    let (status, body) = match read_request(&mut stream, state.max_body) {
+        Ok((method, path, body)) => {
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            match catch_unwind(AssertUnwindSafe(|| route(&method, &path, &body, state))) {
+                Ok(response) => response,
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    (
+                        500,
+                        ErrorBody::new(
+                            "internal",
+                            format!("request handler panicked: {msg}"),
+                            EXIT_PANIC,
+                        )
+                        .to_json()
+                            + "\n",
+                    )
+                }
+            }
+        }
+        Err((status, err)) => (status, err.to_json() + "\n"),
+    };
+    respond(&mut stream, status, &body);
+}
+
+/// Reads one HTTP/1.1 request: the request line, the headers (only
+/// `Content-Length` matters), then exactly the announced body bytes.
+///
+/// # Errors
+///
+/// `(408, timeout)` when the socket read times out, `(413,
+/// payload-too-large)` when the announced body exceeds the cap, `(400,
+/// bad-request)` for everything structurally wrong (truncation, bad
+/// request line, non-numeric length, non-UTF-8 body).
+fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+) -> Result<(String, String, String), (u16, ErrorBody)> {
+    const MAX_HEAD: usize = 16 * 1024;
+    let timeout =
+        |e: &std::io::Error| matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut);
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err((
+                413,
+                ErrorBody::new("payload-too-large", "request headers too large", EXIT_USAGE),
+            ));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err((
+                    400,
+                    ErrorBody::new("bad-request", "connection closed mid-request", EXIT_USAGE),
+                ))
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if timeout(&e) => {
+                return Err((
+                    408,
+                    ErrorBody::new("timeout", "timed out reading the request", EXIT_IO),
+                ))
+            }
+            Err(e) => {
+                return Err((
+                    400,
+                    ErrorBody::new("bad-request", format!("read failed: {e}"), EXIT_USAGE),
+                ))
+            }
+        }
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err((
+            400,
+            ErrorBody::new("bad-request", "malformed request line", EXIT_USAGE),
+        ));
+    };
+    let method = method.to_string();
+    let path = path.to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().map_err(|_| {
+                (
+                    400,
+                    ErrorBody::new("bad-request", "unreadable Content-Length", EXIT_USAGE),
+                )
+            })?;
+        }
+    }
+    if content_length > max_body {
+        return Err((
+            413,
+            ErrorBody::new(
+                "payload-too-large",
+                format!("request body of {content_length} bytes exceeds the {max_body}-byte cap"),
+                EXIT_USAGE,
+            ),
+        ));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err((
+                    400,
+                    ErrorBody::new("bad-request", "connection closed mid-body", EXIT_USAGE),
+                ))
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if timeout(&e) => {
+                return Err((
+                    408,
+                    ErrorBody::new("timeout", "timed out reading the request body", EXIT_IO),
+                ))
+            }
+            Err(e) => {
+                return Err((
+                    400,
+                    ErrorBody::new("bad-request", format!("read failed: {e}"), EXIT_USAGE),
+                ))
+            }
+        }
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| {
+        (
+            400,
+            ErrorBody::new("bad-request", "request body is not UTF-8", EXIT_USAGE),
+        )
+    })?;
+    Ok((method, path, body))
+}
+
+/// The position of the `\r\n\r\n` separating headers from body.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Routes one parsed request to its handler.
+fn route(method: &str, path: &str, body: &str, state: &ServerState) -> (u16, String) {
+    let wrong_method = |allowed: &str| {
+        (
+            405,
+            ErrorBody::new(
+                "method-not-allowed",
+                format!("{path} only answers {allowed}"),
+                EXIT_USAGE,
+            )
+            .to_json()
+                + "\n",
+        )
+    };
+    match path {
+        "/v1/analyze" | "/v1/batch" => {
+            if method != "POST" {
+                return wrong_method("POST");
+            }
+            handle_analysis(body, path == "/v1/batch", state)
+        }
+        "/v1/csdf" => {
+            if method != "POST" {
+                return wrong_method("POST");
+            }
+            handle_csdf(body)
+        }
+        "/v1/stats" | "/stats" => {
+            if method != "GET" {
+                return wrong_method("GET");
+            }
+            (200, stats_body(state))
+        }
+        "/shutdown" | "/v1/shutdown" => {
+            if method != "POST" {
+                return wrong_method("POST");
+            }
+            DRAIN.store(true, Ordering::SeqCst);
+            (
+                200,
+                format!("{{\"schema\":\"{SCHEMA}\",\"draining\":true,\"exit\":0}}\n"),
+            )
+        }
+        _ => (
+            404,
+            ErrorBody::new("not-found", format!("no such endpoint: {path}"), EXIT_IO).to_json()
+                + "\n",
+        ),
+    }
+}
+
+/// `/v1/analyze` and `/v1/batch`: parse the request, analyse every
+/// `(graph, tier)` unit **sequentially in index order** through the shared
+/// registry (deterministic cache attribution — a fresh server's first
+/// batch response is byte-identical to `sdfr batch --stable`), and render
+/// the record lines.
+///
+/// The batch summary embeds the *whole* registry's counters, cumulative
+/// across invocations — that is the feature, not an accounting bug; `/v1/
+/// stats` reads the same counters.
+fn handle_analysis(body: &str, is_batch: bool, state: &ServerState) -> (u16, String) {
+    let req = match parse_request(body) {
+        Ok(req) => req,
+        Err(response) => return response,
+    };
+    if !is_batch && (req.graphs.len() != 1 || !req.tiers.is_empty()) {
+        return (
+            400,
+            ErrorBody::new(
+                "bad-request",
+                "/v1/analyze takes exactly one graph and no tiers; use /v1/batch",
+                EXIT_USAGE,
+            )
+            .to_json()
+                + "\n",
+        );
+    }
+    let base = req.caps_budget();
+    let deadline = req.wait_deadline().map(|d| Instant::now() + d);
+    let tiers: Vec<Option<u64>> = if req.tiers.is_empty() {
+        vec![None]
+    } else {
+        req.tiers.iter().map(|&t| Some(t)).collect()
+    };
+
+    let mut analyzed = Vec::with_capacity(req.graphs.len() * tiers.len());
+    let mut index = 0usize;
+    for g in &req.graphs {
+        for &tier in &tiers {
+            let batch_fields = is_batch.then_some((index, tier));
+            let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+            let graph = crate::parse_graph_content(&g.name, &g.content).map(Arc::new);
+            // install() makes any nested analysis fan-out cooperate with
+            // the server's pool instead of spawning per-request threads.
+            let unit = state.pool.install(|| {
+                batch::analyze_source(
+                    batch_fields,
+                    &g.name,
+                    graph,
+                    &state.registry,
+                    &base,
+                    remaining,
+                )
+            });
+            analyzed.push(unit);
+            index += 1;
+        }
+    }
+
+    if is_batch {
+        let mut out = String::new();
+        for unit in &analyzed {
+            out.push_str(&unit.record.to_json_line());
+            out.push('\n');
+        }
+        let (summary, exit) = batch::summarize(analyzed.iter(), state.registry.stats());
+        out.push_str(&summary.to_json_line());
+        out.push('\n');
+        (http_status_for_exit(exit), out)
+    } else {
+        let unit = &analyzed[0];
+        (
+            http_status_for_exit(unit.record.exit),
+            unit.record.to_json_line() + "\n",
+        )
+    }
+}
+
+/// `/v1/csdf`: one [`sdfr_api::CsdfRecord`] line per graph; the HTTP
+/// status reflects the worst per-graph exit code.
+fn handle_csdf(body: &str) -> (u16, String) {
+    let req = match parse_request(body) {
+        Ok(req) => req,
+        Err(response) => return response,
+    };
+    let mut out = String::new();
+    let mut exit = 0;
+    for g in &req.graphs {
+        let record = crate::csdf_record(&g.name, &g.content);
+        exit = exit.max(record.exit);
+        out.push_str(&record.to_json_line());
+        out.push('\n');
+    }
+    (http_status_for_exit(exit), out)
+}
+
+/// Parses and validates an [`AnalysisRequest`] body, mapping the two
+/// rejection classes to their `ErrorBody` codes.
+fn parse_request(body: &str) -> Result<AnalysisRequest, (u16, String)> {
+    AnalysisRequest::from_json(body).map_err(|e| {
+        let body = match e {
+            RequestError::UnsupportedSchema(m) => {
+                ErrorBody::new("unsupported-schema", m, EXIT_USAGE)
+            }
+            RequestError::Malformed(m) => ErrorBody::new("bad-request", m, EXIT_USAGE),
+        };
+        (400, body.to_json() + "\n")
+    })
+}
+
+/// The `/v1/stats` document: the registry and pool counters in their one
+/// canonical serialization, plus the request count and the drain flag.
+fn stats_body(state: &ServerState) -> String {
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"registry\":{},\"pool\":{},\"requests\":{},\"draining\":{}}}\n",
+        registry_stats_json(&state.registry.stats()),
+        pool_stats_json(&state.pool.stats()),
+        state.requests.load(Ordering::Relaxed),
+        DRAIN.load(Ordering::SeqCst)
+    )
+}
+
+/// Writes one complete `Connection: close` HTTP/1.1 response. Write errors
+/// are swallowed: the client is gone, and the connection closes either way.
+fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    };
+    let retry_after = if status == 429 || status == 503 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n{retry_after}Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_args_parse_and_reject() {
+        let to_args = |s: &[&str]| s.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let opts = parse_serve_args(&to_args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue",
+            "5",
+            "--max-body",
+            "1024",
+            "--io-timeout",
+            "500ms",
+            "pre.sdf",
+        ]))
+        .unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:0");
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.queue, 5);
+        assert_eq!(opts.max_body, 1024);
+        assert_eq!(opts.io_timeout, Duration::from_millis(500));
+        assert_eq!(opts.preload, vec!["pre.sdf"]);
+        assert!(parse_serve_args(&to_args(&["--workers", "0"])).is_err());
+        assert!(parse_serve_args(&to_args(&["--queue", "0"])).is_err());
+        assert!(parse_serve_args(&to_args(&["--io-timeout", "never"])).is_err());
+        assert!(parse_serve_args(&to_args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn routing_rejects_unknown_and_mismatched() {
+        let state = ServerState {
+            registry: SessionRegistry::new(),
+            pool: sdfr_pool::Pool::new(1),
+            requests: AtomicU64::new(0),
+            max_body: 1024,
+            io_timeout: Duration::from_secs(1),
+        };
+        let (status, body) = route("GET", "/nope", "", &state);
+        assert_eq!(status, 404);
+        assert!(body.contains("\"code\":\"not-found\""));
+        let (status, body) = route("GET", "/v1/analyze", "", &state);
+        assert_eq!(status, 405);
+        assert!(body.contains("\"code\":\"method-not-allowed\""));
+        let (status, body) = route("POST", "/v1/analyze", "{", &state);
+        assert_eq!(status, 400);
+        assert!(body.contains("\"code\":\"bad-request\""));
+        let (status, body) = route(
+            "POST",
+            "/v1/analyze",
+            r#"{"schema":"sdfr-api/9","graphs":[{"name":"a","content":"x"}]}"#,
+            &state,
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("\"code\":\"unsupported-schema\""));
+        let (status, body) = route("GET", "/v1/stats", "", &state);
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"schema\":\"sdfr-api/1\",\"registry\":{\"hits\":0,"));
+    }
+
+    #[test]
+    fn analyze_endpoint_is_single_graph_only() {
+        let state = ServerState {
+            registry: SessionRegistry::new(),
+            pool: sdfr_pool::Pool::new(1),
+            requests: AtomicU64::new(0),
+            max_body: 1024,
+            io_timeout: Duration::from_secs(1),
+        };
+        let two = r#"{"schema":"sdfr-api/1","graphs":[
+            {"name":"a","content":"graph a\nactor a 1\nchannel a a 1 1 1\n"},
+            {"name":"b","content":"graph b\nactor b 1\nchannel b b 1 1 1\n"}]}"#;
+        let (status, body) = route("POST", "/v1/analyze", two, &state);
+        assert_eq!(status, 400);
+        assert!(body.contains("use /v1/batch"), "{body}");
+        let (status, body) = route("POST", "/v1/batch", two, &state);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.lines().count(), 3, "{body}");
+        assert!(body.lines().last().unwrap().contains("\"summary\":true"));
+    }
+}

@@ -49,17 +49,22 @@ fn stable_batch_is_golden_over_the_example_corpus() {
     let fp_huge = fingerprint_of(&huge);
     let expected = format!(
         concat!(
-            "{{\"index\":0,\"file\":\"{d}\",\"tier\":null,\"fingerprint\":\"{fd}\",",
+            "{{\"schema\":\"sdfr-api/1\",\"index\":0,\"file\":\"{d}\",\"tier\":null,",
+            "\"fingerprint\":\"{fd}\",",
             "\"cache\":\"miss\",\"status\":\"exact\",\"period\":\"5\",\"exit\":0}}\n",
-            "{{\"index\":1,\"file\":\"{d}\",\"tier\":null,\"fingerprint\":\"{fd}\",",
+            "{{\"schema\":\"sdfr-api/1\",\"index\":1,\"file\":\"{d}\",\"tier\":null,",
+            "\"fingerprint\":\"{fd}\",",
             "\"cache\":\"hit\",\"status\":\"exact\",\"period\":\"5\",\"exit\":0}}\n",
-            "{{\"index\":2,\"file\":\"{p}\",\"tier\":null,\"fingerprint\":\"{fp}\",",
+            "{{\"schema\":\"sdfr-api/1\",\"index\":2,\"file\":\"{p}\",\"tier\":null,",
+            "\"fingerprint\":\"{fp}\",",
             "\"cache\":\"miss\",\"status\":\"exact\",\"period\":\"4\",\"exit\":0}}\n",
-            "{{\"index\":3,\"file\":\"{h}\",\"tier\":null,\"fingerprint\":\"{fh}\",",
+            "{{\"schema\":\"sdfr-api/1\",\"index\":3,\"file\":\"{h}\",\"tier\":null,",
+            "\"fingerprint\":\"{fh}\",",
             "\"cache\":\"miss\",\"status\":\"degraded\",\"bound\":\"1000000001\",",
             "\"method\":\"serialization\",\"exit\":0}}\n",
-            "{{\"summary\":true,\"total\":4,\"exact\":3,\"degraded\":1,",
+            "{{\"schema\":\"sdfr-api/1\",\"summary\":true,\"total\":4,\"exact\":3,\"degraded\":1,",
             "\"degraded_abstraction\":0,\"degraded_serialization\":1,\"errors\":0,",
+            "\"exits\":{{\"0\":4}},",
             "\"cache\":{{\"hits\":1,\"misses\":3,\"bypasses\":0,\"collisions\":0,",
             "\"evictions\":0,\"entries\":3,\"bytes_estimate\":{bytes},",
             "\"symbolic_iterations\":2}},\"exit\":0}}\n",
@@ -89,10 +94,10 @@ fn tiers_are_distinct_cache_keys_with_distinct_outcomes() {
     let lines: Vec<&str> = out.lines().collect();
     assert_eq!(lines.len(), 3);
     assert!(lines[0].contains("\"tier\":2"), "line: {}", lines[0]);
+    // sdfr-api/1 deliberately carries the stable method *token* here; the
+    // old human label ("abstraction (Thm. 1)") remains Display-only.
     assert!(
-        lines[0].contains(
-            "\"status\":\"degraded\",\"bound\":\"5\",\"method\":\"abstraction (Thm. 1)\""
-        ),
+        lines[0].contains("\"status\":\"degraded\",\"bound\":\"5\",\"method\":\"abstraction\""),
         "line: {}",
         lines[0]
     );

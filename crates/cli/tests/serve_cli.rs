@@ -1,0 +1,367 @@
+//! Integration tests for `sdfr serve` and the `--server` client: golden
+//! client↔server parity (responses byte-identical to the in-process
+//! `--json`/`--stable` output), warm-cache behaviour observable through
+//! `/v1/stats`, response-deadline degradation, the negative paths
+//! (malformed, unsupported schema, oversize, timeout, 404/405), the
+//! `--api-version` guard, clean drain on `/shutdown`, and the in-process
+//! fallback when no server answers.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn example(name: &str) -> String {
+    format!(
+        "{}/../../examples/graphs/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn write_temp(content: &str, ext: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sdfr-serve-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "g-{}-{}.{ext}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+/// Runs the `sdfr` binary to completion.
+fn sdfr(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sdfr"))
+        .args(args)
+        .output()
+        .expect("sdfr runs")
+}
+
+/// A live `sdfr serve` child on an ephemeral port, killed on drop unless
+/// a test already drained it.
+struct Server {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Server {
+    fn start(extra: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_sdfr"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("server spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("listening line");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        assert!(
+            line.contains("listening on") && addr.contains(':'),
+            "unexpected startup line: {line:?}"
+        );
+        Server {
+            child,
+            addr,
+            stdout,
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One raw HTTP/1.1 exchange, for the negative paths the normal client
+/// never produces.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("server reachable");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("response arrives");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let head_end = text.find("\r\n\r\n").expect("complete response");
+    let status: u16 = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, text[head_end + 4..].to_string())
+}
+
+/// The headline acceptance criterion: a second `--server` analyze of the
+/// same graph is served from the registry (visible as a `/v1/stats` hit)
+/// and its response is byte-identical to the in-process `--json` output.
+#[test]
+fn second_analyze_is_a_registry_hit_with_identical_bytes() {
+    let demo = example("demo.sdf");
+    let server = Server::start(&[]);
+    let local = sdfr(&["analyze", &demo, "--json"]);
+    assert!(local.status.success());
+
+    let first = sdfr(&["--server", &server.addr, "analyze", &demo]);
+    assert!(first.status.success(), "{first:?}");
+    assert_eq!(first.stdout, local.stdout, "first response != in-process");
+
+    let second = sdfr(&["--server", &server.addr, "analyze", &demo]);
+    assert!(second.status.success());
+    assert_eq!(second.stdout, local.stdout, "warm response != in-process");
+
+    let stats = sdfr(&["stats", "--server", &server.addr]);
+    assert!(stats.status.success());
+    let stats = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(
+        stats.starts_with("{\"schema\":\"sdfr-api/1\",\"registry\":{\"hits\":1,\"misses\":1,"),
+        "stats: {stats}"
+    );
+    assert!(stats.contains("\"requests\":"), "stats: {stats}");
+}
+
+/// A fresh server's first `/v1/batch` response — records, summary, cache
+/// attribution, registry counters — is byte-identical to `sdfr batch
+/// --stable` stdout for the same command line.
+#[test]
+fn fresh_server_batch_is_byte_identical_to_stable() {
+    let demo = example("demo.sdf");
+    let pipeline = example("pipeline.sdf");
+    let server = Server::start(&[]);
+    let local = sdfr(&["batch", &demo, &demo, &pipeline, "--stable"]);
+    assert!(local.status.success());
+    let remote = sdfr(&["--server", &server.addr, "batch", &demo, &demo, &pipeline]);
+    assert!(remote.status.success(), "{remote:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&remote.stdout),
+        String::from_utf8_lossy(&local.stdout)
+    );
+}
+
+/// `csdf` parity: the server's `/v1/csdf` line equals `sdfr csdf --json`.
+#[test]
+fn csdf_roundtrip_matches_in_process_json() {
+    let f = write_temp("csdf w\nactor w 1,3\nchannel w w 1,1 1,1 1\n", "csdf");
+    let path = f.to_str().unwrap();
+    let server = Server::start(&[]);
+    let local = sdfr(&["csdf", path, "--json"]);
+    assert!(local.status.success());
+    let remote = sdfr(&["--server", &server.addr, "csdf", path]);
+    assert!(remote.status.success(), "{remote:?}");
+    assert_eq!(remote.stdout, local.stdout);
+    let line = String::from_utf8_lossy(&local.stdout).into_owned();
+    assert!(line.contains("\"phase_firings\":2"), "{line}");
+}
+
+/// A response deadline on a cold, expensive graph yields an immediate
+/// degraded answer marked `"pending":true` with exit 0; the warmed session
+/// then answers the same request exactly.
+#[test]
+fn response_deadline_degrades_then_warms() {
+    let huge = write_temp(
+        "graph big\nactor x 1\nactor y 1\nchannel x y 1000000 1 0\n",
+        "sdf",
+    );
+    let path = huge.to_str().unwrap();
+    let server = Server::start(&[]);
+    let first = sdfr(&[
+        "--server",
+        &server.addr,
+        "analyze",
+        path,
+        "--deadline",
+        "1ms",
+    ]);
+    assert!(first.status.success(), "{first:?}");
+    let line = String::from_utf8_lossy(&first.stdout).into_owned();
+    assert!(line.contains("\"status\":\"degraded\""), "{line}");
+    assert!(line.contains("\"pending\":true"), "{line}");
+    assert!(line.contains("\"exit\":0"), "{line}");
+    // Wait for the background warmer, then ask again under the same tiny
+    // deadline: the warm session answers exactly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let again = sdfr(&[
+            "--server",
+            &server.addr,
+            "analyze",
+            path,
+            "--deadline",
+            "1ms",
+        ]);
+        assert!(again.status.success());
+        let line = String::from_utf8_lossy(&again.stdout).into_owned();
+        if line.contains("\"status\":\"exact\"") {
+            assert!(!line.contains("\"pending\""), "{line}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session never warmed: {line}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Malformed JSON, unsupported schema majors, unknown paths and wrong
+/// methods all get structured `ErrorBody` responses with the right status.
+#[test]
+fn negative_requests_get_structured_errors() {
+    let server = Server::start(&[]);
+    let (status, body) = http(&server.addr, "POST", "/v1/analyze", "{");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\":\"bad-request\""), "{body}");
+
+    let (status, body) = http(
+        &server.addr,
+        "POST",
+        "/v1/analyze",
+        r#"{"schema":"sdfr-api/9","graphs":[{"name":"a","content":"x"}]}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\":\"unsupported-schema\""), "{body}");
+
+    let (status, body) = http(&server.addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("\"code\":\"not-found\""), "{body}");
+    assert!(body.contains("\"exit\":3"), "{body}");
+
+    let (status, body) = http(&server.addr, "DELETE", "/v1/batch", "");
+    assert_eq!(status, 405, "{body}");
+    assert!(body.contains("\"code\":\"method-not-allowed\""), "{body}");
+
+    // An invalid graph is a per-unit verdict (422 + record), not an
+    // ErrorBody: the request itself was fine.
+    let (status, body) = http(
+        &server.addr,
+        "POST",
+        "/v1/analyze",
+        r#"{"schema":"sdfr-api/1","graphs":[{"name":"bad.sdf","content":"graph bad\nactor a 1\nchannel a a 1 2 1\n"}]}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("\"status\":\"error\""), "{body}");
+    assert!(body.contains("\"exit\":1"), "{body}");
+}
+
+/// Bodies over `--max-body` are refused with 413 before being read, and a
+/// stalled request gets 408 once `--io-timeout` expires.
+#[test]
+fn oversize_and_stalled_requests_are_bounded() {
+    let server = Server::start(&["--max-body", "200", "--io-timeout", "500ms"]);
+    let big = format!(
+        r#"{{"schema":"sdfr-api/1","graphs":[{{"name":"a","content":"{}"}}]}}"#,
+        "x".repeat(400)
+    );
+    let (status, body) = http(&server.addr, "POST", "/v1/batch", &big);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("\"code\":\"payload-too-large\""), "{body}");
+
+    // Open a connection, send half a request, then stall.
+    let mut stream = TcpStream::connect(&server.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "POST /v1/analyze HTTP/1.1\r\nContent-Le").unwrap();
+    stream.flush().unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("timeout response");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+    assert!(text.contains("\"code\":\"timeout\""), "{text}");
+}
+
+/// `--api-version` rejects majors this build does not speak with exit 2,
+/// before any file or network activity; the supported major passes.
+#[test]
+fn api_version_guard() {
+    let demo = example("demo.sdf");
+    let bad = sdfr(&["--api-version", "2", "analyze", &demo, "--json"]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("not supported"),
+        "{bad:?}"
+    );
+    for ok_version in ["1", "sdfr-api/1"] {
+        let ok = sdfr(&["--api-version", ok_version, "analyze", &demo, "--json"]);
+        assert!(ok.status.success(), "{ok:?}");
+    }
+}
+
+/// `sdfr shutdown` drains the server: the process exits 0 on its own, the
+/// port stops answering, and the drain report names the request count.
+#[test]
+fn shutdown_drains_cleanly() {
+    let demo = example("demo.sdf");
+    let mut server = Server::start(&[]);
+    let analyze = sdfr(&["--server", &server.addr, "analyze", &demo]);
+    assert!(analyze.status.success());
+    let shutdown = sdfr(&["shutdown", "--server", &server.addr]);
+    assert!(shutdown.status.success(), "{shutdown:?}");
+    assert!(String::from_utf8_lossy(&shutdown.stdout).contains("\"draining\":true"));
+
+    let status = server.child.wait().expect("server exits");
+    assert_eq!(status.code(), Some(0), "drain must exit 0");
+    let mut rest = String::new();
+    server.stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained after"), "final report: {rest:?}");
+    // The socket is gone — no leaked listener.
+    assert!(TcpStream::connect(&server.addr).is_err());
+}
+
+/// With nothing listening, `--server` degrades to in-process analysis with
+/// `--json` output parity and says so on stderr.
+#[test]
+fn dead_server_falls_back_to_in_process_json() {
+    let demo = example("demo.sdf");
+    let local = sdfr(&["analyze", &demo, "--json"]);
+    let fallback = sdfr(&["--server", "127.0.0.1:9", "analyze", &demo]);
+    assert!(fallback.status.success(), "{fallback:?}");
+    assert_eq!(fallback.stdout, local.stdout);
+    assert!(
+        String::from_utf8_lossy(&fallback.stderr).contains("unreachable"),
+        "{fallback:?}"
+    );
+    // Control commands have no fallback: a dead server is an I/O error.
+    let stats = sdfr(&["stats", "--server", "127.0.0.1:9"]);
+    assert_eq!(stats.status.code(), Some(3), "{stats:?}");
+}
+
+/// Preloaded graphs are warm before the first request: the very first
+/// `--server` analyze is already a registry hit.
+#[test]
+fn preload_warms_the_registry() {
+    let demo = example("demo.sdf");
+    let server = Server::start(&[&demo]);
+    // Prefetch runs before the listening line is printed, so no race: the
+    // first stats call must already show the miss from the preload.
+    let first = sdfr(&["--server", &server.addr, "analyze", &demo]);
+    assert!(first.status.success());
+    let stats = sdfr(&["stats", "--server", &server.addr]);
+    let stats = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(
+        stats.contains("\"hits\":1,\"misses\":1,"),
+        "preloaded analyze should hit: {stats}"
+    );
+}

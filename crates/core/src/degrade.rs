@@ -47,6 +47,19 @@ pub enum FallbackMethod {
     Serialization,
 }
 
+impl FallbackMethod {
+    /// The stable machine-readable token used in `sdfr-api/1` payloads
+    /// (`"abstraction"` / `"serialization"`). Unlike the `Display` label,
+    /// which is free to grow human-facing annotations, this token is part
+    /// of the wire schema and never changes within a major version.
+    pub fn token(&self) -> &'static str {
+        match self {
+            FallbackMethod::Abstraction => "abstraction",
+            FallbackMethod::Serialization => "serialization",
+        }
+    }
+}
+
 impl std::fmt::Display for FallbackMethod {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
