@@ -63,6 +63,6 @@ pub mod throughput;
 
 pub use mcm::{CycleRatio, CycleRatioGraph};
 pub use registry::{RegistryConfig, RegistryStats, SessionRegistry};
-pub use session::AnalysisSession;
+pub use session::{AnalysisSession, SessionArtifacts};
 pub use symbolic::{SymbolicIteration, TokenRef};
 pub use throughput::{throughput, ThroughputAnalysis};

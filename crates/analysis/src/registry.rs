@@ -303,6 +303,47 @@ impl SessionRegistry {
         (session, Lookup::Miss)
     }
 
+    /// Inserts an externally built (typically journal-restored) session
+    /// without touching the hit/miss counters, so warm-start restores are
+    /// invisible to cache-effectiveness accounting: the first real request
+    /// for restored content counts as a plain [`Lookup::Hit`].
+    ///
+    /// Returns `false` (and changes nothing) when the session's budget is
+    /// not [content-addressable](Budget::is_content_addressable) or an
+    /// entry with the same key is already resident — first restore wins,
+    /// and live entries are never displaced by a replay. The usual LRU
+    /// eviction applies afterwards, so restoring more than the configured
+    /// capacity simply retains the most recently restored sessions.
+    pub fn restore(&self, session: Arc<AnalysisSession>) -> bool {
+        let budget = session.budget();
+        if !budget.is_content_addressable() {
+            return false;
+        }
+        let key = Key {
+            fingerprint: session.fingerprint(),
+            max_firings: budget.max_firings(),
+            max_size: budget.max_size(),
+        };
+        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        if inner.map.contains_key(&key) {
+            return false;
+        }
+        inner.clock += 1;
+        let now = inner.clock;
+        let bytes = session.bytes_estimate();
+        inner.map.insert(
+            key,
+            Entry {
+                session,
+                bytes,
+                last_used: now,
+            },
+        );
+        inner.bytes += bytes;
+        self.evict_locked(&mut inner, Some(key));
+        true
+    }
+
     /// Fills the registry for a batch of graphs concurrently on the
     /// [current](sdfr_pool::current) work-stealing pool, warming each
     /// session's headline throughput artifact, and returns the sessions in
@@ -564,6 +605,29 @@ mod tests {
                 serial.session(g).throughput().unwrap().period()
             );
         }
+    }
+
+    #[test]
+    fn restore_seeds_entries_without_counting_lookups() {
+        let registry = SessionRegistry::new();
+        let g = cycle("g", 2, 3);
+        // Warm a detached session, as a journal replay would.
+        let warm = Arc::new(AnalysisSession::new(Arc::clone(&g)));
+        let _ = warm.throughput().unwrap();
+        assert!(registry.restore(Arc::clone(&warm)));
+        let stats = registry.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 1));
+        // The first real request is a hit on the restored session.
+        let (s, l) = registry.lookup(&g, &Budget::unlimited());
+        assert_eq!(l, Lookup::Hit);
+        assert!(Arc::ptr_eq(&s, &warm));
+        // A duplicate restore is refused; a live entry is never displaced.
+        assert!(!registry.restore(Arc::new(AnalysisSession::new(Arc::clone(&g)))));
+        assert_eq!(registry.len(), 1);
+        // Non-content-addressable sessions are refused outright.
+        let deadline = Budget::unlimited().with_deadline(std::time::Duration::from_secs(3600));
+        let private = Arc::new(AnalysisSession::with_budget(Arc::clone(&g), deadline));
+        assert!(!registry.restore(private));
     }
 
     #[test]

@@ -81,6 +81,28 @@ use crate::throughput::ThroughputAnalysis;
 /// deadlock, overflow) are properties of the immutable graph.
 type Slot<T> = OnceLock<Result<T, SdfError>>;
 
+/// The headline artifacts of a warmed session, detached from the session so
+/// they can be persisted and restored across process restarts (the
+/// `sdfr serve --cache-dir` journal).
+///
+/// Deliberately small: only the eigenvalue result — the one artifact whose
+/// recomputation costs a full symbolic iteration — plus the cumulative
+/// budget charge and a little schedule metadata. Everything else a session
+/// caches is either cheap to recompute (γ, the conservative fallback bound)
+/// or too large to be worth persisting (the `N×N` matrix itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionArtifacts {
+    /// The graph fingerprint the artifacts belong to.
+    pub fingerprint: u64,
+    /// The cached eigenvalue slot verbatim: the period (or `None` for
+    /// unbounded throughput), or the error the computation settled on.
+    pub eigenvalue: Result<Option<Rational>, SdfError>,
+    /// Cumulative firings charged when the artifacts were exported.
+    pub spent: u64,
+    /// `Σγ(a)` firings of the sequential schedule, when it was resident.
+    pub schedule_firings: Option<u64>,
+}
+
 /// A per-graph analysis context: owns the graph, memoizes every derived
 /// artifact, and charges all work to one cumulative budget.
 ///
@@ -186,6 +208,49 @@ impl AnalysisSession {
     /// background.
     pub fn throughput_is_warm(&self) -> bool {
         self.eigenvalue.get().is_some() && self.gamma.get().is_some()
+    }
+
+    /// Exports the headline artifacts of a warmed session for external
+    /// persistence, or `None` while the eigenvalue is still cold (there is
+    /// nothing worth persisting before the symbolic iteration has settled).
+    pub fn export_artifacts(&self) -> Option<SessionArtifacts> {
+        let eigenvalue = self.eigenvalue.get()?.clone();
+        let schedule_firings = match self.schedule.get() {
+            Some(Ok(s)) => Some(s.firings().len() as u64),
+            _ => None,
+        };
+        Some(SessionArtifacts {
+            fingerprint: self.fingerprint,
+            eigenvalue,
+            spent: self.spent(),
+            schedule_firings,
+        })
+    }
+
+    /// Seeds a cold session with previously exported artifacts, making
+    /// [`Self::throughput`] answer from cache without a symbolic iteration.
+    /// Returns `false` (and changes nothing) when the fingerprints disagree
+    /// or the eigenvalue slot is already filled.
+    ///
+    /// Only the throughput headline is restored: γ is recomputed on the spot
+    /// (it is cheap and deterministic), the symbolic matrix is not — a later
+    /// `bottleneck()` or capacity query on an imported session recomputes it
+    /// under the (restored) cumulative budget, which can only be *more*
+    /// conservative than the original session's accounting.
+    pub fn import_artifacts(&self, artifacts: &SessionArtifacts) -> bool {
+        if artifacts.fingerprint != self.fingerprint || self.eigenvalue.get().is_some() {
+            return false;
+        }
+        // γ first: an eigenvalue artifact can only have come from a
+        // consistent graph, and `throughput_is_warm` requires both slots.
+        let _ = self.repetition_vector();
+        if self.eigenvalue.set(artifacts.eigenvalue.clone()).is_err() {
+            return false;
+        }
+        // Restore the cumulative charge so later phases resume metering
+        // from where the exporting session left off.
+        self.spent.fetch_max(artifacts.spent, Ordering::AcqRel);
+        true
     }
 
     /// A heuristic estimate of the heap bytes retained by this session: the
@@ -623,6 +688,52 @@ mod tests {
         );
         let _ = s.symbolic_with_stamps().unwrap();
         assert!(s.bytes_estimate() > warm, "stamps add retained bytes");
+    }
+
+    #[test]
+    fn artifacts_round_trip_into_a_cold_session() {
+        let g = fig3();
+        let warm = AnalysisSession::new(g.clone());
+        assert!(
+            warm.export_artifacts().is_none(),
+            "cold session: nothing to export"
+        );
+        let thr = warm.throughput().unwrap();
+        let artifacts = warm.export_artifacts().unwrap();
+        assert_eq!(artifacts.fingerprint, warm.fingerprint());
+        assert!(artifacts.spent > 0);
+        assert_eq!(artifacts.schedule_firings, Some(3));
+
+        let restored = AnalysisSession::new(g);
+        assert!(!restored.throughput_is_warm());
+        assert!(restored.import_artifacts(&artifacts));
+        assert!(restored.throughput_is_warm());
+        assert_eq!(restored.throughput().unwrap(), thr);
+        assert_eq!(restored.spent(), artifacts.spent);
+        // The symbolic iteration itself was never re-run.
+        assert_eq!(restored.symbolic_iterations_computed(), 0);
+        // A second import is refused, as is a mismatched fingerprint.
+        assert!(!restored.import_artifacts(&artifacts));
+        let other = AnalysisSession::new(fig3());
+        let bogus = SessionArtifacts {
+            fingerprint: artifacts.fingerprint ^ 1,
+            ..artifacts
+        };
+        assert!(!other.import_artifacts(&bogus));
+        assert!(!other.throughput_is_warm());
+    }
+
+    #[test]
+    fn exhausted_artifacts_restore_the_exhaustion() {
+        let g = fig3();
+        let s = AnalysisSession::with_budget(g.clone(), Budget::unlimited().with_max_firings(4));
+        let err = s.throughput().unwrap_err();
+        let artifacts = s.export_artifacts().unwrap();
+        assert_eq!(artifacts.eigenvalue, Err(err.clone()));
+
+        let restored = AnalysisSession::with_budget(g, Budget::unlimited().with_max_firings(4));
+        assert!(restored.import_artifacts(&artifacts));
+        assert_eq!(restored.throughput().unwrap_err(), err);
     }
 
     #[test]

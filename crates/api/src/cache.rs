@@ -1,0 +1,520 @@
+//! The `sdfr-cache/1` persistent-cache envelope.
+//!
+//! `sdfr serve --cache-dir` persists completed analysis artifacts into an
+//! append-only journal so a restarted server comes up warm. This module is
+//! the wire half of that feature: one [`CacheRecord`] per journal line,
+//! versioned (`"schema":"sdfr-cache/1"`), checksummed ([`crc32`]), and
+//! replayed with torn-tail truncation ([`replay`]). The file half — where
+//! the journal lives, when records are appended, how sessions are restored
+//! — belongs to the server; keeping the envelope here keeps it testable
+//! and keeps `sdfr-api` the single source of truth for every byte `sdfr`
+//! writes for later consumption.
+//!
+//! # Crash safety
+//!
+//! A record is one JSON line ending in a CRC-32 of everything before the
+//! checksum field, written with a single `write(2)` plus the trailing
+//! newline. A `kill -9` mid-append leaves at most one torn line at the end
+//! of the file; [`replay`] verifies records front to back and stops at the
+//! first line that is short, unparsable, or fails its checksum — reporting
+//! the byte offset of the last good record so the caller can truncate the
+//! tail and keep every intact record. Corruption therefore costs the torn
+//! suffix, never the store.
+//!
+//! # What is cached
+//!
+//! Only the *headline* throughput artifact — the max-plus eigenvalue (or
+//! its budget exhaustion) plus bookkeeping — is persisted, keyed by
+//! `(fingerprint, max_firings, max_size)`: exactly the content-addressable
+//! session-registry key. The graph content rides along so a restarted
+//! server can rebuild the session and deep-verify the fingerprint; budgets
+//! carrying deadlines or cancel flags are never content-addressable and
+//! never persisted.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, escape_str, Value};
+
+/// The schema tag stamped on every cache-journal record.
+pub const CACHE_SCHEMA: &str = "sdfr-cache/1";
+
+/// The cache-schema major version this library speaks.
+pub const CACHE_MAJOR: u64 = 1;
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over `bytes`. Bitwise and
+/// table-free: the journal appends at human rates, not line rates, so five
+/// lines of obviously-correct code beat a 1 KiB lookup table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The budgeted resource recorded in an exhausted outcome. Only the
+/// content-addressable resources appear: wall-clock and cancellation
+/// budgets bypass the session registry and are never persisted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedResource {
+    /// A firing cap ran out.
+    Firings,
+    /// A state-size cap ran out.
+    Size,
+}
+
+impl CachedResource {
+    /// The stable wire token (`"firings"` / `"size"`).
+    pub fn token(self) -> &'static str {
+        match self {
+            CachedResource::Firings => "firings",
+            CachedResource::Size => "size",
+        }
+    }
+
+    /// Parses the wire token back.
+    pub fn from_token(token: &str) -> Option<Self> {
+        match token {
+            "firings" => Some(CachedResource::Firings),
+            "size" => Some(CachedResource::Size),
+            _ => None,
+        }
+    }
+}
+
+/// The persisted headline outcome of one analysis session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedOutcome {
+    /// The exact iteration period as a canonical rational `num/den`
+    /// (`den > 0`).
+    Period {
+        /// Numerator (sign-carrying).
+        num: i64,
+        /// Denominator (always positive).
+        den: i64,
+    },
+    /// No recurrent constraint: the graph is unboundedly fast.
+    Unbounded,
+    /// The session budget was exhausted; the exhaustion itself is the
+    /// cached artifact (retrying could only be more depleted), and the
+    /// iteration-free conservative bound is recomputed on demand.
+    Exhausted {
+        /// Which cap ran out.
+        resource: CachedResource,
+        /// Units charged when it ran out.
+        spent: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+}
+
+/// One persistent-cache journal record: the session-registry key, the
+/// graph source needed to rebuild (and deep-verify) the session, and the
+/// headline artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheRecord {
+    /// The graph's content fingerprint ([`sdfr_graph::SdfGraph::fingerprint`]).
+    pub fingerprint: u64,
+    /// The `--max-firings` cap of the session budget (registry key part).
+    pub max_firings: Option<u64>,
+    /// The `--max-size` cap of the session budget (registry key part).
+    pub max_size: Option<u64>,
+    /// Display name of the graph source (never opened as a path).
+    pub name: String,
+    /// The full graph description, re-parsed on restore.
+    pub content: String,
+    /// The persisted headline outcome.
+    pub outcome: CachedOutcome,
+    /// Cumulative firings the session had charged when persisted.
+    pub spent: u64,
+    /// `Σγ` firings of the sequential schedule, when it was resident —
+    /// schedule metadata for observability, not restored into the session.
+    pub schedule_firings: Option<u64>,
+}
+
+impl CacheRecord {
+    /// Renders the record as one checksummed JSON line (no trailing
+    /// newline). The `"crc"` field is the CRC-32 of every byte before it.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(160 + self.content.len());
+        let _ = write!(
+            out,
+            "{{\"schema\":{},\"fingerprint\":\"{:016x}\"",
+            escape_str(CACHE_SCHEMA),
+            self.fingerprint
+        );
+        for (key, v) in [
+            ("max_firings", self.max_firings),
+            ("max_size", self.max_size),
+        ] {
+            match v {
+                Some(n) => {
+                    let _ = write!(out, ",\"{key}\":{n}");
+                }
+                None => {
+                    let _ = write!(out, ",\"{key}\":null");
+                }
+            }
+        }
+        let _ = write!(
+            out,
+            ",\"name\":{},\"content\":{}",
+            escape_str(&self.name),
+            escape_str(&self.content)
+        );
+        match self.outcome {
+            CachedOutcome::Period { num, den } => {
+                let _ = write!(
+                    out,
+                    ",\"outcome\":{{\"kind\":\"period\",\"num\":{num},\"den\":{den}}}"
+                );
+            }
+            CachedOutcome::Unbounded => {
+                out.push_str(",\"outcome\":{\"kind\":\"unbounded\"}");
+            }
+            CachedOutcome::Exhausted {
+                resource,
+                spent,
+                limit,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"outcome\":{{\"kind\":\"exhausted\",\"resource\":\"{}\",\
+                     \"spent\":{spent},\"limit\":{limit}}}",
+                    resource.token()
+                );
+            }
+        }
+        let _ = write!(out, ",\"spent\":{}", self.spent);
+        match self.schedule_firings {
+            Some(n) => {
+                let _ = write!(out, ",\"schedule_firings\":{n}");
+            }
+            None => out.push_str(",\"schedule_firings\":null"),
+        }
+        let crc = crc32(out.as_bytes());
+        let _ = write!(out, ",\"crc\":\"{crc:08x}\"}}");
+        out
+    }
+
+    /// Parses and verifies one journal line: checksum first, then schema
+    /// major, then shape.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason; callers treat any error as the corruption
+    /// boundary of the journal.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let marker = ",\"crc\":\"";
+        let idx = line
+            .rfind(marker)
+            .ok_or_else(|| "record has no checksum".to_string())?;
+        let prefix = &line[..idx];
+        let tail = &line[idx + marker.len()..];
+        let hex = tail
+            .strip_suffix("\"}")
+            .ok_or_else(|| "record does not end at its checksum".to_string())?;
+        let stored = u32::from_str_radix(hex, 16).map_err(|_| "unreadable checksum".to_string())?;
+        let actual = crc32(prefix.as_bytes());
+        if stored != actual {
+            return Err(format!(
+                "checksum mismatch: stored {stored:08x}, computed {actual:08x}"
+            ));
+        }
+
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "record has no schema".to_string())?;
+        check_cache_schema(schema)?;
+
+        let fingerprint = v
+            .get("fingerprint")
+            .and_then(Value::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| "record has no fingerprint".to_string())?;
+        let cap = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(value) => value
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("\"{key}\" must be a non-negative integer or null")),
+            }
+        };
+        let text = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record has no \"{key}\""))
+        };
+
+        let outcome_value = v
+            .get("outcome")
+            .ok_or_else(|| "record has no outcome".to_string())?;
+        let kind = outcome_value
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "outcome has no kind".to_string())?;
+        let int = |obj: &Value, key: &str| -> Result<i64, String> {
+            match obj.get(key) {
+                Some(Value::Int(i)) => {
+                    i64::try_from(*i).map_err(|_| format!("\"{key}\" out of range"))
+                }
+                _ => Err(format!("outcome has no \"{key}\"")),
+            }
+        };
+        let outcome = match kind {
+            "period" => {
+                let num = int(outcome_value, "num")?;
+                let den = int(outcome_value, "den")?;
+                if den <= 0 {
+                    return Err("period denominator must be positive".to_string());
+                }
+                CachedOutcome::Period { num, den }
+            }
+            "unbounded" => CachedOutcome::Unbounded,
+            "exhausted" => {
+                let resource = outcome_value
+                    .get("resource")
+                    .and_then(Value::as_str)
+                    .and_then(CachedResource::from_token)
+                    .ok_or_else(|| "exhausted outcome has an unknown resource".to_string())?;
+                let spent = outcome_value
+                    .get("spent")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| "exhausted outcome has no \"spent\"".to_string())?;
+                let limit = outcome_value
+                    .get("limit")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| "exhausted outcome has no \"limit\"".to_string())?;
+                CachedOutcome::Exhausted {
+                    resource,
+                    spent,
+                    limit,
+                }
+            }
+            other => return Err(format!("unknown outcome kind '{other}'")),
+        };
+
+        Ok(CacheRecord {
+            fingerprint,
+            max_firings: cap("max_firings")?,
+            max_size: cap("max_size")?,
+            name: text("name")?,
+            content: text("content")?,
+            outcome,
+            spent: v
+                .get("spent")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| "record has no \"spent\"".to_string())?,
+            schedule_firings: cap("schedule_firings")?,
+        })
+    }
+}
+
+/// Validates a cache-record `"schema"` field: `sdfr-cache/<major>` with a
+/// major this library speaks (minor suffixes after `.` are tolerated).
+///
+/// # Errors
+///
+/// A message naming the supported schema.
+pub fn check_cache_schema(schema: &str) -> Result<(), String> {
+    let Some(version) = schema.strip_prefix("sdfr-cache/") else {
+        return Err(format!(
+            "schema '{schema}' is not an sdfr-cache schema (this build speaks {CACHE_SCHEMA})"
+        ));
+    };
+    let major = version.split('.').next().unwrap_or(version);
+    match major.parse::<u64>() {
+        Ok(m) if m == CACHE_MAJOR => Ok(()),
+        _ => Err(format!(
+            "schema '{schema}' has an unsupported major version (this build speaks {CACHE_SCHEMA})"
+        )),
+    }
+}
+
+/// The result of replaying a journal byte-stream: every intact record in
+/// order, the byte length of the valid prefix (callers truncate the file
+/// to it when shorter than the whole), and how many lines — torn, corrupt
+/// or trailing a corrupt one — were dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// The intact records, in append order.
+    pub records: Vec<CacheRecord>,
+    /// Byte length of the journal prefix covered by `records`.
+    pub valid_len: usize,
+    /// Number of dropped lines (a torn trailing fragment counts as one).
+    pub rejected: u64,
+}
+
+/// Replays a journal front to back, stopping at the first torn or corrupt
+/// line. Everything after the corruption boundary is dropped — an
+/// append-only journal has no way to know whether later bytes landed
+/// before or after the failure, so the valid *prefix* is the only safe
+/// recovery.
+pub fn replay(journal: &[u8]) -> ReplaySummary {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < journal.len() {
+        let rest = &journal[offset..];
+        let Some(end) = rest.iter().position(|&b| b == b'\n') else {
+            break; // torn tail: no newline ever landed
+        };
+        let parsed = std::str::from_utf8(&rest[..end])
+            .ok()
+            .and_then(|line| CacheRecord::from_json_line(line).ok());
+        match parsed {
+            Some(record) => {
+                records.push(record);
+                offset += end + 1;
+            }
+            None => break,
+        }
+    }
+    let rejected = if offset < journal.len() {
+        // Count the dropped lines; a trailing fragment without a newline
+        // is one dropped line too.
+        let rest = &journal[offset..];
+        let newlines = rest.iter().filter(|&&b| b == b'\n').count() as u64;
+        newlines + u64::from(!rest.ends_with(b"\n"))
+    } else {
+        0
+    };
+    ReplaySummary {
+        records,
+        valid_len: offset,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CacheRecord {
+        CacheRecord {
+            fingerprint: 0x4cf,
+            max_firings: Some(500),
+            max_size: None,
+            name: "demo.sdf".into(),
+            content: "graph demo\nactor a 2\nactor b 3\n".into(),
+            outcome: CachedOutcome::Period { num: 5, den: 1 },
+            spent: 7,
+            schedule_firings: Some(2),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_round_trips() {
+        for outcome in [
+            CachedOutcome::Period { num: -3, den: 7 },
+            CachedOutcome::Unbounded,
+            CachedOutcome::Exhausted {
+                resource: CachedResource::Firings,
+                spent: 11,
+                limit: 10,
+            },
+            CachedOutcome::Exhausted {
+                resource: CachedResource::Size,
+                spent: 9,
+                limit: 8,
+            },
+        ] {
+            let record = CacheRecord {
+                outcome,
+                ..sample()
+            };
+            let line = record.to_json_line();
+            assert!(line.starts_with("{\"schema\":\"sdfr-cache/1\""), "{line}");
+            assert!(!line.contains('\n'));
+            let back = CacheRecord::from_json_line(&line).unwrap();
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn any_flipped_byte_fails_the_checksum() {
+        let line = sample().to_json_line();
+        let bytes = line.as_bytes();
+        // Flip every byte of the payload in turn (not the checksum hex
+        // itself, where a flip changes what is *claimed*, also caught).
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.to_vec();
+            mutated[i] ^= 0x01;
+            if let Ok(s) = String::from_utf8(mutated) {
+                if s == line {
+                    continue;
+                }
+                assert!(
+                    CacheRecord::from_json_line(&s).is_err(),
+                    "flip at {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schema_guard() {
+        assert!(check_cache_schema("sdfr-cache/1").is_ok());
+        assert!(check_cache_schema("sdfr-cache/1.4").is_ok());
+        assert!(check_cache_schema("sdfr-cache/2").is_err());
+        assert!(check_cache_schema("sdfr-api/1").is_err());
+        // A well-checksummed record of a future major is still rejected.
+        let line = sample()
+            .to_json_line()
+            .replace("sdfr-cache/1", "sdfr-cache/9");
+        let idx = line.rfind(",\"crc\":\"").unwrap();
+        let crc = crc32(&line.as_bytes()[..idx]);
+        let line = format!("{}{}{crc:08x}\"}}", &line[..idx], ",\"crc\":\"");
+        assert!(CacheRecord::from_json_line(&line)
+            .unwrap_err()
+            .contains("unsupported major"));
+    }
+
+    #[test]
+    fn replay_keeps_the_valid_prefix_and_truncates_the_torn_tail() {
+        let a = sample().to_json_line();
+        let b = CacheRecord {
+            fingerprint: 0x1000,
+            ..sample()
+        }
+        .to_json_line();
+        let whole = format!("{a}\n{b}\n");
+        let full = replay(whole.as_bytes());
+        assert_eq!(full.records.len(), 2);
+        assert_eq!(full.valid_len, whole.len());
+        assert_eq!(full.rejected, 0);
+
+        // Tear the second record mid-line: first survives, tail dropped.
+        let torn = format!("{a}\n{}", &b[..b.len() / 2]);
+        let partial = replay(torn.as_bytes());
+        assert_eq!(partial.records.len(), 1);
+        assert_eq!(partial.valid_len, a.len() + 1);
+        assert_eq!(partial.rejected, 1);
+
+        // Corruption mid-file drops everything after the boundary.
+        let corrupt = format!("{a}\nnot json\n{b}\n");
+        let recovered = replay(corrupt.as_bytes());
+        assert_eq!(recovered.records.len(), 1);
+        assert_eq!(recovered.valid_len, a.len() + 1);
+        assert_eq!(recovered.rejected, 2);
+
+        // An empty journal is a clean cold start.
+        let empty = replay(b"");
+        assert!(empty.records.is_empty());
+        assert_eq!((empty.valid_len, empty.rejected), (0, 0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Fuzz harness for the hand-rolled JSON parser.
+//!
+//! `json::parse` fronts every byte that reaches the server and the batch
+//! front-end, so it must reject garbage with a positioned `ParseError` and
+//! never panic or recurse without bound. Driven by a seeded xorshift PRNG
+//! (no external dependencies, reproducible runs); `SDFR_FUZZ_ITERS` scales
+//! the iteration count for CI smoke runs.
+
+use sdfr_api::json::{self, Value};
+
+/// Deterministic xorshift64* PRNG; seeds are fixed per test so a failure
+/// reproduces byte-for-byte.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    fn byte(&mut self) -> u8 {
+        (self.next() & 0xff) as u8
+    }
+}
+
+fn iterations() -> usize {
+    std::env::var("SDFR_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000)
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    let mut rng = Rng::new(0xa91_0001);
+    for _ in 0..iterations() {
+        let len = rng.below(300);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.byte()).collect();
+        let input = String::from_utf8_lossy(&bytes);
+        if let Err(e) = json::parse(&input) {
+            assert!(e.offset <= input.len(), "error offset past end of input");
+            assert!(!e.message.is_empty(), "empty error message");
+        }
+    }
+}
+
+#[test]
+fn random_json_ish_token_streams_never_panic() {
+    // Structurally plausible streams stress deeper code paths than raw
+    // bytes: brackets, quotes, escapes, and digits in random orders.
+    const TOKENS: &[&str] = &[
+        "{",
+        "}",
+        "[",
+        "]",
+        ",",
+        ":",
+        "\"",
+        "\\",
+        "null",
+        "true",
+        "false",
+        "0",
+        "-",
+        "9999999999999999999999",
+        "\"k\"",
+        " ",
+        "\\u00",
+        "\\uD800",
+        "{\"a\":",
+        "1e9",
+        "0.5",
+    ];
+    let mut rng = Rng::new(0xa91_0002);
+    for _ in 0..iterations() {
+        let count = rng.below(40);
+        let input: String = (0..count)
+            .map(|_| TOKENS[rng.below(TOKENS.len())])
+            .collect();
+        let _ = json::parse(&input);
+    }
+}
+
+#[test]
+fn mutated_valid_documents_never_panic() {
+    let base = r#"{"schema":"sdfr-api/1","graphs":[{"name":"g","content":"graph g\nactor a 2\n"}],"max_firings":100,"stable":true,"note":null}"#;
+    let mut rng = Rng::new(0xa91_0003);
+    for _ in 0..iterations() {
+        let mut bytes = base.as_bytes().to_vec();
+        for _ in 0..1 + rng.below(4) {
+            match rng.below(3) {
+                0 if !bytes.is_empty() => {
+                    let pos = rng.below(bytes.len());
+                    bytes[pos] = rng.byte();
+                }
+                0 => {}
+                1 => {
+                    let pos = rng.below(bytes.len() + 1);
+                    bytes.insert(pos.min(bytes.len()), rng.byte());
+                }
+                _ => {
+                    bytes.truncate(rng.below(bytes.len() + 1));
+                }
+            }
+        }
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = json::parse(&input);
+    }
+}
+
+/// Serializes a [`Value`] the same way the production emitters do, so
+/// generated documents can be round-tripped through the parser.
+fn emit(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        // `escape_str` renders the full literal, surrounding quotes
+        // included.
+        Value::Str(s) => out.push_str(&json::escape_str(s)),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json::escape_str(k));
+                out.push(':');
+                emit(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Builds a random value within the parser's depth cap, with strings that
+/// exercise escaping (quotes, backslashes, control bytes, non-ASCII).
+fn generate(rng: &mut Rng, depth: usize) -> Value {
+    let leaf_only = depth >= 4;
+    match rng.below(if leaf_only { 4 } else { 6 }) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.below(2) == 0),
+        2 => Value::Int(rng.next() as i64 as i128),
+        3 => {
+            let len = rng.below(12);
+            let s: String = (0..len)
+                .map(|_| match rng.below(6) {
+                    0 => '"',
+                    1 => '\\',
+                    2 => '\n',
+                    3 => '\u{1}',
+                    4 => 'é',
+                    _ => (b'a' + (rng.byte() % 26)) as char,
+                })
+                .collect();
+            Value::Str(s)
+        }
+        4 => {
+            let len = rng.below(4);
+            Value::Arr((0..len).map(|_| generate(rng, depth + 1)).collect())
+        }
+        _ => {
+            let len = rng.below(4);
+            Value::Obj(
+                (0..len)
+                    .map(|i| (format!("k{i}"), generate(rng, depth + 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn generated_documents_round_trip_exactly() {
+    let mut rng = Rng::new(0xa91_0004);
+    for _ in 0..iterations() {
+        let value = generate(&mut rng, 0);
+        let mut text = String::new();
+        emit(&value, &mut text);
+        match json::parse(&text) {
+            Ok(parsed) => assert_eq!(parsed, value, "round trip changed the document: {text}"),
+            Err(e) => panic!("generated document rejected ({e}): {text}"),
+        }
+    }
+}
+
+#[test]
+fn deep_nesting_is_cut_off_with_an_error_not_a_stack_overflow() {
+    for depth in [17usize, 64, 4096] {
+        let mut doc = "[".repeat(depth);
+        doc.push('1');
+        doc.push_str(&"]".repeat(depth));
+        assert!(
+            json::parse(&doc).is_err(),
+            "depth {depth} should exceed the nesting cap"
+        );
+    }
+}

@@ -45,6 +45,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sdfr_analysis::registry::{Lookup, RegistryConfig, SessionRegistry};
+use sdfr_analysis::AnalysisSession;
 use sdfr_api::{BatchSummary, UnitRecord, UnitStatus};
 use sdfr_core::degrade::{analyze_with_session, conservative_period_fallback, AnalysisOutcome};
 use sdfr_graph::budget::{Budget, BudgetResource};
@@ -117,6 +118,12 @@ pub(crate) struct AnalyzedUnit {
     pub record: UnitRecord,
     /// The outcome behind the record, when the analysis produced one.
     pub outcome: Option<AnalysisOutcome>,
+    /// The registry session the unit ran against (None when the graph
+    /// itself failed to parse); the server's cache journal exports warmed
+    /// artifacts from it.
+    pub session: Option<Arc<AnalysisSession>>,
+    /// How the registry answered the lookup, for the same consumer.
+    pub lookup: Option<Lookup>,
 }
 
 /// Parses `sdfr batch` arguments (everything after the command word).
@@ -368,6 +375,8 @@ pub(crate) fn analyze_source(
             return AnalyzedUnit {
                 record,
                 outcome: None,
+                session: None,
+                lookup: None,
             };
         }
     };
@@ -419,6 +428,8 @@ pub(crate) fn analyze_source(
             AnalyzedUnit {
                 record,
                 outcome: Some(outcome),
+                session: Some(session),
+                lookup: Some(lookup),
             }
         }
         Err(e) => {
@@ -430,6 +441,8 @@ pub(crate) fn analyze_source(
             AnalyzedUnit {
                 record,
                 outcome: None,
+                session: Some(session),
+                lookup: Some(lookup),
             }
         }
     }

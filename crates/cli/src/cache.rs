@@ -1,0 +1,454 @@
+//! The `sdfr serve --cache-dir` persistent warm cache: file management for
+//! the `sdfr-cache/1` journal.
+//!
+//! The wire format — checksummed records, torn-tail replay — lives in
+//! [`sdfr_api::cache`]; this module owns the file: opening (and creating)
+//! the cache directory, truncating a torn tail discovered at startup,
+//! restoring replayed records into the server's [`SessionRegistry`], and
+//! appending newly warmed sessions. Appends happen as one `write(2)` of a
+//! full record line under a mutex and are *not* fsynced: the journal is a
+//! cache, so the page cache's durability (surviving `kill -9`, not a power
+//! cut) is exactly the right price point — losing the last records to an
+//! outage costs recomputation, never correctness.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sdfr_analysis::registry::SessionRegistry;
+use sdfr_analysis::{AnalysisSession, SessionArtifacts};
+use sdfr_api::cache::{CacheRecord, CachedOutcome, CachedResource};
+use sdfr_graph::budget::{Budget, BudgetResource};
+use sdfr_graph::SdfError;
+use sdfr_maxplus::Rational;
+
+use crate::CliError;
+
+/// The journal file name inside `--cache-dir`.
+const JOURNAL_FILE: &str = "journal.sdfr-cache";
+
+/// A session-registry key as persisted: `(fingerprint, max_firings,
+/// max_size)`.
+type PersistKey = (u64, Option<u64>, Option<u64>);
+
+/// The open cache journal: an append handle, the set of already persisted
+/// keys (seeded from replay, so restarts never duplicate records), and the
+/// observability counters `/v1/stats` reports.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    path: PathBuf,
+    /// `None` after a write failure (or an injected torn write): the
+    /// journal stops appending for the rest of the process, exactly as if
+    /// the process had crashed mid-write — replay cleans up at next start.
+    writer: Mutex<Option<File>>,
+    persisted: Mutex<HashSet<PersistKey>>,
+    /// Tear the Nth append mid-record (fault injection), 1-based.
+    torn_write: Option<u64>,
+    appends: AtomicU64,
+    loaded: AtomicU64,
+    rejected: AtomicU64,
+    appended: AtomicU64,
+}
+
+/// A point-in-time snapshot of the journal counters for `/v1/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct JournalStats {
+    /// Sessions restored into the registry at startup.
+    pub loaded: u64,
+    /// Records dropped: torn/corrupt journal lines at startup, plus
+    /// replayed records whose content no longer matches their fingerprint.
+    pub rejected: u64,
+    /// Records appended by this process.
+    pub appended: u64,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal under `dir`, replays it with
+    /// torn-tail truncation, and returns the intact records for
+    /// [`Self::restore_into`]. `torn_write` arms the fault-injection tear
+    /// on the Nth append.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory or opening the file. A corrupt
+    /// journal is *not* an error — the valid prefix is kept, the tail is
+    /// truncated and logged.
+    pub fn open(
+        dir: &Path,
+        torn_write: Option<u64>,
+    ) -> Result<(Journal, Vec<CacheRecord>), CliError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::io(format!("serve: cannot create cache dir {dir:?}: {e}")))?;
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(CliError::io(format!("serve: cannot read {path:?}: {e}"))),
+        };
+        let replay = sdfr_api::cache::replay(&bytes);
+        if replay.valid_len < bytes.len() {
+            // Crash recovery: drop the torn/corrupt tail so the next append
+            // starts at a record boundary.
+            let keep = OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .and_then(|f| f.set_len(replay.valid_len as u64));
+            match keep {
+                Ok(()) => eprintln!(
+                    "sdfr serve: cache journal: truncated torn tail at byte {} ({} record(s) dropped)",
+                    replay.valid_len, replay.rejected
+                ),
+                Err(e) => eprintln!("sdfr serve: cache journal: cannot truncate torn tail: {e}"),
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| CliError::io(format!("serve: cannot append to {path:?}: {e}")))?;
+        let persisted = replay
+            .records
+            .iter()
+            .map(|r| (r.fingerprint, r.max_firings, r.max_size))
+            .collect();
+        let journal = Journal {
+            path,
+            writer: Mutex::new(Some(file)),
+            persisted: Mutex::new(persisted),
+            torn_write,
+            appends: AtomicU64::new(0),
+            loaded: AtomicU64::new(0),
+            rejected: AtomicU64::new(replay.rejected),
+            appended: AtomicU64::new(0),
+        };
+        Ok((journal, replay.records))
+    }
+
+    /// Rebuilds a warm [`AnalysisSession`] from each replayed record and
+    /// seeds `registry` with it: re-parse the carried graph content,
+    /// deep-verify the fingerprint (a record whose content no longer
+    /// hashes to its key is rejected, not trusted), rebuild the session
+    /// under the recorded caps, and import the eigenvalue artifact. The
+    /// first real request for restored content is then a registry *hit*
+    /// with output byte-identical to the pre-crash response.
+    pub fn restore_into(&self, records: &[CacheRecord], registry: &SessionRegistry) {
+        for record in records {
+            let graph = match crate::parse_graph_content(&record.name, &record.content) {
+                Ok(g) => Arc::new(g),
+                Err(e) => {
+                    eprintln!(
+                        "sdfr serve: cache journal: rejecting record for {}: {}",
+                        record.name, e.message
+                    );
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            if graph.fingerprint() != record.fingerprint {
+                eprintln!(
+                    "sdfr serve: cache journal: rejecting record for {}: fingerprint mismatch",
+                    record.name
+                );
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let mut budget = Budget::unlimited();
+            if let Some(n) = record.max_firings {
+                budget = budget.with_max_firings(n);
+            }
+            if let Some(n) = record.max_size {
+                budget = budget.with_max_size(n);
+            }
+            let eigenvalue = match record.outcome {
+                CachedOutcome::Period { num, den } => Ok(Some(Rational::new(num, den))),
+                CachedOutcome::Unbounded => Ok(None),
+                CachedOutcome::Exhausted {
+                    resource,
+                    spent,
+                    limit,
+                } => Err(SdfError::Exhausted {
+                    resource: match resource {
+                        CachedResource::Firings => BudgetResource::Firings,
+                        CachedResource::Size => BudgetResource::Size,
+                    },
+                    spent,
+                    limit,
+                }),
+            };
+            let session = Arc::new(AnalysisSession::with_budget(graph, budget));
+            let artifacts = SessionArtifacts {
+                fingerprint: record.fingerprint,
+                eigenvalue,
+                spent: record.spent,
+                schedule_firings: record.schedule_firings,
+            };
+            if session.import_artifacts(&artifacts) && registry.restore(session) {
+                self.loaded.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Appends one record, unless its key is already persisted (dedup
+    /// across the process *and* across restarts — replay seeds the set) or
+    /// the journal broke earlier. One `write_all` of the full line keeps
+    /// the torn-tail window to a single record.
+    pub fn persist(&self, record: &CacheRecord) {
+        let key = (record.fingerprint, record.max_firings, record.max_size);
+        {
+            let mut persisted = self.persisted.lock().expect("journal key set poisoned");
+            if !persisted.insert(key) {
+                return;
+            }
+        }
+        let mut writer = self.writer.lock().expect("journal writer poisoned");
+        let Some(file) = writer.as_mut() else {
+            return;
+        };
+        let mut line = record.to_json_line();
+        line.push('\n');
+        let n = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.torn_write == Some(n) {
+            // Fault injection: write half the record and stop journaling,
+            // as if the process died mid-append.
+            let half = &line.as_bytes()[..line.len() / 2];
+            let _ = file.write_all(half);
+            let _ = file.flush();
+            *writer = None;
+            eprintln!(
+                "sdfr serve: fault: tore journal append #{n} ({:?})",
+                self.path
+            );
+            return;
+        }
+        match file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
+            Ok(()) => {
+                self.appended.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!("sdfr serve: cache journal: append failed, disabling: {e}");
+                *writer = None;
+            }
+        }
+    }
+
+    /// The journal counters for `/v1/stats`.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            loaded: self.loaded.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            appended: self.appended.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Converts one warmed unit into its journal record, or `None` when the
+/// unit is not persistable: only headline outcomes that are pure functions
+/// of `(content, caps)` — an eigenvalue or a firings/size exhaustion — are
+/// worth journal bytes. Anything else (still cold, graph-level errors that
+/// are cheap to rediscover) is skipped.
+pub(crate) fn record_for(
+    name: &str,
+    content: &str,
+    budget: &Budget,
+    artifacts: &SessionArtifacts,
+) -> Option<CacheRecord> {
+    let outcome = match &artifacts.eigenvalue {
+        Ok(Some(r)) => CachedOutcome::Period {
+            num: r.numer(),
+            den: r.denom(),
+        },
+        Ok(None) => CachedOutcome::Unbounded,
+        Err(SdfError::Exhausted {
+            resource,
+            spent,
+            limit,
+        }) => CachedOutcome::Exhausted {
+            resource: match resource {
+                BudgetResource::Firings => CachedResource::Firings,
+                BudgetResource::Size => CachedResource::Size,
+                // Wall-clock and cancellation exhaustion cannot occur under
+                // a content-addressable budget, and only those sessions are
+                // offered for persistence.
+                _ => return None,
+            },
+            spent: *spent,
+            limit: *limit,
+        },
+        Err(_) => return None,
+    };
+    Some(CacheRecord {
+        fingerprint: artifacts.fingerprint,
+        max_firings: budget.max_firings(),
+        max_size: budget.max_size(),
+        name: name.to_string(),
+        content: content.to_string(),
+        outcome,
+        spent: artifacts.spent,
+        schedule_firings: artifacts.schedule_firings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_content() -> &'static str {
+        "graph demo\nactor a 2\nactor b 3\nchannel a b 1 1 0\nchannel b a 1 1 1\n"
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sdfr-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn warm_record() -> CacheRecord {
+        let graph = crate::parse_graph_content("demo.sdf", demo_content()).unwrap();
+        let session = AnalysisSession::new(graph);
+        let _ = session.throughput().unwrap();
+        record_for(
+            "demo.sdf",
+            demo_content(),
+            &Budget::unlimited(),
+            &session.export_artifacts().unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn journal_round_trips_across_reopen() {
+        let dir = tempdir("roundtrip");
+        let record = warm_record();
+        {
+            let (journal, replayed) = Journal::open(&dir, None).unwrap();
+            assert!(replayed.is_empty());
+            journal.persist(&record);
+            // Same key again: deduplicated, not re-appended.
+            journal.persist(&record);
+            assert_eq!(journal.stats().appended, 1);
+        }
+        let (journal, replayed) = Journal::open(&dir, None).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0], record);
+        let registry = SessionRegistry::new();
+        journal.restore_into(&replayed, &registry);
+        assert_eq!(journal.stats().loaded, 1);
+        assert_eq!(journal.stats().rejected, 0);
+        // The restored entry answers the next lookup as a warm hit.
+        let graph = Arc::new(crate::parse_graph_content("demo.sdf", demo_content()).unwrap());
+        let (session, lookup) = registry.lookup(&graph, &Budget::unlimited());
+        assert_eq!(lookup, sdfr_analysis::registry::Lookup::Hit);
+        assert!(session.throughput_is_warm());
+        // Already persisted (seeded from replay): no duplicate append.
+        journal.persist(&record);
+        assert_eq!(journal.stats().appended, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_cold_start_is_clean() {
+        let dir = tempdir("torn");
+        let record = warm_record();
+        {
+            let (journal, _) = Journal::open(&dir, None).unwrap();
+            journal.persist(&record);
+        }
+        // Tear the file mid-record, as a crash mid-append would.
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let intact = bytes.len();
+        bytes.extend_from_slice(&bytes.clone()[..intact / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (journal, replayed) = Journal::open(&dir, None).unwrap();
+        assert_eq!(replayed.len(), 1, "the intact record survives");
+        assert_eq!(journal.stats().rejected, 1, "the torn tail is counted");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            intact as u64,
+            "the file is truncated back to the record boundary"
+        );
+        // Appending after recovery lands at a clean boundary.
+        let mut second = record.clone();
+        second.max_firings = Some(10_000);
+        journal.persist(&second);
+        let (_, replayed) = Journal::open(&dir, None).unwrap();
+        assert_eq!(replayed.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_write_behaves_like_a_crash() {
+        let dir = tempdir("fault");
+        let record = warm_record();
+        {
+            let (journal, _) = Journal::open(&dir, Some(1)).unwrap();
+            journal.persist(&record);
+            assert_eq!(
+                journal.stats().appended,
+                0,
+                "the torn append is not counted"
+            );
+            // The journal is dead for this process: later persists are
+            // dropped, like after a real crash.
+            let mut second = record.clone();
+            second.max_firings = Some(7);
+            journal.persist(&second);
+            assert_eq!(journal.stats().appended, 0);
+        }
+        let (journal, replayed) = Journal::open(&dir, None).unwrap();
+        assert!(replayed.is_empty(), "half a record restores nothing");
+        assert_eq!(journal.stats().rejected, 1);
+        // And the file is clean again: a fresh append replays fine.
+        journal.persist(&record);
+        let (_, replayed) = Journal::open(&dir, None).unwrap();
+        assert_eq!(replayed.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_content_is_rejected_on_restore() {
+        let record = warm_record();
+        let mut forged = record.clone();
+        forged.content = forged.content.replace("actor a 2", "actor a 9");
+        let dir = tempdir("forged");
+        let (journal, _) = Journal::open(&dir, None).unwrap();
+        let registry = SessionRegistry::new();
+        journal.restore_into(&[forged], &registry);
+        assert_eq!(journal.stats().loaded, 0);
+        assert_eq!(journal.stats().rejected, 1);
+        assert!(registry.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unpersistable_outcomes_are_skipped() {
+        let graph = Arc::new(crate::parse_graph_content("demo.sdf", demo_content()).unwrap());
+        // Still cold: nothing to persist.
+        let cold = AnalysisSession::new(Arc::clone(&graph));
+        assert!(cold.export_artifacts().is_none());
+        // Exhausted on firings: persisted as the exhaustion itself.
+        let capped = AnalysisSession::with_budget(graph, Budget::unlimited().with_max_firings(1));
+        let _ = capped.throughput().unwrap_err();
+        let record = record_for(
+            "demo.sdf",
+            demo_content(),
+            capped.budget(),
+            &capped.export_artifacts().unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            record.outcome,
+            CachedOutcome::Exhausted {
+                resource: CachedResource::Firings,
+                ..
+            }
+        ));
+    }
+}

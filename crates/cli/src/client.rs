@@ -8,18 +8,122 @@
 //! is indistinguishable from scripting against the in-process commands in
 //! `--json` mode.
 //!
-//! Only a failed *connect* falls back to in-process analysis (decided in
-//! [`crate::run`]); once a server answered, its verdict stands — a `429`
-//! load-shed or a `400` is surfaced, not silently retried locally, so two
-//! observers never see two different answers for one invocation.
+//! # Retries
+//!
+//! Transient failures are retried under `--retries` attempts and a
+//! `--retry-budget-ms` wall-clock budget, with capped, jittered
+//! exponential backoff:
+//!
+//! - **Connect failures** are always retryable — nothing was sent.
+//! - **`429`/`503` shed responses** are always retryable — the server
+//!   answers those *instead of* processing, so no effect can double-apply;
+//!   the sleep honours the response's `Retry-After` (plus jitter).
+//! - **Transport failures after the request went out** (send/receive
+//!   errors, a response shorter than its `Content-Length`) are retried
+//!   only for the idempotent requests — `analyze`, `batch`, `csdf` and
+//!   `stats` are pure questions; `shutdown` is not re-sent, because the
+//!   first copy may have been acted on.
+//!
+//! Every re-sent attempt carries an `X-Sdfr-Retry: N` header, which the
+//! server counts in `/v1/stats` as `retries_observed`.
+//!
+//! Only a failed *connect* (after its retries) falls back to in-process
+//! analysis (decided in [`crate::run`]); once a server answered, its
+//! verdict stands — a `400` is surfaced, not silently retried locally, so
+//! two observers never see two different answers for one invocation.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use sdfr_api::json::{self, Value};
 use sdfr_api::{AnalysisRequest, GraphSource};
 
 use crate::{batch, CliError, EXIT_OK, EXIT_PANIC};
+
+/// The client-side retry discipline, from the global `--retries` /
+/// `--retry-budget-ms` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RetryPolicy {
+    /// Re-attempts after the first try (`--retries`, default 2).
+    pub retries: u32,
+    /// Wall-clock budget across all sleeps of one invocation
+    /// (`--retry-budget-ms`, default 2000).
+    pub budget: Duration,
+    /// `true` once the user set `--retry-budget-ms` explicitly: responses
+    /// are then read under the budget as a timeout, so a stalled server
+    /// (slow-loris) becomes a retryable transport error instead of an
+    /// unbounded wait. Off by default — a cold exact analysis may
+    /// legitimately take longer than any retry budget.
+    pub bounded_reads: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 2,
+            budget: Duration::from_millis(2000),
+            bounded_reads: false,
+        }
+    }
+}
+
+/// A jittered duration in `[lo, hi]`, from a process-wide xorshift64
+/// stream seeded once per process — retry storms from concurrent clients
+/// decorrelate without any new dependency.
+fn jitter_between(lo: Duration, hi: Duration) -> Duration {
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    let mut s = SEED.load(Ordering::Relaxed);
+    if s == 0 {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| u64::from(d.subsec_nanos()));
+        s = u64::from(std::process::id()) ^ (nanos << 17) ^ 0x9E37_79B9_7F4A_7C15;
+    }
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    SEED.store(s, Ordering::Relaxed);
+    let span = u64::try_from(hi.saturating_sub(lo).as_millis()).unwrap_or(u64::MAX);
+    if span == 0 {
+        return lo;
+    }
+    lo + Duration::from_millis(s % (span + 1))
+}
+
+/// The backoff delay before re-attempt number `attempt + 1`: exponential
+/// from 50ms, capped at 1s, jittered into the upper half of the cap.
+fn backoff_delay(attempt: u32) -> Duration {
+    let cap = Duration::from_millis(50u64 << attempt.min(5)).min(Duration::from_secs(1));
+    jitter_between(cap / 2, cap)
+}
+
+/// Sleeps the backoff for `attempt` within what is left of the retry
+/// budget; `false` (without sleeping) when the budget is gone and the
+/// caller should stop retrying.
+fn sleep_backoff(attempt: u32, start: Instant, policy: &RetryPolicy) -> bool {
+    let remaining = policy.budget.saturating_sub(start.elapsed());
+    if remaining.is_zero() {
+        return false;
+    }
+    std::thread::sleep(backoff_delay(attempt).min(remaining));
+    true
+}
+
+/// Sleeps a shed response's `Retry-After` (seconds; default 1) plus up to
+/// 100ms of jitter, capped by the remaining retry budget; `false` when the
+/// budget is gone.
+fn sleep_retry_after(retry_after: Option<u64>, start: Instant, policy: &RetryPolicy) -> bool {
+    let remaining = policy.budget.saturating_sub(start.elapsed());
+    if remaining.is_zero() {
+        return false;
+    }
+    let base = Duration::from_secs(retry_after.unwrap_or(1));
+    let delay = base + jitter_between(Duration::ZERO, Duration::from_millis(100));
+    std::thread::sleep(delay.min(remaining));
+    true
+}
 
 /// Ensures fallback output parity: the server always answers `sdfr-api/1`
 /// JSON, so when `analyze`/`csdf` degrade to in-process execution they
@@ -34,35 +138,98 @@ pub(crate) fn with_json_flag(mut args: Vec<String>) -> Vec<String> {
 }
 
 /// `sdfr stats --server A` / `sdfr shutdown --server A`. No in-process
-/// fallback: an unreachable server is an I/O error (exit 3).
-pub(crate) fn cmd_control(addr: &str, command: &str) -> Result<String, CliError> {
-    let (method, path) = if command == "stats" {
-        ("GET", "/v1/stats")
+/// fallback: an unreachable server is an I/O error (exit 3). `stats` is
+/// idempotent and retries transport failures; `shutdown` retries only
+/// connect failures and shed responses — never a request that may already
+/// have begun a drain.
+pub(crate) fn cmd_control(
+    addr: &str,
+    command: &str,
+    policy: &RetryPolicy,
+) -> Result<String, CliError> {
+    let (method, path, idempotent) = if command == "stats" {
+        ("GET", "/v1/stats", true)
     } else {
-        ("POST", "/shutdown")
+        ("POST", "/shutdown", false)
     };
-    let stream =
-        TcpStream::connect(addr).map_err(|e| CliError::io(format!("{command}: {addr}: {e}")))?;
-    let (status, body) = exchange(stream, addr, method, path, "")
-        .map_err(|e| CliError::io(format!("{command}: {addr}: {e}")))?;
-    finish(status, body)
+    let start = Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        let outcome = match TcpStream::connect(addr) {
+            Ok(stream) => exchange(stream, addr, method, path, "", attempt, policy),
+            Err(e) => {
+                // Nothing was sent: retryable for every command.
+                if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
+                    attempt += 1;
+                    continue;
+                }
+                return Err(CliError::io(format!("{command}: {addr}: {e}")));
+            }
+        };
+        match outcome {
+            Ok((status, retry_after, body)) => {
+                if (status == 429 || status == 503)
+                    && attempt < policy.retries
+                    && sleep_retry_after(retry_after, start, policy)
+                {
+                    attempt += 1;
+                    continue;
+                }
+                return finish(status, body);
+            }
+            Err(e) => {
+                if idempotent && attempt < policy.retries && sleep_backoff(attempt, start, policy) {
+                    attempt += 1;
+                    continue;
+                }
+                return Err(CliError::io(format!("{command}: {addr}: {e}")));
+            }
+        }
+    }
 }
 
 /// Runs `analyze`/`batch`/`csdf` against the server at `addr`.
 ///
 /// # Errors
 ///
-/// The outer `Err(String)` is a failed connect — the only condition the
-/// caller answers with in-process fallback. Everything after a successful
-/// connect (bad arguments, unreadable files, protocol errors, nonzero
-/// server verdicts) is the inner [`CliError`] and final.
-pub(crate) fn run_remote(addr: &str, args: &[String]) -> Result<Result<String, CliError>, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
-    Ok(remote_command(stream, addr, args))
+/// The outer `Err(String)` is a failed connect (after its backoff retries)
+/// — the only condition the caller answers with in-process fallback.
+/// Everything after a successful connect (bad arguments, unreadable files,
+/// protocol errors that exhaust their retries, nonzero server verdicts) is
+/// the inner [`CliError`] and final.
+pub(crate) fn run_remote(
+    addr: &str,
+    args: &[String],
+    policy: &RetryPolicy,
+) -> Result<Result<String, CliError>, String> {
+    let start = Instant::now();
+    let mut attempt = 0u32;
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) => {
+                if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
+                    attempt += 1;
+                    continue;
+                }
+                return Err(e.to_string());
+            }
+        }
+    };
+    Ok(remote_command(stream, addr, args, policy, start, attempt))
 }
 
-/// Builds the request for one command line and completes the exchange.
-fn remote_command(stream: TcpStream, addr: &str, args: &[String]) -> Result<String, CliError> {
+/// Builds the request for one command line and completes the exchange,
+/// retrying transient failures — all three analysis commands are
+/// idempotent questions, so a re-send can never double-apply an effect.
+fn remote_command(
+    stream: TcpStream,
+    addr: &str,
+    args: &[String],
+    policy: &RetryPolicy,
+    start: Instant,
+    mut attempt: u32,
+) -> Result<String, CliError> {
     let command = args[0].as_str();
     let (path, request) = match command {
         "batch" => {
@@ -107,9 +274,42 @@ fn remote_command(stream: TcpStream, addr: &str, args: &[String]) -> Result<Stri
             )
         }
     };
-    let (status, body) = exchange(stream, addr, "POST", path, &request.to_json())
-        .map_err(|e| CliError::io(format!("{command}: {addr}: {e}")))?;
-    finish(status, body)
+    let payload = request.to_json();
+    let mut stream = Some(stream);
+    loop {
+        let connected = match stream.take() {
+            Some(s) => s,
+            None => match TcpStream::connect(addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(CliError::io(format!("{command}: {addr}: {e}")));
+                }
+            },
+        };
+        match exchange(connected, addr, "POST", path, &payload, attempt, policy) {
+            Ok((status, retry_after, body)) => {
+                if (status == 429 || status == 503)
+                    && attempt < policy.retries
+                    && sleep_retry_after(retry_after, start, policy)
+                {
+                    attempt += 1;
+                    continue;
+                }
+                return finish(status, body);
+            }
+            Err(e) => {
+                if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
+                    attempt += 1;
+                    continue;
+                }
+                return Err(CliError::io(format!("{command}: {addr}: {e}")));
+            }
+        }
+    }
 }
 
 /// Reads one graph file into an inline [`GraphSource`]. Unlike the
@@ -139,19 +339,33 @@ fn deadline_ms(opts: &[String]) -> Result<Option<u64>, CliError> {
 }
 
 /// One full HTTP/1.1 exchange over an established connection: write the
-/// request, read to EOF (every server response is `Connection: close`),
-/// split status from body.
+/// request (marked `X-Sdfr-Retry` on re-attempts), read to EOF (the client
+/// always sends `Connection: close`), split status and `Retry-After` from
+/// the body, and verify the body against the response's `Content-Length`
+/// — a short body (a crash or injected fault mid-response) is a transport
+/// error, not a truncated answer handed to the user.
 fn exchange(
     mut stream: TcpStream,
     addr: &str,
     method: &str,
     path: &str,
     body: &str,
-) -> Result<(u16, String), String> {
+    attempt: u32,
+    policy: &RetryPolicy,
+) -> Result<(u16, Option<u64>, String), String> {
+    if policy.bounded_reads {
+        let _ = stream.set_read_timeout(Some(policy.budget));
+        let _ = stream.set_write_timeout(Some(policy.budget));
+    }
+    let retry_marker = if attempt > 0 {
+        format!("X-Sdfr-Retry: {attempt}\r\n")
+    } else {
+        String::new()
+    };
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{retry_marker}Connection: close\r\n\r\n{body}",
         body.len()
     )
     .map_err(|e| format!("send failed: {e}"))?;
@@ -170,7 +384,33 @@ fn exchange(
         .and_then(|l| l.split_whitespace().nth(1))
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| "unreadable status line".to_string())?;
-    Ok((status, text[head_end + 4..].to_string()))
+    let mut retry_after = None;
+    let mut content_length = None;
+    for line in text[..head_end].lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let (name, value) = (name.trim(), value.trim());
+        if name.eq_ignore_ascii_case("retry-after") {
+            retry_after = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().ok();
+        }
+    }
+    let payload = &raw[head_end + 4..];
+    if let Some(announced) = content_length {
+        if payload.len() < announced {
+            return Err(format!(
+                "truncated response: {} of {announced} body bytes",
+                payload.len()
+            ));
+        }
+    }
+    Ok((
+        status,
+        retry_after,
+        String::from_utf8_lossy(payload).into_owned(),
+    ))
 }
 
 /// Turns a response into the CLI contract: body verbatim on stdout
@@ -207,6 +447,7 @@ fn finish(status: u16, body: String) -> Result<String, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
 
     #[test]
     fn json_flag_is_forced_only_where_it_matters() {
@@ -244,5 +485,94 @@ mod tests {
         );
         assert_eq!(deadline_ms(&to_args(&[])).unwrap(), None);
         assert!(deadline_ms(&to_args(&["--deadline", "soon"])).is_err());
+    }
+
+    #[test]
+    fn backoff_is_jittered_capped_exponential() {
+        for attempt in 0..8 {
+            let cap = Duration::from_millis(50u64 << attempt.min(5)).min(Duration::from_secs(1));
+            for _ in 0..32 {
+                let d = backoff_delay(attempt);
+                assert!(d >= cap / 2, "attempt {attempt}: {d:?} under half the cap");
+                assert!(d <= cap, "attempt {attempt}: {d:?} over the cap {cap:?}");
+            }
+        }
+        // The budget gate refuses to sleep once the budget is spent.
+        let policy = RetryPolicy {
+            budget: Duration::from_millis(0),
+            ..RetryPolicy::default()
+        };
+        assert!(!sleep_backoff(0, Instant::now(), &policy));
+        assert!(!sleep_retry_after(Some(1), Instant::now(), &policy));
+    }
+
+    #[test]
+    fn shed_responses_honor_retry_after_and_mark_the_retry() {
+        // A tiny in-test server: sheds the first request with 429 +
+        // Retry-After, answers the second — which must carry the
+        // X-Sdfr-Retry marker.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let answers = [
+                (
+                    "HTTP/1.1 429 Too Many Requests\r\nContent-Length: 12\r\n\
+                     Retry-After: 0\r\nConnection: close\r\n\r\n{\"shed\":true}",
+                    false,
+                ),
+                (
+                    "HTTP/1.1 200 OK\r\nContent-Length: 11\r\nConnection: close\r\n\r\n{\"exit\":0}\n",
+                    true,
+                ),
+            ];
+            let mut saw_marker = false;
+            for (answer, expect_marker) in answers {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 4096];
+                let n = s.read(&mut buf).unwrap();
+                let req = String::from_utf8_lossy(&buf[..n]).into_owned();
+                if expect_marker {
+                    saw_marker = req.contains("X-Sdfr-Retry: 1");
+                }
+                s.write_all(answer.as_bytes()).unwrap();
+            }
+            saw_marker
+        });
+        let policy = RetryPolicy {
+            retries: 2,
+            budget: Duration::from_secs(5),
+            bounded_reads: false,
+        };
+        let body = cmd_control(&addr, "stats", &policy).unwrap();
+        assert_eq!(body, "{\"exit\":0}\n");
+        assert!(server.join().unwrap(), "the retry was not marked");
+    }
+
+    #[test]
+    fn truncated_responses_are_transport_errors_and_retried() {
+        // First response lies about its length and closes early (the
+        // mid-response-close shape); the retry gets a whole answer.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let answers = [
+                "HTTP/1.1 200 OK\r\nContent-Length: 40\r\nConnection: close\r\n\r\n{\"exit\"",
+                "HTTP/1.1 200 OK\r\nContent-Length: 11\r\nConnection: close\r\n\r\n{\"exit\":0}\n",
+            ];
+            for answer in answers {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 4096];
+                let _ = s.read(&mut buf).unwrap();
+                s.write_all(answer.as_bytes()).unwrap();
+            }
+        });
+        let policy = RetryPolicy {
+            retries: 1,
+            budget: Duration::from_secs(5),
+            bounded_reads: false,
+        };
+        let body = cmd_control(&addr, "stats", &policy).unwrap();
+        assert_eq!(body, "{\"exit\":0}\n");
+        server.join().unwrap();
     }
 }

@@ -1,0 +1,267 @@
+//! Incremental HTTP/1.1 request parsing for `sdfr serve`.
+//!
+//! The server reads a connection into a carry-over buffer and asks this
+//! module whether the buffer's prefix is a complete request yet. Keeping
+//! the parser a pure function over `&[u8]` buys three things at once:
+//! keep-alive *pipelining* falls out for free (whatever follows the
+//! consumed prefix is the start of the next request), the per-request
+//! deadline loop in `serve` stays trivial (read, re-ask, repeat), and the
+//! parser is directly fuzzable without a socket — the
+//! `crates/cli/tests/http_fuzz.rs` harness feeds it mangled bytes and
+//! asserts it always returns [`Parsed::Partial`] or a structured error,
+//! never panics.
+//!
+//! Protocol surface: request line + headers, `Content-Length` body framing
+//! only (no chunked encoding — every client the project ships frames with
+//! `Content-Length`), `Connection: close` / `keep-alive` negotiation with
+//! the HTTP/1.0 default-close rule, and the `X-Sdfr-Retry` attempt marker
+//! the retrying client sends so the server can count observed retries.
+
+use sdfr_api::{ErrorBody, EXIT_IO, EXIT_USAGE};
+
+/// Cap on the request line + headers; a head that grows past this without
+/// terminating is rejected with `413`.
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// One fully parsed request, plus what the connection loop needs to know:
+/// how many buffer bytes it consumed and whether the client negotiated
+/// connection close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path, verbatim (query strings are not split off; no
+    /// current endpoint takes one).
+    pub path: String,
+    /// The UTF-8 request body (exactly `Content-Length` bytes).
+    pub body: String,
+    /// `true` when the client asked to close: an explicit
+    /// `Connection: close`, or any HTTP version before 1.1 without an
+    /// explicit `keep-alive`.
+    pub close: bool,
+    /// `true` when the request carried an `X-Sdfr-Retry` header — the
+    /// retrying client marks every re-sent attempt so the server's
+    /// `retries_observed` stat counts real-world retry traffic.
+    pub retry: bool,
+    /// Bytes of the buffer this request occupied; the remainder belongs to
+    /// the next pipelined request.
+    pub consumed: usize,
+}
+
+/// The outcome of examining a buffer prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// A complete request was consumed.
+    Complete(Request),
+    /// The buffer holds a valid but incomplete request; read more bytes.
+    Partial,
+}
+
+/// A structured parse rejection: the HTTP status plus the `sdfr-api/1`
+/// error document to answer with (the connection closes afterwards — after
+/// a framing error the stream position is untrustworthy).
+pub type ParseFailure = (u16, ErrorBody);
+
+fn bad_request(message: impl Into<String>) -> ParseFailure {
+    (400, ErrorBody::new("bad-request", message, EXIT_USAGE))
+}
+
+/// Examines the front of `buf` for one complete HTTP/1.1 request.
+///
+/// Returns [`Parsed::Partial`] while the head or the announced body is
+/// still incomplete — with two early rejections that do not wait for more
+/// bytes: a head larger than [`MAX_HEAD`] (`413`) and an announced
+/// `Content-Length` beyond `max_body` (`413`, refused before the body is
+/// read).
+///
+/// # Errors
+///
+/// `(413, payload-too-large)` for the two caps above, `(400, bad-request)`
+/// for structural problems: a malformed request line, an unreadable
+/// `Content-Length`, or a non-UTF-8 body.
+pub fn parse_request(buf: &[u8], max_body: usize) -> Result<Parsed, ParseFailure> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Err((
+                413,
+                ErrorBody::new("payload-too-large", "request headers too large", EXIT_USAGE),
+            ));
+        }
+        return Ok(Parsed::Partial);
+    };
+    if head_end > MAX_HEAD {
+        return Err((
+            413,
+            ErrorBody::new("payload-too-large", "request headers too large", EXIT_USAGE),
+        ));
+    }
+
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(bad_request("malformed request line"));
+    };
+    // HTTP/1.0 (and anything older or unrecognized) defaults to close;
+    // only HTTP/1.1 defaults to keep-alive.
+    let version = parts.next().unwrap_or("");
+    let mut close = !version.eq_ignore_ascii_case("HTTP/1.1");
+    let method = method.to_string();
+    let path = path.to_string();
+
+    let mut content_length = 0usize;
+    let mut retry = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| bad_request("unreadable Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("x-sdfr-retry") {
+            retry = true;
+        }
+    }
+    if content_length > max_body {
+        return Err((
+            413,
+            ErrorBody::new(
+                "payload-too-large",
+                format!("request body of {content_length} bytes exceeds the {max_body}-byte cap"),
+                EXIT_USAGE,
+            ),
+        ));
+    }
+
+    let body_start = head_end + 4;
+    let Some(total) = body_start.checked_add(content_length) else {
+        return Err(bad_request("unreadable Content-Length"));
+    };
+    if buf.len() < total {
+        return Ok(Parsed::Partial);
+    }
+    let body = std::str::from_utf8(&buf[body_start..total])
+        .map_err(|_| bad_request("request body is not UTF-8"))?
+        .to_string();
+    Ok(Parsed::Complete(Request {
+        method,
+        path,
+        body,
+        close,
+        retry,
+        consumed: total,
+    }))
+}
+
+/// A structured error for a read that timed out mid-request: the
+/// per-request `--io-timeout` deadline expired with a partial request in
+/// the buffer.
+pub fn timeout_failure() -> ParseFailure {
+    (
+        408,
+        ErrorBody::new("timeout", "timed out reading the request", EXIT_IO),
+    )
+}
+
+/// A structured error for a connection that closed (or broke) mid-request.
+pub fn truncation_failure() -> ParseFailure {
+    bad_request("connection closed mid-request")
+}
+
+/// The position of the `\r\n\r\n` separating headers from body.
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(raw: &str) -> Request {
+        match parse_request(raw.as_bytes(), 1024).unwrap() {
+            Parsed::Complete(r) => r,
+            Parsed::Partial => panic!("expected a complete request from {raw:?}"),
+        }
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn parses_a_complete_request_and_reports_consumption() {
+        let raw = "POST /v1/batch HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /next";
+        let r = complete(raw);
+        assert_eq!((r.method.as_str(), r.path.as_str()), ("POST", "/v1/batch"));
+        assert_eq!(r.body, "body");
+        assert!(!r.close, "HTTP/1.1 defaults to keep-alive");
+        assert!(!r.retry);
+        assert_eq!(&raw[r.consumed..], "GET /next", "pipelined tail survives");
+    }
+
+    #[test]
+    fn connection_negotiation_follows_http_rules() {
+        assert!(complete("GET /v1/stats HTTP/1.1\r\nConnection: close\r\n\r\n").close);
+        assert!(
+            complete("GET /v1/stats HTTP/1.0\r\n\r\n").close,
+            "1.0 defaults to close"
+        );
+        assert!(!complete("GET /v1/stats HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").close);
+        assert!(complete("GET /v1/stats\r\n\r\n").close, "no version: close");
+        assert!(complete("GET /s HTTP/1.1\r\nX-Sdfr-Retry: 2\r\n\r\n").retry);
+    }
+
+    #[test]
+    fn partial_requests_ask_for_more() {
+        assert_eq!(parse_request(b"", 64), Ok(Parsed::Partial));
+        assert_eq!(
+            parse_request(b"POST /v1/analyze HTTP/1.1\r\nContent-Le", 64),
+            Ok(Parsed::Partial)
+        );
+        // Head complete, body still short.
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 64),
+            Ok(Parsed::Partial)
+        );
+    }
+
+    #[test]
+    fn structural_errors_are_structured() {
+        let (status, err) = parse_request(b"\r\n\r\n", 64).unwrap_err();
+        assert_eq!(status, 400);
+        assert!(err.to_json().contains("\"code\":\"bad-request\""));
+        let (status, _) =
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 64).unwrap_err();
+        assert_eq!(status, 400);
+        let (status, _) = parse_request(
+            b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n\xff\xfe\xfd\xfc\xfb\xfa\xf9\xf8\xf7",
+            64,
+        )
+        .unwrap_err();
+        assert_eq!(status, 400, "non-UTF-8 body");
+    }
+
+    #[test]
+    fn oversize_heads_and_bodies_are_413_without_waiting() {
+        let huge_head = vec![b'a'; MAX_HEAD + 2];
+        let (status, _) = parse_request(&huge_head, 64).unwrap_err();
+        assert_eq!(status, 413);
+        // The announced body exceeds the cap: refused before it arrives.
+        let (status, err) =
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 65\r\n\r\n", 64).unwrap_err();
+        assert_eq!(status, 413);
+        assert!(err.to_json().contains("payload-too-large"));
+    }
+}

@@ -37,7 +37,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+mod cache;
 mod client;
+pub mod http;
 pub mod serve;
 
 use std::fmt::Write as _;
@@ -212,6 +214,13 @@ GLOBAL OPTIONS:
                    other value exits 2 before touching the network
   --json           analyze/csdf: emit one sdfr-api/1 JSON line instead of
                    the human report (batch and the server are always JSON)
+  --retries N      client retries for transient server failures: failed
+                   connects, 429/503 sheds (honoring Retry-After), and —
+                   for idempotent requests only — broken transports
+                   (default 2)
+  --retry-budget-ms M  wall-clock cap across all retry sleeps (default
+                   2000); setting it also bounds response reads, so a
+                   stalled server fails within the budget
 
 OPTIONS:
   -o <file>        write the resulting graph as SDF3-style XML
@@ -235,8 +244,18 @@ SERVE OPTIONS:
   --workers N        HTTP worker threads (default 4)
   --queue N          accept-queue depth before load-shedding 429s (default 64)
   --max-body N       request-body byte cap, larger bodies get 413 (default 8 MiB)
-  --io-timeout D     per-connection read/write timeout (default 10s)
+  --io-timeout D     per-request read/write deadline; restarts for every
+                     keep-alive request, idle connections close silently
+                     (default 10s)
+  --max-requests N   requests served per keep-alive connection before a
+                     forced Connection: close (default 256)
+  --cache-dir DIR    persist warmed results to DIR/journal.sdfr-cache (a
+                     checksummed, crash-safe sdfr-cache/1 journal) and
+                     restore them at startup, so restarts come up warm
   --cache-entries N / --cache-bytes N   session-registry caps (as in batch)
+  --fault SPEC       test-only fault injection (also: SDFR_FAULT env var,
+                     the flag wins): comma-separated accept-delay=MS,
+                     mid-response-close=N, torn-write=N, slow-loris=MS
   <file>...          graphs to prefetch into the registry at startup
 
 Under a budget, `analyze` degrades gracefully: if the exact analysis is
@@ -289,7 +308,11 @@ pub(crate) fn parse_graph_content(name: &str, content: &str) -> Result<SdfGraph,
 /// Returns [`CliError`] for unusable arguments, unreadable files and
 /// analysis failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let (args, server) = extract_globals(args)?;
+    let Globals {
+        args,
+        server,
+        retry,
+    } = extract_globals(args)?;
     let mut out = String::new();
     let Some(command) = args.first() else {
         return Err(CliError::usage(USAGE.to_string()));
@@ -305,11 +328,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         // server, meaningless without one.
         let addr =
             server.ok_or_else(|| CliError::usage(format!("{command} requires --server <addr>")))?;
-        return client::cmd_control(&addr, command);
+        return client::cmd_control(&addr, command, &retry);
     }
     let args = match server {
         Some(addr) if matches!(command.as_str(), "analyze" | "batch" | "csdf") => {
-            match client::run_remote(&addr, &args) {
+            match client::run_remote(&addr, &args, &retry) {
                 Ok(result) => return result,
                 Err(connect_err) => {
                     // Load-shedding and protocol errors surface above as
@@ -367,13 +390,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The global options [`extract_globals`] strips from the command line.
+struct Globals {
+    /// The command line with the global flags removed.
+    args: Vec<String>,
+    /// `--server <addr>`, when present.
+    server: Option<String>,
+    /// The client retry discipline from `--retries`/`--retry-budget-ms`.
+    retry: client::RetryPolicy,
+}
+
 /// Strips the global options that may appear anywhere on the command line:
-/// `--server <addr>` (returned) and `--api-version <v>` (validated against
-/// the `sdfr-api` major this build speaks, then dropped — a mismatch is a
-/// usage error before anything touches a file or the network).
-fn extract_globals(args: &[String]) -> Result<(Vec<String>, Option<String>), CliError> {
+/// `--server <addr>` and the `--retries`/`--retry-budget-ms` retry knobs
+/// (returned), and `--api-version <v>` (validated against the `sdfr-api`
+/// major this build speaks, then dropped — a mismatch is a usage error
+/// before anything touches a file or the network).
+fn extract_globals(args: &[String]) -> Result<Globals, CliError> {
     let mut rest = Vec::with_capacity(args.len());
     let mut server = None;
+    let mut retry = client::RetryPolicy::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -391,11 +426,33 @@ fn extract_globals(args: &[String]) -> Result<(Vec<String>, Option<String>), Cli
                 sdfr_api::check_requested_version(v).map_err(CliError::usage)?;
                 i += 1;
             }
+            "--retries" => {
+                retry.retries = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::usage("--retries requires a count"))?;
+                i += 1;
+            }
+            "--retry-budget-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::usage("--retry-budget-ms requires milliseconds"))?;
+                retry.budget = Duration::from_millis(ms);
+                // An explicit budget also bounds response reads, so a
+                // stalled server cannot outwait the retry discipline.
+                retry.bounded_reads = true;
+                i += 1;
+            }
             other => rest.push(other.to_string()),
         }
         i += 1;
     }
-    Ok((rest, server))
+    Ok(Globals {
+        args: rest,
+        server,
+        retry,
+    })
 }
 
 /// `sdfr analyze --json`: one standalone `sdfr-api/1` [`sdfr_api::UnitRecord`]

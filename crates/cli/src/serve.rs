@@ -7,7 +7,7 @@
 //! the cross-invocation continuation of the `sdfr batch` cache. It is
 //! deliberately std-only: a hand-rolled HTTP/1.1 loop over
 //! [`TcpListener`], in the same spirit as the dependency-free `sdfr-pool`
-//! — no async runtime, no HTTP crate, every connection `Connection: close`.
+//! — no async runtime, no HTTP crate.
 //!
 //! # Endpoints
 //!
@@ -16,7 +16,7 @@
 //! | POST   | `/v1/analyze`              | one [`sdfr_api::AnalysisRequest`] with exactly one graph and no tiers → one standalone [`sdfr_api::UnitRecord`] line, byte-identical to `sdfr analyze --json` |
 //! | POST   | `/v1/batch`                | an [`sdfr_api::AnalysisRequest`] → indexed record lines + a [`sdfr_api::BatchSummary`] line, the shape of `sdfr batch` |
 //! | POST   | `/v1/csdf`                 | an [`sdfr_api::AnalysisRequest`] → one [`sdfr_api::CsdfRecord`] line per graph |
-//! | GET    | `/v1/stats` (or `/stats`)  | registry + pool counters, request count, drain flag |
+//! | GET    | `/v1/stats` (or `/stats`)  | registry + pool + connection + persistence counters, request count, drain flag |
 //! | POST   | `/shutdown` (or `/v1/shutdown`) | begin a graceful drain; the process exits 0 once in-flight work finishes |
 //!
 //! HTTP statuses follow the CLI exit-code discipline via
@@ -26,39 +26,60 @@
 //!
 //! # Robustness
 //!
+//! - **Keep-alive with pipelining.** Connections are HTTP/1.1 persistent
+//!   by default: the per-connection loop parses requests out of a
+//!   carry-over buffer (see [`crate::http`]), so back-to-back and
+//!   pipelined requests reuse one TCP connection. A connection closes on
+//!   `Connection: close`, after `--max-requests` requests, after any
+//!   framing error or handler panic, or once a drain begins.
 //! - **Bounded accept queue.** Accepted connections enter a fixed-depth
 //!   queue (`--queue`); when it is full the accept thread answers
 //!   `429 Too Many Requests` with `Retry-After: 1` inline instead of
 //!   letting latency grow without bound.
-//! - **Per-connection timeouts.** Reads and writes carry `--io-timeout`; a
-//!   stalled or truncated request gets `408` and the connection is closed.
+//! - **Per-request timeouts.** `--io-timeout` bounds every *request*, not
+//!   just the first one on a connection: the deadline restarts for each
+//!   keep-alive request, a stalled or truncated request gets `408`/`400`,
+//!   an idle keep-alive connection is closed silently, and response writes
+//!   carry the same deadline so a slow-reading client cannot pin a worker.
 //! - **Body cap.** Bodies over `--max-body` are refused with `413` before
 //!   they are read.
 //! - **Response deadlines.** A request's `deadline_ms` bounds the *answer*,
 //!   not the analysis: a cold graph that cannot finish in time is answered
 //!   with the iteration-free conservative bound (`"pending":true`) while
 //!   the exact analysis keeps warming the shared session in the background.
+//! - **Crash-safe warm cache.** With `--cache-dir`, every headline result
+//!   is appended to a checksummed `sdfr-cache/1` journal and restored into
+//!   the registry at startup — a `kill -9` loses at most the torn tail of
+//!   the last record, which replay truncates (see [`sdfr_api::cache`]).
 //! - **Graceful drain.** `SIGTERM`, `SIGINT` or `/shutdown` stop the accept
-//!   loop, let workers finish the queue, and exit 0.
+//!   loop, let workers finish queued and in-flight keep-alive requests
+//!   (answered with `Connection: close`), and exit 0.
 //! - **Panic isolation.** A panicking request handler answers `500` with an
 //!   `ErrorBody` (`exit` 70) instead of taking the server down.
+//! - **Fault injection (test-only).** `--fault` (or the `SDFR_FAULT`
+//!   environment variable) arms deterministic failures — accept delay,
+//!   mid-response close, torn journal write, slow-loris response stall —
+//!   so the black-box suite can prove each degrades to a structured,
+//!   budgeted answer.
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use sdfr_analysis::registry::{RegistryConfig, SessionRegistry};
+use sdfr_analysis::registry::{Lookup, RegistryConfig, SessionRegistry};
 use sdfr_api::{
     http_status_for_exit, pool_stats_json, registry_stats_json, AnalysisRequest, ErrorBody,
     RequestError, EXIT_IO, EXIT_PANIC, EXIT_USAGE, SCHEMA,
 };
 use sdfr_graph::budget::Budget;
 
-use crate::{batch, CliError};
+use crate::http::{self, Parsed};
+use crate::{batch, cache, CliError};
 
 /// Parsed options of one `sdfr serve` invocation.
 #[derive(Debug, Clone)]
@@ -71,8 +92,11 @@ struct ServeOptions {
     queue: usize,
     /// Request-body byte cap (`--max-body`).
     max_body: usize,
-    /// Per-connection read/write timeout (`--io-timeout`).
+    /// Per-request read/write timeout (`--io-timeout`).
     io_timeout: Duration,
+    /// Requests served per connection before a forced close
+    /// (`--max-requests`).
+    max_requests: u64,
     /// Session-registry capacity limits.
     registry: RegistryConfig,
     /// Budget caps for `--preload` warm-up (and nothing else — request
@@ -80,6 +104,68 @@ struct ServeOptions {
     budget: Budget,
     /// Graph files to prefetch into the registry at startup.
     preload: Vec<String>,
+    /// Directory for the persistent `sdfr-cache/1` journal (`--cache-dir`).
+    cache_dir: Option<String>,
+    /// Armed fault injections (`--fault` / `SDFR_FAULT`).
+    fault: FaultPlan,
+}
+
+/// Deterministic fault injections for the black-box robustness suite.
+/// Everything defaults to off; production runs never arm these.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct FaultPlan {
+    /// Sleep this long in the accept loop before queueing each connection.
+    accept_delay: Option<Duration>,
+    /// Close the connection after writing half of the Nth response body
+    /// (1-based, across the whole process).
+    mid_response_close: Option<u64>,
+    /// Tear the Nth journal append mid-record (1-based).
+    torn_write: Option<u64>,
+    /// Stall this long between every response head and body — the server
+    /// side of a slow-loris, for exercising client read budgets.
+    slow_loris: Option<Duration>,
+}
+
+/// Parses a `--fault` / `SDFR_FAULT` spec: comma-separated `kind=value`
+/// entries, e.g. `mid-response-close=1,slow-loris=2000`. Delays are in
+/// milliseconds, counters are 1-based ordinals.
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, CliError> {
+    fn value_of(kind: &str, value: Option<&str>) -> Result<u64, CliError> {
+        value
+            .ok_or_else(|| CliError::usage(format!("--fault: '{kind}' needs a value")))?
+            .parse()
+            .map_err(|_| CliError::usage(format!("--fault: '{kind}' needs a number")))
+    }
+    let mut plan = FaultPlan::default();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (kind, value) = match part.split_once('=') {
+            Some((k, v)) => (k.trim(), Some(v.trim())),
+            None => (part, None),
+        };
+        match kind {
+            "accept-delay" => {
+                plan.accept_delay = Some(Duration::from_millis(value_of(kind, value)?));
+            }
+            "mid-response-close" => {
+                plan.mid_response_close = Some(value_of(kind, value)?.max(1));
+            }
+            "torn-write" => plan.torn_write = Some(value_of(kind, value)?.max(1)),
+            "slow-loris" => {
+                plan.slow_loris = Some(Duration::from_millis(value_of(kind, value)?));
+            }
+            _ => {
+                return Err(CliError::usage(format!(
+                    "--fault: unknown fault '{kind}' (expected accept-delay, \
+                     mid-response-close, torn-write or slow-loris)"
+                )));
+            }
+        }
+    }
+    Ok(plan)
 }
 
 /// Everything a worker needs to answer requests.
@@ -87,8 +173,18 @@ struct ServerState {
     registry: SessionRegistry,
     pool: sdfr_pool::Pool,
     requests: AtomicU64,
+    connections: AtomicU64,
+    /// Requests served on an already-used keep-alive connection.
+    reused: AtomicU64,
+    /// Requests that carried the client's `X-Sdfr-Retry` marker.
+    retries_observed: AtomicU64,
+    /// Responses written, for the mid-response-close fault ordinal.
+    responses: AtomicU64,
     max_body: usize,
     io_timeout: Duration,
+    max_requests: u64,
+    journal: Option<cache::Journal>,
+    fault: FaultPlan,
 }
 
 /// The process-wide drain flag: set by `SIGTERM`/`SIGINT` (via the
@@ -173,9 +269,12 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
         queue: 64,
         max_body: 8 * 1024 * 1024,
         io_timeout: Duration::from_secs(10),
+        max_requests: 256,
         registry: RegistryConfig::default(),
         budget: crate::budget_from_opts(args)?,
         preload: Vec::new(),
+        cache_dir: None,
+        fault: FaultPlan::default(),
     };
     if let Some(addr) = crate::flag_raw(args, "--addr")? {
         opts.addr = addr;
@@ -203,11 +302,25 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
         }
         opts.io_timeout = d;
     }
+    if let Some(n) = crate::flag_value(args, "--max-requests")? {
+        if n == 0 {
+            return Err(CliError::usage("--max-requests must be a positive integer"));
+        }
+        opts.max_requests = n;
+    }
     if let Some(n) = crate::flag_value(args, "--cache-entries")? {
         opts.registry.max_entries = usize::try_from(n).unwrap_or(usize::MAX);
     }
     if let Some(n) = crate::flag_value(args, "--cache-bytes")? {
         opts.registry.max_bytes = n;
+    }
+    if let Some(dir) = crate::flag_raw(args, "--cache-dir")? {
+        opts.cache_dir = Some(dir);
+    }
+    if let Some(spec) = crate::flag_raw(args, "--fault")? {
+        opts.fault = parse_fault_plan(&spec)?;
+    } else if let Ok(spec) = std::env::var("SDFR_FAULT") {
+        opts.fault = parse_fault_plan(&spec)?;
     }
     let value_flags = [
         "--addr",
@@ -215,8 +328,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
         "--queue",
         "--max-body",
         "--io-timeout",
+        "--max-requests",
         "--cache-entries",
         "--cache-bytes",
+        "--cache-dir",
+        "--fault",
         "--deadline",
         "--max-firings",
         "--max-size",
@@ -239,7 +355,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
 
 /// Runs the server until a drain completes; returns the final report line
 /// (the "listening on" line is printed — and flushed — immediately, so
-/// wrappers reading a pipe can learn the ephemeral port).
+/// wrappers reading a pipe can learn the ephemeral port). With
+/// `--cache-dir`, the journal is replayed and restored into the registry
+/// *before* the listening line, so by the time a wrapper can connect the
+/// cache is warm.
 pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let opts = parse_serve_args(args)?;
     DRAIN.store(false, Ordering::SeqCst);
@@ -251,18 +370,47 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let local = listener
         .local_addr()
         .map_err(|e| CliError::io(format!("serve: no local address: {e}")))?;
-    println!("sdfr serve: listening on {local}");
-    let _ = std::io::stdout().flush();
-    install_signal_handlers();
+
+    let mut journal = None;
+    let mut replayed = Vec::new();
+    if let Some(dir) = &opts.cache_dir {
+        let (j, records) = cache::Journal::open(Path::new(dir), opts.fault.torn_write)?;
+        journal = Some(j);
+        replayed = records;
+    }
 
     let threads = sdfr_pool::default_threads();
     let state = Arc::new(ServerState {
         registry: SessionRegistry::with_config(opts.registry),
         pool: sdfr_pool::Pool::new(threads),
         requests: AtomicU64::new(0),
+        connections: AtomicU64::new(0),
+        reused: AtomicU64::new(0),
+        retries_observed: AtomicU64::new(0),
+        responses: AtomicU64::new(0),
         max_body: opts.max_body,
         io_timeout: opts.io_timeout,
+        max_requests: opts.max_requests,
+        journal,
+        fault: opts.fault.clone(),
     });
+
+    if let Some(journal) = &state.journal {
+        state
+            .pool
+            .install(|| journal.restore_into(&replayed, &state.registry));
+        let stats = journal.stats();
+        if stats.loaded > 0 || stats.rejected > 0 {
+            eprintln!(
+                "sdfr serve: cache journal: restored {} session(s), rejected {}",
+                stats.loaded, stats.rejected
+            );
+        }
+    }
+
+    println!("sdfr serve: listening on {local}");
+    let _ = std::io::stdout().flush();
+    install_signal_handlers();
 
     if !opts.preload.is_empty() {
         let graphs: Vec<_> = opts
@@ -299,6 +447,9 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     while !DRAIN.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                if let Some(delay) = opts.fault.accept_delay {
+                    std::thread::sleep(delay);
+                }
                 if let Err(stream) = queue.try_push(stream) {
                     // Load shedding: answer inline from the accept thread —
                     // the whole point is not to wait for a worker.
@@ -348,168 +499,136 @@ fn shed(mut stream: TcpStream, state: &ServerState) {
         )
     };
     let status = if draining { 503 } else { 429 };
-    respond(&mut stream, status, &(body.to_json() + "\n"));
+    respond(&mut stream, status, &(body.to_json() + "\n"), true, state);
 }
 
-/// Serves one connection: read, route (panic-isolated), respond, close.
-fn handle_connection(mut stream: TcpStream, state: &ServerState) {
-    let _ = stream.set_read_timeout(Some(state.io_timeout));
-    let _ = stream.set_write_timeout(Some(state.io_timeout));
-    let (status, body) = match read_request(&mut stream, state.max_body) {
-        Ok((method, path, body)) => {
-            state.requests.fetch_add(1, Ordering::Relaxed);
-            match catch_unwind(AssertUnwindSafe(|| route(&method, &path, &body, state))) {
-                Ok(response) => response,
-                Err(panic) => {
-                    let msg = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "unknown panic".to_string());
-                    (
-                        500,
-                        ErrorBody::new(
-                            "internal",
-                            format!("request handler panicked: {msg}"),
-                            EXIT_PANIC,
-                        )
-                        .to_json()
-                            + "\n",
-                    )
-                }
-            }
-        }
-        Err((status, err)) => (status, err.to_json() + "\n"),
-    };
-    respond(&mut stream, status, &body);
+/// What [`next_request`] found on the connection.
+enum NextRequest {
+    /// One complete request, consumed from the buffer.
+    Request(http::Request),
+    /// Close silently: clean EOF or idle-timeout between requests, a broken
+    /// socket, or a drain with nothing buffered.
+    Close,
+    /// Answer this error and close: the stream position is untrustworthy.
+    Error((u16, ErrorBody)),
 }
 
-/// Reads one HTTP/1.1 request: the request line, the headers (only
-/// `Content-Length` matters), then exactly the announced body bytes.
-///
-/// # Errors
-///
-/// `(408, timeout)` when the socket read times out, `(413,
-/// payload-too-large)` when the announced body exceeds the cap, `(400,
-/// bad-request)` for everything structurally wrong (truncation, bad
-/// request line, non-numeric length, non-UTF-8 body).
-fn read_request(
-    stream: &mut TcpStream,
-    max_body: usize,
-) -> Result<(String, String, String), (u16, ErrorBody)> {
-    const MAX_HEAD: usize = 16 * 1024;
-    let timeout =
-        |e: &std::io::Error| matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut);
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+/// Reads the next request off a keep-alive connection. `buf` carries
+/// pipelined bytes between calls; a fresh `--io-timeout` deadline covers
+/// this request only. Reads happen in short slices so the worker notices a
+/// drain within ~50ms even on an idle connection.
+fn next_request(stream: &mut TcpStream, buf: &mut Vec<u8>, state: &ServerState) -> NextRequest {
+    let deadline = Instant::now() + state.io_timeout;
     let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
+    loop {
+        // Parse before reading: a pipelined request already in the buffer
+        // is answered without touching the socket.
+        match http::parse_request(buf, state.max_body) {
+            Ok(Parsed::Complete(req)) => {
+                buf.drain(..req.consumed);
+                return NextRequest::Request(req);
+            }
+            Ok(Parsed::Partial) => {}
+            Err(failure) => return NextRequest::Error(failure),
         }
-        if buf.len() > MAX_HEAD {
-            return Err((
-                413,
-                ErrorBody::new("payload-too-large", "request headers too large", EXIT_USAGE),
-            ));
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            // Out of time: an idle connection just expired (normal
+            // keep-alive lifecycle, close silently); a half-request is a
+            // stall and earns the structured 408.
+            return if buf.is_empty() {
+                NextRequest::Close
+            } else {
+                NextRequest::Error(http::timeout_failure())
+            };
         }
+        // During a drain, still *try* to read: a queued connection's
+        // request is already sitting in the socket buffer and must be
+        // served (closing unread bytes would RST the client). Only a read
+        // that comes back empty-handed ends the connection early.
+        let draining = DRAIN.load(Ordering::SeqCst);
+        let slice = if draining {
+            Duration::from_millis(10)
+        } else {
+            remaining.min(Duration::from_millis(50))
+        };
+        let _ = stream.set_read_timeout(Some(slice.max(Duration::from_millis(1))));
         match stream.read(&mut chunk) {
             Ok(0) => {
-                return Err((
-                    400,
-                    ErrorBody::new("bad-request", "connection closed mid-request", EXIT_USAGE),
-                ))
+                return if buf.is_empty() {
+                    NextRequest::Close
+                } else {
+                    NextRequest::Error(http::truncation_failure())
+                };
             }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if timeout(&e) => {
-                return Err((
-                    408,
-                    ErrorBody::new("timeout", "timed out reading the request", EXIT_IO),
-                ))
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if draining && buf.is_empty() {
+                    return NextRequest::Close;
+                }
             }
-            Err(e) => {
-                return Err((
-                    400,
-                    ErrorBody::new("bad-request", format!("read failed: {e}"), EXIT_USAGE),
-                ))
-            }
-        }
-    };
-
-    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Err((
-            400,
-            ErrorBody::new("bad-request", "malformed request line", EXIT_USAGE),
-        ));
-    };
-    let method = method.to_string();
-    let path = path.to_string();
-
-    let mut content_length = 0usize;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value.trim().parse().map_err(|_| {
-                (
-                    400,
-                    ErrorBody::new("bad-request", "unreadable Content-Length", EXIT_USAGE),
-                )
-            })?;
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return NextRequest::Close,
         }
     }
-    if content_length > max_body {
-        return Err((
-            413,
-            ErrorBody::new(
-                "payload-too-large",
-                format!("request body of {content_length} bytes exceeds the {max_body}-byte cap"),
-                EXIT_USAGE,
-            ),
-        ));
-    }
-
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return Err((
-                    400,
-                    ErrorBody::new("bad-request", "connection closed mid-body", EXIT_USAGE),
-                ))
-            }
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e) if timeout(&e) => {
-                return Err((
-                    408,
-                    ErrorBody::new("timeout", "timed out reading the request body", EXIT_IO),
-                ))
-            }
-            Err(e) => {
-                return Err((
-                    400,
-                    ErrorBody::new("bad-request", format!("read failed: {e}"), EXIT_USAGE),
-                ))
-            }
-        }
-    }
-    body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| {
-        (
-            400,
-            ErrorBody::new("bad-request", "request body is not UTF-8", EXIT_USAGE),
-        )
-    })?;
-    Ok((method, path, body))
 }
 
-/// The position of the `\r\n\r\n` separating headers from body.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// Serves one connection: a keep-alive loop of read → route
+/// (panic-isolated) → respond, until the client closes, errs, hits the
+/// per-connection request cap, or a drain begins.
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    state.connections.fetch_add(1, Ordering::Relaxed);
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut served: u64 = 0;
+    loop {
+        let req = match next_request(&mut stream, &mut buf, state) {
+            NextRequest::Request(req) => req,
+            NextRequest::Close => return,
+            NextRequest::Error((status, err)) => {
+                respond(&mut stream, status, &(err.to_json() + "\n"), true, state);
+                return;
+            }
+        };
+        served += 1;
+        if served > 1 {
+            state.reused.fetch_add(1, Ordering::Relaxed);
+        }
+        if req.retry {
+            state.retries_observed.fetch_add(1, Ordering::Relaxed);
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let (status, body) = match catch_unwind(AssertUnwindSafe(|| {
+            route(&req.method, &req.path, &req.body, state)
+        })) {
+            Ok(response) => response,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                (
+                    500,
+                    ErrorBody::new(
+                        "internal",
+                        format!("request handler panicked: {msg}"),
+                        EXIT_PANIC,
+                    )
+                    .to_json()
+                        + "\n",
+                )
+            }
+        };
+        // After a panic the handler's internal state is suspect; after the
+        // cap or during a drain the connection has done its share.
+        let close = req.close
+            || status == 500
+            || served >= state.max_requests
+            || DRAIN.load(Ordering::SeqCst);
+        if !respond(&mut stream, status, &body, close, state) || close {
+            return;
+        }
+    }
 }
 
 /// Routes one parsed request to its handler.
@@ -567,7 +686,8 @@ fn route(method: &str, path: &str, body: &str, state: &ServerState) -> (u16, Str
 /// `(graph, tier)` unit **sequentially in index order** through the shared
 /// registry (deterministic cache attribution — a fresh server's first
 /// batch response is byte-identical to `sdfr batch --stable`), and render
-/// the record lines.
+/// the record lines. Each warmed unit is offered to the cache journal on
+/// the way out.
 ///
 /// The batch summary embeds the *whole* registry's counters, cumulative
 /// across invocations — that is the feature, not an accounting bug; `/v1/
@@ -616,6 +736,7 @@ fn handle_analysis(body: &str, is_batch: bool, state: &ServerState) -> (u16, Str
                     remaining,
                 )
             });
+            persist_unit(state, &g.name, &g.content, &base, tier, &unit);
             analyzed.push(unit);
             index += 1;
         }
@@ -637,6 +758,39 @@ fn handle_analysis(body: &str, is_batch: bool, state: &ServerState) -> (u16, Str
             http_status_for_exit(unit.record.exit),
             unit.record.to_json_line() + "\n",
         )
+    }
+}
+
+/// Offers one analysed unit to the cache journal: only registry-backed
+/// lookups (hit or miss — a bypass means the budget was not
+/// content-addressable) whose session holds an exportable headline are
+/// persisted; everything else is recomputed cheaply after a restart.
+fn persist_unit(
+    state: &ServerState,
+    name: &str,
+    content: &str,
+    base: &Budget,
+    tier: Option<u64>,
+    unit: &batch::AnalyzedUnit,
+) {
+    let Some(journal) = &state.journal else {
+        return;
+    };
+    if !matches!(unit.lookup, Some(Lookup::Hit | Lookup::Miss)) {
+        return;
+    }
+    let Some(session) = &unit.session else { return };
+    let Some(artifacts) = session.export_artifacts() else {
+        // Still cold: a deadline-bounded answer went out as pending while
+        // the warmer runs; a later request for this content persists it.
+        return;
+    };
+    let budget = match tier {
+        Some(t) => base.clone().with_max_firings(t),
+        None => base.clone(),
+    };
+    if let Some(record) = cache::record_for(name, content, &budget, &artifacts) {
+        journal.persist(&record);
     }
 }
 
@@ -673,20 +827,46 @@ fn parse_request(body: &str) -> Result<AnalysisRequest, (u16, String)> {
 }
 
 /// The `/v1/stats` document: the registry and pool counters in their one
-/// canonical serialization, plus the request count and the drain flag.
+/// canonical serialization, plus the request/connection counts, the
+/// journal counters (zero without `--cache-dir`), the observed-retry
+/// count, and the drain flag.
 fn stats_body(state: &ServerState) -> String {
+    let journal = state
+        .journal
+        .as_ref()
+        .map(|j| j.stats())
+        .unwrap_or_default();
     format!(
-        "{{\"schema\":\"{SCHEMA}\",\"registry\":{},\"pool\":{},\"requests\":{},\"draining\":{}}}\n",
+        "{{\"schema\":\"{SCHEMA}\",\"registry\":{},\"pool\":{},\"requests\":{},\
+         \"connections\":{{\"handled\":{},\"reused_requests\":{}}},\
+         \"persistence\":{{\"journal_loaded\":{},\"journal_rejected\":{},\"journal_appended\":{}}},\
+         \"retries_observed\":{},\"draining\":{}}}\n",
         registry_stats_json(&state.registry.stats()),
         pool_stats_json(&state.pool.stats()),
         state.requests.load(Ordering::Relaxed),
+        state.connections.load(Ordering::Relaxed),
+        state.reused.load(Ordering::Relaxed),
+        journal.loaded,
+        journal.rejected,
+        journal.appended,
+        state.retries_observed.load(Ordering::Relaxed),
         DRAIN.load(Ordering::SeqCst)
     )
 }
 
-/// Writes one complete `Connection: close` HTTP/1.1 response. Write errors
-/// are swallowed: the client is gone, and the connection closes either way.
-fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+/// Writes one complete HTTP/1.1 response under the `--io-timeout` write
+/// deadline, honouring the negotiated `Connection` disposition. Returns
+/// `false` when the connection is no longer usable (write failure,
+/// deadline, or an injected fault) so the keep-alive loop stops. Write
+/// errors are not reported to anyone — the client is gone, and the
+/// connection closes either way.
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+    state: &ServerState,
+) -> bool {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -705,18 +885,75 @@ fn respond(stream: &mut TcpStream, status: u16, body: &str) {
     } else {
         ""
     };
-    let _ = write!(
-        stream,
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\n{retry_after}Connection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n",
         body.len()
     );
-    let _ = stream.flush();
+    let n = state.responses.fetch_add(1, Ordering::Relaxed) + 1;
+    if state.fault.mid_response_close == Some(n) {
+        // Fault injection: ship the head and half the body, then hard-close
+        // — what a crash between write(2) calls looks like from outside.
+        let half = &body.as_bytes()[..body.len() / 2];
+        let _ = write_with_deadline(stream, head.as_bytes(), state.io_timeout);
+        let _ = write_with_deadline(stream, half, state.io_timeout);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        eprintln!("sdfr serve: fault: closed the connection mid-response #{n}");
+        return false;
+    }
+    if !write_with_deadline(stream, head.as_bytes(), state.io_timeout) {
+        return false;
+    }
+    if let Some(stall) = state.fault.slow_loris {
+        // Fault injection: a server that dribbles its response, for
+        // exercising client-side read budgets.
+        std::thread::sleep(stall);
+    }
+    write_with_deadline(stream, body.as_bytes(), state.io_timeout) && !close
+}
+
+/// Writes `bytes` completely within `timeout`, shrinking the socket write
+/// timeout as the deadline approaches so a slow-reading client cannot pin
+/// a worker past `--io-timeout`.
+fn write_with_deadline(stream: &mut TcpStream, mut bytes: &[u8], timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while !bytes.is_empty() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return false;
+        }
+        let _ = stream.set_write_timeout(Some(remaining.max(Duration::from_millis(1))));
+        match stream.write(bytes) {
+            Ok(0) => return false,
+            Ok(n) => bytes = &bytes[n..],
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    stream.flush().is_ok()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn test_state() -> ServerState {
+        ServerState {
+            registry: SessionRegistry::new(),
+            pool: sdfr_pool::Pool::new(1),
+            requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            retries_observed: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            max_body: 1024,
+            io_timeout: Duration::from_secs(1),
+            max_requests: 256,
+            journal: None,
+            fault: FaultPlan::default(),
+        }
+    }
 
     #[test]
     fn serve_args_parse_and_reject() {
@@ -732,6 +969,10 @@ mod tests {
             "1024",
             "--io-timeout",
             "500ms",
+            "--max-requests",
+            "3",
+            "--cache-dir",
+            "/tmp/sdfr-cache",
             "pre.sdf",
         ]))
         .unwrap();
@@ -740,28 +981,36 @@ mod tests {
         assert_eq!(opts.queue, 5);
         assert_eq!(opts.max_body, 1024);
         assert_eq!(opts.io_timeout, Duration::from_millis(500));
+        assert_eq!(opts.max_requests, 3);
+        assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/sdfr-cache"));
         assert_eq!(opts.preload, vec!["pre.sdf"]);
         assert!(parse_serve_args(&to_args(&["--workers", "0"])).is_err());
         assert!(parse_serve_args(&to_args(&["--queue", "0"])).is_err());
+        assert!(parse_serve_args(&to_args(&["--max-requests", "0"])).is_err());
         assert!(parse_serve_args(&to_args(&["--io-timeout", "never"])).is_err());
         assert!(parse_serve_args(&to_args(&["--bogus"])).is_err());
     }
 
     #[test]
-    fn head_end_detection() {
-        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
-        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    fn fault_plans_parse_and_reject() {
+        assert_eq!(parse_fault_plan("").unwrap(), FaultPlan::default());
+        let plan =
+            parse_fault_plan("accept-delay=250, mid-response-close=2,torn-write=1,slow-loris=900")
+                .unwrap();
+        assert_eq!(plan.accept_delay, Some(Duration::from_millis(250)));
+        assert_eq!(plan.mid_response_close, Some(2));
+        assert_eq!(plan.torn_write, Some(1));
+        assert_eq!(plan.slow_loris, Some(Duration::from_millis(900)));
+        assert!(parse_fault_plan("explode").is_err());
+        assert!(parse_fault_plan("slow-loris").is_err(), "missing value");
+        assert!(parse_fault_plan("torn-write=soon").is_err());
+        let args = vec!["--fault".to_string(), "torn-write=1".to_string()];
+        assert_eq!(parse_serve_args(&args).unwrap().fault.torn_write, Some(1));
     }
 
     #[test]
     fn routing_rejects_unknown_and_mismatched() {
-        let state = ServerState {
-            registry: SessionRegistry::new(),
-            pool: sdfr_pool::Pool::new(1),
-            requests: AtomicU64::new(0),
-            max_body: 1024,
-            io_timeout: Duration::from_secs(1),
-        };
+        let state = test_state();
         let (status, body) = route("GET", "/nope", "", &state);
         assert_eq!(status, 404);
         assert!(body.contains("\"code\":\"not-found\""));
@@ -785,14 +1034,31 @@ mod tests {
     }
 
     #[test]
+    fn stats_report_connection_and_persistence_counters() {
+        let state = test_state();
+        state.connections.fetch_add(3, Ordering::Relaxed);
+        state.reused.fetch_add(2, Ordering::Relaxed);
+        state.retries_observed.fetch_add(1, Ordering::Relaxed);
+        let body = stats_body(&state);
+        assert!(
+            body.contains("\"connections\":{\"handled\":3,\"reused_requests\":2}"),
+            "{body}"
+        );
+        assert!(
+            body.contains(
+                "\"persistence\":{\"journal_loaded\":0,\"journal_rejected\":0,\"journal_appended\":0}"
+            ),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"retries_observed\":1,\"draining\":"),
+            "{body}"
+        );
+    }
+
+    #[test]
     fn analyze_endpoint_is_single_graph_only() {
-        let state = ServerState {
-            registry: SessionRegistry::new(),
-            pool: sdfr_pool::Pool::new(1),
-            requests: AtomicU64::new(0),
-            max_body: 1024,
-            io_timeout: Duration::from_secs(1),
-        };
+        let state = test_state();
         let two = r#"{"schema":"sdfr-api/1","graphs":[
             {"name":"a","content":"graph a\nactor a 1\nchannel a a 1 1 1\n"},
             {"name":"b","content":"graph b\nactor b 1\nchannel b b 1 1 1\n"}]}"#;
@@ -803,5 +1069,28 @@ mod tests {
         assert_eq!(status, 200, "{body}");
         assert_eq!(body.lines().count(), 3, "{body}");
         assert!(body.lines().last().unwrap().contains("\"summary\":true"));
+    }
+
+    #[test]
+    fn batch_endpoint_persists_warm_units_to_the_journal() {
+        let dir = std::env::temp_dir().join(format!("sdfr-serve-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (journal, replayed) = cache::Journal::open(&dir, None).unwrap();
+        assert!(replayed.is_empty());
+        let mut state = test_state();
+        state.journal = Some(journal);
+        let one = r#"{"schema":"sdfr-api/1","graphs":[
+            {"name":"a","content":"graph a\nactor a 1\nchannel a a 1 1 1\n"}]}"#;
+        let (status, _) = route("POST", "/v1/batch", one, &state);
+        assert_eq!(status, 200);
+        assert_eq!(state.journal.as_ref().unwrap().stats().appended, 1);
+        // The same content again: already persisted, no duplicate record.
+        let (status, _) = route("POST", "/v1/batch", one, &state);
+        assert_eq!(status, 200);
+        assert_eq!(state.journal.as_ref().unwrap().stats().appended, 1);
+        let (_, replayed) = cache::Journal::open(&dir, None).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].name, "a");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,173 @@
+//! Fuzz harness for the serve HTTP request parser.
+//!
+//! `parse_request` faces raw network bytes, so whatever it is fed it must
+//! return — `Partial`, `Complete`, or a structured `400`/`413` — and never
+//! panic, hang, or mis-frame a pipelined buffer. The harness drives it
+//! with a seeded xorshift PRNG (no external dependencies, reproducible
+//! runs); `SDFR_FUZZ_ITERS` scales the iteration count for CI smoke runs.
+
+use sdfr_cli::http::{self, Parsed};
+
+/// Deterministic xorshift64* PRNG; seeds are fixed per test so a failure
+/// reproduces byte-for-byte.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    fn byte(&mut self) -> u8 {
+        (self.next() & 0xff) as u8
+    }
+}
+
+fn iterations() -> usize {
+    std::env::var("SDFR_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000)
+}
+
+const MAX_BODY: usize = 4 * 1024;
+
+/// Every outcome the parser is allowed to produce; anything else (panic,
+/// out-of-range status, `Complete` that over-consumes) fails the run.
+fn check(buf: &[u8], label: &str) {
+    match http::parse_request(buf, MAX_BODY) {
+        Ok(Parsed::Partial) => {}
+        Ok(Parsed::Complete(req)) => {
+            assert!(
+                req.consumed <= buf.len(),
+                "{label}: consumed {} of a {}-byte buffer",
+                req.consumed,
+                buf.len()
+            );
+            assert!(req.body.len() <= MAX_BODY, "{label}: body exceeds cap");
+        }
+        Err((status, body)) => {
+            assert!(
+                matches!(status, 400 | 413),
+                "{label}: unexpected status {status}"
+            );
+            assert!(!body.message.is_empty(), "{label}: empty error message");
+        }
+    }
+}
+
+#[test]
+fn random_bytes_never_panic_the_parser() {
+    let mut rng = Rng::new(0x5df_0001);
+    for _ in 0..iterations() {
+        let len = rng.below(600);
+        let buf: Vec<u8> = (0..len).map(|_| rng.byte()).collect();
+        check(&buf, "random bytes");
+    }
+}
+
+#[test]
+fn mutated_valid_requests_never_panic() {
+    let base = b"POST /v1/analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 24\r\nConnection: keep-alive\r\n\r\n{\"schema\":\"sdfr-api/1\"}\n";
+    let mut rng = Rng::new(0x5df_0002);
+    for _ in 0..iterations() {
+        let mut buf = base.to_vec();
+        // One to four point mutations: flip a byte, insert garbage, or
+        // truncate — the classic ways a torn or hostile peer mangles a
+        // request.
+        for _ in 0..1 + rng.below(4) {
+            match rng.below(3) {
+                0 if !buf.is_empty() => {
+                    let pos = rng.below(buf.len());
+                    buf[pos] = rng.byte();
+                }
+                0 => {}
+                1 => {
+                    let pos = rng.below(buf.len() + 1);
+                    buf.insert(pos.min(buf.len()), rng.byte());
+                }
+                _ => {
+                    buf.truncate(rng.below(buf.len() + 1));
+                }
+            }
+        }
+        check(&buf, "mutated request");
+    }
+}
+
+#[test]
+fn every_prefix_of_a_valid_request_is_partial_or_complete() {
+    let base = b"POST /v1/batch HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+    for end in 0..=base.len() {
+        match http::parse_request(&base[..end], MAX_BODY) {
+            Ok(Parsed::Partial) => assert!(end < base.len(), "full request parsed as partial"),
+            Ok(Parsed::Complete(req)) => {
+                assert_eq!(end, base.len(), "complete before all bytes arrived");
+                assert_eq!(req.body, "hello world");
+                assert_eq!(req.consumed, base.len());
+            }
+            Err((status, _)) => panic!("prefix of {end} bytes rejected with {status}"),
+        }
+    }
+}
+
+#[test]
+fn generated_requests_round_trip_and_frame_pipelines_exactly() {
+    let mut rng = Rng::new(0x5df_0003);
+    for _ in 0..iterations() {
+        let body_len = rng.below(200);
+        let body: String = (0..body_len)
+            .map(|_| (b'a' + (rng.byte() % 26)) as char)
+            .collect();
+        let path = format!("/v1/p{}", rng.below(1000));
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        // Pipeline a second request behind it; framing must hand back
+        // exactly the first request's bytes as `consumed`.
+        let mut wire = request.clone().into_bytes();
+        wire.extend_from_slice(b"GET /v1/stats HTTP/1.1\r\n\r\n");
+        match http::parse_request(&wire, MAX_BODY) {
+            Ok(Parsed::Complete(req)) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, path);
+                assert_eq!(req.body, body);
+                assert_eq!(req.consumed, request.len());
+                assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+            }
+            other => panic!("generated request did not parse: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_heads_and_bodies_are_capped_not_buffered() {
+    // A head that never terminates must be cut off at MAX_HEAD with 413.
+    let endless = vec![b'A'; http::MAX_HEAD + 64];
+    match http::parse_request(&endless, MAX_BODY) {
+        Err((413, _)) => {}
+        other => panic!("oversized head not rejected: {other:?}"),
+    }
+    // An announced body beyond the cap is refused before it is read.
+    let greedy = format!(
+        "POST /v1/analyze HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY + 1
+    );
+    match http::parse_request(greedy.as_bytes(), MAX_BODY) {
+        Err((413, _)) => {}
+        other => panic!("oversized body not rejected: {other:?}"),
+    }
+}

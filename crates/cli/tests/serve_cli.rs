@@ -51,10 +51,15 @@ struct Server {
 
 impl Server {
     fn start(extra: &[&str]) -> Server {
+        Server::start_env(extra, &[])
+    }
+
+    fn start_env(extra: &[&str], envs: &[(&str, &str)]) -> Server {
         let mut child = Command::new(env!("CARGO_BIN_EXE_sdfr"))
             .arg("serve")
             .args(["--addr", "127.0.0.1:0"])
             .args(extra)
+            .envs(envs.iter().copied())
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
@@ -364,4 +369,366 @@ fn preload_warms_the_registry() {
         stats.contains("\"hits\":1,\"misses\":1,"),
         "preloaded analyze should hit: {stats}"
     );
+}
+
+/// Reads one complete HTTP response off a raw stream: status, full head,
+/// and exactly `Content-Length` body bytes — the keep-alive counterpart of
+/// the read-to-EOF in [`http`].
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => panic!(
+                "connection closed mid-head: {:?}",
+                String::from_utf8_lossy(&head)
+            ),
+            Ok(_) => head.extend_from_slice(&byte),
+            Err(e) => panic!("head read failed: {e}"),
+        }
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            if name.eq_ignore_ascii_case("content-length") {
+                value.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+        .expect("Content-Length header");
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("body arrives whole");
+    (status, head, String::from_utf8_lossy(&body).into_owned())
+}
+
+/// Sends SIGTERM, the signal a supervisor uses for a graceful stop.
+fn sigterm(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "SIGTERM delivery failed");
+}
+
+/// Keep-alive + pipelining: two requests written back-to-back on one
+/// connection are both answered on that connection; `--max-requests` then
+/// forces `Connection: close` on the capped response, and `/v1/stats`
+/// counts the reuse.
+#[test]
+fn keep_alive_pipelines_and_honors_the_request_cap() {
+    let server = Server::start(&["--max-requests", "2"]);
+    let mut stream = TcpStream::connect(&server.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Two pipelined requests, neither asking to close.
+    write!(
+        stream,
+        "GET /v1/stats HTTP/1.1\r\nHost: a\r\nContent-Length: 0\r\n\r\n\
+         GET /v1/stats HTTP/1.1\r\nHost: a\r\nContent-Length: 0\r\n\r\n"
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        head.contains("Connection: close"),
+        "--max-requests 2 must close the second response: {head}"
+    );
+    assert!(
+        body.contains("\"connections\":{\"handled\":1,\"reused_requests\":1}"),
+        "{body}"
+    );
+    // The server really closes at the cap.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "bytes after the capped response: {rest:?}");
+}
+
+/// The slow-loris regression: `--io-timeout` is a *per-request* deadline,
+/// so a client trickling bytes — each read succeeding, the request never
+/// completing — is cut off with 408 once the deadline expires, not strung
+/// along indefinitely. A keep-alive request served first proves the
+/// deadline restarts per request rather than covering the whole
+/// connection.
+#[test]
+fn slow_loris_requests_are_cut_off_per_request() {
+    let server = Server::start(&["--io-timeout", "700ms"]);
+    let mut stream = TcpStream::connect(&server.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // A healthy request first: its deadline must not count against the
+    // slow one that follows on the same connection.
+    write!(
+        stream,
+        "GET /v1/stats HTTP/1.1\r\nHost: a\r\nContent-Length: 0\r\n\r\n"
+    )
+    .unwrap();
+    let (status, _, _) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    std::thread::sleep(Duration::from_millis(300));
+    // Now trickle a second request: one byte every 150ms keeps every
+    // individual read alive, so only a true per-request deadline fires.
+    let started = std::time::Instant::now();
+    for b in "GET /v1/stats HTTP/1.1\r\n".as_bytes() {
+        if stream.write_all(&[*b]).is_err() {
+            break; // the server already gave up on us — expected
+        }
+        std::thread::sleep(Duration::from_millis(150));
+        if started.elapsed() > Duration::from_secs(3) {
+            break;
+        }
+    }
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 408, "{body}");
+    assert!(body.contains("\"code\":\"timeout\""), "{body}");
+    assert!(head.contains("Connection: close"), "{head}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the 408 took {:?}",
+        started.elapsed()
+    );
+}
+
+/// Drain under load: with one worker, SIGTERM arrives while a keep-alive
+/// connection is being served and two complete requests sit in the accept
+/// queue. Both queued requests are answered whole (with `Connection:
+/// close`), the idle keep-alive connection is released, the process exits
+/// 0, and the port stops answering — no socket leak.
+#[test]
+fn sigterm_drains_queued_and_in_flight_requests() {
+    let server = Server::start(&["--workers", "1", "--queue", "8", "--io-timeout", "5s"]);
+    let request = "GET /v1/stats HTTP/1.1\r\nHost: a\r\nContent-Length: 0\r\n\r\n";
+
+    // A: served, then held open — it pins the only worker in its
+    // keep-alive read loop.
+    let mut a = TcpStream::connect(&server.addr).unwrap();
+    a.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    a.write_all(request.as_bytes()).unwrap();
+    let (status, _, _) = read_response(&mut a);
+    assert_eq!(status, 200);
+
+    // B and C: accepted and queued with complete unread requests.
+    let mut b = TcpStream::connect(&server.addr).unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    b.write_all(request.as_bytes()).unwrap();
+    let mut c = TcpStream::connect(&server.addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    c.write_all(request.as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut server = server;
+    sigterm(&server.child);
+    for (label, stream) in [("B", &mut b), ("C", &mut c)] {
+        let (status, head, body) = read_response(stream);
+        assert_eq!(status, 200, "{label}: {body}");
+        assert!(
+            head.contains("Connection: close"),
+            "{label} must be told to close during drain: {head}"
+        );
+        assert!(body.contains("\"draining\":true"), "{label}: {body}");
+    }
+    let status = server.child.wait().expect("server exits");
+    assert_eq!(status.code(), Some(0), "drain must exit 0");
+    let mut report = String::new();
+    server.stdout.read_to_string(&mut report).unwrap();
+    assert!(report.contains("drained after"), "{report:?}");
+    assert!(TcpStream::connect(&server.addr).is_err(), "socket leaked");
+    // A was released: EOF, not a hang.
+    let mut rest = Vec::new();
+    a.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "unexpected bytes on the idle conn: {rest:?}"
+    );
+}
+
+/// The headline crash test: warm a `--cache-dir` server, `kill -9` it,
+/// restart on the same directory — the first request is a registry hit
+/// with byte-identical output and `journal_loaded` ≥ 1. Then corrupt the
+/// journal tail and restart again: the torn tail is truncated
+/// (`journal_rejected` ≥ 1) and the intact record still answers warm.
+#[test]
+fn kill_dash_nine_restart_comes_up_warm() {
+    let demo = example("demo.sdf");
+    let dir = std::env::temp_dir().join(format!("sdfr-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache_dir = dir.to_str().unwrap().to_string();
+
+    let mut first_server = Server::start(&["--cache-dir", &cache_dir]);
+    let warm = sdfr(&["--server", &first_server.addr, "analyze", &demo]);
+    assert!(warm.status.success(), "{warm:?}");
+    // kill() is SIGKILL: no drain, no atexit, nothing graceful.
+    first_server.child.kill().unwrap();
+    first_server.child.wait().unwrap();
+
+    let restarted = Server::start(&["--cache-dir", &cache_dir]);
+    let after = sdfr(&["--server", &restarted.addr, "analyze", &demo]);
+    assert!(after.status.success(), "{after:?}");
+    assert_eq!(
+        after.stdout, warm.stdout,
+        "the restarted answer must be byte-identical"
+    );
+    let stats = sdfr(&["stats", "--server", &restarted.addr]);
+    let stats = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(
+        stats.contains("\"hits\":1,\"misses\":0,"),
+        "the first post-restart request must be a hit: {stats}"
+    );
+    assert!(stats.contains("\"journal_loaded\":1"), "{stats}");
+    drop(restarted);
+
+    // Tear the journal the way a crash mid-append would.
+    let journal = dir.join("journal.sdfr-cache");
+    let intact = std::fs::metadata(&journal).unwrap().len();
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal)
+        .unwrap();
+    f.write_all(b"{\"schema\":\"sdfr-cache/1\",\"fingerprint\":\"dead")
+        .unwrap();
+    drop(f);
+
+    let recovered = Server::start(&["--cache-dir", &cache_dir]);
+    let again = sdfr(&["--server", &recovered.addr, "analyze", &demo]);
+    assert!(again.status.success());
+    assert_eq!(again.stdout, warm.stdout, "recovery changed the answer");
+    let stats = sdfr(&["stats", "--server", &recovered.addr]);
+    let stats = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(stats.contains("\"journal_loaded\":1"), "{stats}");
+    assert!(stats.contains("\"journal_rejected\":1"), "{stats}");
+    assert_eq!(
+        std::fs::metadata(&journal).unwrap().len(),
+        intact,
+        "the torn tail must be truncated off the journal"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fault: the server closes the connection after half of the first
+/// response body. The retrying client detects the short body against
+/// `Content-Length`, re-sends (analyze is idempotent), and succeeds; the
+/// server's stats count the observed retry.
+#[test]
+fn mid_response_close_is_retried_to_success() {
+    let demo = example("demo.sdf");
+    let local = sdfr(&["analyze", &demo, "--json"]);
+    let server = Server::start(&["--fault", "mid-response-close=1"]);
+    let out = sdfr(&["--server", &server.addr, "analyze", &demo]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(out.stdout, local.stdout);
+    let stats = sdfr(&["stats", "--server", &server.addr]);
+    let stats = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(stats.contains("\"retries_observed\":1"), "{stats}");
+}
+
+/// Fault: the server stalls every response (slow-loris from the server
+/// side). A client with an explicit retry budget fails with a structured
+/// I/O error (exit 3) within its budget instead of hanging.
+#[test]
+fn stalled_server_fails_the_client_within_its_budget() {
+    let demo = example("demo.sdf");
+    let server = Server::start(&["--fault", "slow-loris=30000"]);
+    let started = std::time::Instant::now();
+    let out = sdfr(&[
+        "--server",
+        &server.addr,
+        "analyze",
+        &demo,
+        "--retries",
+        "1",
+        "--retry-budget-ms",
+        "500",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("receive failed"),
+        "{out:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the failure took {:?} — the budget did not bound it",
+        started.elapsed()
+    );
+}
+
+/// Fault: the first journal append is torn mid-record. The server keeps
+/// answering correctly; the restart truncates the torn tail, reports it,
+/// and recomputes the un-persisted result — cold but correct.
+#[test]
+fn torn_journal_write_recovers_cold_but_correct() {
+    let demo = example("demo.sdf");
+    let local = sdfr(&["analyze", &demo, "--json"]);
+    let dir = std::env::temp_dir().join(format!("sdfr-torn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache_dir = dir.to_str().unwrap().to_string();
+
+    let server = Server::start(&["--cache-dir", &cache_dir, "--fault", "torn-write=1"]);
+    let out = sdfr(&["--server", &server.addr, "analyze", &demo]);
+    assert!(
+        out.status.success(),
+        "a torn journal must not fail requests"
+    );
+    assert_eq!(out.stdout, local.stdout);
+    drop(server);
+
+    let restarted = Server::start(&["--cache-dir", &cache_dir]);
+    let stats = sdfr(&["stats", "--server", &restarted.addr]);
+    let stats = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(stats.contains("\"journal_loaded\":0"), "{stats}");
+    assert!(stats.contains("\"journal_rejected\":1"), "{stats}");
+    let cold = sdfr(&["--server", &restarted.addr, "analyze", &demo]);
+    assert!(cold.status.success());
+    assert_eq!(
+        cold.stdout, local.stdout,
+        "cold recompute changed the answer"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fault: an accept-side delay slows admission but every request still
+/// completes correctly — degradation, not failure.
+#[test]
+fn accept_delay_slows_but_does_not_break() {
+    let demo = example("demo.sdf");
+    let local = sdfr(&["analyze", &demo, "--json"]);
+    let server = Server::start(&["--fault", "accept-delay=200"]);
+    let out = sdfr(&["--server", &server.addr, "analyze", &demo]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(out.stdout, local.stdout);
+}
+
+/// Determinism under the cache: a single-threaded server's batch response
+/// stays byte-identical to `sdfr batch --stable`, persistence and
+/// keep-alive notwithstanding.
+#[test]
+fn single_threaded_server_matches_stable_batch() {
+    let demo = example("demo.sdf");
+    let pipeline = example("pipeline.sdf");
+    let dir = std::env::temp_dir().join(format!("sdfr-stable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache_dir = dir.to_str().unwrap().to_string();
+    let local = sdfr(&["batch", &demo, &pipeline, "--stable"]);
+    assert!(local.status.success());
+    let server = Server::start_env(&["--cache-dir", &cache_dir], &[("SDFR_THREADS", "1")]);
+    let remote = sdfr(&["--server", &server.addr, "batch", &demo, &pipeline]);
+    assert!(remote.status.success(), "{remote:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&remote.stdout),
+        String::from_utf8_lossy(&local.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
