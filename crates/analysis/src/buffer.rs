@@ -8,9 +8,68 @@
 //! constraints is the subject of Stuijk et al., TC'08; here we provide the
 //! self-timed bound used for dimensioning.)
 
+use std::sync::{Arc, Mutex};
+
 use sdfr_graph::budget::Budget;
 use sdfr_graph::execution::{simulate, simulate_iterations, SimulationOptions};
 use sdfr_graph::{SdfError, SdfGraph};
+
+use crate::engine::{EngineArchive, IncrementalSeed};
+use crate::session::AnalysisSession;
+
+/// How many recently analysed capacity variants a search retains for
+/// seeding subsequent probes.
+const SEEDER_RING: usize = 8;
+
+/// A ring of recently analysed capacity-variant graphs and their engine
+/// archives, shared by all probes of one capacity search.
+///
+/// Successive probes of a binary search or a Pareto sweep build bounded
+/// graphs ([`with_capacities`]) that differ in exactly one reverse
+/// channel's initial tokens, so most probes can *fork* a ring member's
+/// archived symbolic execution ([`EngineArchive::fork`]) instead of running
+/// Algorithm 1 cold. Determinacy keeps every seeded probe byte-identical
+/// to a cold one — including budget accounting — so search results never
+/// depend on seeding or on the steal schedule of parallel probes.
+#[derive(Debug, Default)]
+struct FamilySeeder {
+    ring: Mutex<Vec<(Arc<SdfGraph>, Arc<EngineArchive>)>>,
+}
+
+impl FamilySeeder {
+    /// A seed for `bounded`: the most recent ring member that is the same
+    /// graph (resume) or differs from it in one channel's initial tokens
+    /// (fork), if any.
+    fn seed_for(&self, bounded: &SdfGraph) -> Option<IncrementalSeed> {
+        let ring = self.ring.lock().expect("seeder ring poisoned");
+        for (g, archive) in ring.iter().rev() {
+            if **g == *bounded {
+                return Some(IncrementalSeed {
+                    base: Arc::clone(archive),
+                    delta: None,
+                });
+            }
+            if let Some(delta) = g.initial_token_delta(bounded) {
+                return Some(IncrementalSeed {
+                    base: Arc::clone(archive),
+                    delta: Some(delta),
+                });
+            }
+        }
+        None
+    }
+
+    /// Offers a probe's archive back to the ring (most recent last),
+    /// displacing the oldest member beyond [`SEEDER_RING`].
+    fn offer(&self, graph: Arc<SdfGraph>, archive: Arc<EngineArchive>) {
+        let mut ring = self.ring.lock().expect("seeder ring poisoned");
+        ring.retain(|(g, _)| **g != *graph);
+        ring.push((graph, archive));
+        if ring.len() > SEEDER_RING {
+            ring.remove(0);
+        }
+    }
+}
 
 /// Per-channel peak token counts over `iterations` self-timed iterations
 /// (including the initial tokens), indexed by channel index.
@@ -194,6 +253,28 @@ fn period_with_capacities_budgeted(
     Ok(crate::throughput::throughput_with_budget(&bounded, budget)?.period())
 }
 
+/// [`period_with_capacities_budgeted`] with the bounded graph's symbolic
+/// iteration seeded from — and its archive offered back to — the search's
+/// [`FamilySeeder`]. Answers (and budget accounting) are byte-identical to
+/// the unseeded probe; only wall-clock time differs.
+fn period_with_capacities_seeded(
+    g: &SdfGraph,
+    capacities: &[u64],
+    budget: &Budget,
+    seeder: &FamilySeeder,
+) -> Result<Option<sdfr_maxplus::Rational>, SdfError> {
+    let bounded = Arc::new(with_capacities(g, capacities)?);
+    let session = AnalysisSession::with_budget(Arc::clone(&bounded), budget.clone());
+    if let Some(seed) = seeder.seed_for(&bounded) {
+        let _ = session.install_seed(seed);
+    }
+    let period = session.throughput().map(|t| t.period());
+    if let Some(archive) = session.engine_archive() {
+        seeder.offer(bounded, archive);
+    }
+    period
+}
+
 /// Finds a capacity allocation that achieves the unconstrained
 /// (self-timed) period, from the *reserved-occupancy* peaks of a
 /// self-timed run ([`sdfr_graph::execution::Trace::channel_peak_reserved`]):
@@ -330,8 +411,9 @@ fn probe_feasible(
     probe: &[u64],
     budget: &Budget,
     target: Option<sdfr_maxplus::Rational>,
+    seeder: &FamilySeeder,
 ) -> Result<bool, SdfError> {
-    match period_with_capacities_budgeted(g, probe, budget) {
+    match period_with_capacities_seeded(g, probe, budget, seeder) {
         Ok(p) => Ok(p == target),
         Err(e @ SdfError::Exhausted { .. }) => Err(e),
         Err(_) => Ok(false),
@@ -366,6 +448,9 @@ pub(crate) fn minimize_capacities_with_target(
     let mut caps = sufficient_capacities_with_target(g, iterations, budget, target)?;
     let channels: Vec<_> = g.channels().map(|(_, c)| *c).collect();
     let start = caps.clone();
+    // All probes of this search share one seeder: each probe varies a
+    // single capacity, so its bounded graph forks a recent probe's archive.
+    let seeder = FamilySeeder::default();
 
     // Phase 1: per-channel minima against the starting allocation, in
     // parallel. Each worker probes under its own meter of the shared budget
@@ -381,7 +466,7 @@ pub(crate) fn minimize_capacities_with_target(
             let mid = lo + (hi - lo) / 2;
             let mut probe = start.clone();
             probe[i] = mid;
-            if probe_feasible(g, &probe, budget, target)? {
+            if probe_feasible(g, &probe, budget, target, &seeder)? {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -406,7 +491,7 @@ pub(crate) fn minimize_capacities_with_target(
             // before falling back to the binary search.
             let mut probe = caps.clone();
             probe[i] = lo;
-            if probe_feasible(g, &probe, budget, target)? {
+            if probe_feasible(g, &probe, budget, target, &seeder)? {
                 hi = lo;
             } else {
                 lo += 1;
@@ -416,7 +501,7 @@ pub(crate) fn minimize_capacities_with_target(
             let mid = lo + (hi - lo) / 2;
             let mut probe = caps.clone();
             probe[i] = mid;
-            if probe_feasible(g, &probe, budget, target)? {
+            if probe_feasible(g, &probe, budget, target, &seeder)? {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -568,6 +653,48 @@ mod capacity_tests {
     }
 
     #[test]
+    fn family_seeder_resumes_and_forks_ring_members() {
+        let g = pipeline();
+        let seeder = FamilySeeder::default();
+        let base = Arc::new(with_capacities(&g, &[2, 1, 1]).unwrap());
+        assert!(seeder.seed_for(&base).is_none(), "empty ring seeds nothing");
+        let session = AnalysisSession::new(Arc::clone(&base));
+        let _ = session.throughput().unwrap();
+        seeder.offer(Arc::clone(&base), session.engine_archive().unwrap());
+        // The same bounded graph resumes; a one-capacity variant forks.
+        assert!(seeder.seed_for(&base).unwrap().delta.is_none());
+        let variant = with_capacities(&g, &[3, 1, 1]).unwrap();
+        assert!(seeder.seed_for(&variant).unwrap().delta.is_some());
+        // The ring is bounded: old members are displaced, never grown past.
+        for cap in 0..2 * SEEDER_RING as u64 {
+            let v = Arc::new(with_capacities(&g, &[cap + 2, 1, 1]).unwrap());
+            let s = AnalysisSession::new(Arc::clone(&v));
+            let _ = s.throughput().unwrap();
+            seeder.offer(v, s.engine_archive().unwrap());
+        }
+        assert_eq!(
+            seeder.ring.lock().unwrap().len(),
+            SEEDER_RING,
+            "ring stays bounded"
+        );
+    }
+
+    #[test]
+    fn seeded_probes_are_byte_identical_to_cold_ones() {
+        // Warm probes across a capacity family must answer exactly like the
+        // unseeded reference probe, whatever the ring contains.
+        let g = pipeline();
+        let seeder = FamilySeeder::default();
+        for cap in 1..=5 {
+            let caps = [cap, 1, 1];
+            let warm =
+                period_with_capacities_seeded(&g, &caps, &Budget::unlimited(), &seeder).unwrap();
+            let cold = period_with_capacities(&g, &caps).unwrap();
+            assert_eq!(warm, cold, "capacity {cap}");
+        }
+    }
+
+    #[test]
     fn bounded_graph_structure() {
         let g = pipeline();
         let bounded = with_capacities(&g, &[3, 1, 1]).unwrap();
@@ -646,8 +773,8 @@ pub fn throughput_buffer_tradeoff_serial(
 }
 
 /// Deadlocked allocations count as zero throughput.
-fn period_at(g: &SdfGraph, caps: &[u64]) -> Option<sdfr_maxplus::Rational> {
-    period_with_capacities(g, caps).unwrap_or_default()
+fn period_at(g: &SdfGraph, caps: &[u64], seeder: &FamilySeeder) -> Option<sdfr_maxplus::Rational> {
+    period_with_capacities_seeded(g, caps, &Budget::unlimited(), seeder).unwrap_or_default()
 }
 
 /// The greedy sweep behind [`throughput_buffer_tradeoff`], against an
@@ -666,6 +793,9 @@ pub(crate) fn throughput_buffer_tradeoff_with_target(
 
     let channels: Vec<_> = g.channels().map(|(_, c)| *c).collect();
     let floors: Vec<u64> = channels.iter().map(channel_floor).collect();
+    // Every step's +1 candidates are one-channel variants of the current
+    // allocation: they fork the current point's archived execution.
+    let seeder = FamilySeeder::default();
 
     // Order periods with deadlock (None) as the worst.
     let better = |a: Option<sdfr_maxplus::Rational>, b: Option<sdfr_maxplus::Rational>| -> bool {
@@ -680,7 +810,7 @@ pub(crate) fn throughput_buffer_tradeoff_with_target(
     let mut curve = vec![ParetoPoint {
         capacities: caps.clone(),
         total: caps.iter().sum(),
-        period: period_at(g, &caps),
+        period: period_at(g, &caps, &seeder),
     }];
 
     let budget: u64 = peaks
@@ -701,7 +831,7 @@ pub(crate) fn throughput_buffer_tradeoff_with_target(
         let probe_period = |i: usize| -> Option<sdfr_maxplus::Rational> {
             let mut probe = caps.clone();
             probe[i] += 1;
-            period_at(g, &probe)
+            period_at(g, &probe, &seeder)
         };
         let periods: Vec<Option<sdfr_maxplus::Rational>> = if parallel {
             parallel_indexed(candidates.len(), |k| probe_period(candidates[k]))

@@ -7,6 +7,10 @@
 //!   (Algorithm 1, lines 1–11 of the paper; derived from Ghamarian et al.'s
 //!   throughput work), producing the `N×N` max-plus matrix over the `N`
 //!   initial tokens,
+//! - [`engine`] — the same algorithm as a resumable, checkpointable state
+//!   machine ([`SymbolicEngine`]) that can be paused at firing boundaries,
+//!   archived, and resumed or *forked* across a single-channel token delta
+//!   so near-identical graphs re-execute only the invalidated suffix,
 //! - [`throughput`](mod@throughput) — exact throughput via the spectral
 //!   (eigenvalue) method and via state-space periodicity detection, plus a
 //!   purely operational estimate from event-driven simulation,
@@ -53,6 +57,7 @@
 
 pub mod bottleneck;
 pub mod buffer;
+pub mod engine;
 pub mod latency;
 pub mod mcm;
 pub mod registry;
@@ -61,6 +66,7 @@ pub mod static_schedule;
 pub mod symbolic;
 pub mod throughput;
 
+pub use engine::{EngineArchive, IncrementalSeed, SymbolicEngine};
 pub use mcm::{CycleRatio, CycleRatioGraph};
 pub use registry::{RegistryConfig, RegistryStats, SessionRegistry};
 pub use session::{AnalysisSession, SessionArtifacts};

@@ -37,6 +37,19 @@
 //! counted as a collision and served from a private session rather than
 //! from the wrong entry.
 //!
+//! # Near hits
+//!
+//! A miss is not always fully cold. Entries are additionally indexed by
+//! [`SdfGraph::family_fingerprint`] — a token-blind structural hash — and a
+//! missing key whose family has resident members seeds the new session with
+//! an [`IncrementalSeed`]: the same graph under different budget caps
+//! *resumes* the member's archived engine, and a graph differing in a
+//! single channel's initial tokens *forks* it, re-executing only the
+//! invalidated suffix (see [`crate::engine`]). Determinacy makes the seeded
+//! answer byte-identical to a cold run — including budget accounting — so
+//! near hits are observable only in [`RegistryStats::near_hits`] and
+//! wall-clock time; lookup attribution stays [`Lookup::Miss`].
+//!
 //! # Eviction
 //!
 //! Entries are evicted least-recently-used first, whenever the entry count
@@ -79,9 +92,15 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use sdfr_graph::budget::Budget;
-use sdfr_graph::SdfGraph;
+use sdfr_graph::{ChannelId, SdfGraph};
 
+use crate::engine::IncrementalSeed;
 use crate::session::AnalysisSession;
+
+/// How many of a family's most recent members a miss inspects for a
+/// resumable or forkable engine archive. Small and constant: the scan runs
+/// under the registry lock.
+const NEAR_HIT_SCAN: usize = 8;
 
 /// Capacity limits for a [`SessionRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +168,10 @@ pub struct RegistryStats {
     /// Symbolic iterations executed by resident *and evicted* cached
     /// sessions (bypassed private sessions are not tracked).
     pub symbolic_iterations: u64,
+    /// Misses whose session was seeded from a resident family member's
+    /// engine archive (a resume across budget tiers or a fork across a
+    /// single-channel token delta) instead of starting fully cold.
+    pub near_hits: u64,
 }
 
 /// Cache key: graph content plus the budget's content signature.
@@ -167,11 +190,17 @@ struct Entry {
     bytes: u64,
     /// Logical timestamp of the last touch (monotone per registry).
     last_used: u64,
+    /// The graph's token-blind [`SdfGraph::family_fingerprint`], under
+    /// which this entry is listed in the family index.
+    family: u64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<Key, Entry>,
+    /// Token-blind family fingerprint → resident keys, in insertion order
+    /// (most recent last). Feeds the near-hit scan on misses.
+    families: HashMap<u64, Vec<Key>>,
     clock: u64,
     bytes: u64,
     hits: u64,
@@ -179,6 +208,7 @@ struct Inner {
     bypasses: u64,
     collisions: u64,
     evictions: u64,
+    near_hits: u64,
     /// Symbolic iterations performed by sessions already evicted.
     retired_symbolic: u64,
 }
@@ -288,6 +318,12 @@ impl SessionRegistry {
             Arc::clone(graph),
             budget.clone(),
         ));
+        let family = graph.family_fingerprint();
+        if let Some(seed) = Self::near_hit_seed(&inner, key, family, graph) {
+            if session.install_seed(seed) {
+                inner.near_hits += 1;
+            }
+        }
         let bytes = session.bytes_estimate();
         inner.map.insert(
             key,
@@ -295,12 +331,59 @@ impl SessionRegistry {
                 session: Arc::clone(&session),
                 bytes,
                 last_used: now,
+                family,
             },
         );
+        inner.families.entry(family).or_default().push(key);
         inner.bytes += bytes;
         inner.misses += 1;
         self.evict_locked(&mut inner, Some(key));
         (session, Lookup::Miss)
+    }
+
+    /// Scans the most recent resident members of `graph`'s structural
+    /// family (at most [`NEAR_HIT_SCAN`]) for an engine archive the new
+    /// session can start from: the same graph under different caps resumes,
+    /// a single-channel token delta under the same caps forks. A resume
+    /// wins over a fork — it keeps the whole archived prefix rather than
+    /// the part that predates the changed channel's first consume.
+    fn near_hit_seed(
+        inner: &Inner,
+        key: Key,
+        family: u64,
+        graph: &Arc<SdfGraph>,
+    ) -> Option<IncrementalSeed> {
+        let members = inner.families.get(&family)?;
+        let mut fork = None;
+        for cand in members.iter().rev().take(NEAR_HIT_SCAN) {
+            if *cand == key {
+                continue;
+            }
+            let Some(entry) = inner.map.get(cand) else {
+                continue;
+            };
+            let Some(base) = entry.session.engine_archive() else {
+                continue;
+            };
+            if cand.fingerprint == key.fingerprint {
+                // Same content under different caps (deep-compared, like a
+                // hit, to rule out fingerprint collisions).
+                if entry.session.graph().as_ref() == graph.as_ref() {
+                    return Some(IncrementalSeed { base, delta: None });
+                }
+            } else if fork.is_none()
+                && cand.max_firings == key.max_firings
+                && cand.max_size == key.max_size
+            {
+                if let Some(delta) = entry.session.graph().initial_token_delta(graph) {
+                    fork = Some(IncrementalSeed {
+                        base,
+                        delta: Some(delta),
+                    });
+                }
+            }
+        }
+        fork
     }
 
     /// Inserts an externally built (typically journal-restored) session
@@ -331,14 +414,17 @@ impl SessionRegistry {
         inner.clock += 1;
         let now = inner.clock;
         let bytes = session.bytes_estimate();
+        let family = session.graph().family_fingerprint();
         inner.map.insert(
             key,
             Entry {
                 session,
                 bytes,
                 last_used: now,
+                family,
             },
         );
+        inner.families.entry(family).or_default().push(key);
         inner.bytes += bytes;
         self.evict_locked(&mut inner, Some(key));
         true
@@ -385,9 +471,21 @@ impl SessionRegistry {
                 .map(|(k, _)| *k);
             let Some(victim) = victim else { return };
             if let Some(entry) = inner.map.remove(&victim) {
+                Self::unindex_family(&mut inner.families, entry.family, victim);
                 inner.bytes -= entry.bytes;
                 inner.retired_symbolic += entry.session.symbolic_iterations_computed();
                 inner.evictions += 1;
+            }
+        }
+    }
+
+    /// Drops `key` from its family's member list, removing the list once it
+    /// empties so the index never outgrows the resident set.
+    fn unindex_family(families: &mut HashMap<u64, Vec<Key>>, family: u64, key: Key) {
+        if let Some(members) = families.get_mut(&family) {
+            members.retain(|k| *k != key);
+            if members.is_empty() {
+                families.remove(&family);
             }
         }
     }
@@ -409,7 +507,38 @@ impl SessionRegistry {
             entries: inner.map.len(),
             bytes_estimate: inner.bytes,
             symbolic_iterations: resident + inner.retired_symbolic,
+            near_hits: inner.near_hits,
         }
+    }
+
+    /// Returns `true` when a session for exactly this `(fingerprint,
+    /// max_firings, max_size)` key is resident. Journal compaction probes
+    /// this to decide which persisted records still describe live state.
+    pub fn contains(
+        &self,
+        fingerprint: u64,
+        max_firings: Option<u64>,
+        max_size: Option<u64>,
+    ) -> bool {
+        self.inner
+            .lock()
+            .expect("registry mutex poisoned")
+            .map
+            .contains_key(&Key {
+                fingerprint,
+                max_firings,
+                max_size,
+            })
+    }
+
+    /// The content fingerprint a single-channel token variant of `base`
+    /// would be keyed under, computed without materialising the variant
+    /// graph: `fingerprint_delta(g, (c, d))` equals the
+    /// [`fingerprint`](SdfGraph::fingerprint) of `g` with channel `c`
+    /// carrying `d` initial tokens. Sweep front-ends use it with
+    /// [`Self::contains`] to probe a whole capacity family cheaply.
+    pub fn fingerprint_delta(base: &SdfGraph, change: (ChannelId, u64)) -> u64 {
+        base.fingerprint_with_tokens(change.0, change.1)
     }
 
     /// The number of resident sessions.
@@ -435,6 +564,7 @@ impl SessionRegistry {
             inner.retired_symbolic += entry.session.symbolic_iterations_computed();
             inner.evictions += 1;
         }
+        inner.families.clear();
         inner.bytes = 0;
     }
 }
@@ -449,6 +579,20 @@ mod tests {
         let y = b.actor("y", t_y);
         b.channel(x, y, 1, 1, 0).unwrap();
         b.channel(y, x, 1, 1, 1).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    /// The paper's Fig. 3 graph with the l→r channel carrying `d` tokens.
+    /// That channel is consumed only by the iteration's last firing, so all
+    /// `d` variants fork each other's archives across a long valid prefix.
+    fn fig3_ch0(d: u64) -> Arc<SdfGraph> {
+        let mut b = SdfGraph::builder("fig3");
+        let l = b.actor("left", 3);
+        let r = b.actor("right", 1);
+        b.channel(l, r, 1, 2, d).unwrap();
+        b.channel(r, l, 2, 1, 2).unwrap();
+        b.channel(l, l, 1, 1, 1).unwrap();
+        b.channel(r, r, 1, 1, 1).unwrap();
         Arc::new(b.build().unwrap())
     }
 
@@ -628,6 +772,102 @@ mod tests {
         let deadline = Budget::unlimited().with_deadline(std::time::Duration::from_secs(3600));
         let private = Arc::new(AnalysisSession::with_budget(Arc::clone(&g), deadline));
         assert!(!registry.restore(private));
+    }
+
+    #[test]
+    fn a_new_budget_tier_resumes_the_family_members_archive() {
+        let registry = SessionRegistry::new();
+        let g = fig3_ch0(0);
+        // Tier 1 exhausts mid-iteration and archives its partial prefix.
+        let tight = Budget::unlimited().with_max_firings(4);
+        let (first, l1) = registry.lookup(&g, &tight);
+        assert!(first.throughput().is_err(), "tier budget exhausts");
+        assert!(first.engine_archive().is_some(), "partial prefix archived");
+        // Tier 2 misses (different caps) but is seeded from tier 1.
+        let (second, l2) = registry.lookup(&g, &Budget::unlimited());
+        assert_eq!((l1, l2), (Lookup::Miss, Lookup::Miss));
+        assert_eq!(registry.stats().near_hits, 1);
+        let cold = AnalysisSession::new(Arc::clone(&g));
+        assert_eq!(
+            second.throughput().unwrap().period(),
+            cold.throughput().unwrap().period()
+        );
+        assert_eq!(
+            second.symbolic().unwrap().matrix,
+            cold.symbolic().unwrap().matrix
+        );
+        assert_eq!(second.spent(), cold.spent(), "budget accounting parity");
+    }
+
+    #[test]
+    fn token_variants_fork_the_family_members_archive() {
+        let registry = SessionRegistry::new();
+        let (base, _) = registry.lookup(&fig3_ch0(0), &Budget::unlimited());
+        let _ = base.throughput().unwrap();
+        let variant = fig3_ch0(3);
+        let (forked, l) = registry.lookup(&variant, &Budget::unlimited());
+        assert_eq!(l, Lookup::Miss, "attribution stays a miss");
+        assert_eq!(registry.stats().near_hits, 1);
+        let cold = AnalysisSession::new(Arc::clone(&variant));
+        assert_eq!(
+            forked.throughput().unwrap().period(),
+            cold.throughput().unwrap().period()
+        );
+        assert_eq!(
+            forked.symbolic().unwrap().matrix,
+            cold.symbolic().unwrap().matrix
+        );
+        assert_eq!(forked.spent(), cold.spent(), "budget accounting parity");
+        // A structurally different graph is in another family: fully cold.
+        let _ = registry.lookup(&cycle("g", 2, 3), &Budget::unlimited());
+        assert_eq!(registry.stats().near_hits, 1, "unrelated graphs stay cold");
+    }
+
+    #[test]
+    fn eviction_and_clear_retire_family_members() {
+        let registry = SessionRegistry::with_config(RegistryConfig {
+            max_entries: 1,
+            max_bytes: u64::MAX,
+        });
+        let (base, _) = registry.lookup(&fig3_ch0(0), &Budget::unlimited());
+        let _ = base.throughput().unwrap();
+        // An unrelated graph evicts the base: its archive is gone, so the
+        // variant that would have forked it runs cold.
+        let _ = registry.lookup(&cycle("g", 2, 3), &Budget::unlimited());
+        let (_, l) = registry.lookup(&fig3_ch0(3), &Budget::unlimited());
+        assert_eq!(l, Lookup::Miss);
+        assert_eq!(registry.stats().near_hits, 0, "evicted members do not seed");
+        registry.clear();
+        let _ = registry.lookup(&fig3_ch0(3), &Budget::unlimited());
+        assert_eq!(registry.stats().near_hits, 0, "cleared members do not seed");
+    }
+
+    #[test]
+    fn contains_and_fingerprint_delta_probe_residency() {
+        let registry = SessionRegistry::new();
+        let base = fig3_ch0(2);
+        let _ = registry.lookup(&base, &Budget::unlimited());
+        assert!(registry.contains(base.fingerprint(), None, None));
+        assert!(
+            !registry.contains(base.fingerprint(), Some(7), None),
+            "caps are part of the key"
+        );
+        // The delta fingerprint addresses a variant without building it.
+        let ch = sdfr_graph::ChannelId::from_index(0);
+        assert_eq!(
+            SessionRegistry::fingerprint_delta(&base, (ch, 5)),
+            fig3_ch0(5).fingerprint()
+        );
+        assert!(registry.contains(
+            SessionRegistry::fingerprint_delta(&base, (ch, 2)),
+            None,
+            None
+        ));
+        assert!(!registry.contains(
+            SessionRegistry::fingerprint_delta(&base, (ch, 5)),
+            None,
+            None
+        ));
     }
 
     #[test]

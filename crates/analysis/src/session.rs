@@ -59,7 +59,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use sdfr_graph::budget::{Budget, BudgetMeter};
 use sdfr_graph::repetition::{repetition_vector, RepetitionVector};
@@ -72,8 +72,9 @@ use crate::buffer::{
     minimize_capacities_with_target, sufficient_capacities_with_target,
     throughput_buffer_tradeoff_with_target, ParetoPoint,
 };
+use crate::engine::{EngineArchive, IncrementalSeed, SymbolicEngine};
 use crate::static_schedule::{rate_optimal_schedule_with_budget, StaticSchedule};
-use crate::symbolic::{symbolic_iteration_scheduled, SymbolicIteration};
+use crate::symbolic::SymbolicIteration;
 use crate::throughput::ThroughputAnalysis;
 
 /// A lazily-memoized result slot. Errors are cached too: the budget can only
@@ -128,6 +129,13 @@ pub struct AnalysisSession {
     sccs: Slot<Vec<Vec<usize>>>,
     bottleneck: Slot<Option<Bottleneck>>,
     makespan: Slot<Time>,
+    /// A delta-warm starting point installed before the symbolic phase runs
+    /// (near-hit resolution by the registry or a buffer-search seeder);
+    /// consumed by the first stamp-less symbolic computation.
+    seed: Mutex<Option<IncrementalSeed>>,
+    /// The archived engine state of this session's symbolic phase (complete
+    /// or budget-exhausted), available for later sessions to resume/fork.
+    archive: OnceLock<Arc<EngineArchive>>,
 }
 
 impl AnalysisSession {
@@ -160,7 +168,49 @@ impl AnalysisSession {
             sccs: OnceLock::new(),
             bottleneck: OnceLock::new(),
             makespan: OnceLock::new(),
+            seed: Mutex::new(None),
+            archive: OnceLock::new(),
         }
+    }
+
+    /// Installs a delta-warm starting point for the symbolic phase: when the
+    /// first (stamp-less) symbolic iteration runs, it resumes or forks from
+    /// `seed` instead of executing from scratch — with byte-identical
+    /// results, by SDF determinacy. Returns `false` (seed dropped) when the
+    /// symbolic iteration already ran, a seed is already installed, or the
+    /// session budget is not content-addressable (deadline/cancel budgets
+    /// make warm and cold runs observationally different, so they always
+    /// run cold).
+    pub fn install_seed(&self, seed: IncrementalSeed) -> bool {
+        if self.symbolic.get().is_some()
+            || self.symbolic_stamps.get().is_some()
+            || !self.budget.is_content_addressable()
+        {
+            return false;
+        }
+        let mut slot = self.seed.lock().expect("seed lock poisoned");
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(seed);
+        true
+    }
+
+    /// The archived engine state of this session's symbolic phase, once one
+    /// ran to completion or budget exhaustion under a content-addressable
+    /// budget. Later sessions resume or fork it via [`IncrementalSeed`].
+    pub fn engine_archive(&self) -> Option<Arc<EngineArchive>> {
+        self.archive.get().cloned()
+    }
+
+    /// Attaches a previously persisted engine archive (journal restore).
+    /// Returns `false` when the archive belongs to a different graph or one
+    /// is already resident.
+    pub fn attach_archive(&self, archive: Arc<EngineArchive>) -> bool {
+        if **archive.graph() != *self.graph {
+            return false;
+        }
+        self.archive.set(archive).is_ok()
     }
 
     /// The graph under analysis.
@@ -292,6 +342,9 @@ impl AnalysisSession {
         if let Some(Ok(sccs)) = self.sccs.get() {
             bytes += sccs.iter().map(|c| c.len() as u64 * 8 + 24).sum::<u64>();
         }
+        if let Some(archive) = self.archive.get() {
+            bytes += archive.entries() * MP_VALUE_BYTES + archive.num_checkpoints() as u64 * 64;
+        }
         // Eigenvalue, bottleneck, makespan: small fixed-size artifacts.
         bytes + 128
     }
@@ -410,9 +463,63 @@ impl AnalysisSession {
         let gamma = self.repetition_vector()?;
         self.miss();
         self.symbolic_runs.fetch_add(1, Ordering::Relaxed);
+
+        // Engines are archived (and seeds honoured) only for stamp-less runs
+        // under content-addressable budgets: stamped iterations would need
+        // the skipped prefix's stamps, and deadline/cancel budgets make
+        // warm-vs-cold observationally different.
+        let reusable = !record_stamps && self.budget.is_content_addressable();
+        let seed = if reusable {
+            self.seed.lock().expect("seed lock poisoned").take()
+        } else {
+            None
+        };
+
         self.with_meter(|m| {
-            symbolic_iteration_scheduled(&self.graph, gamma, schedule, record_stamps, m)
+            // Warm path: resume or fork the seeded base. Budget accounting
+            // replicates the cold run exactly (`charge_skipped`), so results
+            // — including Exhausted errors — are byte-identical.
+            if let Some(mut engine) = seed.as_ref().and_then(|s| s.make_engine(&self.graph)) {
+                engine.enable_checkpoints();
+                let run = engine.charge_skipped(m).and_then(|()| {
+                    if engine.is_forked() {
+                        engine.run_greedy(m)
+                    } else {
+                        engine.run_scheduled(schedule, m)
+                    }
+                });
+                return self.settle_engine(engine, run, reusable);
+            }
+
+            // Cold path: the plain scheduled execution, with checkpoints
+            // recorded when the state may be reused later.
+            let mut engine = SymbolicEngine::new(self.graph.clone(), gamma, record_stamps, m)?;
+            if reusable {
+                engine.enable_checkpoints();
+            }
+            let run = engine.run_scheduled(schedule, m);
+            self.settle_engine(engine, run, reusable)
         })
+    }
+
+    /// Archives the engine's state when worthwhile, then converts the run
+    /// outcome into the symbolic result. Archives are kept on success *and*
+    /// on budget exhaustion — a later session with a higher cap resumes the
+    /// partial prefix — but not on deadlock/overflow (re-running cannot
+    /// change those) and not when the state outgrew the snapshot gate.
+    fn settle_engine(
+        &self,
+        engine: SymbolicEngine,
+        run: Result<(), SdfError>,
+        reusable: bool,
+    ) -> Result<SymbolicIteration, SdfError> {
+        let keep = reusable
+            && engine.is_compact()
+            && matches!(&run, Ok(()) | Err(SdfError::Exhausted { .. }));
+        if keep {
+            let _ = self.archive.set(engine.archive());
+        }
+        run.map(|()| engine.finish())
     }
 
     /// The max-plus eigenvalue λ of the iteration matrix — the iteration
@@ -734,6 +841,124 @@ mod tests {
         let restored = AnalysisSession::with_budget(g, Budget::unlimited().with_max_firings(4));
         assert!(restored.import_artifacts(&artifacts));
         assert_eq!(restored.throughput().unwrap_err(), err);
+    }
+
+    #[test]
+    fn seeded_sessions_answer_byte_identically_to_cold_ones() {
+        // Warm a base session; its engine archive seeds (a) a resume of the
+        // same graph and (b) forks across a one-channel token delta. Every
+        // seeded answer must equal the cold session's bit for bit.
+        let base = AnalysisSession::new(fig3());
+        let _ = base.throughput().unwrap();
+        let archive = base
+            .engine_archive()
+            .expect("content-addressable run archives");
+        assert!(archive.completed());
+
+        // (a) Resume: same graph, fresh session.
+        let resumed = AnalysisSession::new(fig3());
+        assert!(resumed.install_seed(IncrementalSeed {
+            base: archive.clone(),
+            delta: None,
+        }));
+        let cold = AnalysisSession::new(fig3());
+        assert_eq!(resumed.throughput().unwrap(), cold.throughput().unwrap());
+        assert_eq!(
+            resumed.symbolic().unwrap().matrix,
+            cold.symbolic().unwrap().matrix
+        );
+        assert_eq!(resumed.spent(), cold.spent(), "budget accounting parity");
+
+        // (b) Fork: vary the l→r channel (consumed last in the schedule).
+        let mut b = SdfGraph::builder("fig3");
+        let l = b.actor("left", 3);
+        let r = b.actor("right", 1);
+        b.channel(l, r, 1, 2, 3).unwrap();
+        b.channel(r, l, 2, 1, 2).unwrap();
+        b.channel(l, l, 1, 1, 1).unwrap();
+        b.channel(r, r, 1, 1, 1).unwrap();
+        let variant = b.build().unwrap();
+        let delta = base.graph().initial_token_delta(&variant).unwrap();
+        let forked = AnalysisSession::new(variant.clone());
+        assert!(forked.install_seed(IncrementalSeed {
+            base: archive,
+            delta: Some(delta),
+        }));
+        let cold = AnalysisSession::new(variant);
+        assert_eq!(forked.throughput().unwrap(), cold.throughput().unwrap());
+        assert_eq!(
+            forked.symbolic().unwrap().matrix,
+            cold.symbolic().unwrap().matrix
+        );
+        assert_eq!(forked.spent(), cold.spent(), "budget accounting parity");
+    }
+
+    #[test]
+    fn seeds_are_refused_when_stale_or_non_addressable() {
+        let base = AnalysisSession::new(fig3());
+        let _ = base.throughput().unwrap();
+        let archive = base.engine_archive().unwrap();
+        let seed = IncrementalSeed {
+            base: archive.clone(),
+            delta: None,
+        };
+        // Already-computed symbolic: refused.
+        assert!(!base.install_seed(seed.clone()));
+        // Deadline budgets run cold by design.
+        let deadlined = AnalysisSession::with_budget(
+            fig3(),
+            Budget::unlimited().with_deadline(std::time::Duration::from_secs(3600)),
+        );
+        assert!(!deadlined.install_seed(seed.clone()));
+        assert!(deadlined.throughput().is_ok());
+        assert!(
+            deadlined.engine_archive().is_none(),
+            "no archive under deadline"
+        );
+        // Double install: refused.
+        let fresh = AnalysisSession::new(fig3());
+        assert!(fresh.install_seed(seed.clone()));
+        assert!(!fresh.install_seed(seed));
+    }
+
+    #[test]
+    fn exhausted_sessions_archive_their_partial_prefix() {
+        // Cap 4: schedule (3) passes, symbolic dies after 1 firing. The
+        // partial engine is archived so a higher-cap session can resume it.
+        let s = AnalysisSession::with_budget(fig3(), Budget::unlimited().with_max_firings(4));
+        let err = s.throughput().unwrap_err();
+        assert!(matches!(err, SdfError::Exhausted { .. }));
+        let archive = s.engine_archive().expect("partial archive kept");
+        assert!(!archive.completed());
+        assert_eq!(archive.firings_done(), 1);
+
+        // Resume under an ample budget: same answer as a cold ample run.
+        let resumed = AnalysisSession::new(fig3());
+        assert!(resumed.install_seed(IncrementalSeed {
+            base: archive,
+            delta: None,
+        }));
+        let cold = AnalysisSession::new(fig3());
+        assert_eq!(resumed.throughput().unwrap(), cold.throughput().unwrap());
+        assert_eq!(resumed.spent(), cold.spent());
+    }
+
+    #[test]
+    fn attach_archive_verifies_the_graph() {
+        let base = AnalysisSession::new(fig3());
+        let _ = base.throughput().unwrap();
+        let archive = base.engine_archive().unwrap();
+        let same = AnalysisSession::new(fig3());
+        assert!(same.attach_archive(archive.clone()));
+        assert!(
+            !same.attach_archive(archive.clone()),
+            "second attach refused"
+        );
+        let mut b = SdfGraph::builder("other");
+        let x = b.actor("x", 1);
+        b.channel(x, x, 1, 1, 1).unwrap();
+        let other = AnalysisSession::new(b.build().unwrap());
+        assert!(!other.attach_archive(archive));
     }
 
     #[test]

@@ -10,12 +10,13 @@
 //! Because SDF execution is determinate, the resulting matrix does not
 //! depend on the particular sequential schedule.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use sdfr_graph::budget::{Budget, BudgetMeter};
 use sdfr_graph::repetition::{repetition_vector, RepetitionVector};
 use sdfr_graph::schedule::{sequential_schedule_metered, Schedule};
-use sdfr_graph::{ActorId, ChannelId, SdfError, SdfGraph};
+use sdfr_graph::{ChannelId, SdfError, SdfGraph};
 use sdfr_maxplus::{MpMatrix, MpVector};
 
 /// Identifies one initial token: the `position`-th token (FIFO order, 0 is
@@ -60,6 +61,28 @@ impl SymbolicIteration {
     /// The global index of the token at `reference`, if it exists. O(1).
     pub fn token_index(&self, reference: TokenRef) -> Option<usize> {
         self.token_lookup.get(&reference).copied()
+    }
+
+    /// Assembles an iteration result from its parts, building the O(1)
+    /// token-lookup map. Used by [`crate::engine::SymbolicEngine::finish`].
+    pub(crate) fn from_parts(
+        matrix: MpMatrix,
+        tokens: Vec<TokenRef>,
+        gamma: RepetitionVector,
+        firing_stamps: Option<Vec<Vec<(MpVector, MpVector)>>>,
+    ) -> Self {
+        let token_lookup = tokens
+            .iter()
+            .enumerate()
+            .map(|(idx, t)| (*t, idx))
+            .collect();
+        SymbolicIteration {
+            matrix,
+            tokens,
+            gamma,
+            firing_stamps,
+            token_lookup,
+        }
     }
 }
 
@@ -203,134 +226,10 @@ pub fn symbolic_iteration_scheduled(
     record_stamps: bool,
     meter: &mut BudgetMeter<'_>,
 ) -> Result<SymbolicIteration, SdfError> {
-    let token_total = g
-        .channels()
-        .try_fold(0u64, |s, (_, ch)| s.checked_add(ch.initial_tokens()))
-        .ok_or(SdfError::Overflow {
-            what: "initial token count",
-        })?;
-    meter.check_size(token_total)?;
-
-    // Assign global indices to initial tokens: channels in id order, FIFO
-    // position within a channel (head first).
-    let mut tokens = Vec::new();
-    for (cid, ch) in g.channels() {
-        for position in 0..ch.initial_tokens() {
-            tokens.push(TokenRef {
-                channel: cid,
-                position,
-            });
-        }
-    }
-    let n = tokens.len();
-
-    // FIFO queues of symbolic stamps per channel, run-length encoded: a
-    // producer firing pushes `p` identical stamps, which one (stamp, count)
-    // run represents. This keeps the iteration cost proportional to the
-    // number of firings rather than the number of tokens moved (mp3-class
-    // graphs move millions of tokens per iteration).
-    let mut queues: Vec<VecDeque<(MpVector, u64)>> =
-        g.channels().map(|_| VecDeque::new()).collect();
-    for (idx, t) in tokens.iter().enumerate() {
-        queues[t.channel.index()].push_back((MpVector::unit(n, idx), 1));
-    }
-
-    let mut stamps: Option<Vec<Vec<(MpVector, MpVector)>>> =
-        record_stamps.then(|| vec![Vec::new(); g.num_actors()]);
-
-    for &actor in schedule.firings() {
-        // Each symbolic firing does O(N) stamp work; charge it so firing
-        // caps and deadlines also bound the matrix-construction phase.
-        meter.spend(1)?;
-        fire_symbolically(g, actor, n, &mut queues, stamps.as_mut())?;
-    }
-
-    // The iteration returns every queue to its initial length; read the
-    // final stamps in global token order by walking the runs.
-    let mut rows: Vec<MpVector> = Vec::with_capacity(n);
-    for t in &tokens {
-        let q = &queues[t.channel.index()];
-        debug_assert_eq!(
-            q.iter().map(|(_, c)| c).sum::<u64>(),
-            g.channel(t.channel).initial_tokens(),
-            "iteration must restore the token distribution"
-        );
-        let mut pos = t.position;
-        let mut found = None;
-        for (stamp, count) in q {
-            if pos < *count {
-                found = Some(stamp.clone());
-                break;
-            }
-            pos -= count;
-        }
-        rows.push(found.expect("token position within restored queue"));
-    }
-    let matrix = MpMatrix::from_row_vectors(rows).expect("rows share length N");
-
-    let token_lookup = tokens
-        .iter()
-        .enumerate()
-        .map(|(idx, t)| (*t, idx))
-        .collect();
-
-    Ok(SymbolicIteration {
-        matrix,
-        tokens,
-        gamma: gamma.clone(),
-        firing_stamps: stamps,
-        token_lookup,
-    })
-}
-
-/// Fires `actor` once, symbolically: pops `c` stamps from every input FIFO,
-/// joins them into the start stamp, shifts by the execution time, and pushes
-/// the end stamp `p` times onto every output FIFO.
-///
-/// # Errors
-///
-/// [`SdfError::Overflow`] if shifting by the execution time overflows a
-/// stamp entry — reachable with user-supplied execution times near
-/// `i64::MAX` accumulated over many firings.
-fn fire_symbolically(
-    g: &SdfGraph,
-    actor: ActorId,
-    n: usize,
-    queues: &mut [VecDeque<(MpVector, u64)>],
-    stamps: Option<&mut Vec<Vec<(MpVector, MpVector)>>>,
-) -> Result<(), SdfError> {
-    let mut start = MpVector::neg_inf(n);
-    for &cid in g.incoming(actor) {
-        let ch = g.channel(cid);
-        let mut need = ch.consumption();
-        while need > 0 {
-            let (stamp, count) = queues[cid.index()]
-                .front_mut()
-                .expect("sequential schedule guarantees token availability");
-            // Invariant: every stamp in every queue has length N.
-            start = start.join(stamp).expect("stamps share length N");
-            if *count > need {
-                *count -= need;
-                need = 0;
-            } else {
-                need -= *count;
-                queues[cid.index()].pop_front();
-            }
-        }
-    }
-    let end = start
-        .checked_shift(g.actor(actor).execution_time())
-        .ok_or(SdfError::Overflow {
-            what: "symbolic time stamp (accumulated execution times)",
-        })?;
-    for &cid in g.outgoing(actor) {
-        let ch = g.channel(cid);
-        queues[cid.index()].push_back((end.clone(), ch.production()));
-    }
-    if let Some(stamps) = stamps {
-        stamps[actor.index()].push((start, end));
-    }
-    Ok(())
+    let mut engine =
+        crate::engine::SymbolicEngine::new(Arc::new(g.clone()), gamma, record_stamps, meter)?;
+    engine.run_scheduled(schedule, meter)?;
+    Ok(engine.finish())
 }
 
 #[cfg(test)]

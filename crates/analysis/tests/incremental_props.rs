@@ -1,0 +1,187 @@
+//! Differential property tests for the incremental [`SymbolicEngine`]:
+//! a session seeded from another session's [`EngineArchive`] — resumed
+//! under a higher budget, or forked across a one-channel token delta —
+//! must be observationally *byte-identical* to a cold run of the same
+//! graph under the same budget. Identical results (period, matrix, token
+//! layout), identical errors (deadlock, exhaustion — including the exact
+//! `spent`/`limit` payload), identical budget accounting.
+//!
+//! The contract under test (ISSUE acceptance criteria):
+//!
+//! - for random consistent graphs and random one-channel token deltas,
+//!   fork/resume equals a fresh `symbolic_iteration` run byte for byte;
+//! - budget exhaustion mid-resume reproduces the cold exhaustion exactly
+//!   (same error payload, same total spend) via skipped-prefix charging;
+//! - tokenless/deadlocked targets (zero-token rings) fail identically
+//!   warm and cold;
+//! - a seed whose delta does not describe the target graph is ignored:
+//!   the session falls back to a cold run, never to a wrong answer.
+//!
+//! [`SymbolicEngine`]: sdfr_analysis::SymbolicEngine
+//! [`EngineArchive`]: sdfr_analysis::EngineArchive
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sdfr_analysis::{AnalysisSession, IncrementalSeed};
+use sdfr_graph::budget::Budget;
+use sdfr_graph::{ChannelId, SdfGraph};
+use sdfr_maxplus::Rational;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A randomly shaped but always-consistent graph: a ring of `n` actors
+/// whose channel rates are derived from a per-actor firing count `q`, so
+/// every balance equation holds by construction. Deadlock stays possible
+/// (token vectors may be all zero); inconsistency does not.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    exec: Vec<i64>,
+    q: Vec<u64>,
+    tokens: Vec<u64>,
+}
+
+impl RandomGraph {
+    fn build(&self) -> Arc<SdfGraph> {
+        let n = self.q.len();
+        let mut b = SdfGraph::builder("random");
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.actor(format!("a{i}"), self.exec[i]))
+            .collect();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            let g = gcd(self.q[i], self.q[j]);
+            b.channel(ids[i], ids[j], self.q[j] / g, self.q[i] / g, self.tokens[i])
+                .expect("rates derived from q are nonzero");
+        }
+        Arc::new(b.build().expect("ring graphs are well-formed"))
+    }
+
+    fn with_tokens(&self, channel: usize, tokens: u64) -> RandomGraph {
+        let mut variant = self.clone();
+        let slot = channel % variant.tokens.len();
+        variant.tokens[slot] = tokens;
+        variant
+    }
+}
+
+fn random_graph() -> impl Strategy<Value = RandomGraph> {
+    (2usize..=5).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0i64..=10, n),
+            proptest::collection::vec(1u64..=4, n),
+            proptest::collection::vec(0u64..=6, n),
+        )
+            .prop_map(|(exec, q, tokens)| RandomGraph { exec, q, tokens })
+    })
+}
+
+/// Everything observable about a finished session, in one comparable
+/// value: the throughput outcome (period or structured error), the
+/// symbolic matrix rendering when one exists, and the budget spend.
+fn observe(
+    session: &AnalysisSession,
+) -> (
+    Result<Option<Rational>, sdfr_graph::SdfError>,
+    Option<String>,
+    u64,
+) {
+    let throughput = session.throughput().map(|t| t.period());
+    let matrix = session.symbolic().ok().map(|s| format!("{:?}", s.matrix));
+    (throughput, matrix, session.spent())
+}
+
+/// Runs `target` cold and seeded-from-`base`, asserting byte identity.
+/// Returns `true` when the seed actually installed (for coverage
+/// accounting in the caller); a refused seed still must match cold.
+fn assert_seeded_matches_cold(
+    base: &AnalysisSession,
+    target: &Arc<SdfGraph>,
+    budget: &Budget,
+) -> Result<bool, TestCaseError> {
+    let Some(archive) = base.engine_archive() else {
+        return Ok(false); // nothing to seed from: vacuously consistent
+    };
+    let delta = base.graph().initial_token_delta(target);
+    let cold = AnalysisSession::with_budget(Arc::clone(target), budget.clone());
+    let warm = AnalysisSession::with_budget(Arc::clone(target), budget.clone());
+    let installed = warm.install_seed(IncrementalSeed {
+        base: archive,
+        delta,
+    });
+    prop_assert_eq!(observe(&warm), observe(&cold));
+    Ok(installed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A one-channel token delta forked from a fully warmed base — and the
+    /// degenerate delta (same tokens, resume path) — answers exactly like
+    /// a cold session: same period, same matrix, same error, same spend.
+    /// Zero-token targets exercise the deadlocked case.
+    #[test]
+    fn forked_sessions_match_cold_runs(
+        g in random_graph(),
+        channel in 0usize..5,
+        d_new in 0u64..=6,
+    ) {
+        let base_graph = g.build();
+        let base = AnalysisSession::new(Arc::clone(&base_graph));
+        let _ = base.throughput(); // warm (or deadlock — both archive states are valid inputs)
+        let target = g.with_tokens(channel, d_new).build();
+        assert_seeded_matches_cold(&base, &target, &Budget::unlimited())?;
+    }
+
+    /// Resuming a partial archive under a *larger* cap — and re-running a
+    /// fork under a cap that exhausts again mid-resume — reproduces the
+    /// cold outcome byte for byte, including `Exhausted { spent, limit }`
+    /// payloads and total budget accounting.
+    #[test]
+    fn budget_exhaustion_mid_resume_matches_cold(
+        g in random_graph(),
+        channel in 0usize..5,
+        d_new in 0u64..=6,
+        base_cap in 1u64..=12,
+        target_cap in 1u64..=24,
+    ) {
+        let base_graph = g.build();
+        let tight = Budget::unlimited().with_max_firings(base_cap);
+        let base = AnalysisSession::with_budget(Arc::clone(&base_graph), tight);
+        let _ = base.throughput(); // may exhaust mid-iteration: partial archive
+        let target = g.with_tokens(channel, d_new).build();
+        let budget = Budget::unlimited().with_max_firings(target_cap);
+        assert_seeded_matches_cold(&base, &target, &budget)?;
+    }
+
+    /// A seed whose delta does not describe the target graph (here: the
+    /// base's own delta applied to an unrelated ring) is rejected by the
+    /// engine and the session falls back to a cold run — never a wrong
+    /// answer, never a panic.
+    #[test]
+    fn mismatched_seeds_degrade_to_cold_runs(
+        g in random_graph(),
+        other in random_graph(),
+        bogus_channel in 0usize..5,
+    ) {
+        let base = AnalysisSession::new(g.build());
+        let _ = base.throughput();
+        let Some(archive) = base.engine_archive() else { return Ok(()); };
+        let target = other.build();
+        let cold = AnalysisSession::new(Arc::clone(&target));
+        let warm = AnalysisSession::new(Arc::clone(&target));
+        let bogus = ChannelId::from_index(bogus_channel % target.channels().count());
+        let _ = warm.install_seed(IncrementalSeed {
+            base: archive,
+            delta: Some((bogus, 0, 1)),
+        });
+        prop_assert_eq!(observe(&warm), observe(&cold));
+    }
+}

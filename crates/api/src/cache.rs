@@ -134,6 +134,13 @@ pub struct CacheRecord {
     /// `Σγ` firings of the sequential schedule, when it was resident —
     /// schedule metadata for observability, not restored into the session.
     pub schedule_firings: Option<u64>,
+    /// The `sdfr-engine/1` wire encoding of the session's archived engine
+    /// state, when one was resident and compact enough to persist. A
+    /// restarted server attaches it to the rebuilt session so later
+    /// requests resume or fork the checkpointed execution instead of
+    /// starting cold. Absent (or `null`) on records written before the
+    /// field existed — restores then simply run cold.
+    pub engine: Option<String>,
 }
 
 impl CacheRecord {
@@ -195,6 +202,12 @@ impl CacheRecord {
                 let _ = write!(out, ",\"schedule_firings\":{n}");
             }
             None => out.push_str(",\"schedule_firings\":null"),
+        }
+        match &self.engine {
+            Some(wire) => {
+                let _ = write!(out, ",\"engine\":{}", escape_str(wire));
+            }
+            None => out.push_str(",\"engine\":null"),
         }
         let crc = crc32(out.as_bytes());
         let _ = write!(out, ",\"crc\":\"{crc:08x}\"}}");
@@ -314,6 +327,15 @@ impl CacheRecord {
                 .and_then(Value::as_u64)
                 .ok_or_else(|| "record has no \"spent\"".to_string())?,
             schedule_firings: cap("schedule_firings")?,
+            engine: match v.get("engine") {
+                None | Some(Value::Null) => None,
+                Some(value) => Some(
+                    value
+                        .as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "\"engine\" must be a string or null".to_string())?,
+                ),
+            },
         })
     }
 }
@@ -407,6 +429,7 @@ mod tests {
             outcome: CachedOutcome::Period { num: 5, den: 1 },
             spent: 7,
             schedule_firings: Some(2),
+            engine: None,
         }
     }
 
@@ -443,6 +466,26 @@ mod tests {
             let back = CacheRecord::from_json_line(&line).unwrap();
             assert_eq!(back, record);
         }
+    }
+
+    #[test]
+    fn engine_field_round_trips_and_tolerates_absence() {
+        // A persisted engine wire string survives the round trip.
+        let record = CacheRecord {
+            engine: Some("sdfr-engine/1|4|3|2,1|0,!,1,1|3;2,1;4,3:1@0.!.2|".into()),
+            ..sample()
+        };
+        let line = record.to_json_line();
+        assert_eq!(CacheRecord::from_json_line(&line).unwrap(), record);
+        // Pre-engine records (no field at all) still parse: engine is None.
+        let line = sample().to_json_line();
+        let stripped = line.replace(",\"engine\":null", "");
+        let idx = stripped.rfind(",\"crc\":\"").unwrap();
+        let crc = crc32(&stripped.as_bytes()[..idx]);
+        let legacy = format!("{}{}{crc:08x}\"}}", &stripped[..idx], ",\"crc\":\"");
+        let back = CacheRecord::from_json_line(&legacy).unwrap();
+        assert_eq!(back, sample());
+        assert_eq!(back.engine, None);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Measures what [`EngineArchive::fork`] buys on a capacity-probe family:
+//! one graph, one channel's initial tokens varied across 8 probes — the
+//! exact shape a buffer-capacity search generates.
+//!
+//! The family is a three-stage pipeline `src → mid → sink` with unit-rate
+//! self-loops serializing the stages: `src` and `mid` fire `K` times per
+//! iteration, `sink` consumes a full batch of `K` tokens in the one firing
+//! that closes the iteration. The probed channel is `mid → sink`, built
+//! last, with its initial tokens (the modelled buffer capacity) varied
+//! across probes. Those tokens are consumed only by the final firing, so
+//! every checkpoint of the base run survives the token delta and a fork
+//! re-executes only the last checkpoint stride of the `2K + 1` firings.
+//!
+//! - **cold**: a fresh [`SymbolicEngine`] runs the full iteration for each
+//!   probe — the serial oracle;
+//! - **warm**: each probe forks the shared base archive and runs only the
+//!   invalidated suffix (prefix charged to the budget, never re-executed).
+//!
+//! Only matrix construction is timed; every forked matrix is asserted
+//! byte-identical to its cold oracle before any number is reported.
+//!
+//! Usage: `cargo run --release -p sdfr-bench --bin family_bench`
+//!
+//! Writes `BENCH_family.json` (shared `sdfr-bench/1` schema, see
+//! [`sdfr_bench::report`]) into the current directory and prints a
+//! human-readable table. Exits non-zero when the fork speedup falls below
+//! `SDFR_BENCH_MIN_SPEEDUP` (default 5.0) on any probe.
+//!
+//! [`EngineArchive::fork`]: sdfr_analysis::EngineArchive::fork
+//! [`SymbolicEngine`]: sdfr_analysis::SymbolicEngine
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sdfr_analysis::symbolic::SymbolicIteration;
+use sdfr_analysis::{EngineArchive, IncrementalSeed, SymbolicEngine};
+use sdfr_bench::report::{threshold_from_env, BenchCase, BenchReport};
+use sdfr_graph::budget::Budget;
+use sdfr_graph::repetition::repetition_vector;
+use sdfr_graph::SdfGraph;
+
+/// Stage repetition count; one iteration is `2K + 1` firings. The probed
+/// tokens are consumed only by the final firing, so the fork suffix is the
+/// last checkpoint stride — a handful of firings out of `2K + 1`.
+const K: u64 = 4096;
+/// Initial-token values probed on the varied channel.
+const PROBES: u64 = 8;
+/// Timing repetitions; the minimum is reported.
+const REPS: u32 = 7;
+
+/// Builds one family member. The probed channel is built last so probe
+/// variants splice only the tail of the token index. The pipeline stages
+/// are zero-time so the batch pending on the probed channel collapses to
+/// a single RLE run — the compact-state regime the engine's checkpoints
+/// are designed around; only the closing `sink` firing carries time.
+fn family_member(probe_tokens: u64) -> Arc<SdfGraph> {
+    let mut b = SdfGraph::builder("family");
+    let src = b.actor("src", 0);
+    let mid = b.actor("mid", 0);
+    let sink = b.actor("sink", 3);
+    b.channel(src, src, 1, 1, 1).expect("unit self-loop");
+    b.channel(src, mid, 1, 1, 0).expect("unit link");
+    b.channel(mid, mid, 1, 1, 1).expect("unit self-loop");
+    b.channel(mid, sink, 1, K, probe_tokens)
+        .expect("batch link");
+    Arc::new(b.build().expect("pipelines are well-formed"))
+}
+
+/// Full cold iteration: fresh engine, every firing executed.
+fn cold_run(g: &Arc<SdfGraph>) -> (Duration, SymbolicIteration) {
+    let budget = Budget::unlimited();
+    let gamma = repetition_vector(g).expect("pipelines are consistent");
+    let t0 = Instant::now();
+    let mut meter = budget.meter();
+    let mut engine =
+        SymbolicEngine::new(Arc::clone(g), &gamma, false, &mut meter).expect("within budget");
+    engine.run_greedy(&mut meter).expect("pipelines are live");
+    (t0.elapsed(), engine.finish())
+}
+
+/// Forked iteration: inherit the base prefix, execute only the suffix.
+/// Returns the result plus the number of inherited (skipped) firings.
+fn forked_run(
+    base: &Arc<EngineArchive>,
+    g: &Arc<SdfGraph>,
+) -> (Duration, (SymbolicIteration, u64)) {
+    let budget = Budget::unlimited();
+    let delta = base.graph().initial_token_delta(g);
+    let t0 = Instant::now();
+    let seed = IncrementalSeed {
+        base: Arc::clone(base),
+        delta,
+    };
+    let mut engine = seed.make_engine(g).expect("family members fork");
+    assert!(
+        engine.skipped_firings() > 0,
+        "the fork must inherit a prefix, or the benchmark measures nothing"
+    );
+    let skipped = engine.skipped_firings();
+    let mut meter = budget.meter();
+    engine.charge_skipped(&mut meter).expect("unlimited budget");
+    engine.run_greedy(&mut meter).expect("pipelines are live");
+    (t0.elapsed(), (engine.finish(), skipped))
+}
+
+fn min_of<T>(reps: u32, mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
+    let (mut best, mut value) = f();
+    for _ in 1..reps {
+        let (d, v) = f();
+        if d < best {
+            best = d;
+            value = v;
+        }
+    }
+    (best, value)
+}
+
+fn main() {
+    // The shared base archive every probe forks from: the d=0 member, run
+    // once with checkpointing on.
+    let base_graph = family_member(0);
+    let gamma = repetition_vector(&base_graph).expect("pipelines are consistent");
+    let budget = Budget::unlimited();
+    let mut meter = budget.meter();
+    let mut base_engine = SymbolicEngine::new(Arc::clone(&base_graph), &gamma, false, &mut meter)
+        .expect("within budget");
+    base_engine.enable_checkpoints();
+    base_engine
+        .run_greedy(&mut meter)
+        .expect("pipelines are live");
+    let archive = base_engine.archive();
+
+    let mut cases = Vec::new();
+    println!(
+        "Capacity-probe family benchmark ({} firings/iteration, times in µs, min of {REPS} reps)\n",
+        2 * K + 1
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>9}",
+        "probe", "cold", "forked", "speedup", "skipped"
+    );
+    for d in 1..=PROBES {
+        let target = family_member(d);
+        let (cold, oracle) = min_of(REPS, || cold_run(&target));
+        let (warm, (forked, skipped)) = min_of(REPS, || forked_run(&archive, &target));
+        assert_eq!(
+            forked.matrix, oracle.matrix,
+            "probe d={d}: forked matrix must be byte-identical to the cold oracle"
+        );
+        assert_eq!(
+            forked.tokens, oracle.tokens,
+            "probe d={d}: forked token layout must match the cold oracle"
+        );
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>8.1}x {:>9}",
+            format!("d={d}"),
+            cold.as_secs_f64() * 1e6,
+            warm.as_secs_f64() * 1e6,
+            cold.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+            skipped,
+        );
+        cases.push(BenchCase {
+            name: format!("probe_d{d}"),
+            threads: 1,
+            cold,
+            warm,
+            extra: vec![
+                ("iteration_firings".to_string(), (2 * K + 1).to_string()),
+                ("skipped_firings".to_string(), skipped.to_string()),
+            ],
+        });
+    }
+
+    let report = BenchReport {
+        benchmark: "family",
+        suite: "capacity-probe-pipeline",
+        cases,
+    };
+    let path = report.write().expect("write BENCH_family.json");
+    println!("\nwrote {path}");
+
+    let bar = threshold_from_env("SDFR_BENCH_MIN_SPEEDUP", 5.0);
+    let min_speedup = report.min_speedup();
+    if min_speedup < bar {
+        eprintln!("FAIL: fork speedup {min_speedup:.1}x below the {bar:.1}x bar");
+        std::process::exit(1);
+    }
+}

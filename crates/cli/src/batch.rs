@@ -1,5 +1,9 @@
 //! The `sdfr batch` subcommand: many graphs (or one graph at many budget
 //! tiers) per invocation, analysed through a shared [`SessionRegistry`].
+//! A `--tiers` ladder is incremental for free: every tier of a file shares
+//! the graph fingerprint, so when a starved tier leaves a partial engine
+//! checkpoint behind, the registry's near-hit path seeds the next tier's
+//! session from it and only the unexecuted firing suffix runs.
 //!
 //! Each unit of work — one `(file, tier)` pair — is analysed with the PR 1
 //! degradation semantics of `sdfr analyze` and reported as **one JSON line**

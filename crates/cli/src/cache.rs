@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sdfr_analysis::registry::SessionRegistry;
-use sdfr_analysis::{AnalysisSession, SessionArtifacts};
+use sdfr_analysis::{AnalysisSession, EngineArchive, SessionArtifacts};
 use sdfr_api::cache::{CacheRecord, CachedOutcome, CachedResource};
 use sdfr_graph::budget::{Budget, BudgetResource};
 use sdfr_graph::SdfError;
@@ -29,6 +29,11 @@ use crate::CliError;
 
 /// The journal file name inside `--cache-dir`.
 const JOURNAL_FILE: &str = "journal.sdfr-cache";
+
+/// The default `--cache-compact-bytes` threshold: once the journal file
+/// grows past this, the next persist rewrites it keeping only records
+/// whose registry key is still resident.
+pub(crate) const DEFAULT_COMPACT_BYTES: u64 = 1 << 20;
 
 /// A session-registry key as persisted: `(fingerprint, max_firings,
 /// max_size)`.
@@ -47,10 +52,17 @@ pub(crate) struct Journal {
     persisted: Mutex<HashSet<PersistKey>>,
     /// Tear the Nth append mid-record (fault injection), 1-based.
     torn_write: Option<u64>,
+    /// File size past which [`Self::maybe_compact`] rewrites the journal.
+    compact_bytes: u64,
+    /// Current journal file size (valid prefix at open, plus appends).
+    bytes: AtomicU64,
     appends: AtomicU64,
     loaded: AtomicU64,
     rejected: AtomicU64,
     appended: AtomicU64,
+    compactions: AtomicU64,
+    checkpoints_persisted: AtomicU64,
+    checkpoints_restored: AtomicU64,
 }
 
 /// A point-in-time snapshot of the journal counters for `/v1/stats`.
@@ -63,6 +75,12 @@ pub(crate) struct JournalStats {
     pub rejected: u64,
     /// Records appended by this process.
     pub appended: u64,
+    /// Journal rewrites that dropped records for no-longer-resident keys.
+    pub compactions: u64,
+    /// Appended records that carried an engine checkpoint.
+    pub checkpoints_persisted: u64,
+    /// Restored sessions that came up with an attached engine checkpoint.
+    pub checkpoints_restored: u64,
 }
 
 impl Journal {
@@ -79,6 +97,7 @@ impl Journal {
     pub fn open(
         dir: &Path,
         torn_write: Option<u64>,
+        compact_bytes: u64,
     ) -> Result<(Journal, Vec<CacheRecord>), CliError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| CliError::io(format!("serve: cannot create cache dir {dir:?}: {e}")))?;
@@ -119,10 +138,15 @@ impl Journal {
             writer: Mutex::new(Some(file)),
             persisted: Mutex::new(persisted),
             torn_write,
+            compact_bytes,
+            bytes: AtomicU64::new(replay.valid_len as u64),
             appends: AtomicU64::new(0),
             loaded: AtomicU64::new(0),
             rejected: AtomicU64::new(replay.rejected),
             appended: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            checkpoints_persisted: AtomicU64::new(0),
+            checkpoints_restored: AtomicU64::new(0),
         };
         Ok((journal, replay.records))
     }
@@ -178,14 +202,34 @@ impl Journal {
                     limit,
                 }),
             };
-            let session = Arc::new(AnalysisSession::with_budget(graph, budget));
+            let session = Arc::new(AnalysisSession::with_budget(Arc::clone(&graph), budget));
             let artifacts = SessionArtifacts {
                 fingerprint: record.fingerprint,
                 eigenvalue,
                 spent: record.spent,
                 schedule_firings: record.schedule_firings,
             };
-            if session.import_artifacts(&artifacts) && registry.restore(session) {
+            if !session.import_artifacts(&artifacts) {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // Reattach the persisted engine checkpoint, if any: decode
+            // validates the wire record against the rebuilt graph, so a
+            // stale or corrupt checkpoint degrades to a cold engine without
+            // rejecting the record's headline artifacts.
+            if let Some(wire) = &record.engine {
+                let attached = EngineArchive::decode(wire, Arc::clone(&graph))
+                    .is_some_and(|archive| session.attach_archive(archive));
+                if attached {
+                    self.checkpoints_restored.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    eprintln!(
+                        "sdfr serve: cache journal: dropping undecodable engine state for {}",
+                        record.name
+                    );
+                }
+            }
+            if registry.restore(session) {
                 self.loaded.fetch_add(1, Ordering::Relaxed);
             } else {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -228,9 +272,75 @@ impl Journal {
         match file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
             Ok(()) => {
                 self.appended.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(line.len() as u64, Ordering::Relaxed);
+                if record.engine.is_some() {
+                    self.checkpoints_persisted.fetch_add(1, Ordering::Relaxed);
+                }
             }
             Err(e) => {
                 eprintln!("sdfr serve: cache journal: append failed, disabling: {e}");
+                *writer = None;
+            }
+        }
+    }
+
+    /// Compacts the journal once it has grown past the configured
+    /// threshold: replays the file and rewrites it keeping only records
+    /// whose `(fingerprint, caps)` key is still
+    /// [resident](SessionRegistry::contains) in `registry` — evicted
+    /// sessions would be rebuilt cold anyway, so their records are pure
+    /// bloat. Crash-safe by construction: the survivors are written to a
+    /// sibling `journal.new` that is atomically renamed over the journal,
+    /// so a crash at any point leaves either the complete old file or the
+    /// complete new one, never a mix.
+    pub fn maybe_compact(&self, registry: &SessionRegistry) {
+        if self.bytes.load(Ordering::Relaxed) < self.compact_bytes {
+            return;
+        }
+        let mut writer = self.writer.lock().expect("journal writer poisoned");
+        if writer.is_none() {
+            return; // journal already broken; leave the file for replay
+        }
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("sdfr serve: cache journal: compaction read failed: {e}");
+                return;
+            }
+        };
+        let replay = sdfr_api::cache::replay(&bytes);
+        let live: Vec<&CacheRecord> = replay
+            .records
+            .iter()
+            .filter(|r| registry.contains(r.fingerprint, r.max_firings, r.max_size))
+            .collect();
+        if live.len() == replay.records.len() {
+            return; // nothing stale: a rewrite would save no bytes
+        }
+        let mut out = String::new();
+        for record in &live {
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        let tmp = self.path.with_extension("new");
+        let result = std::fs::write(&tmp, out.as_bytes())
+            .and_then(|()| std::fs::rename(&tmp, &self.path))
+            .and_then(|()| OpenOptions::new().append(true).open(&self.path));
+        match result {
+            Ok(file) => {
+                *writer = Some(file);
+                let mut persisted = self.persisted.lock().expect("journal key set poisoned");
+                *persisted = live
+                    .iter()
+                    .map(|r| (r.fingerprint, r.max_firings, r.max_size))
+                    .collect();
+                drop(persisted);
+                self.bytes.store(out.len() as u64, Ordering::Relaxed);
+                self.compactions.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!("sdfr serve: cache journal: compaction failed, disabling: {e}");
+                let _ = std::fs::remove_file(&tmp);
                 *writer = None;
             }
         }
@@ -242,6 +352,9 @@ impl Journal {
             loaded: self.loaded.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             appended: self.appended.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            checkpoints_persisted: self.checkpoints_persisted.load(Ordering::Relaxed),
+            checkpoints_restored: self.checkpoints_restored.load(Ordering::Relaxed),
         }
     }
 }
@@ -256,6 +369,7 @@ pub(crate) fn record_for(
     content: &str,
     budget: &Budget,
     artifacts: &SessionArtifacts,
+    engine: Option<String>,
 ) -> Option<CacheRecord> {
     let outcome = match &artifacts.eigenvalue {
         Ok(Some(r)) => CachedOutcome::Period {
@@ -290,6 +404,7 @@ pub(crate) fn record_for(
         outcome,
         spent: artifacts.spent,
         schedule_firings: artifacts.schedule_firings,
+        engine,
     })
 }
 
@@ -317,6 +432,7 @@ mod tests {
             demo_content(),
             &Budget::unlimited(),
             &session.export_artifacts().unwrap(),
+            session.engine_archive().and_then(|a| a.encode()),
         )
         .unwrap()
     }
@@ -326,14 +442,14 @@ mod tests {
         let dir = tempdir("roundtrip");
         let record = warm_record();
         {
-            let (journal, replayed) = Journal::open(&dir, None).unwrap();
+            let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
             assert!(replayed.is_empty());
             journal.persist(&record);
             // Same key again: deduplicated, not re-appended.
             journal.persist(&record);
             assert_eq!(journal.stats().appended, 1);
         }
-        let (journal, replayed) = Journal::open(&dir, None).unwrap();
+        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0], record);
         let registry = SessionRegistry::new();
@@ -356,7 +472,7 @@ mod tests {
         let dir = tempdir("torn");
         let record = warm_record();
         {
-            let (journal, _) = Journal::open(&dir, None).unwrap();
+            let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
             journal.persist(&record);
         }
         // Tear the file mid-record, as a crash mid-append would.
@@ -366,7 +482,7 @@ mod tests {
         bytes.extend_from_slice(&bytes.clone()[..intact / 2]);
         std::fs::write(&path, &bytes).unwrap();
 
-        let (journal, replayed) = Journal::open(&dir, None).unwrap();
+        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
         assert_eq!(replayed.len(), 1, "the intact record survives");
         assert_eq!(journal.stats().rejected, 1, "the torn tail is counted");
         assert_eq!(
@@ -378,7 +494,7 @@ mod tests {
         let mut second = record.clone();
         second.max_firings = Some(10_000);
         journal.persist(&second);
-        let (_, replayed) = Journal::open(&dir, None).unwrap();
+        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
         assert_eq!(replayed.len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -388,7 +504,7 @@ mod tests {
         let dir = tempdir("fault");
         let record = warm_record();
         {
-            let (journal, _) = Journal::open(&dir, Some(1)).unwrap();
+            let (journal, _) = Journal::open(&dir, Some(1), DEFAULT_COMPACT_BYTES).unwrap();
             journal.persist(&record);
             assert_eq!(
                 journal.stats().appended,
@@ -402,12 +518,12 @@ mod tests {
             journal.persist(&second);
             assert_eq!(journal.stats().appended, 0);
         }
-        let (journal, replayed) = Journal::open(&dir, None).unwrap();
+        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
         assert!(replayed.is_empty(), "half a record restores nothing");
         assert_eq!(journal.stats().rejected, 1);
         // And the file is clean again: a fresh append replays fine.
         journal.persist(&record);
-        let (_, replayed) = Journal::open(&dir, None).unwrap();
+        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
         assert_eq!(replayed.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -418,12 +534,103 @@ mod tests {
         let mut forged = record.clone();
         forged.content = forged.content.replace("actor a 2", "actor a 9");
         let dir = tempdir("forged");
-        let (journal, _) = Journal::open(&dir, None).unwrap();
+        let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
         let registry = SessionRegistry::new();
         journal.restore_into(&[forged], &registry);
         assert_eq!(journal.stats().loaded, 0);
         assert_eq!(journal.stats().rejected, 1);
         assert!(registry.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_stale_records_and_survives_reopen() {
+        let dir = tempdir("compact");
+        let record = warm_record();
+        let mut stale = record.clone();
+        stale.max_firings = Some(10_000);
+        {
+            // Threshold 1: any non-empty journal is eligible for compaction.
+            let (journal, _) = Journal::open(&dir, None, 1).unwrap();
+            journal.persist(&record);
+            journal.persist(&stale);
+            // Only `record`'s key is resident; `stale`'s caps never were.
+            let registry = SessionRegistry::new();
+            journal.restore_into(std::slice::from_ref(&record), &registry);
+            journal.maybe_compact(&registry);
+            assert_eq!(journal.stats().compactions, 1);
+            // Nothing stale left: a second pass is a no-op.
+            journal.maybe_compact(&registry);
+            assert_eq!(journal.stats().compactions, 1);
+            // The journal still appends after the rewrite.
+            journal.persist(&stale);
+        }
+        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        assert_eq!(replayed.len(), 2, "live record plus the re-appended one");
+        assert_eq!(replayed[0], record);
+        assert!(
+            !dir.join("journal.new").exists(),
+            "no temp file left behind"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn small_journals_are_never_compacted() {
+        let dir = tempdir("nocompact");
+        let record = warm_record();
+        let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        journal.persist(&record);
+        // An empty registry would drop everything — but the file is far
+        // below the threshold, so nothing happens.
+        journal.maybe_compact(&SessionRegistry::new());
+        assert_eq!(journal.stats().compactions, 0);
+        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        assert_eq!(replayed.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_checkpoints_round_trip_through_the_journal() {
+        let dir = tempdir("checkpoint");
+        let record = warm_record();
+        assert!(
+            record.engine.is_some(),
+            "a warm unlimited session persists its engine checkpoint"
+        );
+        {
+            let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+            journal.persist(&record);
+            assert_eq!(journal.stats().checkpoints_persisted, 1);
+        }
+        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let registry = SessionRegistry::new();
+        journal.restore_into(&replayed, &registry);
+        assert_eq!(journal.stats().loaded, 1);
+        assert_eq!(journal.stats().checkpoints_restored, 1);
+        // The restored session carries a live archive, so token variants of
+        // this graph can fork it instead of running cold.
+        let graph = Arc::new(crate::parse_graph_content("demo.sdf", demo_content()).unwrap());
+        let (session, _) = registry.lookup(&graph, &Budget::unlimited());
+        assert!(session.engine_archive().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_engine_state_degrades_to_a_cold_checkpoint() {
+        let dir = tempdir("badengine");
+        let mut record = warm_record();
+        record.engine = Some("sdfr-engine/1|not|a|real|archive".to_string());
+        let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let registry = SessionRegistry::new();
+        journal.restore_into(std::slice::from_ref(&record), &registry);
+        // The headline artifact still restores; only the checkpoint is lost.
+        assert_eq!(journal.stats().loaded, 1);
+        assert_eq!(journal.stats().checkpoints_restored, 0);
+        let graph = Arc::new(crate::parse_graph_content("demo.sdf", demo_content()).unwrap());
+        let (session, lookup) = registry.lookup(&graph, &Budget::unlimited());
+        assert_eq!(lookup, sdfr_analysis::registry::Lookup::Hit);
+        assert!(session.throughput_is_warm());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -441,6 +648,7 @@ mod tests {
             demo_content(),
             capped.budget(),
             &capped.export_artifacts().unwrap(),
+            None,
         )
         .unwrap();
         assert!(matches!(

@@ -16,7 +16,8 @@
 //! | POST   | `/v1/analyze`              | one [`sdfr_api::AnalysisRequest`] with exactly one graph and no tiers → one standalone [`sdfr_api::UnitRecord`] line, byte-identical to `sdfr analyze --json` |
 //! | POST   | `/v1/batch`                | an [`sdfr_api::AnalysisRequest`] → indexed record lines + a [`sdfr_api::BatchSummary`] line, the shape of `sdfr batch` |
 //! | POST   | `/v1/csdf`                 | an [`sdfr_api::AnalysisRequest`] → one [`sdfr_api::CsdfRecord`] line per graph |
-//! | GET    | `/v1/stats` (or `/stats`)  | registry + pool + connection + persistence counters, request count, drain flag |
+//! | GET    | `/v1/stats` (or `/stats`)  | registry + pool + connection + persistence + incremental counters, request count, drain flag |
+//! | GET    | `/metrics`                 | the same counters in the Prometheus text exposition format |
 //! | POST   | `/shutdown` (or `/v1/shutdown`) | begin a graceful drain; the process exits 0 once in-flight work finishes |
 //!
 //! HTTP statuses follow the CLI exit-code discipline via
@@ -106,6 +107,9 @@ struct ServeOptions {
     preload: Vec<String>,
     /// Directory for the persistent `sdfr-cache/1` journal (`--cache-dir`).
     cache_dir: Option<String>,
+    /// Journal size past which persists trigger a compaction pass
+    /// (`--cache-compact-bytes`).
+    cache_compact_bytes: u64,
     /// Armed fault injections (`--fault` / `SDFR_FAULT`).
     fault: FaultPlan,
 }
@@ -274,6 +278,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
         budget: crate::budget_from_opts(args)?,
         preload: Vec::new(),
         cache_dir: None,
+        cache_compact_bytes: cache::DEFAULT_COMPACT_BYTES,
         fault: FaultPlan::default(),
     };
     if let Some(addr) = crate::flag_raw(args, "--addr")? {
@@ -317,6 +322,14 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
     if let Some(dir) = crate::flag_raw(args, "--cache-dir")? {
         opts.cache_dir = Some(dir);
     }
+    if let Some(n) = crate::flag_value(args, "--cache-compact-bytes")? {
+        if n == 0 {
+            return Err(CliError::usage(
+                "--cache-compact-bytes must be a positive integer",
+            ));
+        }
+        opts.cache_compact_bytes = n;
+    }
     if let Some(spec) = crate::flag_raw(args, "--fault")? {
         opts.fault = parse_fault_plan(&spec)?;
     } else if let Ok(spec) = std::env::var("SDFR_FAULT") {
@@ -332,6 +345,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
         "--cache-entries",
         "--cache-bytes",
         "--cache-dir",
+        "--cache-compact-bytes",
         "--fault",
         "--deadline",
         "--max-firings",
@@ -374,7 +388,11 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let mut journal = None;
     let mut replayed = Vec::new();
     if let Some(dir) = &opts.cache_dir {
-        let (j, records) = cache::Journal::open(Path::new(dir), opts.fault.torn_write)?;
+        let (j, records) = cache::Journal::open(
+            Path::new(dir),
+            opts.fault.torn_write,
+            opts.cache_compact_bytes,
+        )?;
         journal = Some(j);
         replayed = records;
     }
@@ -664,6 +682,12 @@ fn route(method: &str, path: &str, body: &str, state: &ServerState) -> (u16, Str
             }
             (200, stats_body(state))
         }
+        "/metrics" => {
+            if method != "GET" {
+                return wrong_method("GET");
+            }
+            (200, metrics_body(state))
+        }
         "/shutdown" | "/v1/shutdown" => {
             if method != "POST" {
                 return wrong_method("POST");
@@ -789,8 +813,10 @@ fn persist_unit(
         Some(t) => base.clone().with_max_firings(t),
         None => base.clone(),
     };
-    if let Some(record) = cache::record_for(name, content, &budget, &artifacts) {
+    let engine = session.engine_archive().and_then(|a| a.encode());
+    if let Some(record) = cache::record_for(name, content, &budget, &artifacts, engine) {
         journal.persist(&record);
+        journal.maybe_compact(&state.registry);
     }
 }
 
@@ -836,12 +862,15 @@ fn stats_body(state: &ServerState) -> String {
         .as_ref()
         .map(|j| j.stats())
         .unwrap_or_default();
+    let registry = state.registry.stats();
     format!(
         "{{\"schema\":\"{SCHEMA}\",\"registry\":{},\"pool\":{},\"requests\":{},\
          \"connections\":{{\"handled\":{},\"reused_requests\":{}}},\
          \"persistence\":{{\"journal_loaded\":{},\"journal_rejected\":{},\"journal_appended\":{}}},\
+         \"incremental\":{{\"near_hits\":{},\"checkpoints_persisted\":{},\
+         \"checkpoints_restored\":{},\"compactions\":{}}},\
          \"retries_observed\":{},\"draining\":{}}}\n",
-        registry_stats_json(&state.registry.stats()),
+        registry_stats_json(&registry),
         pool_stats_json(&state.pool.stats()),
         state.requests.load(Ordering::Relaxed),
         state.connections.load(Ordering::Relaxed),
@@ -849,9 +878,206 @@ fn stats_body(state: &ServerState) -> String {
         journal.loaded,
         journal.rejected,
         journal.appended,
+        registry.near_hits,
+        journal.checkpoints_persisted,
+        journal.checkpoints_restored,
+        journal.compactions,
         state.retries_observed.load(Ordering::Relaxed),
         DRAIN.load(Ordering::SeqCst)
     )
+}
+
+/// Appends one metric in the Prometheus text exposition format: a `# HELP`
+/// line, a `# TYPE` line, and the sample itself.
+fn prom(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// `GET /metrics`: the `/v1/stats` counters rendered as Prometheus text.
+/// A pure formatter — every sample reads the same snapshots `/v1/stats`
+/// serializes, so the two endpoints can never disagree about a value.
+fn metrics_body(state: &ServerState) -> String {
+    let registry = state.registry.stats();
+    let pool = state.pool.stats();
+    let journal = state
+        .journal
+        .as_ref()
+        .map(|j| j.stats())
+        .unwrap_or_default();
+    let mut out = String::new();
+    let o = &mut out;
+    prom(
+        o,
+        "sdfr_registry_hits_total",
+        "counter",
+        "Warm registry lookups",
+        registry.hits,
+    );
+    prom(
+        o,
+        "sdfr_registry_misses_total",
+        "counter",
+        "Cold registry lookups",
+        registry.misses,
+    );
+    prom(
+        o,
+        "sdfr_registry_bypasses_total",
+        "counter",
+        "Lookups that bypassed the registry",
+        registry.bypasses,
+    );
+    prom(
+        o,
+        "sdfr_registry_collisions_total",
+        "counter",
+        "Fingerprint collisions detected",
+        registry.collisions,
+    );
+    prom(
+        o,
+        "sdfr_registry_evictions_total",
+        "counter",
+        "Sessions evicted by capacity limits",
+        registry.evictions,
+    );
+    prom(
+        o,
+        "sdfr_registry_near_hits_total",
+        "counter",
+        "Misses seeded from a family member's engine checkpoint",
+        registry.near_hits,
+    );
+    prom(
+        o,
+        "sdfr_registry_entries",
+        "gauge",
+        "Resident registry sessions",
+        registry.entries as u64,
+    );
+    prom(
+        o,
+        "sdfr_registry_bytes_estimate",
+        "gauge",
+        "Estimated resident session bytes",
+        registry.bytes_estimate,
+    );
+    prom(
+        o,
+        "sdfr_registry_symbolic_iterations_total",
+        "counter",
+        "Symbolic iterations executed",
+        registry.symbolic_iterations,
+    );
+    prom(
+        o,
+        "sdfr_pool_threads",
+        "gauge",
+        "Worker pool executors",
+        pool.threads as u64,
+    );
+    prom(
+        o,
+        "sdfr_pool_spawned_total",
+        "counter",
+        "Tasks spawned on the pool",
+        pool.spawned,
+    );
+    prom(
+        o,
+        "sdfr_pool_stolen_total",
+        "counter",
+        "Tasks stolen across workers",
+        pool.stolen,
+    );
+    prom(
+        o,
+        "sdfr_pool_executed_total",
+        "counter",
+        "Tasks executed to completion",
+        pool.executed,
+    );
+    prom(
+        o,
+        "sdfr_requests_total",
+        "counter",
+        "HTTP requests served",
+        state.requests.load(Ordering::Relaxed),
+    );
+    prom(
+        o,
+        "sdfr_connections_handled_total",
+        "counter",
+        "Connections accepted",
+        state.connections.load(Ordering::Relaxed),
+    );
+    prom(
+        o,
+        "sdfr_connections_reused_requests_total",
+        "counter",
+        "Keep-alive requests beyond each connection's first",
+        state.reused.load(Ordering::Relaxed),
+    );
+    prom(
+        o,
+        "sdfr_journal_loaded_total",
+        "counter",
+        "Sessions restored from the cache journal",
+        journal.loaded,
+    );
+    prom(
+        o,
+        "sdfr_journal_rejected_total",
+        "counter",
+        "Journal records rejected",
+        journal.rejected,
+    );
+    prom(
+        o,
+        "sdfr_journal_appended_total",
+        "counter",
+        "Journal records appended",
+        journal.appended,
+    );
+    prom(
+        o,
+        "sdfr_journal_compactions_total",
+        "counter",
+        "Journal compaction rewrites",
+        journal.compactions,
+    );
+    prom(
+        o,
+        "sdfr_checkpoints_persisted_total",
+        "counter",
+        "Appended records carrying an engine checkpoint",
+        journal.checkpoints_persisted,
+    );
+    prom(
+        o,
+        "sdfr_checkpoints_restored_total",
+        "counter",
+        "Restored sessions with an attached engine checkpoint",
+        journal.checkpoints_restored,
+    );
+    prom(
+        o,
+        "sdfr_retries_observed_total",
+        "counter",
+        "Requests flagged as client retries",
+        state.retries_observed.load(Ordering::Relaxed),
+    );
+    prom(
+        o,
+        "sdfr_draining",
+        "gauge",
+        "1 while the server is draining",
+        u64::from(DRAIN.load(Ordering::SeqCst)),
+    );
+    out
 }
 
 /// Writes one complete HTTP/1.1 response under the `--io-timeout` write
@@ -886,8 +1112,15 @@ fn respond(
         ""
     };
     let connection = if close { "close" } else { "keep-alive" };
+    // `/metrics` is the one non-JSON body; Prometheus scrapers expect the
+    // text exposition content type.
+    let content_type = if body.starts_with("# HELP ") {
+        "text/plain; version=0.0.4"
+    } else {
+        "application/json"
+    };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n",
         body.len()
     );
@@ -1051,9 +1284,45 @@ mod tests {
             "{body}"
         );
         assert!(
+            body.contains(
+                "\"incremental\":{\"near_hits\":0,\"checkpoints_persisted\":0,\
+                 \"checkpoints_restored\":0,\"compactions\":0}"
+            ),
+            "{body}"
+        );
+        assert!(
             body.contains("\"retries_observed\":1,\"draining\":"),
             "{body}"
         );
+    }
+
+    #[test]
+    fn metrics_render_prometheus_text() {
+        let state = test_state();
+        state.requests.fetch_add(5, Ordering::Relaxed);
+        let (status, body) = route("GET", "/metrics", "", &state);
+        assert_eq!(status, 200);
+        assert!(body.contains("\nsdfr_requests_total 5\n"), "{body}");
+        assert!(body.contains("# TYPE sdfr_registry_near_hits_total counter"));
+        // Format lint: every non-comment line is `name value`, every
+        // comment line is a HELP or TYPE annotation.
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP sdfr_") || rest.starts_with("TYPE sdfr_"),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            let (name, value) = line.split_once(' ').expect("sample line");
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name: {line}"
+            );
+            assert!(value.parse::<u64>().is_ok(), "bad sample value: {line}");
+        }
+        let (status, _) = route("POST", "/metrics", "", &state);
+        assert_eq!(status, 405);
     }
 
     #[test]
@@ -1075,7 +1344,8 @@ mod tests {
     fn batch_endpoint_persists_warm_units_to_the_journal() {
         let dir = std::env::temp_dir().join(format!("sdfr-serve-journal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let (journal, replayed) = cache::Journal::open(&dir, None).unwrap();
+        let (journal, replayed) =
+            cache::Journal::open(&dir, None, cache::DEFAULT_COMPACT_BYTES).unwrap();
         assert!(replayed.is_empty());
         let mut state = test_state();
         state.journal = Some(journal);
@@ -1088,7 +1358,7 @@ mod tests {
         let (status, _) = route("POST", "/v1/batch", one, &state);
         assert_eq!(status, 200);
         assert_eq!(state.journal.as_ref().unwrap().stats().appended, 1);
-        let (_, replayed) = cache::Journal::open(&dir, None).unwrap();
+        let (_, replayed) = cache::Journal::open(&dir, None, cache::DEFAULT_COMPACT_BYTES).unwrap();
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0].name, "a");
         let _ = std::fs::remove_dir_all(&dir);

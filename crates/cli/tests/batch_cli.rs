@@ -114,6 +114,36 @@ fn tiers_are_distinct_cache_keys_with_distinct_outcomes() {
     );
 }
 
+/// A `--tiers` ladder is incremental: a starved tier that dies mid-symbolic
+/// leaves a partial engine checkpoint in the registry, and the next tier's
+/// miss resumes it (same graph fingerprint, higher firing cap) instead of
+/// re-executing the prefix. The resumed unit's line must be byte-identical
+/// to the same tier analysed cold in its own batch, and the cache
+/// attribution must stay exactly what it always was: one miss per tier.
+#[test]
+fn tier_ladders_resume_incrementally_with_identical_output() {
+    let demo = example("demo.sdf");
+    // Tier 3 covers the 2-firing schedule precheck plus one symbolic firing
+    // before exhausting — enough to checkpoint, not enough to finish.
+    let warm =
+        run(&args(&["batch", &demo, "--tiers", "3,100000", "--stable"])).expect("ladder succeeds");
+    let cold =
+        run(&args(&["batch", &demo, "--tiers", "100000", "--stable"])).expect("cold tier succeeds");
+    let warm_lines: Vec<&str> = warm.lines().collect();
+    assert!(
+        warm_lines[0].contains("\"tier\":3,") && warm_lines[0].contains("\"status\":\"degraded\""),
+        "line: {}",
+        warm_lines[0]
+    );
+    let resumed = warm_lines[1].replace("\"index\":1", "\"index\":0");
+    assert_eq!(resumed, cold.lines().next().unwrap());
+    assert!(
+        warm_lines[2].contains("\"hits\":0,\"misses\":2"),
+        "summary: {}",
+        warm_lines[2]
+    );
+}
+
 /// The headline acceptance criterion: K copies of one graph in a batch run
 /// exactly one symbolic iteration, asserted via the summary counter.
 #[test]

@@ -301,29 +301,84 @@ impl SdfGraph {
     /// tags and length prefixes separate the name/actor/channel sections, so
     /// field sequences cannot alias across section boundaries.
     pub fn fingerprint(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        /// Domain-separation tags, one per section.
-        const TAG_NAME: u64 = 0x6e61_6d65; // "name"
-        const TAG_ACTORS: u64 = 0x6163_7473; // "acts"
-        const TAG_CHANNELS: u64 = 0x6368_616e; // "chan"
+        self.fingerprint_impl(TokenMode::Actual)
+    }
 
-        struct Fnv(u64);
-        impl Fnv {
-            fn bytes(&mut self, bytes: &[u8]) {
-                for &b in bytes {
-                    self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    /// Content fingerprint of the graph's *family*: everything
+    /// [`fingerprint`](Self::fingerprint) hashes **except** each channel's
+    /// initial-token count.
+    ///
+    /// Two graphs share a family fingerprint exactly when they are identical
+    /// up to a redistribution of initial tokens — the shape produced by
+    /// capacity probes, Pareto sweeps, and abstraction ladders, which vary
+    /// one channel's delay while keeping the topology and rates fixed.
+    /// Family fingerprints live in their own hash domain (a distinct section
+    /// tag) and must only ever be compared against other family
+    /// fingerprints.
+    pub fn family_fingerprint(&self) -> u64 {
+        self.fingerprint_impl(TokenMode::SkipTokens)
+    }
+
+    /// The [`fingerprint`](Self::fingerprint) this graph *would* have if
+    /// channel `channel` carried `initial_tokens` tokens instead of its
+    /// actual count — without materialising the modified graph.
+    ///
+    /// This is the delta fingerprint used by the session registry to resolve
+    /// near-hits: `base.fingerprint_with_tokens(c, d)` equals
+    /// `target.fingerprint()` precisely when `target` differs from `base`
+    /// only in channel `c` holding `d` initial tokens (up to the 2⁻⁶⁴
+    /// collision bound shared with [`fingerprint`](Self::fingerprint)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of bounds for this graph.
+    pub fn fingerprint_with_tokens(&self, channel: ChannelId, initial_tokens: u64) -> u64 {
+        assert!(channel.0 < self.channels.len(), "channel out of bounds");
+        self.fingerprint_impl(TokenMode::Override(channel, initial_tokens))
+    }
+
+    /// If `other` is identical to `self` except for **exactly one** channel's
+    /// initial-token count, returns `(channel, self_tokens, other_tokens)` —
+    /// the delta that transforms `self` into `other`.
+    ///
+    /// Returns `None` when the graphs are byte-identical (no delta needed),
+    /// structurally different (name, actors, endpoints, or rates differ), or
+    /// differ in more than one channel's token count.
+    pub fn initial_token_delta(&self, other: &SdfGraph) -> Option<(ChannelId, u64, u64)> {
+        if self.name != other.name
+            || self.actors.len() != other.actors.len()
+            || self.channels.len() != other.channels.len()
+        {
+            return None;
+        }
+        if self
+            .actors
+            .iter()
+            .zip(&other.actors)
+            .any(|(a, b)| a.name != b.name || a.execution_time != b.execution_time)
+        {
+            return None;
+        }
+        let mut delta = None;
+        for (i, (a, b)) in self.channels.iter().zip(&other.channels).enumerate() {
+            if a.source != b.source
+                || a.target != b.target
+                || a.production != b.production
+                || a.consumption != b.consumption
+            {
+                return None;
+            }
+            if a.initial_tokens != b.initial_tokens {
+                if delta.is_some() {
+                    return None; // more than one channel differs
                 }
-            }
-            fn u64(&mut self, v: u64) {
-                self.bytes(&v.to_le_bytes());
-            }
-            fn str(&mut self, s: &str) {
-                self.u64(s.len() as u64);
-                self.bytes(s.as_bytes());
+                delta = Some((ChannelId(i), a.initial_tokens, b.initial_tokens));
             }
         }
+        delta
+    }
 
+    fn fingerprint_impl(&self, mode: TokenMode) -> u64 {
         let mut h = Fnv(FNV_OFFSET);
         h.u64(TAG_NAME);
         h.str(&self.name);
@@ -333,16 +388,62 @@ impl SdfGraph {
             h.str(&a.name);
             h.u64(a.execution_time as u64);
         }
-        h.u64(TAG_CHANNELS);
+        h.u64(match mode {
+            TokenMode::SkipTokens => TAG_FAMILY,
+            _ => TAG_CHANNELS,
+        });
         h.u64(self.channels.len() as u64);
-        for c in &self.channels {
+        for (i, c) in self.channels.iter().enumerate() {
             h.u64(c.source.0 as u64);
             h.u64(c.target.0 as u64);
             h.u64(c.production);
             h.u64(c.consumption);
-            h.u64(c.initial_tokens);
+            match mode {
+                TokenMode::Actual => h.u64(c.initial_tokens),
+                TokenMode::Override(ch, tokens) => {
+                    h.u64(if ch.0 == i { tokens } else { c.initial_tokens });
+                }
+                TokenMode::SkipTokens => {}
+            }
         }
         h.0
+    }
+}
+
+/// How [`SdfGraph::fingerprint_impl`] treats each channel's initial tokens.
+#[derive(Clone, Copy)]
+enum TokenMode {
+    /// Hash the actual token counts (the full content fingerprint).
+    Actual,
+    /// Hash actual counts except one channel's, which is overridden.
+    Override(ChannelId, u64),
+    /// Omit token counts entirely (the family fingerprint domain).
+    SkipTokens,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Domain-separation tags, one per section.
+const TAG_NAME: u64 = 0x6e61_6d65; // "name"
+const TAG_ACTORS: u64 = 0x6163_7473; // "acts"
+const TAG_CHANNELS: u64 = 0x6368_616e; // "chan"
+/// Channel-section tag for the token-blind family domain — distinct from
+/// `TAG_CHANNELS` so a family fingerprint can never alias a full one.
+const TAG_FAMILY: u64 = 0x666d_6c79; // "fmly"
+
+struct Fnv(u64);
+impl Fnv {
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
     }
 }
 
@@ -531,5 +632,83 @@ mod tests {
         assert_eq!(g.max_execution_time(), 0);
         assert!(g.is_homogeneous());
         assert_eq!(g.total_initial_tokens(), 0);
+    }
+
+    /// `two_actor_graph` with channel 0 carrying `d` initial tokens instead
+    /// of its usual 1.
+    fn variant_with_tokens(d: u64) -> SdfGraph {
+        let mut b = SdfGraph::builder("g");
+        let a = b.actor("a", 2);
+        let c = b.actor("b", 3);
+        b.channel(a, c, 2, 3, d).unwrap();
+        b.channel(c, a, 1, 1, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn family_fingerprint_is_token_blind_but_structure_sensitive() {
+        let base = two_actor_graph();
+        // Same family regardless of where the tokens sit.
+        assert_eq!(
+            base.family_fingerprint(),
+            variant_with_tokens(0).family_fingerprint()
+        );
+        assert_eq!(
+            base.family_fingerprint(),
+            variant_with_tokens(9).family_fingerprint()
+        );
+        // Distinct hash domain: never equal to the full fingerprint.
+        assert_ne!(base.family_fingerprint(), base.fingerprint());
+        // A rate or name change breaks the family.
+        let mut b = SdfGraph::builder("g");
+        let a = b.actor("a", 2);
+        let c = b.actor("b", 3);
+        b.channel(a, c, 2, 4, 1).unwrap();
+        b.channel(c, a, 1, 1, 4).unwrap();
+        let other_rates = b.build().unwrap();
+        assert_ne!(base.family_fingerprint(), other_rates.family_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_with_tokens_matches_the_materialised_variant() {
+        let base = two_actor_graph();
+        for d in [0, 1, 2, 7] {
+            assert_eq!(
+                base.fingerprint_with_tokens(ChannelId(0), d),
+                variant_with_tokens(d).fingerprint(),
+                "delta fingerprint must equal the real fingerprint at d={d}"
+            );
+        }
+        // Overriding with the actual count reproduces the plain fingerprint.
+        assert_eq!(
+            base.fingerprint_with_tokens(ChannelId(1), 4),
+            base.fingerprint()
+        );
+    }
+
+    #[test]
+    fn initial_token_delta_finds_single_channel_changes_only() {
+        let base = two_actor_graph();
+        let moved = variant_with_tokens(6);
+        assert_eq!(base.initial_token_delta(&moved), Some((ChannelId(0), 1, 6)));
+        assert_eq!(moved.initial_token_delta(&base), Some((ChannelId(0), 6, 1)));
+        // Identical graphs: no delta.
+        assert_eq!(base.initial_token_delta(&two_actor_graph()), None);
+        // Two channels changed: not a single-channel delta.
+        let mut b = SdfGraph::builder("g");
+        let a = b.actor("a", 2);
+        let c = b.actor("b", 3);
+        b.channel(a, c, 2, 3, 5).unwrap();
+        b.channel(c, a, 1, 1, 5).unwrap();
+        let two_changed = b.build().unwrap();
+        assert_eq!(base.initial_token_delta(&two_changed), None);
+        // Structural difference: None even when tokens also differ.
+        let mut b = SdfGraph::builder("g");
+        let a = b.actor("a", 9);
+        let c = b.actor("b", 3);
+        b.channel(a, c, 2, 3, 6).unwrap();
+        b.channel(c, a, 1, 1, 4).unwrap();
+        let other_time = b.build().unwrap();
+        assert_eq!(base.initial_token_delta(&other_time), None);
     }
 }

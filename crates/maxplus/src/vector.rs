@@ -189,6 +189,40 @@ impl MpVector {
             .unwrap_or(Mp::NegInf))
     }
 
+    /// Rewrites the index space of a symbolic stamp: removes the `remove`
+    /// entries starting at `at` and inserts `insert` fresh `−∞` entries in
+    /// their place, preserving everything before and after the window.
+    ///
+    /// This is the coordinate remap used when an incremental symbolic
+    /// execution is *forked* onto a graph whose initial-token block for one
+    /// channel changed size: stamps are coefficient vectors indexed by
+    /// initial token, the surviving prefix of the execution never consumed
+    /// the replaced tokens (its coefficients there are `−∞`), so the remap
+    /// is a pure reindexing with no information loss.
+    ///
+    /// In debug builds, removed entries are asserted to be `−∞`; removing a
+    /// finite coefficient would silently erase a real dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at + remove` exceeds the vector length.
+    pub fn splice_neg_inf(&self, at: usize, remove: usize, insert: usize) -> MpVector {
+        assert!(
+            at.checked_add(remove).is_some_and(|end| end <= self.len()),
+            "splice window {at}+{remove} out of bounds for length {}",
+            self.len()
+        );
+        debug_assert!(
+            self.entries[at..at + remove].iter().all(|e| e.is_neg_inf()),
+            "splice_neg_inf must only remove -inf entries"
+        );
+        let mut entries = Vec::with_capacity(self.len() - remove + insert);
+        entries.extend_from_slice(&self.entries[..at]);
+        entries.extend(std::iter::repeat_n(Mp::NegInf, insert));
+        entries.extend_from_slice(&self.entries[at + remove..]);
+        MpVector { entries }
+    }
+
     /// Consumes the vector and returns its entries.
     pub fn into_entries(self) -> Vec<Mp> {
         self.entries
@@ -333,5 +367,39 @@ mod tests {
     fn display() {
         let v = MpVector::from_entries([Mp::fin(1), Mp::NegInf]);
         assert_eq!(v.to_string(), "[1, -inf]");
+    }
+
+    #[test]
+    fn splice_neg_inf_reindexes_around_the_window() {
+        let v = MpVector::from_entries([Mp::fin(1), Mp::NegInf, Mp::NegInf, Mp::fin(4)]);
+        // Shrink the middle block from 2 entries to 1.
+        let s = v.splice_neg_inf(1, 2, 1);
+        assert_eq!(s.as_slice(), &[Mp::fin(1), Mp::NegInf, Mp::fin(4)]);
+        // Grow it to 3.
+        let g = v.splice_neg_inf(1, 2, 3);
+        assert_eq!(
+            g.as_slice(),
+            &[Mp::fin(1), Mp::NegInf, Mp::NegInf, Mp::NegInf, Mp::fin(4)]
+        );
+        // Zero-sized window at the end appends.
+        let e = v.splice_neg_inf(4, 0, 2);
+        assert_eq!(e.len(), 6);
+        assert_eq!(e[5], Mp::NegInf);
+        // Identity splice.
+        assert_eq!(v.splice_neg_inf(1, 2, 2), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn splice_neg_inf_window_out_of_bounds_panics() {
+        let _ = MpVector::zeros(2).splice_neg_inf(1, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only remove -inf entries")]
+    #[cfg(debug_assertions)]
+    fn splice_neg_inf_refuses_finite_removals() {
+        let v = MpVector::from_entries([Mp::fin(1), Mp::fin(2)]);
+        let _ = v.splice_neg_inf(0, 1, 1);
     }
 }
