@@ -18,7 +18,12 @@
 //! to fire it. The engine exploits two consequences:
 //!
 //! - **Resume.** A prefix of a valid schedule followed by any completion of
-//!   the same iteration yields the same matrix as running cold.
+//!   the same iteration yields the same matrix as running cold. The archive
+//!   records *order provenance*: only an archive whose every firing replayed
+//!   the deterministic schedule can have its suffix replayed by position;
+//!   a partial archive containing greedy firings (e.g. the budget-exhausted
+//!   state of a forked engine) resumes as a forked engine, whose suffix runs
+//!   greedily — sound from any valid reachable state.
 //! - **Fork.** If a prefix of the execution never consumed a token from
 //!   channel `c`, the same prefix is a feasible execution prefix of any
 //!   graph that differs from the base only in `c`'s initial-token count
@@ -111,6 +116,11 @@ pub struct EngineArchive {
     first_consume: Vec<Option<u64>>,
     /// `Σ γ(a)`: the firing count of one complete iteration.
     total_firings: u64,
+    /// Order provenance: `true` iff every archived firing replayed the
+    /// graph's deterministic sequential schedule. `false` once any firing
+    /// ran greedily (forked engines, greedy completions) — such an
+    /// archive's suffix cannot be replayed by schedule position.
+    scheduled: bool,
     /// Checkpoints in ascending `firings_done` order; the last one is the
     /// state at archive time.
     checkpoints: Vec<Checkpoint>,
@@ -152,9 +162,14 @@ impl EngineArchive {
     }
 
     /// Resumes the archived execution on the *same* graph: returns an engine
-    /// positioned at the final archived state, ready to replay the remaining
-    /// suffix of `schedule` (the deterministic schedule of `graph`, which is
-    /// identical to the one the base executed).
+    /// positioned at the final archived state. When the archived prefix is
+    /// schedule-ordered the engine replays the remaining suffix of the
+    /// graph's deterministic schedule; a *partial* archive that contains
+    /// greedy firings (the budget-exhausted state of a forked engine) is
+    /// not a schedule prefix, so it comes back with
+    /// [`is_forked`](SymbolicEngine::is_forked) set and the caller must
+    /// complete it with [`run_greedy`](SymbolicEngine::run_greedy) — sound
+    /// from any valid reachable state by SDF determinacy.
     ///
     /// Returns `None` if `graph` is not content-identical to the archived
     /// graph (fingerprint collisions are the caller's concern; this
@@ -164,7 +179,14 @@ impl EngineArchive {
             return None;
         }
         let cp = self.checkpoints.last()?;
-        Some(self.engine_from(graph.clone(), cp.state.clone(), false))
+        // A greedy-tainted prefix cannot be positioned within the schedule;
+        // completed archives have no suffix left, so order is moot there.
+        let greedy_suffix = !self.scheduled && !self.completed();
+        let mut engine = self.engine_from(graph.clone(), cp.state.clone(), greedy_suffix);
+        if greedy_suffix {
+            engine.rebuild_token_index();
+        }
+        Some(engine)
     }
 
     /// Forks the archived execution onto `graph`, which must differ from the
@@ -263,6 +285,7 @@ impl EngineArchive {
             total_firings: self.total_firings,
             skipped,
             forked,
+            scheduled: self.scheduled && !forked,
             checkpoint_stride: 0,
             checkpoints: Vec::new(),
         };
@@ -332,8 +355,13 @@ pub struct SymbolicEngine {
     /// Firings inherited from a base archive rather than executed here.
     skipped: u64,
     /// `true` when this engine was forked across a token delta (its firing
-    /// order is greedy, not the base schedule).
+    /// order is greedy, not the base schedule) — or resumed from a partial
+    /// archive whose prefix was not schedule-ordered.
     forked: bool,
+    /// Order provenance carried into [`archive`](Self::archive): `true`
+    /// while every firing performed or inherited so far replayed the
+    /// deterministic schedule, cleared by the first greedy firing.
+    scheduled: bool,
     /// Take a snapshot every this many firings; 0 disables checkpointing.
     checkpoint_stride: u64,
     checkpoints: Vec<Checkpoint>,
@@ -403,6 +431,7 @@ impl SymbolicEngine {
             stamps: record_stamps.then(|| vec![Vec::new(); num_actors]),
             skipped: 0,
             forked: false,
+            scheduled: true,
             checkpoint_stride: 0,
             checkpoints: Vec::new(),
         })
@@ -442,9 +471,10 @@ impl SymbolicEngine {
         self.state.entries(self.n) <= CHECKPOINT_ENTRY_GATE
     }
 
-    /// `true` for engines created by [`EngineArchive::fork`] — their
-    /// remaining suffix must run greedily ([`run_greedy`](Self::run_greedy))
-    /// because the prefix may not be a prefix of the target graph's own
+    /// `true` for engines created by [`EngineArchive::fork`], or resumed
+    /// from a partial archive containing greedy firings — their remaining
+    /// suffix must run greedily ([`run_greedy`](Self::run_greedy)) because
+    /// the prefix is not (known to be) a prefix of the target graph's own
     /// deterministic schedule.
     pub fn is_forked(&self) -> bool {
         self.forked
@@ -524,6 +554,11 @@ impl SymbolicEngine {
     /// completes (unreachable when forked from a valid checkpoint of a live
     /// graph; kept as a defensive error rather than a panic).
     pub fn run_greedy(&mut self, meter: &mut BudgetMeter<'_>) -> Result<(), SdfError> {
+        if !self.is_complete() {
+            // Greedy firings are about to happen: archives of this engine
+            // can no longer have their suffix replayed by schedule position.
+            self.scheduled = false;
+        }
         while !self.is_complete() {
             let mut progressed = false;
             for idx in 0..self.gamma.len() {
@@ -653,6 +688,7 @@ impl SymbolicEngine {
             token_base: self.token_base.clone(),
             first_consume: self.first_consume.clone(),
             total_firings: self.total_firings,
+            scheduled: self.scheduled,
             checkpoints,
         })
     }
@@ -717,8 +753,9 @@ impl SymbolicEngine {
 /// string without escaping.
 ///
 /// Format (`|`-separated sections, `,`-separated fields):
-/// `sdfr-engine/1|n|total|gamma...|first_consume...|checkpoint|checkpoint...`
-/// where each checkpoint is
+/// `sdfr-engine/1|n|total|order|gamma...|first_consume...|checkpoint|checkpoint...`
+/// where `order` is `s` (every firing replayed the deterministic schedule)
+/// or `g` (some firings ran greedily) and each checkpoint is
 /// `done;fired...;avail...;queue;queue...` and each queue is a `:`-separated
 /// list of `count@e.e.e` runs with `-inf` spelled `!`.
 impl EngineArchive {
@@ -732,6 +769,8 @@ impl EngineArchive {
         use std::fmt::Write as _;
         let mut out = String::from("sdfr-engine/1");
         let _ = write!(out, "|{}|{}", self.n, self.total_firings);
+        out.push('|');
+        out.push(if self.scheduled { 's' } else { 'g' });
         out.push('|');
         for (i, g) in self.gamma.as_slice().iter().enumerate() {
             if i > 0 {
@@ -804,6 +843,11 @@ impl EngineArchive {
         }
         let n: usize = sections.next()?.parse().ok()?;
         let total_firings: u64 = sections.next()?.parse().ok()?;
+        let scheduled = match sections.next()? {
+            "s" => true,
+            "g" => false,
+            _ => return None,
+        };
         let gamma_entries: Vec<u64> = parse_u64_list(sections.next()?)?;
         if gamma_entries.len() != graph.num_actors() {
             return None;
@@ -918,6 +962,7 @@ impl EngineArchive {
             token_base,
             first_consume,
             total_firings,
+            scheduled,
             checkpoints,
         }))
     }
@@ -1054,6 +1099,98 @@ mod tests {
             assert_eq!(warm.matrix, cold.matrix, "fork d={d}");
             assert_eq!(warm.tokens, cold.tokens, "fork d={d}");
         }
+    }
+
+    #[test]
+    fn resume_of_fork_produced_partial_archive_runs_greedily() {
+        // A fork that exhausts its budget archives a partial state whose
+        // prefix is the *base* graph's schedule order, not the target's.
+        // Resuming that archive must come back forked (greedy completion),
+        // never replay the target schedule by position.
+        let base_graph = fig3();
+        let (_, base_archive) = run_cold(&base_graph, true);
+        let target = Arc::new(fig3_ch0(3));
+        let delta = base_graph.initial_token_delta(&target).unwrap();
+        let mut forked = base_archive.fork(&target, delta).unwrap();
+        let cap = forked.skipped_firings();
+        let tight = Budget::unlimited().with_max_firings(cap);
+        let mut meter = tight.meter();
+        forked.charge_skipped(&mut meter).unwrap();
+        let err = forked.run_greedy(&mut meter).unwrap_err();
+        assert!(matches!(err, SdfError::Exhausted { .. }));
+        assert!(!forked.is_complete());
+        let partial = forked.archive();
+        assert!(!partial.completed());
+
+        let mut resumed = partial.resume(&target).expect("same graph resumes");
+        assert!(
+            resumed.is_forked(),
+            "a greedy-tainted partial archive must resume as a forked engine"
+        );
+        let ample = Budget::unlimited();
+        let mut meter2 = ample.meter();
+        resumed.charge_skipped(&mut meter2).unwrap();
+        resumed.run_greedy(&mut meter2).unwrap();
+        assert_eq!(meter2.spent(), partial.total_firings());
+        let warm = resumed.finish();
+        let cold = symbolic_iteration(&target).unwrap();
+        assert_eq!(warm.matrix, cold.matrix);
+        assert_eq!(warm.tokens, cold.tokens);
+    }
+
+    #[test]
+    fn resume_of_partial_greedy_run_completes_greedily() {
+        // Same hazard without a fork: a cold engine driven by run_greedy
+        // that dies of exhaustion leaves a prefix in greedy order.
+        let g = fig3();
+        let gamma = repetition_vector(&g).unwrap();
+        let tight = Budget::unlimited().with_max_firings(2);
+        let mut meter = tight.meter();
+        let mut engine =
+            SymbolicEngine::new(Arc::new(g.clone()), &gamma, false, &mut meter).unwrap();
+        engine.enable_checkpoints();
+        let err = engine.run_greedy(&mut meter).unwrap_err();
+        assert!(matches!(err, SdfError::Exhausted { .. }));
+        let partial = engine.archive();
+
+        // The order taint survives the wire roundtrip, so journal-restored
+        // partial archives resume greedily too.
+        let wire = partial.encode().unwrap();
+        let decoded = EngineArchive::decode(&wire, Arc::new(g.clone())).unwrap();
+        for archive in [partial, decoded] {
+            let target = Arc::new(g.clone());
+            let mut resumed = archive.resume(&target).unwrap();
+            assert!(resumed.is_forked());
+            let ample = Budget::unlimited();
+            let mut meter2 = ample.meter();
+            resumed.charge_skipped(&mut meter2).unwrap();
+            resumed.run_greedy(&mut meter2).unwrap();
+            let warm = resumed.finish();
+            let cold = symbolic_iteration(&g).unwrap();
+            assert_eq!(warm.matrix, cold.matrix);
+        }
+    }
+
+    #[test]
+    fn completed_greedy_archives_resume_without_a_suffix() {
+        // A greedy run that *completed* has no suffix to replay: resume
+        // hands back a complete engine regardless of order provenance.
+        let g = fig3();
+        let gamma = repetition_vector(&g).unwrap();
+        let budget = Budget::unlimited();
+        let mut meter = budget.meter();
+        let mut engine =
+            SymbolicEngine::new(Arc::new(g.clone()), &gamma, false, &mut meter).unwrap();
+        engine.run_greedy(&mut meter).unwrap();
+        let archive = engine.archive();
+        assert!(archive.completed());
+        let target = Arc::new(g.clone());
+        let resumed = archive.resume(&target).unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(
+            resumed.finish().matrix,
+            symbolic_iteration(&g).unwrap().matrix
+        );
     }
 
     #[test]

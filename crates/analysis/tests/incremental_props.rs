@@ -12,6 +12,9 @@
 //!   fork/resume equals a fresh `symbolic_iteration` run byte for byte;
 //! - budget exhaustion mid-resume reproduces the cold exhaustion exactly
 //!   (same error payload, same total spend) via skipped-prefix charging;
+//! - a *fork-produced* partial archive (budget-exhausted, greedy suffix)
+//!   can itself be resumed under another cap — the tier-ladder-over-a-
+//!   token-variant chain — and still matches cold byte for byte;
 //! - tokenless/deadlocked targets (zero-token rings) fail identically
 //!   warm and cold;
 //! - a seed whose delta does not describe the target graph is ignored:
@@ -159,6 +162,42 @@ proptest! {
         let target = g.with_tokens(channel, d_new).build();
         let budget = Budget::unlimited().with_max_firings(target_cap);
         assert_seeded_matches_cold(&base, &target, &budget)?;
+    }
+
+    /// Chained reuse: a capped session seeded by *forking* a warm base is
+    /// itself archived (possibly partial, with a greedy firing order), and
+    /// a later session for the same variant under a different cap resumes
+    /// *that* archive — the `--tiers`-ladder-over-a-token-variant path.
+    /// The resumed result must match a cold run byte for byte; archives
+    /// whose prefix is not schedule-ordered must complete greedily rather
+    /// than replaying the schedule by position.
+    #[test]
+    fn resume_of_fork_produced_archives_matches_cold(
+        g in random_graph(),
+        channel in 0usize..5,
+        d_new in 0u64..=6,
+        mid_cap in 1u64..=12,
+        final_cap in 1u64..=24,
+    ) {
+        let base = AnalysisSession::new(g.build());
+        let _ = base.throughput(); // warm the base archive
+        let target = g.with_tokens(channel, d_new).build();
+        // Middle tier: fork the base onto the variant under a tight cap;
+        // exhaustion here leaves a partial archive with a greedy suffix.
+        let mid_budget = Budget::unlimited().with_max_firings(mid_cap);
+        let mid = AnalysisSession::with_budget(Arc::clone(&target), mid_budget.clone());
+        if let Some(archive) = base.engine_archive() {
+            let _ = mid.install_seed(IncrementalSeed {
+                base: archive,
+                delta: base.graph().initial_token_delta(&target),
+            });
+        }
+        let _ = mid.throughput();
+        let mid_cold = AnalysisSession::with_budget(Arc::clone(&target), mid_budget);
+        prop_assert_eq!(observe(&mid), observe(&mid_cold));
+        // Final tier: resume the middle tier's archive under another cap.
+        let final_budget = Budget::unlimited().with_max_firings(final_cap);
+        assert_seeded_matches_cold(&mid, &target, &final_budget)?;
     }
 
     /// A seed whose delta does not describe the target graph (here: the

@@ -56,6 +56,12 @@ pub(crate) struct Journal {
     compact_bytes: u64,
     /// Current journal file size (valid prefix at open, plus appends).
     bytes: AtomicU64,
+    /// File size below which [`Self::maybe_compact`] skips without reading
+    /// the file. Starts at `compact_bytes`; every scan (no-op or rewrite)
+    /// raises it to the post-scan size plus `compact_bytes`, so a journal
+    /// full of live records is re-scanned only after `compact_bytes` of
+    /// fresh appends — never on every persist.
+    compact_watermark: AtomicU64,
     appends: AtomicU64,
     loaded: AtomicU64,
     rejected: AtomicU64,
@@ -140,6 +146,7 @@ impl Journal {
             torn_write,
             compact_bytes,
             bytes: AtomicU64::new(replay.valid_len as u64),
+            compact_watermark: AtomicU64::new(compact_bytes),
             appends: AtomicU64::new(0),
             loaded: AtomicU64::new(0),
             rejected: AtomicU64::new(replay.rejected),
@@ -290,11 +297,16 @@ impl Journal {
     /// [resident](SessionRegistry::contains) in `registry` — evicted
     /// sessions would be rebuilt cold anyway, so their records are pure
     /// bloat. Crash-safe by construction: the survivors are written to a
-    /// sibling `journal.new` that is atomically renamed over the journal,
-    /// so a crash at any point leaves either the complete old file or the
-    /// complete new one, never a mix.
+    /// sibling `journal.new` that is fsynced and then atomically renamed
+    /// over the journal (with a best-effort directory sync), so a crash at
+    /// any point leaves either the complete old file or the complete new
+    /// one, never a mix.
+    ///
+    /// Either way the scan ends, the skip watermark moves to the post-scan
+    /// size plus `compact_bytes`, so an all-live journal does not get
+    /// re-read under the writer lock on every subsequent persist.
     pub fn maybe_compact(&self, registry: &SessionRegistry) {
-        if self.bytes.load(Ordering::Relaxed) < self.compact_bytes {
+        if self.bytes.load(Ordering::Relaxed) < self.compact_watermark.load(Ordering::Relaxed) {
             return;
         }
         let mut writer = self.writer.lock().expect("journal writer poisoned");
@@ -315,7 +327,13 @@ impl Journal {
             .filter(|r| registry.contains(r.fingerprint, r.max_firings, r.max_size))
             .collect();
         if live.len() == replay.records.len() {
-            return; // nothing stale: a rewrite would save no bytes
+            // Nothing stale: a rewrite would save no bytes. Remember the
+            // scanned size so the next persists don't replay the whole file
+            // again before it has grown another threshold's worth.
+            let current = self.bytes.load(Ordering::Relaxed);
+            self.compact_watermark
+                .store(current.saturating_add(self.compact_bytes), Ordering::Relaxed);
+            return;
         }
         let mut out = String::new();
         for record in &live {
@@ -323,9 +341,23 @@ impl Journal {
             out.push('\n');
         }
         let tmp = self.path.with_extension("new");
-        let result = std::fs::write(&tmp, out.as_bytes())
-            .and_then(|()| std::fs::rename(&tmp, &self.path))
-            .and_then(|()| OpenOptions::new().append(true).open(&self.path));
+        let result = (|| {
+            let mut f = File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            // Make the replacement durable *before* it takes the journal's
+            // name: without this, a crash after the rename could surface a
+            // renamed file with empty or partial contents.
+            f.sync_all()?;
+            std::fs::rename(&tmp, &self.path)?;
+            // Best-effort: persist the rename itself. Failure here only
+            // risks replaying the pre-compaction journal after a crash.
+            if let Some(dir) = self.path.parent() {
+                if let Ok(d) = File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+            OpenOptions::new().append(true).open(&self.path)
+        })();
         match result {
             Ok(file) => {
                 *writer = Some(file);
@@ -336,6 +368,10 @@ impl Journal {
                     .collect();
                 drop(persisted);
                 self.bytes.store(out.len() as u64, Ordering::Relaxed);
+                self.compact_watermark.store(
+                    (out.len() as u64).saturating_add(self.compact_bytes),
+                    Ordering::Relaxed,
+                );
                 self.compactions.fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => {
@@ -572,6 +608,37 @@ mod tests {
             !dir.join("journal.new").exists(),
             "no temp file left behind"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_op_compaction_scans_are_not_repeated() {
+        let dir = tempdir("watermark");
+        let record = warm_record();
+        // Threshold 1: the first maybe_compact always scans.
+        let (journal, _) = Journal::open(&dir, None, 1).unwrap();
+        journal.persist(&record);
+        let registry = SessionRegistry::new();
+        journal.restore_into(std::slice::from_ref(&record), &registry);
+        // Everything is live: the scan is a no-op and raises the watermark.
+        journal.maybe_compact(&registry);
+        assert_eq!(journal.stats().compactions, 0);
+        // Until new bytes are appended, later calls skip the file replay
+        // entirely — even against a registry that would drop every record.
+        journal.maybe_compact(&SessionRegistry::new());
+        assert_eq!(journal.stats().compactions, 0);
+        {
+            let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+            assert_eq!(replayed.len(), 1, "the skipped scan rewrote nothing");
+        }
+        // A fresh append grows past the watermark and re-arms the scan.
+        let mut second = record.clone();
+        second.max_firings = Some(7);
+        journal.persist(&second);
+        journal.maybe_compact(&SessionRegistry::new());
+        assert_eq!(journal.stats().compactions, 1);
+        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        assert!(replayed.is_empty(), "nothing was resident");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
