@@ -31,17 +31,49 @@ const SEEDER_RING: usize = 8;
 /// Algorithm 1 cold. Determinacy keeps every seeded probe byte-identical
 /// to a cold one — including budget accounting — so search results never
 /// depend on seeding or on the steal schedule of parallel probes.
-#[derive(Debug, Default)]
+///
+/// The ring is **sharded per pool worker** (plus one fallback shard for
+/// off-pool threads, including the scope-driving one): parallel probes
+/// previously serialized on a single `Mutex`, turning the seeder into the
+/// sweep's contention hot spot, and cross-thread seeds were mostly stale
+/// anyway — a worker forks its *own* previous probe far more often than a
+/// sibling's. Because seeding only changes wall-clock time, never answers,
+/// sharding preserves byte-identical results on every thread count.
+#[derive(Debug)]
 struct FamilySeeder {
-    ring: Mutex<Vec<(Arc<SdfGraph>, Arc<EngineArchive>)>>,
+    /// `threads - 1` worker shards plus the trailing fallback shard.
+    shards: Vec<Mutex<SeederRing>>,
+}
+
+/// One shard's ring of `(bounded graph, archived engine)` seeds.
+type SeederRing = Vec<(Arc<SdfGraph>, Arc<EngineArchive>)>;
+
+impl Default for FamilySeeder {
+    fn default() -> Self {
+        let workers = sdfr_pool::current().threads().saturating_sub(1);
+        FamilySeeder {
+            shards: (0..=workers).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
 }
 
 impl FamilySeeder {
-    /// A seed for `bounded`: the most recent ring member that is the same
-    /// graph (resume) or differs from it in one channel's initial tokens
-    /// (fork), if any.
+    /// The calling thread's shard: its worker slot on pool workers (when
+    /// the index fits — a foreign pool's worker may carry a larger index),
+    /// the trailing fallback shard everywhere else.
+    fn shard(&self) -> &Mutex<SeederRing> {
+        let fallback = self.shards.len() - 1;
+        let i = sdfr_pool::worker_index()
+            .filter(|&i| i < fallback)
+            .unwrap_or(fallback);
+        &self.shards[i]
+    }
+
+    /// A seed for `bounded`: the most recent member of the calling
+    /// thread's shard that is the same graph (resume) or differs from it
+    /// in one channel's initial tokens (fork), if any.
     fn seed_for(&self, bounded: &SdfGraph) -> Option<IncrementalSeed> {
-        let ring = self.ring.lock().expect("seeder ring poisoned");
+        let ring = self.shard().lock().expect("seeder ring poisoned");
         for (g, archive) in ring.iter().rev() {
             if **g == *bounded {
                 return Some(IncrementalSeed {
@@ -59,10 +91,10 @@ impl FamilySeeder {
         None
     }
 
-    /// Offers a probe's archive back to the ring (most recent last),
-    /// displacing the oldest member beyond [`SEEDER_RING`].
+    /// Offers a probe's archive back to the calling thread's shard (most
+    /// recent last), displacing the oldest member beyond [`SEEDER_RING`].
     fn offer(&self, graph: Arc<SdfGraph>, archive: Arc<EngineArchive>) {
-        let mut ring = self.ring.lock().expect("seeder ring poisoned");
+        let mut ring = self.shard().lock().expect("seeder ring poisoned");
         ring.retain(|(g, _)| **g != *graph);
         ring.push((graph, archive));
         if ring.len() > SEEDER_RING {
@@ -455,25 +487,28 @@ pub(crate) fn minimize_capacities_with_target(
     // Phase 1: per-channel minima against the starting allocation, in
     // parallel. Each worker probes under its own meter of the shared budget
     // (per-probe firing caps, shared deadline/cancellation), exactly like
-    // the sequential probes.
-    let scouted = parallel_indexed(start.len(), |i| -> Result<u64, SdfError> {
-        let ch = &channels[i];
-        if ch.is_self_loop() {
-            return Ok(start[i]);
-        }
-        let (mut lo, mut hi) = (channel_floor(ch), start[i]);
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            let mut probe = start.clone();
-            probe[i] = mid;
-            if probe_feasible(g, &probe, budget, target, &seeder)? {
-                hi = mid;
-            } else {
-                lo = mid + 1;
+    // the sequential probes. One task covers a chunk of channels — a scout
+    // is a whole binary search, roughly 8 probes worth of firings.
+    let scout_chunk = probe_chunk(start.len(), probe_cost(g).saturating_mul(8));
+    let scouted =
+        parallel_indexed_chunked(start.len(), scout_chunk, |i| -> Result<u64, SdfError> {
+            let ch = &channels[i];
+            if ch.is_self_loop() {
+                return Ok(start[i]);
             }
-        }
-        Ok(hi)
-    });
+            let (mut lo, mut hi) = (channel_floor(ch), start[i]);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut probe = start.clone();
+                probe[i] = mid;
+                if probe_feasible(g, &probe, budget, target, &seeder)? {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            Ok(hi)
+        });
     // Deterministic error propagation: the lowest-index failure wins.
     let mut lower = Vec::with_capacity(scouted.len());
     for s in scouted {
@@ -533,13 +568,44 @@ fn channel_floor(ch: &sdfr_graph::Channel) -> u64 {
 }
 
 /// Evaluates `f(0..n)` on the [current](sdfr_pool::current) work-stealing
-/// pool and returns the results in index order — the capacity probes of the
-/// design-space searches are independent, so fan-out changes wall-clock
-/// time but not results. On pool worker threads this schedules onto the
-/// *same* pool (nested fan-outs cooperate rather than oversubscribe), and a
-/// 1-thread pool degenerates to a sequential loop on the calling thread.
-fn parallel_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-    sdfr_pool::current().map_indexed(n, f)
+/// pool, one task per contiguous run of `chunk` probes, results flattened
+/// in ascending index order — the exact output of the serial loop, with
+/// task-dispatch overhead amortized over the chunk. The capacity probes of
+/// the design-space searches are independent, so fan-out changes
+/// wall-clock time but not results. On pool worker threads this schedules
+/// onto the *same* pool (nested fan-outs cooperate rather than
+/// oversubscribe), and a 1-thread pool degenerates to a sequential loop on
+/// the calling thread.
+fn parallel_indexed_chunked<R: Send>(
+    n: usize,
+    chunk: usize,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    sdfr_pool::current().map_indexed_chunked(n, chunk, f)
+}
+
+/// How many estimated firings one fan-out task should amortize its
+/// dispatch overhead over.
+const PROBE_CHUNK_COST: u64 = 4096;
+
+/// Chunk size for fanning `n` capacity probes out, from the same cost
+/// model the [`Budget`] charges: a probe runs about one symbolic iteration
+/// of the bounded graph, `Σγ` firings. Cheap probes batch up until a task
+/// carries roughly [`PROBE_CHUNK_COST`] firings; expensive probes stay one
+/// per task (their own cost already amortizes dispatch). The pool's
+/// load-balancing bound caps the batch so every executor still gets a few
+/// tasks to steal.
+fn probe_chunk(n: usize, cost_per_probe: u64) -> usize {
+    let by_cost = usize::try_from(PROBE_CHUNK_COST / cost_per_probe.max(1)).unwrap_or(usize::MAX);
+    by_cost.clamp(1, sdfr_pool::current().chunk_size(n))
+}
+
+/// The per-probe cost estimate for capacity searches over `g`: the firings
+/// of one iteration, `Σγ` (the bounded variants share `g`'s repetition
+/// vector — reverse channels have swapped rates). Inconsistent graphs
+/// never reach a fan-out, so the fallback value is arbitrary.
+fn probe_cost(g: &SdfGraph) -> u64 {
+    sdfr_graph::repetition::repetition_vector(g).map_or(1, |v| v.iteration_length())
 }
 
 #[cfg(test)]
@@ -672,11 +738,14 @@ mod capacity_tests {
             let _ = s.throughput().unwrap();
             seeder.offer(v, s.engine_archive().unwrap());
         }
+        // The test thread is off-pool, so every offer above landed in the
+        // fallback shard; the per-shard ring stays bounded.
         assert_eq!(
-            seeder.ring.lock().unwrap().len(),
+            seeder.shard().lock().unwrap().len(),
             SEEDER_RING,
             "ring stays bounded"
         );
+        assert!(std::ptr::eq(seeder.shard(), seeder.shards.last().unwrap()));
     }
 
     #[test]
@@ -796,6 +865,7 @@ pub(crate) fn throughput_buffer_tradeoff_with_target(
     // Every step's +1 candidates are one-channel variants of the current
     // allocation: they fork the current point's archived execution.
     let seeder = FamilySeeder::default();
+    let cost = probe_cost(g);
 
     // Order periods with deadlock (None) as the worst.
     let better = |a: Option<sdfr_maxplus::Rational>, b: Option<sdfr_maxplus::Rational>| -> bool {
@@ -834,7 +904,8 @@ pub(crate) fn throughput_buffer_tradeoff_with_target(
             period_at(g, &probe, &seeder)
         };
         let periods: Vec<Option<sdfr_maxplus::Rational>> = if parallel {
-            parallel_indexed(candidates.len(), |k| probe_period(candidates[k]))
+            let chunk = probe_chunk(candidates.len(), cost);
+            parallel_indexed_chunked(candidates.len(), chunk, |k| probe_period(candidates[k]))
         } else {
             candidates.iter().map(|&i| probe_period(i)).collect()
         };

@@ -52,13 +52,19 @@ use sdfr_graph::budget::BudgetMeter;
 use sdfr_graph::repetition::RepetitionVector;
 use sdfr_graph::schedule::Schedule;
 use sdfr_graph::{ActorId, ChannelId, SdfError, SdfGraph};
-use sdfr_maxplus::{Mp, MpMatrix, MpVector};
+use sdfr_maxplus::{flat, FlatVector, MpMatrix, MpVector};
 
 use crate::symbolic::{SymbolicIteration, TokenRef};
 
 /// Run-length-encoded symbolic FIFO: each entry is `(stamp, count)` — a run
 /// of `count` tokens sharing one symbolic time stamp.
-type RleQueue = VecDeque<(MpVector, u64)>;
+///
+/// Stamps are held in the sentinel-encoded flat layout ([`sdfr_maxplus::flat`])
+/// so the hot loop of [`SymbolicEngine::fire`] — join and shift over `N`
+/// entries — is branch-free and allocation-free; conversions back to
+/// [`MpVector`]/[`MpMatrix`] happen only at the boundaries (stamp recording,
+/// [`SymbolicEngine::finish`], the wire codec).
+type RleQueue = VecDeque<(FlatVector, u64)>;
 
 /// Maximum number of per-channel stamp entries (`runs × N`) a checkpoint
 /// snapshot may hold; larger states are not snapshotted mid-run (the final
@@ -84,7 +90,7 @@ struct EngineState {
 
 impl EngineState {
     /// Total number of stamp-vector entries held by the queues
-    /// (`Σ runs × N`), the measure gated by [`CHECKPOINT_ENTRY_GATE`].
+    /// (`Σ runs × N`), the measure gated by `CHECKPOINT_ENTRY_GATE`.
     fn entries(&self, n: usize) -> u64 {
         let runs: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
         runs.saturating_mul(n as u64)
@@ -236,7 +242,7 @@ impl EngineArchive {
             debug_assert_eq!(count, 1, "initial tokens are seeded as unit runs");
             debug_assert_eq!(
                 stamp,
-                MpVector::unit(self.n, base + i),
+                FlatVector::unit(self.n, base + i),
                 "unconsumed initial tokens keep their seed stamps"
             );
         }
@@ -246,7 +252,7 @@ impl EngineArchive {
             }
         }
         for i in (0..d_new as usize).rev() {
-            state.queues[channel.index()].push_front((MpVector::unit(n_new, base + i), 1));
+            state.queues[channel.index()].push_front((FlatVector::unit(n_new, base + i), 1));
         }
         let avail = &mut state.avail[channel.index()];
         *avail = *avail - d_old + d_new;
@@ -288,6 +294,7 @@ impl EngineArchive {
             scheduled: self.scheduled && !forked,
             checkpoint_stride: 0,
             checkpoints: Vec::new(),
+            scratch: FlatVector::default(),
         };
         if !forked {
             engine.rebuild_token_index();
@@ -365,6 +372,9 @@ pub struct SymbolicEngine {
     /// Take a snapshot every this many firings; 0 disables checkpointing.
     checkpoint_stride: u64,
     checkpoints: Vec<Checkpoint>,
+    /// Reusable start/end stamp buffer for [`fire`](Self::fire): the hot
+    /// loop never allocates per firing.
+    scratch: FlatVector,
 }
 
 impl SymbolicEngine {
@@ -411,7 +421,7 @@ impl SymbolicEngine {
         let n = tokens.len();
         let mut queues: Vec<RleQueue> = (0..num_channels).map(|_| RleQueue::new()).collect();
         for (idx, t) in tokens.iter().enumerate() {
-            queues[t.channel.index()].push_back((MpVector::unit(n, idx), 1));
+            queues[t.channel.index()].push_back((FlatVector::unit(n, idx), 1));
         }
 
         Ok(SymbolicEngine {
@@ -434,10 +444,11 @@ impl SymbolicEngine {
             scheduled: true,
             checkpoint_stride: 0,
             checkpoints: Vec::new(),
+            scratch: FlatVector::default(),
         })
     }
 
-    /// Enables periodic checkpointing: up to [`CHECKPOINT_SLOTS`] evenly
+    /// Enables periodic checkpointing: up to `CHECKPOINT_SLOTS` evenly
     /// spaced snapshots over the iteration (plus the final state kept by
     /// [`archive`](Self::archive)), each gated on state size.
     pub fn enable_checkpoints(&mut self) {
@@ -465,7 +476,7 @@ impl SymbolicEngine {
     }
 
     /// `true` while the live state is small enough
-    /// ([`CHECKPOINT_ENTRY_GATE`]) for archiving to be worthwhile; huge
+    /// (`CHECKPOINT_ENTRY_GATE`) for archiving to be worthwhile; huge
     /// states are cheaper to recompute than to clone and retain.
     pub fn is_compact(&self) -> bool {
         self.state.entries(self.n) <= CHECKPOINT_ENTRY_GATE
@@ -595,9 +606,15 @@ impl SymbolicEngine {
     /// Fires `actor` once, symbolically: pops `c` stamps from every input
     /// FIFO, joins them into the start stamp, shifts by the execution time,
     /// and pushes the end stamp `p` times onto every output FIFO.
+    ///
+    /// The join/shift arithmetic runs on the reusable flat scratch buffer:
+    /// no allocation and no per-element branching in the inner loops, and
+    /// the overflow check of the shift is a single hoisted comparison
+    /// ([`FlatVector::shift_in_place`]) that reports exactly where the old
+    /// per-element `checked_add` did.
     fn fire(&mut self, actor: ActorId) -> Result<(), SdfError> {
-        let n = self.n;
-        let mut start = MpVector::neg_inf(n);
+        let start = &mut self.scratch;
+        start.reset_neg_inf(self.n);
         for &cid in self.graph.incoming(actor) {
             let ch = self.graph.channel(cid);
             let need = ch.consumption();
@@ -610,7 +627,7 @@ impl SymbolicEngine {
                     .front_mut()
                     .expect("sequential schedule guarantees token availability");
                 // Invariant: every stamp in every queue has length N.
-                start = start.join(stamp).expect("stamps share length N");
+                start.join_in_place(stamp);
                 if *count > need {
                     *count -= need;
                     need = 0;
@@ -621,11 +638,13 @@ impl SymbolicEngine {
             }
             self.state.avail[cid.index()] -= ch.consumption();
         }
-        let end = start
-            .checked_shift(self.graph.actor(actor).execution_time())
-            .ok_or(SdfError::Overflow {
+        let start_mp = self.stamps.is_some().then(|| start.to_mp());
+        if !start.shift_in_place(self.graph.actor(actor).execution_time()) {
+            return Err(SdfError::Overflow {
                 what: "symbolic time stamp (accumulated execution times)",
-            })?;
+            });
+        }
+        let end = &*start; // shifted in place: the scratch now holds the end stamp
         for &cid in self.graph.outgoing(actor) {
             let ch = self.graph.channel(cid);
             let q = &mut self.state.queues[cid.index()];
@@ -634,7 +653,7 @@ impl SymbolicEngine {
             // the back run instead of growing the queue, keeping state —
             // and checkpoint clones — proportional to *distinct* stamps.
             match q.back_mut() {
-                Some((stamp, count)) if *stamp == end => *count += ch.production(),
+                Some((stamp, count)) if stamp == end => *count += ch.production(),
                 _ => q.push_back((end.clone(), ch.production())),
             }
             self.state.avail[cid.index()] = self.state.avail[cid.index()]
@@ -644,7 +663,7 @@ impl SymbolicEngine {
                 })?;
         }
         if let Some(stamps) = self.stamps.as_mut() {
-            stamps[actor.index()].push((start, end));
+            stamps[actor.index()].push((start_mp.expect("recorded before the shift"), end.to_mp()));
         }
         self.state.fired[actor.index()] += 1;
         self.state.firings_done += 1;
@@ -655,7 +674,10 @@ impl SymbolicEngine {
     /// small enough to be worth keeping.
     fn maybe_checkpoint(&mut self) {
         if self.checkpoint_stride == 0
-            || !self.state.firings_done.is_multiple_of(self.checkpoint_stride)
+            || !self
+                .state
+                .firings_done
+                .is_multiple_of(self.checkpoint_stride)
             || self.is_complete()
         {
             return;
@@ -707,7 +729,7 @@ impl SymbolicEngine {
             self.is_complete(),
             "finish() requires a completed iteration"
         );
-        let mut rows: Vec<MpVector> = Vec::with_capacity(self.n);
+        let mut rows: Vec<FlatVector> = Vec::with_capacity(self.n);
         for t in &self.tokens {
             let q = &self.state.queues[t.channel.index()];
             debug_assert_eq!(
@@ -726,7 +748,7 @@ impl SymbolicEngine {
             }
             rows.push(found.expect("token position within restored queue"));
         }
-        let matrix = MpMatrix::from_row_vectors(rows).expect("rows share length N");
+        let matrix = MpMatrix::from_flat_rows(rows).expect("rows share length N");
         SymbolicIteration::from_parts(matrix, self.tokens, self.gamma, self.stamps)
     }
 
@@ -761,7 +783,7 @@ impl SymbolicEngine {
 impl EngineArchive {
     /// Serializes the archive (graph excluded) to the `sdfr-engine/1` wire
     /// form. Returns `None` when the archive is too large to be worth
-    /// persisting (more than [`CHECKPOINT_ENTRY_GATE`] total entries).
+    /// persisting (more than `CHECKPOINT_ENTRY_GATE` total entries).
     pub fn encode(&self) -> Option<String> {
         if self.entries() > CHECKPOINT_ENTRY_GATE {
             return None;
@@ -814,15 +836,14 @@ impl EngineArchive {
                         out.push(':');
                     }
                     let _ = write!(out, "{count}@");
-                    for (j, e) in stamp.iter().enumerate() {
+                    for (j, &e) in stamp.as_slice().iter().enumerate() {
                         if j > 0 {
                             out.push('.');
                         }
-                        match e {
-                            Mp::NegInf => out.push('!'),
-                            Mp::Fin(t) => {
-                                let _ = write!(out, "{t}");
-                            }
+                        if e == flat::NEG_INF {
+                            out.push('!');
+                        } else {
+                            let _ = write!(out, "{e}");
                         }
                     }
                 }
@@ -918,16 +939,21 @@ impl EngineArchive {
                         if count == 0 {
                             return None;
                         }
-                        let stamp: MpVector = entries
-                            .split('.')
-                            .map(|e| {
-                                if e == "!" {
-                                    Some(Mp::NegInf)
-                                } else {
-                                    e.parse().ok().map(Mp::Fin)
-                                }
-                            })
-                            .collect::<Option<_>>()?;
+                        let stamp: FlatVector = FlatVector::from_raw(
+                            entries
+                                .split('.')
+                                .map(|e| {
+                                    if e == "!" {
+                                        Some(flat::NEG_INF)
+                                    } else {
+                                        // A finite entry equal to the −∞
+                                        // sentinel is unrepresentable: a
+                                        // record claiming one is corrupt.
+                                        e.parse().ok().filter(|&t: &i64| t != flat::NEG_INF)
+                                    }
+                                })
+                                .collect::<Option<Vec<i64>>>()?,
+                        );
                         if stamp.len() != n {
                             return None;
                         }

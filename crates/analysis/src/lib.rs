@@ -60,6 +60,7 @@ pub mod buffer;
 pub mod engine;
 pub mod latency;
 pub mod mcm;
+pub mod reference;
 pub mod registry;
 pub mod session;
 pub mod static_schedule;

@@ -123,6 +123,7 @@ fn main() {
                 extra: vec![("duplicates".to_string(), DUPLICATES.to_string())],
             })
             .collect(),
+        skipped: Vec::new(),
     };
     let path = report.write().expect("write BENCH_batch.json");
     println!("\nwrote {path}");

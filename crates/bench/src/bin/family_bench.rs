@@ -175,6 +175,7 @@ fn main() {
         benchmark: "family",
         suite: "capacity-probe-pipeline",
         cases,
+        skipped: Vec::new(),
     };
     let path = report.write().expect("write BENCH_family.json");
     println!("\nwrote {path}");

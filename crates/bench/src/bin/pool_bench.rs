@@ -30,7 +30,7 @@ use sdfr_analysis::buffer::{
     throughput_buffer_tradeoff, throughput_buffer_tradeoff_serial, ParetoPoint,
 };
 use sdfr_analysis::SessionRegistry;
-use sdfr_bench::report::{threshold_from_env, BenchCase, BenchReport};
+use sdfr_bench::report::{threshold_from_env, BenchCase, BenchReport, SkippedCase};
 use sdfr_graph::repetition::repetition_vector;
 use sdfr_graph::SdfGraph;
 use sdfr_pool::Pool;
@@ -51,27 +51,41 @@ fn min_of(reps: u32, mut f: impl FnMut() -> Duration) -> Duration {
     (1..reps).fold(f(), |best, _| best.min(f()))
 }
 
-/// The Table-1 cases cheap enough to sweep, with their serial reference
-/// curves (the correctness oracle for every pooled run).
-fn sweep_cases() -> Vec<(&'static str, Arc<SdfGraph>, Vec<ParetoPoint>)> {
-    sdfr_benchmarks::table1::all()
-        .iter()
-        .filter(|case| {
-            repetition_vector(&case.graph)
-                .expect("benchmark cases are consistent")
-                .iteration_length()
-                <= PARETO_GAMMA_LIMIT
-        })
-        .map(|case| {
-            let serial = throughput_buffer_tradeoff_serial(&case.graph, PARETO_ITERATIONS)
-                .expect("benchmark cases admit a sweep");
-            (case.name, Arc::new(case.graph.clone()), serial)
-        })
-        .collect()
+/// One sweepable case: name, graph, and its serial reference curve (the
+/// correctness oracle for every pooled run).
+type SweepCase = (&'static str, Arc<SdfGraph>, Vec<ParetoPoint>);
+
+/// One named workload: a full suite of sweeps over the cases on one pool.
+type Workload = (&'static str, fn(&Pool, &[SweepCase]) -> Duration);
+
+/// The Table-1 cases cheap enough to sweep — plus a named, reasoned skip
+/// record for every case the gamma filter drops.
+fn sweep_cases() -> (Vec<SweepCase>, Vec<SkippedCase>) {
+    let mut cases = Vec::new();
+    let mut skipped = Vec::new();
+    for case in sdfr_benchmarks::table1::all() {
+        let gamma = repetition_vector(&case.graph)
+            .expect("benchmark cases are consistent")
+            .iteration_length();
+        if gamma > PARETO_GAMMA_LIMIT {
+            skipped.push(SkippedCase::new(
+                case.name,
+                format!(
+                    "repetition-vector sum {gamma} exceeds the capacity-probe \
+                     limit {PARETO_GAMMA_LIMIT}"
+                ),
+            ));
+            continue;
+        }
+        let serial = throughput_buffer_tradeoff_serial(&case.graph, PARETO_ITERATIONS)
+            .expect("benchmark cases admit a sweep");
+        cases.push((case.name, Arc::new(case.graph.clone()), serial));
+    }
+    (cases, skipped)
 }
 
 /// One full suite of Pareto sweeps on a pool of the given width.
-fn pareto_suite(pool: &Pool, cases: &[(&str, Arc<SdfGraph>, Vec<ParetoPoint>)]) -> Duration {
+fn pareto_suite(pool: &Pool, cases: &[SweepCase]) -> Duration {
     let t0 = Instant::now();
     for (name, graph, serial) in cases {
         let curve = pool
@@ -89,9 +103,9 @@ fn pareto_suite(pool: &Pool, cases: &[(&str, Arc<SdfGraph>, Vec<ParetoPoint>)]) 
 /// tasks, each warming a shared registry session and running its own
 /// Pareto sweep on the *same* pool (inner probes interleave with outer
 /// units via work-stealing, as under `sdfr batch`).
-fn batch_pareto_suite(pool: &Pool, cases: &[(&str, Arc<SdfGraph>, Vec<ParetoPoint>)]) -> Duration {
+fn batch_pareto_suite(pool: &Pool, cases: &[SweepCase]) -> Duration {
     let registry = SessionRegistry::new();
-    let units: Vec<&(&str, Arc<SdfGraph>, Vec<ParetoPoint>)> = cases
+    let units: Vec<&SweepCase> = cases
         .iter()
         .flat_map(|c| std::iter::repeat_n(c, DUPLICATES))
         .collect();
@@ -122,12 +136,8 @@ fn batch_pareto_suite(pool: &Pool, cases: &[(&str, Arc<SdfGraph>, Vec<ParetoPoin
 }
 
 fn main() {
-    let cases = sweep_cases();
-    let skipped = sdfr_benchmarks::table1::all().len() - cases.len();
-    let workloads: [(
-        &str,
-        fn(&Pool, &[(&str, Arc<SdfGraph>, Vec<ParetoPoint>)]) -> Duration,
-    ); 2] = [
+    let (cases, skipped) = sweep_cases();
+    let workloads: [Workload; 2] = [
         ("pareto", pareto_suite),
         ("batch-pareto", batch_pareto_suite),
     ];
@@ -136,13 +146,18 @@ fn main() {
         benchmark: "pool",
         suite: "table1",
         cases: Vec::new(),
+        skipped,
     };
     println!(
-        "Work-stealing pool scaling ({} Table-1 cases, {skipped} skipped; times in ms, min of {REPS} reps)\n",
-        cases.len()
+        "Work-stealing pool scaling ({} Table-1 cases, {} skipped; times in ms, min of {REPS} reps)\n",
+        cases.len(),
+        report.skipped.len(),
     );
+    for s in &report.skipped {
+        println!("  skipped {}: {}", s.name, s.reason);
+    }
     println!(
-        "{:<14} {:>8} {:>12} {:>9}",
+        "\n{:<14} {:>8} {:>12} {:>9}",
         "workload", "threads", "time", "speedup"
     );
     for (name, suite) in workloads {
@@ -165,21 +180,42 @@ fn main() {
                 threads: width,
                 cold: baseline,
                 warm: time,
-                extra: vec![("skipped_cases".into(), skipped.to_string())],
+                extra: Vec::new(),
             });
         }
+    }
+
+    // The 4-thread scaling gate: pass, fail, or *loud* skip — an
+    // under-provisioned host records the skip in the artifact itself, so
+    // a consumer of BENCH_pool.json can tell "gate passed" apart from
+    // "gate never ran" without the run's stdout.
+    let min_speedup = threshold_from_env("SDFR_POOL_MIN_SPEEDUP", 2.0);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let gate_skip = (host_threads < 4).then(|| {
+        format!(
+            "host has {host_threads} core(s), a 4-thread speedup of \
+             {min_speedup:.1}x is unreachable"
+        )
+    });
+    if let Some(reason) = &gate_skip {
+        report
+            .skipped
+            .push(SkippedCase::new("scaling-gate@4t", reason.clone()));
     }
 
     let path = report.write().expect("write BENCH_pool.json");
     println!("\nwrote {path}");
 
-    let min_speedup = threshold_from_env("SDFR_POOL_MIN_SPEEDUP", 2.0);
-    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if host_threads < 4 {
-        println!(
-            "scaling gate skipped: host has {host_threads} core(s), \
-             a 4-thread speedup of {min_speedup:.1}x is unreachable"
-        );
+    // Every workload×width the bench promises must have been measured (or
+    // loudly skipped) — a silent skip fails the run before any gating.
+    let expected: Vec<String> = workloads
+        .iter()
+        .flat_map(|(name, _)| WIDTHS.iter().map(move |w| format!("{name}@{w}t")))
+        .collect();
+    report.enforce_coverage(&expected);
+
+    if let Some(reason) = gate_skip {
+        println!("scaling gate skipped: {reason}");
         return;
     }
     let worst_at_4 = report

@@ -178,6 +178,7 @@ fn main() {
                 ],
             })
             .collect(),
+        skipped: Vec::new(),
     };
     let path = report.write().expect("write BENCH_session.json");
     println!("\nwrote {path}");

@@ -52,6 +52,27 @@ impl BenchCase {
     }
 }
 
+/// A case the benchmark intended to measure but did not — recorded with
+/// its reason so a skip is never silent (and can be enforced against a
+/// gate's expected-case list, see [`BenchReport::missing_cases`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCase {
+    /// The case that was not measured.
+    pub name: String,
+    /// Why it was skipped (filter, host limitation, infeasible input, …).
+    pub reason: String,
+}
+
+impl SkippedCase {
+    /// Builds a skip record.
+    pub fn new(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        SkippedCase {
+            name: name.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
 /// A full `BENCH_*.json` report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -61,6 +82,10 @@ pub struct BenchReport {
     pub suite: &'static str,
     /// Measured cases.
     pub cases: Vec<BenchCase>,
+    /// Cases that were *not* measured, each with the reason why. Rendered
+    /// into the JSON artifact — consumers (and the gates) see exactly what
+    /// a run covered and what it dropped.
+    pub skipped: Vec<SkippedCase>,
 }
 
 impl BenchReport {
@@ -92,7 +117,24 @@ impl BenchReport {
                 "\n"
             });
         }
-        json.push_str("  ]\n}\n");
+        if self.skipped.is_empty() {
+            json.push_str("  ],\n  \"skipped\": []\n}\n");
+        } else {
+            json.push_str("  ],\n  \"skipped\": [\n");
+            for (i, s) in self.skipped.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "    {{\"name\": \"{}\", \"reason\": \"{}\"}}",
+                    s.name, s.reason
+                );
+                json.push_str(if i + 1 < self.skipped.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            json.push_str("  ]\n}\n");
+        }
         json
     }
 
@@ -110,6 +152,38 @@ impl BenchReport {
             .iter()
             .map(BenchCase::speedup)
             .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The `expected` case names that this run neither measured nor
+    /// recorded a skip for — i.e. the *silent* skips. A gated benchmark
+    /// must return an empty list here (see [`BenchReport::enforce_coverage`]).
+    pub fn missing_cases(&self, expected: &[String]) -> Vec<String> {
+        expected
+            .iter()
+            .filter(|name| {
+                !self.cases.iter().any(|c| &&c.name == name)
+                    && !self.skipped.iter().any(|s| &&s.name == name)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Gate helper: verifies every `expected` case was either measured or
+    /// loudly skipped (with a reason in [`BenchReport::skipped`]), and
+    /// aborts the benchmark (exit 1) listing any silent skip. Call after
+    /// assembling the report, before evaluating speedup gates — a gate
+    /// that never ran its case must fail, not pass by omission.
+    pub fn enforce_coverage(&self, expected: &[String]) {
+        let missing = self.missing_cases(expected);
+        if !missing.is_empty() {
+            eprintln!(
+                "BENCH_{}.json: case(s) silently skipped — neither measured nor \
+                 recorded in \"skipped\" with a reason: {}",
+                self.benchmark,
+                missing.join(", ")
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -151,6 +225,7 @@ mod tests {
                     extra: vec![],
                 },
             ],
+            skipped: vec![],
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"sdfr-bench/1\""));
@@ -161,9 +236,42 @@ mod tests {
             "{\"name\": \"pareto@4t\", \"threads\": 4, \"cold_ns\": 4000, \
              \"warm_ns\": 1000, \"speedup\": 4.00, \"skipped\": 2}"
         ));
+        assert!(json.contains("\"skipped\": []"));
         assert!((report.min_speedup() - 2.0).abs() < 1e-9);
         // Exactly one trailing comma between the two cases.
         assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn skips_are_recorded_with_reasons_and_missing_cases_detected() {
+        let report = BenchReport {
+            benchmark: "kernel",
+            suite: "table1",
+            cases: vec![BenchCase {
+                name: "modem".into(),
+                threads: 1,
+                cold: Duration::from_nanos(300),
+                warm: Duration::from_nanos(100),
+                extra: vec![],
+            }],
+            skipped: vec![SkippedCase::new(
+                "satellite",
+                "gamma above limit (4515 > 700)",
+            )],
+        };
+        let json = report.to_json();
+        assert!(json.contains(
+            "\"skipped\": [\n    {\"name\": \"satellite\", \
+             \"reason\": \"gamma above limit (4515 > 700)\"}\n  ]"
+        ));
+        let expected: Vec<String> = ["modem", "satellite", "mp3 playback"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        // Measured and loudly-skipped cases are covered; the third is a
+        // silent skip the gate must reject.
+        assert_eq!(report.missing_cases(&expected), vec!["mp3 playback"]);
+        assert!(report.missing_cases(&expected[..2]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Golden regression anchors for the Table-1 suite (Geilen, DAC 2009).
+//!
+//! The exact rational period, repetition-vector sum, token count,
+//! iteration makespan, and bottleneck (critical tokens and channels) of
+//! every Table-1 graph were dumped from the checked `Mp` datapath *before*
+//! the flat branch-free kernel landed, and are pinned here verbatim. Any
+//! kernel or engine change that shifts a single digit of a single case —
+//! a saturation leaking into a result, a reordered token, a drifted
+//! eigenvalue — fails this test with a line-level diff.
+
+use sdfr_analysis::AnalysisSession;
+
+/// One pinned line per case: every observable `sdfr analyze` derives,
+/// rendered with exact rationals (`den` included — no floats anywhere).
+const GOLDENS: [&str; 8] = [
+    "h.263 decoder|period=Some(Rational { num: 288684, den: 1 })|gamma_len=1190|tokens=3\
+     |makespan=326219|bperiod=Rational { num: 288684, den: 1 }|btokens=[(1,0)]|bchannels=[1]",
+    "h.263 encoder|period=Some(Rational { num: 108900, den: 1 })|gamma_len=201|tokens=3\
+     |makespan=116600|bperiod=Rational { num: 108900, den: 1 }|btokens=[(1,0)]|bchannels=[1]",
+    "modem|period=Some(Rational { num: 22, den: 1 })|gamma_len=48|tokens=13\
+     |makespan=22|bperiod=Rational { num: 22, den: 1 }|btokens=[(9,0),(19,0)]|bchannels=[9,19]",
+    "mp3 dec. block par.|period=Some(Rational { num: 95550, den: 1 })|gamma_len=911|tokens=3\
+     |makespan=97050|bperiod=Rational { num: 95550, den: 1 }|btokens=[(1,0),(2,0)]|bchannels=[1,2]",
+    "mp3 dec. granule par.|period=Some(Rational { num: 89700, den: 1 })|gamma_len=27|tokens=3\
+     |makespan=91200|bperiod=Rational { num: 89700, den: 1 }|btokens=[(1,0),(2,0)]|bchannels=[1,2]",
+    "mp3 playback|period=Some(Rational { num: 20725, den: 1 })|gamma_len=10601|tokens=7\
+     |makespan=27408|bperiod=Rational { num: 20725, den: 1 }|btokens=[(5,0)]|bchannels=[5]",
+    "sample rate conv.|period=Some(Rational { num: 3234, den: 1 })|gamma_len=612|tokens=6\
+     |makespan=3424|bperiod=Rational { num: 3234, den: 1 }|btokens=[(1,0)]|bchannels=[1]",
+    "satellite|period=Some(Rational { num: 1800, den: 1 })|gamma_len=4515|tokens=22\
+     |makespan=2498|bperiod=Rational { num: 1800, den: 1 }|btokens=[(1,0),(20,0)]|bchannels=[1,20]",
+];
+
+/// Renders the full observable surface of one case, in the same format the
+/// goldens were dumped with.
+fn observe(case: &sdfr_benchmarks::table1::Table1Case) -> String {
+    let s = AnalysisSession::new(case.graph.clone());
+    let t = s.throughput().expect("Table-1 cases are analysable");
+    let sym = s.symbolic().expect("Table-1 cases are analysable");
+    let b = s.bottleneck().expect("Table-1 cases are analysable");
+    let makespan = s.iteration_makespan().expect("Table-1 cases are simulable");
+    let mut line = format!(
+        "{}|period={:?}|gamma_len={}|tokens={}|makespan={}",
+        case.name,
+        t.period(),
+        t.repetition_vector().iteration_length(),
+        sym.num_tokens(),
+        makespan
+    );
+    match b {
+        None => line.push_str("|bottleneck=None"),
+        Some(b) => {
+            let toks: Vec<String> = b
+                .tokens
+                .iter()
+                .map(|t| format!("({},{})", t.channel.index(), t.position))
+                .collect();
+            let chans: Vec<String> = b.channels.iter().map(|c| c.index().to_string()).collect();
+            line.push_str(&format!(
+                "|bperiod={:?}|btokens=[{}]|bchannels=[{}]",
+                b.period,
+                toks.join(","),
+                chans.join(",")
+            ));
+        }
+    }
+    line
+}
+
+#[test]
+fn table1_observables_match_the_pre_kernel_goldens() {
+    let cases = sdfr_benchmarks::table1::all();
+    assert_eq!(
+        cases.len(),
+        GOLDENS.len(),
+        "a Table-1 case was added or removed; re-pin the goldens deliberately"
+    );
+    for (case, golden) in cases.iter().zip(GOLDENS) {
+        assert_eq!(
+            observe(case),
+            golden,
+            "{} drifted from its golden",
+            case.name
+        );
+    }
+}

@@ -276,15 +276,25 @@ pub fn run_batch(opts: &BatchOptions, emit: &(dyn Fn(&str) + Sync)) -> BatchRepo
         // the queue in submission order, making the streamed lines — and
         // the hit/miss attribution — identical to `--stable`.
         let pool = sdfr_pool::Pool::new(threads);
+        // Units are chunked by the tier/budget cost estimate: ladders of
+        // cheap low-cap tiers batch into one task (which also walks a
+        // file's consecutive tiers on one worker, feeding the registry's
+        // incremental near-hit path), while uncapped units stay one per
+        // task. A chunk emits its units in ascending index order, so with
+        // one thread the stream remains byte-identical to `--stable`
+        // whatever the chunk size.
+        let chunk = unit_chunk(&units, &opts.budget, &pool);
         let slots = Mutex::new(&mut results);
         pool.scope(|s| {
-            for unit in &units {
+            for chunk_units in units.chunks(chunk) {
                 let analyze_one = &analyze_one;
                 let slots = &slots;
                 s.spawn(move |_| {
-                    let r = analyze_one(unit);
-                    emit(&r.0);
-                    slots.lock().expect("batch results mutex poisoned")[unit.index] = Some(r);
+                    for unit in chunk_units {
+                        let r = analyze_one(unit);
+                        emit(&r.0);
+                        slots.lock().expect("batch results mutex poisoned")[unit.index] = Some(r);
+                    }
                 });
             }
         });
@@ -304,6 +314,23 @@ pub fn run_batch(opts: &BatchOptions, emit: &(dyn Fn(&str) + Sync)) -> BatchRepo
         summary: summary.to_json_line(),
         exit_code,
     }
+}
+
+/// How many budgeted firings one batch task should amortize its dispatch
+/// overhead over.
+const UNIT_CHUNK_COST: u64 = 65_536;
+
+/// Chunk size for fanning batch units out: the worst-case unit cost is
+/// estimated from the firing caps the [`Budget`] will charge (a unit's
+/// tier, else the base cap). Cheap capped units batch together until a
+/// task carries roughly [`UNIT_CHUNK_COST`] firings; any uncapped unit
+/// keeps the whole batch at one unit per task. The pool's load-balancing
+/// bound caps the batch so every worker still gets tasks to steal.
+fn unit_chunk(units: &[Unit], base: &Budget, pool: &sdfr_pool::Pool) -> usize {
+    let cost = |u: &Unit| u.tier.or(base.max_firings()).unwrap_or(u64::MAX);
+    let max_cost = units.iter().map(cost).max().unwrap_or(u64::MAX);
+    let by_cost = usize::try_from(UNIT_CHUNK_COST / max_cost.max(1)).unwrap_or(usize::MAX);
+    by_cost.clamp(1, pool.chunk_size(units.len()))
 }
 
 /// Folds analysed units into the `sdfr-api/1` [`BatchSummary`] (outcome
@@ -523,6 +550,29 @@ mod tests {
         assert!(report.summary.contains("\"errors\":1"));
         assert!(report.summary.contains("\"exits\":{\"3\":1}"));
         assert!(report.summary.contains("\"exit\":3"));
+    }
+
+    #[test]
+    fn unit_chunking_follows_the_tier_cost() {
+        let pool = sdfr_pool::Pool::new(2);
+        let units: Vec<Unit> = (0..64)
+            .map(|index| Unit {
+                index,
+                file: "f".into(),
+                tier: Some(16),
+            })
+            .collect();
+        // Cheap tiers batch up, bounded by the pool's load-balance cap.
+        let c = unit_chunk(&units, &Budget::unlimited(), &pool);
+        assert!(c > 1, "cheap tiers should batch, got chunk {c}");
+        assert!(c <= pool.chunk_size(units.len()));
+        // One uncapped unit forces per-unit tasks for the whole batch.
+        let mut mixed = units.clone();
+        mixed[5].tier = None;
+        assert_eq!(unit_chunk(&mixed, &Budget::unlimited(), &pool), 1);
+        // An uncapped tier under a capped base budget uses the base cost.
+        let base = Budget::unlimited().with_max_firings(16);
+        assert!(unit_chunk(&mixed, &base, &pool) > 1);
     }
 
     #[test]

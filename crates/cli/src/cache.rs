@@ -331,8 +331,10 @@ impl Journal {
             // scanned size so the next persists don't replay the whole file
             // again before it has grown another threshold's worth.
             let current = self.bytes.load(Ordering::Relaxed);
-            self.compact_watermark
-                .store(current.saturating_add(self.compact_bytes), Ordering::Relaxed);
+            self.compact_watermark.store(
+                current.saturating_add(self.compact_bytes),
+                Ordering::Relaxed,
+            );
             return;
         }
         let mut out = String::new();

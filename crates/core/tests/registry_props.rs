@@ -10,6 +10,9 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
+use sdfr_analysis::buffer::{
+    minimize_capacities, throughput_buffer_tradeoff, throughput_buffer_tradeoff_serial,
+};
 use sdfr_analysis::registry::{Lookup, RegistryConfig, SessionRegistry};
 use sdfr_analysis::AnalysisSession;
 use sdfr_graph::budget::Budget;
@@ -116,6 +119,33 @@ proptest! {
         // K duplicates of one graph -> exactly one symbolic iteration per
         // distinct content (deadlocked graphs may have run none).
         prop_assert!(stats.symbolic_iterations <= unique);
+    }
+
+    /// The chunked parallel fan-outs — capacity minimization's probe ring
+    /// and the Pareto sweep — are byte-identical to the serial oracle at
+    /// every pool width 1..=8, on random graphs (deadlocking ones included:
+    /// errors must match too). Chunking batches probes by the budget cost
+    /// model, so this pins "coarser tasks" to "identical answers".
+    #[test]
+    fn chunked_sweeps_equal_serial_oracle_at_every_width(g in random_graph()) {
+        let graph = g.build();
+        let iterations = 3;
+        let serial_curve = throughput_buffer_tradeoff_serial(&graph, iterations);
+        let serial_caps = sdfr_pool::Pool::new(1)
+            .install(|| minimize_capacities(&graph, iterations));
+        for width in 1..=8usize {
+            let pool = sdfr_pool::Pool::new(width);
+            let curve = pool.install(|| throughput_buffer_tradeoff(&graph, iterations));
+            prop_assert_eq!(
+                &curve, &serial_curve,
+                "Pareto sweep diverged from serial at width {}", width
+            );
+            let caps = pool.install(|| minimize_capacities(&graph, iterations));
+            prop_assert_eq!(
+                &caps, &serial_caps,
+                "capacity minimization diverged from 1-thread at width {}", width
+            );
+        }
     }
 
     /// The same differential guarantee under a shared *tight* budget: the

@@ -52,17 +52,34 @@ pub fn maximum_cycle_mean(g: &PrecedenceGraph) -> Option<Rational> {
     best
 }
 
-/// Karp's algorithm restricted to one strongly connected component.
-///
-/// Returns `None` when the component has no internal edge (a trivial SCC).
-fn karp_on_scc(g: &PrecedenceGraph, scc: &[usize]) -> Option<Rational> {
+/// [`eigenvalue`] forced through the checked `Mp` DP on every component —
+/// the pre-flat reference path, kept callable as the oracle the flat
+/// kernel's differential tests compare against and as the kernel
+/// benchmark's baseline.
+pub fn eigenvalue_checked(a: &MpMatrix) -> Option<Rational> {
+    let g = a.precedence_graph().ok()?;
+    let mut best: Option<Rational> = None;
+    for scc in g.sccs() {
+        let mcm = scc_edges(&g, &scc).and_then(|edges| karp_checked(scc.len(), &edges));
+        if let Some(mcm) = mcm {
+            best = Some(match best {
+                Some(b) if b >= mcm => b,
+                _ => mcm,
+            });
+        }
+    }
+    best
+}
+
+/// The adjacency of one SCC in component-local indices, or `None` when the
+/// component has no internal edge (a trivial SCC).
+fn scc_edges(g: &PrecedenceGraph, scc: &[usize]) -> Option<Vec<Vec<(usize, Time)>>> {
     let n = scc.len();
     // Map global node ids to local indices.
     let mut local = std::collections::HashMap::with_capacity(n);
     for (i, &v) in scc.iter().enumerate() {
         local.insert(v, i);
     }
-    // Local adjacency restricted to the component.
     let mut edges: Vec<Vec<(usize, Time)>> = vec![Vec::new(); n];
     let mut has_edge = false;
     for (i, &v) in scc.iter().enumerate() {
@@ -73,11 +90,91 @@ fn karp_on_scc(g: &PrecedenceGraph, scc: &[usize]) -> Option<Rational> {
             }
         }
     }
-    if !has_edge {
-        return None;
-    }
+    has_edge.then_some(edges)
+}
+
+/// Karp's algorithm restricted to one strongly connected component.
+///
+/// Returns `None` when the component has no internal edge (a trivial SCC).
+fn karp_on_scc(g: &PrecedenceGraph, scc: &[usize]) -> Option<Rational> {
+    let n = scc.len();
+    let edges = scc_edges(g, scc)?;
     // In a strongly connected component with >= 1 edge there is a cycle
     // through every node; Karp from source 0 is valid.
+    //
+    // When every walk weight provably fits (|d[k][v]| <= n·W and the final
+    // differences |d[n][v] - d[k][v]| <= 2n·W stay within i64), run the DP
+    // on the sentinel-encoded flat layout with plain adds; otherwise fall
+    // back to the checked Mp path, which keeps the historical
+    // panic-on-overflow behavior.
+    let w_bound = edges
+        .iter()
+        .flatten()
+        .map(|&(_, wt)| wt.unsigned_abs())
+        .max()
+        .unwrap_or(0);
+    if w_bound <= i64::MAX as u64 / (2 * n as u64) {
+        karp_flat(n, &edges)
+    } else {
+        karp_checked(n, &edges)
+    }
+}
+
+/// The Karp DP on the branch-free sentinel encoding ([`crate::flat`]): one
+/// contiguous `(n+1)×n` row-major `i64` buffer, plain adds (the caller has
+/// bounded every intermediate), `i64::MIN` for "unreached".
+fn karp_flat(n: usize, edges: &[Vec<(usize, Time)>]) -> Option<Rational> {
+    use crate::flat::NEG_INF;
+    let mut d = vec![NEG_INF; (n + 1) * n];
+    d[0] = 0;
+    for k in 1..=n {
+        let (prev, rest) = d.split_at_mut(k * n);
+        let prev = &prev[(k - 1) * n..];
+        let cur = &mut rest[..n];
+        for (u, out) in edges.iter().enumerate() {
+            let du = prev[u];
+            if du == NEG_INF {
+                continue;
+            }
+            for &(v, w) in out {
+                let cand = du + w;
+                if cand > cur[v] {
+                    cur[v] = cand;
+                }
+            }
+        }
+    }
+    // MCM = max_v min_{0<=k<n} (d[n][v] - d[k][v]) / (n - k).
+    let mut best: Option<Rational> = None;
+    for v in 0..n {
+        let dn = d[n * n + v];
+        if dn == NEG_INF {
+            continue;
+        }
+        let mut vmin: Option<Rational> = None;
+        for k in 0..n {
+            let dk = d[k * n + v];
+            if dk != NEG_INF {
+                let mean = Rational::new(dn - dk, (n - k) as i64);
+                vmin = Some(match vmin {
+                    Some(m) if m <= mean => m,
+                    _ => mean,
+                });
+            }
+        }
+        if let Some(m) = vmin {
+            best = Some(match best {
+                Some(b) if b >= m => b,
+                _ => m,
+            });
+        }
+    }
+    best
+}
+
+/// The original checked-`Mp` Karp DP, kept as the overflow-detecting
+/// fallback and as the reference oracle for the flat path.
+fn karp_checked(n: usize, edges: &[Vec<(usize, Time)>]) -> Option<Rational> {
     // d[k][v] = max weight of a k-edge walk from source to v.
     let mut d = vec![vec![Mp::NegInf; n]; n + 1];
     d[0][0] = Mp::ZERO;
@@ -190,6 +287,36 @@ mod tests {
     fn negative_weights_supported() {
         let a = mat(&[&[None, Some(-3)], &[Some(-5), None]]);
         assert_eq!(eigenvalue(&a), Some(Rational::new(-4, 1)));
+    }
+
+    #[test]
+    fn huge_weights_take_the_checked_fallback() {
+        // Weights too large for the flat DP's 2n·W bound: the checked path
+        // still computes the exact mean (no overflow on this instance).
+        let w = i64::MAX / 3;
+        let a = mat(&[&[None, Some(w)], &[Some(w - 4), None]]);
+        assert_eq!(eigenvalue(&a), Some(Rational::new(w - 2, 1)));
+        // And right at the boundary the two paths agree.
+        let b = mat(&[&[Some(5), Some(2)], &[Some(1), Some(3)]]);
+        assert_eq!(
+            karp_flat(2, &[vec![(0, 5), (1, 1)], vec![(0, 2), (1, 3)]]),
+            karp_checked(2, &[vec![(0, 5), (1, 1)], vec![(0, 2), (1, 3)]]),
+        );
+        assert_eq!(eigenvalue(&b), Some(Rational::new(5, 1)));
+    }
+
+    #[test]
+    fn checked_entry_point_agrees_with_the_default() {
+        let cases = [
+            mat(&[&[Some(7)]]),
+            mat(&[&[None, Some(3)], &[Some(5), None]]),
+            mat(&[&[Some(2), None], &[Some(10), Some(6)]]),
+            mat(&[&[None, Some(-3)], &[Some(-5), None]]),
+            mat(&[&[None, None], &[Some(3), None]]),
+        ];
+        for a in &cases {
+            assert_eq!(eigenvalue(a), eigenvalue_checked(a));
+        }
     }
 
     #[test]

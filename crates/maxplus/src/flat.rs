@@ -1,0 +1,397 @@
+//! Branch-free flat kernel for max-plus hot loops.
+//!
+//! The symbolic execution of an SDF iteration (paper, Alg. 1) spends almost
+//! all of its time in two dense loops over time-stamp vectors: the entrywise
+//! maximum (`⊕`, synchronising an actor firing on its input tokens) and the
+//! scalar shift (`⊗`, delaying every dependency by the execution time). With
+//! [`Mp`] those loops match on a two-variant enum per element, which defeats
+//! autovectorization and doubles the memory traffic (16 bytes per element).
+//!
+//! This module provides the *sentinel encoding*: a semiring element is a
+//! plain `i64` where [`NEG_INF`] (`i64::MIN`) encodes `−∞` and every other
+//! value encodes itself. The encoding is sound because:
+//!
+//! - **`⊕` is `i64::max`.** The total order on `Mp` places `−∞` strictly
+//!   below every finite value, and `i64::MIN` is the minimum of `i64`, so
+//!   the native comparison agrees with the semiring order on the whole
+//!   encoded domain — no branch, no select.
+//! - **`⊗` is a saturating add plus a branch-free select.** `−∞` absorbs
+//!   addition; the select `(a == NEG_INF) | (b == NEG_INF)` compiles to a
+//!   compare-and-cmov (or a vector blend), not a branch. Saturation at
+//!   `i64::MIN` is *below* every representable finite value, so a saturated
+//!   intermediate can never be confused with a larger finite result; hot
+//!   paths that must report overflow instead of saturating hoist a single
+//!   bound check out of the loop (see [`FlatVector::shift_in_place`]).
+//!
+//! The price is one excluded point: `Fin(i64::MIN)` is not representable
+//! (it collides with the sentinel). No analysis produces it — execution
+//! times are non-negative by construction (`sdfr-graph` rejects negative
+//! ones) and symbolic stamps start at `0`/`−∞` — and the conversions from
+//! [`Mp`] debug-assert the exclusion.
+//!
+//! The checked [`Mp`] arithmetic remains the reference oracle; the
+//! differential suite in `tests/kernel_props.rs` pins the two element-for-
+//! element across the full `i64` range.
+
+use crate::{Mp, MpVector, Time};
+
+/// The sentinel encoding of `−∞`: [`i64::MIN`].
+pub const NEG_INF: i64 = i64::MIN;
+
+/// The semiring addition `⊕` (maximum) on sentinel-encoded values.
+///
+/// Exactly `i64::max`: the sentinel is the minimum of `i64`, so the native
+/// order coincides with the semiring order.
+#[inline(always)]
+pub fn max(a: i64, b: i64) -> i64 {
+    a.max(b)
+}
+
+/// The semiring multiplication `⊗` (addition, `−∞` absorbing) on
+/// sentinel-encoded values, branch-free.
+///
+/// Finite overflow saturates to the nearest representable value; a sum that
+/// saturates *down* to `i64::MIN` leaves the finite domain and therefore
+/// reads back as `−∞`. Callers that must distinguish overflow from
+/// saturation (the symbolic engine) hoist a bound check instead — see
+/// [`FlatVector::shift_in_place`].
+#[inline(always)]
+pub fn add(a: i64, b: i64) -> i64 {
+    let s = a.saturating_add(b);
+    // `|` (not `||`): evaluate both compares unconditionally so the whole
+    // expression lowers to cmov/blend instead of a branch.
+    if (a == NEG_INF) | (b == NEG_INF) {
+        NEG_INF
+    } else {
+        s
+    }
+}
+
+/// Encodes an [`Mp`] value.
+///
+/// In debug builds, asserts the one unrepresentable point `Fin(i64::MIN)`
+/// (it would alias the sentinel) is absent.
+#[inline]
+pub fn from_mp(e: Mp) -> i64 {
+    match e {
+        Mp::NegInf => NEG_INF,
+        Mp::Fin(t) => {
+            debug_assert!(t != i64::MIN, "Fin(i64::MIN) aliases the -inf sentinel");
+            t
+        }
+    }
+}
+
+/// Decodes a sentinel-encoded value back to [`Mp`].
+#[inline]
+pub fn to_mp(e: i64) -> Mp {
+    if e == NEG_INF {
+        Mp::NegInf
+    } else {
+        Mp::Fin(e)
+    }
+}
+
+/// A max-plus vector in the sentinel encoding: the flat counterpart of
+/// [`MpVector`] for hot loops.
+///
+/// The entries live in one contiguous `Vec<i64>` — half the footprint of
+/// `Vec<Mp>` and a layout the autovectorizer handles. All mutating
+/// operations work in place so the symbolic engine can reuse scratch
+/// buffers across firings instead of allocating per stamp.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FlatVector {
+    entries: Vec<i64>,
+}
+
+impl FlatVector {
+    /// A vector of the given length filled with `−∞`.
+    pub fn neg_inf(len: usize) -> Self {
+        FlatVector {
+            entries: vec![NEG_INF; len],
+        }
+    }
+
+    /// The `i`-th max-plus unit vector: `0` at `i`, `−∞` elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn unit(len: usize, i: usize) -> Self {
+        assert!(i < len, "unit index {i} out of bounds for length {len}");
+        let mut v = Self::neg_inf(len);
+        v.entries[i] = 0;
+        v
+    }
+
+    /// Builds a flat vector from raw sentinel-encoded entries.
+    pub fn from_raw(entries: Vec<i64>) -> Self {
+        FlatVector { entries }
+    }
+
+    /// Encodes an [`MpVector`].
+    pub fn from_mp(v: &MpVector) -> Self {
+        FlatVector {
+            entries: v.iter().map(from_mp).collect(),
+        }
+    }
+
+    /// Decodes back to an [`MpVector`].
+    pub fn to_mp(&self) -> MpVector {
+        self.entries.iter().map(|&e| to_mp(e)).collect()
+    }
+
+    /// The number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sentinel-encoded entries.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.entries
+    }
+
+    /// Resets every entry to `−∞`, keeping the allocation.
+    pub fn fill_neg_inf(&mut self) {
+        self.entries.fill(NEG_INF);
+    }
+
+    /// Resizes to `len` entries, filling with `−∞`; keeps the allocation
+    /// when shrinking.
+    pub fn reset_neg_inf(&mut self, len: usize) {
+        self.entries.clear();
+        self.entries.resize(len, NEG_INF);
+    }
+
+    /// Entrywise maximum (`⊕`) with `other`, in place. The flat form of
+    /// [`MpVector::join`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn join_in_place(&mut self, other: &FlatVector) {
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "FlatVector::join_in_place length mismatch"
+        );
+        for (a, &b) in self.entries.iter_mut().zip(&other.entries) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Adds `delta` to every finite entry (`⊗` by a scalar), in place, with
+    /// *hoisted* overflow detection: returns `false` — leaving the vector
+    /// unchanged — when some finite entry would leave the representable
+    /// range, exactly where [`MpVector::checked_shift`] returns `None`.
+    ///
+    /// For `delta ≥ 0` the maximum finite entry overflows first, so one
+    /// comparison outside the loop decides the whole vector and the loop
+    /// body is a branch-free wrapping add plus sentinel select. (A result of
+    /// exactly `i64::MIN` is also rejected for `delta < 0`: it is
+    /// representable in `Mp` but aliases the sentinel here.)
+    pub fn shift_in_place(&mut self, delta: Time) -> bool {
+        if delta >= 0 {
+            let max = self.max_entry();
+            if max != NEG_INF && max > i64::MAX - delta {
+                return false;
+            }
+            for e in &mut self.entries {
+                // The wrap can only happen on the sentinel (MIN + delta),
+                // and the select discards exactly that lane.
+                let s = e.wrapping_add(delta);
+                *e = if *e == NEG_INF { NEG_INF } else { s };
+            }
+        } else {
+            let mut min = i64::MAX;
+            let mut any = false;
+            for &e in &self.entries {
+                if e != NEG_INF {
+                    any = true;
+                    min = min.min(e);
+                }
+            }
+            // Underflow first at the minimum finite entry; `min + delta`
+            // must stay strictly above the sentinel. (`NEG_INF - delta`
+            // cannot overflow: for negative `delta` it lies in `MIN+1..=0`.)
+            if any && min <= NEG_INF - delta {
+                return false;
+            }
+            for e in &mut self.entries {
+                let s = e.wrapping_add(delta);
+                *e = if *e == NEG_INF { NEG_INF } else { s };
+            }
+        }
+        true
+    }
+
+    /// The maximum entry (`−∞` for an all-`−∞` or empty vector).
+    pub fn max_entry(&self) -> i64 {
+        self.entries.iter().copied().fold(NEG_INF, i64::max)
+    }
+
+    /// Rewrites the index space: removes `remove` entries at `at`, inserts
+    /// `insert` fresh `−∞` entries. The flat form of
+    /// [`MpVector::splice_neg_inf`]; in debug builds the removed entries
+    /// are asserted to be `−∞`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at + remove` exceeds the vector length.
+    pub fn splice_neg_inf(&self, at: usize, remove: usize, insert: usize) -> FlatVector {
+        assert!(
+            at.checked_add(remove).is_some_and(|end| end <= self.len()),
+            "splice window {at}+{remove} out of bounds for length {}",
+            self.len()
+        );
+        debug_assert!(
+            self.entries[at..at + remove].iter().all(|&e| e == NEG_INF),
+            "splice_neg_inf must only remove -inf entries"
+        );
+        let mut entries = Vec::with_capacity(self.len() - remove + insert);
+        entries.extend_from_slice(&self.entries[..at]);
+        entries.extend(std::iter::repeat_n(NEG_INF, insert));
+        entries.extend_from_slice(&self.entries[at + remove..]);
+        FlatVector { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_max_matches_mp() {
+        let samples = [NEG_INF, i64::MIN + 1, -7, 0, 3, i64::MAX];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(to_mp(max(a, b)), to_mp(a).max(to_mp(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_add_matches_checked_where_defined() {
+        let samples = [NEG_INF, i64::MIN + 1, -7, 0, 3, i64::MAX - 1];
+        for &a in &samples {
+            for &b in &samples {
+                if let Some(exact) = to_mp(a).checked_add(to_mp(b)) {
+                    if exact != Mp::Fin(i64::MIN) {
+                        assert_eq!(to_mp(add(a, b)), exact, "add({a},{b})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_add_saturates_outside_domain() {
+        assert_eq!(add(i64::MAX, 1), i64::MAX);
+        // Downward saturation leaves the finite domain: reads as −∞.
+        assert_eq!(to_mp(add(i64::MIN + 1, -2)), Mp::NegInf);
+        assert_eq!(add(NEG_INF, i64::MAX), NEG_INF);
+        assert_eq!(add(5, NEG_INF), NEG_INF);
+    }
+
+    #[test]
+    fn roundtrip_conversions() {
+        for e in [Mp::NegInf, Mp::fin(0), Mp::fin(-3), Mp::fin(i64::MAX)] {
+            assert_eq!(to_mp(from_mp(e)), e);
+        }
+        let v = MpVector::from_entries([Mp::fin(4), Mp::NEG_INF, Mp::fin(-1)]);
+        assert_eq!(FlatVector::from_mp(&v).to_mp(), v);
+    }
+
+    #[test]
+    fn join_in_place_is_entrywise_max() {
+        let mut a = FlatVector::from_raw(vec![1, NEG_INF, 5]);
+        let b = FlatVector::from_raw(vec![3, 0, 2]);
+        a.join_in_place(&b);
+        assert_eq!(a.as_slice(), &[3, 0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn join_in_place_length_mismatch_panics() {
+        let mut a = FlatVector::neg_inf(2);
+        a.join_in_place(&FlatVector::neg_inf(3));
+    }
+
+    #[test]
+    fn shift_matches_checked_shift() {
+        let v = MpVector::from_entries([Mp::fin(1), Mp::NEG_INF, Mp::fin(7)]);
+        for delta in [0, 4, -1, i64::MAX - 7, i64::MAX - 6] {
+            let mut f = FlatVector::from_mp(&v);
+            let before = f.clone();
+            match v.checked_shift(delta) {
+                Some(exact) => {
+                    assert!(f.shift_in_place(delta), "delta={delta}");
+                    assert_eq!(f.to_mp(), exact);
+                }
+                None => {
+                    assert!(!f.shift_in_place(delta));
+                    assert_eq!(f, before, "failed shift must leave vector intact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_rejects_sentinel_alias_on_negative_delta() {
+        // 0 + (MIN+1) = MIN+1: representable, fine.
+        let mut f = FlatVector::from_raw(vec![0]);
+        assert!(f.shift_in_place(i64::MIN + 1));
+        assert_eq!(f.as_slice(), &[i64::MIN + 1]);
+        // -1 + (MIN+1) would be exactly i64::MIN: aliases the sentinel.
+        let mut f = FlatVector::from_raw(vec![-1]);
+        assert!(!f.shift_in_place(i64::MIN + 1));
+        // All-neg-inf vectors shift freely however large the delta.
+        let mut f = FlatVector::neg_inf(3);
+        assert!(f.shift_in_place(i64::MAX));
+        assert!(f.shift_in_place(i64::MIN + 1));
+        assert_eq!(f, FlatVector::neg_inf(3));
+    }
+
+    #[test]
+    fn unit_and_reset() {
+        let u = FlatVector::unit(3, 1);
+        assert_eq!(u.as_slice(), &[NEG_INF, 0, NEG_INF]);
+        assert_eq!(u.max_entry(), 0);
+        let mut v = FlatVector::from_raw(vec![5, 6]);
+        v.fill_neg_inf();
+        assert_eq!(v, FlatVector::neg_inf(2));
+        v.reset_neg_inf(4);
+        assert_eq!(v, FlatVector::neg_inf(4));
+        assert!(!v.is_empty());
+        assert_eq!(FlatVector::neg_inf(0).max_entry(), NEG_INF);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unit_out_of_bounds_panics() {
+        let _ = FlatVector::unit(2, 2);
+    }
+
+    #[test]
+    fn splice_matches_mp_vector() {
+        let v = MpVector::from_entries([Mp::fin(1), Mp::NEG_INF, Mp::NEG_INF, Mp::fin(4)]);
+        let f = FlatVector::from_mp(&v);
+        for (at, remove, insert) in [(1, 2, 1), (1, 2, 3), (4, 0, 2), (1, 2, 2)] {
+            assert_eq!(
+                f.splice_neg_inf(at, remove, insert).to_mp(),
+                v.splice_neg_inf(at, remove, insert)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn splice_out_of_bounds_panics() {
+        let _ = FlatVector::neg_inf(2).splice_neg_inf(1, 2, 0);
+    }
+}

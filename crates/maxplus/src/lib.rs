@@ -49,10 +49,12 @@ mod vector;
 
 pub mod closure;
 pub mod eigen;
+pub mod flat;
 pub mod precedence;
 pub mod recurrence;
 
 pub use error::MpError;
+pub use flat::FlatVector;
 pub use matrix::MpMatrix;
 pub use rational::Rational;
 pub use value::{Mp, Time};

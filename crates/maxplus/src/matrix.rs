@@ -96,6 +96,40 @@ impl MpMatrix {
         Self::from_rows(rows.into_iter().map(MpVector::into_entries).collect())
     }
 
+    /// Creates a matrix from sentinel-encoded [`FlatVector`](crate::FlatVector)
+    /// rows — the boundary conversion out of the flat kernel's hot loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpError::RaggedRows`] if rows have different lengths.
+    pub fn from_flat_rows(rows: Vec<crate::FlatVector>) -> Result<Self, MpError> {
+        let ncols = rows.first().map_or(0, crate::FlatVector::len);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(MpError::RaggedRows {
+                    expected: ncols,
+                    found: r.len(),
+                    row: i,
+                });
+            }
+        }
+        let nrows = rows.len();
+        Ok(MpMatrix {
+            rows: nrows,
+            cols: ncols,
+            data: rows
+                .iter()
+                .flat_map(|r| r.as_slice().iter().map(|&e| Mp::from_flat(e)))
+                .collect(),
+        })
+    }
+
+    /// The matrix in sentinel-encoded row-major form (see [`crate::flat`]):
+    /// one contiguous `i64` buffer the flat kernels iterate directly.
+    pub fn to_flat_row_major(&self) -> Vec<i64> {
+        self.data.iter().map(|e| e.to_flat()).collect()
+    }
+
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.rows
@@ -404,6 +438,31 @@ mod tests {
         let a = m(vec![vec![1, 2]]);
         let s = a.to_string();
         assert!(s.contains('1') && s.contains('2'));
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let a = MpMatrix::from_rows(vec![
+            vec![Mp::fin(1), Mp::NegInf, Mp::fin(3)],
+            vec![Mp::fin(4), Mp::fin(5), Mp::NegInf],
+        ])
+        .unwrap();
+        let flat = a.to_flat_row_major();
+        assert_eq!(flat[1], crate::flat::NEG_INF);
+        assert_eq!(flat[3], 4);
+        let rows = vec![
+            crate::FlatVector::from_mp(&a.row(0)),
+            crate::FlatVector::from_mp(&a.row(1)),
+        ];
+        assert_eq!(MpMatrix::from_flat_rows(rows).unwrap(), a);
+        assert!(matches!(
+            MpMatrix::from_flat_rows(vec![
+                crate::FlatVector::neg_inf(1),
+                crate::FlatVector::neg_inf(2)
+            ]),
+            Err(MpError::RaggedRows { row: 1, .. })
+        ));
+        assert_eq!(MpMatrix::from_flat_rows(vec![]).unwrap().num_rows(), 0);
     }
 }
 

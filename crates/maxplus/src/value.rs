@@ -132,6 +132,23 @@ impl Mp {
         }
     }
 
+    /// The sentinel encoding of this value for the branch-free flat kernel
+    /// ([`crate::flat`]): `−∞` becomes [`i64::MIN`], finite values encode
+    /// themselves.
+    ///
+    /// In debug builds, asserts the value is not `Fin(i64::MIN)` (the one
+    /// point the encoding cannot represent).
+    #[inline]
+    pub fn to_flat(self) -> i64 {
+        crate::flat::from_mp(self)
+    }
+
+    /// Decodes a sentinel-encoded value (inverse of [`Mp::to_flat`]).
+    #[inline]
+    pub fn from_flat(e: i64) -> Mp {
+        crate::flat::to_mp(e)
+    }
+
     /// The semiring multiplication `⊗`, clamping finite overflow to the
     /// nearest representable [`Time`].
     ///

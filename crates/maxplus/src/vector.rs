@@ -223,6 +223,12 @@ impl MpVector {
         MpVector { entries }
     }
 
+    /// Encodes the vector for the branch-free flat kernel
+    /// ([`crate::flat::FlatVector`]).
+    pub fn to_flat(&self) -> crate::FlatVector {
+        crate::FlatVector::from_mp(self)
+    }
+
     /// Consumes the vector and returns its entries.
     pub fn into_entries(self) -> Vec<Mp> {
         self.entries
