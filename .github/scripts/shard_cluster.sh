@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Gating shard-cluster check: a 3-shard consistent-hash `sdfr serve` fleet
+# must answer the Table-1 corpus byte-identically to the in-process
+# --stable oracle, spread warm state over at least two shards, survive a
+# kill -9 of one member through client-side failover (exit 0), and re-warm
+# the restarted member over the archive-handoff path.
+#
+# Run from the repository root after `cargo build --release`.
+set -euo pipefail
+
+BIN=target/release/sdfr
+CORPUS=table1-corpus
+PIDS=()
+PORTS=()
+PEERS=""
+
+test -x "$BIN" || { echo "$BIN not built (run cargo build --release)"; exit 1; }
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+cargo run --release -p sdfr-bench --bin table1_corpus -- "$CORPUS"
+FILES=("$CORPUS"/*.sdf)
+
+# Starts fleet member $1 on its pre-picked port and waits for its
+# listening line; returns non-zero if the process bailed (port race).
+start_member() {
+  local i=$1
+  : > "serve-$i.out"
+  "$BIN" serve --addr "127.0.0.1:${PORTS[$i]}" --shard "$i/3" --peers "$PEERS" \
+    > "serve-$i.out" 2> "serve-$i.err" &
+  PIDS[$i]=$!
+  for _ in $(seq 50); do
+    grep -q "listening on" "serve-$i.out" && return 0
+    kill -0 "${PIDS[$i]}" 2>/dev/null || return 1
+    sleep 0.1
+  done
+  return 1
+}
+
+# Picks three ports and starts all members, retrying the whole fleet on a
+# bind race (serve exits with "cannot bind" and the loop picks new ports).
+start_fleet() {
+  local attempt i
+  for attempt in 1 2 3 4 5; do
+    cleanup
+    PIDS=()
+    PORTS=()
+    for _ in 0 1 2; do
+      PORTS+=($(( (RANDOM % 20000) + 20000 )))
+    done
+    PEERS="127.0.0.1:${PORTS[0]},127.0.0.1:${PORTS[1]},127.0.0.1:${PORTS[2]}"
+    local ok=1
+    for i in 0 1 2; do
+      start_member "$i" || { ok=0; break; }
+    done
+    [ "$ok" -eq 1 ] && return 0
+    echo "fleet start attempt $attempt failed (port race), retrying"
+  done
+  echo "could not start a 3-shard fleet in 5 attempts"
+  exit 1
+}
+
+# Drops the cumulative summary line and masks cache attribution — the only
+# fields that legitimately differ between cold and warm runs.
+normalize() {
+  grep -v '"summary"' "$1" | sed 's/"cache":"[a-z]*"/"cache":"?"/'
+}
+
+start_fleet
+echo "fleet up: $PEERS"
+
+# 1. Cold sharded batch is byte-identical to the in-process --stable oracle.
+"$BIN" batch "${FILES[@]}" --stable > stable.jsonl
+"$BIN" --peers "$PEERS" batch "${FILES[@]}" > cold.jsonl
+diff -u stable.jsonl cold.jsonl
+echo "gate 1: cold sharded batch is byte-identical to --stable"
+
+# 2. Warm run: identical modulo cache attribution, and the warmth is
+#    actually sharded — at least two members took registry hits.
+"$BIN" --peers "$PEERS" batch "${FILES[@]}" > warm.jsonl
+diff -u <(normalize stable.jsonl) <(normalize warm.jsonl)
+warm_shards=0
+for i in 0 1 2; do
+  "$BIN" stats --server "127.0.0.1:${PORTS[$i]}" > "stats-$i.json"
+  hits=$(sed -n 's/.*"hits":\([0-9]*\).*/\1/p' "stats-$i.json")
+  [ "${hits:-0}" -ge 1 ] && warm_shards=$((warm_shards + 1))
+done
+test "$warm_shards" -ge 2 || {
+  echo "only $warm_shards shard(s) took warm hits, want >= 2"
+  exit 1
+}
+echo "gate 2: warm run identical; $warm_shards shards took warm hits"
+
+# 3. kill -9 a member that owns corpus entries: the client must fail over
+#    to the ring successor and still exit 0 with the same result set.
+victim=""
+for i in 0 1 2; do
+  entries=$(sed -n 's/.*"entries":\([0-9]*\).*/\1/p' "stats-$i.json")
+  if [ "${entries:-0}" -ge 1 ]; then
+    victim=$i
+    break
+  fi
+done
+test -n "$victim" || { echo "no shard owns any corpus entries"; exit 1; }
+kill -9 "${PIDS[$victim]}"
+wait "${PIDS[$victim]}" 2>/dev/null || true
+"$BIN" --peers "$PEERS" batch "${FILES[@]}" > failover.jsonl 2> failover.err
+diff -u <(normalize stable.jsonl) <(normalize failover.jsonl)
+grep -q "failing over" failover.err
+echo "gate 3: kill -9 shard $victim survived via failover (exit 0)"
+
+# 4. Restart the victim cold: the next run must re-warm it by pulling its
+#    sessions back from the ring successor's archive.
+start_member "$victim" || {
+  echo "cannot restart shard $victim"
+  cat "serve-$victim.err"
+  exit 1
+}
+"$BIN" --peers "$PEERS" batch "${FILES[@]}" > rewarmed.jsonl
+diff -u <(normalize stable.jsonl) <(normalize rewarmed.jsonl)
+"$BIN" stats --server "127.0.0.1:${PORTS[$victim]}" > restart-stats.json
+received=$(sed -n 's/.*"handoffs_received":\([0-9]*\).*/\1/p' restart-stats.json)
+test "${received:-0}" -ge 1 || {
+  echo "restarted shard took no warm handoff"
+  cat restart-stats.json
+  exit 1
+}
+echo "gate 4: restarted shard re-warmed via $received archive handoff(s)"
+
+echo "shard-cluster: all gates passed"

@@ -531,6 +531,45 @@ impl SessionRegistry {
             })
     }
 
+    /// The resident session with this content fingerprint, preferring the
+    /// uncapped entry (no `max_firings`/`max_size`) and falling back to
+    /// the key with the *largest* caps — the most-complete engine state.
+    /// This is the shard archive-handoff export hook: `sdfr serve`
+    /// answers `GET /v1/archive/<fp>` from it so a ring neighbour can
+    /// seed its own registry with the warmest variant available. Not
+    /// counted as a lookup — exporting warmth must not skew LRU order or
+    /// hit/miss accounting.
+    pub fn find_by_fingerprint(&self, fingerprint: u64) -> Option<Arc<AnalysisSession>> {
+        let inner = self.inner.lock().expect("registry mutex poisoned");
+        let mut best: Option<(&Key, &Entry)> = None;
+        for (key, entry) in inner
+            .map
+            .iter()
+            .filter(|(k, _)| k.fingerprint == fingerprint)
+        {
+            let better = match &best {
+                None => true,
+                Some((held, _)) => {
+                    // `None` caps sort above any finite cap; otherwise the
+                    // larger cap pair wins (more firings simulated).
+                    let rank = |k: &Key| {
+                        (
+                            k.max_firings.is_none(),
+                            k.max_size.is_none(),
+                            k.max_firings,
+                            k.max_size,
+                        )
+                    };
+                    rank(key) > rank(held)
+                }
+            };
+            if better {
+                best = Some((key, entry));
+            }
+        }
+        best.map(|(_, entry)| Arc::clone(&entry.session))
+    }
+
     /// The content fingerprint a single-channel token variant of `base`
     /// would be keyed under, computed without materialising the variant
     /// graph: `fingerprint_delta(g, (c, d))` equals the

@@ -51,6 +51,7 @@
 
 pub mod cache;
 pub mod json;
+pub mod shards;
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -174,6 +175,13 @@ pub struct AnalysisRequest {
     pub max_firings: Option<u64>,
     /// `--max-size` cap (content-addressable, part of the cache key).
     pub max_size: Option<u64>,
+    /// Caller-assigned global unit indices, one per `graphs × tiers` unit
+    /// in file-major order. A sharded client splits one logical batch
+    /// across shard sub-requests; this field lets each shard stamp the
+    /// *global* `"index"` into its records so the client can merge the
+    /// streams back into the exact single-server byte sequence. Absent
+    /// (the default) the server numbers units 0.. itself.
+    pub indices: Option<Vec<usize>>,
 }
 
 /// Why an [`AnalysisRequest`] was rejected.
@@ -228,6 +236,16 @@ impl AnalysisRequest {
             if let Some(v) = v {
                 let _ = write!(out, ",\"{key}\":{v}");
             }
+        }
+        if let Some(indices) = &self.indices {
+            out.push_str(",\"indices\":[");
+            for (i, idx) in indices.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{idx}");
+            }
+            out.push(']');
         }
         out.push('}');
         out
@@ -296,12 +314,41 @@ impl AnalysisRequest {
                 }),
             }
         };
+        let indices = match v.get("indices") {
+            None | Some(Value::Null) => None,
+            Some(value) => {
+                let items = value.as_arr().ok_or_else(|| {
+                    RequestError::Malformed("\"indices\" must be an array".into())
+                })?;
+                let mut indices = Vec::with_capacity(items.len());
+                for item in items {
+                    let idx = item
+                        .as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| {
+                            RequestError::Malformed(
+                                "\"indices\" entries must be non-negative integers".into(),
+                            )
+                        })?;
+                    indices.push(idx);
+                }
+                let units = graphs.len() * tiers.len().max(1);
+                if indices.len() != units {
+                    return Err(RequestError::Malformed(format!(
+                        "\"indices\" has {} entries for {units} unit(s)",
+                        indices.len()
+                    )));
+                }
+                Some(indices)
+            }
+        };
         Ok(AnalysisRequest {
             graphs,
             tiers,
             deadline_ms: uint("deadline_ms")?,
             max_firings: uint("max_firings")?,
             max_size: uint("max_size")?,
+            indices,
         })
     }
 
@@ -528,6 +575,123 @@ impl BatchSummary {
         );
         out
     }
+
+    /// Parses a summary line back into its counters — the inverse of
+    /// [`BatchSummary::to_json_line`] for every field that serialization
+    /// carries (`RegistryStats::near_hits` is not on the wire and comes
+    /// back as 0). The sharded client uses this to merge per-shard
+    /// summaries into the single-server line.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::Malformed`] when `line` is not a `sdfr-api/1`
+    /// summary object.
+    pub fn from_json_line(line: &str) -> Result<BatchSummary, RequestError> {
+        let v = json::parse(line).map_err(|e| RequestError::Malformed(e.to_string()))?;
+        if v.get("summary") != Some(&Value::Bool(true)) {
+            return Err(RequestError::Malformed("not a batch summary line".into()));
+        }
+        check_schema(v.get("schema").and_then(Value::as_str).unwrap_or(""))
+            .map_err(RequestError::UnsupportedSchema)?;
+        let count = |key: &str| -> Result<u64, RequestError> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| RequestError::Malformed(format!("summary is missing \"{key}\"")))
+        };
+        let aggregate = OutcomeAggregate {
+            exact: count("exact")?,
+            degraded_abstraction: count("degraded_abstraction")?,
+            degraded_serialization: count("degraded_serialization")?,
+            errors: count("errors")?,
+        };
+        let Some(Value::Obj(exit_fields)) = v.get("exits") else {
+            return Err(RequestError::Malformed(
+                "summary is missing \"exits\"".into(),
+            ));
+        };
+        let mut exit_counts = Vec::with_capacity(exit_fields.len());
+        for (code, n) in exit_fields {
+            let code: i32 = code.parse().map_err(|_| {
+                RequestError::Malformed(format!("unreadable exit code key {code:?}"))
+            })?;
+            let n = n.as_u64().ok_or_else(|| {
+                RequestError::Malformed("exit counts must be non-negative integers".into())
+            })?;
+            exit_counts.push((code, n));
+        }
+        exit_counts.sort_unstable_by_key(|&(code, _)| code);
+        let cache = v
+            .get("cache")
+            .ok_or_else(|| RequestError::Malformed("summary is missing \"cache\"".into()))?;
+        let stat = |key: &str| -> Result<u64, RequestError> {
+            cache.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                RequestError::Malformed(format!("summary cache is missing \"{key}\""))
+            })
+        };
+        let registry = RegistryStats {
+            hits: stat("hits")?,
+            misses: stat("misses")?,
+            bypasses: stat("bypasses")?,
+            collisions: stat("collisions")?,
+            evictions: stat("evictions")?,
+            entries: usize::try_from(stat("entries")?).unwrap_or(usize::MAX),
+            bytes_estimate: stat("bytes_estimate")?,
+            symbolic_iterations: stat("symbolic_iterations")?,
+            near_hits: 0,
+        };
+        let exit = v
+            .get("exit")
+            .and_then(Value::as_u64)
+            .and_then(|n| i32::try_from(n).ok())
+            .ok_or_else(|| RequestError::Malformed("summary is missing \"exit\"".into()))?;
+        Ok(BatchSummary {
+            aggregate,
+            exit_counts,
+            registry,
+            exit,
+        })
+    }
+
+    /// Folds per-shard summaries into one. Valid because a sharded batch
+    /// *partitions* its units by fingerprint: every counter (outcomes,
+    /// exits, cache hits/misses/entries/bytes/iterations) is additive
+    /// across disjoint unit sets, and the batch exit code is the maximum.
+    /// With that partition the merged line is byte-identical to what a
+    /// single server holding all units would have produced.
+    pub fn merge(parts: &[BatchSummary]) -> BatchSummary {
+        let mut aggregate = OutcomeAggregate::default();
+        let mut exit_counts: Vec<(i32, u64)> = Vec::new();
+        let mut registry = RegistryStats::default();
+        let mut exit = EXIT_OK;
+        for part in parts {
+            aggregate.exact += part.aggregate.exact;
+            aggregate.degraded_abstraction += part.aggregate.degraded_abstraction;
+            aggregate.degraded_serialization += part.aggregate.degraded_serialization;
+            aggregate.errors += part.aggregate.errors;
+            for &(code, n) in &part.exit_counts {
+                match exit_counts.binary_search_by_key(&code, |&(c, _)| c) {
+                    Ok(i) => exit_counts[i].1 += n,
+                    Err(i) => exit_counts.insert(i, (code, n)),
+                }
+            }
+            registry.hits += part.registry.hits;
+            registry.misses += part.registry.misses;
+            registry.bypasses += part.registry.bypasses;
+            registry.collisions += part.registry.collisions;
+            registry.evictions += part.registry.evictions;
+            registry.entries += part.registry.entries;
+            registry.bytes_estimate += part.registry.bytes_estimate;
+            registry.symbolic_iterations += part.registry.symbolic_iterations;
+            registry.near_hits += part.registry.near_hits;
+            exit = exit.max(part.exit);
+        }
+        BatchSummary {
+            aggregate,
+            exit_counts,
+            registry,
+            exit,
+        }
+    }
 }
 
 /// The shared [`OutcomeAggregate`] serialization: the comma-separated
@@ -694,6 +858,7 @@ mod tests {
             deadline_ms: Some(250),
             max_firings: Some(500),
             max_size: None,
+            indices: Some(vec![4, 6]),
         };
         let doc = req.to_json();
         assert!(doc.starts_with("{\"schema\":\"sdfr-api/1\""), "{doc}");

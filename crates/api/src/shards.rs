@@ -1,0 +1,410 @@
+//! The `sdfr-shards/1` fleet shard map: consistent hashing of graph
+//! fingerprints across N `sdfr serve` processes.
+//!
+//! A fleet is an ordered peer list (`host:port` per shard, shard id =
+//! position). Every party that knows the list — the routing client, every
+//! server — derives the **same** ring from it, with no coordination
+//! traffic and no RNG:
+//!
+//! - each shard contributes [`VNODES_PER_SHARD`] virtual nodes; vnode `v`
+//!   of shard `s` sits at `mix(RING_DOMAIN + (s << 8 | v))` on a `u64`
+//!   ring, where `mix` is the splitmix64 finalizer;
+//! - a fingerprint `fp` (already domain-separated FNV-1a, see
+//!   `SdfGraph::fingerprint`) lands at `mix(KEY_DOMAIN ^ fp)` and is owned
+//!   by the first vnode clockwise from that point (ties broken by shard
+//!   id, ring wrap-around included);
+//! - the **successor** of `fp` is the next *distinct* shard clockwise
+//!   after the owning vnode — the failover target, and the shard a fresh
+//!   owner asks for a warm archive.
+//!
+//! Virtual nodes make ownership near-uniform and, more importantly, make
+//! membership changes cheap: removing one shard ([`ShardMap::without`])
+//! deletes only that shard's vnodes, so every fingerprint not owned by the
+//! removed shard keeps its owner — the remap fraction is bounded by
+//! roughly `1/N` (≤ ~2/N with slack; pinned by the `shard_props` suite).
+//!
+//! Everything here is a pure function of the peer list, so a client and N
+//! servers started with the same `--peers` agree on every routing decision
+//! without ever talking to each other about placement.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, escape_str, Value};
+use crate::EXIT_USAGE;
+
+/// Schema tag of the shard-map wire format and the redirect record.
+pub const SHARDS_SCHEMA: &str = "sdfr-shards/1";
+
+/// Virtual nodes per shard. Fixed: changing this re-keys the whole ring,
+/// so it is part of the `sdfr-shards/1` contract.
+pub const VNODES_PER_SHARD: u32 = 64;
+
+/// Domain tag for ring (vnode) points.
+const RING_DOMAIN: u64 = 0x5344_4652_5249_4e47; // "SDFRRING"
+/// Domain tag for key (fingerprint) points — distinct from vnodes so a
+/// fingerprint can never alias a vnode position by construction.
+const KEY_DOMAIN: u64 = 0x5344_4652_4b45_5953; // "SDFRKEYS"
+
+/// The splitmix64 finalizer: a fixed, portable 64-bit mixer with full
+/// avalanche. Deterministic across processes, architectures and builds.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The position of shard `shard`'s virtual node `vnode` on the ring.
+fn vnode_point(shard: u32, vnode: u32) -> u64 {
+    mix(RING_DOMAIN.wrapping_add((u64::from(shard) << 8) | u64::from(vnode)))
+}
+
+/// The ring position of a graph fingerprint.
+fn key_point(fingerprint: u64) -> u64 {
+    mix(KEY_DOMAIN ^ fingerprint)
+}
+
+/// A fleet's shard map: the ordered peer list plus the derived ring.
+///
+/// Shard ids are indices into the peer list and stay stable across
+/// [`ShardMap::without`] — a map with a removed member keeps the other
+/// shards' ids (and ring points) untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    peers: Vec<String>,
+    /// `(point, shard)` sorted ascending; ties (astronomically unlikely
+    /// with a 64-bit mixer, but determinism must not hinge on luck) break
+    /// toward the lower shard id.
+    ring: Vec<(u64, u32)>,
+}
+
+impl ShardMap {
+    /// Builds the map for an ordered peer list (shard id = index).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the list is empty, has more than
+    /// `u32::MAX >> 8` members, or contains an empty / whitespace entry
+    /// (the caller names the offending position).
+    pub fn new(peers: Vec<String>) -> Result<ShardMap, String> {
+        if peers.is_empty() {
+            return Err("shard map needs at least one peer".into());
+        }
+        if peers.len() > (u32::MAX >> 8) as usize {
+            return Err(format!("shard map of {} peers is too large", peers.len()));
+        }
+        for (i, peer) in peers.iter().enumerate() {
+            if peer.trim().is_empty() {
+                return Err(format!("peer #{i} is empty"));
+            }
+        }
+        let mut ring = Vec::with_capacity(peers.len() * VNODES_PER_SHARD as usize);
+        for shard in 0..peers.len() as u32 {
+            for vnode in 0..VNODES_PER_SHARD {
+                ring.push((vnode_point(shard, vnode), shard));
+            }
+        }
+        ring.sort_unstable();
+        Ok(ShardMap { peers, ring })
+    }
+
+    /// Number of shards in the peer list (including any removed via
+    /// [`ShardMap::without`] — ids stay stable; use
+    /// [`ShardMap::live_shards`] for the routable count).
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// `true` when the peer list is empty (never, for a constructed map).
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Distinct shards that still own ring points.
+    pub fn live_shards(&self) -> usize {
+        let mut seen = vec![false; self.peers.len()];
+        for &(_, shard) in &self.ring {
+            seen[shard as usize] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// The peer address of a shard id.
+    ///
+    /// # Panics
+    ///
+    /// If `shard` is out of range — shard ids only come from this map.
+    pub fn peer(&self, shard: u32) -> &str {
+        &self.peers[shard as usize]
+    }
+
+    /// The full peer list, in shard-id order.
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// The shard owning `fingerprint`: the first vnode clockwise from the
+    /// fingerprint's ring point.
+    pub fn owner(&self, fingerprint: u64) -> u32 {
+        let point = key_point(fingerprint);
+        let i = self.ring.partition_point(|&(p, _)| p < point);
+        self.ring[if i == self.ring.len() { 0 } else { i }].1
+    }
+
+    /// The ring successor of `fingerprint`'s owner: the next *distinct*
+    /// shard clockwise after the owning vnode. `None` when the ring has
+    /// only one live shard. This is both the client's first failover
+    /// target and the warm-archive donor for a fresh owner.
+    pub fn successor(&self, fingerprint: u64) -> Option<u32> {
+        self.route(fingerprint).into_iter().nth(1)
+    }
+
+    /// All live shards in clockwise ring order starting at the owner of
+    /// `fingerprint` — the failover cascade: try `route[0]`, then
+    /// `route[1]`, … Every live shard appears exactly once.
+    pub fn route(&self, fingerprint: u64) -> Vec<u32> {
+        let point = key_point(fingerprint);
+        let start = {
+            let i = self.ring.partition_point(|&(p, _)| p < point);
+            if i == self.ring.len() {
+                0
+            } else {
+                i
+            }
+        };
+        let mut order = Vec::new();
+        for step in 0..self.ring.len() {
+            let shard = self.ring[(start + step) % self.ring.len()].1;
+            if !order.contains(&shard) {
+                order.push(shard);
+            }
+        }
+        order
+    }
+
+    /// The map with `shard`'s vnodes removed and everything else —
+    /// including the other shards' ids and ring points — untouched. Keys
+    /// not owned by `shard` provably keep their owner; keys that were
+    /// owned by it move to their ring successor.
+    pub fn without(&self, shard: u32) -> ShardMap {
+        ShardMap {
+            peers: self.peers.clone(),
+            ring: self
+                .ring
+                .iter()
+                .copied()
+                .filter(|&(_, s)| s != shard)
+                .collect(),
+        }
+    }
+
+    /// Serializes the map as one `sdfr-shards/1` JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        let _ = write!(
+            out,
+            "{{\"schema\":{},\"vnodes\":{VNODES_PER_SHARD},\"peers\":[",
+            escape_str(SHARDS_SCHEMA)
+        );
+        for (i, p) in self.peers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape_str(p));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a serialized map and re-derives the ring.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for JSON syntax errors, a wrong schema or
+    /// vnode count (a peer speaking a different ring geometry must not be
+    /// silently routed against), or an invalid peer list.
+    pub fn from_json(doc: &str) -> Result<ShardMap, String> {
+        let v = json::parse(doc).map_err(|e| e.to_string())?;
+        match v.get("schema").and_then(Value::as_str) {
+            Some(SHARDS_SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported shard map schema {other:?}")),
+            None => return Err("shard map has no \"schema\" field".into()),
+        }
+        match v.get("vnodes").and_then(Value::as_u64) {
+            Some(n) if n == u64::from(VNODES_PER_SHARD) => {}
+            Some(n) => {
+                return Err(format!(
+                    "shard map uses {n} vnodes, expected {VNODES_PER_SHARD}"
+                ))
+            }
+            None => return Err("shard map has no \"vnodes\" field".into()),
+        }
+        let peers = v
+            .get("peers")
+            .and_then(Value::as_arr)
+            .ok_or("shard map \"peers\" must be an array")?
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_string)
+                    .ok_or("shard map peers must be strings".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        ShardMap::new(peers)
+    }
+}
+
+/// The 421 body a shard answers with when asked (without the failover
+/// marker) for a fingerprint it does not own: it names the owner so the
+/// client — or an operator reading logs — sees exactly where the unit
+/// should have gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedirectRecord {
+    /// The mis-routed graph fingerprint.
+    pub fingerprint: u64,
+    /// The shard that received the request.
+    pub shard: u32,
+    /// The shard that owns the fingerprint.
+    pub owner: u32,
+    /// The owner's peer address.
+    pub peer: String,
+}
+
+impl RedirectRecord {
+    /// Renders the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":{},\"redirect\":true,\"fingerprint\":\"{:016x}\",\
+             \"shard\":{},\"owner\":{},\"peer\":{},\"exit\":{}}}",
+            escape_str(SHARDS_SCHEMA),
+            self.fingerprint,
+            self.shard,
+            self.owner,
+            escape_str(&self.peer),
+            EXIT_USAGE
+        )
+    }
+
+    /// Parses a redirect record, `None` when `doc` is not one.
+    pub fn from_json(doc: &str) -> Option<RedirectRecord> {
+        let v = json::parse(doc).ok()?;
+        if v.get("schema").and_then(Value::as_str) != Some(SHARDS_SCHEMA)
+            || v.get("redirect") != Some(&Value::Bool(true))
+        {
+            return None;
+        }
+        let fingerprint = u64::from_str_radix(v.get("fingerprint")?.as_str()?, 16).ok()?;
+        Some(RedirectRecord {
+            fingerprint,
+            shard: u32::try_from(v.get("shard")?.as_u64()?).ok()?,
+            owner: u32::try_from(v.get("owner")?.as_u64()?).ok()?,
+            peer: v.get("peer")?.as_str()?.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(n: usize) -> ShardMap {
+        ShardMap::new((0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_peers() {
+        assert!(ShardMap::new(vec![]).is_err());
+        let err = ShardMap::new(vec!["a:1".into(), "  ".into()]).unwrap_err();
+        assert!(err.contains("#1"), "names the offending position: {err}");
+        assert_eq!(map(3).len(), 3);
+        assert_eq!(map(3).live_shards(), 3);
+    }
+
+    #[test]
+    fn ownership_is_total_and_deterministic() {
+        let m = map(3);
+        for fp in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            let owner = m.owner(fp);
+            assert!(owner < 3);
+            assert_eq!(owner, map(3).owner(fp), "same peers, same ring");
+        }
+    }
+
+    #[test]
+    fn golden_placements_pin_the_ring_across_builds() {
+        // These exact placements are the cross-process contract: a client
+        // and a server built separately must agree on them. If this test
+        // ever fails, the ring geometry changed and `sdfr-shards/1` must
+        // be bumped.
+        let m = map(3);
+        let placements: Vec<u32> = (0u64..8).map(|i| m.owner(mix(i))).collect();
+        assert_eq!(placements, vec![2, 2, 1, 1, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn route_covers_every_live_shard_once() {
+        let m = map(4);
+        for fp in 0u64..32 {
+            let route = m.route(fp);
+            assert_eq!(route.len(), 4);
+            assert_eq!(route[0], m.owner(fp));
+            assert_eq!(m.successor(fp), Some(route[1]));
+            let mut sorted = route.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+        assert_eq!(map(1).successor(7), None, "single shard has no failover");
+    }
+
+    #[test]
+    fn without_preserves_foreign_owners() {
+        let m = map(4);
+        let removed = 2;
+        let shrunk = m.without(removed);
+        assert_eq!(shrunk.live_shards(), 3);
+        for fp in 0u64..256 {
+            let before = m.owner(fp);
+            let after = shrunk.owner(fp);
+            if before != removed {
+                assert_eq!(before, after, "fp {fp:#x} moved without cause");
+            } else {
+                assert_ne!(after, removed);
+                assert_eq!(
+                    after,
+                    m.successor(fp).unwrap(),
+                    "orphans go to the successor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let m = map(3);
+        let doc = m.to_json();
+        assert!(doc.contains("\"schema\":\"sdfr-shards/1\""));
+        assert_eq!(ShardMap::from_json(&doc).unwrap(), m);
+        assert!(ShardMap::from_json("{}").is_err());
+        assert!(
+            ShardMap::from_json(&doc.replace(":64,", ":32,")).is_err(),
+            "a different vnode count is a different ring"
+        );
+    }
+
+    #[test]
+    fn redirect_round_trip() {
+        let r = RedirectRecord {
+            fingerprint: 0xdead_beef,
+            shard: 2,
+            owner: 0,
+            peer: "127.0.0.1:9000".into(),
+        };
+        let doc = r.to_json();
+        assert!(doc.contains("\"fingerprint\":\"00000000deadbeef\""));
+        assert_eq!(RedirectRecord::from_json(&doc), Some(r));
+        assert_eq!(
+            RedirectRecord::from_json("{\"schema\":\"sdfr-api/1\"}"),
+            None
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Measures what fingerprint sharding buys (and costs) a serving fleet:
+//! the Table-1 corpus is batched against a single `sdfr serve` process and
+//! against a 3-shard consistent-hash fleet, cold and warm, and the
+//! warm-archive handoff path is exercised by killing and restarting one
+//! shard between runs.
+//!
+//! Usage: `cargo run --release -p sdfr-bench --bin shard_bench`
+//! (the `sdfr` binary must already be built alongside — run
+//! `cargo build --release` first; without it every case is loudly
+//! skipped).
+//!
+//! Writes `BENCH_shard.json` (shared `sdfr-bench/1` schema with the
+//! `skipped` field) into the current directory. Cases:
+//!
+//! - `single`  — cold vs. warm batch against one server,
+//! - `fleet3`  — cold vs. warm routed batch (`--peers`) against 3 shards,
+//! - `handoff` — batch during a one-shard outage (failover, "cold") vs.
+//!   after the shard restarts and pulls its warmth back from the ring
+//!   successor ("warm"); extras record the handoff hit rate.
+//!
+//! A host that cannot spawn the fleet (no free ports, fork limits) skips
+//! the fleet cases with the reason in `skipped` — never silently.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use sdfr_bench::report::{BenchCase, BenchReport, SkippedCase};
+
+/// A spawned `sdfr serve`, killed on drop.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The `sdfr` binary next to this one (`target/<profile>/sdfr`).
+fn sdfr_binary() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let candidate = exe.parent()?.join("sdfr");
+    candidate.is_file().then_some(candidate)
+}
+
+/// Spawns `sdfr serve` with `args` and waits for its listening line.
+fn spawn_server(bin: &std::path::Path, addr: &str, extra: &[String]) -> Result<Server, String> {
+    let mut child = Command::new(bin)
+        .arg("serve")
+        .args(["--addr", addr])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn sdfr serve: {e}"))?;
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("no listening line: {e}"))?;
+    let Some(listening) = line.trim().rsplit(' ').next().filter(|a| a.contains(':')) else {
+        let _ = child.kill();
+        return Err(format!("unexpected startup line: {line:?}"));
+    };
+    Ok(Server {
+        addr: listening.to_string(),
+        child,
+    })
+}
+
+/// Runs the built `sdfr` binary to completion, asserting success.
+fn run_sdfr(bin: &std::path::Path, args: &[String]) -> Result<(Duration, String), String> {
+    let t0 = Instant::now();
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .map_err(|e| format!("cannot run sdfr: {e}"))?;
+    let elapsed = t0.elapsed();
+    if !out.status.success() {
+        return Err(format!(
+            "sdfr {} exited {:?}: {}",
+            args.first().map(String::as_str).unwrap_or(""),
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    Ok((elapsed, String::from_utf8_lossy(&out.stdout).into_owned()))
+}
+
+/// A named numeric field out of a `/v1/stats` document.
+fn stat_field(stats: &str, key: &str) -> u64 {
+    stats
+        .split(&format!("\"{key}\":"))
+        .nth(1)
+        .and_then(|t| t.split([',', '}']).next())
+        .and_then(|t| t.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Writes the Table-1 corpus into a scratch directory, returning the file
+/// paths (batch arguments).
+fn write_corpus() -> Result<Vec<String>, String> {
+    let dir = std::env::temp_dir().join(format!("sdfr-shard-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("corpus dir: {e}"))?;
+    let mut files = Vec::new();
+    for case in sdfr_benchmarks::table1::all() {
+        let name = case.name.replace([' ', '/'], "-");
+        let path = dir.join(format!("{name}.sdf"));
+        std::fs::write(&path, sdfr_io::text::to_text(&case.graph))
+            .map_err(|e| format!("corpus write: {e}"))?;
+        files.push(path.to_str().unwrap().to_string());
+    }
+    Ok(files)
+}
+
+/// Three free ports for the fleet (picked, then released — the same tiny
+/// race the CI cluster script accepts).
+fn pick_ports(n: usize) -> Result<Vec<u16>, String> {
+    (0..n)
+        .map(|_| {
+            std::net::TcpListener::bind("127.0.0.1:0")
+                .and_then(|l| l.local_addr())
+                .map(|a| a.port())
+                .map_err(|e| format!("cannot pick a port: {e}"))
+        })
+        .collect()
+}
+
+/// Starts the 3-shard fleet, every member on the shared `--peers` list.
+fn spawn_fleet(bin: &std::path::Path, peers: &[String]) -> Result<Vec<Server>, String> {
+    let list = peers.join(",");
+    peers
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            spawn_server(
+                bin,
+                addr,
+                &[
+                    "--shard".to_string(),
+                    format!("{i}/{}", peers.len()),
+                    "--peers".to_string(),
+                    list.clone(),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn batch_args(route: &[String], corpus: &[String]) -> Vec<String> {
+    let mut args: Vec<String> = route.to_vec();
+    args.push("batch".to_string());
+    args.extend(corpus.iter().cloned());
+    args
+}
+
+fn main() {
+    let mut cases = Vec::new();
+    let mut skipped = Vec::new();
+
+    let run = |cases: &mut Vec<BenchCase>, skipped: &mut Vec<SkippedCase>| -> Result<(), String> {
+        let bin = sdfr_binary().ok_or_else(|| {
+            "sdfr binary not built next to shard_bench (run `cargo build --release` first)"
+                .to_string()
+        })?;
+        let corpus = write_corpus()?;
+
+        // --- single server: the sharding-free baseline ---------------------
+        {
+            let server = spawn_server(&bin, "127.0.0.1:0", &[])?;
+            let route = vec!["--server".to_string(), server.addr.clone()];
+            let (cold, _) = run_sdfr(&bin, &batch_args(&route, &corpus))?;
+            let (warm, _) = run_sdfr(&bin, &batch_args(&route, &corpus))?;
+            cases.push(BenchCase {
+                name: "single".to_string(),
+                threads: 1,
+                cold,
+                warm,
+                extra: vec![("graphs".to_string(), corpus.len().to_string())],
+            });
+        }
+
+        // --- 3-shard fleet: routed batch, cold and warm --------------------
+        let ports = pick_ports(3)?;
+        let peers: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+        let mut fleet = match spawn_fleet(&bin, &peers) {
+            Ok(fleet) => fleet,
+            Err(e) => {
+                // The host cannot run a multi-process fleet: loud skip, not
+                // a silent pass.
+                for name in ["fleet3", "handoff"] {
+                    skipped.push(SkippedCase::new(name, format!("cannot spawn fleet: {e}")));
+                }
+                return Ok(());
+            }
+        };
+        let route = vec!["--peers".to_string(), peers.join(",")];
+        let (cold, _) = run_sdfr(&bin, &batch_args(&route, &corpus))?;
+        let (warm, _) = run_sdfr(&bin, &batch_args(&route, &corpus))?;
+        cases.push(BenchCase {
+            name: "fleet3".to_string(),
+            threads: 3,
+            cold,
+            warm,
+            extra: vec![("graphs".to_string(), corpus.len().to_string())],
+        });
+
+        // --- handoff: outage, restart, warmth pulled back ------------------
+        // Kill a shard that owns part of the corpus; the run during the
+        // outage fails over to ring successors ("cold" here), then the
+        // restarted shard pulls its sessions from those successors and the
+        // next run is warm again.
+        let victim = {
+            let mut owner = None;
+            for (i, member) in fleet.iter().enumerate() {
+                let (_, stats) = run_sdfr(
+                    &bin,
+                    &[
+                        "stats".to_string(),
+                        "--server".to_string(),
+                        member.addr.clone(),
+                    ],
+                )?;
+                if stat_field(&stats, "entries") > 0 {
+                    owner = Some(i);
+                    break;
+                }
+            }
+            owner.ok_or("no shard owns any corpus graph")?
+        };
+        let victim_addr = fleet[victim].addr.clone();
+        let _ = fleet[victim].child.kill();
+        let _ = fleet[victim].child.wait();
+        let (outage, _) = run_sdfr(&bin, &batch_args(&route, &corpus))?;
+        fleet[victim] = spawn_server(
+            &bin,
+            &victim_addr,
+            &[
+                "--shard".to_string(),
+                format!("{victim}/3"),
+                "--peers".to_string(),
+                peers.join(","),
+            ],
+        )
+        .map_err(|e| format!("cannot restart shard {victim}: {e}"))?;
+        let (rewarmed, _) = run_sdfr(&bin, &batch_args(&route, &corpus))?;
+        let (_, stats) = run_sdfr(
+            &bin,
+            &[
+                "stats".to_string(),
+                "--server".to_string(),
+                victim_addr.clone(),
+            ],
+        )?;
+        let requested = stat_field(&stats, "handoffs_requested");
+        let received = stat_field(&stats, "handoffs_received");
+        let rate = if requested > 0 {
+            received as f64 / requested as f64
+        } else {
+            0.0
+        };
+        cases.push(BenchCase {
+            name: "handoff".to_string(),
+            threads: 3,
+            cold: outage,
+            warm: rewarmed,
+            extra: vec![
+                ("handoffs_requested".to_string(), requested.to_string()),
+                ("handoffs_received".to_string(), received.to_string()),
+                ("handoff_hit_rate".to_string(), format!("{rate:.2}")),
+            ],
+        });
+        Ok(())
+    };
+
+    if let Err(e) = run(&mut cases, &mut skipped) {
+        // Whatever was not measured is skipped loudly with the reason.
+        for name in ["single", "fleet3", "handoff"] {
+            if !cases.iter().any(|c| c.name == name) && !skipped.iter().any(|s| s.name == name) {
+                skipped.push(SkippedCase::new(name, e.clone()));
+            }
+        }
+    }
+
+    println!("shard fleet benchmark (times in ms)\n");
+    println!(
+        "{:<10} {:>10} {:>10} {:>9}",
+        "case", "cold", "warm", "ratio"
+    );
+    for c in &cases {
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>8.2}x",
+            c.name,
+            c.cold.as_secs_f64() * 1e3,
+            c.warm.as_secs_f64() * 1e3,
+            c.speedup(),
+        );
+    }
+    for s in &skipped {
+        println!("SKIPPED {}: {}", s.name, s.reason);
+    }
+
+    let report = BenchReport {
+        benchmark: "shard",
+        suite: "table1",
+        cases,
+        skipped,
+    };
+    let expected: Vec<String> = ["single", "fleet3", "handoff"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    report.enforce_coverage(&expected);
+    match report.write() {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write BENCH_shard.json: {e}");
+            std::process::exit(3);
+        }
+    }
+}

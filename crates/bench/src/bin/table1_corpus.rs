@@ -1,0 +1,29 @@
+//! Writes the Table-1 benchmark suite as `.sdf` text files into a
+//! directory — the on-disk corpus the shard-cluster CI job (and the
+//! `shard_bench` binary) feed through `sdfr batch`.
+//!
+//! Usage: `cargo run --release -p sdfr-bench --bin table1_corpus [-- DIR]`
+//! (default directory: `table1-corpus`). Existing files are overwritten;
+//! the emitted text round-trips through `sdfr_io::text`, so every file's
+//! fingerprint equals the in-memory benchmark graph's.
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "table1-corpus".to_string());
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        eprintln!("table1_corpus: cannot create {dir}: {e}");
+        std::process::exit(3);
+    });
+    let mut count = 0usize;
+    for case in sdfr_benchmarks::table1::all() {
+        let name = case.name.replace([' ', '/'], "-");
+        let path = format!("{dir}/{name}.sdf");
+        std::fs::write(&path, sdfr_io::text::to_text(&case.graph)).unwrap_or_else(|e| {
+            eprintln!("table1_corpus: cannot write {path}: {e}");
+            std::process::exit(3);
+        });
+        count += 1;
+    }
+    println!("wrote {count} graphs into {dir}/");
+}

@@ -27,8 +27,19 @@ use sdfr_maxplus::Rational;
 
 use crate::CliError;
 
-/// The journal file name inside `--cache-dir`.
+/// The journal file name inside `--cache-dir` (unsharded servers).
 const JOURNAL_FILE: &str = "journal.sdfr-cache";
+
+/// The journal file name of one fleet member: shards sharing a cache
+/// directory (or a shard restarted under a different id after a ring
+/// change) must never replay — or compact away — each other's records,
+/// so the shard coordinate is part of the file name.
+fn journal_file(shard: Option<(u32, u32)>) -> String {
+    match shard {
+        Some((id, n)) => format!("journal.shard-{id}-of-{n}.sdfr-cache"),
+        None => JOURNAL_FILE.to_string(),
+    }
+}
 
 /// The default `--cache-compact-bytes` threshold: once the journal file
 /// grows past this, the next persist rewrites it keeping only records
@@ -104,10 +115,11 @@ impl Journal {
         dir: &Path,
         torn_write: Option<u64>,
         compact_bytes: u64,
+        shard: Option<(u32, u32)>,
     ) -> Result<(Journal, Vec<CacheRecord>), CliError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| CliError::io(format!("serve: cannot create cache dir {dir:?}: {e}")))?;
-        let path = dir.join(JOURNAL_FILE);
+        let path = dir.join(journal_file(shard));
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
@@ -167,74 +179,19 @@ impl Journal {
     /// with output byte-identical to the pre-crash response.
     pub fn restore_into(&self, records: &[CacheRecord], registry: &SessionRegistry) {
         for record in records {
-            let graph = match crate::parse_graph_content(&record.name, &record.content) {
-                Ok(g) => Arc::new(g),
-                Err(e) => {
+            let (session, checkpoint) = match rebuild_session(record) {
+                Ok(built) => built,
+                Err(reason) => {
                     eprintln!(
-                        "sdfr serve: cache journal: rejecting record for {}: {}",
-                        record.name, e.message
+                        "sdfr serve: cache journal: rejecting record for {}: {reason}",
+                        record.name
                     );
                     self.rejected.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
             };
-            if graph.fingerprint() != record.fingerprint {
-                eprintln!(
-                    "sdfr serve: cache journal: rejecting record for {}: fingerprint mismatch",
-                    record.name
-                );
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            let mut budget = Budget::unlimited();
-            if let Some(n) = record.max_firings {
-                budget = budget.with_max_firings(n);
-            }
-            if let Some(n) = record.max_size {
-                budget = budget.with_max_size(n);
-            }
-            let eigenvalue = match record.outcome {
-                CachedOutcome::Period { num, den } => Ok(Some(Rational::new(num, den))),
-                CachedOutcome::Unbounded => Ok(None),
-                CachedOutcome::Exhausted {
-                    resource,
-                    spent,
-                    limit,
-                } => Err(SdfError::Exhausted {
-                    resource: match resource {
-                        CachedResource::Firings => BudgetResource::Firings,
-                        CachedResource::Size => BudgetResource::Size,
-                    },
-                    spent,
-                    limit,
-                }),
-            };
-            let session = Arc::new(AnalysisSession::with_budget(Arc::clone(&graph), budget));
-            let artifacts = SessionArtifacts {
-                fingerprint: record.fingerprint,
-                eigenvalue,
-                spent: record.spent,
-                schedule_firings: record.schedule_firings,
-            };
-            if !session.import_artifacts(&artifacts) {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            // Reattach the persisted engine checkpoint, if any: decode
-            // validates the wire record against the rebuilt graph, so a
-            // stale or corrupt checkpoint degrades to a cold engine without
-            // rejecting the record's headline artifacts.
-            if let Some(wire) = &record.engine {
-                let attached = EngineArchive::decode(wire, Arc::clone(&graph))
-                    .is_some_and(|archive| session.attach_archive(archive));
-                if attached {
-                    self.checkpoints_restored.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    eprintln!(
-                        "sdfr serve: cache journal: dropping undecodable engine state for {}",
-                        record.name
-                    );
-                }
+            if checkpoint {
+                self.checkpoints_restored.fetch_add(1, Ordering::Relaxed);
             }
             if registry.restore(session) {
                 self.loaded.fetch_add(1, Ordering::Relaxed);
@@ -397,6 +354,78 @@ impl Journal {
     }
 }
 
+/// Rebuilds a warm [`AnalysisSession`] from one `sdfr-cache/1` record:
+/// re-parse the carried graph content, deep-verify the fingerprint (a
+/// record whose content no longer hashes to its key is rejected, not
+/// trusted), rebuild the session under the recorded caps, and import the
+/// eigenvalue artifact. Returns the session plus whether an engine
+/// checkpoint came back with it — an undecodable checkpoint degrades to a
+/// cold engine (logged) without rejecting the headline artifacts.
+///
+/// Shared by journal replay ([`Journal::restore_into`]) and the shard
+/// archive handoff (`GET /v1/archive/<fp>` responses are exactly these
+/// records), so both paths trust remote state under the same rules.
+///
+/// # Errors
+///
+/// A human-readable rejection reason (unparseable content, fingerprint
+/// mismatch, artifact import refusal).
+pub(crate) fn rebuild_session(
+    record: &CacheRecord,
+) -> Result<(Arc<AnalysisSession>, bool), String> {
+    let graph = crate::parse_graph_content(&record.name, &record.content)
+        .map(Arc::new)
+        .map_err(|e| e.message)?;
+    if graph.fingerprint() != record.fingerprint {
+        return Err("fingerprint mismatch".into());
+    }
+    let mut budget = Budget::unlimited();
+    if let Some(n) = record.max_firings {
+        budget = budget.with_max_firings(n);
+    }
+    if let Some(n) = record.max_size {
+        budget = budget.with_max_size(n);
+    }
+    let eigenvalue = match record.outcome {
+        CachedOutcome::Period { num, den } => Ok(Some(Rational::new(num, den))),
+        CachedOutcome::Unbounded => Ok(None),
+        CachedOutcome::Exhausted {
+            resource,
+            spent,
+            limit,
+        } => Err(SdfError::Exhausted {
+            resource: match resource {
+                CachedResource::Firings => BudgetResource::Firings,
+                CachedResource::Size => BudgetResource::Size,
+            },
+            spent,
+            limit,
+        }),
+    };
+    let session = Arc::new(AnalysisSession::with_budget(Arc::clone(&graph), budget));
+    let artifacts = SessionArtifacts {
+        fingerprint: record.fingerprint,
+        eigenvalue,
+        spent: record.spent,
+        schedule_firings: record.schedule_firings,
+    };
+    if !session.import_artifacts(&artifacts) {
+        return Err("artifact import refused".into());
+    }
+    let mut checkpoint = false;
+    if let Some(wire) = &record.engine {
+        checkpoint = EngineArchive::decode(wire, Arc::clone(&graph))
+            .is_some_and(|archive| session.attach_archive(archive));
+        if !checkpoint {
+            eprintln!(
+                "sdfr serve: cache journal: dropping undecodable engine state for {}",
+                record.name
+            );
+        }
+    }
+    Ok((session, checkpoint))
+}
+
 /// Converts one warmed unit into its journal record, or `None` when the
 /// unit is not persistable: only headline outcomes that are pure functions
 /// of `(content, caps)` — an eigenvalue or a firings/size exhaustion — are
@@ -480,14 +509,15 @@ mod tests {
         let dir = tempdir("roundtrip");
         let record = warm_record();
         {
-            let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+            let (journal, replayed) =
+                Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
             assert!(replayed.is_empty());
             journal.persist(&record);
             // Same key again: deduplicated, not re-appended.
             journal.persist(&record);
             assert_eq!(journal.stats().appended, 1);
         }
-        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0], record);
         let registry = SessionRegistry::new();
@@ -510,7 +540,7 @@ mod tests {
         let dir = tempdir("torn");
         let record = warm_record();
         {
-            let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+            let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
             journal.persist(&record);
         }
         // Tear the file mid-record, as a crash mid-append would.
@@ -520,7 +550,7 @@ mod tests {
         bytes.extend_from_slice(&bytes.clone()[..intact / 2]);
         std::fs::write(&path, &bytes).unwrap();
 
-        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         assert_eq!(replayed.len(), 1, "the intact record survives");
         assert_eq!(journal.stats().rejected, 1, "the torn tail is counted");
         assert_eq!(
@@ -532,7 +562,7 @@ mod tests {
         let mut second = record.clone();
         second.max_firings = Some(10_000);
         journal.persist(&second);
-        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         assert_eq!(replayed.len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -542,7 +572,7 @@ mod tests {
         let dir = tempdir("fault");
         let record = warm_record();
         {
-            let (journal, _) = Journal::open(&dir, Some(1), DEFAULT_COMPACT_BYTES).unwrap();
+            let (journal, _) = Journal::open(&dir, Some(1), DEFAULT_COMPACT_BYTES, None).unwrap();
             journal.persist(&record);
             assert_eq!(
                 journal.stats().appended,
@@ -556,12 +586,12 @@ mod tests {
             journal.persist(&second);
             assert_eq!(journal.stats().appended, 0);
         }
-        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         assert!(replayed.is_empty(), "half a record restores nothing");
         assert_eq!(journal.stats().rejected, 1);
         // And the file is clean again: a fresh append replays fine.
         journal.persist(&record);
-        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         assert_eq!(replayed.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -572,7 +602,7 @@ mod tests {
         let mut forged = record.clone();
         forged.content = forged.content.replace("actor a 2", "actor a 9");
         let dir = tempdir("forged");
-        let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         let registry = SessionRegistry::new();
         journal.restore_into(&[forged], &registry);
         assert_eq!(journal.stats().loaded, 0);
@@ -589,7 +619,7 @@ mod tests {
         stale.max_firings = Some(10_000);
         {
             // Threshold 1: any non-empty journal is eligible for compaction.
-            let (journal, _) = Journal::open(&dir, None, 1).unwrap();
+            let (journal, _) = Journal::open(&dir, None, 1, None).unwrap();
             journal.persist(&record);
             journal.persist(&stale);
             // Only `record`'s key is resident; `stale`'s caps never were.
@@ -603,7 +633,7 @@ mod tests {
             // The journal still appends after the rewrite.
             journal.persist(&stale);
         }
-        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         assert_eq!(replayed.len(), 2, "live record plus the re-appended one");
         assert_eq!(replayed[0], record);
         assert!(
@@ -618,7 +648,7 @@ mod tests {
         let dir = tempdir("watermark");
         let record = warm_record();
         // Threshold 1: the first maybe_compact always scans.
-        let (journal, _) = Journal::open(&dir, None, 1).unwrap();
+        let (journal, _) = Journal::open(&dir, None, 1, None).unwrap();
         journal.persist(&record);
         let registry = SessionRegistry::new();
         journal.restore_into(std::slice::from_ref(&record), &registry);
@@ -630,7 +660,7 @@ mod tests {
         journal.maybe_compact(&SessionRegistry::new());
         assert_eq!(journal.stats().compactions, 0);
         {
-            let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+            let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
             assert_eq!(replayed.len(), 1, "the skipped scan rewrote nothing");
         }
         // A fresh append grows past the watermark and re-arms the scan.
@@ -639,7 +669,7 @@ mod tests {
         journal.persist(&second);
         journal.maybe_compact(&SessionRegistry::new());
         assert_eq!(journal.stats().compactions, 1);
-        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         assert!(replayed.is_empty(), "nothing was resident");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -648,13 +678,13 @@ mod tests {
     fn small_journals_are_never_compacted() {
         let dir = tempdir("nocompact");
         let record = warm_record();
-        let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         journal.persist(&record);
         // An empty registry would drop everything — but the file is far
         // below the threshold, so nothing happens.
         journal.maybe_compact(&SessionRegistry::new());
         assert_eq!(journal.stats().compactions, 0);
-        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (_, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         assert_eq!(replayed.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -668,11 +698,11 @@ mod tests {
             "a warm unlimited session persists its engine checkpoint"
         );
         {
-            let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+            let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
             journal.persist(&record);
             assert_eq!(journal.stats().checkpoints_persisted, 1);
         }
-        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (journal, replayed) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         let registry = SessionRegistry::new();
         journal.restore_into(&replayed, &registry);
         assert_eq!(journal.stats().loaded, 1);
@@ -690,7 +720,7 @@ mod tests {
         let dir = tempdir("badengine");
         let mut record = warm_record();
         record.engine = Some("sdfr-engine/1|not|a|real|archive".to_string());
-        let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES).unwrap();
+        let (journal, _) = Journal::open(&dir, None, DEFAULT_COMPACT_BYTES, None).unwrap();
         let registry = SessionRegistry::new();
         journal.restore_into(std::slice::from_ref(&record), &registry);
         // The headline artifact still restores; only the checkpoint is lost.

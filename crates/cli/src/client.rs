@@ -38,7 +38,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use sdfr_api::json::{self, Value};
-use sdfr_api::{AnalysisRequest, GraphSource};
+use sdfr_api::shards::ShardMap;
+use sdfr_api::{AnalysisRequest, BatchSummary, GraphSource};
 
 use crate::{batch, CliError, EXIT_OK, EXIT_PANIC};
 
@@ -156,7 +157,7 @@ pub(crate) fn cmd_control(
     let mut attempt = 0u32;
     loop {
         let outcome = match TcpStream::connect(addr) {
-            Ok(stream) => exchange(stream, addr, method, path, "", attempt, policy),
+            Ok(stream) => exchange(stream, addr, method, path, "", attempt, false, policy),
             Err(e) => {
                 // Nothing was sent: retryable for every command.
                 if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
@@ -231,7 +232,54 @@ fn remote_command(
     mut attempt: u32,
 ) -> Result<String, CliError> {
     let command = args[0].as_str();
-    let (path, request) = match command {
+    let (path, request) = build_request(args)?;
+    let payload = request.to_json();
+    let mut stream = Some(stream);
+    loop {
+        let connected = match stream.take() {
+            Some(s) => s,
+            None => match TcpStream::connect(addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(CliError::io(format!("{command}: {addr}: {e}")));
+                }
+            },
+        };
+        match exchange(
+            connected, addr, "POST", path, &payload, attempt, false, policy,
+        ) {
+            Ok((status, retry_after, body)) => {
+                if (status == 429 || status == 503)
+                    && attempt < policy.retries
+                    && sleep_retry_after(retry_after, start, policy)
+                {
+                    attempt += 1;
+                    continue;
+                }
+                return finish(status, body);
+            }
+            Err(e) => {
+                if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
+                    attempt += 1;
+                    continue;
+                }
+                return Err(CliError::io(format!("{command}: {addr}: {e}")));
+            }
+        }
+    }
+}
+
+/// Translates one `analyze`/`batch`/`csdf` command line into its endpoint
+/// path and [`AnalysisRequest`] — file contents read and inlined, flags
+/// validated. Shared between the single-server client and the sharded
+/// router (which re-partitions the request but builds it identically).
+fn build_request(args: &[String]) -> Result<(&'static str, AnalysisRequest), CliError> {
+    let command = args[0].as_str();
+    Ok(match command {
         "batch" => {
             let opts = batch::parse_batch_args(&args[1..])?;
             let graphs = opts
@@ -247,6 +295,7 @@ fn remote_command(
                     deadline_ms: deadline_ms(&args[1..])?,
                     max_firings: opts.budget.max_firings(),
                     max_size: opts.budget.max_size(),
+                    indices: None,
                 },
             )
         }
@@ -270,46 +319,11 @@ fn remote_command(
                     deadline_ms: deadline_ms(opts)?,
                     max_firings: budget.max_firings(),
                     max_size: budget.max_size(),
+                    indices: None,
                 },
             )
         }
-    };
-    let payload = request.to_json();
-    let mut stream = Some(stream);
-    loop {
-        let connected = match stream.take() {
-            Some(s) => s,
-            None => match TcpStream::connect(addr) {
-                Ok(s) => s,
-                Err(e) => {
-                    if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
-                        attempt += 1;
-                        continue;
-                    }
-                    return Err(CliError::io(format!("{command}: {addr}: {e}")));
-                }
-            },
-        };
-        match exchange(connected, addr, "POST", path, &payload, attempt, policy) {
-            Ok((status, retry_after, body)) => {
-                if (status == 429 || status == 503)
-                    && attempt < policy.retries
-                    && sleep_retry_after(retry_after, start, policy)
-                {
-                    attempt += 1;
-                    continue;
-                }
-                return finish(status, body);
-            }
-            Err(e) => {
-                if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
-                    attempt += 1;
-                    continue;
-                }
-                return Err(CliError::io(format!("{command}: {addr}: {e}")));
-            }
-        }
-    }
+    })
 }
 
 /// Reads one graph file into an inline [`GraphSource`]. Unlike the
@@ -344,6 +358,7 @@ fn deadline_ms(opts: &[String]) -> Result<Option<u64>, CliError> {
 /// the body, and verify the body against the response's `Content-Length`
 /// — a short body (a crash or injected fault mid-response) is a transport
 /// error, not a truncated answer handed to the user.
+#[allow(clippy::too_many_arguments)]
 fn exchange(
     mut stream: TcpStream,
     addr: &str,
@@ -351,6 +366,7 @@ fn exchange(
     path: &str,
     body: &str,
     attempt: u32,
+    failover: bool,
     policy: &RetryPolicy,
 ) -> Result<(u16, Option<u64>, String), String> {
     if policy.bounded_reads {
@@ -362,10 +378,17 @@ fn exchange(
     } else {
         String::new()
     };
+    // The failover marker tells a sharded server to serve fingerprints it
+    // does not own: the router only sets it after the owning shard failed.
+    let failover_marker = if failover {
+        "X-Sdfr-Failover: 1\r\n"
+    } else {
+        ""
+    };
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\n{retry_marker}Connection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{retry_marker}{failover_marker}Connection: close\r\n\r\n{body}",
         body.len()
     )
     .map_err(|e| format!("send failed: {e}"))?;
@@ -441,6 +464,309 @@ fn finish(status: u16, body: String) -> Result<String, CliError> {
             kind: batch::kind_for_exit(exit),
             message: body,
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded routing (`--peers`)
+// ---------------------------------------------------------------------------
+
+/// Validates a `--peers` fleet list into the consistent-hash ring,
+/// resolving every peer address up front: a malformed or unresolvable
+/// peer is a usage error *naming the peer* before any file is read or
+/// byte sent. With `--peers` there is deliberately no in-process
+/// fallback — a half-usable shard map must fail loudly, because quietly
+/// analyzing locally would hide a fleet misconfiguration behind correct
+/// answers.
+pub(crate) fn fleet_map(peers: &[String]) -> Result<ShardMap, CliError> {
+    let map =
+        ShardMap::new(peers.to_vec()).map_err(|e| CliError::usage(format!("--peers: {e}")))?;
+    for peer in peers {
+        use std::net::ToSocketAddrs;
+        match peer.to_socket_addrs() {
+            Ok(mut addrs) => {
+                if addrs.next().is_none() {
+                    return Err(CliError::usage(format!(
+                        "--peers: '{peer}' resolves to no address"
+                    )));
+                }
+            }
+            Err(e) => {
+                return Err(CliError::usage(format!(
+                    "--peers: cannot resolve '{peer}': {e}"
+                )))
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Runs one analysis command against a sharded fleet: the client is the
+/// router. Every process that knows the `--peers` list derives the same
+/// [`ShardMap`], so each graph's fingerprint is resolved locally and sent
+/// straight to its owning shard; when a shard is unreachable (or sheds
+/// with 503 past the retry budget) its units fail over along the ring —
+/// the same successor order the servers use for warm handoff, so failover
+/// traffic lands where the warmth migrates.
+pub(crate) fn run_sharded(
+    peers: &[String],
+    args: &[String],
+    policy: &RetryPolicy,
+) -> Result<String, CliError> {
+    let map = fleet_map(peers)?;
+    match args[0].as_str() {
+        "batch" => batch_sharded(&map, &args[1..], policy),
+        "analyze" | "csdf" => single_sharded(&map, args, policy),
+        other => Err(CliError::usage(format!(
+            "{other}: --peers routes analyze, batch and csdf; \
+             control commands take --server with one shard's address"
+        ))),
+    }
+}
+
+/// The routing fingerprint of a graph source: the graph's own fingerprint
+/// when the content parses — exactly what the owning server will compute —
+/// else FNV-1a over the raw bytes. Unparseable sources produce identical
+/// error records on every shard, so for them any *deterministic*
+/// placement is correct.
+fn routing_fingerprint(source: &GraphSource) -> u64 {
+    if let Ok(g) = crate::parse_graph_content(&source.name, &source.content) {
+        return g.fingerprint();
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in source.content.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One file of a sharded batch in flight: its content, its failover route
+/// (owner first, then ring successors), how far along that route it has
+/// fallen, and the global index of its first unit (`file index × units
+/// per file` — the server stamps each record with `base + tier` so the
+/// router can reassemble the single-server line order).
+struct BatchJob {
+    source: GraphSource,
+    route: Vec<u32>,
+    pos: usize,
+    base: usize,
+}
+
+/// `sdfr batch --peers …`: partitions the files by owning shard, sends
+/// ONE request per shard carrying the global unit indices, then
+/// reassembles — records re-ordered by their `"index"` field, per-shard
+/// summaries folded with [`BatchSummary::merge`]. Because the units
+/// partition by fingerprint, the reassembled body is byte-identical to a
+/// single server holding every unit (the fleet CI job diffs exactly
+/// that).
+fn batch_sharded(
+    map: &ShardMap,
+    rest: &[String],
+    policy: &RetryPolicy,
+) -> Result<String, CliError> {
+    let opts = batch::parse_batch_args(rest)?;
+    let deadline_ms = deadline_ms(rest)?;
+    let units_per_file = opts.tiers.len().max(1);
+    let mut pending = Vec::with_capacity(opts.files.len());
+    for (i, file) in opts.files.iter().enumerate() {
+        let source = read_source(file)?;
+        let fp = routing_fingerprint(&source);
+        pending.push(BatchJob {
+            route: map.route(fp),
+            source,
+            pos: 0,
+            base: i * units_per_file,
+        });
+    }
+    let mut lines: Vec<(usize, String)> = Vec::with_capacity(pending.len() * units_per_file);
+    let mut summaries = Vec::new();
+    while let Some(first) = pending.first() {
+        let target = first.route[first.pos];
+        let (group, rest): (Vec<BatchJob>, Vec<BatchJob>) =
+            pending.drain(..).partition(|j| j.route[j.pos] == target);
+        pending = rest;
+        let failover = group.iter().any(|j| j.pos > 0);
+        let request = AnalysisRequest {
+            graphs: group.iter().map(|j| j.source.clone()).collect(),
+            tiers: opts.tiers.clone(),
+            deadline_ms,
+            max_firings: opts.budget.max_firings(),
+            max_size: opts.budget.max_size(),
+            indices: Some(
+                group
+                    .iter()
+                    .flat_map(|j| j.base..j.base + units_per_file)
+                    .collect(),
+            ),
+        };
+        let peer = map.peer(target);
+        match fleet_exchange(peer, "/v1/batch", &request.to_json(), failover, policy) {
+            Ok((421, body)) => return Err(shard_map_disagreement(target, peer, &body)),
+            Ok((503, body)) => requeue(
+                &mut pending,
+                group,
+                map,
+                target,
+                &format!("shed with 503: {}", body.trim()),
+            )?,
+            Ok((status, body)) => {
+                let mut recognized = false;
+                for line in body.lines() {
+                    if let Ok(summary) = BatchSummary::from_json_line(line) {
+                        summaries.push(summary);
+                        recognized = true;
+                    } else if let Some(index) = json::parse(line)
+                        .ok()
+                        .and_then(|v| v.get("index").and_then(Value::as_u64))
+                    {
+                        lines.push((
+                            usize::try_from(index).unwrap_or(usize::MAX),
+                            line.to_string(),
+                        ));
+                        recognized = true;
+                    }
+                }
+                if !recognized {
+                    // Not a batch answer at all (an error document): final,
+                    // exactly as the single-server client treats it.
+                    return finish(status, body);
+                }
+            }
+            Err(e) => requeue(&mut pending, group, map, target, &e)?,
+        }
+    }
+    lines.sort_by_key(|&(index, _)| index);
+    let mut out =
+        String::with_capacity(lines.iter().map(|(_, l)| l.len() + 1).sum::<usize>() + 256);
+    for (_, line) in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&BatchSummary::merge(&summaries).to_json_line());
+    out.push('\n');
+    finish(200, out)
+}
+
+/// Pushes a failed group one step along each job's failover route, or
+/// fails the invocation once any job has no shards left to try.
+fn requeue(
+    pending: &mut Vec<BatchJob>,
+    group: Vec<BatchJob>,
+    map: &ShardMap,
+    target: u32,
+    err: &str,
+) -> Result<(), CliError> {
+    eprintln!(
+        "sdfr: shard {target} ({}) failed ({err}); failing over to each unit's ring successor",
+        map.peer(target)
+    );
+    for mut job in group {
+        job.pos += 1;
+        if job.pos >= job.route.len() {
+            return Err(CliError::io(format!(
+                "batch: every shard failed for {}; last: shard {target} ({}): {err}",
+                job.source.name,
+                map.peer(target)
+            )));
+        }
+        pending.push(job);
+    }
+    Ok(())
+}
+
+/// `sdfr analyze/csdf --peers …`: a single file routes to its owner, then
+/// cascades along the ring on transport failure or a final 503.
+fn single_sharded(
+    map: &ShardMap,
+    args: &[String],
+    policy: &RetryPolicy,
+) -> Result<String, CliError> {
+    let command = args[0].clone();
+    let (path, request) = build_request(args)?;
+    let fp = routing_fingerprint(&request.graphs[0]);
+    let payload = request.to_json();
+    let route = map.route(fp);
+    let mut last_err = String::new();
+    for (pos, &target) in route.iter().enumerate() {
+        let peer = map.peer(target);
+        match fleet_exchange(peer, path, &payload, pos > 0, policy) {
+            Ok((421, body)) => return Err(shard_map_disagreement(target, peer, &body)),
+            Ok((503, body)) => {
+                last_err = format!("shard {target} ({peer}) shed with 503: {}", body.trim());
+                eprintln!("sdfr: {last_err}; failing over to the ring successor");
+            }
+            Ok((status, body)) => return finish(status, body),
+            Err(e) => {
+                last_err = format!("shard {target} ({peer}): {e}");
+                eprintln!("sdfr: {last_err}; failing over to the ring successor");
+            }
+        }
+    }
+    Err(CliError::io(format!(
+        "{command}: every shard failed; last: {last_err}"
+    )))
+}
+
+/// A 421 means the server derived a different ring than this client —
+/// mixed `--peers` lists across the fleet. Retrying elsewhere would only
+/// bounce, so it is a hard usage error carrying the server's redirect
+/// record.
+fn shard_map_disagreement(shard: u32, peer: &str, body: &str) -> CliError {
+    CliError::usage(format!(
+        "shard {shard} ({peer}) rejected the route with 421 — client and server \
+         disagree about the shard map; was every process started with the same \
+         --peers list?\n{}",
+        body.trim()
+    ))
+}
+
+/// One routed exchange with a fleet shard, retried like the single-server
+/// client (backoff on transport failures, `Retry-After` on sheds). The
+/// caller sees either the final `(status, body)` — a terminal 503 comes
+/// back as a value, because its next step is *failover*, not failure — or
+/// a transport error string after the retries ran out.
+fn fleet_exchange(
+    peer: &str,
+    path: &str,
+    payload: &str,
+    failover: bool,
+    policy: &RetryPolicy,
+) -> Result<(u16, String), String> {
+    let start = Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        let stream = match TcpStream::connect(peer) {
+            Ok(s) => s,
+            Err(e) => {
+                if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
+                    attempt += 1;
+                    continue;
+                }
+                return Err(format!("connect: {e}"));
+            }
+        };
+        match exchange(
+            stream, peer, "POST", path, payload, attempt, failover, policy,
+        ) {
+            Ok((status, retry_after, body)) => {
+                if (status == 429 || status == 503)
+                    && attempt < policy.retries
+                    && sleep_retry_after(retry_after, start, policy)
+                {
+                    attempt += 1;
+                    continue;
+                }
+                return Ok((status, body));
+            }
+            Err(e) => {
+                if attempt < policy.retries && sleep_backoff(attempt, start, policy) {
+                    attempt += 1;
+                    continue;
+                }
+                return Err(e);
+            }
+        }
     }
 }
 

@@ -43,6 +43,11 @@ pub struct Request {
     /// retrying client marks every re-sent attempt so the server's
     /// `retries_observed` stat counts real-world retry traffic.
     pub retry: bool,
+    /// `true` when the request carried an `X-Sdfr-Failover` header — the
+    /// routing client marks requests it re-routed to a ring successor
+    /// after the owning shard failed, so a sharded server skips the
+    /// mis-route rejection and serves the foreign fingerprint.
+    pub failover: bool,
     /// Bytes of the buffer this request occupied; the remainder belongs to
     /// the next pipelined request.
     pub consumed: usize,
@@ -112,6 +117,7 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Result<Parsed, ParseFailure
 
     let mut content_length = 0usize;
     let mut retry = false;
+    let mut failover = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -130,6 +136,8 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Result<Parsed, ParseFailure
             }
         } else if name.eq_ignore_ascii_case("x-sdfr-retry") {
             retry = true;
+        } else if name.eq_ignore_ascii_case("x-sdfr-failover") {
+            failover = true;
         }
     }
     if content_length > max_body {
@@ -159,6 +167,7 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Result<Parsed, ParseFailure
         body,
         close,
         retry,
+        failover,
         consumed: total,
     }))
 }
@@ -221,6 +230,8 @@ mod tests {
         assert!(!complete("GET /v1/stats HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").close);
         assert!(complete("GET /v1/stats\r\n\r\n").close, "no version: close");
         assert!(complete("GET /s HTTP/1.1\r\nX-Sdfr-Retry: 2\r\n\r\n").retry);
+        assert!(complete("GET /s HTTP/1.1\r\nX-Sdfr-Failover: 1\r\n\r\n").failover);
+        assert!(!complete("GET /s HTTP/1.1\r\n\r\n").failover);
     }
 
     #[test]

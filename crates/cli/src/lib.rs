@@ -210,6 +210,12 @@ GLOBAL OPTIONS:
   --server ADDR    run analyze/batch/csdf on the sdfr serve at ADDR
                    (host:port); falls back to in-process --json analysis
                    if nothing is listening there
+  --peers A,B,...  route analyze/batch/csdf across a sharded fleet: every
+                   graph goes to the shard owning its fingerprint (the
+                   same consistent-hash map the servers derive from this
+                   list), failing over along the ring when a shard is
+                   down; unlike --server there is NO in-process fallback
+                   — an unusable fleet fails fast, naming the bad peer
   --api-version V  require wire-schema major V (1 or sdfr-api/1); any
                    other value exits 2 before touching the network
   --json           analyze/csdf: emit one sdfr-api/1 JSON line instead of
@@ -253,6 +259,17 @@ SERVE OPTIONS:
                      checksummed, crash-safe sdfr-cache/1 journal) and
                      restore them at startup, so restarts come up warm
   --cache-entries N / --cache-bytes N   session-registry caps (as in batch)
+  --shard ID/N       join an N-process fleet as shard ID (0-based); needs
+                     --peers with exactly N addresses, this shard's own
+                     listen address at position ID
+  --peers A,B,...    the fleet's addresses in shard-id order; every member
+                     (and every routing client) must be started with the
+                     identical list, since each derives the shard map from
+                     it independently
+  --misroute MODE    what to do with requests for fingerprints another
+                     shard owns: 'reject' (default) answers 421 with a
+                     redirect record naming the owner; 'proxy' forwards
+                     the request there and relays the answer
   --fault SPEC       test-only fault injection (also: SDFR_FAULT env var,
                      the flag wins): comma-separated accept-delay=MS,
                      mid-response-close=N, torn-write=N, slow-loris=MS
@@ -311,6 +328,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Globals {
         args,
         server,
+        peers,
         retry,
     } = extract_globals(args)?;
     let mut out = String::new();
@@ -321,7 +339,27 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return Ok(USAGE.to_string());
     }
     if command == "serve" {
-        return serve::cmd_serve(&args[1..]);
+        // `--peers` doubles as a serve flag (the fleet membership list);
+        // hand it back to the serve parser rather than routing with it.
+        let mut serve_args = args[1..].to_vec();
+        if let Some(peers) = peers {
+            serve_args.push("--peers".to_string());
+            serve_args.push(peers.join(","));
+        }
+        return serve::cmd_serve(&serve_args);
+    }
+    if let Some(peers) = peers {
+        if server.is_some() {
+            return Err(CliError::usage(
+                "--peers and --server are mutually exclusive: --peers routes by \
+                 fingerprint, --server pins one address",
+            ));
+        }
+        // Routed fleet mode: resolve the shard map up front and never fall
+        // back to in-process analysis — with an explicit fleet on the
+        // command line, a quiet local answer would mask a dead or
+        // misconfigured cluster.
+        return client::run_sharded(&peers, &args, &retry);
     }
     if command == "stats" || command == "shutdown" {
         // No in-process fallback for these: they are questions *about* a
@@ -396,6 +434,9 @@ struct Globals {
     args: Vec<String>,
     /// `--server <addr>`, when present.
     server: Option<String>,
+    /// `--peers <a,b,…>`, when present: the full sharded fleet, in shard-id
+    /// order (the same list every `sdfr serve --shard` was started with).
+    peers: Option<Vec<String>>,
     /// The client retry discipline from `--retries`/`--retry-budget-ms`.
     retry: client::RetryPolicy,
 }
@@ -408,6 +449,7 @@ struct Globals {
 fn extract_globals(args: &[String]) -> Result<Globals, CliError> {
     let mut rest = Vec::with_capacity(args.len());
     let mut server = None;
+    let mut peers = None;
     let mut retry = client::RetryPolicy::default();
     let mut i = 0;
     while i < args.len() {
@@ -417,6 +459,17 @@ fn extract_globals(args: &[String]) -> Result<Globals, CliError> {
                     Some(args.get(i + 1).cloned().ok_or_else(|| {
                         CliError::usage("--server requires an address (host:port)")
                     })?);
+                i += 1;
+            }
+            "--peers" => {
+                let list = args.get(i + 1).ok_or_else(|| {
+                    CliError::usage("--peers requires a comma-separated address list")
+                })?;
+                peers = Some(
+                    list.split(',')
+                        .map(|p| p.trim().to_string())
+                        .collect::<Vec<_>>(),
+                );
                 i += 1;
             }
             "--api-version" => {
@@ -451,6 +504,7 @@ fn extract_globals(args: &[String]) -> Result<Globals, CliError> {
     Ok(Globals {
         args: rest,
         server,
+        peers,
         retry,
     })
 }

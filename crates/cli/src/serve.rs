@@ -73,6 +73,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use sdfr_analysis::registry::{Lookup, RegistryConfig, SessionRegistry};
+use sdfr_api::cache::CacheRecord;
+use sdfr_api::shards::{RedirectRecord, ShardMap};
 use sdfr_api::{
     http_status_for_exit, pool_stats_json, registry_stats_json, AnalysisRequest, ErrorBody,
     RequestError, EXIT_IO, EXIT_PANIC, EXIT_USAGE, SCHEMA,
@@ -110,8 +112,23 @@ struct ServeOptions {
     /// Journal size past which persists trigger a compaction pass
     /// (`--cache-compact-bytes`).
     cache_compact_bytes: u64,
+    /// This process's fleet membership (`--shard ID/N` + `--peers`), with
+    /// the derived ring and the mis-route policy.
+    shard: Option<ShardOptions>,
     /// Armed fault injections (`--fault` / `SDFR_FAULT`).
     fault: FaultPlan,
+}
+
+/// Parsed fleet membership: `--shard ID/N --peers A,B,…`.
+#[derive(Debug, Clone)]
+struct ShardOptions {
+    /// This process's shard id (< the peer count).
+    id: u32,
+    /// The shared ring, derived from the ordered peer list.
+    map: ShardMap,
+    /// `--misroute proxy`: forward a mis-routed request to its owner
+    /// instead of rejecting it with 421.
+    proxy: bool,
 }
 
 /// Deterministic fault injections for the black-box robustness suite.
@@ -188,7 +205,43 @@ struct ServerState {
     io_timeout: Duration,
     max_requests: u64,
     journal: Option<cache::Journal>,
+    shard: Option<ShardState>,
     fault: FaultPlan,
+}
+
+/// Fleet membership plus the sharding counters `/v1/stats` reports.
+struct ShardState {
+    /// This process's shard id.
+    id: u32,
+    /// The ring every fleet member and the routing client agree on.
+    map: ShardMap,
+    /// Forward mis-routed requests to their owner instead of 421-ing.
+    proxy: bool,
+    /// Requests rejected with a 421 redirect record.
+    misroutes: AtomicU64,
+    /// Mis-routed requests forwarded to their owning shard.
+    proxied: AtomicU64,
+    /// Archive handoffs asked of the ring successor (routed misses).
+    handoffs_requested: AtomicU64,
+    /// Handoffs that came back with a usable archive (restored warm).
+    handoffs_received: AtomicU64,
+    /// `GET /v1/archive/<fp>` requests answered with a record.
+    handoffs_served: AtomicU64,
+}
+
+impl ShardState {
+    fn new(opts: ShardOptions) -> ShardState {
+        ShardState {
+            id: opts.id,
+            map: opts.map,
+            proxy: opts.proxy,
+            misroutes: AtomicU64::new(0),
+            proxied: AtomicU64::new(0),
+            handoffs_requested: AtomicU64::new(0),
+            handoffs_received: AtomicU64::new(0),
+            handoffs_served: AtomicU64::new(0),
+        }
+    }
 }
 
 /// The process-wide drain flag: set by `SIGTERM`/`SIGINT` (via the
@@ -265,6 +318,23 @@ impl ConnQueue {
     }
 }
 
+/// Parses a `--shard ID/N` spec into `(id, n)`.
+fn parse_shard_spec(spec: &str) -> Result<(u32, u32), CliError> {
+    let bad = || CliError::usage(format!("--shard: '{spec}' is not ID/N (e.g. 0/3)"));
+    let (id, n) = spec.split_once('/').ok_or_else(bad)?;
+    let id: u32 = id.trim().parse().map_err(|_| bad())?;
+    let n: u32 = n.trim().parse().map_err(|_| bad())?;
+    if n == 0 {
+        return Err(CliError::usage("--shard: the fleet size must be positive"));
+    }
+    if id >= n {
+        return Err(CliError::usage(format!(
+            "--shard: id {id} is out of range for a fleet of {n}"
+        )));
+    }
+    Ok((id, n))
+}
+
 /// Parses `sdfr serve` arguments (everything after the command word).
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
     let mut opts = ServeOptions {
@@ -279,6 +349,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
         preload: Vec::new(),
         cache_dir: None,
         cache_compact_bytes: cache::DEFAULT_COMPACT_BYTES,
+        shard: None,
         fault: FaultPlan::default(),
     };
     if let Some(addr) = crate::flag_raw(args, "--addr")? {
@@ -335,6 +406,39 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
     } else if let Ok(spec) = std::env::var("SDFR_FAULT") {
         opts.fault = parse_fault_plan(&spec)?;
     }
+    let shard_spec = crate::flag_raw(args, "--shard")?;
+    let peer_spec = crate::flag_raw(args, "--peers")?;
+    let misroute_spec = crate::flag_raw(args, "--misroute")?;
+    match (shard_spec, peer_spec) {
+        (None, None) => {
+            if misroute_spec.is_some() {
+                return Err(CliError::usage("--misroute requires --shard and --peers"));
+            }
+        }
+        (Some(_), None) => return Err(CliError::usage("--shard requires --peers")),
+        (None, Some(_)) => return Err(CliError::usage("--peers requires --shard ID/N")),
+        (Some(shard), Some(peers)) => {
+            let (id, n) = parse_shard_spec(&shard)?;
+            let peers: Vec<String> = peers.split(',').map(|p| p.trim().to_string()).collect();
+            if peers.len() != n as usize {
+                return Err(CliError::usage(format!(
+                    "--peers lists {} address(es) for a fleet of {n}",
+                    peers.len()
+                )));
+            }
+            let map = ShardMap::new(peers).map_err(|e| CliError::usage(format!("--peers: {e}")))?;
+            let proxy = match misroute_spec.as_deref() {
+                None | Some("reject") => false,
+                Some("proxy") => true,
+                Some(other) => {
+                    return Err(CliError::usage(format!(
+                        "--misroute: '{other}' is not 'reject' or 'proxy'"
+                    )));
+                }
+            };
+            opts.shard = Some(ShardOptions { id, map, proxy });
+        }
+    }
     let value_flags = [
         "--addr",
         "--workers",
@@ -346,6 +450,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
         "--cache-bytes",
         "--cache-dir",
         "--cache-compact-bytes",
+        "--shard",
+        "--peers",
+        "--misroute",
         "--fault",
         "--deadline",
         "--max-firings",
@@ -385,6 +492,7 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         .local_addr()
         .map_err(|e| CliError::io(format!("serve: no local address: {e}")))?;
 
+    let shard_coord = opts.shard.as_ref().map(|s| (s.id, s.map.len() as u32));
     let mut journal = None;
     let mut replayed = Vec::new();
     if let Some(dir) = &opts.cache_dir {
@@ -392,6 +500,7 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             Path::new(dir),
             opts.fault.torn_write,
             opts.cache_compact_bytes,
+            shard_coord,
         )?;
         journal = Some(j);
         replayed = records;
@@ -410,8 +519,19 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         io_timeout: opts.io_timeout,
         max_requests: opts.max_requests,
         journal,
+        shard: opts.shard.clone().map(ShardState::new),
         fault: opts.fault.clone(),
     });
+    if let Some(shard) = &state.shard {
+        eprintln!(
+            "sdfr serve: shard {}/{} ({}), peers {:?}, mis-routes are {}",
+            shard.id,
+            shard.map.len(),
+            shard.map.peer(shard.id),
+            shard.map.peers(),
+            if shard.proxy { "proxied" } else { "rejected" }
+        );
+    }
 
     if let Some(journal) = &state.journal {
         state
@@ -616,7 +736,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
         }
         state.requests.fetch_add(1, Ordering::Relaxed);
         let (status, body) = match catch_unwind(AssertUnwindSafe(|| {
-            route(&req.method, &req.path, &req.body, state)
+            route(&req.method, &req.path, &req.body, req.failover, state)
         })) {
             Ok(response) => response,
             Err(panic) => {
@@ -649,8 +769,17 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     }
 }
 
-/// Routes one parsed request to its handler.
-fn route(method: &str, path: &str, body: &str, state: &ServerState) -> (u16, String) {
+/// Routes one parsed request to its handler. `failover` is the client's
+/// `X-Sdfr-Failover` marker: it disarms the sharded mis-route check so a
+/// ring successor serves fingerprints it does not own while the owner is
+/// down.
+fn route(
+    method: &str,
+    path: &str,
+    body: &str,
+    failover: bool,
+    state: &ServerState,
+) -> (u16, String) {
     let wrong_method = |allowed: &str| {
         (
             405,
@@ -663,18 +792,24 @@ fn route(method: &str, path: &str, body: &str, state: &ServerState) -> (u16, Str
                 + "\n",
         )
     };
+    if let Some(fp) = path.strip_prefix("/v1/archive/") {
+        if method != "GET" {
+            return wrong_method("GET");
+        }
+        return handle_archive(fp, state);
+    }
     match path {
         "/v1/analyze" | "/v1/batch" => {
             if method != "POST" {
                 return wrong_method("POST");
             }
-            handle_analysis(body, path == "/v1/batch", state)
+            handle_analysis(body, path == "/v1/batch", failover, state)
         }
         "/v1/csdf" => {
             if method != "POST" {
                 return wrong_method("POST");
             }
-            handle_csdf(body)
+            handle_csdf(body, failover, state)
         }
         "/v1/stats" | "/stats" => {
             if method != "GET" {
@@ -716,7 +851,12 @@ fn route(method: &str, path: &str, body: &str, state: &ServerState) -> (u16, Str
 /// The batch summary embeds the *whole* registry's counters, cumulative
 /// across invocations — that is the feature, not an accounting bug; `/v1/
 /// stats` reads the same counters.
-fn handle_analysis(body: &str, is_batch: bool, state: &ServerState) -> (u16, String) {
+fn handle_analysis(
+    body: &str,
+    is_batch: bool,
+    failover: bool,
+    state: &ServerState,
+) -> (u16, String) {
     let req = match parse_request(body) {
         Ok(req) => req,
         Err(response) => return response,
@@ -733,6 +873,14 @@ fn handle_analysis(body: &str, is_batch: bool, state: &ServerState) -> (u16, Str
                 + "\n",
         );
     }
+    if let Some(shard) = &state.shard {
+        if !failover {
+            let path = if is_batch { "/v1/batch" } else { "/v1/analyze" };
+            if let Some(response) = shard_check(shard, &req, path, body, state) {
+                return response;
+            }
+        }
+    }
     let base = req.caps_budget();
     let deadline = req.wait_deadline().map(|d| Instant::now() + d);
     let tiers: Vec<Option<u64>> = if req.tiers.is_empty() {
@@ -743,11 +891,29 @@ fn handle_analysis(body: &str, is_batch: bool, state: &ServerState) -> (u16, Str
 
     let mut analyzed = Vec::with_capacity(req.graphs.len() * tiers.len());
     let mut index = 0usize;
+    let mut handoff_probed: std::collections::HashSet<u64> = std::collections::HashSet::new();
     for g in &req.graphs {
         for &tier in &tiers {
-            let batch_fields = is_batch.then_some((index, tier));
+            // The record's index: the caller's global position when the
+            // routing client split one logical batch across shards,
+            // otherwise our own running count.
+            let record_index = req.indices.as_ref().map_or(index, |indices| indices[index]);
+            let batch_fields = is_batch.then_some((record_index, tier));
             let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
             let graph = crate::parse_graph_content(&g.name, &g.content).map(Arc::new);
+            // A routed miss on a fingerprint this shard *owns* first asks
+            // the ring successor for a warm archive: after a failover
+            // episode (or a ring change) the warmth lives one hop away,
+            // and importing it beats recomputing the symbolic iteration.
+            if let (Some(shard), Ok(parsed)) = (&state.shard, &graph) {
+                let fp = parsed.fingerprint();
+                if shard.map.owner(fp) == shard.id
+                    && handoff_probed.insert(fp)
+                    && state.registry.find_by_fingerprint(fp).is_none()
+                {
+                    try_handoff(state, shard, fp);
+                }
+            }
             // install() makes any nested analysis fan-out cooperate with
             // the server's pool instead of spawning per-request threads.
             let unit = state.pool.install(|| {
@@ -820,13 +986,217 @@ fn persist_unit(
     }
 }
 
+/// The sharded mis-route check: every parseable graph in the request must
+/// be owned by this shard. Returns `None` when the request may be served
+/// here, or the response to send instead:
+///
+/// - `--misroute proxy` and every parseable graph owned by one *other*
+///   shard: the whole body is forwarded there and its answer relayed
+///   (a proxy failure degrades to 503 so the client's failover takes
+///   over);
+/// - otherwise any foreign fingerprint earns a 421 with a
+///   [`RedirectRecord`] naming its owner.
+///
+/// Unparseable graphs have no fingerprint and are served anywhere — their
+/// error records are shard-independent bytes, so placement cannot change
+/// the response.
+fn shard_check(
+    shard: &ShardState,
+    req: &AnalysisRequest,
+    path: &str,
+    body: &str,
+    state: &ServerState,
+) -> Option<(u16, String)> {
+    let mut owners: Vec<(u64, u32)> = Vec::new();
+    for g in &req.graphs {
+        if let Ok(graph) = crate::parse_graph_content(&g.name, &g.content) {
+            let fp = graph.fingerprint();
+            owners.push((fp, shard.map.owner(fp)));
+        }
+    }
+    let foreign: Vec<(u64, u32)> = owners
+        .iter()
+        .copied()
+        .filter(|&(_, o)| o != shard.id)
+        .collect();
+    let &(first_fp, first_owner) = foreign.first()?;
+    if shard.proxy && owners.iter().all(|&(_, o)| o == first_owner) {
+        // Whole request belongs to one other shard: forward it verbatim.
+        shard.proxied.fetch_add(1, Ordering::Relaxed);
+        let peer = shard.map.peer(first_owner);
+        return Some(
+            match http_fetch(peer, "POST", path, body, state.io_timeout) {
+                Ok((status, relayed)) => (status, relayed),
+                Err(e) => (
+                    503,
+                    ErrorBody::new(
+                        "misrouted",
+                        format!("cannot proxy to owning shard {first_owner} ({peer}): {e}"),
+                        EXIT_IO,
+                    )
+                    .to_json()
+                        + "\n",
+                ),
+            },
+        );
+    }
+    shard.misroutes.fetch_add(1, Ordering::Relaxed);
+    let record = RedirectRecord {
+        fingerprint: first_fp,
+        shard: shard.id,
+        owner: first_owner,
+        peer: shard.map.peer(first_owner).to_string(),
+    };
+    Some((421, record.to_json() + "\n"))
+}
+
+/// `GET /v1/archive/<fp>`: exports the warmest resident session for a
+/// fingerprint as one `sdfr-cache/1` record — graph content regenerated
+/// from the session's graph, headline artifacts, engine checkpoint if one
+/// exists. The receiving shard re-verifies the fingerprint and rebuilds
+/// the session through exactly the journal-replay path, so a handoff can
+/// never inject state a local computation would not have produced.
+fn handle_archive(fp: &str, state: &ServerState) -> (u16, String) {
+    let Ok(fingerprint) = u64::from_str_radix(fp, 16) else {
+        return (
+            400,
+            ErrorBody::new(
+                "bad-request",
+                format!("'{fp}' is not a hexadecimal fingerprint"),
+                EXIT_USAGE,
+            )
+            .to_json()
+                + "\n",
+        );
+    };
+    let miss = || {
+        (
+            404,
+            ErrorBody::new(
+                "not-found",
+                format!("no warm session for fingerprint {fingerprint:016x}"),
+                EXIT_IO,
+            )
+            .to_json()
+                + "\n",
+        )
+    };
+    let Some(session) = state.registry.find_by_fingerprint(fingerprint) else {
+        return miss();
+    };
+    let Some(artifacts) = session.export_artifacts() else {
+        return miss(); // still cold; nothing worth shipping
+    };
+    let content = sdfr_io::text::to_text(session.graph());
+    let engine = session.engine_archive().and_then(|a| a.encode());
+    let name = format!("{fingerprint:016x}.sdf");
+    let Some(record) = cache::record_for(&name, &content, session.budget(), &artifacts, engine)
+    else {
+        return miss(); // non-exportable outcome (deadline-specific, …)
+    };
+    if let Some(shard) = &state.shard {
+        shard.handoffs_served.fetch_add(1, Ordering::Relaxed);
+    }
+    (200, record.to_json_line() + "\n")
+}
+
+/// Asks the ring successor for a warm archive of `fp` and restores it
+/// into the registry. Failures are silent beyond the counters — the unit
+/// is computed locally either way; a handoff only changes how fast.
+fn try_handoff(state: &ServerState, shard: &ShardState, fp: u64) {
+    let Some(donor) = shard.map.successor(fp) else {
+        return;
+    };
+    shard.handoffs_requested.fetch_add(1, Ordering::Relaxed);
+    let peer = shard.map.peer(donor);
+    let path = format!("/v1/archive/{fp:016x}");
+    let reply = http_fetch(peer, "GET", &path, "", Duration::from_millis(1500));
+    let Ok((200, body)) = reply else {
+        return; // donor down, cold, or slow: compute locally
+    };
+    let Ok(record) = CacheRecord::from_json_line(body.lines().next().unwrap_or("")) else {
+        return;
+    };
+    if record.fingerprint != fp {
+        return; // a confused donor does not get to seed our cache
+    }
+    let Ok((session, _)) = cache::rebuild_session(&record) else {
+        return;
+    };
+    if state.registry.restore(session) {
+        shard.handoffs_received.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "sdfr serve: shard {}: warm handoff of {fp:016x} from shard {donor} ({peer})",
+            shard.id
+        );
+    }
+}
+
+/// A minimal one-shot HTTP exchange with a fleet peer (`Connection:
+/// close`, read to EOF): the transport under proxying and archive
+/// handoff. Deliberately simpler than the retrying client — fleet-internal
+/// calls fail fast and fall back to local computation.
+fn http_fetch(
+    peer: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    use std::net::ToSocketAddrs;
+    let addr = peer
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {peer}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {peer}: no address"))?;
+    let mut stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {peer}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    let payload = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or("truncated response")?;
+    Ok((status, payload))
+}
+
 /// `/v1/csdf`: one [`sdfr_api::CsdfRecord`] line per graph; the HTTP
 /// status reflects the worst per-graph exit code.
-fn handle_csdf(body: &str) -> (u16, String) {
+fn handle_csdf(body: &str, failover: bool, state: &ServerState) -> (u16, String) {
     let req = match parse_request(body) {
         Ok(req) => req,
         Err(response) => return response,
     };
+    // Same routing discipline as `/v1/analyze`: content that parses as an
+    // SDF graph has a fingerprint and an owner (the routing client derives
+    // it identically); cyclo-static text does not parse as SDF, so it is
+    // placed by content hash client-side and accepted anywhere here.
+    if let Some(shard) = &state.shard {
+        if !failover {
+            if let Some(response) = shard_check(shard, &req, "/v1/csdf", body, state) {
+                return response;
+            }
+        }
+    }
     let mut out = String::new();
     let mut exit = 0;
     for g in &req.graphs {
@@ -863,13 +1233,29 @@ fn stats_body(state: &ServerState) -> String {
         .map(|j| j.stats())
         .unwrap_or_default();
     let registry = state.registry.stats();
+    // The shard block exists only on sharded servers, so a single-process
+    // `sdfr serve` emits byte-identical stats to every earlier release —
+    // the fleet CI job diffs cluster output against a lone server.
+    let shard = state.shard.as_ref().map_or_else(String::new, |s| {
+        format!(
+            ",\"shard\":{{\"id\":{},\"of\":{},\"misroutes\":{},\"proxied\":{},\
+             \"handoffs_requested\":{},\"handoffs_received\":{},\"handoffs_served\":{}}}",
+            s.id,
+            s.map.len(),
+            s.misroutes.load(Ordering::Relaxed),
+            s.proxied.load(Ordering::Relaxed),
+            s.handoffs_requested.load(Ordering::Relaxed),
+            s.handoffs_received.load(Ordering::Relaxed),
+            s.handoffs_served.load(Ordering::Relaxed),
+        )
+    });
     format!(
         "{{\"schema\":\"{SCHEMA}\",\"registry\":{},\"pool\":{},\"requests\":{},\
          \"connections\":{{\"handled\":{},\"reused_requests\":{}}},\
          \"persistence\":{{\"journal_loaded\":{},\"journal_rejected\":{},\"journal_appended\":{}}},\
          \"incremental\":{{\"near_hits\":{},\"checkpoints_persisted\":{},\
          \"checkpoints_restored\":{},\"compactions\":{}}},\
-         \"retries_observed\":{},\"draining\":{}}}\n",
+         \"retries_observed\":{},\"draining\":{}{shard}}}\n",
         registry_stats_json(&registry),
         pool_stats_json(&state.pool.stats()),
         state.requests.load(Ordering::Relaxed),
@@ -1077,6 +1463,59 @@ fn metrics_body(state: &ServerState) -> String {
         "1 while the server is draining",
         u64::from(DRAIN.load(Ordering::SeqCst)),
     );
+    // Like `/v1/stats`, shard metrics appear only on sharded servers so a
+    // lone server's exposition stays byte-identical across releases.
+    if let Some(shard) = &state.shard {
+        prom(
+            o,
+            "sdfr_shard_id",
+            "gauge",
+            "This server's shard id",
+            u64::from(shard.id),
+        );
+        prom(
+            o,
+            "sdfr_shard_count",
+            "gauge",
+            "Shards in the fleet map",
+            shard.map.len() as u64,
+        );
+        prom(
+            o,
+            "sdfr_shard_misroutes_total",
+            "counter",
+            "Requests rejected with a 421 redirect",
+            shard.misroutes.load(Ordering::Relaxed),
+        );
+        prom(
+            o,
+            "sdfr_shard_proxied_total",
+            "counter",
+            "Mis-routed requests forwarded to their owner",
+            shard.proxied.load(Ordering::Relaxed),
+        );
+        prom(
+            o,
+            "sdfr_shard_handoffs_requested_total",
+            "counter",
+            "Warm-archive fetches attempted from the ring successor",
+            shard.handoffs_requested.load(Ordering::Relaxed),
+        );
+        prom(
+            o,
+            "sdfr_shard_handoffs_received_total",
+            "counter",
+            "Warm archives restored from a peer",
+            shard.handoffs_received.load(Ordering::Relaxed),
+        );
+        prom(
+            o,
+            "sdfr_shard_handoffs_served_total",
+            "counter",
+            "Warm archives exported to a peer",
+            shard.handoffs_served.load(Ordering::Relaxed),
+        );
+    }
     out
 }
 
@@ -1100,6 +1539,7 @@ fn respond(
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        421 => "Misdirected Request",
         422 => "Unprocessable Content",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -1185,7 +1625,22 @@ mod tests {
             max_requests: 256,
             journal: None,
             fault: FaultPlan::default(),
+            shard: None,
         }
+    }
+
+    /// A sharded `test_state` with `id` of `n` peers (the peers are never
+    /// dialled — handoff and proxy failures degrade gracefully, which is
+    /// itself part of what these tests exercise).
+    fn sharded_state(id: u32, n: usize, proxy: bool) -> ServerState {
+        let peers = (0..n).map(|i| format!("127.0.0.1:{}", 9800 + i)).collect();
+        let mut state = test_state();
+        state.shard = Some(ShardState::new(ShardOptions {
+            id,
+            map: ShardMap::new(peers).unwrap(),
+            proxy,
+        }));
+        state
     }
 
     #[test]
@@ -1244,24 +1699,25 @@ mod tests {
     #[test]
     fn routing_rejects_unknown_and_mismatched() {
         let state = test_state();
-        let (status, body) = route("GET", "/nope", "", &state);
+        let (status, body) = route("GET", "/nope", "", false, &state);
         assert_eq!(status, 404);
         assert!(body.contains("\"code\":\"not-found\""));
-        let (status, body) = route("GET", "/v1/analyze", "", &state);
+        let (status, body) = route("GET", "/v1/analyze", "", false, &state);
         assert_eq!(status, 405);
         assert!(body.contains("\"code\":\"method-not-allowed\""));
-        let (status, body) = route("POST", "/v1/analyze", "{", &state);
+        let (status, body) = route("POST", "/v1/analyze", "{", false, &state);
         assert_eq!(status, 400);
         assert!(body.contains("\"code\":\"bad-request\""));
         let (status, body) = route(
             "POST",
             "/v1/analyze",
             r#"{"schema":"sdfr-api/9","graphs":[{"name":"a","content":"x"}]}"#,
+            false,
             &state,
         );
         assert_eq!(status, 400);
         assert!(body.contains("\"code\":\"unsupported-schema\""));
-        let (status, body) = route("GET", "/v1/stats", "", &state);
+        let (status, body) = route("GET", "/v1/stats", "", false, &state);
         assert_eq!(status, 200);
         assert!(body.starts_with("{\"schema\":\"sdfr-api/1\",\"registry\":{\"hits\":0,"));
     }
@@ -1300,7 +1756,7 @@ mod tests {
     fn metrics_render_prometheus_text() {
         let state = test_state();
         state.requests.fetch_add(5, Ordering::Relaxed);
-        let (status, body) = route("GET", "/metrics", "", &state);
+        let (status, body) = route("GET", "/metrics", "", false, &state);
         assert_eq!(status, 200);
         assert!(body.contains("\nsdfr_requests_total 5\n"), "{body}");
         assert!(body.contains("# TYPE sdfr_registry_near_hits_total counter"));
@@ -1321,7 +1777,7 @@ mod tests {
             );
             assert!(value.parse::<u64>().is_ok(), "bad sample value: {line}");
         }
-        let (status, _) = route("POST", "/metrics", "", &state);
+        let (status, _) = route("POST", "/metrics", "", false, &state);
         assert_eq!(status, 405);
     }
 
@@ -1331,10 +1787,10 @@ mod tests {
         let two = r#"{"schema":"sdfr-api/1","graphs":[
             {"name":"a","content":"graph a\nactor a 1\nchannel a a 1 1 1\n"},
             {"name":"b","content":"graph b\nactor b 1\nchannel b b 1 1 1\n"}]}"#;
-        let (status, body) = route("POST", "/v1/analyze", two, &state);
+        let (status, body) = route("POST", "/v1/analyze", two, false, &state);
         assert_eq!(status, 400);
         assert!(body.contains("use /v1/batch"), "{body}");
-        let (status, body) = route("POST", "/v1/batch", two, &state);
+        let (status, body) = route("POST", "/v1/batch", two, false, &state);
         assert_eq!(status, 200, "{body}");
         assert_eq!(body.lines().count(), 3, "{body}");
         assert!(body.lines().last().unwrap().contains("\"summary\":true"));
@@ -1345,22 +1801,169 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("sdfr-serve-journal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let (journal, replayed) =
-            cache::Journal::open(&dir, None, cache::DEFAULT_COMPACT_BYTES).unwrap();
+            cache::Journal::open(&dir, None, cache::DEFAULT_COMPACT_BYTES, None).unwrap();
         assert!(replayed.is_empty());
         let mut state = test_state();
         state.journal = Some(journal);
         let one = r#"{"schema":"sdfr-api/1","graphs":[
             {"name":"a","content":"graph a\nactor a 1\nchannel a a 1 1 1\n"}]}"#;
-        let (status, _) = route("POST", "/v1/batch", one, &state);
+        let (status, _) = route("POST", "/v1/batch", one, false, &state);
         assert_eq!(status, 200);
         assert_eq!(state.journal.as_ref().unwrap().stats().appended, 1);
         // The same content again: already persisted, no duplicate record.
-        let (status, _) = route("POST", "/v1/batch", one, &state);
+        let (status, _) = route("POST", "/v1/batch", one, false, &state);
         assert_eq!(status, 200);
         assert_eq!(state.journal.as_ref().unwrap().stats().appended, 1);
-        let (_, replayed) = cache::Journal::open(&dir, None, cache::DEFAULT_COMPACT_BYTES).unwrap();
+        let (_, replayed) =
+            cache::Journal::open(&dir, None, cache::DEFAULT_COMPACT_BYTES, None).unwrap();
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0].name, "a");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    const SHARD_GRAPH: &str = "graph a\nactor a 1\nchannel a a 1 1 1\n";
+
+    fn shard_graph_fp() -> u64 {
+        crate::parse_graph_content("a", SHARD_GRAPH)
+            .unwrap()
+            .fingerprint()
+    }
+
+    fn shard_batch_body() -> String {
+        format!(
+            r#"{{"schema":"sdfr-api/1","graphs":[{{"name":"a","content":"{}"}}]}}"#,
+            SHARD_GRAPH.replace('\n', "\\n")
+        )
+    }
+
+    #[test]
+    fn shard_specs_parse_and_reject() {
+        assert_eq!(parse_shard_spec("0/3").unwrap(), (0, 3));
+        assert_eq!(parse_shard_spec("2/3").unwrap(), (2, 3));
+        assert!(parse_shard_spec("3/3").is_err(), "id out of range");
+        assert!(parse_shard_spec("0/0").is_err(), "empty fleet");
+        assert!(parse_shard_spec("1").is_err());
+        assert!(parse_shard_spec("one/three").is_err());
+        let to_args = |s: &[&str]| s.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(
+            parse_serve_args(&to_args(&["--shard", "0/3"])).is_err(),
+            "--shard without --peers"
+        );
+        assert!(
+            parse_serve_args(&to_args(&["--peers", "a:1,b:2"])).is_err(),
+            "--peers without --shard"
+        );
+        assert!(
+            parse_serve_args(&to_args(&["--shard", "0/3", "--peers", "a:1,b:2"])).is_err(),
+            "peer count must match /N"
+        );
+        let opts = parse_serve_args(&to_args(&["--shard", "1/2", "--peers", "a:1,b:2"])).unwrap();
+        let shard = opts.shard.unwrap();
+        assert_eq!(shard.id, 1);
+        assert_eq!(shard.map.len(), 2);
+        assert!(!shard.proxy);
+        let opts = parse_serve_args(&to_args(&[
+            "--shard",
+            "0/2",
+            "--peers",
+            "a:1,b:2",
+            "--misroute",
+            "proxy",
+        ]))
+        .unwrap();
+        assert!(opts.shard.unwrap().proxy);
+        assert!(parse_serve_args(&to_args(&[
+            "--shard",
+            "0/2",
+            "--peers",
+            "a:1,b:2",
+            "--misroute",
+            "drop",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn misrouted_fingerprints_earn_a_421_redirect() {
+        let fp = shard_graph_fp();
+        let map = ShardMap::new(vec!["127.0.0.1:9801".into(), "127.0.0.1:9802".into()]).unwrap();
+        let owner = map.owner(fp);
+        let state = sharded_state(1 - owner, 2, false);
+        let (status, body) = route("POST", "/v1/batch", &shard_batch_body(), false, &state);
+        assert_eq!(status, 421, "{body}");
+        assert!(body.contains("\"redirect\":true"), "{body}");
+        assert!(
+            body.contains(&format!("\"fingerprint\":\"{fp:016x}\"")),
+            "{body}"
+        );
+        assert!(body.contains(&format!("\"owner\":{owner}")), "{body}");
+        let shard = state.shard.as_ref().unwrap();
+        assert_eq!(shard.misroutes.load(Ordering::Relaxed), 1);
+        // The redirect shows up in the stats document, and only there —
+        // unsharded servers never emit a shard block.
+        assert!(stats_body(&state).contains("\"shard\":{\"id\":"));
+        assert!(!stats_body(&test_state()).contains("\"shard\""));
+    }
+
+    #[test]
+    fn failover_flag_bypasses_the_misroute_check() {
+        let fp = shard_graph_fp();
+        let map = ShardMap::new(vec!["127.0.0.1:9801".into(), "127.0.0.1:9802".into()]).unwrap();
+        let state = sharded_state(1 - map.owner(fp), 2, false);
+        let (status, body) = route("POST", "/v1/batch", &shard_batch_body(), true, &state);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"summary\":true"), "{body}");
+        assert_eq!(
+            state
+                .shard
+                .as_ref()
+                .unwrap()
+                .misroutes
+                .load(Ordering::Relaxed),
+            0
+        );
+    }
+
+    #[test]
+    fn owned_requests_probe_the_successor_then_compute_locally() {
+        let fp = shard_graph_fp();
+        let map =
+            ShardMap::new((0..3).map(|i| format!("127.0.0.1:{}", 9801 + i)).collect()).unwrap();
+        // This shard owns the fingerprint; its successor peer is a closed
+        // port, so the warm-handoff probe fails fast and the unit is
+        // computed locally anyway.
+        let state = sharded_state(map.owner(fp), 3, false);
+        let (status, body) = route("POST", "/v1/batch", &shard_batch_body(), false, &state);
+        assert_eq!(status, 200, "{body}");
+        let shard = state.shard.as_ref().unwrap();
+        assert_eq!(shard.handoffs_requested.load(Ordering::Relaxed), 1);
+        assert_eq!(shard.handoffs_received.load(Ordering::Relaxed), 0);
+        // Warm now: the second request does not probe again.
+        let (status, _) = route("POST", "/v1/batch", &shard_batch_body(), false, &state);
+        assert_eq!(status, 200);
+        assert_eq!(shard.handoffs_requested.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn archive_endpoint_exports_warm_sessions_as_cache_records() {
+        let fp = shard_graph_fp();
+        let state = test_state();
+        let (status, body) = route("GET", "/v1/archive/zzz", "", false, &state);
+        assert_eq!(status, 400, "{body}");
+        let path = format!("/v1/archive/{fp:016x}");
+        let (status, body) = route("GET", &path, "", false, &state);
+        assert_eq!(status, 404, "cold registry: {body}");
+        let (status, _) = route("POST", "/v1/batch", &shard_batch_body(), false, &state);
+        assert_eq!(status, 200);
+        let (status, body) = route("GET", &path, "", false, &state);
+        assert_eq!(status, 200, "{body}");
+        let record = CacheRecord::from_json_line(body.lines().next().unwrap()).unwrap();
+        assert_eq!(record.fingerprint, fp);
+        // The exported record rebuilds into a session with the same
+        // fingerprint — what the receiving shard will do with it.
+        let (session, _) = cache::rebuild_session(&record).unwrap();
+        assert_eq!(session.graph().fingerprint(), fp);
+        let (status, _) = route("POST", &path, "", false, &state);
+        assert_eq!(status, 405);
     }
 }

@@ -711,6 +711,350 @@ fn accept_delay_slows_but_does_not_break() {
     assert_eq!(out.stdout, local.stdout);
 }
 
+// ---------------------------------------------------------------------------
+// Sharded fleet (`--shard` / `--peers`)
+// ---------------------------------------------------------------------------
+
+/// A consistent-hash sharded fleet of `sdfr serve` processes on
+/// pre-picked local ports, every member started with the same `--peers`
+/// list. Members can be killed and restarted in place.
+struct Fleet {
+    peers: Vec<String>,
+    members: Vec<Option<Server>>,
+    extra: Vec<String>,
+}
+
+impl Fleet {
+    /// Picks N free ports, then starts one `--shard i/N` server per port.
+    /// The pick-then-bind gap is a real (tiny) race, so a failed member
+    /// start retries with fresh ports.
+    fn start(n: usize, extra: &[&str]) -> Fleet {
+        for _ in 0..5 {
+            let ports: Vec<u16> = (0..n)
+                .map(|_| {
+                    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+                    l.local_addr().unwrap().port()
+                })
+                .collect();
+            let peers: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+            let mut fleet = Fleet {
+                peers,
+                members: Vec::new(),
+                extra: extra.iter().map(|s| s.to_string()).collect(),
+            };
+            let ok = (0..n).all(|i| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fleet.start_member(i)))
+                    .is_ok()
+            });
+            if ok {
+                return fleet;
+            }
+        }
+        panic!("could not start a {n}-shard fleet in 5 attempts");
+    }
+
+    /// Starts (or restarts) shard `i` on its fixed fleet address.
+    fn start_member(&mut self, i: usize) {
+        let shard_spec = format!("{i}/{}", self.peers.len());
+        let peer_list = self.peers.join(",");
+        let mut member_args = vec![
+            "--shard".to_string(),
+            shard_spec,
+            "--peers".to_string(),
+            peer_list,
+        ];
+        member_args.extend(self.extra.iter().cloned());
+        let args_ref: Vec<&str> = member_args.iter().map(String::as_str).collect();
+        let server = Server::start_at(&self.peers[i], &args_ref);
+        if self.members.len() <= i {
+            self.members.resize_with(i + 1, || None);
+        }
+        self.members[i] = Some(server);
+    }
+
+    /// SIGKILLs shard `i` — no drain, nothing graceful.
+    fn kill_member(&mut self, i: usize) {
+        if let Some(mut s) = self.members[i].take() {
+            s.child.kill().unwrap();
+            s.child.wait().unwrap();
+        }
+    }
+
+    fn peers_arg(&self) -> String {
+        self.peers.join(",")
+    }
+
+    /// Each live member's `/v1/stats` document, by shard id.
+    fn stats(&self) -> Vec<(usize, String)> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|s| (i, s.addr.clone())))
+            .map(|(i, addr)| {
+                let out = sdfr(&["stats", "--server", &addr]);
+                assert!(out.status.success(), "stats on shard {i} failed: {out:?}");
+                (i, String::from_utf8_lossy(&out.stdout).into_owned())
+            })
+            .collect()
+    }
+}
+
+impl Server {
+    /// Starts a server on a *fixed* address (fleet members must listen
+    /// where the shared `--peers` list says they do).
+    fn start_at(addr: &str, extra: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_sdfr"))
+            .arg("serve")
+            .args(["--addr", addr])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("server spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("listening line");
+        assert!(
+            line.contains("listening on") && line.contains(addr),
+            "unexpected startup line for {addr}: {line:?}"
+        );
+        Server {
+            child,
+            addr: addr.to_string(),
+            stdout,
+        }
+    }
+}
+
+/// A small corpus with enough distinct fingerprints to land on every
+/// shard of a 3-shard ring.
+fn fleet_corpus() -> Vec<String> {
+    (0..8)
+        .map(|i| {
+            let content = format!(
+                "graph g{i}\nactor a 1\nactor b {}\nchannel a b {} 1 0\nchannel b a 1 {} {}\n",
+                i + 1,
+                i % 3 + 1,
+                i % 3 + 1,
+                i % 3 + 1,
+            );
+            write_temp(&content, "sdf").to_str().unwrap().to_string()
+        })
+        .collect()
+}
+
+/// The run-to-run invariant part of a batch response: the summary line is
+/// dropped (its cumulative cache counters legitimately move) and per-unit
+/// cache attribution is masked (warm runs hit where cold runs missed).
+/// Everything else — verdicts, periods, fingerprints, order — must not
+/// change, whatever the fleet does.
+fn records_only(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| !l.contains("\"summary\":true"))
+        .map(|l| {
+            l.replace("\"cache\":\"hit\"", "\"cache\":\"?\"")
+                .replace("\"cache\":\"miss\"", "\"cache\":\"?\"")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The headline tentpole criterion: a cold 3-shard fleet's routed batch is
+/// byte-identical to `sdfr batch --stable` — records AND merged summary —
+/// and a second (warm) run leaves registry hits on at least two shards.
+#[test]
+fn sharded_batch_is_byte_identical_to_stable_and_warms_shards() {
+    let corpus = fleet_corpus();
+    let corpus_refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+    let fleet = Fleet::start(3, &[]);
+
+    let mut local_args = vec!["batch"];
+    local_args.extend(&corpus_refs);
+    local_args.push("--stable");
+    let local = sdfr(&local_args);
+    assert!(local.status.success(), "{local:?}");
+
+    let peers = fleet.peers_arg();
+    let mut routed_args = vec!["--peers", &peers, "batch"];
+    routed_args.extend(&corpus_refs);
+    let cold = sdfr(&routed_args);
+    assert!(cold.status.success(), "{cold:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&cold.stdout),
+        String::from_utf8_lossy(&local.stdout),
+        "cold fleet output != single-process --stable"
+    );
+
+    let warm = sdfr(&routed_args);
+    assert!(warm.status.success(), "{warm:?}");
+    assert_eq!(
+        records_only(&warm.stdout),
+        records_only(&local.stdout),
+        "warm fleet records changed"
+    );
+    let warm_shards = fleet
+        .stats()
+        .iter()
+        .filter(|(_, s)| !s.contains("\"hits\":0,"))
+        .count();
+    assert!(
+        warm_shards >= 2,
+        "warm traffic must reach >=2 shards, got {warm_shards}"
+    );
+}
+
+/// Kill -9 one warm shard: the routed client exits 0 via ring-successor
+/// failover with unchanged records; restarting the shard cold, the next
+/// run hands its warmth back (`handoffs_received` ≥ 1 on the restarted
+/// member) — again with unchanged records.
+#[test]
+fn killed_shard_fails_over_and_handoff_rewarms_it() {
+    let corpus = fleet_corpus();
+    let corpus_refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+    let mut fleet = Fleet::start(3, &[]);
+    let peers = fleet.peers_arg();
+    let mut routed_args = vec!["--peers", &peers, "batch"];
+    routed_args.extend(&corpus_refs);
+
+    let baseline = sdfr(&routed_args);
+    assert!(baseline.status.success(), "{baseline:?}");
+
+    // Kill a shard that actually owns part of the corpus (entries >= 1).
+    let victim = fleet
+        .stats()
+        .iter()
+        .find(|(_, s)| !s.contains("\"entries\":0,"))
+        .map(|&(i, _)| i)
+        .expect("some shard owns a graph");
+    fleet.kill_member(victim);
+
+    let failover = sdfr(&routed_args);
+    assert_eq!(
+        failover.status.code(),
+        Some(0),
+        "failover run must exit 0: {failover:?}"
+    );
+    assert_eq!(
+        records_only(&failover.stdout),
+        records_only(&baseline.stdout),
+        "failover changed the records"
+    );
+    assert!(
+        String::from_utf8_lossy(&failover.stderr).contains("failing over"),
+        "{failover:?}"
+    );
+
+    // Restart the victim cold: the next routed run sends its fingerprints
+    // home, and the cold owner pulls their warm archives from the ring
+    // successor that served them during the outage.
+    fleet.start_member(victim);
+    let rewarmed = sdfr(&routed_args);
+    assert!(rewarmed.status.success(), "{rewarmed:?}");
+    assert_eq!(
+        records_only(&rewarmed.stdout),
+        records_only(&baseline.stdout),
+        "post-restart records changed"
+    );
+    let stats = fleet.stats();
+    let victim_stats = &stats.iter().find(|&&(i, _)| i == victim).unwrap().1;
+    assert!(
+        victim_stats.contains("\"handoffs_received\":")
+            && !victim_stats.contains("\"handoffs_received\":0"),
+        "restarted shard {victim} never received a warm handoff: {victim_stats}"
+    );
+}
+
+/// Satellite 3: an unusable `--peers` list fails fast with a usage-style
+/// exit naming the bad peer — no quiet in-process fallback, and no mixing
+/// with `--server`.
+#[test]
+fn bad_peer_list_fails_fast_without_fallback() {
+    let demo = example("demo.sdf");
+    let out = sdfr(&[
+        "--peers",
+        "127.0.0.1:7001,???not-a-host???:x",
+        "batch",
+        &demo,
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("???not-a-host???:x"), "{stderr}");
+    assert!(
+        !stderr.contains("in-process") && out.stdout.is_empty(),
+        "must not fall back: {out:?}"
+    );
+
+    let mixed = sdfr(&["--peers", "a:1", "--server", "b:2", "batch", &demo]);
+    assert_eq!(mixed.status.code(), Some(2), "{mixed:?}");
+    assert!(
+        String::from_utf8_lossy(&mixed.stderr).contains("mutually exclusive"),
+        "{mixed:?}"
+    );
+
+    // An empty entry in the list is named by position.
+    let empty = sdfr(&["--peers", "127.0.0.1:7001,,127.0.0.1:7003", "batch", &demo]);
+    assert_eq!(empty.status.code(), Some(2), "{empty:?}");
+}
+
+/// Mis-routed requests: the default fleet rejects a foreign fingerprint
+/// with a 421 redirect record naming the owner; a `--misroute proxy`
+/// fleet forwards it and relays the owner's verdict.
+#[test]
+fn misroutes_reject_by_default_and_proxy_on_request() {
+    let corpus = fleet_corpus();
+    let body = format!(
+        r#"{{"schema":"sdfr-api/1","graphs":[{{"name":"g","content":"{}"}}]}}"#,
+        std::fs::read_to_string(&corpus[0])
+            .unwrap()
+            .replace('\n', "\\n")
+    );
+
+    let fleet = Fleet::start(3, &[]);
+    let mut saw_reject = false;
+    let mut owner_from_redirect = None;
+    for member in fleet.members.iter().flatten() {
+        let (status, response) = http(&member.addr, "POST", "/v1/batch", &body);
+        if status == 421 {
+            saw_reject = true;
+            assert!(response.contains("\"redirect\":true"), "{response}");
+            assert!(response.contains("\"owner\":"), "{response}");
+            let owner: usize = response
+                .split("\"owner\":")
+                .nth(1)
+                .and_then(|s| s.split(&[',', '}'][..]).next())
+                .and_then(|s| s.trim().parse().ok())
+                .expect("owner field");
+            owner_from_redirect = Some(owner);
+        } else {
+            assert_eq!(status, 200, "{response}");
+        }
+    }
+    assert!(saw_reject, "no shard rejected the blanket post");
+    drop(fleet);
+
+    let proxy_fleet = Fleet::start(3, &["--misroute", "proxy"]);
+    for member in proxy_fleet.members.iter().flatten() {
+        let (status, response) = http(&member.addr, "POST", "/v1/batch", &body);
+        assert_eq!(status, 200, "proxy fleet must relay: {response}");
+        assert!(response.contains("\"summary\":true"), "{response}");
+    }
+    let proxied_total: u64 = proxy_fleet
+        .stats()
+        .iter()
+        .filter_map(|(_, s)| {
+            s.split("\"proxied\":")
+                .nth(1)
+                .and_then(|t| t.split(&[',', '}'][..]).next())
+                .and_then(|t| t.trim().parse::<u64>().ok())
+        })
+        .sum();
+    assert_eq!(
+        proxied_total, 2,
+        "two non-owners should each have proxied once (owner per redirect: {owner_from_redirect:?})"
+    );
+}
+
 /// Determinism under the cache: a single-threaded server's batch response
 /// stays byte-identical to `sdfr batch --stable`, persistence and
 /// keep-alive notwithstanding.
