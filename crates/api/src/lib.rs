@@ -17,8 +17,11 @@
 //!
 //! The document kinds are:
 //!
-//! - [`AnalysisRequest`] — what a client POSTs to `/v1/analyze` and
-//!   `/v1/batch`: inline graph sources plus budget caps,
+//! - [`AnalysisRequest`] — what a client POSTs to `/v1/analyze`,
+//!   `/v1/batch`, `/v1/csdf` and `/v1/sadf`: inline graph sources plus
+//!   budget caps, either flat (the original shape, implicitly plain SDF)
+//!   or wrapped in a tagged `"workload"` object carrying a
+//!   [`WorkloadKind`] token,
 //! - [`UnitRecord`] — one analysis result (one graph × one budget tier),
 //! - [`BatchSummary`] — the trailing aggregate of a batch, folding
 //!   [`OutcomeAggregate`], per-exit-code counts and [`RegistryStats`],
@@ -99,15 +102,21 @@ pub fn http_status_for_exit(exit: i32) -> u16 {
 /// Validates a user-requested API version (the CLI `--api-version` flag).
 /// Accepts the full tag (`sdfr-api/1`) or the bare major (`1`).
 ///
+/// Only the **major** is guarded: minor suffixes after a `.` (`1.9`,
+/// `sdfr-api/1.4`) are forward-compatible and accepted, mirroring
+/// [`check_schema`] — a client pinned to a future minor keeps working
+/// against this build, which simply emits the fields it knows.
+///
 /// # Errors
 ///
 /// A usage message naming the supported version; the CLI maps it to exit
 /// code [`EXIT_USAGE`].
 pub fn check_requested_version(requested: &str) -> Result<(), String> {
-    let major = requested
+    let version = requested
         .strip_prefix("sdfr-api/")
         .unwrap_or(requested)
         .trim();
+    let major = version.split('.').next().unwrap_or(version);
     match major.parse::<u64>() {
         Ok(m) if m == MAJOR => Ok(()),
         Ok(m) => Err(format!(
@@ -142,6 +151,54 @@ pub fn check_schema(schema: &str) -> Result<(), String> {
     }
 }
 
+/// The kind of workload a request or record concerns. `sdfr-api/1`
+/// started with plain SDF only (requests had no kind at all); the tagged
+/// request shape and the per-record `"workload_kind"` field generalize
+/// the dialect to cyclo-static graphs and scenario-aware workloads
+/// without a major bump — see the "Dialect evolution" notes in the
+/// repository README.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum WorkloadKind {
+    /// A plain synchronous dataflow graph (the original, implicit kind).
+    #[default]
+    Sdf,
+    /// A cyclo-static dataflow graph.
+    Csdf,
+    /// A scenario-aware workload: named SDF scenarios plus a scenario FSM.
+    Sadf,
+}
+
+impl WorkloadKind {
+    /// Every kind token this build understands, ascending by token — the
+    /// machine-readable `"supported"` list of an `unsupported-kind` error.
+    pub const SUPPORTED: &'static [&'static str] = &["csdf", "sadf", "sdf"];
+
+    /// The stable wire token (`"sdf"` / `"csdf"` / `"sadf"`).
+    pub const fn token(self) -> &'static str {
+        match self {
+            WorkloadKind::Sdf => "sdf",
+            WorkloadKind::Csdf => "csdf",
+            WorkloadKind::Sadf => "sadf",
+        }
+    }
+
+    /// Parses a wire token; `None` for kinds this build does not speak.
+    pub fn from_token(token: &str) -> Option<Self> {
+        match token {
+            "sdf" => Some(WorkloadKind::Sdf),
+            "csdf" => Some(WorkloadKind::Csdf),
+            "sadf" => Some(WorkloadKind::Sadf),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
 /// One inline graph source: a display name (used for format detection and
 /// reporting — it is never opened as a path by the server) plus the full
 /// file content.
@@ -164,6 +221,16 @@ pub struct GraphSource {
 /// cache key exactly as they do in `sdfr batch`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AnalysisRequest {
+    /// What the inline sources describe. Flat (pre-workload) requests are
+    /// always [`WorkloadKind::Sdf`] — `/v1/csdf` historically reused the
+    /// flat shape, so the kind is authoritative only in tagged requests;
+    /// routes keep working either way.
+    pub kind: WorkloadKind,
+    /// `true` when the request was (or should be) serialized in the
+    /// tagged `{"workload":{"kind":...}}` shape; `false` reproduces the
+    /// original flat `sdfr-api/1` shape byte-for-byte. Round-trips: a
+    /// parsed request re-serializes in the shape it arrived in.
+    pub tagged: bool,
     /// The graphs to analyze, in order.
     pub graphs: Vec<GraphSource>,
     /// Firing-cap tiers; each graph is analysed once per tier (empty =
@@ -190,6 +257,10 @@ pub enum RequestError {
     /// The document's schema major is not supported (HTTP 400,
     /// [`ErrorBody`] code `unsupported-schema`).
     UnsupportedSchema(String),
+    /// The tagged workload names a kind this build does not speak (HTTP
+    /// 400, code `unsupported-kind`, with [`WorkloadKind::SUPPORTED`] as
+    /// the machine-readable `"supported"` list).
+    UnsupportedKind(String),
     /// The document is not a valid request (HTTP 400, code `bad-request`).
     Malformed(String),
 }
@@ -197,7 +268,9 @@ pub enum RequestError {
 impl std::fmt::Display for RequestError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RequestError::UnsupportedSchema(m) | RequestError::Malformed(m) => f.write_str(m),
+            RequestError::UnsupportedSchema(m)
+            | RequestError::UnsupportedKind(m)
+            | RequestError::Malformed(m) => f.write_str(m),
         }
     }
 }
@@ -206,9 +279,18 @@ impl std::error::Error for RequestError {}
 
 impl AnalysisRequest {
     /// Serializes the request as one `sdfr-api/1` JSON object.
+    ///
+    /// A flat request (`tagged == false`) renders exactly the original
+    /// `sdfr-api/1` shape, byte-for-byte; a tagged one nests the same
+    /// fields under `"workload"` with the `"kind"` token first:
+    /// `{"schema":"sdfr-api/1","workload":{"kind":"sadf","graphs":[…],…}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(128);
-        let _ = write!(out, "{{\"schema\":{},\"graphs\":[", escape_str(SCHEMA));
+        let _ = write!(out, "{{\"schema\":{},", escape_str(SCHEMA));
+        if self.tagged {
+            let _ = write!(out, "\"workload\":{{\"kind\":\"{}\",", self.kind.token());
+        }
+        out.push_str("\"graphs\":[");
         for (i, g) in self.graphs.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -247,6 +329,9 @@ impl AnalysisRequest {
             }
             out.push(']');
         }
+        if self.tagged {
+            out.push('}');
+        }
         out.push('}');
         out
     }
@@ -256,8 +341,13 @@ impl AnalysisRequest {
     /// # Errors
     ///
     /// [`RequestError::UnsupportedSchema`] for a missing or unsupported
-    /// `"schema"`, [`RequestError::Malformed`] for everything else
-    /// (syntax, types, no graphs, oversized tier lists).
+    /// `"schema"`, [`RequestError::UnsupportedKind`] for a tagged
+    /// workload whose `"kind"` this build does not speak, and
+    /// [`RequestError::Malformed`] for everything else (syntax, types,
+    /// no graphs, oversized tier lists).
+    ///
+    /// Both shapes parse: the original flat fields (back-compatible, kind
+    /// defaults to `sdf`) and the tagged `{"workload":{"kind":…}}` form.
     pub fn from_json(doc: &str) -> Result<Self, RequestError> {
         let v = json::parse(doc).map_err(|e| RequestError::Malformed(e.to_string()))?;
         let schema = v.get("schema").and_then(Value::as_str).ok_or_else(|| {
@@ -265,8 +355,30 @@ impl AnalysisRequest {
         })?;
         check_schema(schema).map_err(RequestError::UnsupportedSchema)?;
 
+        // Dispatch on the shape: a "workload" key selects the tagged
+        // form; its fields are the flat fields, nested one level down.
+        let (body, kind, tagged) = match v.get("workload") {
+            None => (&v, WorkloadKind::Sdf, false),
+            Some(w) => {
+                if !matches!(w, Value::Obj(_)) {
+                    return Err(RequestError::Malformed(
+                        "\"workload\" must be an object".into(),
+                    ));
+                }
+                let token = w.get("kind").and_then(Value::as_str).ok_or_else(|| {
+                    RequestError::Malformed("\"workload\" needs a \"kind\" token".into())
+                })?;
+                let kind = WorkloadKind::from_token(token).ok_or_else(|| {
+                    RequestError::UnsupportedKind(format!(
+                        "workload kind '{token}' is not supported"
+                    ))
+                })?;
+                (w, kind, true)
+            }
+        };
+
         let mut graphs = Vec::new();
-        let graph_values = v
+        let graph_values = body
             .get("graphs")
             .and_then(Value::as_arr)
             .ok_or_else(|| RequestError::Malformed("\"graphs\" must be an array".into()))?;
@@ -291,7 +403,7 @@ impl AnalysisRequest {
         }
 
         let mut tiers = Vec::new();
-        if let Some(t) = v.get("tiers") {
+        if let Some(t) = body.get("tiers") {
             let items = t
                 .as_arr()
                 .ok_or_else(|| RequestError::Malformed("\"tiers\" must be an array".into()))?;
@@ -305,7 +417,7 @@ impl AnalysisRequest {
         }
 
         let uint = |key: &str| -> Result<Option<u64>, RequestError> {
-            match v.get(key) {
+            match body.get(key) {
                 None | Some(Value::Null) => Ok(None),
                 Some(value) => value.as_u64().map(Some).ok_or_else(|| {
                     RequestError::Malformed(format!(
@@ -314,7 +426,7 @@ impl AnalysisRequest {
                 }),
             }
         };
-        let indices = match v.get("indices") {
+        let indices = match body.get("indices") {
             None | Some(Value::Null) => None,
             Some(value) => {
                 let items = value.as_arr().ok_or_else(|| {
@@ -343,6 +455,8 @@ impl AnalysisRequest {
             }
         };
         Ok(AnalysisRequest {
+            kind,
+            tagged,
             graphs,
             tiers,
             deadline_ms: uint("deadline_ms")?,
@@ -414,6 +528,45 @@ impl UnitStatus {
     }
 }
 
+/// The per-scenario results of a scenario-aware unit, rendered as the
+/// record's `"scenarios"` sub-object:
+/// `"scenarios":{"periods":{"fast":"3","slow":"9"},"cycle":["s0","s1"]}`.
+/// `periods` maps each scenario (declaration order) to its standalone
+/// eigenvalue (`null` when the scenario has no recurrent constraint);
+/// `cycle` is a worst-case-critical closed FSM walk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScenarioSet {
+    /// `(scenario name, rendered eigenvalue)` in declaration order.
+    pub periods: Vec<(String, Option<String>)>,
+    /// The state names of one critical FSM cycle (empty on degradation).
+    pub cycle: Vec<String>,
+}
+
+impl ScenarioSet {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(",\"scenarios\":{\"periods\":{");
+        for (i, (name, period)) in self.periods.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{}",
+                escape_str(name),
+                period.as_deref().map_or("null".to_string(), escape_str)
+            );
+        }
+        out.push_str("},\"cycle\":[");
+        for (i, state) in self.cycle.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape_str(state));
+        }
+        out.push_str("]}");
+    }
+}
+
 /// One analysis result — one graph under one budget tier — as one
 /// `sdfr-api/1` JSON line. This is the record `sdfr analyze --json`
 /// prints, `sdfr batch` streams per unit, and `sdfr serve` returns from
@@ -426,6 +579,10 @@ impl UnitStatus {
 /// `/v1/analyze` response byte-identical to the in-process output.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnitRecord {
+    /// What the unit analysed (`"workload_kind"`, right after
+    /// `"schema"`): every record self-describes its dialect so mixed-kind
+    /// batch streams need no out-of-band context.
+    pub workload_kind: WorkloadKind,
     /// Position in the batch (`"index"`), omitted for standalone analyze.
     pub index: Option<usize>,
     /// The display name / path of the graph.
@@ -443,6 +600,10 @@ pub struct UnitRecord {
     pub pending: bool,
     /// The outcome.
     pub status: UnitStatus,
+    /// Per-scenario results of a scenario-aware unit (`None` for plain
+    /// SDF units and for degraded scenario units, keeping degraded lines
+    /// deterministic).
+    pub scenarios: Option<ScenarioSet>,
     /// The unit's exit code under the CLI discipline (degraded-but-safe
     /// is `0`), so clients never re-derive it from `status`.
     pub exit: i32,
@@ -452,6 +613,7 @@ impl UnitRecord {
     /// A minimal record for a standalone analyze (no batch fields).
     pub fn standalone(file: impl Into<String>, status: UnitStatus, exit: i32) -> Self {
         UnitRecord {
+            workload_kind: WorkloadKind::Sdf,
             index: None,
             file: file.into(),
             tier: None,
@@ -459,6 +621,7 @@ impl UnitRecord {
             cache: None,
             pending: false,
             status,
+            scenarios: None,
             exit,
         }
     }
@@ -466,7 +629,12 @@ impl UnitRecord {
     /// Renders the record as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(160);
-        let _ = write!(out, "{{\"schema\":{}", escape_str(SCHEMA));
+        let _ = write!(
+            out,
+            "{{\"schema\":{},\"workload_kind\":\"{}\"",
+            escape_str(SCHEMA),
+            self.workload_kind.token()
+        );
         if let Some(index) = self.index {
             let _ = write!(out, ",\"index\":{index}");
         }
@@ -508,6 +676,9 @@ impl UnitRecord {
                 );
             }
         }
+        if let Some(scenarios) = &self.scenarios {
+            scenarios.write_json(&mut out);
+        }
         if self.pending {
             out.push_str(",\"pending\":true");
         }
@@ -526,6 +697,11 @@ pub struct BatchSummary {
     /// `(exit code, count)` pairs, ascending by code — the per-unit exit
     /// discipline made visible at batch level.
     pub exit_counts: Vec<(i32, u64)>,
+    /// `(workload kind token, count)` pairs, ascending by token — how
+    /// many units of each kind the batch held. Like `exit_counts` this
+    /// histogram is additive over disjoint unit sets, so
+    /// [`BatchSummary::merge`] stays associative over mixed-kind batches.
+    pub kind_counts: Vec<(&'static str, u64)>,
     /// The session-cache counters backing the batch.
     pub registry: RegistryStats,
     /// The batch exit code: the numerically largest per-unit code.
@@ -533,8 +709,14 @@ pub struct BatchSummary {
 }
 
 impl BatchSummary {
-    /// Assembles the summary from per-unit exit codes and the aggregate.
-    pub fn new(aggregate: OutcomeAggregate, unit_exits: &[i32], registry: RegistryStats) -> Self {
+    /// Assembles the summary from per-unit exit codes, per-unit workload
+    /// kinds and the aggregate.
+    pub fn new(
+        aggregate: OutcomeAggregate,
+        unit_exits: &[i32],
+        unit_kinds: &[WorkloadKind],
+        registry: RegistryStats,
+    ) -> Self {
         let mut exit_counts: Vec<(i32, u64)> = Vec::new();
         for &code in unit_exits {
             match exit_counts.binary_search_by_key(&code, |&(c, _)| c) {
@@ -542,10 +724,19 @@ impl BatchSummary {
                 Err(i) => exit_counts.insert(i, (code, 1)),
             }
         }
+        let mut kind_counts: Vec<(&'static str, u64)> = Vec::new();
+        for &kind in unit_kinds {
+            let token = kind.token();
+            match kind_counts.binary_search_by_key(&token, |&(t, _)| t) {
+                Ok(i) => kind_counts[i].1 += 1,
+                Err(i) => kind_counts.insert(i, (token, 1)),
+            }
+        }
         let exit = unit_exits.iter().copied().max().unwrap_or(EXIT_OK);
         BatchSummary {
             aggregate,
             exit_counts,
+            kind_counts,
             registry,
             exit,
         }
@@ -566,6 +757,13 @@ impl BatchSummary {
                 out.push(',');
             }
             let _ = write!(out, "\"{code}\":{count}");
+        }
+        out.push_str("},\"kinds\":{");
+        for (i, (token, count)) in self.kind_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{token}\":{count}");
         }
         let _ = write!(
             out,
@@ -620,6 +818,23 @@ impl BatchSummary {
             exit_counts.push((code, n));
         }
         exit_counts.sort_unstable_by_key(|&(code, _)| code);
+        // "kinds" is newer than the summary line itself: absent (an older
+        // producer) means empty, and tokens from a *newer* producer that
+        // this build does not speak are skipped rather than fatal — the
+        // merged line only ever re-renders tokens both sides understand.
+        let mut kind_counts: Vec<(&'static str, u64)> = Vec::new();
+        if let Some(Value::Obj(kind_fields)) = v.get("kinds") {
+            for (token, n) in kind_fields {
+                let Some(kind) = WorkloadKind::from_token(token) else {
+                    continue;
+                };
+                let n = n.as_u64().ok_or_else(|| {
+                    RequestError::Malformed("kind counts must be non-negative integers".into())
+                })?;
+                kind_counts.push((kind.token(), n));
+            }
+            kind_counts.sort_unstable_by_key(|&(token, _)| token);
+        }
         let cache = v
             .get("cache")
             .ok_or_else(|| RequestError::Malformed("summary is missing \"cache\"".into()))?;
@@ -647,6 +862,7 @@ impl BatchSummary {
         Ok(BatchSummary {
             aggregate,
             exit_counts,
+            kind_counts,
             registry,
             exit,
         })
@@ -661,6 +877,7 @@ impl BatchSummary {
     pub fn merge(parts: &[BatchSummary]) -> BatchSummary {
         let mut aggregate = OutcomeAggregate::default();
         let mut exit_counts: Vec<(i32, u64)> = Vec::new();
+        let mut kind_counts: Vec<(&'static str, u64)> = Vec::new();
         let mut registry = RegistryStats::default();
         let mut exit = EXIT_OK;
         for part in parts {
@@ -672,6 +889,12 @@ impl BatchSummary {
                 match exit_counts.binary_search_by_key(&code, |&(c, _)| c) {
                     Ok(i) => exit_counts[i].1 += n,
                     Err(i) => exit_counts.insert(i, (code, n)),
+                }
+            }
+            for &(token, n) in &part.kind_counts {
+                match kind_counts.binary_search_by_key(&token, |&(t, _)| t) {
+                    Ok(i) => kind_counts[i].1 += n,
+                    Err(i) => kind_counts.insert(i, (token, n)),
                 }
             }
             registry.hits += part.registry.hits;
@@ -688,6 +911,7 @@ impl BatchSummary {
         BatchSummary {
             aggregate,
             exit_counts,
+            kind_counts,
             registry,
             exit,
         }
@@ -761,8 +985,9 @@ impl CsdfRecord {
         let mut out = String::with_capacity(160);
         let _ = write!(
             out,
-            "{{\"schema\":{},\"file\":{}",
+            "{{\"schema\":{},\"workload_kind\":\"{}\",\"file\":{}",
             escape_str(SCHEMA),
+            WorkloadKind::Csdf.token(),
             escape_str(&self.file)
         );
         match &self.status {
@@ -808,12 +1033,18 @@ impl CsdfRecord {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorBody {
     /// A stable machine-readable code: `bad-request`,
-    /// `unsupported-schema`, `not-found`, `method-not-allowed`,
-    /// `timeout`, `payload-too-large`, `overloaded`, `draining`,
-    /// `internal`.
+    /// `unsupported-schema`, `unsupported-kind`, `not-found`,
+    /// `method-not-allowed`, `timeout`, `payload-too-large`,
+    /// `overloaded`, `draining`, `internal`.
     pub code: &'static str,
     /// A human-readable message.
     pub message: String,
+    /// A machine-readable list of accepted tokens, when the error is
+    /// "you asked for a token this build does not speak" (rendered as
+    /// `"supported":[…]` before `"exit"`; omitted otherwise). The
+    /// `unsupported-kind` code always carries
+    /// [`WorkloadKind::SUPPORTED`] here.
+    pub supported: Option<&'static [&'static str]>,
     /// The exit code a CLI client should propagate.
     pub exit: i32,
 }
@@ -824,19 +1055,37 @@ impl ErrorBody {
         ErrorBody {
             code,
             message: message.into(),
+            supported: None,
             exit,
         }
     }
 
+    /// Attaches the machine-readable `"supported"` token list.
+    pub fn with_supported(mut self, supported: &'static [&'static str]) -> Self {
+        self.supported = Some(supported);
+        self
+    }
+
     /// Renders the body as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"schema\":{},\"error\":true,\"code\":\"{}\",\"message\":{},\"exit\":{}}}",
+        let mut out = format!(
+            "{{\"schema\":{},\"error\":true,\"code\":\"{}\",\"message\":{}",
             escape_str(SCHEMA),
             self.code,
             escape_str(&self.message),
-            self.exit
-        )
+        );
+        if let Some(supported) = self.supported {
+            out.push_str(",\"supported\":[");
+            for (i, token) in supported.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{token}\"");
+            }
+            out.push(']');
+        }
+        let _ = write!(out, ",\"exit\":{}}}", self.exit);
+        out
     }
 }
 
@@ -850,6 +1099,8 @@ mod tests {
     #[test]
     fn request_round_trips() {
         let req = AnalysisRequest {
+            kind: WorkloadKind::Sdf,
+            tagged: false,
             graphs: vec![GraphSource {
                 name: "demo.sdf".into(),
                 content: "graph demo\nactor a 2\n".into(),
@@ -861,12 +1112,75 @@ mod tests {
             indices: Some(vec![4, 6]),
         };
         let doc = req.to_json();
-        assert!(doc.starts_with("{\"schema\":\"sdfr-api/1\""), "{doc}");
+        assert!(doc.starts_with("{\"schema\":\"sdfr-api/1\",\"graphs\":["), "{doc}");
         let back = AnalysisRequest::from_json(&doc).unwrap();
         assert_eq!(back, req);
         assert_eq!(back.caps_budget().max_firings(), Some(500));
         assert!(back.caps_budget().is_content_addressable());
         assert_eq!(back.wait_deadline(), Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn tagged_request_round_trips_in_its_own_shape() {
+        let req = AnalysisRequest {
+            kind: WorkloadKind::Sadf,
+            tagged: true,
+            graphs: vec![GraphSource {
+                name: "w.sadf".into(),
+                content: "sadf w\n".into(),
+            }],
+            deadline_ms: Some(100),
+            ..AnalysisRequest::default()
+        };
+        let doc = req.to_json();
+        assert!(
+            doc.starts_with("{\"schema\":\"sdfr-api/1\",\"workload\":{\"kind\":\"sadf\","),
+            "{doc}"
+        );
+        let back = AnalysisRequest::from_json(&doc).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.to_json(), doc);
+
+        // A tagged sdf request and the flat shape parse to the same
+        // semantics; only the shape flag differs.
+        let flat = AnalysisRequest::from_json(
+            r#"{"schema":"sdfr-api/1","graphs":[{"name":"a","content":"x"}]}"#,
+        )
+        .unwrap();
+        let tagged = AnalysisRequest::from_json(
+            r#"{"schema":"sdfr-api/1","workload":{"kind":"sdf","graphs":[{"name":"a","content":"x"}]}}"#,
+        )
+        .unwrap();
+        assert!(!flat.tagged);
+        assert!(tagged.tagged);
+        assert_eq!(
+            AnalysisRequest { tagged: false, ..tagged },
+            flat
+        );
+    }
+
+    #[test]
+    fn unknown_workload_kind_is_rejected_with_the_supported_list() {
+        let err = AnalysisRequest::from_json(
+            r#"{"schema":"sdfr-api/1","workload":{"kind":"kpn","graphs":[{"name":"a","content":"x"}]}}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RequestError::UnsupportedKind(_)), "{err:?}");
+        let body =
+            ErrorBody::new("unsupported-kind", err.to_string(), EXIT_USAGE)
+                .with_supported(WorkloadKind::SUPPORTED);
+        let json = body.to_json();
+        assert!(
+            json.contains("\"supported\":[\"csdf\",\"sadf\",\"sdf\"],\"exit\":2"),
+            "{json}"
+        );
+        // A workload without a kind is malformed, not unsupported.
+        assert!(matches!(
+            AnalysisRequest::from_json(
+                r#"{"schema":"sdfr-api/1","workload":{"graphs":[{"name":"a","content":"x"}]}}"#
+            ),
+            Err(RequestError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -906,6 +1220,12 @@ mod tests {
         assert!(check_requested_version("2").is_err());
         assert!(check_requested_version("sdfr-api/2").is_err());
         assert!(check_requested_version("latest").is_err());
+        // Unknown minors are forward-compatible: only the major is
+        // guarded, like check_schema.
+        assert!(check_requested_version("1.9").is_ok());
+        assert!(check_requested_version("sdfr-api/1.42").is_ok());
+        assert!(check_requested_version("2.0").is_err());
+        assert!(check_requested_version("1.x").is_ok());
         assert!(check_schema("sdfr-api/1").is_ok());
         assert!(check_schema("sdfr-api/1.3").is_ok());
         assert!(check_schema("sdfr-api/2").is_err());
@@ -915,6 +1235,7 @@ mod tests {
     #[test]
     fn unit_record_rendering() {
         let exact = UnitRecord {
+            workload_kind: WorkloadKind::Sdf,
             index: Some(2),
             file: "a.sdf".into(),
             tier: Some(Some(10)),
@@ -924,11 +1245,13 @@ mod tests {
             status: UnitStatus::Exact {
                 period: Some("5".into()),
             },
+            scenarios: None,
             exit: 0,
         };
         assert_eq!(
             exact.to_json_line(),
-            "{\"schema\":\"sdfr-api/1\",\"index\":2,\"file\":\"a.sdf\",\"tier\":10,\
+            "{\"schema\":\"sdfr-api/1\",\"workload_kind\":\"sdf\",\"index\":2,\
+             \"file\":\"a.sdf\",\"tier\":10,\
              \"fingerprint\":\"00000000000004cf\",\"cache\":\"hit\",\
              \"status\":\"exact\",\"period\":\"5\",\"exit\":0}"
         );
@@ -946,7 +1269,7 @@ mod tests {
         };
         assert_eq!(
             standalone.to_json_line(),
-            "{\"schema\":\"sdfr-api/1\",\"file\":\"b.sdf\",\
+            "{\"schema\":\"sdfr-api/1\",\"workload_kind\":\"sdf\",\"file\":\"b.sdf\",\
              \"fingerprint\":\"0000000000000001\",\"status\":\"degraded\",\
              \"bound\":\"42\",\"method\":\"serialization\",\"exit\":0}"
         );
@@ -968,8 +1291,36 @@ mod tests {
         );
         assert_eq!(
             error.to_json_line(),
-            "{\"schema\":\"sdfr-api/1\",\"file\":\"c.sdf\",\"status\":\"error\",\
-             \"error\":\"no \\\"good\\\"\",\"exit\":3}"
+            "{\"schema\":\"sdfr-api/1\",\"workload_kind\":\"sdf\",\"file\":\"c.sdf\",\
+             \"status\":\"error\",\"error\":\"no \\\"good\\\"\",\"exit\":3}"
+        );
+    }
+
+    #[test]
+    fn scenario_records_render_the_stable_sub_object() {
+        let record = UnitRecord {
+            workload_kind: WorkloadKind::Sadf,
+            scenarios: Some(ScenarioSet {
+                periods: vec![
+                    ("fast".into(), Some("3".into())),
+                    ("slow".into(), None),
+                ],
+                cycle: vec!["s0".into(), "s1".into()],
+            }),
+            ..UnitRecord::standalone(
+                "w.sadf",
+                UnitStatus::Exact {
+                    period: Some("6".into()),
+                },
+                0,
+            )
+        };
+        assert_eq!(
+            record.to_json_line(),
+            "{\"schema\":\"sdfr-api/1\",\"workload_kind\":\"sadf\",\"file\":\"w.sadf\",\
+             \"status\":\"exact\",\"period\":\"6\",\
+             \"scenarios\":{\"periods\":{\"fast\":\"3\",\"slow\":null},\
+             \"cycle\":[\"s0\",\"s1\"]},\"exit\":0}"
         );
     }
 
@@ -1008,15 +1359,44 @@ mod tests {
         agg.record(&AnalysisOutcome::Exact(None));
         agg.record(&AnalysisOutcome::Exact(None));
         agg.record_error();
-        let summary = BatchSummary::new(agg, &[0, 3, 0], RegistryStats::default());
+        let summary = BatchSummary::new(
+            agg,
+            &[0, 3, 0],
+            &[WorkloadKind::Sdf, WorkloadKind::Sadf, WorkloadKind::Sdf],
+            RegistryStats::default(),
+        );
         assert_eq!(summary.exit, 3);
         assert_eq!(summary.exit_counts, vec![(0, 2), (3, 1)]);
+        assert_eq!(summary.kind_counts, vec![("sadf", 1), ("sdf", 2)]);
         let line = summary.to_json_line();
         assert!(line.starts_with("{\"schema\":\"sdfr-api/1\",\"summary\":true,"));
         assert!(line.contains("\"total\":3,\"exact\":2,"), "{line}");
         assert!(line.contains("\"exits\":{\"0\":2,\"3\":1}"), "{line}");
-        assert!(line.contains("\"cache\":{\"hits\":0,"), "{line}");
+        assert!(
+            line.contains("\"kinds\":{\"sadf\":1,\"sdf\":2},\"cache\":{\"hits\":0,"),
+            "{line}"
+        );
         assert!(line.ends_with("\"exit\":3}"), "{line}");
+
+        // Round-trip + associative merge over mixed-kind parts.
+        let back = BatchSummary::from_json_line(&line).unwrap();
+        assert_eq!(back.kind_counts, summary.kind_counts);
+        assert_eq!(back.to_json_line(), line);
+        let merged = BatchSummary::merge(&[summary.clone(), back]);
+        assert_eq!(merged.kind_counts, vec![("sadf", 2), ("sdf", 4)]);
+        // An older producer's line (no "kinds") still parses.
+        let old = line.replace(",\"kinds\":{\"sadf\":1,\"sdf\":2}", "");
+        assert!(BatchSummary::from_json_line(&old)
+            .unwrap()
+            .kind_counts
+            .is_empty());
+        // A *newer* minor's line — future schema tag, unknown field —
+        // also parses: minor bumps are forward-compatible by contract.
+        let future = line
+            .replace("sdfr-api/1", "sdfr-api/1.9")
+            .replace("\"summary\":true,", "\"summary\":true,\"novel\":42,");
+        let parsed = BatchSummary::from_json_line(&future).unwrap();
+        assert_eq!(parsed.exit_counts, vec![(0, 2), (3, 1)]);
     }
 
     #[test]
@@ -1048,7 +1428,8 @@ mod tests {
         };
         assert_eq!(
             ok.to_json_line(),
-            "{\"schema\":\"sdfr-api/1\",\"file\":\"w.csdf\",\"status\":\"exact\",\
+            "{\"schema\":\"sdfr-api/1\",\"workload_kind\":\"csdf\",\"file\":\"w.csdf\",\
+             \"status\":\"exact\",\
              \"period\":\"4\",\"phase_firings\":4,\"hsdf_actors\":1,\
              \"hsdf_channels\":1,\"hsdf_tokens\":1,\"exit\":0}"
         );

@@ -128,6 +128,11 @@ pub(crate) struct AnalyzedUnit {
     pub session: Option<Arc<AnalysisSession>>,
     /// How the registry answered the lookup, for the same consumer.
     pub lookup: Option<Lookup>,
+    /// For scenario-aware units: the per-scenario registry sessions (and
+    /// their lookups), scenario declaration order. The server's journal
+    /// persists each warmed scenario session individually — the unit has
+    /// no single graph of its own to persist.
+    pub scenario_sessions: Vec<(Arc<AnalysisSession>, Lookup)>,
 }
 
 /// Parses `sdfr batch` arguments (everything after the command word).
@@ -244,14 +249,27 @@ pub fn run_batch(opts: &BatchOptions, emit: &(dyn Fn(&str) + Sync)) -> BatchRepo
     results.resize_with(units.len(), || None);
 
     let analyze_one = |unit: &Unit| -> (String, AnalyzedUnit) {
-        let analyzed = analyze_source(
-            Some((unit.index, unit.tier)),
-            &unit.file,
-            crate::load_graph(&unit.file).map(Arc::new),
-            &registry,
-            &opts.budget,
-            None,
-        );
+        // `.sadf` files are scenario-aware workloads, not single graphs;
+        // they get the workload analysis path and a kind-tagged record,
+        // so flat mixed batches keep working with no new flags.
+        let analyzed = if unit.file.ends_with(".sadf") {
+            analyze_sadf_source(
+                Some((unit.index, unit.tier)),
+                &unit.file,
+                read_sadf(&unit.file),
+                &registry,
+                &opts.budget,
+            )
+        } else {
+            analyze_source(
+                Some((unit.index, unit.tier)),
+                &unit.file,
+                crate::load_graph(&unit.file).map(Arc::new),
+                &registry,
+                &opts.budget,
+                None,
+            )
+        };
         (analyzed.record.to_json_line(), analyzed)
     };
 
@@ -343,14 +361,16 @@ pub(crate) fn summarize<'a>(
 ) -> (BatchSummary, i32) {
     let mut agg = sdfr_core::degrade::OutcomeAggregate::default();
     let mut exits = Vec::new();
+    let mut kinds = Vec::new();
     for u in units {
         match &u.outcome {
             Some(outcome) => agg.record(outcome),
             None => agg.record_error(),
         }
         exits.push(u.record.exit);
+        kinds.push(u.record.workload_kind);
     }
-    let summary = BatchSummary::new(agg, &exits, stats);
+    let summary = BatchSummary::new(agg, &exits, &kinds, stats);
     let exit = summary.exit;
     (summary, exit)
 }
@@ -382,6 +402,7 @@ pub(crate) fn analyze_source(
         None => (None, None),
     };
     let mut record = UnitRecord {
+        workload_kind: sdfr_api::WorkloadKind::Sdf,
         index,
         file: name.to_string(),
         tier,
@@ -391,6 +412,7 @@ pub(crate) fn analyze_source(
         status: UnitStatus::Error {
             message: String::new(),
         },
+        scenarios: None,
         exit: EXIT_OK,
     };
 
@@ -408,6 +430,7 @@ pub(crate) fn analyze_source(
                 outcome: None,
                 session: None,
                 lookup: None,
+                scenario_sessions: Vec::new(),
             };
         }
     };
@@ -461,6 +484,7 @@ pub(crate) fn analyze_source(
                 outcome: Some(outcome),
                 session: Some(session),
                 lookup: Some(lookup),
+                scenario_sessions: Vec::new(),
             }
         }
         Err(e) => {
@@ -474,9 +498,112 @@ pub(crate) fn analyze_source(
                 outcome: None,
                 session: Some(session),
                 lookup: Some(lookup),
+                scenario_sessions: Vec::new(),
             }
         }
     }
+}
+
+/// Analyses one scenario-aware (`.sadf`) source and builds its
+/// `sdfr-api/1` [`UnitRecord`] — the scenario-workload sibling of
+/// [`analyze_source`], shared by `sdfr analyze --scenarios`, `.sadf`
+/// batch units and the server's `/v1/sadf`.
+///
+/// Unlike a plain unit the record carries no fingerprint or cache
+/// attribution: a workload runs *many* registry sessions (one per
+/// scenario), so a single per-unit attribution would be arbitrary. The
+/// per-scenario sessions ride in
+/// [`AnalyzedUnit::scenario_sessions`] instead, where the server's
+/// journal persists each one individually.
+pub(crate) fn analyze_sadf_source(
+    batch_fields: Option<(usize, Option<u64>)>,
+    name: &str,
+    content: Result<String, CliError>,
+    registry: &SessionRegistry,
+    base: &Budget,
+) -> AnalyzedUnit {
+    let (index, tier) = match batch_fields {
+        Some((i, t)) => (Some(i), Some(t)),
+        None => (None, None),
+    };
+    let mut record = UnitRecord {
+        workload_kind: sdfr_api::WorkloadKind::Sadf,
+        index,
+        file: name.to_string(),
+        tier,
+        fingerprint: None,
+        cache: None,
+        pending: false,
+        status: UnitStatus::Error {
+            message: String::new(),
+        },
+        scenarios: None,
+        exit: EXIT_OK,
+    };
+    let budget = match tier.flatten() {
+        Some(t) => base.clone().with_max_firings(t),
+        None => base.clone(),
+    };
+    let error_unit = |mut record: UnitRecord, e: CliError| {
+        record.exit = e.exit_code();
+        record.status = UnitStatus::Error { message: e.message };
+        AnalyzedUnit {
+            record,
+            outcome: None,
+            session: None,
+            lookup: None,
+            scenario_sessions: Vec::new(),
+        }
+    };
+    let workload = content.and_then(|c| {
+        sdfr_sadf::Workload::from_text(&c)
+            .map_err(|e| CliError::invalid(format!("{name}: {e}")))
+    });
+    let workload = match workload {
+        Ok(w) => w,
+        Err(e) => return error_unit(record, e),
+    };
+    match sdfr_sadf::analyze_workload(&workload, registry, &budget) {
+        Ok(analysis) => {
+            record.status = UnitStatus::from_outcome(&analysis.outcome);
+            if matches!(analysis.outcome, AnalysisOutcome::Exact(_)) {
+                record.scenarios = Some(sdfr_api::ScenarioSet {
+                    periods: analysis
+                        .scenarios
+                        .iter()
+                        .map(|s| (s.name.clone(), s.eigenvalue.map(|p| p.to_string())))
+                        .collect(),
+                    cycle: analysis.cycle.clone(),
+                });
+            }
+            AnalyzedUnit {
+                record,
+                outcome: Some(analysis.outcome),
+                session: None,
+                lookup: None,
+                scenario_sessions: analysis.sessions,
+            }
+        }
+        Err(e) => {
+            let exit = match &e {
+                sdfr_sadf::SadfError::Graph(SdfError::Exhausted { .. }) => EXIT_EXHAUSTED,
+                _ => EXIT_INVALID,
+            };
+            error_unit(
+                record,
+                CliError {
+                    kind: kind_for_exit(exit),
+                    message: format!("{name}: {e}"),
+                },
+            )
+        }
+    }
+}
+
+/// Reads a `.sadf` workload file for [`analyze_sadf_source`], mapping
+/// read failures to exit-3 error records like [`crate::load_graph`].
+pub(crate) fn read_sadf(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::io(format!("{path}: {e}")))
 }
 
 /// Maps a per-unit (or server-reported) exit code back to the

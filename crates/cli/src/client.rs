@@ -296,10 +296,12 @@ fn build_request(args: &[String]) -> Result<(&'static str, AnalysisRequest), Cli
                     max_firings: opts.budget.max_firings(),
                     max_size: opts.budget.max_size(),
                     indices: None,
+                    ..AnalysisRequest::default()
                 },
             )
         }
-        // analyze and csdf share the single-file request shape.
+        // analyze, csdf and scenario analyze share the single-file
+        // request shape.
         _ => {
             let file = args
                 .get(1)
@@ -307,13 +309,23 @@ fn build_request(args: &[String]) -> Result<(&'static str, AnalysisRequest), Cli
                 .ok_or_else(|| CliError::usage(format!("{command}: missing <file>")))?;
             let opts = &args[2..];
             let budget = crate::budget_from_opts(opts)?;
+            // Scenario workloads ride the newer tagged request shape;
+            // plain analyze/csdf keep the flat shape so this client stays
+            // byte-compatible with pre-workload servers.
+            let scenarios = command == "analyze"
+                && (opts.iter().any(|a| a == "--scenarios") || file.ends_with(".sadf"));
+            let (path, kind, tagged) = if scenarios {
+                ("/v1/sadf", sdfr_api::WorkloadKind::Sadf, true)
+            } else if command == "csdf" {
+                ("/v1/csdf", sdfr_api::WorkloadKind::Sdf, false)
+            } else {
+                ("/v1/analyze", sdfr_api::WorkloadKind::Sdf, false)
+            };
             (
-                if command == "csdf" {
-                    "/v1/csdf"
-                } else {
-                    "/v1/analyze"
-                },
+                path,
                 AnalysisRequest {
+                    kind,
+                    tagged,
                     graphs: vec![read_source(file)?],
                     tiers: Vec::new(),
                     deadline_ms: deadline_ms(opts)?,
@@ -599,6 +611,7 @@ fn batch_sharded(
                     .flat_map(|j| j.base..j.base + units_per_file)
                     .collect(),
             ),
+            ..AnalysisRequest::default()
         };
         let peer = map.peer(target);
         match fleet_exchange(peer, "/v1/batch", &request.to_json(), failover, policy) {
@@ -832,6 +845,24 @@ mod tests {
         assert!(!sleep_retry_after(Some(1), Instant::now(), &policy));
     }
 
+    /// Reads a whole request (through the blank line ending the headers)
+    /// off a stub connection. The client writes its request in several
+    /// small unbuffered pieces; a stub that answers and closes after one
+    /// `read` can leave late fragments unread, and closing with unread
+    /// data sends an RST that races the client out of the answer.
+    fn read_request(s: &mut std::net::TcpStream) -> String {
+        let mut req = Vec::new();
+        let mut buf = [0u8; 4096];
+        while !req.windows(4).any(|w| w == b"\r\n\r\n") {
+            let n = s.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            req.extend_from_slice(&buf[..n]);
+        }
+        String::from_utf8_lossy(&req).into_owned()
+    }
+
     #[test]
     fn shed_responses_honor_retry_after_and_mark_the_retry() {
         // A tiny in-test server: sheds the first request with 429 +
@@ -854,9 +885,7 @@ mod tests {
             let mut saw_marker = false;
             for (answer, expect_marker) in answers {
                 let (mut s, _) = listener.accept().unwrap();
-                let mut buf = [0u8; 4096];
-                let n = s.read(&mut buf).unwrap();
-                let req = String::from_utf8_lossy(&buf[..n]).into_owned();
+                let req = read_request(&mut s);
                 if expect_marker {
                     saw_marker = req.contains("X-Sdfr-Retry: 1");
                 }
@@ -887,8 +916,7 @@ mod tests {
             ];
             for answer in answers {
                 let (mut s, _) = listener.accept().unwrap();
-                let mut buf = [0u8; 4096];
-                let _ = s.read(&mut buf).unwrap();
+                let _ = read_request(&mut s);
                 s.write_all(answer.as_bytes()).unwrap();
             }
         });

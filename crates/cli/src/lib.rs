@@ -187,7 +187,10 @@ USAGE:
 
 COMMANDS:
   info      structure, repetition vector, liveness
-  analyze   throughput, latency and bottleneck analysis
+  analyze   throughput, latency and bottleneck analysis; with
+            --scenarios (auto-selected for .sadf files) a scenario-aware
+            workload: worst-case throughput over all runs of a scenario
+            FSM whose states are SDF graphs
   convert   SDF -> HSDF (--traditional | --novel | --auto (default))
   abstract  derive + verify a conservative abstraction
   simulate  self-timed execution (--iterations K, default 8)
@@ -229,6 +232,9 @@ GLOBAL OPTIONS:
                    stalled server fails within the budget
 
 OPTIONS:
+  --scenarios      analyze: treat <file> as a scenario-aware workload
+                   (.sadf: named scenarios + a scenario FSM with
+                   per-transition mode-change delays)
   -o <file>        write the resulting graph as SDF3-style XML
   --iterations K   simulation horizon
   --traditional / --novel / --auto   conversion selection
@@ -288,7 +294,9 @@ EXIT CODES:
   70 internal panic (a bug)
 
 FILES: `.xml` files are parsed as the SDF3 subset, anything else as the
-text format (a leading '<' also selects XML).
+text format (a leading '<' also selects XML). `.sadf` files are
+scenario-aware workloads — `analyze` and `batch` route them through the
+scenario analysis automatically.
 ";
 
 /// Parses a graph from a file, auto-detecting the format.
@@ -401,6 +409,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if command == "csdf" {
         return cmd_csdf(path, opts);
     }
+    if command == "analyze" && (opts.iter().any(|o| o == "--scenarios") || path.ends_with(".sadf"))
+    {
+        return cmd_analyze_sadf(path, opts, &budget);
+    }
     if command == "analyze" && opts.iter().any(|o| o == "--json") {
         return cmd_analyze_json(path, &budget);
     }
@@ -507,6 +519,71 @@ fn extract_globals(args: &[String]) -> Result<Globals, CliError> {
         peers,
         retry,
     })
+}
+
+/// `sdfr analyze --scenarios` (auto-selected for `.sadf` files): one
+/// scenario-aware workload — named SDF scenarios plus a scenario FSM —
+/// analysed as a worst-case maximum-cycle-mean problem over the FSM's
+/// max-plus state-space lattice. `--json` emits the standalone
+/// `sdfr-api/1` record (workload kind `sadf`, with the `"scenarios"`
+/// sub-object), byte-identical to the server's `/v1/sadf`; otherwise a
+/// human report with per-scenario periods and the critical FSM cycle.
+fn cmd_analyze_sadf(path: &str, opts: &[String], budget: &Budget) -> Result<String, CliError> {
+    let registry = sdfr_analysis::registry::SessionRegistry::new();
+    let analyzed =
+        batch::analyze_sadf_source(None, path, batch::read_sadf(path), &registry, budget);
+    let record = &analyzed.record;
+    if opts.iter().any(|o| o == "--json") {
+        let mut line = record.to_json_line();
+        line.push('\n');
+        if record.exit != EXIT_OK {
+            return Err(CliError {
+                kind: batch::kind_for_exit(record.exit),
+                message: line,
+            });
+        }
+        return Ok(line);
+    }
+    let mut out = format!("scenario-aware workload: {path}\n");
+    match &record.status {
+        sdfr_api::UnitStatus::Exact { period } => {
+            let _ = writeln!(
+                out,
+                "worst-case iteration period: {}",
+                period.as_deref().unwrap_or("none (no recurrent constraint)")
+            );
+            if let Some(scenarios) = &record.scenarios {
+                out.push_str("per-scenario periods:\n");
+                for (name, period) in &scenarios.periods {
+                    let _ = writeln!(
+                        out,
+                        "  {name}: {}",
+                        period.as_deref().unwrap_or("none")
+                    );
+                }
+                if !scenarios.cycle.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "critical scenario cycle: {}",
+                        scenarios.cycle.join(" -> ")
+                    );
+                }
+            }
+        }
+        sdfr_api::UnitStatus::Degraded { bound, method } => {
+            let _ = writeln!(
+                out,
+                "budget exhausted; conservative period bound: {bound} (method: {method})"
+            );
+        }
+        sdfr_api::UnitStatus::Error { message } => {
+            return Err(CliError {
+                kind: batch::kind_for_exit(record.exit),
+                message: message.clone(),
+            });
+        }
+    }
+    Ok(out)
 }
 
 /// `sdfr analyze --json`: one standalone `sdfr-api/1` [`sdfr_api::UnitRecord`]

@@ -16,6 +16,7 @@
 //! | POST   | `/v1/analyze`              | one [`sdfr_api::AnalysisRequest`] with exactly one graph and no tiers → one standalone [`sdfr_api::UnitRecord`] line, byte-identical to `sdfr analyze --json` |
 //! | POST   | `/v1/batch`                | an [`sdfr_api::AnalysisRequest`] → indexed record lines + a [`sdfr_api::BatchSummary`] line, the shape of `sdfr batch` |
 //! | POST   | `/v1/csdf`                 | an [`sdfr_api::AnalysisRequest`] → one [`sdfr_api::CsdfRecord`] line per graph |
+//! | POST   | `/v1/sadf`                 | an [`sdfr_api::AnalysisRequest`] (tagged workload kind `sadf`) → one scenario-aware [`sdfr_api::UnitRecord`] line per workload, byte-identical to `sdfr analyze --scenarios --json` |
 //! | GET    | `/v1/stats` (or `/stats`)  | registry + pool + connection + persistence + incremental counters, request count, drain flag |
 //! | GET    | `/metrics`                 | the same counters in the Prometheus text exposition format |
 //! | POST   | `/shutdown` (or `/v1/shutdown`) | begin a graceful drain; the process exits 0 once in-flight work finishes |
@@ -811,6 +812,12 @@ fn route(
             }
             handle_csdf(body, failover, state)
         }
+        "/v1/sadf" => {
+            if method != "POST" {
+                return wrong_method("POST");
+            }
+            handle_sadf(body, failover, state)
+        }
         "/v1/stats" | "/stats" => {
             if method != "GET" {
                 return wrong_method("GET");
@@ -900,6 +907,24 @@ fn handle_analysis(
             let record_index = req.indices.as_ref().map_or(index, |indices| indices[index]);
             let batch_fields = is_batch.then_some((record_index, tier));
             let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+            // `.sadf` sources are scenario-aware workloads: same per-unit
+            // detection as `sdfr batch`, so a flat mixed batch posted
+            // here produces the exact in-process byte sequence.
+            if g.name.ends_with(".sadf") {
+                let unit = state.pool.install(|| {
+                    batch::analyze_sadf_source(
+                        batch_fields,
+                        &g.name,
+                        Ok(g.content.clone()),
+                        &state.registry,
+                        &base,
+                    )
+                });
+                persist_scenario_sessions(state, &base, &unit);
+                analyzed.push(unit);
+                index += 1;
+                continue;
+            }
             let graph = crate::parse_graph_content(&g.name, &g.content).map(Arc::new);
             // A routed miss on a fingerprint this shard *owns* first asks
             // the ring successor for a warm archive: after a failover
@@ -1208,13 +1233,82 @@ fn handle_csdf(body: &str, failover: bool, state: &ServerState) -> (u16, String)
     (http_status_for_exit(exit), out)
 }
 
-/// Parses and validates an [`AnalysisRequest`] body, mapping the two
-/// rejection classes to their `ErrorBody` codes.
+/// `/v1/sadf`: one scenario-aware [`sdfr_api::UnitRecord`] line per
+/// workload, byte-identical to `sdfr analyze --scenarios --json`. The
+/// per-scenario sessions live in the shared registry (a workload family
+/// reusing scenarios across requests warms each scenario exactly once)
+/// and each warmed one is offered to the cache journal individually.
+fn handle_sadf(body: &str, failover: bool, state: &ServerState) -> (u16, String) {
+    let req = match parse_request(body) {
+        Ok(req) => req,
+        Err(response) => return response,
+    };
+    // Same routing discipline as `/v1/csdf`: `.sadf` text does not parse
+    // as a plain SDF graph, so the routing client places it by content
+    // hash and any shard accepts it here.
+    if let Some(shard) = &state.shard {
+        if !failover {
+            if let Some(response) = shard_check(shard, &req, "/v1/sadf", body, state) {
+                return response;
+            }
+        }
+    }
+    let base = req.caps_budget();
+    let mut out = String::new();
+    let mut exit = 0;
+    for g in &req.graphs {
+        let unit = state.pool.install(|| {
+            batch::analyze_sadf_source(None, &g.name, Ok(g.content.clone()), &state.registry, &base)
+        });
+        persist_scenario_sessions(state, &base, &unit);
+        exit = exit.max(unit.record.exit);
+        out.push_str(&unit.record.to_json_line());
+        out.push('\n');
+    }
+    (http_status_for_exit(exit), out)
+}
+
+/// Offers every warmed per-scenario session of a scenario-aware unit to
+/// the cache journal. The workload itself has no single graph to
+/// persist; each scenario is an ordinary SDF graph, so its session is
+/// journalled under the scenario graph's canonical text — exactly what a
+/// plain request for that scenario would persist, which is what lets a
+/// restarted server come up warm for the whole workload family.
+fn persist_scenario_sessions(state: &ServerState, base: &Budget, unit: &batch::AnalyzedUnit) {
+    let Some(journal) = &state.journal else {
+        return;
+    };
+    for (session, lookup) in &unit.scenario_sessions {
+        if !matches!(lookup, Lookup::Hit | Lookup::Miss) {
+            continue;
+        }
+        let Some(artifacts) = session.export_artifacts() else {
+            continue;
+        };
+        let content = sdfr_io::text::to_text(session.graph());
+        let engine = session.engine_archive().and_then(|a| a.encode());
+        if let Some(record) =
+            cache::record_for(session.graph().name(), &content, base, &artifacts, engine)
+        {
+            journal.persist(&record);
+        }
+    }
+    journal.maybe_compact(&state.registry);
+}
+
+/// Parses and validates an [`AnalysisRequest`] body, mapping the three
+/// rejection classes to their `ErrorBody` codes. An unsupported workload
+/// kind additionally carries the machine-readable `"supported"` token
+/// list, so a newer client can tell "old server" from "typo".
 fn parse_request(body: &str) -> Result<AnalysisRequest, (u16, String)> {
     AnalysisRequest::from_json(body).map_err(|e| {
         let body = match e {
             RequestError::UnsupportedSchema(m) => {
                 ErrorBody::new("unsupported-schema", m, EXIT_USAGE)
+            }
+            RequestError::UnsupportedKind(m) => {
+                ErrorBody::new("unsupported-kind", m, EXIT_USAGE)
+                    .with_supported(sdfr_api::WorkloadKind::SUPPORTED)
             }
             RequestError::Malformed(m) => ErrorBody::new("bad-request", m, EXIT_USAGE),
         };

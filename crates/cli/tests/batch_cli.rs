@@ -49,22 +49,26 @@ fn stable_batch_is_golden_over_the_example_corpus() {
     let fp_huge = fingerprint_of(&huge);
     let expected = format!(
         concat!(
-            "{{\"schema\":\"sdfr-api/1\",\"index\":0,\"file\":\"{d}\",\"tier\":null,",
+            "{{\"schema\":\"sdfr-api/1\",\"workload_kind\":\"sdf\",\"index\":0,",
+            "\"file\":\"{d}\",\"tier\":null,",
             "\"fingerprint\":\"{fd}\",",
             "\"cache\":\"miss\",\"status\":\"exact\",\"period\":\"5\",\"exit\":0}}\n",
-            "{{\"schema\":\"sdfr-api/1\",\"index\":1,\"file\":\"{d}\",\"tier\":null,",
+            "{{\"schema\":\"sdfr-api/1\",\"workload_kind\":\"sdf\",\"index\":1,",
+            "\"file\":\"{d}\",\"tier\":null,",
             "\"fingerprint\":\"{fd}\",",
             "\"cache\":\"hit\",\"status\":\"exact\",\"period\":\"5\",\"exit\":0}}\n",
-            "{{\"schema\":\"sdfr-api/1\",\"index\":2,\"file\":\"{p}\",\"tier\":null,",
+            "{{\"schema\":\"sdfr-api/1\",\"workload_kind\":\"sdf\",\"index\":2,",
+            "\"file\":\"{p}\",\"tier\":null,",
             "\"fingerprint\":\"{fp}\",",
             "\"cache\":\"miss\",\"status\":\"exact\",\"period\":\"4\",\"exit\":0}}\n",
-            "{{\"schema\":\"sdfr-api/1\",\"index\":3,\"file\":\"{h}\",\"tier\":null,",
+            "{{\"schema\":\"sdfr-api/1\",\"workload_kind\":\"sdf\",\"index\":3,",
+            "\"file\":\"{h}\",\"tier\":null,",
             "\"fingerprint\":\"{fh}\",",
             "\"cache\":\"miss\",\"status\":\"degraded\",\"bound\":\"1000000001\",",
             "\"method\":\"serialization\",\"exit\":0}}\n",
             "{{\"schema\":\"sdfr-api/1\",\"summary\":true,\"total\":4,\"exact\":3,\"degraded\":1,",
             "\"degraded_abstraction\":0,\"degraded_serialization\":1,\"errors\":0,",
-            "\"exits\":{{\"0\":4}},",
+            "\"exits\":{{\"0\":4}},\"kinds\":{{\"sdf\":4}},",
             "\"cache\":{{\"hits\":1,\"misses\":3,\"bypasses\":0,\"collisions\":0,",
             "\"evictions\":0,\"entries\":3,\"bytes_estimate\":{bytes},",
             "\"symbolic_iterations\":2}},\"exit\":0}}\n",

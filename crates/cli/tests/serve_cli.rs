@@ -1076,3 +1076,209 @@ fn single_threaded_server_matches_stable_batch() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A two-scenario workload with mode-transition delays: both FSM states
+/// run `fast` or `slow` variants of the same two-actor ring, and the
+/// s0→s1 switch costs 4 time units, so the worst-case period per step is
+/// (3 + 9 + 4) / 2 = 8.
+const SADF_MODES: &str = "\
+sadf modes
+scenario fast
+  actor a 1
+  actor b 2
+  channel a b 1 1 0
+  channel b a 1 1 1
+end
+scenario slow
+  actor a 4
+  actor b 5
+  channel a b 1 1 0
+  channel b a 1 1 1
+end
+state s0 fast
+state s1 slow
+transition s0 s1 4
+transition s1 s0 0
+initial s0
+";
+
+/// `sadf` parity: the server's `/v1/sadf` record is byte-identical to the
+/// in-process `analyze --json` on the same `.sadf` workload, including
+/// the `workload_kind` token and the `scenarios` sub-object. A second
+/// request is answered from the per-scenario sessions the first one
+/// journalled into the registry.
+#[test]
+fn sadf_roundtrip_matches_in_process_json() {
+    let f = write_temp(SADF_MODES, "sadf");
+    let path = f.to_str().unwrap();
+    let server = Server::start(&[]);
+    let local = sdfr(&["analyze", path, "--json"]);
+    assert!(local.status.success(), "{local:?}");
+    let remote = sdfr(&["--server", &server.addr, "analyze", path]);
+    assert!(remote.status.success(), "{remote:?}");
+    assert_eq!(remote.stdout, local.stdout);
+    let line = String::from_utf8_lossy(&local.stdout).into_owned();
+    assert!(line.contains("\"workload_kind\":\"sadf\""), "{line}");
+    assert!(line.contains("\"period\":\"8\""), "{line}");
+    assert!(
+        line.contains("\"scenarios\":{\"periods\":{\"fast\":\"3\",\"slow\":\"9\"},\"cycle\":[\"s0\",\"s1\"]}"),
+        "{line}"
+    );
+    let again = sdfr(&["--server", &server.addr, "analyze", path]);
+    assert_eq!(again.stdout, local.stdout);
+    let stats = sdfr(&["stats", "--server", &server.addr]);
+    let stats = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(!stats.contains("\"hits\":0,"), "warm scenarios must hit: {stats}");
+}
+
+/// The cyclo-static oracle across every front-end: a balanced CSDF graph
+/// and its cyclic-FSM `.sadf` encoding agree exactly. `sdfr csdf` reports
+/// `P × λ` while the workload reports `λ`, and the `.sadf` record is
+/// byte-identical between in-process `--json`, the server, and
+/// `batch --stable` (from `"status"` on — the batch record additionally
+/// carries its index and tier).
+#[test]
+fn csdf_oracle_agrees_across_all_front_ends() {
+    let csdf = write_temp("csdf w\nactor w 1,3\nchannel w w 1,1 1,1 1\n", "csdf");
+    // The same machine, phase-per-scenario, with the implicit cyclic FSM
+    // p0 -> p1 -> p0 (delay 0).
+    let sadf = write_temp(
+        "sadf w\nscenario p0\n  actor w 1\n  channel w w 1 1 1\nend\n\
+         scenario p1\n  actor w 3\n  channel w w 1 1 1\nend\n",
+        "sadf",
+    );
+    let csdf_out = sdfr(&["csdf", csdf.to_str().unwrap(), "--json"]);
+    assert!(csdf_out.status.success(), "{csdf_out:?}");
+    let csdf_line = String::from_utf8_lossy(&csdf_out.stdout).into_owned();
+    assert!(csdf_line.contains("\"period\":\"4\""), "{csdf_line}");
+
+    let local = sdfr(&["analyze", sadf.to_str().unwrap(), "--json"]);
+    assert!(local.status.success(), "{local:?}");
+    let local_line = String::from_utf8_lossy(&local.stdout).into_owned();
+    // P = 2 phases, so λ = 4 / 2 = 2.
+    assert!(local_line.contains("\"period\":\"2\""), "{local_line}");
+
+    let server = Server::start(&[]);
+    let remote = sdfr(&["--server", &server.addr, "analyze", sadf.to_str().unwrap()]);
+    assert!(remote.status.success(), "{remote:?}");
+    assert_eq!(remote.stdout, local.stdout);
+
+    let batch = sdfr(&["batch", sadf.to_str().unwrap(), "--stable"]);
+    assert!(batch.status.success(), "{batch:?}");
+    let batch_line = String::from_utf8_lossy(&batch.stdout)
+        .lines()
+        .next()
+        .unwrap()
+        .to_string();
+    let suffix = |l: &str| l[l.find("\"status\"").unwrap()..].trim_end().to_string();
+    assert_eq!(suffix(&batch_line), suffix(&local_line));
+}
+
+/// A tagged request with an unknown workload kind is refused before any
+/// graph work, with the machine-readable list of kinds this build speaks.
+#[test]
+fn unknown_workload_kind_gets_the_supported_list() {
+    let server = Server::start(&[]);
+    let (status, body) = http(
+        &server.addr,
+        "POST",
+        "/v1/analyze",
+        r#"{"schema":"sdfr-api/1","workload":{"kind":"quantum","graphs":[{"name":"a","content":"x"}]}}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\":\"unsupported-kind\""), "{body}");
+    assert!(
+        body.contains("\"supported\":[\"csdf\",\"sadf\",\"sdf\"]"),
+        "{body}"
+    );
+}
+
+/// The tagged `workload` envelope and the flat `sdfr-api/1` shape answer
+/// byte-identically: the envelope is transport detail, not semantics.
+#[test]
+fn tagged_and_flat_requests_answer_identically() {
+    let server = Server::start(&[]);
+    let graphs = r#"[{"name":"g.sdf","content":"graph g\nactor a 2\nchannel a a 1 1 1\n"}]"#;
+    let flat = format!(r#"{{"schema":"sdfr-api/1","graphs":{graphs}}}"#);
+    let tagged = format!(r#"{{"schema":"sdfr-api/1","workload":{{"kind":"sdf","graphs":{graphs}}}}}"#);
+    let (s1, b1) = http(&server.addr, "POST", "/v1/analyze", &flat);
+    let (s2, b2) = http(&server.addr, "POST", "/v1/analyze", &tagged);
+    assert_eq!(s1, 200, "{b1}");
+    assert_eq!((s1, b1), (s2, b2));
+}
+
+/// Regression for the version guard: future *minors* of the dialect are
+/// forward-compatible everywhere — the `--api-version` flag, a request
+/// stamped `sdfr-api/1.9`, and a future-minor batch response (records and
+/// summary with unknown fields) fed back through the `--server` client's
+/// reassembly. Only a major bump refuses.
+#[test]
+fn future_minor_versions_are_forward_compatible() {
+    let demo = example("demo.sdf");
+    for ok_version in ["1.9", "sdfr-api/1.42"] {
+        let ok = sdfr(&["--api-version", ok_version, "analyze", &demo, "--json"]);
+        assert!(ok.status.success(), "{ok:?}");
+    }
+
+    let server = Server::start(&[]);
+    let (status, body) = http(
+        &server.addr,
+        "POST",
+        "/v1/analyze",
+        r#"{"schema":"sdfr-api/1.9","graphs":[{"name":"g.sdf","content":"graph g\nactor a 2\nchannel a a 1 1 1\n"}]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"exact\""), "{body}");
+
+    // A stub "server" from a future minor: its records and summary carry
+    // the 1.9 schema tag and fields this build has never heard of. The
+    // client must reassemble and pass them through, not refuse.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let stub_addr = listener.local_addr().unwrap().to_string();
+    let response_body = concat!(
+        "{\"schema\":\"sdfr-api/1.9\",\"workload_kind\":\"sdf\",\"novel\":true,",
+        "\"index\":0,\"file\":\"demo.sdf\",\"status\":\"exact\",\"period\":\"2\",\"exit\":0}\n",
+        "{\"schema\":\"sdfr-api/1.9\",\"summary\":true,\"novel\":42,\"total\":1,\"exact\":1,",
+        "\"degraded_abstraction\":0,\"degraded_serialization\":0,\"errors\":0,",
+        "\"exits\":{\"0\":1},\"kinds\":{\"sdf\":1},",
+        "\"cache\":{\"hits\":0,\"misses\":1,\"entries\":1,\"evictions\":0},\"exit\":0}\n",
+    );
+    let stub = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+        }
+        std::io::copy(
+            &mut reader.by_ref().take(content_length as u64),
+            &mut std::io::sink(),
+        )
+        .unwrap();
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            response_body.len(),
+            response_body
+        )
+        .unwrap();
+    });
+    let out = sdfr(&["--server", &stub_addr, "batch", &demo]);
+    stub.join().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout, response_body, "future-minor lines must pass through");
+
+    // The major guard still refuses.
+    let bad = sdfr(&["--api-version", "2.0", "analyze", &demo, "--json"]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+}

@@ -213,6 +213,19 @@ pub fn conservative_period_fallback(g: &SdfGraph) -> Result<ConservativeBound, C
     })
 }
 
+/// The serialization bound `Σ_a γ(a) · T(a)` as a rational. Every entry of
+/// a graph's symbolic max-plus matrix is bounded by it (a causal chain of
+/// firings can never exceed the fully serialized iteration), which is what
+/// makes it a valid per-scenario fallback for scenario-aware workloads.
+///
+/// # Errors
+///
+/// As [`conservative_period_fallback`]: inconsistency (no repetition
+/// vector) or overflow of the checked sum.
+pub fn serialization_period_bound(g: &SdfGraph) -> Result<Rational, CoreError> {
+    serialization_bound(g)
+}
+
 /// The serialization bound `Σ_a γ(a) · T(a)` as a rational, with checked
 /// arithmetic throughout.
 fn serialization_bound(g: &SdfGraph) -> Result<Rational, CoreError> {

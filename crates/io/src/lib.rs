@@ -9,7 +9,9 @@
 //!   `<applicationGraph>` with `<actor>`/`<port>`/`<channel>` topology and
 //!   `<actorProperties>` execution times,
 //! - [`csdf`] — the same two formats for cyclo-static graphs, with
-//!   comma-separated phase lists.
+//!   comma-separated phase lists,
+//! - [`sadf`] — scenario-aware workloads: named text-format scenarios
+//!   plus a scenario FSM with per-transition mode-change delays.
 //!
 //! Both formats round-trip exactly:
 //!
@@ -36,6 +38,7 @@
 mod error;
 
 pub mod csdf;
+pub mod sadf;
 pub mod text;
 pub mod xml;
 

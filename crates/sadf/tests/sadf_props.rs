@@ -1,0 +1,315 @@
+//! Differential property corpus for the scenario-aware workload analysis.
+//!
+//! Three invariants are pinned over random graphs:
+//!
+//! 1. **CSDF oracle** — a balanced cyclo-static graph (uniform phase count,
+//!    per-phase production == consumption on every channel) is exactly a
+//!    scenario workload whose FSM is the phase cycle. The `sdfr csdf`
+//!    front-end must therefore report `P × λ` where `λ` is the lattice
+//!    eigenvalue of the cyclic-FSM encoding — byte-for-byte in rational
+//!    arithmetic, across the in-process API, `analyze --json`, and
+//!    `batch --stable`.
+//! 2. **Degenerate FSM** — a workload with one scenario and a single
+//!    zero-delay self-loop is just that scenario: `analyze` on the `.sadf`
+//!    encoding reports the same period string as `analyze` on the `.sdf`.
+//! 3. **Graceful degradation** — exhausting the budget mid-lattice must
+//!    never panic, and any degraded bound must dominate the exact period.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use sdfr_analysis::registry::SessionRegistry;
+use sdfr_core::degrade::AnalysisOutcome;
+use sdfr_csdf::CsdfGraph;
+use sdfr_graph::budget::Budget;
+use sdfr_graph::SdfGraph;
+use sdfr_io::sadf::SadfDoc;
+use sdfr_maxplus::Rational;
+use sdfr_sadf::{analyze_workload, workload_from_csdf, SadfError, Workload};
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// Writes `content` to a fresh file under the system temp dir and returns
+/// its path; each case gets a unique name so parallel test binaries do not
+/// collide.
+fn temp_file(ext: &str, content: &str) -> std::path::PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!("sadf_props_{}_{n}.{ext}", std::process::id()));
+    std::fs::write(&path, content).expect("temp files are writable");
+    path
+}
+
+/// Runs the CLI in-process and returns its stdout; the caller asserts on
+/// record bytes, so failures surface the full CLI error.
+fn run_cli(args: &[&str]) -> Result<String, String> {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    sdfr_cli::run(&owned).map_err(|e| e.message)
+}
+
+/// Extracts the top-level `"period"` value from a record line. String
+/// values lose their quotes; `null` comes back verbatim. The per-scenario
+/// `"periods"` map never matches: the key here includes the closing quote
+/// and colon.
+fn period_field(record: &str) -> String {
+    let key = "\"period\":";
+    let start = record.find(key).expect("records carry a period field") + key.len();
+    let rest = &record[start..];
+    match rest.strip_prefix('"') {
+        Some(s) => s[..s.find('"').expect("strings close")].to_string(),
+        None => {
+            let end = rest
+                .find([',', '}'])
+                .expect("values are followed by a delimiter");
+            rest[..end].to_string()
+        }
+    }
+}
+
+/// The record tail from `"status"` on: everything analysis-dependent
+/// (status, period, scenarios, pending) with the per-front-end identity
+/// fields (file, index, tier) cut away.
+fn status_suffix(record: &str) -> &str {
+    let at = record.find("\"status\"").expect("records carry a status");
+    record[at..].trim_end()
+}
+
+/// A balanced cyclo-static ring: uniform phase count, and production ==
+/// consumption per phase on every channel, so the phase decomposition into
+/// scenarios is exact. Tokens are at least the channel's largest rate, so
+/// every phase-scenario is live and the oracle comparison never degenerates
+/// into matching error strings.
+#[derive(Debug, Clone)]
+struct BalancedRing {
+    phases: usize,
+    exec: Vec<Vec<i64>>,
+    rates: Vec<Vec<u64>>,
+    tokens: Vec<u64>,
+}
+
+impl BalancedRing {
+    fn build(&self) -> CsdfGraph {
+        let n = self.exec.len();
+        let mut b = CsdfGraph::builder("ring");
+        let ids: Vec<_> = self
+            .exec
+            .iter()
+            .enumerate()
+            .map(|(i, times)| b.actor(format!("a{i}"), times.iter().copied()))
+            .collect();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            b.channel(
+                ids[i],
+                ids[j],
+                self.rates[i].iter().copied(),
+                self.rates[i].iter().copied(),
+                self.tokens[i],
+            )
+            .expect("rates are at least one");
+        }
+        b.build().expect("ring graphs are well-formed")
+    }
+}
+
+fn balanced_ring() -> impl Strategy<Value = BalancedRing> {
+    (2usize..=3, 1usize..=3).prop_flat_map(|(n, p)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(0i64..=5, p), n),
+            proptest::collection::vec(proptest::collection::vec(1u64..=3, p), n),
+            proptest::collection::vec(0u64..=2, n),
+        )
+            .prop_map(move |(exec, rates, slack)| {
+                let tokens = rates
+                    .iter()
+                    .zip(&slack)
+                    .map(|(r, s)| r.iter().copied().max().unwrap_or(1) + s)
+                    .collect();
+                BalancedRing {
+                    phases: p,
+                    exec,
+                    rates,
+                    tokens,
+                }
+            })
+    })
+}
+
+/// The `.sadf` text for a workload, via the round-trippable document form.
+fn sadf_text(w: &Workload) -> String {
+    let doc = SadfDoc {
+        name: w.name.clone(),
+        scenarios: w
+            .scenarios
+            .iter()
+            .map(|s| (s.name.clone(), SdfGraph::clone(&s.graph)))
+            .collect(),
+        states: w.fsm.states.clone(),
+        transitions: w.fsm.transitions.clone(),
+        initial: w.fsm.initial,
+    };
+    sdfr_io::sadf::to_text(&doc)
+}
+
+/// A live plain-SDF ring with non-unit repetition vectors (same shape as
+/// the registry corpus, but with enough initial tokens that every actor can
+/// complete a full iteration from the initial marking alone).
+#[derive(Debug, Clone)]
+struct LiveRing {
+    exec: Vec<i64>,
+    q: Vec<u64>,
+    slack: Vec<u64>,
+}
+
+impl LiveRing {
+    fn build(&self) -> SdfGraph {
+        let n = self.q.len();
+        let mut b = SdfGraph::builder("random");
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.actor(format!("a{i}"), self.exec[i]))
+            .collect();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            let g = gcd(self.q[i], self.q[j]);
+            let cons = self.q[i] / g;
+            // cons × γ(target) tokens let the consumer finish an iteration
+            // unaided, so the ring is live by construction.
+            b.channel(
+                ids[i],
+                ids[j],
+                self.q[j] / g,
+                cons,
+                cons * self.q[j] + self.slack[i],
+            )
+            .expect("rates derived from q are nonzero");
+        }
+        b.build().expect("ring graphs are well-formed")
+    }
+}
+
+fn live_ring() -> impl Strategy<Value = LiveRing> {
+    (2usize..=4).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0i64..=10, n),
+            proptest::collection::vec(1u64..=4, n),
+            proptest::collection::vec(0u64..=3, n),
+        )
+            .prop_map(|(exec, q, slack)| LiveRing { exec, q, slack })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Balanced CSDF == cyclic-FSM workload: `sdfr csdf` reports exactly
+    /// `P × λ`, and the `.sadf` encoding reports `λ` identically through
+    /// `analyze --json` and `batch --stable` (records agree byte-for-byte
+    /// from `"status"` on).
+    #[test]
+    fn cyclic_fsm_encoding_matches_the_csdf_oracle(ring in balanced_ring()) {
+        let g = ring.build();
+        let workload = workload_from_csdf(&g).expect("balanced rings decompose");
+
+        let registry = SessionRegistry::new();
+        let analysis = analyze_workload(&workload, &registry, &Budget::unlimited())
+            .expect("live rings analyse");
+        prop_assert!(
+            matches!(analysis.outcome, AnalysisOutcome::Exact(Some(_))),
+            "unlimited budget must give an exact period, got {:?}",
+            analysis.outcome
+        );
+        let lambda = analysis.outcome.period_or_bound().expect("rings have a cycle");
+
+        // Oracle: the phase-explicit front-end.
+        let csdf_path = temp_file("csdf", &sdfr_io::csdf::to_text(&g));
+        let csdf_record = run_cli(&["csdf", csdf_path.to_str().unwrap(), "--json"])
+            .expect("csdf analysis succeeds");
+        let scaled = (Rational::from(ring.phases as i64) * lambda).to_string();
+        prop_assert_eq!(&period_field(&csdf_record), &scaled);
+
+        // Front-end 2: `analyze --json` on the `.sadf` encoding.
+        let sadf_path = temp_file("sadf", &sadf_text(&workload));
+        let analyze_record = run_cli(&["analyze", sadf_path.to_str().unwrap(), "--json"])
+            .expect("sadf analysis succeeds");
+        prop_assert_eq!(&period_field(&analyze_record), &lambda.to_string());
+
+        // Front-end 3: `batch --stable` over the same file.
+        let batch_report = run_cli(&["batch", sadf_path.to_str().unwrap(), "--stable"])
+            .expect("batch succeeds");
+        let batch_record = batch_report.lines().next().expect("batch emits a record");
+        prop_assert_eq!(status_suffix(batch_record), status_suffix(&analyze_record));
+
+        let _ = std::fs::remove_file(csdf_path);
+        let _ = std::fs::remove_file(sadf_path);
+    }
+
+    /// One scenario plus a zero-delay self-loop is the identity encoding:
+    /// the `.sadf` period equals the plain `.sdf` period, byte-for-byte.
+    #[test]
+    fn a_single_scenario_workload_equals_plain_analysis(ring in live_ring()) {
+        let g = ring.build();
+        let sdf_path = temp_file("sdf", &sdfr_io::text::to_text(&g));
+        let plain = run_cli(&["analyze", sdf_path.to_str().unwrap(), "--json"])
+            .expect("live rings analyse");
+
+        let doc = SadfDoc {
+            name: "solo".into(),
+            scenarios: vec![("only".into(), g)],
+            states: vec![("s0".into(), 0)],
+            transitions: vec![(0, 0, 0)],
+            initial: 0,
+        };
+        let sadf_path = temp_file("sadf", &sdfr_io::sadf::to_text(&doc));
+        let scenario = run_cli(&["analyze", sadf_path.to_str().unwrap(), "--json"])
+            .expect("the degenerate workload analyses");
+
+        prop_assert_eq!(&period_field(&plain), &period_field(&scenario));
+
+        let _ = std::fs::remove_file(sdf_path);
+        let _ = std::fs::remove_file(sadf_path);
+    }
+
+    /// Exhaustion mid-lattice never panics, and whatever period the
+    /// degraded path reports dominates the exact one.
+    #[test]
+    fn exhaustion_degrades_to_a_dominating_bound(
+        (ring, firings) in (balanced_ring(), 1u64..=40),
+    ) {
+        let g = ring.build();
+        let workload = workload_from_csdf(&g).expect("balanced rings decompose");
+        let exact = analyze_workload(&workload, &SessionRegistry::new(), &Budget::unlimited())
+            .expect("live rings analyse")
+            .outcome
+            .period_or_bound()
+            .expect("rings have a cycle");
+
+        let registry = SessionRegistry::new();
+        let budget = Budget::unlimited().with_max_firings(firings);
+        match analyze_workload(&workload, &registry, &budget) {
+            Ok(a) => {
+                let reported = a.outcome.period_or_bound().expect("rings have a cycle");
+                prop_assert!(
+                    reported >= exact,
+                    "reported {} is below the exact period {}",
+                    reported,
+                    exact
+                );
+                if matches!(a.outcome, AnalysisOutcome::Degraded { .. }) {
+                    prop_assert!(a.scenarios.is_empty() && a.cycle.is_empty());
+                }
+            }
+            // The conservative fallback itself can run out of firings; an
+            // honest error beats an unsound number.
+            Err(SadfError::Graph(_)) | Err(SadfError::Core(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+        }
+    }
+}
